@@ -1,0 +1,126 @@
+// Command leasecli is an interactive client for the lease file server.
+//
+// Usage:
+//
+//	leasecli -addr 127.0.0.1:7025 -id ws1
+//
+// Commands (read from stdin):
+//
+//	ls <dir>            list a directory (cached under its binding lease)
+//	cat <file>          print a file (cached under its data lease)
+//	put <file> <text>   write a file through (may wait for lease clearance)
+//	mkdir <dir>         create a directory
+//	touch <file>        create an empty file
+//	rm <path>           remove a file or empty directory
+//	mv <old> <new>      rename
+//	stat <path>         show attributes
+//	extend              extend every held lease in one batch
+//	metrics             show cache hit/miss counters
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"leases/internal/client"
+	"leases/internal/vfs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7025", "server address")
+	id := flag.String("id", "cli", "client (cache) identity")
+	flag.Parse()
+
+	c, err := client.Dial(*addr, client.Config{ID: *id})
+	if err != nil {
+		log.Fatalf("leasecli: %v", err)
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s as %q; type 'help'\n", *addr, *id)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		cmd := fields[0]
+		arg := func(i int) string {
+			if i < len(fields) {
+				return fields[i]
+			}
+			return ""
+		}
+		var err error
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("ls cat put mkdir touch rm mv stat extend metrics quit")
+		case "ls":
+			var entries []vfs.DirEntry
+			entries, err = c.ReadDir(orRoot(arg(1)))
+			for _, e := range entries {
+				kind := "f"
+				if e.IsDir {
+					kind = "d"
+				}
+				fmt.Printf("%s %6d %s\n", kind, e.ID, e.Name)
+			}
+		case "cat":
+			var data []byte
+			data, err = c.Read(arg(1))
+			if err == nil {
+				os.Stdout.Write(data)
+				if len(data) > 0 && data[len(data)-1] != '\n' {
+					fmt.Println()
+				}
+			}
+		case "put":
+			fmt.Println("(write-through: waits for conflicting leases to approve or expire)")
+			err = c.Write(arg(1), []byte(arg(2)))
+		case "mkdir":
+			_, err = c.Mkdir(arg(1), vfs.DefaultPerm|vfs.WorldWrite)
+		case "touch":
+			_, err = c.Create(arg(1), vfs.DefaultPerm|vfs.WorldWrite)
+		case "rm":
+			err = c.Remove(arg(1))
+		case "mv":
+			err = c.Rename(arg(1), arg(2))
+		case "stat":
+			var a vfs.Attr
+			a, err = c.Stat(orRoot(arg(1)))
+			if err == nil {
+				fmt.Printf("id=%d dir=%v size=%d owner=%s version=%d mod=%s\n",
+					a.ID, a.IsDir, a.Size, a.Owner, a.Version, a.ModTime.Format("15:04:05.000"))
+			}
+		case "extend":
+			err = c.ExtendAll()
+			if err == nil {
+				fmt.Printf("extended; %d leases held\n", c.HeldLeases())
+			}
+		case "metrics":
+			m := c.Metrics()
+			fmt.Printf("reads=%d hits=%d lookups=%d lookup-hits=%d writes=%d invalidations=%d leases=%d\n",
+				m.Reads, m.ReadHits, m.Lookups, m.LookupHits, m.Writes, m.Invalidations, c.HeldLeases())
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func orRoot(p string) string {
+	if p == "" {
+		return "/"
+	}
+	return p
+}

@@ -1,0 +1,115 @@
+// Command leasesrv runs the networked lease file server.
+//
+// Usage:
+//
+//	leasesrv -addr :7025 -term 10s
+//	leasesrv -addr :7025 -term 10s -recovery 10s   # restarting after a crash
+//
+// The store starts with a small demonstration tree (/bin/latex,
+// /docs/README) unless -empty is given. Writes are deferred until every
+// conflicting leaseholder approves or its lease expires; -write-timeout
+// bounds how long a writer may be held up before the server fails the
+// write back.
+package main
+
+import (
+	"errors"
+	"flag"
+	"io/fs"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/server"
+	"leases/internal/vfs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7025", "listen address")
+	term := flag.Duration("term", 10*time.Second, "lease term t_s (0 = check-on-use)")
+	recovery := flag.Duration("recovery", 0, "recovery window after restart (the persisted maximum granted term)")
+	writeTimeout := flag.Duration("write-timeout", time.Minute, "bound on write deferral (0 = unbounded)")
+	empty := flag.Bool("empty", false, "start with an empty store")
+	snapshot := flag.String("snapshot", "", "lease snapshot file: loaded at startup, saved on SIGINT/SIGTERM (the §2 detailed-record recovery alternative)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Term:           *term,
+		RecoveryWindow: *recovery,
+		WriteTimeout:   *writeTimeout,
+	})
+	if !*empty {
+		seed(srv.Store())
+	}
+	if *snapshot != "" {
+		if records, err := loadSnapshot(*snapshot); err != nil {
+			log.Fatalf("leasesrv: loading snapshot: %v", err)
+		} else if records != nil {
+			srv.Restore(records)
+			log.Printf("leasesrv: restored %d lease records from %s", len(records), *snapshot)
+		}
+		go saveOnSignal(srv, *snapshot)
+	}
+	log.Printf("leasesrv: serving on %s, term=%v recovery=%v", *addr, *term, *recovery)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("leasesrv: %v", err)
+	}
+}
+
+func loadSnapshot(path string) ([]core.LeaseSnapshot, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil // first boot
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadSnapshot(f)
+}
+
+func saveOnSignal(srv *server.Server, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	records := srv.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("leasesrv: saving snapshot: %v", err)
+		os.Exit(1)
+	}
+	if err := core.WriteSnapshot(f, records); err != nil {
+		log.Printf("leasesrv: writing snapshot: %v", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("leasesrv: closing snapshot: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("leasesrv: saved %d lease records to %s", len(records), path)
+	srv.Stop()
+	os.Exit(0)
+}
+
+func seed(st *vfs.Store) {
+	mk := func(err error) {
+		if err != nil {
+			log.Fatalf("leasesrv: seeding store: %v", err)
+		}
+	}
+	_, err := st.Mkdir("/bin", "root", vfs.DefaultPerm)
+	mk(err)
+	a, err := st.Create("/bin/latex", "root", vfs.DefaultPerm)
+	mk(err)
+	_, _, err = st.WriteFile(a.ID, []byte("#! the latex binary (demonstration)\n"))
+	mk(err)
+	_, err = st.Mkdir("/docs", "root", vfs.DefaultPerm|vfs.WorldWrite)
+	mk(err)
+	b, err := st.Create("/docs/README", "root", vfs.DefaultPerm|vfs.WorldWrite)
+	mk(err)
+	_, _, err = st.WriteFile(b.ID, []byte("welcome to the lease file service\n"))
+	mk(err)
+}

@@ -1,0 +1,146 @@
+// Command leasetrace generates and inspects workload traces for the
+// trace-driven simulator.
+//
+// Usage:
+//
+//	leasetrace -gen v -dur 2h -clients 1 -out v.trace
+//	leasetrace -stat v.trace
+//	leasetrace -gen shared -clients 10 -replay -term 10s
+//
+// Generators: v (the §3.2 composite workload), poisson, bursty, shared.
+// -replay runs the generated or loaded trace through the simulator at
+// the given term and prints the measured consistency load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"leases/internal/netsim"
+	"leases/internal/trace"
+	"leases/internal/tracesim"
+)
+
+func main() {
+	gen := flag.String("gen", "", "generator: v|poisson|bursty|shared (empty: load -in)")
+	in := flag.String("in", "", "trace file to load")
+	out := flag.String("out", "", "write the trace to this file")
+	statOnly := flag.String("stat", "", "print statistics of a trace file and exit")
+	dur := flag.Duration("dur", time.Hour, "trace duration")
+	clients := flag.Int("clients", 1, "number of clients")
+	files := flag.Int("files", 40, "number of (regular) files")
+	readRate := flag.Float64("r", 0.864, "per-client read rate /s")
+	writeRate := flag.Float64("w", 0.04, "per-client write rate /s")
+	seed := flag.Int64("seed", 1, "random seed")
+	replay := flag.Bool("replay", false, "replay through the simulator")
+	term := flag.Duration("term", 10*time.Second, "lease term for -replay")
+	flag.Parse()
+
+	if *statOnly != "" {
+		tr := load(*statOnly)
+		printStats(tr)
+		return
+	}
+
+	var tr *trace.Trace
+	switch *gen {
+	case "v":
+		tr = trace.V(trace.VConfig{
+			Seed: *seed, Duration: *dur, Clients: *clients,
+			RegularFiles: *files, InstalledFiles: *files / 2,
+			ReadRate: *readRate, WriteRate: *writeRate,
+		})
+	case "poisson":
+		tr = trace.Poisson(trace.PoissonConfig{
+			Seed: *seed, Duration: *dur, Clients: *clients, Files: *files,
+			ReadRate: *readRate, WriteRate: *writeRate,
+		})
+	case "bursty":
+		tr = trace.Bursty(trace.BurstyConfig{
+			Seed: *seed, Duration: *dur, Clients: *clients, Files: *files,
+			ReadRate: *readRate, WriteRate: *writeRate,
+			WorkingSet: min(12, *files),
+		})
+	case "shared":
+		tr = trace.Shared(trace.SharedConfig{
+			Seed: *seed, Duration: *dur, Clients: *clients, Files: *files,
+			ReadRate: *readRate, WriteRate: *writeRate,
+		})
+	case "":
+		if *in == "" {
+			log.Fatal("leasetrace: need -gen or -in")
+		}
+		tr = load(*in)
+	default:
+		log.Fatalf("leasetrace: unknown generator %q", *gen)
+	}
+
+	printStats(tr)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("leasetrace: %v", err)
+		}
+		if err := tr.Write(f); err != nil {
+			log.Fatalf("leasetrace: writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("leasetrace: %v", err)
+		}
+		fmt.Printf("wrote %d events to %s\n", len(tr.Events), *out)
+	}
+
+	if *replay {
+		res := tracesim.Run(tracesim.Config{
+			Trace: tr,
+			Term:  *term,
+			Net:   netsim.Params{Prop: 500 * time.Microsecond, Proc: 50 * time.Microsecond, Seed: 1},
+		})
+		fmt.Printf("replay at term %v:\n", *term)
+		fmt.Printf("  consistency messages at server: %d (%.3f/s)\n", res.ServerConsistencyMsgs, res.ConsistencyLoad)
+		fmt.Printf("  reads %d (hits %d, %.1f%%), writes %d\n",
+			res.Reads, res.CacheHits, 100*float64(res.CacheHits)/float64(maxi64(1, res.Reads)), res.Writes)
+		fmt.Printf("  mean added delay: %v; max write wait: %v\n", res.AddedDelayMean, res.WriteWaits.Max)
+		fmt.Printf("  stale reads: %d\n", res.StaleReads)
+	}
+}
+
+func load(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("leasetrace: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		log.Fatalf("leasetrace: reading %s: %v", path, err)
+	}
+	return tr
+}
+
+func printStats(tr *trace.Trace) {
+	s := tr.Measure()
+	fmt.Printf("trace: %v, %d clients, %d files (%d installed), %d events\n",
+		tr.Duration, tr.Clients, tr.Files, len(tr.Installed), len(tr.Events))
+	fmt.Printf("  R=%.3f/s W=%.3f/s ratio=%.1f installed-read-share=%.2f burstiness=%.1f\n",
+		s.ReadRate, s.WriteRate, s.ReadWriteRatio,
+		float64(s.InstalledReads)/float64(maxi(1, s.Reads)), tr.BurstinessIndex())
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+// Diskless workstation: the paper's §2 motivating scenario, end to end.
+//
+// "Consider a diskless workstation being used for document production.
+// When the workstation executes latex for the first time, it obtains a
+// lease on the binary file containing latex for a term of (say) 10
+// seconds. Another access to the same file 5 seconds later can use the
+// cached version of this file without checking with the file server. ...
+// When a new version of latex is installed, the write is delayed until
+// every leaseholder has approved the write. If some host holding a lease
+// for this file is unreachable, the delay continues until the lease
+// expires."
+//
+// This example runs exactly that story over the real TCP server with a
+// short 3-second term (so the unreachable-host wait is watchable): two
+// workstations run latex from cache; an administrator installs a new
+// version while one workstation has crashed without releasing its lease;
+// the install is delayed until that lease expires — and no workstation
+// ever runs a stale binary under a valid lease.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"leases"
+	"leases/internal/vfs"
+)
+
+const term = 3 * time.Second
+
+func main() {
+	srv := leases.NewServer(leases.ServerConfig{Term: term})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Stop()
+	addr := ln.Addr().String()
+
+	st := srv.Store()
+	must(st.Mkdir("/bin", "root", vfs.DefaultPerm|vfs.WorldWrite))
+	must(st.Create("/bin/latex", "root", vfs.DefaultPerm|vfs.WorldWrite))
+	a, _ := st.Lookup("/bin/latex")
+	st.WriteFile(a.ID, []byte("latex v1"))
+
+	// Two diskless workstations in the document-production group.
+	alpha := dial(addr, "alpha")
+	defer alpha.Close()
+	beta := dial(addr, "beta")
+	// beta will "crash" later — no deferred Close.
+
+	// Both run latex; repeated runs within the term use the cache.
+	for i := 0; i < 3; i++ {
+		runLatex(alpha, i)
+		runLatex(beta, i)
+		time.Sleep(300 * time.Millisecond)
+	}
+	fmt.Printf("alpha: %d of %d binary loads served from cache\n",
+		alpha.Metrics().ReadHits, alpha.Metrics().Reads)
+
+	// beta crashes: the TCP connection drops abruptly, but the server
+	// still holds its lease record — only time can clear it.
+	fmt.Println("\nbeta crashes (lease survives at the server)")
+	crash(beta)
+	betaLeaseTaken := time.Now()
+
+	// The administrator installs a new latex. alpha (reachable) gets a
+	// callback and approves instantly; beta's lease must expire first.
+	admin := dial(addr, "admin")
+	defer admin.Close()
+	fmt.Println("admin installs latex v2 ...")
+	start := time.Now()
+	if err := admin.Write("/bin/latex", []byte("latex v2")); err != nil {
+		log.Fatal(err)
+	}
+	waited := time.Since(start)
+	remaining := term - time.Since(betaLeaseTaken)
+	fmt.Printf("install completed after %v (crashed holder's remaining term was ≈%v)\n",
+		waited.Truncate(10*time.Millisecond), (waited + remaining).Truncate(10*time.Millisecond))
+	if waited > term {
+		log.Fatalf("install waited %v, longer than the whole term %v", waited, term)
+	}
+
+	// alpha immediately runs the new version.
+	out, err := alpha.Read("/bin/latex")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alpha now runs: %q (its old copy was invalidated by the approval callback)\n", out)
+	if string(out) != "latex v2" {
+		log.Fatal("alpha ran a stale binary!")
+	}
+}
+
+func dial(addr, id string) *leases.Client {
+	c, err := leases.Dial(addr, leases.ClientConfig{ID: id})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func runLatex(ws *leases.Client, run int) {
+	if _, err := ws.Read("/bin/latex"); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// crash closes beta's TCP stream without the clean Close that would
+// release its leases — the moral equivalent of pulling the power cord.
+// The server keeps beta's lease records until their terms expire.
+func crash(ws *leases.Client) {
+	if err := ws.Abandon(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must[T any](v T, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

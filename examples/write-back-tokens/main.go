@@ -1,0 +1,115 @@
+// Write-back tokens: the paper's §2/§6 extension to non-write-through
+// caches, in the style of Echo and Burrows's MFS ("tokens, which can be
+// regarded as limited-term leases, but supporting non-write-through
+// caches").
+//
+// An editor holds an exclusive write token on its buffer file and saves
+// repeatedly with zero server traffic; when a build machine wants to
+// read the file, the server recalls the token, the editor flushes its
+// dirty data and downgrades, and the build sees every saved byte. A
+// crashed editor's token expires — readers proceed after the term, and
+// only the crashed cache's unflushed writes are lost (the write-back
+// hazard that makes the paper prefer write-through for file caches).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"leases"
+	"leases/internal/clock"
+	"leases/internal/vfs"
+)
+
+func main() {
+	clk := clock.NewSim()
+	mgr := leases.NewTokenManager(leases.FixedTerm(10 * time.Second))
+	file := leases.Datum{Kind: vfs.FileData, Node: 2}
+
+	// The primary storage site: contents + version.
+	serverData := "draft v0"
+	serverVersion := uint64(0)
+
+	editor := leases.NewTokenHolder(leases.HolderConfig{})
+	editorBuf := ""
+
+	// The editor opens the file for writing: an exclusive write token.
+	disp := mgr.Acquire("editor", file, leases.TokenWrite, clk.Now())
+	if !disp.Granted {
+		log.Fatalf("acquire: %+v", disp)
+	}
+	editor.ApplyToken(file, leases.TokenWrite, serverVersion, disp.Term, clk.Now(), clk.Now())
+
+	// Saves happen locally — no messages to the server at all.
+	for i := 1; i <= 3; i++ {
+		editorBuf = fmt.Sprintf("draft v%d", i)
+		if !editor.WriteLocal(file, clk.Now()) {
+			log.Fatal("local write refused")
+		}
+		clk.Advance(time.Second)
+	}
+	fmt.Printf("editor saved 3 times locally (dirty=%v, server still has %q)\n",
+		editor.Dirty(file), serverData)
+
+	// A build machine wants to read the file: the server recalls the
+	// editor's token.
+	rd := mgr.Acquire("build", file, leases.TokenRead, clk.Now())
+	if rd.Granted {
+		log.Fatal("read token granted under an exclusive write token")
+	}
+	fmt.Printf("server recalls token from %v\n", rd.NeedRecall)
+
+	// The editor must flush before acking — downgrading while dirty is
+	// refused, so buffered saves cannot be lost on a recall.
+	if !editor.OnRecall(file) {
+		log.Fatal("recall did not demand a flush")
+	}
+	v, _ := editor.Version(file)
+	serverData, serverVersion = editorBuf, v
+	editor.Flushed(file, v)
+	editor.DowngradeLocal(file) // keep reading from cache
+	mgr.RecallAck("editor", rd.ReqID, clk.Now())
+	mgr.Downgrade("editor", file, clk.Now())
+
+	ready := mgr.ReadyAcquisitions(clk.Now())
+	if len(ready) != 1 {
+		log.Fatalf("ready = %v", ready)
+	}
+	_, term := mgr.GrantReady(rd.ReqID, clk.Now())
+	build := leases.NewTokenHolder(leases.HolderConfig{})
+	build.ApplyToken(file, leases.TokenRead, serverVersion, term, clk.Now(), clk.Now())
+	fmt.Printf("build reads %q (version %d) — every saved byte visible\n", serverData, serverVersion)
+
+	// The editor crashes holding a fresh write token with one unflushed
+	// save; a reader waits out the term and proceeds without it.
+	wr := mgr.Acquire("editor", file, leases.TokenWrite, clk.Now())
+	if !wr.Granted {
+		for _, h := range wr.NeedRecall {
+			if h == "build" {
+				build.Invalidate(file)
+				mgr.RecallAck("build", wr.ReqID, clk.Now())
+			}
+		}
+		mgr.GrantReady(wr.ReqID, clk.Now())
+	}
+	editor.ApplyToken(file, leases.TokenWrite, serverVersion, 10*time.Second, clk.Now(), clk.Now())
+	editor.WriteLocal(file, clk.Now()) // unflushed — will be lost
+	fmt.Println("\neditor crashes with one unflushed save...")
+
+	start := clk.Now()
+	rd2 := mgr.Acquire("build", file, leases.TokenRead, clk.Now())
+	if rd2.Granted {
+		log.Fatal("granted under crashed editor's token")
+	}
+	clk.AdvanceTo(rd2.Deadline.Add(time.Millisecond))
+	if got := mgr.ReadyAcquisitions(clk.Now()); len(got) != 1 {
+		log.Fatalf("not freed by expiry: %v", got)
+	}
+	_, term = mgr.GrantReady(rd2.ReqID, clk.Now())
+	build.ApplyToken(file, leases.TokenRead, serverVersion, term, clk.Now(), clk.Now())
+	fmt.Printf("build proceeded after %v (the crashed token's remaining term)\n", clk.Now().Sub(start))
+	fmt.Printf("build reads %q — the crashed editor's unflushed save is lost, a hazard\n", serverData)
+	fmt.Println("write-through caching (the paper's default) does not have: \"no write that")
+	fmt.Println("has been made visible to any client can be lost\" (§2)")
+}

@@ -1,0 +1,3 @@
+module leases
+
+go 1.22

@@ -1,0 +1,289 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"leases/internal/core"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %.4f, want %.4f ± %.4f", name, got, want, tol)
+	}
+}
+
+func TestEffectiveTerm(t *testing.T) {
+	p := VParams()
+	// t_c = t_s − (m_prop + 2·m_proc) − ε = 10s − 600µs − 100ms.
+	want := 10*time.Second - 600*time.Microsecond - 100*time.Millisecond
+	if got := p.EffectiveTerm(10 * time.Second); got != want {
+		t.Fatalf("EffectiveTerm(10s) = %v, want %v", got, want)
+	}
+	if got := p.EffectiveTerm(50 * time.Millisecond); got != 0 {
+		t.Fatalf("EffectiveTerm(50ms) = %v, want 0 (shorter than delivery+ε)", got)
+	}
+	if got := p.EffectiveTerm(core.Infinite); got != core.Infinite {
+		t.Fatalf("EffectiveTerm(Inf) = %v", got)
+	}
+}
+
+func TestMessageTimes(t *testing.T) {
+	p := VParams()
+	if p.Delivery() != 600*time.Microsecond {
+		t.Fatalf("Delivery = %v", p.Delivery())
+	}
+	if p.RoundTrip() != 1200*time.Microsecond {
+		t.Fatalf("RoundTrip = %v", p.RoundTrip())
+	}
+	// Multicast with n replies: 2·m_prop + (n+3)·m_proc.
+	if got, want := p.MulticastTime(9), 2*500*time.Microsecond+12*50*time.Microsecond; got != want {
+		t.Fatalf("MulticastTime(9) = %v, want %v", got, want)
+	}
+}
+
+func TestZeroTermLoadIs2NR(t *testing.T) {
+	p := VParams()
+	approx(t, "ZeroTermLoad", p.ZeroTermLoad(), 2*0.864, 1e-12)
+	if got := p.ConsistencyLoad(0); got != p.ZeroTermLoad() {
+		t.Fatalf("ConsistencyLoad(0) = %v, want 2NR", got)
+	}
+}
+
+func TestInfiniteTermLoad(t *testing.T) {
+	p := VParams()
+	if got := p.ConsistencyLoad(core.Infinite); got != 0 {
+		t.Fatalf("unshared infinite-term load = %v, want 0", got)
+	}
+	p.S = 10
+	approx(t, "shared infinite-term load", p.ConsistencyLoad(core.Infinite), 10*0.04, 1e-12)
+}
+
+// §3.2: "at S = 1, a term of 10 seconds reduces the consistency traffic
+// to 10% of that for a zero term."
+func TestHeadlineTenSecondTermTenPercent(t *testing.T) {
+	p := VParams()
+	approx(t, "RelativeLoad(10s)", p.RelativeLoad(10*time.Second), 0.10, 0.01)
+}
+
+// §3.2: "consistency accounts for 30% of the server traffic ... the
+// actual benefit is a 27% reduction in total server traffic, to a level
+// just 4.5% above that for infinite term."
+func TestHeadlineTotalTrafficS1(t *testing.T) {
+	p := VParams()
+	approx(t, "TotalReduction(10s)", p.TotalReduction(10*time.Second, VConsistencyShare), 0.27, 0.005)
+	approx(t, "OverInfinite(10s)", p.OverInfinite(10*time.Second, VConsistencyShare), 0.045, 0.005)
+}
+
+// §3.2: "At S = 10, total server traffic is 20% less than for a zero
+// term and 4.1% over that for an infinite term."
+func TestHeadlineTotalTrafficS10(t *testing.T) {
+	p := VParams()
+	p.S = 10
+	approx(t, "TotalReduction(10s, S=10)", p.TotalReduction(10*time.Second, VConsistencyShare), 0.20, 0.005)
+	approx(t, "OverInfinite(10s, S=10)", p.OverInfinite(10*time.Second, VConsistencyShare), 0.041, 0.005)
+}
+
+// §3.3 / Figure 3: on a network with 100 ms round-trip time, "a 10
+// second term degrades response by 10.1% over using an infinite term and
+// a 30 second term degrades it by 3.6%".
+func TestHeadlineWANDelay(t *testing.T) {
+	p := VParams()
+	p.MProp = 50 * time.Millisecond // 100 ms RTT
+	if p.RoundTrip() != 100200*time.Microsecond {
+		t.Fatalf("RTT = %v", p.RoundTrip())
+	}
+	approx(t, "RelativeDelay(10s)", p.RelativeDelay(10*time.Second), 0.101, 0.005)
+	approx(t, "RelativeDelay(30s)", p.RelativeDelay(30*time.Second), 0.036, 0.005)
+}
+
+func TestBenefitFactor(t *testing.T) {
+	p := VParams()
+	if !math.IsInf(p.BenefitFactor(), 1) {
+		t.Fatalf("unshared α = %v, want +Inf", p.BenefitFactor())
+	}
+	p.S = 10
+	approx(t, "α(S=10)", p.BenefitFactor(), 2*0.864/(10*0.04), 1e-9)
+	approx(t, "α_unicast(S=10)", p.BenefitFactorUnicast(), 0.864/(9*0.04), 1e-9)
+	p.W = 0
+	if !math.IsInf(p.BenefitFactor(), 1) {
+		t.Fatal("read-only α should be +Inf")
+	}
+}
+
+func TestTermThreshold(t *testing.T) {
+	p := VParams()
+	if got := p.TermThreshold(); got != 0 {
+		t.Fatalf("unshared threshold = %v, want 0 (any term helps)", got)
+	}
+	p.S = 10
+	alpha := p.BenefitFactor()
+	want := time.Duration(1 / (p.R * (alpha - 1)) * float64(time.Second))
+	if got := p.TermThreshold(); got != want {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+	// Heavy write sharing: no term helps.
+	p.W = 10
+	if got := p.TermThreshold(); got != -1 {
+		t.Fatalf("α≤1 threshold = %v, want -1", got)
+	}
+}
+
+func TestThresholdActuallyBreaksEven(t *testing.T) {
+	p := VParams()
+	p.S = 10
+	th := p.TermThreshold()
+	// A term whose *effective* value is just above the threshold beats
+	// zero term; just below loses. Convert to t_s by adding back the
+	// delivery and allowance shaving.
+	shave := p.Delivery() + p.Eps
+	above := th + shave + th/5
+	below := th + shave - th/5
+	if p.ConsistencyLoad(above) >= p.ZeroTermLoad() {
+		t.Fatalf("load above threshold %v not better than zero term", above)
+	}
+	if p.ConsistencyLoad(below) <= p.ZeroTermLoad() {
+		t.Fatalf("load below threshold %v better than zero term", below)
+	}
+}
+
+func TestReadDelayAmortizes(t *testing.T) {
+	p := VParams()
+	if got := p.ReadDelay(0); got != p.RoundTrip() {
+		t.Fatalf("zero-term read delay = %v, want full RTT", got)
+	}
+	if got := p.ReadDelay(core.Infinite); got != 0 {
+		t.Fatalf("infinite-term read delay = %v, want 0", got)
+	}
+	if d10, d1 := p.ReadDelay(10*time.Second), p.ReadDelay(time.Second); d10 >= d1 {
+		t.Fatalf("read delay not decreasing in term: %v at 10s vs %v at 1s", d10, d1)
+	}
+}
+
+func TestWriteDelayOnlyWhenShared(t *testing.T) {
+	p := VParams()
+	if p.WriteDelay(10*time.Second) != 0 {
+		t.Fatal("unshared write delay nonzero")
+	}
+	p.S = 10
+	if p.WriteDelay(0) != 0 {
+		t.Fatal("zero-term write delay nonzero — no leases can be outstanding")
+	}
+	want := p.MulticastTime(9)
+	if got := p.WriteDelay(10 * time.Second); got != want {
+		t.Fatalf("shared write delay = %v, want t_w = %v", got, want)
+	}
+}
+
+// "it is important to recognize that a zero lease term is better than a
+// very short lease term because a non-zero t_s and zero t_c means that
+// writes are penalized but reads do not benefit" (§3.1).
+func TestZeroTermBeatsVeryShortTerm(t *testing.T) {
+	p := VParams()
+	p.S = 10
+	tiny := 50 * time.Millisecond // below delivery + ε ⇒ t_c = 0
+	if p.EffectiveTerm(tiny) != 0 {
+		t.Fatal("test setup: tiny term should have zero effective term")
+	}
+	if p.ConsistencyLoad(tiny) <= p.ConsistencyLoad(0) {
+		t.Fatalf("tiny term load %v not worse than zero term %v",
+			p.ConsistencyLoad(tiny), p.ConsistencyLoad(0))
+	}
+	if p.AddedDelay(tiny) <= p.AddedDelay(0) {
+		t.Fatal("tiny term delay not worse than zero term")
+	}
+}
+
+func TestTotalLoadComposition(t *testing.T) {
+	p := VParams()
+	z := p.TotalLoad(0, 0.30)
+	// Consistency is 30% of total at zero term by construction.
+	approx(t, "consistency share", p.ConsistencyLoad(0)/z, 0.30, 1e-9)
+}
+
+func TestBatchedParamsShrinkThreshold(t *testing.T) {
+	p := VParams()
+	p.S = 10
+	b := p.BatchedParams(10)
+	if b.R != 10*p.R || b.W != 10*p.W {
+		t.Fatalf("BatchedParams rates = %v/%v", b.R, b.W)
+	}
+	if b.TermThreshold() >= p.TermThreshold() {
+		t.Fatalf("batching did not shrink threshold: %v vs %v", b.TermThreshold(), p.TermThreshold())
+	}
+}
+
+// §3.2's closing prediction for Unix block-level semantics: "the higher
+// rate of reads would give the curves a sharper knee, favoring fairly
+// short terms, while the more frequent writes makes it more sensitive
+// to sharing."
+func TestUnixBlockSemanticsPrediction(t *testing.T) {
+	v, unix := VParams(), UnixBlockParams()
+	if unix.R <= v.R {
+		t.Fatal("block-level read rate should exceed open-level")
+	}
+	if unix.R/unix.W >= v.R/v.W {
+		t.Fatal("block-level read/write ratio should be lower")
+	}
+	// Sharper knee: at a short 2 s term, the block-level system already
+	// sheds far more of its zero-term load.
+	if unix.RelativeLoad(2*time.Second) >= v.RelativeLoad(2*time.Second) {
+		t.Fatalf("knee not sharper: unix %.3f vs V %.3f at 2s",
+			unix.RelativeLoad(2*time.Second), v.RelativeLoad(2*time.Second))
+	}
+	// More sensitive to sharing: the S=10 infinite-term floor (the
+	// irreducible NSW approval traffic relative to zero-term load,
+	// SW/2R) is higher for the block-level mix.
+	v10, u10 := v, unix
+	v10.S, u10.S = 10, 10
+	vFloor := v10.RelativeLoad(core.Infinite)
+	uFloor := u10.RelativeLoad(core.Infinite)
+	if uFloor <= vFloor {
+		t.Fatalf("sharing sensitivity not higher: unix floor %.3f vs V %.3f", uFloor, vFloor)
+	}
+	// And the break-even threshold shrinks with the higher read rate.
+	if u10.TermThreshold() >= v10.TermThreshold() {
+		t.Fatalf("threshold not smaller: %v vs %v", u10.TermThreshold(), v10.TermThreshold())
+	}
+}
+
+// Property: consistency load decreases monotonically in the term for
+// unshared files, and always lies between the infinite-term floor and
+// the zero-term ceiling once t_c > 0.
+func TestLoadMonotoneProperty(t *testing.T) {
+	f := func(aTenthSec, bTenthSec uint16) bool {
+		p := VParams()
+		ta := time.Duration(aTenthSec) * 100 * time.Millisecond
+		tb := time.Duration(bTenthSec) * 100 * time.Millisecond
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		la, lb := p.ConsistencyLoad(ta), p.ConsistencyLoad(tb)
+		if lb > la+1e-12 {
+			return false
+		}
+		floor, ceil := p.ConsistencyLoad(core.Infinite), p.ZeroTermLoad()
+		return la >= floor-1e-12 && la <= ceil+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: added delay is nonnegative and bounded by the round trip
+// plus the approval time.
+func TestDelayBoundsProperty(t *testing.T) {
+	f := func(tsSec uint8, s uint8) bool {
+		p := VParams()
+		p.S = float64(s%40) + 1
+		ts := time.Duration(tsSec) * time.Second
+		d := p.AddedDelay(ts)
+		return d >= 0 && d <= p.RoundTrip()+p.ApprovalTime()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package baseline implements the non-lease consistency regimes the
+// paper compares against (§6), runnable over the same simulated fabric
+// and workloads as the lease protocol so the comparison is apples to
+// apples:
+//
+//   - CheckOnUse: a consistency check on every access — Sprite, RFS and
+//     the Andrew prototype at open granularity. Identical performance
+//     shape to a zero-term lease; always consistent; heavy server load.
+//   - PollingHints: server-supplied time-to-live with no write deferral —
+//     the DNS model, and the behaviour the revised Andrew file system
+//     degrades to when a callback cannot be delivered ("possibly leaving
+//     the client operating on stale data ... polling with a period of
+//     ten minutes is used to limit the interval for which inconsistent
+//     data may be used"). Cheap, but it admits a staleness window that
+//     leases provably close.
+//
+// The zero-term and infinite-term lease baselines need no separate
+// implementation: they are core.FixedTerm(0) and
+// core.FixedTerm(core.Infinite) run through tracesim.
+package baseline
+
+import (
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/netsim"
+	"leases/internal/sim"
+	"leases/internal/stats"
+	"leases/internal/trace"
+)
+
+// Kind selects a baseline regime.
+type Kind uint8
+
+// Baseline regimes.
+const (
+	// CheckOnUse validates the cached copy with the server on every
+	// access.
+	CheckOnUse Kind = iota + 1
+	// PollingHints caches data for a server-specified TTL with no
+	// approval protocol: writes apply immediately; readers may be stale
+	// for up to the TTL.
+	PollingHints
+)
+
+// Config parameterizes a baseline run.
+type Config struct {
+	Trace *trace.Trace
+	Kind  Kind
+	// TTL is the hint lifetime for PollingHints (the AFS comparison
+	// point is 10 minutes; DNS-style TTLs vary).
+	TTL time.Duration
+	Net netsim.Params
+}
+
+// Result mirrors the tracesim result fields relevant to comparison.
+type Result struct {
+	Duration              time.Duration
+	ServerConsistencyMsgs int64
+	ConsistencyLoad       float64
+	Reads, Writes         int64
+	CacheHits             int64
+	// StaleReads counts reads served from cache after the server copy
+	// changed — impossible under leases with correct clocks, expected
+	// under PollingHints.
+	StaleReads int64
+	// MaxStaleness is the longest interval between a server-side write
+	// and a stale read of the overwritten data.
+	MaxStaleness  time.Duration
+	ReadDelayMean time.Duration
+}
+
+// message kinds for the baseline fabric.
+const (
+	kindCheck = "lease.check" // counted as consistency traffic
+	kindReply = "lease.reply"
+)
+
+type checkReq struct {
+	ReqID  uint64
+	Client int
+	File   uint32
+}
+
+type checkRep struct {
+	ReqID   uint64
+	File    uint32
+	Version uint64
+	TTL     time.Duration
+}
+
+// Run executes a baseline simulation.
+func Run(cfg Config) *Result {
+	if cfg.Trace == nil {
+		panic("baseline: nil trace")
+	}
+	if cfg.Kind == PollingHints && cfg.TTL <= 0 {
+		panic("baseline: PollingHints requires a TTL")
+	}
+	engine := sim.New(clock.Epoch)
+	fabric := netsim.New(engine, cfg.Net)
+
+	versions := make([]uint64, cfg.Trace.Files)
+	lastWrite := make([]time.Time, cfg.Trace.Files)
+
+	var reads, writes, hits, stale stats.Counter
+	var readDelay stats.DurationStat
+	var maxStale time.Duration
+
+	type cacheEntry struct {
+		version    uint64
+		validUntil time.Time
+	}
+	clients := make([]map[uint32]cacheEntry, cfg.Trace.Clients)
+	nextReq := uint64(0)
+	pendingReads := make(map[uint64]time.Time)
+
+	const serverNode netsim.NodeID = "srv"
+	fabric.Register(serverNode, func(m netsim.Message) {
+		switch p := m.Payload.(type) {
+		case checkReq:
+			rep := checkRep{ReqID: p.ReqID, File: p.File, Version: versions[p.File], TTL: cfg.TTL}
+			fabric.Unicast(serverNode, m.From, kindReply, rep)
+		default:
+			panic("baseline: unknown payload at server")
+		}
+	})
+	for i := 0; i < cfg.Trace.Clients; i++ {
+		i := i
+		clients[i] = make(map[uint32]cacheEntry)
+		fabric.Register(netsim.NodeID(clientName(i)), func(m netsim.Message) {
+			rep, ok := m.Payload.(checkRep)
+			if !ok {
+				panic("baseline: unknown payload at client")
+			}
+			start, live := pendingReads[rep.ReqID]
+			if !live {
+				return
+			}
+			delete(pendingReads, rep.ReqID)
+			validUntil := engine.Now().Add(rep.TTL)
+			if cfg.Kind == CheckOnUse {
+				validUntil = engine.Now() // valid for this use only
+			}
+			clients[i][rep.File] = cacheEntry{version: rep.Version, validUntil: validUntil}
+			reads.Inc()
+			readDelay.Observe(engine.Now().Sub(start))
+		})
+	}
+
+	for _, e := range cfg.Trace.Events {
+		e := e
+		engine.At(clock.Epoch.Add(e.At), func() {
+			now := engine.Now()
+			switch e.Op {
+			case trace.OpRead:
+				entry, cached := clients[int(e.Client)][e.File]
+				if cfg.Kind == PollingHints && cached && now.Before(entry.validUntil) {
+					reads.Inc()
+					hits.Inc()
+					readDelay.Observe(0)
+					if entry.version != versions[e.File] {
+						stale.Inc()
+						if d := now.Sub(lastWrite[e.File]); d > maxStale {
+							maxStale = d
+						}
+					}
+					return
+				}
+				nextReq++
+				pendingReads[nextReq] = now
+				fabric.Unicast(netsim.NodeID(clientName(int(e.Client))), serverNode, kindCheck, checkReq{
+					ReqID:  nextReq,
+					Client: int(e.Client),
+					File:   e.File,
+				})
+			case trace.OpWrite:
+				// No deferral: the write applies as soon as it reaches
+				// the server. Model the round trip as base (data) cost;
+				// no consistency messages are exchanged at all.
+				versions[e.File]++
+				lastWrite[e.File] = now
+				writes.Inc()
+			}
+		})
+	}
+	engine.Run()
+
+	r := &Result{
+		Duration:              cfg.Trace.Duration,
+		ServerConsistencyMsgs: fabric.Handled(serverNode, "lease."),
+		Reads:                 reads.Value(),
+		Writes:                writes.Value(),
+		CacheHits:             hits.Value(),
+		StaleReads:            stale.Value(),
+		MaxStaleness:          maxStale,
+		ReadDelayMean:         readDelay.Mean(),
+	}
+	r.ConsistencyLoad = float64(r.ServerConsistencyMsgs) / cfg.Trace.Duration.Seconds()
+	return r
+}
+
+func clientName(i int) string {
+	return "c" + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10))
+}

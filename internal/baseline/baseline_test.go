@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/netsim"
+	"leases/internal/trace"
+)
+
+func lanNet() netsim.Params {
+	return netsim.Params{Prop: 500 * time.Microsecond, Proc: 500 * time.Microsecond, Seed: 1}
+}
+
+func sharedTrace(seed int64) *trace.Trace {
+	return trace.Shared(trace.SharedConfig{
+		Seed: seed, Duration: 30 * time.Minute, Clients: 4, Files: 2,
+		ReadRate: 0.864, WriteRate: 0.04,
+	})
+}
+
+func TestCheckOnUseAlwaysConsistent(t *testing.T) {
+	res := Run(Config{Trace: sharedTrace(1), Kind: CheckOnUse, Net: lanNet()})
+	if res.StaleReads != 0 {
+		t.Fatalf("check-on-use produced %d stale reads", res.StaleReads)
+	}
+	if res.CacheHits != 0 {
+		t.Fatalf("check-on-use produced %d cache hits", res.CacheHits)
+	}
+	// Every read costs a request-response pair: 2 messages.
+	want := 2 * res.Reads
+	if res.ServerConsistencyMsgs != want {
+		t.Fatalf("consistency messages %d, want %d (2 per read)", res.ServerConsistencyMsgs, want)
+	}
+}
+
+func TestPollingHintsAdmitsStaleness(t *testing.T) {
+	res := Run(Config{Trace: sharedTrace(2), Kind: PollingHints, TTL: 10 * time.Minute, Net: lanNet()})
+	if res.StaleReads == 0 {
+		t.Fatal("10-minute polling with write sharing produced no stale reads — the staleness window is not being modelled")
+	}
+	if res.MaxStaleness <= 0 || res.MaxStaleness > 10*time.Minute+time.Second {
+		t.Fatalf("MaxStaleness = %v, want within (0, TTL]", res.MaxStaleness)
+	}
+}
+
+func TestPollingHintsStalenessBoundedByTTL(t *testing.T) {
+	for _, ttl := range []time.Duration{30 * time.Second, 5 * time.Minute} {
+		res := Run(Config{Trace: sharedTrace(3), Kind: PollingHints, TTL: ttl, Net: lanNet()})
+		if res.MaxStaleness > ttl+time.Second {
+			t.Fatalf("TTL %v: staleness %v exceeds TTL", ttl, res.MaxStaleness)
+		}
+	}
+}
+
+func TestPollingCheaperButInconsistent(t *testing.T) {
+	tr := sharedTrace(4)
+	check := Run(Config{Trace: tr, Kind: CheckOnUse, Net: lanNet()})
+	poll := Run(Config{Trace: tr, Kind: PollingHints, TTL: time.Minute, Net: lanNet()})
+	if poll.ServerConsistencyMsgs >= check.ServerConsistencyMsgs {
+		t.Fatalf("polling load %d not below check-on-use %d",
+			poll.ServerConsistencyMsgs, check.ServerConsistencyMsgs)
+	}
+	if poll.CacheHits == 0 {
+		t.Fatal("polling produced no cache hits")
+	}
+}
+
+func TestShorterTTLReducesStaleness(t *testing.T) {
+	tr := sharedTrace(5)
+	long := Run(Config{Trace: tr, Kind: PollingHints, TTL: 10 * time.Minute, Net: lanNet()})
+	short := Run(Config{Trace: tr, Kind: PollingHints, TTL: 10 * time.Second, Net: lanNet()})
+	if short.StaleReads >= long.StaleReads {
+		t.Fatalf("short TTL staleness %d not below long TTL %d", short.StaleReads, long.StaleReads)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Trace: sharedTrace(6), Kind: PollingHints, TTL: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad config did not panic")
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}

@@ -1,0 +1,777 @@
+// Package client is the caching client of the networked lease file
+// server: a write-through file cache that holds leases (core.Holder)
+// over file contents and name-to-file bindings, serves repeated reads
+// and opens locally while its leases are valid, approves server write
+// callbacks by invalidating its copies, and extends leases in batches.
+//
+// Concurrency model: API calls may come from many goroutines. A reader
+// goroutine demultiplexes frames into per-request channels and handles
+// approval pushes. One mutex guards the holder and the data/binding
+// caches.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/core"
+	"leases/internal/proto"
+	"leases/internal/vfs"
+)
+
+// Errors.
+var (
+	ErrClosed = errors.New("client: connection closed")
+	// ErrRemote wraps error strings returned by the server.
+	ErrRemote = errors.New("client: server error")
+)
+
+// Config parameterizes a client cache.
+type Config struct {
+	// ID identifies this cache to the server. Required, unique per
+	// cache.
+	ID string
+	// Clock supplies time; nil means the real clock.
+	Clock clock.Clock
+	// Allowance is ε, the clock-uncertainty margin deducted from every
+	// lease term.
+	Allowance time.Duration
+	// AutoExtend, when positive, runs a background loop that renews all
+	// held leases at that period (anticipatory extension, §4). Zero
+	// disables it; leases are then extended on demand by use.
+	AutoExtend time.Duration
+}
+
+// Cache is a connected caching client.
+type Cache struct {
+	cfg Config
+	clk clock.Clock
+	nc  net.Conn
+
+	mu     sync.Mutex
+	holder *core.Holder
+	data   map[vfs.Datum][]byte            // file contents by datum
+	dattr  map[vfs.Datum]vfs.Attr          // attributes by datum
+	dirs   map[vfs.NodeID]map[string]entry // binding caches by directory
+	calls  map[uint64]chan proto.Frame
+	nextID uint64
+	err    error // terminal connection error
+
+	wmu       sync.Mutex // serializes frame writes
+	stopping  chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	metrics Metrics
+}
+
+type entry struct {
+	id    vfs.NodeID
+	isDir bool
+}
+
+// Metrics counts cache events.
+type Metrics struct {
+	Reads, ReadHits     int64
+	Lookups, LookupHits int64
+	Writes              int64
+	Invalidations       int64
+}
+
+// Dial connects to a server and performs the hello handshake.
+func Dial(addr string, cfg Config) (*Cache, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromConn(nc, cfg)
+}
+
+// NewFromConn builds a cache over an established connection.
+func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
+	if cfg.ID == "" {
+		nc.Close()
+		return nil, fmt.Errorf("client: empty ID")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	c := &Cache{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		nc:       nc,
+		holder:   core.NewHolder(core.HolderConfig{Allowance: cfg.Allowance}),
+		data:     make(map[vfs.Datum][]byte),
+		dattr:    make(map[vfs.Datum]vfs.Attr),
+		dirs:     make(map[vfs.NodeID]map[string]entry),
+		calls:    make(map[uint64]chan proto.Frame),
+		stopping: make(chan struct{}),
+	}
+	// Handshake synchronously before starting the demux loop.
+	var e proto.Enc
+	e.Str(cfg.ID)
+	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	f, err := proto.ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if f.Type != proto.THelloAck {
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected hello response type %d", f.Type)
+	}
+	c.nextID = 1
+	c.wg.Add(1)
+	go c.readLoop()
+	if cfg.AutoExtend > 0 {
+		c.wg.Add(1)
+		go c.extendLoop()
+	}
+	return c, nil
+}
+
+// Close releases all leases, then closes the connection. It is
+// idempotent.
+func (c *Cache) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		// Best-effort release so the server frees its records
+		// immediately instead of waiting for expiry.
+		c.mu.Lock()
+		held := c.holder.Held()
+		c.mu.Unlock()
+		if len(held) > 0 {
+			var e proto.Enc
+			e.U32(uint32(len(held)))
+			for _, d := range held {
+				e.Datum(d)
+			}
+			c.call(proto.TRelease, e.Bytes())
+		}
+		close(c.stopping)
+		err = c.nc.Close()
+		c.wg.Wait()
+	})
+	return err
+}
+
+// Abandon closes the connection abruptly without releasing leases — a
+// crash, for fault-injection demos and tests. The server keeps this
+// cache's lease records until their terms expire, which is exactly what
+// bounds the damage: a conflicting write waits at most the remaining
+// term (§2, §5).
+func (c *Cache) Abandon() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.stopping)
+		err = c.nc.Close()
+		c.wg.Wait()
+	})
+	return err
+}
+
+// Metrics returns a copy of the event counters.
+func (c *Cache) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
+
+// HeldLeases reports how many lease records the cache holds.
+func (c *Cache) HeldLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.holder.Len()
+}
+
+func (c *Cache) readLoop() {
+	defer c.wg.Done()
+	for {
+		f, err := proto.ReadFrame(c.nc)
+		if err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("%w: %v", ErrClosed, err)
+			for id, ch := range c.calls {
+				delete(c.calls, id)
+				close(ch)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if f.Type == proto.TApprovalReq {
+			c.handleApprovalPush(f)
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.calls[f.ReqID]
+		if ok {
+			delete(c.calls, f.ReqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// handleApprovalPush implements the leaseholder's side of a write
+// callback: invalidate the local copy, then approve (§2).
+func (c *Cache) handleApprovalPush(f proto.Frame) {
+	a := proto.NewDec(f.Payload).DecodeApproval()
+	c.mu.Lock()
+	c.invalidateLocked(a.Datum)
+	c.mu.Unlock()
+	var e proto.Enc
+	e.EncodeApproval(proto.ApprovalWire{WriteID: a.WriteID, Datum: a.Datum})
+	c.send(proto.Frame{Type: proto.TApprove, Payload: e.Bytes()})
+}
+
+// invalidateLocked drops the lease, data and dependent binding caches
+// for a datum. Callers hold c.mu.
+func (c *Cache) invalidateLocked(d vfs.Datum) {
+	c.holder.Invalidate(d)
+	delete(c.data, d)
+	delete(c.dattr, d)
+	if d.Kind == vfs.DirBinding {
+		delete(c.dirs, d.Node)
+	}
+	c.metrics.Invalidations++
+}
+
+func (c *Cache) send(f proto.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return proto.WriteFrame(c.nc, f)
+}
+
+// call performs one request-response exchange.
+func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return proto.Frame{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan proto.Frame, 1)
+	c.calls[id] = ch
+	c.mu.Unlock()
+
+	if err := c.send(proto.Frame{Type: t, ReqID: id, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return proto.Frame{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	f, ok := <-ch
+	if !ok {
+		return proto.Frame{}, ErrClosed
+	}
+	if f.Type == proto.TError {
+		msg := proto.NewDec(f.Payload).Str()
+		return proto.Frame{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	return f, nil
+}
+
+// applyGrantsLocked records wire grants in the holder. Callers hold
+// c.mu. requestedAt anchors the conservative effective term.
+func (c *Cache) applyGrantsLocked(grants []proto.GrantWire, requestedAt time.Time) {
+	now := c.clk.Now()
+	for _, g := range grants {
+		if g.Leased {
+			c.holder.ApplyGrant(g.Datum, g.Version, g.Term, requestedAt, now)
+		} else {
+			c.holder.Invalidate(g.Datum)
+		}
+	}
+}
+
+// Lookup resolves a path, using cached bindings under valid leases.
+func (c *Cache) Lookup(path string) (vfs.Attr, error) {
+	c.mu.Lock()
+	c.metrics.Lookups++
+	if attr, ok := c.lookupCachedLocked(path); ok {
+		c.metrics.LookupHits++
+		c.mu.Unlock()
+		return attr, nil
+	}
+	c.mu.Unlock()
+	return c.lookupRemote(path)
+}
+
+// lookupCachedLocked resolves path entirely from cached bindings whose
+// leases are valid. Callers hold c.mu.
+func (c *Cache) lookupCachedLocked(path string) (vfs.Attr, bool) {
+	d := vfs.Datum{Kind: vfs.DirBinding, Node: vfs.RootID}
+	if path == "/" {
+		attr, ok := c.dattr[d]
+		return attr, ok && c.holder.Valid(d, c.clk.Now())
+	}
+	now := c.clk.Now()
+	dir := vfs.RootID
+	rest := path[1:]
+	for {
+		bind := vfs.Datum{Kind: vfs.DirBinding, Node: dir}
+		if !c.holder.Valid(bind, now) {
+			return vfs.Attr{}, false
+		}
+		entries, ok := c.dirs[dir]
+		if !ok {
+			return vfs.Attr{}, false
+		}
+		var name string
+		if i := indexByte(rest, '/'); i >= 0 {
+			name, rest = rest[:i], rest[i+1:]
+		} else {
+			name = rest
+			rest = ""
+		}
+		ent, ok := entries[name]
+		if !ok {
+			return vfs.Attr{}, false
+		}
+		if rest == "" {
+			// Attributes live in the parent binding datum; the entry's
+			// cached attr is keyed by the child's primary datum.
+			kind := vfs.FileData
+			if ent.isDir {
+				kind = vfs.DirBinding
+			}
+			attr, ok := c.dattr[vfs.Datum{Kind: kind, Node: ent.id}]
+			return attr, ok
+		}
+		if !ent.isDir {
+			return vfs.Attr{}, false
+		}
+		dir = ent.id
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Cache) lookupRemote(path string) (vfs.Attr, error) {
+	requestedAt := c.clk.Now()
+	var e proto.Enc
+	e.Str(path)
+	f, err := c.call(proto.TLookup, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	d := proto.NewDec(f.Payload)
+	attr := d.Attr()
+	parentID := vfs.NodeID(d.U64())
+	grants := d.DecodeGrants()
+	if d.Err != nil {
+		return vfs.Attr{}, d.Err
+	}
+	c.mu.Lock()
+	c.applyGrantsLocked(grants, requestedAt)
+	// Cache the binding: parent dir → name → node.
+	name := baseOf(path)
+	if name != "" {
+		ents := c.dirs[parentID]
+		if ents == nil {
+			ents = make(map[string]entry)
+			c.dirs[parentID] = ents
+		}
+		ents[name] = entry{id: attr.ID, isDir: attr.IsDir}
+	}
+	kind := vfs.FileData
+	if attr.IsDir {
+		kind = vfs.DirBinding
+	}
+	c.dattr[vfs.Datum{Kind: kind, Node: attr.ID}] = attr
+	c.mu.Unlock()
+	return attr, nil
+}
+
+func baseOf(p string) string {
+	if p == "/" {
+		return ""
+	}
+	i := indexByte(reverse(p), '/')
+	if i < 0 {
+		return p
+	}
+	return p[len(p)-i:]
+}
+
+func reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// Read returns the file's contents, from cache when the lease is valid.
+func (c *Cache) Read(path string) ([]byte, error) {
+	attr, err := c.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if attr.IsDir {
+		return nil, vfs.ErrIsDir
+	}
+	d := vfs.Datum{Kind: vfs.FileData, Node: attr.ID}
+	c.mu.Lock()
+	c.metrics.Reads++
+	if data, ok := c.data[d]; ok && c.holder.Valid(d, c.clk.Now()) {
+		c.metrics.ReadHits++
+		out := make([]byte, len(data))
+		copy(out, data)
+		c.mu.Unlock()
+		return out, nil
+	}
+	c.mu.Unlock()
+
+	requestedAt := c.clk.Now()
+	var e proto.Enc
+	e.U64(uint64(attr.ID))
+	f, err := c.call(proto.TRead, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	dec := proto.NewDec(f.Payload)
+	rattr := dec.Attr()
+	grants := dec.DecodeGrants()
+	data := dec.Blob()
+	if dec.Err != nil {
+		return nil, dec.Err
+	}
+	c.mu.Lock()
+	c.applyGrantsLocked(grants, requestedAt)
+	c.data[d] = data
+	c.dattr[d] = rattr
+	c.mu.Unlock()
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Write writes the file through to the server. The call blocks while
+// the server gathers approvals or waits out conflicting leases. On
+// success the local cache holds the new contents under the retained
+// lease.
+func (c *Cache) Write(path string, data []byte) error {
+	attr, err := c.Lookup(path)
+	if err != nil {
+		return err
+	}
+	if attr.IsDir {
+		return vfs.ErrIsDir
+	}
+	var e proto.Enc
+	e.U64(uint64(attr.ID)).Blob(data)
+	f, err := c.call(proto.TWrite, e.Bytes())
+	if err != nil {
+		return err
+	}
+	dec := proto.NewDec(f.Payload)
+	nattr := dec.Attr()
+	if dec.Err != nil {
+		return dec.Err
+	}
+	d := vfs.Datum{Kind: vfs.FileData, Node: attr.ID}
+	c.mu.Lock()
+	c.metrics.Writes++
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.data[d] = buf
+	c.dattr[d] = nattr
+	c.holder.Update(d, nattr.Version)
+	c.mu.Unlock()
+	return nil
+}
+
+// ReadDir lists a directory, from cache when the binding lease is valid.
+func (c *Cache) ReadDir(path string) ([]vfs.DirEntry, error) {
+	attr, err := c.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !attr.IsDir {
+		return nil, vfs.ErrNotDir
+	}
+	bind := vfs.Datum{Kind: vfs.DirBinding, Node: attr.ID}
+	c.mu.Lock()
+	if ents, ok := c.dirs[attr.ID]; ok && c.holder.Valid(bind, c.clk.Now()) {
+		if _, complete := c.dattr[bind]; complete {
+			out := make([]vfs.DirEntry, 0, len(ents))
+			for name, ent := range ents {
+				out = append(out, vfs.DirEntry{Name: name, ID: ent.id, IsDir: ent.isDir})
+			}
+			c.mu.Unlock()
+			sortEntries(out)
+			return out, nil
+		}
+	}
+	c.mu.Unlock()
+
+	requestedAt := c.clk.Now()
+	var e proto.Enc
+	e.U64(uint64(attr.ID))
+	f, err := c.call(proto.TReadDir, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	dec := proto.NewDec(f.Payload)
+	dattr := dec.Attr()
+	grants := dec.DecodeGrants()
+	n := dec.U32()
+	if dec.Err != nil || n > 1<<20 {
+		return nil, proto.ErrTruncated
+	}
+	out := make([]vfs.DirEntry, 0, n)
+	ents := make(map[string]entry, n)
+	for i := uint32(0); i < n; i++ {
+		name := dec.Str()
+		id := vfs.NodeID(dec.U64())
+		isDir := dec.U8() == 1
+		out = append(out, vfs.DirEntry{Name: name, ID: id, IsDir: isDir})
+		ents[name] = entry{id: id, isDir: isDir}
+	}
+	if dec.Err != nil {
+		return nil, dec.Err
+	}
+	c.mu.Lock()
+	c.applyGrantsLocked(grants, requestedAt)
+	c.dirs[attr.ID] = ents
+	c.dattr[bind] = dattr
+	c.mu.Unlock()
+	sortEntries(out)
+	return out, nil
+}
+
+func sortEntries(out []vfs.DirEntry) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+// Create makes a file; Mkdir a directory. Both are writes to the parent
+// binding and may block for lease clearance.
+func (c *Cache) Create(path string, perm vfs.Perm) (vfs.Attr, error) {
+	return c.createCommon(path, perm, proto.TCreate)
+}
+
+// Mkdir makes a directory.
+func (c *Cache) Mkdir(path string, perm vfs.Perm) (vfs.Attr, error) {
+	return c.createCommon(path, perm, proto.TMkdir)
+}
+
+func (c *Cache) createCommon(path string, perm vfs.Perm, t proto.MsgType) (vfs.Attr, error) {
+	var e proto.Enc
+	e.Str(path).U8(uint8(perm))
+	f, err := c.call(t, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	dec := proto.NewDec(f.Payload)
+	attr := dec.Attr()
+	if dec.Err != nil {
+		return vfs.Attr{}, dec.Err
+	}
+	// The mutation went through with this cache's implicit approval; its
+	// own cached binding for the parent is now stale and must be
+	// refreshed locally (other holders were invalidated by callbacks).
+	c.updateBinding(parentDir(path), func(ents map[string]entry) {
+		ents[baseOf(path)] = entry{id: attr.ID, isDir: attr.IsDir}
+	})
+	kind := vfs.FileData
+	if attr.IsDir {
+		kind = vfs.DirBinding
+	}
+	c.mu.Lock()
+	c.dattr[vfs.Datum{Kind: kind, Node: attr.ID}] = attr
+	c.mu.Unlock()
+	return attr, nil
+}
+
+// Remove deletes a file or empty directory.
+func (c *Cache) Remove(path string) error {
+	var e proto.Enc
+	e.Str(path)
+	_, err := c.call(proto.TRemove, e.Bytes())
+	if err == nil {
+		c.updateBinding(parentDir(path), func(ents map[string]entry) {
+			delete(ents, baseOf(path))
+		})
+	}
+	return err
+}
+
+// Rename moves oldPath to newPath.
+func (c *Cache) Rename(oldPath, newPath string) error {
+	var e proto.Enc
+	e.Str(oldPath).Str(newPath)
+	_, err := c.call(proto.TRename, e.Bytes())
+	if err == nil {
+		var moved entry
+		var have bool
+		c.updateBinding(parentDir(oldPath), func(ents map[string]entry) {
+			moved, have = ents[baseOf(oldPath)]
+			delete(ents, baseOf(oldPath))
+		})
+		c.updateBinding(parentDir(newPath), func(ents map[string]entry) {
+			if have {
+				ents[baseOf(newPath)] = moved
+			} else {
+				// Unknown target entry: drop the whole binding cache so
+				// the next lookup refetches.
+				for k := range ents {
+					delete(ents, k)
+				}
+			}
+		})
+	}
+	return err
+}
+
+// updateBinding applies fn to the cached entry map of the directory at
+// dirPath, if the cache can resolve it locally; otherwise the binding
+// cache is simply absent and the next lookup refetches.
+func (c *Cache) updateBinding(dirPath string, fn func(map[string]entry)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var id vfs.NodeID
+	if dirPath == "/" {
+		id = vfs.RootID
+	} else {
+		attr, ok := c.lookupCachedLocked(dirPath)
+		if !ok {
+			// Not resolvable from cache: drop any stale state by path
+			// walk is impossible; leave it to lease invalidation.
+			return
+		}
+		id = attr.ID
+	}
+	ents := c.dirs[id]
+	if ents == nil {
+		ents = make(map[string]entry)
+		c.dirs[id] = ents
+	}
+	fn(ents)
+}
+
+func parentDir(p string) string {
+	i := -1
+	for j := 0; j < len(p); j++ {
+		if p[j] == '/' {
+			i = j
+		}
+	}
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// Stat fetches attributes without caching rights.
+func (c *Cache) Stat(path string) (vfs.Attr, error) {
+	return c.Lookup(path)
+}
+
+// SetPerm changes a node's owner and permissions. Attribute information
+// is part of the parent binding datum (§2), so the change defers on
+// conflicting binding leases like any other write. Only the current
+// owner may change attributes.
+func (c *Cache) SetPerm(path, owner string, perm vfs.Perm) error {
+	attr, err := c.Lookup(path)
+	if err != nil {
+		return err
+	}
+	var e proto.Enc
+	e.U64(uint64(attr.ID)).Str(owner).U8(uint8(perm))
+	if _, err := c.call(proto.TSetPerm, e.Bytes()); err != nil {
+		return err
+	}
+	// The cached attribute copy is stale; drop it so the next lookup
+	// refetches (the binding lease itself is retained — implicit
+	// approval by the writer).
+	kind := vfs.FileData
+	if attr.IsDir {
+		kind = vfs.DirBinding
+	}
+	c.mu.Lock()
+	delete(c.dattr, vfs.Datum{Kind: kind, Node: attr.ID})
+	c.mu.Unlock()
+	return nil
+}
+
+// ExtendAll renews every lease the cache holds in one batched request
+// (§3.1: "a cache should extend together all leases over all files that
+// it still holds").
+func (c *Cache) ExtendAll() error {
+	c.mu.Lock()
+	held := c.holder.Held()
+	c.mu.Unlock()
+	if len(held) == 0 {
+		return nil
+	}
+	requestedAt := c.clk.Now()
+	var e proto.Enc
+	e.U32(uint32(len(held)))
+	for _, d := range held {
+		e.Datum(d)
+	}
+	f, err := c.call(proto.TExtend, e.Bytes())
+	if err != nil {
+		return err
+	}
+	dec := proto.NewDec(f.Payload)
+	grants := dec.DecodeGrants()
+	if dec.Err != nil {
+		return dec.Err
+	}
+	c.mu.Lock()
+	now := c.clk.Now()
+	for _, g := range grants {
+		if !g.Leased {
+			c.invalidateLocked(g.Datum)
+			continue
+		}
+		version, _, held := c.holder.Peek(g.Datum)
+		if held && version != g.Version {
+			// The datum changed while our lease was lapsed: the cached
+			// copy is stale. Drop it; the next read refetches.
+			c.invalidateLocked(g.Datum)
+			continue
+		}
+		c.holder.ApplyGrant(g.Datum, g.Version, g.Term, requestedAt, now)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Cache) extendLoop() {
+	defer c.wg.Done()
+	for {
+		ch, stop := c.clk.After(c.cfg.AutoExtend)
+		select {
+		case <-c.stopping:
+			stop()
+			return
+		case <-ch:
+			c.ExtendAll()
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/server"
+	"leases/internal/vfs"
+)
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); s.Serve(ln) }()
+	t.Cleanup(func() { s.Stop(); <-done })
+	return s, ln.Addr().String()
+}
+
+func TestDialRequiresID(t *testing.T) {
+	_, addr := startServer(t, server.Config{Term: time.Second})
+	if _, err := client.Dial(addr, client.Config{}); err == nil {
+		t.Fatal("Dial with empty ID succeeded")
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := client.Dial("127.0.0.1:1", client.Config{ID: "x"}); err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	_, addr := startServer(t, server.Config{Term: time.Second})
+	c, err := client.Dial(addr, client.Config{ID: "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/nope"); !errors.Is(err, client.ErrRemote) {
+		t.Fatalf("Read missing = %v, want ErrRemote", err)
+	}
+}
+
+func TestReadDirectoryFails(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	srv.Store().Mkdir("/d", "root", vfs.DefaultPerm)
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	defer c.Close()
+	if _, err := c.Read("/d"); err == nil {
+		t.Fatal("Read of a directory succeeded")
+	}
+	if _, err := c.ReadDir("/d"); err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+}
+
+func TestCallsFailAfterClose(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	srv.Store().Create("/f", "root", vfs.DefaultPerm)
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	c.Close()
+	if _, err := c.Read("/f"); err == nil {
+		t.Fatal("Read after Close succeeded")
+	}
+}
+
+func TestCallsFailAfterServerGone(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	srv.Store().Create("/f", "root", vfs.DefaultPerm)
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	srv.Stop()
+	// Cached read may still work (the data is local and the lease may be
+	// judged valid), but a forced remote call must fail cleanly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Lookup("/never-seen"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("remote call kept succeeding after server stop")
+		}
+	}
+}
+
+func TestLookupCachesBindingChain(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 30 * time.Second})
+	srv.Store().Mkdir("/a", "root", vfs.DefaultPerm)
+	srv.Store().Mkdir("/a/b", "root", vfs.DefaultPerm)
+	srv.Store().Create("/a/b/f", "root", vfs.DefaultPerm)
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	defer c.Close()
+
+	// Walking the tree with ReadDir caches every binding with leases.
+	if _, err := c.ReadDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadDir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadDir("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	// The first lookup fetches f's full attributes (ReadDir caches only
+	// names and IDs); every one after that resolves from the cached
+	// binding chain under its leases.
+	if _, err := c.Lookup("/a/b/f"); err != nil {
+		t.Fatalf("priming Lookup: %v", err)
+	}
+	before := c.Metrics().LookupHits
+	for i := 0; i < 5; i++ {
+		if _, err := c.Lookup("/a/b/f"); err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+	}
+	if got := c.Metrics().LookupHits - before; got != 5 {
+		t.Fatalf("LookupHits delta = %d, want 5 (full chain cached)", got)
+	}
+}
+
+func TestStatReportsAttributes(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	a, _ := srv.Store().Create("/f", "alice", vfs.DefaultPerm)
+	srv.Store().WriteFile(a.ID, []byte("xyz"))
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	defer c.Close()
+	attr, err := c.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Owner != "alice" || attr.Size != 3 || attr.Version != 1 || attr.IsDir {
+		t.Fatalf("attr = %+v", attr)
+	}
+}
+
+func TestHeldLeasesGrowAndReleaseOnClose(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Hour})
+	srv.Store().Create("/f", "root", vfs.DefaultPerm)
+	srv.Store().Create("/g", "root", vfs.DefaultPerm)
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	c.Read("/f")
+	c.Read("/g")
+	if c.HeldLeases() < 2 {
+		t.Fatalf("HeldLeases = %d, want ≥2", c.HeldLeases())
+	}
+	c.Close()
+}
+
+func TestWritePermissionDenied(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	srv.Store().Create("/ro", "root", vfs.OwnerRead|vfs.OwnerWrite|vfs.WorldRead)
+	c, _ := client.Dial(addr, client.Config{ID: "mallory"})
+	defer c.Close()
+	if err := c.Write("/ro", []byte("nope")); !errors.Is(err, client.ErrRemote) {
+		t.Fatalf("Write = %v, want remote permission error", err)
+	}
+	// Reads are still fine.
+	if _, err := c.Read("/ro"); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+}
+
+func TestAbandonLeavesLeasesAtServer(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Hour, WriteTimeout: 300 * time.Millisecond})
+	srv.Store().Create("/f", "root", vfs.DefaultPerm|vfs.WorldWrite)
+	holder, _ := client.Dial(addr, client.Config{ID: "holder"})
+	holder.Read("/f")
+	holder.Abandon() // crash: no release
+
+	w, _ := client.Dial(addr, client.Config{ID: "w"})
+	defer w.Close()
+	// The abandoned lease (term = 1h) blocks until the write timeout.
+	if err := w.Write("/f", []byte("x")); err == nil {
+		t.Fatal("write succeeded despite abandoned hour-long lease")
+	}
+}
+
+func TestBindingMutationsEndToEnd(t *testing.T) {
+	_, addr := startServer(t, server.Config{Term: 30 * time.Second})
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	defer c.Close()
+
+	if _, err := c.Mkdir("/proj", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if _, err := c.Create("/proj/a.go", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := c.Create("/proj/b.go", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	// Cache the bindings, then mutate: the client's own caches must
+	// stay coherent (its lease is implicit approval, so no callback
+	// will fix them).
+	if _, err := c.ReadDir("/proj"); err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if err := c.Rename("/proj/a.go", "/proj/main.go"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := c.Remove("/proj/b.go"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	entries, err := c.ReadDir("/proj")
+	if err != nil {
+		t.Fatalf("ReadDir after mutations: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Name != "main.go" {
+		t.Fatalf("entries = %v, want [main.go]", entries)
+	}
+	// Cross-directory rename.
+	if _, err := c.Mkdir("/attic", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+		t.Fatalf("Mkdir attic: %v", err)
+	}
+	if err := c.Rename("/proj/main.go", "/attic/old.go"); err != nil {
+		t.Fatalf("cross-dir Rename: %v", err)
+	}
+	if _, err := c.Lookup("/attic/old.go"); err != nil {
+		t.Fatalf("moved file lost: %v", err)
+	}
+	if _, err := c.Lookup("/proj/main.go"); err == nil {
+		t.Fatal("old path still resolves after cross-dir rename")
+	}
+	// Error paths.
+	if _, err := c.Create("/attic/old.go", vfs.DefaultPerm); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	if err := c.Remove("/nope"); err == nil {
+		t.Fatal("Remove of missing path succeeded")
+	}
+	if err := c.Rename("/nope", "/x"); err == nil {
+		t.Fatal("Rename of missing path succeeded")
+	}
+}
+
+func TestExtendAllKeepsLeasesAlive(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 800 * time.Millisecond})
+	srv.Store().Create("/f", "root", vfs.DefaultPerm)
+	srv.Store().WriteFile(2, []byte("data"))
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Extend twice across the original term boundary.
+	for i := 0; i < 3; i++ {
+		time.Sleep(400 * time.Millisecond)
+		if err := c.ExtendAll(); err != nil {
+			t.Fatalf("ExtendAll %d: %v", i, err)
+		}
+	}
+	before := c.Metrics().ReadHits
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().ReadHits != before+1 {
+		t.Fatal("extended lease did not survive past the original term")
+	}
+	// ExtendAll with nothing held is a no-op.
+	c2, _ := client.Dial(addr, client.Config{ID: "c2"})
+	defer c2.Close()
+	if err := c2.ExtendAll(); err != nil {
+		t.Fatalf("empty ExtendAll: %v", err)
+	}
+}
+
+func TestSetPerm(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	srv.Store().Create("/f", "alice", vfs.DefaultPerm)
+	alice, _ := client.Dial(addr, client.Config{ID: "alice"})
+	defer alice.Close()
+	bob, _ := client.Dial(addr, client.Config{ID: "bob"})
+	defer bob.Close()
+
+	// Non-owner may not change attributes.
+	if err := bob.SetPerm("/f", "bob", vfs.DefaultPerm); err == nil {
+		t.Fatal("non-owner SetPerm succeeded")
+	}
+	// Owner grants world write and hands the file to bob.
+	if err := alice.SetPerm("/f", "bob", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+		t.Fatalf("owner SetPerm: %v", err)
+	}
+	// bob can now write, and sees the new attributes.
+	if err := bob.Write("/f", []byte("mine now")); err != nil {
+		t.Fatalf("write after chmod: %v", err)
+	}
+	attr, err := bob.Stat("/f")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if attr.Owner != "bob" || attr.Perm&vfs.WorldWrite == 0 {
+		t.Fatalf("attrs not updated: %+v", attr)
+	}
+}
+
+func TestConcurrentReadsSameClient(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	srv.Store().Create("/f", "root", vfs.DefaultPerm)
+	srv.Store().WriteFile(2, []byte("data"))
+	c, _ := client.Dial(addr, client.Config{ID: "c1"})
+	defer c.Close()
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := c.Read("/f")
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent read: %v", err)
+		}
+	}
+}

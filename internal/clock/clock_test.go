@@ -1,0 +1,358 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRealNowMonotonicEnough(t *testing.T) {
+	var c Real
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("Real.Now went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	var c Real
+	ch, stop := c.After(time.Millisecond)
+	defer stop()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After timer never fired")
+	}
+}
+
+func TestRealAfterStop(t *testing.T) {
+	var c Real
+	_, stop := c.After(time.Hour)
+	if !stop() {
+		t.Fatal("stopping an unfired real timer should report true")
+	}
+}
+
+func TestSimStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("NewSim reads %v, want %v", s.Now(), Epoch)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	s := NewSim()
+	s.Advance(3 * time.Second)
+	if got, want := s.Now(), Epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("after Advance got %v, want %v", got, want)
+	}
+	s.AdvanceTo(Epoch.Add(10 * time.Second))
+	if got, want := s.Now(), Epoch.Add(10*time.Second); !got.Equal(want) {
+		t.Fatalf("after AdvanceTo got %v, want %v", got, want)
+	}
+}
+
+func TestSimAdvanceBackwardsIsNoop(t *testing.T) {
+	s := NewSim()
+	s.Advance(5 * time.Second)
+	s.AdvanceTo(Epoch)
+	if got, want := s.Now(), Epoch.Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("clock moved backwards to %v, want %v", got, want)
+	}
+}
+
+func TestSimTimerFiresAtDeadline(t *testing.T) {
+	s := NewSim()
+	ch, _ := s.After(2 * time.Second)
+	s.Advance(time.Second)
+	select {
+	case at := <-ch:
+		t.Fatalf("timer fired early at %v", at)
+	default:
+	}
+	s.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := Epoch.Add(2 * time.Second); !at.Equal(want) {
+			t.Fatalf("timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestSimTimerObservesOwnDeadline(t *testing.T) {
+	s := NewSim()
+	// Arm out of order: 3s, 1s, 2s. A single advance past all deadlines
+	// must deliver each timer a timestamp equal to its own deadline, as
+	// a real clock would, not the final advance target.
+	durations := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	chans := make([]<-chan time.Time, len(durations))
+	for i, d := range durations {
+		ch, _ := s.After(d)
+		chans[i] = ch
+	}
+	s.Advance(5 * time.Second)
+	for i, d := range durations {
+		select {
+		case at := <-chans[i]:
+			if want := Epoch.Add(d); !at.Equal(want) {
+				t.Fatalf("timer %d fired at %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("timer %d did not fire", i)
+		}
+	}
+}
+
+func TestSimZeroDurationTimerFiresImmediately(t *testing.T) {
+	s := NewSim()
+	ch, stop := s.After(0)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+	if stop() {
+		t.Fatal("stop on an already-fired timer should report false")
+	}
+}
+
+func TestSimNegativeDurationTimerFiresImmediately(t *testing.T) {
+	s := NewSim()
+	ch, _ := s.After(-time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("negative-duration timer did not fire immediately")
+	}
+}
+
+func TestSimStopPreventsFiring(t *testing.T) {
+	s := NewSim()
+	ch, stop := s.After(time.Second)
+	if !stop() {
+		t.Fatal("stop on an armed timer should report true")
+	}
+	if stop() {
+		t.Fatal("double stop should report false")
+	}
+	s.Advance(2 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("stopped timer fired anyway")
+	default:
+	}
+}
+
+func TestSimPendingTimers(t *testing.T) {
+	s := NewSim()
+	if n := s.PendingTimers(); n != 0 {
+		t.Fatalf("fresh clock has %d pending timers, want 0", n)
+	}
+	_, stop := s.After(time.Second)
+	s.After(2 * time.Second)
+	if n := s.PendingTimers(); n != 2 {
+		t.Fatalf("got %d pending timers, want 2", n)
+	}
+	stop()
+	if n := s.PendingTimers(); n != 1 {
+		t.Fatalf("after stop got %d pending timers, want 1", n)
+	}
+	s.Advance(3 * time.Second)
+	if n := s.PendingTimers(); n != 0 {
+		t.Fatalf("after advancing past all deadlines got %d pending timers, want 0", n)
+	}
+}
+
+func TestSimSleepWakesOnAdvance(t *testing.T) {
+	s := NewSim()
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to arm its timer.
+	for s.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestSimSleepZeroReturnsImmediately(t *testing.T) {
+	s := NewSim()
+	s.Sleep(0)
+	s.Sleep(-time.Minute)
+}
+
+func TestSimConcurrentAdvanceAndAfter(t *testing.T) {
+	s := NewSim()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ch, stop := s.After(time.Duration(j) * time.Millisecond)
+				if j%2 == 0 {
+					stop()
+				} else {
+					select {
+					case <-ch:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		s.Advance(10 * time.Millisecond)
+	}
+	wg.Wait()
+	// Drain: advance far enough that all armed timers fire.
+	s.Advance(time.Second)
+}
+
+func TestDriftFastClockRunsAhead(t *testing.T) {
+	base := NewSim()
+	fast := NewDrift(base, 2.0)
+	base.Advance(10 * time.Second)
+	got := fast.Now().Sub(Epoch)
+	if got != 20*time.Second {
+		t.Fatalf("2x drift clock advanced %v over 10s, want 20s", got)
+	}
+}
+
+func TestDriftSlowClockLagsBehind(t *testing.T) {
+	base := NewSim()
+	slow := NewDrift(base, 0.5)
+	base.Advance(10 * time.Second)
+	got := slow.Now().Sub(Epoch)
+	if got != 5*time.Second {
+		t.Fatalf("0.5x drift clock advanced %v over 10s, want 5s", got)
+	}
+}
+
+func TestDriftTimerFiresInDriftTime(t *testing.T) {
+	base := NewSim()
+	fast := NewDrift(base, 2.0)
+	ch, _ := fast.After(10 * time.Second)
+	// 10s of drift time is 5s of base time.
+	base.Advance(4 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fast-clock timer fired before its drift-time deadline")
+	default:
+	}
+	base.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("fast-clock timer did not fire at its drift-time deadline")
+	}
+}
+
+func TestDriftRejectsNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDrift(0) did not panic")
+		}
+	}()
+	NewDrift(NewSim(), 0)
+}
+
+func TestSkewOffsetsReadings(t *testing.T) {
+	base := NewSim()
+	ahead := NewSkew(base, 3*time.Second)
+	behind := NewSkew(base, -3*time.Second)
+	if got, want := ahead.Now(), Epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("ahead skew reads %v, want %v", got, want)
+	}
+	if got, want := behind.Now(), Epoch.Add(-3*time.Second); !got.Equal(want) {
+		t.Fatalf("behind skew reads %v, want %v", got, want)
+	}
+	if ahead.Offset() != 3*time.Second {
+		t.Fatalf("Offset() = %v, want 3s", ahead.Offset())
+	}
+}
+
+func TestSkewDurationsUnaffected(t *testing.T) {
+	base := NewSim()
+	skewed := NewSkew(base, time.Hour)
+	ch, _ := skewed.After(time.Second)
+	base.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("skewed timer did not fire after base advanced by the duration")
+	}
+}
+
+// Property: for any sequence of advances, Sim time is the sum of the
+// advances and never decreases.
+func TestSimAdvanceSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		s := NewSim()
+		var total time.Duration
+		prev := s.Now()
+		for _, st := range steps {
+			d := time.Duration(st) * time.Millisecond
+			s.Advance(d)
+			total += d
+			now := s.Now()
+			if now.Before(prev) {
+				return false
+			}
+			prev = now
+		}
+		return s.Now().Equal(Epoch.Add(total))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Drift clock composed with its reciprocal rate tracks the
+// base clock to within rounding error.
+func TestDriftReciprocalProperty(t *testing.T) {
+	f := func(rateCenti uint8, advanceMS uint16) bool {
+		rate := 0.5 + float64(rateCenti)/100.0 // 0.50 .. 3.05
+		base := NewSim()
+		d := NewDrift(base, rate)
+		inv := NewDrift(d, 1/rate)
+		base.Advance(time.Duration(advanceMS) * time.Millisecond)
+		diff := inv.Now().Sub(base.Now())
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: skew offset is exactly preserved across arbitrary advances.
+func TestSkewInvariantProperty(t *testing.T) {
+	f := func(offsetMS int16, advances []uint8) bool {
+		base := NewSim()
+		sk := NewSkew(base, time.Duration(offsetMS)*time.Millisecond)
+		for _, a := range advances {
+			base.Advance(time.Duration(a) * time.Millisecond)
+			if sk.Now().Sub(base.Now()) != time.Duration(offsetMS)*time.Millisecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/vfs"
+)
+
+// consistencyHarness drives the Manager and a set of Holders through
+// random operations, checking the paper's definition of consistency
+// throughout: "the behavior is equivalent to there being only a single
+// (uncached) copy of the data except for the performance benefit of the
+// cache" (§1). Concretely: whenever a client's lease on a datum is
+// valid, the version it cached equals the version at the server.
+//
+// Messages are delivered instantly (delays and losses are exercised by
+// the tracesim tests); clocks are perfectly synchronized, so ε = 0.
+type consistencyHarness struct {
+	t       *testing.T
+	rng     *rand.Rand
+	clk     *clock.Sim
+	mgr     *Manager
+	data    []vfs.Datum
+	clients []*harnessClient
+	// storage is the authoritative version per datum.
+	storage map[vfs.Datum]uint64
+}
+
+type harnessClient struct {
+	id      ClientID
+	holder  *Holder
+	cached  map[vfs.Datum]uint64 // version this cache last fetched/wrote
+	crashed bool
+}
+
+func newConsistencyHarness(t *testing.T, seed int64, term time.Duration, clients, data int) *consistencyHarness {
+	h := &consistencyHarness{
+		t:       t,
+		rng:     rand.New(rand.NewSource(seed)),
+		clk:     clock.NewSim(),
+		mgr:     NewManager(FixedTerm(term)),
+		storage: make(map[vfs.Datum]uint64),
+	}
+	for i := 0; i < data; i++ {
+		d := vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(i + 1)}
+		h.data = append(h.data, d)
+		h.storage[d] = 0
+	}
+	for i := 0; i < clients; i++ {
+		h.clients = append(h.clients, &harnessClient{
+			id:     ClientID(fmt.Sprintf("c%d", i)),
+			holder: NewHolder(HolderConfig{}),
+			cached: make(map[vfs.Datum]uint64),
+		})
+	}
+	return h
+}
+
+func (h *consistencyHarness) now() time.Time { return h.clk.Now() }
+
+// read performs a client read with the full protocol: use the cache under
+// a valid lease, otherwise fetch from the server (which grants a lease).
+func (h *consistencyHarness) read(c *harnessClient, d vfs.Datum) {
+	if c.crashed {
+		return
+	}
+	now := h.now()
+	if c.holder.Valid(d, now) {
+		// Cache hit under lease: this is where staleness would show.
+		if c.cached[d] != h.storage[d] {
+			h.t.Fatalf("STALE READ: client %s read %s version %d under a valid lease, server has %d (t=%v)",
+				c.id, d, c.cached[d], h.storage[d], now.Sub(clock.Epoch))
+		}
+		return
+	}
+	// Miss: fetch + lease from the server (instant round trip).
+	g := h.mgr.Grant(c.id, d, now)
+	c.cached[d] = h.storage[d]
+	if g.Leased {
+		c.holder.ApplyGrant(d, h.storage[d], g.Term, now, now)
+	} else {
+		c.holder.Invalidate(d)
+	}
+}
+
+// write performs a client write with the full protocol, including
+// approval callbacks to live leaseholders and expiry waits for crashed
+// ones.
+func (h *consistencyHarness) write(c *harnessClient, d vfs.Datum) {
+	if c.crashed {
+		return
+	}
+	disp := h.mgr.SubmitWrite(c.id, d, h.now())
+	if !disp.Ready {
+		// Deliver approval callbacks to reachable holders.
+		for _, holderID := range disp.NeedApproval {
+			hc := h.client(holderID)
+			if hc.crashed {
+				continue
+			}
+			hc.holder.Invalidate(d)
+			delete(hc.cached, d)
+			h.mgr.Approve(hc.id, disp.WriteID, h.now())
+		}
+		// If still pending, wait out the deadline — exactly what the
+		// server does when a leaseholder is unreachable (§2).
+		ready := h.mgr.ReadyWrites(h.now())
+		if !contains(ready, disp.WriteID) {
+			if disp.Deadline.IsZero() {
+				// An infinite lease held by a crashed client blocks the
+				// write indefinitely — the failure mode the paper holds
+				// against infinite terms (§2, §6). The writer gives up.
+				h.mgr.CancelWrite(disp.WriteID, h.now())
+				return
+			}
+			h.clk.AdvanceTo(disp.Deadline.Add(time.Nanosecond))
+			ready = h.mgr.ReadyWrites(h.now())
+			if !contains(ready, disp.WriteID) {
+				h.t.Fatalf("write %d not ready after deadline %v", disp.WriteID, disp.Deadline)
+			}
+		}
+		h.mgr.WriteApplied(disp.WriteID, h.now())
+	}
+	// Apply to storage; the writer's cache holds the new version.
+	h.storage[d]++
+	c.cached[d] = h.storage[d]
+	if c.holder.Valid(d, h.now()) {
+		c.holder.Update(d, h.storage[d])
+	}
+}
+
+func (h *consistencyHarness) client(id ClientID) *harnessClient {
+	for _, c := range h.clients {
+		if c.id == id {
+			return c
+		}
+	}
+	h.t.Fatalf("unknown client %s", id)
+	return nil
+}
+
+func contains(ids []WriteID, id WriteID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAll asserts the consistency invariant for every client and datum.
+func (h *consistencyHarness) checkAll() {
+	now := h.now()
+	for _, c := range h.clients {
+		if c.crashed {
+			continue
+		}
+		for _, d := range h.data {
+			if _, _, held := c.holder.Peek(d); !held {
+				continue
+			}
+			if c.holder.Valid(d, now) && c.cached[d] != h.storage[d] {
+				h.t.Fatalf("INVARIANT VIOLATION: client %s holds valid lease on %s with version %d, server has %d",
+					c.id, d, c.cached[d], h.storage[d])
+			}
+		}
+	}
+}
+
+func (h *consistencyHarness) step() {
+	c := h.clients[h.rng.Intn(len(h.clients))]
+	d := h.data[h.rng.Intn(len(h.data))]
+	switch r := h.rng.Float64(); {
+	case r < 0.70:
+		h.read(c, d)
+	case r < 0.85:
+		h.write(c, d)
+	case r < 0.90:
+		// Crash: the client loses everything; the server keeps its
+		// lease records and must wait them out for writes.
+		c.crashed = true
+	case r < 0.95:
+		// Restart with cold cache: pre-crash leases are gone at the
+		// client; whatever the server still records is harmless (it
+		// only delays writes).
+		if c.crashed {
+			c.crashed = false
+			c.holder = NewHolder(HolderConfig{})
+			c.cached = make(map[vfs.Datum]uint64)
+		}
+	default:
+		h.clk.Advance(time.Duration(h.rng.Intn(5000)) * time.Millisecond)
+	}
+	h.checkAll()
+}
+
+func TestConsistencyInvariantUnderRandomOperations(t *testing.T) {
+	for _, term := range []time.Duration{0, time.Second, 10 * time.Second, Infinite} {
+		term := term
+		t.Run(fmt.Sprintf("term=%v", term), func(t *testing.T) {
+			for seed := int64(1); seed <= 8; seed++ {
+				h := newConsistencyHarness(t, seed, term, 6, 4)
+				for i := 0; i < 2000; i++ {
+					h.step()
+				}
+			}
+		})
+	}
+}
+
+// With an infinite term and no crashes, a write must gather an approval
+// from every holder — the Andrew-style callback regime — and afterwards
+// every holder refetches. This checks the full invalidate-on-approve
+// cycle end to end.
+func TestInfiniteTermCallbackCycle(t *testing.T) {
+	h := newConsistencyHarness(t, 99, Infinite, 5, 1)
+	d := h.data[0]
+	for _, c := range h.clients {
+		h.read(c, d)
+	}
+	if got := len(h.mgr.Holders(d, h.now())); got != 5 {
+		t.Fatalf("holders = %d, want 5", got)
+	}
+	writer := h.clients[0]
+	h.write(writer, d)
+	// All other holders were invalidated.
+	for _, c := range h.clients[1:] {
+		if c.holder.Valid(d, h.now()) {
+			t.Fatalf("client %s still valid after write", c.id)
+		}
+	}
+	// Writer kept its lease over the new version.
+	if !writer.holder.Valid(d, h.now()) {
+		t.Fatal("writer lost its lease")
+	}
+	for _, c := range h.clients {
+		h.read(c, d)
+		if c.cached[d] != h.storage[d] {
+			t.Fatalf("client %s refetched stale version", c.id)
+		}
+	}
+}
+
+// A crashed client holding a finite lease delays a write by at most the
+// remaining term — the §5 availability guarantee.
+func TestCrashedClientDelaysWriteAtMostRemainingTerm(t *testing.T) {
+	h := newConsistencyHarness(t, 7, 10*time.Second, 2, 1)
+	d := h.data[0]
+	reader, writer := h.clients[0], h.clients[1]
+	h.read(reader, d)
+	reader.crashed = true
+	h.clk.Advance(4 * time.Second)
+	start := h.now()
+	h.write(writer, d)
+	delay := h.now().Sub(start)
+	if delay > 6*time.Second+time.Millisecond {
+		t.Fatalf("write delayed %v, want ≤ remaining term 6s", delay)
+	}
+	if delay < 6*time.Second-time.Millisecond {
+		t.Fatalf("write delayed only %v — lease expired early", delay)
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/vfs"
+)
+
+func lanHolder() *Holder {
+	return NewHolder(HolderConfig{
+		Allowance: 100 * time.Millisecond,
+		Delivery:  1500 * time.Microsecond, // m_prop + 2·m_proc
+	})
+}
+
+func TestApplyGrantEffectiveTermFormula(t *testing.T) {
+	h := lanHolder()
+	req := clock.Epoch
+	recv := req.Add(3 * time.Millisecond)
+	exp := h.ApplyGrant(datumA, 1, 10*time.Second, req, recv)
+	// t_c = t_s − (m_prop + 2·m_proc) − ε, anchored at receipt.
+	want := recv.Add(10*time.Second - 1500*time.Microsecond - 100*time.Millisecond)
+	if !exp.Equal(want) {
+		t.Fatalf("expiry = %v, want %v", exp, want)
+	}
+	if !h.Valid(datumA, recv) {
+		t.Fatal("fresh lease invalid")
+	}
+	if h.Valid(datumA, exp.Add(time.Nanosecond)) {
+		t.Fatal("lease valid past effective expiry")
+	}
+}
+
+func TestApplyGrantConservativeAnchorWithoutDeliveryEstimate(t *testing.T) {
+	h := NewHolder(HolderConfig{Allowance: 100 * time.Millisecond})
+	req := clock.Epoch
+	recv := req.Add(50 * time.Millisecond)
+	exp := h.ApplyGrant(datumA, 1, 10*time.Second, req, recv)
+	// Without a delivery estimate the term anchors at the request send:
+	// the server cannot have granted earlier than that.
+	want := req.Add(10*time.Second - 100*time.Millisecond)
+	if !exp.Equal(want) {
+		t.Fatalf("expiry = %v, want %v", exp, want)
+	}
+}
+
+func TestApplyGrantZeroEffectiveTerm(t *testing.T) {
+	// t_s too short to survive delivery + ε: usable once, not cached.
+	h := lanHolder()
+	req := clock.Epoch
+	recv := req.Add(3 * time.Millisecond)
+	h.ApplyGrant(datumA, 1, 50*time.Millisecond, req, recv)
+	if h.Valid(datumA, recv) {
+		t.Fatal("zero-effective lease reported valid")
+	}
+	if h.Metrics().ZeroEffective != 1 {
+		t.Fatalf("ZeroEffective = %d", h.Metrics().ZeroEffective)
+	}
+}
+
+func TestApplyGrantZeroTermRefusal(t *testing.T) {
+	h := lanHolder()
+	h.ApplyGrant(datumA, 7, 0, clock.Epoch, clock.Epoch.Add(time.Millisecond))
+	if h.Len() != 0 {
+		t.Fatal("refused grant left a lease record")
+	}
+}
+
+func TestApplyGrantInfinite(t *testing.T) {
+	h := lanHolder()
+	exp := h.ApplyGrant(datumA, 1, Infinite, clock.Epoch, clock.Epoch.Add(time.Millisecond))
+	if !exp.IsZero() {
+		t.Fatalf("infinite grant expiry = %v, want zero (never)", exp)
+	}
+	if !h.Valid(datumA, clock.Epoch.Add(100000*time.Hour)) {
+		t.Fatal("infinite lease expired")
+	}
+}
+
+func TestExtensionNeverShortensAtHolder(t *testing.T) {
+	h := lanHolder()
+	req := clock.Epoch
+	h.ApplyGrant(datumA, 1, 30*time.Second, req, req.Add(3*time.Millisecond))
+	h.ApplyGrant(datumA, 1, time.Second, req.Add(time.Second), req.Add(time.Second+3*time.Millisecond))
+	if !h.Valid(datumA, req.Add(20*time.Second)) {
+		t.Fatal("shorter re-grant shortened the held lease")
+	}
+}
+
+func TestVersionNeverRegresses(t *testing.T) {
+	h := lanHolder()
+	req := clock.Epoch
+	h.ApplyGrant(datumA, 5, 10*time.Second, req, req.Add(time.Millisecond))
+	h.ApplyGrant(datumA, 3, 10*time.Second, req.Add(time.Second), req.Add(time.Second+time.Millisecond))
+	v, _, held := h.Peek(datumA)
+	if !held || v != 5 {
+		t.Fatalf("version = %d (held=%v), want 5", v, held)
+	}
+}
+
+func TestInvalidateOnApproval(t *testing.T) {
+	h := lanHolder()
+	h.ApplyGrant(datumA, 1, 10*time.Second, clock.Epoch, clock.Epoch.Add(time.Millisecond))
+	h.Invalidate(datumA)
+	if h.Valid(datumA, clock.Epoch.Add(time.Second)) {
+		t.Fatal("invalidated lease still valid")
+	}
+	if h.Metrics().Invalidations != 1 {
+		t.Fatalf("Invalidations = %d", h.Metrics().Invalidations)
+	}
+	h.Invalidate(datumA) // second invalidation is a no-op
+	if h.Metrics().Invalidations != 1 {
+		t.Fatal("no-op invalidation counted")
+	}
+}
+
+func TestUpdateBumpsVersionUnderLease(t *testing.T) {
+	h := lanHolder()
+	h.ApplyGrant(datumA, 1, 10*time.Second, clock.Epoch, clock.Epoch.Add(time.Millisecond))
+	h.Update(datumA, 2)
+	v, _, _ := h.Peek(datumA)
+	if v != 2 {
+		t.Fatalf("version after Update = %d, want 2", v)
+	}
+	h.Update(datumA, 1) // regression ignored
+	if v, _, _ := h.Peek(datumA); v != 2 {
+		t.Fatalf("version regressed to %d", v)
+	}
+	h.Update(datumB, 9) // no lease: no-op
+	if _, _, held := h.Peek(datumB); held {
+		t.Fatal("Update created a lease record")
+	}
+}
+
+func TestHeldSorted(t *testing.T) {
+	h := lanHolder()
+	now := clock.Epoch
+	h.ApplyGrant(datumB, 1, time.Minute, now, now.Add(time.Millisecond))
+	h.ApplyGrant(datumD, 1, time.Minute, now, now.Add(time.Millisecond))
+	h.ApplyGrant(datumA, 1, time.Minute, now, now.Add(time.Millisecond))
+	held := h.Held()
+	if len(held) != 3 {
+		t.Fatalf("Held = %v", held)
+	}
+	if held[0] != datumA || held[1] != datumB || held[2] != datumD {
+		t.Fatalf("Held = %v, want file data before dir bindings, by node", held)
+	}
+}
+
+func TestExpiringWithin(t *testing.T) {
+	h := lanHolder()
+	now := clock.Epoch
+	h.ApplyGrant(datumA, 1, 5*time.Second, now, now.Add(time.Millisecond))
+	h.ApplyGrant(datumB, 1, time.Hour, now, now.Add(time.Millisecond))
+	h.ApplyGrant(datumD, 1, Infinite, now, now.Add(time.Millisecond))
+	got := h.ExpiringWithin(now.Add(time.Second), 10*time.Second)
+	if len(got) != 1 || got[0] != datumA {
+		t.Fatalf("ExpiringWithin = %v, want [datumA]", got)
+	}
+	// Already-expired leases are not listed: extension is driven by use.
+	got = h.ExpiringWithin(now.Add(time.Minute), 10*time.Second)
+	if len(got) != 0 {
+		t.Fatalf("expired lease listed for anticipatory extension: %v", got)
+	}
+}
+
+func TestDropForgetsWithoutInvalidationCount(t *testing.T) {
+	h := lanHolder()
+	h.ApplyGrant(datumA, 1, time.Minute, clock.Epoch, clock.Epoch.Add(time.Millisecond))
+	h.Drop(datumA)
+	if h.Len() != 0 {
+		t.Fatal("Drop left a record")
+	}
+	if h.Metrics().Invalidations != 0 {
+		t.Fatal("voluntary drop counted as invalidation")
+	}
+}
+
+func TestHolderMetricsHitAndExpiry(t *testing.T) {
+	h := lanHolder()
+	now := clock.Epoch
+	h.ApplyGrant(datumA, 1, time.Second, now, now.Add(time.Millisecond))
+	h.Valid(datumA, now.Add(500*time.Millisecond)) // hit
+	h.Valid(datumA, now.Add(time.Hour))            // expired
+	h.Valid(datumB, now)                           // never held: neither
+	m := h.Metrics()
+	if m.Hits != 1 || m.Expirations != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestApplyInstalledExtension(t *testing.T) {
+	h := lanHolder()
+	now := clock.Epoch
+	// Hold datumA (fetched earlier); datumB unknown to this cache.
+	h.ApplyGrant(datumA, 1, 5*time.Second, now, now.Add(time.Millisecond))
+	sentAt := now.Add(4 * time.Second)
+	n := h.ApplyInstalledExtension([]vfs.Datum{datumA, datumB}, 30*time.Second, sentAt)
+	if n != 1 {
+		t.Fatalf("extended %d leases, want 1 (only held data)", n)
+	}
+	// New expiry = sentAt + 30s − ε.
+	wantExp := sentAt.Add(30*time.Second - 100*time.Millisecond)
+	_, exp, _ := h.Peek(datumA)
+	if !exp.Equal(wantExp) {
+		t.Fatalf("expiry = %v, want %v", exp, wantExp)
+	}
+	if _, _, held := h.Peek(datumB); held {
+		t.Fatal("extension created a record for unheld datum")
+	}
+}
+
+func TestApplyInstalledExtensionNeverShortens(t *testing.T) {
+	h := lanHolder()
+	now := clock.Epoch
+	h.ApplyGrant(datumA, 1, time.Hour, now, now.Add(time.Millisecond))
+	_, before, _ := h.Peek(datumA)
+	h.ApplyInstalledExtension([]vfs.Datum{datumA}, time.Second, now)
+	_, after, _ := h.Peek(datumA)
+	if !after.Equal(before) {
+		t.Fatalf("short multicast extension shortened lease: %v → %v", before, after)
+	}
+}
+
+func TestApplyInstalledExtensionZeroTermNoop(t *testing.T) {
+	h := lanHolder()
+	h.ApplyGrant(datumA, 1, time.Second, clock.Epoch, clock.Epoch.Add(time.Millisecond))
+	if n := h.ApplyInstalledExtension([]vfs.Datum{datumA}, 0, clock.Epoch); n != 0 {
+		t.Fatalf("zero-term extension extended %d", n)
+	}
+}
+
+// The §5 clock-failure experiment at the holder level: a client whose
+// clock runs slow continues using a lease the server regards as expired.
+// The ε allowance absorbs bounded skew; drift beyond it breaks safety —
+// which is why the paper calls for drift-bounded clocks.
+func TestSlowClientClockOverrunsLeaseWithoutAllowance(t *testing.T) {
+	base := clock.NewSim()
+	slow := clock.NewDrift(base, 0.5) // client clock at half speed
+	h := NewHolder(HolderConfig{})    // no allowance: unsafe on purpose
+	req := slow.Now()
+	h.ApplyGrant(datumA, 1, 10*time.Second, req, req)
+	base.Advance(15 * time.Second) // server time: lease long expired
+	if !h.Valid(datumA, slow.Now()) {
+		t.Fatal("test setup broken: slow clock should still consider lease valid")
+	}
+	// With ε covering the accrued skew, the same client is safe.
+	h2 := NewHolder(HolderConfig{Allowance: 8 * time.Second})
+	h2.ApplyGrant(datumA, 1, 10*time.Second, req, req)
+	if h2.Valid(datumA, slow.Now()) {
+		t.Fatal("allowance did not protect against slow clock")
+	}
+}

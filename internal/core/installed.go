@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"leases/internal/vfs"
+)
+
+// InstalledSet implements the §4 optimization for installed files —
+// "commands, header files and libraries which are part of the standard
+// system support", widely shared, heavily read, and only infrequently
+// written. Instead of per-client leases, the server periodically
+// multicasts a single extension covering every installed datum to all
+// clients; each client that receives it holds a lease for the announced
+// term. The server keeps no per-client record at all.
+//
+// To write an installed datum, the server "simply eliminates the lease
+// from the multicast extension": the datum is dropped from subsequent
+// extensions and the write proceeds once the last multicast-granted
+// lease has expired. This avoids contacting a large number of clients
+// and the resulting implosion of responses.
+type InstalledSet struct {
+	term time.Duration
+	// covered maps each installed datum to the expiry of the most recent
+	// multicast extension that covered it (zero until first extension).
+	covered map[vfs.Datum]time.Time
+	// dropped maps data eliminated from the extension to the expiry of
+	// the last extension that covered them; a pending write may apply
+	// after that instant. Entries are re-admitted by Readmit.
+	dropped map[vfs.Datum]time.Time
+}
+
+// NewInstalledSet returns an empty set whose multicast extensions grant
+// the given term. The term must be positive and finite: an infinite
+// multicast lease could never be written out from under.
+func NewInstalledSet(term time.Duration) *InstalledSet {
+	if term <= 0 || term >= Infinite {
+		panic("core: installed-file term must be positive and finite")
+	}
+	return &InstalledSet{
+		term:    term,
+		covered: make(map[vfs.Datum]time.Time),
+		dropped: make(map[vfs.Datum]time.Time),
+	}
+}
+
+// Term reports the term granted by each multicast extension.
+func (s *InstalledSet) Term() time.Duration { return s.term }
+
+// Add marks a datum as installed. Adding an already-installed datum is a
+// no-op; adding a previously dropped datum re-admits it.
+func (s *InstalledSet) Add(d vfs.Datum) {
+	if _, ok := s.covered[d]; ok {
+		return
+	}
+	delete(s.dropped, d)
+	s.covered[d] = time.Time{}
+}
+
+// Remove takes a datum out of the installed regime entirely (it reverts
+// to per-client leasing). Any outstanding multicast cover is forgotten;
+// callers that need write safety should use Drop and wait instead.
+func (s *InstalledSet) Remove(d vfs.Datum) {
+	delete(s.covered, d)
+	delete(s.dropped, d)
+}
+
+// Contains reports whether d is governed by the installed regime — either
+// still covered by extensions or dropped pending a write.
+func (s *InstalledSet) Contains(d vfs.Datum) bool {
+	if _, ok := s.covered[d]; ok {
+		return true
+	}
+	_, ok := s.dropped[d]
+	return ok
+}
+
+// Extension returns the data to include in the next multicast extension,
+// sorted, and records that each will be covered until now + term. Data
+// dropped for writing are excluded.
+func (s *InstalledSet) Extension(now time.Time) []vfs.Datum {
+	out := make([]vfs.Datum, 0, len(s.covered))
+	expiry := now.Add(s.term)
+	for d := range s.covered {
+		s.covered[d] = expiry
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Drop eliminates d from future extensions because a write is waiting.
+// It returns the instant after which no client can still hold a
+// multicast-granted lease on d (zero if no extension ever covered it).
+// Dropping a non-installed or already-dropped datum returns its existing
+// deadline.
+func (s *InstalledSet) Drop(d vfs.Datum) time.Time {
+	if exp, ok := s.dropped[d]; ok {
+		return exp
+	}
+	exp, ok := s.covered[d]
+	if !ok {
+		return time.Time{}
+	}
+	delete(s.covered, d)
+	s.dropped[d] = exp
+	return exp
+}
+
+// Readmit returns a dropped datum to the extension set, typically after
+// the deferred write has been applied: the new version is again widely
+// read and rarely written.
+func (s *InstalledSet) Readmit(d vfs.Datum) {
+	if _, ok := s.dropped[d]; !ok {
+		return
+	}
+	delete(s.dropped, d)
+	s.covered[d] = time.Time{}
+}
+
+// CoveredUntil reports the expiry of the latest extension covering d and
+// whether d is currently covered.
+func (s *InstalledSet) CoveredUntil(d vfs.Datum) (time.Time, bool) {
+	exp, ok := s.covered[d]
+	return exp, ok
+}
+
+// Len reports how many data are installed (covered or dropped).
+func (s *InstalledSet) Len() int { return len(s.covered) + len(s.dropped) }

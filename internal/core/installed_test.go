@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+)
+
+func TestInstalledSetBasics(t *testing.T) {
+	s := NewInstalledSet(30 * time.Second)
+	if s.Term() != 30*time.Second {
+		t.Fatalf("Term = %v", s.Term())
+	}
+	s.Add(datumA)
+	s.Add(datumA) // idempotent
+	s.Add(datumB)
+	if !s.Contains(datumA) || !s.Contains(datumB) || s.Contains(datumD) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Remove(datumB)
+	if s.Contains(datumB) || s.Len() != 1 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestInstalledSetTermValidation(t *testing.T) {
+	for _, term := range []time.Duration{0, -time.Second, Infinite} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewInstalledSet(%v) did not panic", term)
+				}
+			}()
+			NewInstalledSet(term)
+		}()
+	}
+}
+
+func TestExtensionCoversAndSorts(t *testing.T) {
+	s := NewInstalledSet(30 * time.Second)
+	s.Add(datumD)
+	s.Add(datumB)
+	s.Add(datumA)
+	now := clock.Epoch
+	ext := s.Extension(now)
+	if len(ext) != 3 || ext[0] != datumA || ext[1] != datumB || ext[2] != datumD {
+		t.Fatalf("Extension = %v, want sorted", ext)
+	}
+	exp, ok := s.CoveredUntil(datumA)
+	if !ok || !exp.Equal(now.Add(30*time.Second)) {
+		t.Fatalf("CoveredUntil = %v %v", exp, ok)
+	}
+}
+
+func TestDropExcludesFromExtensionAndReturnsDeadline(t *testing.T) {
+	s := NewInstalledSet(30 * time.Second)
+	s.Add(datumA)
+	s.Add(datumB)
+	now := clock.Epoch
+	s.Extension(now)
+	deadline := s.Drop(datumA)
+	if !deadline.Equal(now.Add(30 * time.Second)) {
+		t.Fatalf("Drop deadline = %v, want last cover expiry", deadline)
+	}
+	ext := s.Extension(now.Add(10 * time.Second))
+	if len(ext) != 1 || ext[0] != datumB {
+		t.Fatalf("Extension after drop = %v, want only datumB", ext)
+	}
+	// Still governed by the installed regime while dropped.
+	if !s.Contains(datumA) {
+		t.Fatal("dropped datum left the installed regime")
+	}
+	// Dropping again returns the same deadline.
+	if d2 := s.Drop(datumA); !d2.Equal(deadline) {
+		t.Fatalf("re-Drop deadline = %v, want %v", d2, deadline)
+	}
+}
+
+func TestDropNeverExtendedHasZeroDeadline(t *testing.T) {
+	s := NewInstalledSet(30 * time.Second)
+	s.Add(datumA)
+	if d := s.Drop(datumA); !d.IsZero() {
+		t.Fatalf("Drop before any extension = %v, want zero", d)
+	}
+}
+
+func TestDropNotInstalledHasZeroDeadline(t *testing.T) {
+	s := NewInstalledSet(30 * time.Second)
+	if d := s.Drop(datumA); !d.IsZero() {
+		t.Fatalf("Drop of non-installed = %v", d)
+	}
+}
+
+func TestReadmitRejoinsExtension(t *testing.T) {
+	s := NewInstalledSet(30 * time.Second)
+	s.Add(datumA)
+	s.Extension(clock.Epoch)
+	s.Drop(datumA)
+	s.Readmit(datumA)
+	ext := s.Extension(clock.Epoch.Add(time.Minute))
+	if len(ext) != 1 || ext[0] != datumA {
+		t.Fatalf("Extension after Readmit = %v", ext)
+	}
+	s.Readmit(datumB) // not dropped: no-op
+	if s.Contains(datumB) {
+		t.Fatal("Readmit invented a datum")
+	}
+}
+
+// Manager-level integration of the installed-file regime.
+
+func TestManagerInstalledGrantUsesRemainingCover(t *testing.T) {
+	inst := NewInstalledSet(30 * time.Second)
+	inst.Add(datumA)
+	m := NewManager(FixedTerm(10*time.Second), WithInstalled(inst))
+	now := clock.Epoch
+
+	// Before any extension: refused (not yet covered).
+	if g := m.Grant("c1", datumA, now); g.Leased {
+		t.Fatalf("grant before first extension: %+v", g)
+	}
+
+	inst.Extension(now)
+	g := m.Grant("c1", datumA, now.Add(10*time.Second))
+	if !g.Leased || g.Term != 20*time.Second {
+		t.Fatalf("installed grant = %+v, want remaining cover 20s", g)
+	}
+	// Crucially: no per-client record.
+	if m.LeaseCount() != 0 {
+		t.Fatalf("installed grant recorded per-client state: %d records", m.LeaseCount())
+	}
+}
+
+func TestManagerInstalledWriteWaitsOutMulticastCover(t *testing.T) {
+	inst := NewInstalledSet(30 * time.Second)
+	inst.Add(datumA)
+	m := NewManager(FixedTerm(10*time.Second), WithInstalled(inst))
+	now := clock.Epoch
+	inst.Extension(now)
+
+	disp := m.SubmitWrite("w", datumA, now.Add(5*time.Second))
+	if disp.Ready {
+		t.Fatal("installed write applied under live multicast cover")
+	}
+	if len(disp.NeedApproval) != 0 {
+		t.Fatalf("installed write asked for approvals: %v — the point is to avoid response implosion", disp.NeedApproval)
+	}
+	if !disp.Deadline.Equal(now.Add(30 * time.Second)) {
+		t.Fatalf("Deadline = %v, want multicast cover expiry", disp.Deadline)
+	}
+	if got := m.ReadyWrites(now.Add(29 * time.Second)); len(got) != 0 {
+		t.Fatal("write ready before cover expiry")
+	}
+	got := m.ReadyWrites(now.Add(30*time.Second + time.Millisecond))
+	if len(got) != 1 || got[0] != disp.WriteID {
+		t.Fatalf("ReadyWrites = %v", got)
+	}
+	m.WriteApplied(disp.WriteID, now.Add(31*time.Second))
+
+	// After the write, the datum is no longer in the extension until
+	// readmitted, so further extensions exclude it and a second write is
+	// immediate.
+	inst.Extension(now.Add(31 * time.Second))
+	d2 := m.SubmitWrite("w", datumA, now.Add(32*time.Second))
+	if !d2.Ready {
+		t.Fatalf("second write while dropped = %+v, want immediate", d2)
+	}
+}
+
+func TestManagerInstalledWriteNeverCoveredIsImmediate(t *testing.T) {
+	inst := NewInstalledSet(30 * time.Second)
+	inst.Add(datumA)
+	m := NewManager(FixedTerm(10*time.Second), WithInstalled(inst))
+	disp := m.SubmitWrite("w", datumA, clock.Epoch)
+	if !disp.Ready {
+		t.Fatalf("write to never-extended installed file deferred: %+v", disp)
+	}
+}
+
+func TestManagerInstalledNextDeadline(t *testing.T) {
+	inst := NewInstalledSet(30 * time.Second)
+	inst.Add(datumA)
+	m := NewManager(FixedTerm(10*time.Second), WithInstalled(inst))
+	now := clock.Epoch
+	inst.Extension(now)
+	m.SubmitWrite("w", datumA, now.Add(time.Second))
+	dl, ok := m.NextDeadline()
+	if !ok || !dl.Equal(now.Add(30*time.Second)) {
+		t.Fatalf("NextDeadline = %v %v", dl, ok)
+	}
+}
+
+func TestManagerNonInstalledUnaffectedByInstalledSet(t *testing.T) {
+	inst := NewInstalledSet(30 * time.Second)
+	inst.Add(datumA)
+	m := NewManager(FixedTerm(10*time.Second), WithInstalled(inst))
+	now := clock.Epoch
+	if g := m.Grant("c1", datumB, now); !g.Leased || g.Term != 10*time.Second {
+		t.Fatalf("non-installed grant = %+v", g)
+	}
+	if m.LeaseCount() != 1 {
+		t.Fatalf("LeaseCount = %d", m.LeaseCount())
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/vfs"
+)
+
+// managerModel is a reference model of the Manager's externally
+// observable obligations, driven alongside it through random operations.
+type managerModel struct {
+	t   *testing.T
+	m   *Manager
+	clk *clock.Sim
+	// pending mirrors the queued writes we have been told about.
+	pending map[WriteID]vfs.Datum
+	applied map[WriteID]bool
+}
+
+// TestManagerInvariantsRandomized drives the Manager through random
+// grant/write/approve/expiry/release/compact sequences and checks
+// structural invariants after every step:
+//
+//  1. A datum with a pending write never grants new leases.
+//  2. ReadyWrites only reports writes whose disposition blockers have
+//     all approved or expired.
+//  3. Holders lists exactly the unexpired grantees.
+//  4. LeaseCount never exceeds grants issued and reaches 0 after
+//     Compact once everything expired.
+func TestManagerInvariantsRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clk := clock.NewSim()
+		m := NewManager(FixedTerm(time.Duration(1+rng.Intn(10)) * time.Second))
+		data := []vfs.Datum{
+			{Kind: vfs.FileData, Node: 2},
+			{Kind: vfs.FileData, Node: 3},
+			{Kind: vfs.DirBinding, Node: 1},
+		}
+		clients := []ClientID{"a", "b", "c", "d"}
+		type pend struct {
+			id     WriteID
+			datum  vfs.Datum
+			need   map[ClientID]bool
+			orExp  time.Time
+			writer ClientID
+		}
+		var pendings []*pend
+
+		granted := map[vfs.Datum]map[ClientID]time.Time{}
+		for _, d := range data {
+			granted[d] = map[ClientID]time.Time{}
+		}
+
+		for step := 0; step < 3000; step++ {
+			now := clk.Now()
+			d := data[rng.Intn(len(data))]
+			c := clients[rng.Intn(len(clients))]
+			switch r := rng.Float64(); {
+			case r < 0.45: // grant
+				g := m.Grant(c, d, now)
+				hasPending := false
+				for _, p := range pendings {
+					if p.datum == d {
+						hasPending = true
+					}
+				}
+				if hasPending && g.Leased {
+					t.Fatalf("seed %d step %d: lease granted on %v while write pending", seed, step, d)
+				}
+				if g.Leased {
+					exp := ExpiryAt(now, g.Term)
+					if old, ok := granted[d][c]; ok {
+						exp = maxExpiry(old, exp)
+					}
+					granted[d][c] = exp
+				}
+			case r < 0.60: // submit write
+				disp := m.SubmitWrite(c, d, now)
+				if disp.Ready {
+					// Model: no other live holder.
+					for hc, exp := range granted[d] {
+						if hc != c && !Expired(exp, now) {
+							t.Fatalf("seed %d step %d: immediate write with live holder %s (exp %v, now %v)",
+								seed, step, hc, exp, now)
+						}
+					}
+				} else {
+					p := &pend{id: disp.WriteID, datum: d, need: map[ClientID]bool{}, orExp: disp.Deadline, writer: c}
+					for _, h := range disp.NeedApproval {
+						p.need[h] = true
+					}
+					pendings = append(pendings, p)
+				}
+			case r < 0.75: // approve something
+				if len(pendings) > 0 {
+					p := pendings[rng.Intn(len(pendings))]
+					var hs []ClientID
+					for h := range p.need {
+						hs = append(hs, h)
+					}
+					if len(hs) > 0 {
+						h := hs[rng.Intn(len(hs))]
+						m.Approve(h, p.id, now)
+						delete(p.need, h)
+						delete(granted[p.datum], h)
+					}
+				}
+			case r < 0.85: // advance time
+				clk.Advance(time.Duration(rng.Intn(4000)) * time.Millisecond)
+			case r < 0.92: // drain ready writes
+				ready := m.ReadyWrites(clk.Now())
+				for _, id := range ready {
+					var p *pend
+					idx := -1
+					for i, q := range pendings {
+						if q.id == id {
+							p, idx = q, i
+						}
+					}
+					if p == nil {
+						t.Fatalf("seed %d step %d: ReadyWrites returned unknown write %d", seed, step, id)
+					}
+					// Every recorded blocker must have approved or
+					// expired per the model.
+					for h := range p.need {
+						exp, held := granted[p.datum][h]
+						if held && !Expired(exp, clk.Now()) {
+							t.Fatalf("seed %d step %d: write %d ready with live blocker %s",
+								seed, step, id, h)
+						}
+					}
+					// Only the queue head may apply; ReadyWrites
+					// guarantees that.
+					m.WriteApplied(id, clk.Now())
+					pendings = append(pendings[:idx], pendings[idx+1:]...)
+				}
+			case r < 0.96: // release
+				m.Release(c, []vfs.Datum{d}, now)
+				delete(granted[d], c)
+			default: // holders check + compact
+				hs := m.Holders(d, now)
+				for _, h := range hs {
+					exp, ok := granted[d][h]
+					if !ok || Expired(exp, now) {
+						t.Fatalf("seed %d step %d: Holders lists %s without a live model lease", seed, step, h)
+					}
+				}
+				m.Compact(now)
+			}
+		}
+
+		// Drain: advance far, apply everything, compact — no residue.
+		clk.Advance(time.Hour)
+		for _, id := range m.ReadyWrites(clk.Now()) {
+			m.WriteApplied(id, clk.Now())
+		}
+		m.Compact(clk.Now())
+		if n := m.LeaseCount(); n != 0 {
+			t.Fatalf("seed %d: %d lease records survive compaction after universal expiry", seed, n)
+		}
+	}
+}
+
+// TestSnapshotRoundTripRandomized: Snapshot/Restore preserves exactly
+// the live lease set.
+func TestSnapshotRoundTripRandomized(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clk := clock.NewSim()
+		m := NewManager(FixedTerm(10 * time.Second))
+		for i := 0; i < 200; i++ {
+			c := ClientID(fmt.Sprintf("c%d", rng.Intn(8)))
+			d := vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(rng.Intn(20) + 2)}
+			m.Grant(c, d, clk.Now())
+			clk.Advance(time.Duration(rng.Intn(500)) * time.Millisecond)
+		}
+		now := clk.Now()
+		snap := m.Snapshot(now)
+		m2 := NewManager(FixedTerm(10 * time.Second))
+		m2.Restore(snap, now)
+		// Same holders on every datum.
+		for node := vfs.NodeID(2); node < 22; node++ {
+			d := vfs.Datum{Kind: vfs.FileData, Node: node}
+			a, b := m.Holders(d, now), m2.Holders(d, now)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: holders mismatch on %v: %v vs %v", seed, d, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: holders mismatch on %v: %v vs %v", seed, d, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"leases/internal/vfs"
+)
+
+// Snapshot persistence: the §2 alternative to max-term recovery.
+// "Alternately, the server can maintain a more detailed record of leases
+// on persistent storage, but the additional I/O traffic is unlikely to
+// be justified unless terms of leases are much longer than the time to
+// recover." The format is deliberately simple — the point of the
+// paper's default rule is that persisting one duration suffices; this
+// codec exists for deployments with long terms.
+//
+// Binary format (little-endian):
+//
+//	magic   [4]byte "LSN1"
+//	count   uint32
+//	records [count]{kind uint8, node uint64, clientLen uint32,
+//	                client []byte, expiryUnixNano int64}
+//
+// A zero expiry (infinite lease) encodes as math.MinInt64.
+
+var snapshotMagic = [4]byte{'L', 'S', 'N', '1'}
+
+// ErrBadSnapshot reports a malformed snapshot stream.
+var ErrBadSnapshot = errors.New("core: bad lease snapshot")
+
+// WriteSnapshot encodes lease records to w.
+func WriteSnapshot(w io.Writer, records []LeaseSnapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var u32 [4]byte
+	le.PutUint32(u32[:], uint32(len(records)))
+	if _, err := bw.Write(u32[:]); err != nil {
+		return err
+	}
+	var u64 [8]byte
+	for _, r := range records {
+		if err := bw.WriteByte(byte(r.Datum.Kind)); err != nil {
+			return err
+		}
+		le.PutUint64(u64[:], uint64(r.Datum.Node))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+		le.PutUint32(u32[:], uint32(len(r.Client)))
+		if _, err := bw.Write(u32[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(string(r.Client)); err != nil {
+			return err
+		}
+		nanos := int64(math.MinInt64)
+		if !r.Expiry.IsZero() {
+			nanos = r.Expiry.UnixNano()
+		}
+		le.PutUint64(u64[:], uint64(nanos))
+		if _, err := bw.Write(u64[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot decodes lease records from r.
+func ReadSnapshot(r io.Reader) ([]LeaseSnapshot, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if m != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, m)
+	}
+	le := binary.LittleEndian
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	n := le.Uint32(u32[:])
+	const maxRecords = 1 << 24
+	if n > maxRecords {
+		return nil, fmt.Errorf("%w: %d records exceeds limit", ErrBadSnapshot, n)
+	}
+	// Preallocate conservatively; the count is untrusted.
+	prealloc := int(n)
+	if prealloc > 1<<12 {
+		prealloc = 1 << 12
+	}
+	out := make([]LeaseSnapshot, 0, prealloc)
+	var u64 [8]byte
+	for i := uint32(0); i < n; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		dk := vfs.DatumKind(kind)
+		if dk != vfs.FileData && dk != vfs.DirBinding {
+			return nil, fmt.Errorf("%w: bad datum kind %d", ErrBadSnapshot, kind)
+		}
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		node := vfs.NodeID(le.Uint64(u64[:]))
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		clen := le.Uint32(u32[:])
+		if clen > 1<<16 {
+			return nil, fmt.Errorf("%w: client name of %d bytes", ErrBadSnapshot, clen)
+		}
+		name := make([]byte, clen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		if _, err := io.ReadFull(br, u64[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		nanos := int64(le.Uint64(u64[:]))
+		var expiry time.Time
+		if nanos != math.MinInt64 {
+			expiry = time.Unix(0, nanos)
+		}
+		out = append(out, LeaseSnapshot{
+			Client: ClientID(name),
+			Datum:  vfs.Datum{Kind: dk, Node: node},
+			Expiry: expiry,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"leases/internal/vfs"
+)
+
+// This file implements the token extension: leases generalized to
+// non-write-through caches. The paper limits its exposition to
+// write-through "for doing so simplifies the explanation; extending the
+// mechanism to support non-write-through caches is straightforward"
+// (§2), and §6 identifies Burrows's MFS and the Echo file system as
+// using "tokens, which can be regarded as limited-term leases, but
+// supporting non-write-through caches".
+//
+// A token is a time-limited right over a datum in one of two modes:
+//
+//   - TokenRead: shared; the holder may serve reads from its cache.
+//     Identical to the base lease.
+//   - TokenWrite: exclusive; the holder may additionally buffer writes
+//     locally (write-back) without contacting the server.
+//
+// Compatibility is reader-sharing: any number of read tokens coexist; a
+// write token excludes everything else. Conflicting acquisitions are
+// resolved exactly like lease-protected writes: the server recalls the
+// conflicting tokens (a read holder invalidates; a write holder flushes
+// its dirty data and releases or downgrades) and, if a holder is
+// unreachable, waits out its term. The cost of write-back is the loss of
+// the paper's clean failure semantics: writes buffered under a write
+// token that expires with its holder crashed are lost, which is exactly
+// why the paper prefers write-through for file caches.
+
+// TokenMode is the access mode of a token.
+type TokenMode uint8
+
+// Token modes.
+const (
+	// TokenRead is a shared caching right (a plain lease).
+	TokenRead TokenMode = iota + 1
+	// TokenWrite is an exclusive right including local (write-back)
+	// writes.
+	TokenWrite
+)
+
+// String implements fmt.Stringer.
+func (m TokenMode) String() string {
+	switch m {
+	case TokenRead:
+		return "read"
+	case TokenWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("TokenMode(%d)", uint8(m))
+	}
+}
+
+// TokenReqID identifies a pending token acquisition.
+type TokenReqID uint64
+
+// TokenDisposition answers an acquisition request.
+type TokenDisposition struct {
+	// Granted reports the token was issued immediately; Term is its
+	// term.
+	Granted bool
+	Term    time.Duration
+	// ReqID identifies the queued acquisition when Granted is false.
+	ReqID TokenReqID
+	// NeedRecall lists holders whose tokens conflict, sorted. The
+	// driver sends each a recall; read holders invalidate and ack,
+	// write holders flush dirty data first.
+	NeedRecall []ClientID
+	// Deadline is when the last conflicting token expires; the
+	// acquisition proceeds then even without acks. Zero only when a
+	// conflicting token is infinite.
+	Deadline time.Time
+}
+
+// tokenState is the server's soft state for one datum under tokens.
+type tokenState struct {
+	readers map[ClientID]time.Time // shared read tokens → expiry
+	writer  ClientID               // exclusive holder, if any
+	wExp    time.Time
+	pending []*tokenReq
+}
+
+func (ts *tokenState) empty() bool {
+	return len(ts.readers) == 0 && ts.writer == "" && len(ts.pending) == 0
+}
+
+// liveWriter reports the exclusive holder if its token is unexpired.
+func (ts *tokenState) liveWriter(now time.Time) (ClientID, bool) {
+	if ts.writer != "" && !Expired(ts.wExp, now) {
+		return ts.writer, true
+	}
+	return "", false
+}
+
+type tokenReq struct {
+	id        TokenReqID
+	client    ClientID
+	datum     vfs.Datum
+	mode      TokenMode
+	waitingOn map[ClientID]time.Time
+	deadline  time.Time
+	queuedAt  time.Time
+}
+
+// TokenMetrics counts token events.
+type TokenMetrics struct {
+	Grants      int64 // immediate grants
+	Queued      int64 // acquisitions that had to wait
+	Recalls     int64 // recall acks processed
+	ExpiryFrees int64 // acquisitions freed by token expiry
+	Downgrades  int64 // write→read downgrades
+	Releases    int64
+}
+
+// TokenManager is the server side of the token protocol. Like Manager
+// it is transport-free and not safe for concurrent use.
+type TokenManager struct {
+	policy  TermPolicy
+	data    map[vfs.Datum]*tokenState
+	reqs    map[TokenReqID]*tokenReq
+	nextID  TokenReqID
+	maxTerm time.Duration
+	metrics TokenMetrics
+}
+
+// NewTokenManager returns a token manager granting terms from policy.
+func NewTokenManager(policy TermPolicy) *TokenManager {
+	if policy == nil {
+		panic("core: nil TermPolicy")
+	}
+	return &TokenManager{
+		policy: policy,
+		data:   make(map[vfs.Datum]*tokenState),
+		reqs:   make(map[TokenReqID]*tokenReq),
+		nextID: 1,
+	}
+}
+
+// Metrics returns a copy of the event counters.
+func (m *TokenManager) Metrics() TokenMetrics { return m.metrics }
+
+// MaxTermGranted reports the longest term ever granted, for crash
+// recovery (identical rule to the base protocol).
+func (m *TokenManager) MaxTermGranted() time.Duration { return m.maxTerm }
+
+func (m *TokenManager) state(d vfs.Datum) *tokenState {
+	ts, ok := m.data[d]
+	if !ok {
+		ts = &tokenState{readers: make(map[ClientID]time.Time)}
+		m.data[d] = ts
+	}
+	return ts
+}
+
+func (m *TokenManager) compactIfEmpty(d vfs.Datum, ts *tokenState) {
+	if ts.empty() {
+		delete(m.data, d)
+	}
+}
+
+// expireLocked drops expired tokens from a state.
+func (ts *tokenState) expire(now time.Time) {
+	for c, exp := range ts.readers {
+		if Expired(exp, now) {
+			delete(ts.readers, c)
+		}
+	}
+	if ts.writer != "" && Expired(ts.wExp, now) {
+		ts.writer = ""
+		ts.wExp = time.Time{}
+	}
+}
+
+// conflicts returns the holders (other than client) whose tokens are
+// incompatible with acquiring mode.
+func (ts *tokenState) conflicts(client ClientID, mode TokenMode, now time.Time) map[ClientID]time.Time {
+	out := make(map[ClientID]time.Time)
+	if w, ok := ts.liveWriter(now); ok && w != client {
+		out[w] = ts.wExp
+	}
+	if mode == TokenWrite {
+		for c, exp := range ts.readers {
+			if c != client && !Expired(exp, now) {
+				out[c] = exp
+			}
+		}
+	}
+	return out
+}
+
+// Acquire requests a token on d in the given mode. Upgrades (read →
+// write by the same holder) and re-acquisitions extend naturally. While
+// any acquisition is queued on d no new tokens are granted, preserving
+// the base protocol's anti-starvation rule.
+func (m *TokenManager) Acquire(client ClientID, d vfs.Datum, mode TokenMode, now time.Time) TokenDisposition {
+	if mode != TokenRead && mode != TokenWrite {
+		panic(fmt.Sprintf("core: bad token mode %d", mode))
+	}
+	ts := m.state(d)
+	ts.expire(now)
+
+	if len(ts.pending) > 0 {
+		return m.enqueueToken(client, d, mode, ts, now)
+	}
+	conf := ts.conflicts(client, mode, now)
+	if len(conf) > 0 {
+		return m.enqueueToken(client, d, mode, ts, now)
+	}
+	term := m.policy.Term(d, client, now)
+	if term <= 0 {
+		return TokenDisposition{}
+	}
+	m.grant(client, d, mode, term, ts, now)
+	return TokenDisposition{Granted: true, Term: term}
+}
+
+func (m *TokenManager) grant(client ClientID, d vfs.Datum, mode TokenMode, term time.Duration, ts *tokenState, now time.Time) {
+	expiry := ExpiryAt(now, term)
+	switch mode {
+	case TokenRead:
+		if old, held := ts.readers[client]; held {
+			expiry = maxExpiry(old, expiry)
+		}
+		// A writer acquiring read is a downgrade handled elsewhere; a
+		// reader staying a reader just extends.
+		ts.readers[client] = expiry
+	case TokenWrite:
+		// Upgrade: the client's own read token is subsumed.
+		delete(ts.readers, client)
+		ts.writer = client
+		ts.wExp = expiry
+	}
+	if term > m.maxTerm {
+		m.maxTerm = term
+	}
+	m.metrics.Grants++
+	_ = d
+}
+
+func (m *TokenManager) enqueueToken(client ClientID, d vfs.Datum, mode TokenMode, ts *tokenState, now time.Time) TokenDisposition {
+	conf := ts.conflicts(client, mode, now)
+	req := &tokenReq{
+		id:        m.nextID,
+		client:    client,
+		datum:     d,
+		mode:      mode,
+		waitingOn: conf,
+		queuedAt:  now,
+	}
+	m.nextID++
+	infinite := false
+	for _, exp := range conf {
+		if exp.IsZero() {
+			infinite = true
+			break
+		}
+		req.deadline = maxDeadline(req.deadline, exp)
+	}
+	if infinite {
+		req.deadline = time.Time{}
+	}
+	ts.pending = append(ts.pending, req)
+	m.reqs[req.id] = req
+	m.metrics.Queued++
+	return TokenDisposition{
+		ReqID:      req.id,
+		NeedRecall: sortedClients(conf),
+		Deadline:   req.deadline,
+	}
+}
+
+// RecallAck records that a holder answered a recall: a read holder has
+// invalidated; a write holder has flushed (the driver applies the flush
+// to storage before calling this) and released. The holder's token on
+// the datum is dropped. It reports whether the head acquisition on the
+// datum is now grantable.
+func (m *TokenManager) RecallAck(client ClientID, id TokenReqID, now time.Time) bool {
+	req, ok := m.reqs[id]
+	if !ok {
+		return false
+	}
+	if _, waiting := req.waitingOn[client]; !waiting {
+		return false
+	}
+	delete(req.waitingOn, client)
+	m.metrics.Recalls++
+	ts := m.data[req.datum]
+	delete(ts.readers, client)
+	if ts.writer == client {
+		ts.writer = ""
+		ts.wExp = time.Time{}
+	}
+	return m.reqReady(req, now)
+}
+
+// DowngradeAck resolves a read acquisition's recall by downgrading the
+// conflicting write token to a read token: the holder flushed its dirty
+// data (driver's responsibility) and keeps serving reads from its
+// cache, which no longer conflicts with the read-mode acquisition. It
+// reports whether the acquisition is now grantable. For write-mode
+// acquisitions a downgrade does not resolve the conflict and this
+// returns false without changing state.
+func (m *TokenManager) DowngradeAck(client ClientID, id TokenReqID, now time.Time) bool {
+	req, ok := m.reqs[id]
+	if !ok || req.mode != TokenRead {
+		return false
+	}
+	if _, waiting := req.waitingOn[client]; !waiting {
+		return false
+	}
+	// Downgrade if the write token is still live; if it expired the
+	// conflict is gone anyway.
+	m.Downgrade(client, req.datum, now)
+	delete(req.waitingOn, client)
+	m.metrics.Recalls++
+	return m.reqReady(req, now)
+}
+
+func (m *TokenManager) reqReady(req *tokenReq, now time.Time) bool {
+	ts, ok := m.data[req.datum]
+	if !ok || len(ts.pending) == 0 || ts.pending[0] != req {
+		return false
+	}
+	for _, exp := range req.waitingOn {
+		if !Expired(exp, now) {
+			return false
+		}
+	}
+	// The recorded blockers may be stale: a token granted from this
+	// same queue ahead of req is a *new* conflict that was never in
+	// waitingOn. Granting over it would create two incompatible live
+	// tokens, so check the live state too; RefreshHead tells the driver
+	// which new holders to recall.
+	return len(ts.conflicts(req.client, req.mode, now)) == 0
+}
+
+// RefreshHead reconciles the head acquisition's blocker set with the
+// live token state after the queue moves: tokens granted ahead of it
+// from the same queue become new blockers. It returns the sorted
+// newly-added blockers, which the driver must recall. It returns nil
+// when nothing is pending or no new blockers appeared.
+func (m *TokenManager) RefreshHead(d vfs.Datum, now time.Time) []ClientID {
+	ts, ok := m.data[d]
+	if !ok || len(ts.pending) == 0 {
+		return nil
+	}
+	req := ts.pending[0]
+	live := ts.conflicts(req.client, req.mode, now)
+	var added map[ClientID]time.Time
+	for c, exp := range live {
+		if _, known := req.waitingOn[c]; !known {
+			if added == nil {
+				added = make(map[ClientID]time.Time)
+			}
+			added[c] = exp
+			req.waitingOn[c] = exp
+		}
+	}
+	// Blockers that no longer hold anything are settled.
+	for c := range req.waitingOn {
+		if _, still := live[c]; !still {
+			delete(req.waitingOn, c)
+		}
+	}
+	if added == nil {
+		return nil
+	}
+	return sortedClients(added)
+}
+
+// ReadyAcquisitions returns, sorted, the queued acquisitions whose
+// blockers have all acked or expired. The driver grants each via
+// GrantReady.
+func (m *TokenManager) ReadyAcquisitions(now time.Time) []TokenReqID {
+	var out []TokenReqID
+	for _, ts := range m.data {
+		if len(ts.pending) == 0 {
+			continue
+		}
+		if m.reqReady(ts.pending[0], now) {
+			out = append(out, ts.pending[0].id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GrantReady issues the token for a ready acquisition and dequeues it,
+// returning the client and the term granted. Expired blockers are
+// counted as expiry frees.
+func (m *TokenManager) GrantReady(id TokenReqID, now time.Time) (ClientID, time.Duration) {
+	req, ok := m.reqs[id]
+	if !ok {
+		panic(fmt.Sprintf("core: GrantReady(%d): unknown request", id))
+	}
+	ts := m.data[req.datum]
+	if len(ts.pending) == 0 || ts.pending[0] != req {
+		panic(fmt.Sprintf("core: GrantReady(%d): not at queue head", id))
+	}
+	if !m.reqReady(req, now) {
+		panic(fmt.Sprintf("core: GrantReady(%d): not ready", id))
+	}
+	if len(req.waitingOn) > 0 {
+		m.metrics.ExpiryFrees++
+		// Expired conflicting tokens are gone; scrub state.
+		ts.expire(now)
+	}
+	ts.pending = ts.pending[1:]
+	delete(m.reqs, id)
+	term := m.policy.Term(req.datum, req.client, now)
+	if term <= 0 {
+		term = time.Nanosecond // a grant was promised; make it minimal
+	}
+	m.grant(req.client, req.datum, req.mode, term, ts, now)
+	return req.client, term
+}
+
+// CancelAcquisition abandons a queued acquisition.
+func (m *TokenManager) CancelAcquisition(id TokenReqID, now time.Time) {
+	req, ok := m.reqs[id]
+	if !ok {
+		return
+	}
+	ts := m.data[req.datum]
+	for i, q := range ts.pending {
+		if q == req {
+			ts.pending = append(ts.pending[:i], ts.pending[i+1:]...)
+			break
+		}
+	}
+	delete(m.reqs, id)
+	m.compactIfEmpty(req.datum, ts)
+}
+
+// Downgrade converts client's write token to a read token with the same
+// expiry — after the driver has applied the holder's flushed data. A
+// holder downgrades when another cache wants to read but not write.
+func (m *TokenManager) Downgrade(client ClientID, d vfs.Datum, now time.Time) bool {
+	ts, ok := m.data[d]
+	if !ok || ts.writer != client || Expired(ts.wExp, now) {
+		return false
+	}
+	ts.readers[client] = ts.wExp
+	ts.writer = ""
+	ts.wExp = time.Time{}
+	m.metrics.Downgrades++
+	return true
+}
+
+// ReleaseToken relinquishes client's token on d.
+func (m *TokenManager) ReleaseToken(client ClientID, d vfs.Datum, now time.Time) {
+	ts, ok := m.data[d]
+	if !ok {
+		return
+	}
+	released := false
+	if _, held := ts.readers[client]; held {
+		delete(ts.readers, client)
+		released = true
+	}
+	if ts.writer == client {
+		ts.writer = ""
+		ts.wExp = time.Time{}
+		released = true
+	}
+	if released {
+		m.metrics.Releases++
+	}
+	m.compactIfEmpty(d, ts)
+}
+
+// Mode reports client's live token mode on d (0 if none).
+func (m *TokenManager) Mode(client ClientID, d vfs.Datum, now time.Time) TokenMode {
+	ts, ok := m.data[d]
+	if !ok {
+		return 0
+	}
+	if w, live := ts.liveWriter(now); live && w == client {
+		return TokenWrite
+	}
+	if exp, held := ts.readers[client]; held && !Expired(exp, now) {
+		return TokenRead
+	}
+	return 0
+}
+
+// NextTokenDeadline reports the earliest expiry that could free a queued
+// acquisition.
+func (m *TokenManager) NextTokenDeadline() (time.Time, bool) {
+	var earliest time.Time
+	found := false
+	for _, ts := range m.data {
+		if len(ts.pending) == 0 {
+			continue
+		}
+		req := ts.pending[0]
+		var worst time.Time
+		infinite := false
+		for _, exp := range req.waitingOn {
+			if exp.IsZero() {
+				infinite = true
+				break
+			}
+			if exp.After(worst) {
+				worst = exp
+			}
+		}
+		if infinite || worst.IsZero() {
+			continue
+		}
+		if !found || worst.Before(earliest) {
+			earliest = worst
+			found = true
+		}
+	}
+	return earliest, found
+}
+
+// TokenCount reports live token records (for the storage claim).
+func (m *TokenManager) TokenCount() int {
+	n := 0
+	for _, ts := range m.data {
+		n += len(ts.readers)
+		if ts.writer != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+// Package netsim simulates the message fabric between file-caching
+// clients and the file server.
+//
+// It implements the message-cost model of §3.1 of the paper: every
+// message spends m_proc of processing at the sender, m_prop of
+// propagation, and m_proc of processing at the receiver, so a message is
+// received m_prop + 2·m_proc after it is sent, and a unicast
+// request-response takes 2·m_prop + 4·m_proc. A multicast is sent once
+// (one send processing) and received by every recipient with high
+// probability, as with the V host-group facility.
+//
+// The fabric also injects the partial failures the paper's fault-
+// tolerance analysis (§5) is about: probabilistic message loss, link and
+// node partitions, and crashed nodes. Per-node counters record messages
+// handled (sent or received), split by message kind, which is exactly the
+// quantity formula (1) models as server consistency load.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"leases/internal/sim"
+	"leases/internal/stats"
+)
+
+// NodeID names a host on the fabric.
+type NodeID string
+
+// Message is a payload in flight. SentAt is the virtual send instant;
+// handlers run at SentAt + m_prop + 2·m_proc.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Kind    string // protocol-assigned class, e.g. "lease.extend"
+	SentAt  time.Time
+	Payload any
+}
+
+// Handler consumes a delivered message.
+type Handler func(Message)
+
+// Params configures the fabric.
+type Params struct {
+	// Prop is the one-way propagation delay m_prop.
+	Prop time.Duration
+	// Proc is the per-message processing time m_proc at a sender or
+	// receiver on the critical path.
+	Proc time.Duration
+	// LossRate is the probability in [0,1) that any given message is
+	// silently dropped.
+	LossRate float64
+	// Jitter, when positive, adds a uniformly random extra delay in
+	// [0, Jitter) to each delivery. Messages may then arrive out of
+	// order, as on the datagram transport the V system used — the
+	// protocol must tolerate a grant overtaken by a later invalidation.
+	Jitter time.Duration
+	// Seed seeds the loss and jitter processes; runs with equal seeds
+	// are identical.
+	Seed int64
+}
+
+// DeliveryDelay reports how long after sending a message is received:
+// m_prop + 2·m_proc.
+func (p Params) DeliveryDelay() time.Duration { return p.Prop + 2*p.Proc }
+
+// RoundTrip reports the time for a unicast request-response:
+// 2·m_prop + 4·m_proc.
+func (p Params) RoundTrip() time.Duration { return 2*p.Prop + 4*p.Proc }
+
+// pair is an unordered node pair.
+type pair struct{ a, b NodeID }
+
+func mkPair(a, b NodeID) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Fabric connects nodes through the simulated network. It is driven by a
+// sim.Engine and is not safe for concurrent use except for the metrics
+// registry; the engine is single-threaded by design.
+type Fabric struct {
+	engine      *sim.Engine
+	params      Params
+	rng         *rand.Rand
+	mu          sync.Mutex // guards handler map mutation vs delivery
+	nodes       map[NodeID]Handler
+	cutLinks    map[pair]bool
+	downNodes   map[NodeID]bool
+	linkProp    map[pair]time.Duration
+	reg         *stats.Registry
+	deliveries  stats.Counter
+	losses      stats.Counter
+	partitioned stats.Counter
+}
+
+// New returns a fabric driven by engine.
+func New(engine *sim.Engine, params Params) *Fabric {
+	if params.LossRate < 0 || params.LossRate >= 1 {
+		if params.LossRate != 0 {
+			panic(fmt.Sprintf("netsim: loss rate %v outside [0,1)", params.LossRate))
+		}
+	}
+	return &Fabric{
+		engine:    engine,
+		params:    params,
+		rng:       rand.New(rand.NewSource(params.Seed)),
+		nodes:     make(map[NodeID]Handler),
+		cutLinks:  make(map[pair]bool),
+		downNodes: make(map[NodeID]bool),
+		linkProp:  make(map[pair]time.Duration),
+		reg:       stats.NewRegistry(),
+	}
+}
+
+// Params reports the fabric's timing parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// Register attaches a node to the fabric. Re-registering replaces the
+// handler (used when a crashed node restarts with fresh state).
+func (f *Fabric) Register(id NodeID, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nodes[id] = h
+}
+
+// Metrics exposes the per-node counters. Counter names are
+// "<node>.sent", "<node>.recv", "<node>.handled", and kind-split
+// variants "<node>.sent.<kind>" / "<node>.recv.<kind>" /
+// "<node>.handled.<kind>".
+func (f *Fabric) Metrics() *stats.Registry { return f.reg }
+
+// Deliveries reports how many messages have been delivered.
+func (f *Fabric) Deliveries() int64 { return f.deliveries.Value() }
+
+// Losses reports how many messages were dropped by the loss process or a
+// down node; partition drops are counted separately.
+func (f *Fabric) Losses() int64 { return f.losses.Value() }
+
+// PartitionDrops reports how many messages were dropped by partitions.
+func (f *Fabric) PartitionDrops() int64 { return f.partitioned.Value() }
+
+// CutLink blocks traffic in both directions between a and b.
+func (f *Fabric) CutLink(a, b NodeID) { f.cutLinks[mkPair(a, b)] = true }
+
+// HealLink restores traffic between a and b.
+func (f *Fabric) HealLink(a, b NodeID) { delete(f.cutLinks, mkPair(a, b)) }
+
+// SetDown marks a node crashed: it neither sends nor receives. Messages
+// already in flight toward it are dropped at delivery time.
+func (f *Fabric) SetDown(id NodeID, down bool) {
+	if down {
+		f.downNodes[id] = true
+	} else {
+		delete(f.downNodes, id)
+	}
+}
+
+// Down reports whether the node is marked crashed.
+func (f *Fabric) Down(id NodeID) bool { return f.downNodes[id] }
+
+// SetLinkProp overrides the propagation delay between a and b, modelling
+// a distant client on a wide-area path (§3.3).
+func (f *Fabric) SetLinkProp(a, b NodeID, prop time.Duration) {
+	f.linkProp[mkPair(a, b)] = prop
+}
+
+func (f *Fabric) propBetween(a, b NodeID) time.Duration {
+	if d, ok := f.linkProp[mkPair(a, b)]; ok {
+		return d
+	}
+	return f.params.Prop
+}
+
+// DeliveryDelayBetween reports the send-to-receive latency between two
+// specific nodes, honoring per-link overrides.
+func (f *Fabric) DeliveryDelayBetween(a, b NodeID) time.Duration {
+	return f.propBetween(a, b) + 2*f.params.Proc
+}
+
+func (f *Fabric) countSent(id NodeID, kind string) {
+	f.reg.Counter(string(id) + ".sent").Inc()
+	f.reg.Counter(string(id) + ".handled").Inc()
+	if kind != "" {
+		f.reg.Counter(string(id) + ".sent." + kind).Inc()
+		f.reg.Counter(string(id) + ".handled." + kind).Inc()
+	}
+}
+
+func (f *Fabric) countRecv(id NodeID, kind string) {
+	f.reg.Counter(string(id) + ".recv").Inc()
+	f.reg.Counter(string(id) + ".handled").Inc()
+	if kind != "" {
+		f.reg.Counter(string(id) + ".recv." + kind).Inc()
+		f.reg.Counter(string(id) + ".handled." + kind).Inc()
+	}
+}
+
+// Handled reports the number of messages sent or received by a node,
+// optionally restricted to a kind prefix (e.g. "lease." counts all
+// lease-protocol traffic). An empty prefix counts everything.
+func (f *Fabric) Handled(id NodeID, kindPrefix string) int64 {
+	if kindPrefix == "" {
+		return f.reg.Counter(string(id) + ".handled").Value()
+	}
+	var total int64
+	for _, name := range f.reg.Names() {
+		pfx := string(id) + ".handled."
+		if len(name) > len(pfx) && name[:len(pfx)] == pfx {
+			if kind := name[len(pfx):]; len(kind) >= len(kindPrefix) && kind[:len(kindPrefix)] == kindPrefix {
+				total += f.reg.Counter(name).Value()
+			}
+		}
+	}
+	return total
+}
+
+// Unicast sends one message from one node to another. The send is charged
+// to the sender immediately; delivery occurs after the link's propagation
+// plus processing delay unless the message is lost, a partition blocks the
+// link, or either end is down.
+func (f *Fabric) Unicast(from, to NodeID, kind string, payload any) {
+	if f.downNodes[from] {
+		return // a crashed node sends nothing
+	}
+	f.countSent(from, kind)
+	f.deliver(from, to, kind, payload)
+}
+
+// Multicast sends one message from a node to a set of recipients using
+// the multicast facility: a single send at the sender, one receive at
+// each reachable recipient. Loss is evaluated independently per
+// recipient, as datagram multicast loses receivers independently.
+func (f *Fabric) Multicast(from NodeID, to []NodeID, kind string, payload any) {
+	if f.downNodes[from] {
+		return
+	}
+	f.countSent(from, kind)
+	for _, t := range to {
+		f.deliver(from, t, kind, payload)
+	}
+}
+
+func (f *Fabric) deliver(from, to NodeID, kind string, payload any) {
+	if from == to {
+		panic("netsim: node sending to itself")
+	}
+	if f.cutLinks[mkPair(from, to)] {
+		f.partitioned.Inc()
+		return
+	}
+	if f.params.LossRate > 0 && f.rng.Float64() < f.params.LossRate {
+		f.losses.Inc()
+		return
+	}
+	msg := Message{From: from, To: to, Kind: kind, SentAt: f.engine.Now()}
+	msg.Payload = payload
+	delay := f.DeliveryDelayBetween(from, to)
+	if f.params.Jitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(f.params.Jitter)))
+	}
+	f.engine.After(delay, func() {
+		if f.downNodes[to] {
+			f.losses.Inc()
+			return
+		}
+		f.mu.Lock()
+		h := f.nodes[to]
+		f.mu.Unlock()
+		if h == nil {
+			f.losses.Inc()
+			return
+		}
+		f.countRecv(to, kind)
+		f.deliveries.Inc()
+		h(msg)
+	})
+}

@@ -1,0 +1,344 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/sim"
+)
+
+func lanParams() Params {
+	return Params{Prop: 500 * time.Microsecond, Proc: 500 * time.Microsecond, Seed: 1}
+}
+
+func TestDeliveryDelayModel(t *testing.T) {
+	p := lanParams()
+	if got, want := p.DeliveryDelay(), 1500*time.Microsecond; got != want {
+		t.Fatalf("DeliveryDelay = %v, want %v (m_prop + 2·m_proc)", got, want)
+	}
+	if got, want := p.RoundTrip(), 3*time.Millisecond; got != want {
+		t.Fatalf("RoundTrip = %v, want %v (2·m_prop + 4·m_proc)", got, want)
+	}
+}
+
+func TestUnicastDeliversAfterModelDelay(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	var deliveredAt time.Time
+	var got Message
+	f.Register("srv", func(m Message) { deliveredAt = e.Now(); got = m })
+	f.Register("cli", func(Message) {})
+	f.Unicast("cli", "srv", "lease.extend", "hello")
+	e.Run()
+	want := clock.Epoch.Add(lanParams().DeliveryDelay())
+	if !deliveredAt.Equal(want) {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if got.From != "cli" || got.To != "srv" || got.Kind != "lease.extend" || got.Payload != "hello" {
+		t.Fatalf("message corrupted: %+v", got)
+	}
+	if !got.SentAt.Equal(clock.Epoch) {
+		t.Fatalf("SentAt = %v, want epoch", got.SentAt)
+	}
+}
+
+func TestMessageAccountingSentRecvHandled(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	f.Register("srv", func(Message) {})
+	f.Register("cli", func(Message) {})
+	f.Unicast("cli", "srv", "lease.extend", nil)
+	f.Unicast("srv", "cli", "lease.grant", nil)
+	e.Run()
+	if got := f.Handled("srv", ""); got != 2 {
+		t.Fatalf("server handled %d messages, want 2 (one recv + one sent)", got)
+	}
+	if got := f.Handled("srv", "lease."); got != 2 {
+		t.Fatalf("server handled %d lease messages, want 2", got)
+	}
+	if got := f.Handled("srv", "lease.grant"); got != 1 {
+		t.Fatalf("server handled %d lease.grant, want 1", got)
+	}
+	if got := f.Handled("cli", ""); got != 2 {
+		t.Fatalf("client handled %d, want 2", got)
+	}
+	if f.Deliveries() != 2 {
+		t.Fatalf("Deliveries = %d, want 2", f.Deliveries())
+	}
+}
+
+func TestMulticastCountsOneSendPerMessage(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	received := map[NodeID]int{}
+	for _, id := range []NodeID{"a", "b", "c"} {
+		id := id
+		f.Register(id, func(Message) { received[id]++ })
+	}
+	f.Register("srv", func(Message) {})
+	f.Multicast("srv", []NodeID{"a", "b", "c"}, "lease.approval-req", nil)
+	e.Run()
+	if got := f.Handled("srv", ""); got != 1 {
+		t.Fatalf("multicast charged %d messages at sender, want 1", got)
+	}
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if received[id] != 1 {
+			t.Fatalf("node %s received %d, want 1", id, received[id])
+		}
+	}
+}
+
+func TestPartitionBlocksBothDirections(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	var srvGot, cliGot int
+	f.Register("srv", func(Message) { srvGot++ })
+	f.Register("cli", func(Message) { cliGot++ })
+	f.CutLink("cli", "srv")
+	f.Unicast("cli", "srv", "x", nil)
+	f.Unicast("srv", "cli", "x", nil)
+	e.Run()
+	if srvGot != 0 || cliGot != 0 {
+		t.Fatalf("partitioned link delivered messages: srv=%d cli=%d", srvGot, cliGot)
+	}
+	if f.PartitionDrops() != 2 {
+		t.Fatalf("PartitionDrops = %d, want 2", f.PartitionDrops())
+	}
+	f.HealLink("srv", "cli") // heal accepts either order
+	f.Unicast("cli", "srv", "x", nil)
+	e.Run()
+	if srvGot != 1 {
+		t.Fatalf("healed link did not deliver: srv=%d", srvGot)
+	}
+}
+
+func TestDownNodeNeitherSendsNorReceives(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	var srvGot, cliGot int
+	f.Register("srv", func(Message) { srvGot++ })
+	f.Register("cli", func(Message) { cliGot++ })
+	f.SetDown("cli", true)
+	f.Unicast("cli", "srv", "x", nil) // crashed sender: nothing happens
+	f.Unicast("srv", "cli", "x", nil) // delivery to crashed node lost
+	e.Run()
+	if srvGot != 0 || cliGot != 0 {
+		t.Fatalf("down node exchanged messages: srv=%d cli=%d", srvGot, cliGot)
+	}
+	if !f.Down("cli") {
+		t.Fatal("Down(cli) = false after SetDown")
+	}
+	f.SetDown("cli", false)
+	f.Unicast("srv", "cli", "x", nil)
+	e.Run()
+	if cliGot != 1 {
+		t.Fatalf("restarted node did not receive: cli=%d", cliGot)
+	}
+}
+
+func TestInFlightMessageToCrashingNodeIsLost(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	var got int
+	f.Register("srv", func(Message) {})
+	f.Register("cli", func(Message) { got++ })
+	f.Unicast("srv", "cli", "x", nil)
+	// Crash the client while the message is in flight.
+	f.SetDown("cli", true)
+	e.Run()
+	if got != 0 {
+		t.Fatal("message delivered to node that crashed mid-flight")
+	}
+	if f.Losses() != 1 {
+		t.Fatalf("Losses = %d, want 1", f.Losses())
+	}
+}
+
+func TestLossRateDropsApproximatelyThatFraction(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	p := lanParams()
+	p.LossRate = 0.3
+	f := New(e, p)
+	var got int
+	f.Register("srv", func(Message) { got++ })
+	f.Register("cli", func(Message) {})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f.Unicast("cli", "srv", "x", nil)
+	}
+	e.Run()
+	frac := float64(n-got) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("loss fraction %.3f, want ≈0.30", frac)
+	}
+}
+
+func TestLossIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int {
+		e := sim.New(clock.Epoch)
+		p := lanParams()
+		p.LossRate = 0.5
+		p.Seed = seed
+		f := New(e, p)
+		var got int
+		f.Register("srv", func(Message) { got++ })
+		f.Register("cli", func(Message) {})
+		for i := 0; i < 1000; i++ {
+			f.Unicast("cli", "srv", "x", nil)
+		}
+		e.Run()
+		return got
+	}
+	if run(42) != run(42) {
+		t.Fatal("identical seeds produced different loss patterns")
+	}
+	if run(42) == run(43) {
+		t.Fatal("different seeds produced identical loss patterns (suspicious)")
+	}
+}
+
+func TestPerLinkPropagationOverride(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	var at time.Time
+	f.Register("srv", func(Message) { at = e.Now() })
+	f.Register("far", func(Message) {})
+	f.SetLinkProp("far", "srv", 50*time.Millisecond)
+	f.Unicast("far", "srv", "x", nil)
+	e.Run()
+	want := clock.Epoch.Add(50*time.Millisecond + 2*lanParams().Proc)
+	if !at.Equal(want) {
+		t.Fatalf("WAN delivery at %v, want %v", at, want)
+	}
+	if got := f.DeliveryDelayBetween("srv", "far"); got != 50*time.Millisecond+2*lanParams().Proc {
+		t.Fatalf("DeliveryDelayBetween = %v", got)
+	}
+}
+
+func TestUnregisteredDestinationCountsAsLoss(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	f.Register("cli", func(Message) {})
+	f.Unicast("cli", "ghost", "x", nil)
+	e.Run()
+	if f.Losses() != 1 {
+		t.Fatalf("Losses = %d, want 1", f.Losses())
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	f.Register("a", func(Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	f.Unicast("a", "a", "x", nil)
+}
+
+func TestBadLossRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LossRate=1.5 did not panic")
+		}
+	}()
+	New(sim.New(clock.Epoch), Params{LossRate: 1.5})
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := sim.New(clock.Epoch)
+		p := lanParams()
+		p.Jitter = 10 * time.Millisecond
+		p.Seed = seed
+		f := New(e, p)
+		var arrivals []time.Duration
+		f.Register("srv", func(m Message) {
+			arrivals = append(arrivals, e.Now().Sub(m.SentAt))
+		})
+		f.Register("cli", func(Message) {})
+		for i := 0; i < 200; i++ {
+			f.Unicast("cli", "srv", "x", nil)
+		}
+		e.Run()
+		return arrivals
+	}
+	a := run(5)
+	base := lanParams().DeliveryDelay()
+	varied := false
+	for _, d := range a {
+		if d < base || d >= base+10*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [%v, %v)", d, base, base+10*time.Millisecond)
+		}
+		if d != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced identical delays")
+	}
+	b := run(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different jitter")
+		}
+	}
+}
+
+func TestJitterReordersDeliveries(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	p := lanParams()
+	p.Jitter = 20 * time.Millisecond
+	p.Seed = 3
+	f := New(e, p)
+	var order []int
+	f.Register("srv", func(m Message) { order = append(order, m.Payload.(int)) })
+	f.Register("cli", func(Message) {})
+	for i := 0; i < 50; i++ {
+		f.Unicast("cli", "srv", "x", i)
+		e.RunFor(time.Millisecond) // stagger sends
+	}
+	e.Run()
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("large jitter never reordered staggered sends")
+	}
+}
+
+// Property: with no loss or partitions, every unicast is delivered and
+// conservation holds: total sent == total received == deliveries.
+func TestConservationProperty(t *testing.T) {
+	f := func(plan []uint8) bool {
+		e := sim.New(clock.Epoch)
+		fab := New(e, lanParams())
+		nodes := []NodeID{"n0", "n1", "n2", "n3"}
+		recv := 0
+		for _, id := range nodes {
+			fab.Register(id, func(Message) { recv++ })
+		}
+		sent := 0
+		for _, b := range plan {
+			from := nodes[int(b)%len(nodes)]
+			to := nodes[(int(b)/4)%len(nodes)]
+			if from == to {
+				continue
+			}
+			fab.Unicast(from, to, "k", nil)
+			sent++
+		}
+		e.Run()
+		return recv == sent && fab.Deliveries() == int64(sent) && fab.Losses() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

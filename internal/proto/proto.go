@@ -1,0 +1,385 @@
+// Package proto defines the wire protocol spoken between the networked
+// lease file server (internal/server) and its caching clients
+// (internal/client).
+//
+// Framing: every message is
+//
+//	length  uint32  // bytes after this field
+//	type    uint8
+//	reqID   uint64  // correlates requests and responses; 0 for pushes
+//	payload []byte  // type-specific, encoded little-endian
+//
+// Client→server messages are requests answered by exactly one response
+// carrying the same reqID (a write's response may be delayed while the
+// server gathers approvals). Server→client approval requests and
+// client→server approvals are one-way pushes with reqID 0 — the lease
+// protocol's callback path. All integers are little-endian; strings and
+// byte slices are length-prefixed with uint32.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/vfs"
+)
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// Message types.
+const (
+	// THello introduces a client (payload: client ID string). Answered
+	// by THelloAck.
+	THello MsgType = iota + 1
+	THelloAck
+	// TLookup resolves a path (payload: path). Answered by TLookupRep.
+	TLookup
+	TLookupRep
+	// TRead fetches a file (payload: node). Answered by TReadRep with
+	// contents, version and a lease.
+	TRead
+	TReadRep
+	// TWrite writes a file through (payload: node, data). Answered by
+	// TWriteRep once every conflicting lease is approved or expired.
+	TWrite
+	TWriteRep
+	// TExtend extends leases on a batch of data. Answered by TExtendRep.
+	TExtend
+	TExtendRep
+	// TRelease relinquishes leases (payload: data). Answered by TOK.
+	TRelease
+	// TReadDir lists a directory (payload: node). Answered by
+	// TReadDirRep with entries, version and a lease on the binding.
+	TReadDir
+	TReadDirRep
+	// TCreate / TMkdir / TRemove / TRename mutate bindings. Answered by
+	// TCreateRep / TOK; binding writes defer like data writes.
+	TCreate
+	TCreateRep
+	TMkdir
+	TRemove
+	TRename
+	// TStat fetches attributes (payload: node). Answered by TStatRep.
+	TStat
+	TStatRep
+	// TSetPerm changes a node's owner and permissions (payload: node,
+	// owner, perm) — a write to the parent directory's binding datum,
+	// deferred like any other write. Answered by TOK.
+	TSetPerm
+	// TApprovalReq is a server push asking the client to approve a
+	// write on a datum it holds a lease over.
+	TApprovalReq
+	// TApprove is the client's push granting approval.
+	TApprove
+	// TOK is an empty success response.
+	TOK
+	// TError carries an error string response.
+	TError
+)
+
+// MaxFrame bounds a frame's payload to keep a malicious peer from
+// forcing huge allocations.
+const MaxFrame = 16 << 20
+
+// Errors.
+var (
+	ErrFrameTooBig = errors.New("proto: frame exceeds MaxFrame")
+	ErrTruncated   = errors.New("proto: truncated message")
+)
+
+// Frame is one decoded message envelope.
+type Frame struct {
+	Type    MsgType
+	ReqID   uint64
+	Payload []byte
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	hdr := make([]byte, 4+1+8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+8+len(f.Payload)))
+	hdr[4] = byte(f.Type)
+	binary.LittleEndian.PutUint64(hdr[5:13], f.ReqID)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 9 {
+		return Frame{}, ErrTruncated
+	}
+	if n > MaxFrame+9 {
+		return Frame{}, ErrFrameTooBig
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return Frame{
+		Type:    MsgType(body[0]),
+		ReqID:   binary.LittleEndian.Uint64(body[1:9]),
+		Payload: body[9:],
+	}, nil
+}
+
+// Enc is an append-style payload encoder.
+type Enc struct{ b []byte }
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U8 appends a uint8.
+func (e *Enc) U8(v uint8) *Enc { e.b = append(e.b, v); return e }
+
+// U32 appends a uint32.
+func (e *Enc) U32(v uint32) *Enc {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+	return e
+}
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) *Enc {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+	return e
+}
+
+// I64 appends an int64 (two's complement).
+func (e *Enc) I64(v int64) *Enc { return e.U64(uint64(v)) }
+
+// Dur appends a time.Duration.
+func (e *Enc) Dur(v time.Duration) *Enc { return e.I64(int64(v)) }
+
+// Time appends a time.Time as Unix nanoseconds (zero time encodes as
+// math.MinInt64, preserving "never expires").
+func (e *Enc) Time(v time.Time) *Enc {
+	if v.IsZero() {
+		return e.I64(math.MinInt64)
+	}
+	return e.I64(v.UnixNano())
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) *Enc {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+	return e
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Enc) Blob(b []byte) *Enc {
+	e.U32(uint32(len(b)))
+	e.b = append(e.b, b...)
+	return e
+}
+
+// Datum appends a vfs.Datum.
+func (e *Enc) Datum(d vfs.Datum) *Enc {
+	return e.U8(uint8(d.Kind)).U64(uint64(d.Node))
+}
+
+// Attr appends a vfs.Attr.
+func (e *Enc) Attr(a vfs.Attr) *Enc {
+	e.U64(uint64(a.ID)).Str(a.Name)
+	if a.IsDir {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+	return e.I64(a.Size).Str(a.Owner).U8(uint8(a.Perm)).Time(a.ModTime).U64(a.Version)
+}
+
+// Dec is a cursor-style payload decoder. Decoding past the end sets Err
+// and returns zero values; callers check Err once at the end.
+type Dec struct {
+	b   []byte
+	Err error
+}
+
+// NewDec returns a decoder over the payload.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+func (d *Dec) take(n int) []byte {
+	if d.Err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.Err = ErrTruncated
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+// U8 reads a uint8.
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Dur reads a time.Duration.
+func (d *Dec) Dur() time.Duration { return time.Duration(d.I64()) }
+
+// Time reads a time.Time written by Enc.Time.
+func (d *Dec) Time() time.Time {
+	v := d.I64()
+	if v == math.MinInt64 || d.Err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, v)
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.U32()
+	if d.Err == nil && uint64(n) > uint64(len(d.b)) {
+		d.Err = ErrTruncated
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// Blob reads a length-prefixed byte slice (copied).
+func (d *Dec) Blob() []byte {
+	n := d.U32()
+	if d.Err == nil && uint64(n) > uint64(len(d.b)) {
+		d.Err = ErrTruncated
+		return nil
+	}
+	b := d.take(int(n))
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Datum reads a vfs.Datum.
+func (d *Dec) Datum() vfs.Datum {
+	return vfs.Datum{Kind: vfs.DatumKind(d.U8()), Node: vfs.NodeID(d.U64())}
+}
+
+// Attr reads a vfs.Attr.
+func (d *Dec) Attr() vfs.Attr {
+	var a vfs.Attr
+	a.ID = vfs.NodeID(d.U64())
+	a.Name = d.Str()
+	a.IsDir = d.U8() == 1
+	a.Size = d.I64()
+	a.Owner = d.Str()
+	a.Perm = vfs.Perm(d.U8())
+	a.ModTime = d.Time()
+	a.Version = d.U64()
+	return a
+}
+
+// Remaining reports how many undecoded bytes remain.
+func (d *Dec) Remaining() int { return len(d.b) }
+
+// GrantWire is the per-datum grant carried in extension and read
+// replies.
+type GrantWire struct {
+	Datum   vfs.Datum
+	Term    time.Duration
+	Version uint64
+	Leased  bool
+}
+
+// EncodeGrants appends a grant list.
+func (e *Enc) EncodeGrants(gs []GrantWire) *Enc {
+	e.U32(uint32(len(gs)))
+	for _, g := range gs {
+		e.Datum(g.Datum).Dur(g.Term).U64(g.Version)
+		if g.Leased {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+	}
+	return e
+}
+
+// DecodeGrants reads a grant list.
+func (d *Dec) DecodeGrants() []GrantWire {
+	n := d.U32()
+	if d.Err != nil || uint64(n)*18 > uint64(len(d.b)) {
+		if n != 0 {
+			d.Err = ErrTruncated
+		}
+		return nil
+	}
+	out := make([]GrantWire, 0, n)
+	for i := uint32(0); i < n; i++ {
+		g := GrantWire{
+			Datum:   d.Datum(),
+			Term:    d.Dur(),
+			Version: d.U64(),
+			Leased:  d.U8() == 1,
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// ApprovalWire is the payload of TApprovalReq and TApprove.
+type ApprovalWire struct {
+	WriteID core.WriteID
+	Datum   vfs.Datum
+}
+
+// EncodeApproval appends an approval payload.
+func (e *Enc) EncodeApproval(a ApprovalWire) *Enc {
+	return e.U64(uint64(a.WriteID)).Datum(a.Datum)
+}
+
+// DecodeApproval reads an approval payload.
+func (d *Dec) DecodeApproval() ApprovalWire {
+	return ApprovalWire{
+		WriteID: core.WriteID(d.U64()),
+		Datum:   d.Datum(),
+	}
+}

@@ -1,0 +1,219 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"leases/internal/vfs"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Type: TRead, ReqID: 42, Payload: []byte("hello")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if out.Type != in.Type || out.ReqID != in.ReqID || string(out.Payload) != "hello" {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: TOK, ReqID: 7})
+	out, err := ReadFrame(&buf)
+	if err != nil || out.Type != TOK || out.ReqID != 7 || len(out.Payload) != 0 {
+		t.Fatalf("empty payload round trip: %+v %v", out, err)
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		WriteFrame(&buf, Frame{Type: THello, ReqID: uint64(i), Payload: []byte{byte(i)}})
+	}
+	for i := 0; i < 10; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil || f.ReqID != uint64(i) || f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d: %+v %v", i, f, err)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("read past end = %v, want EOF", err)
+	}
+}
+
+func TestFrameTooBigRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, Frame{Payload: make([]byte, MaxFrame+1)}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize write = %v", err)
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize read = %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: TRead, ReqID: 1, Payload: []byte("abcdef")})
+	data := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(data)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated read = %v", err)
+	}
+	// Length below header size.
+	if _, err := ReadFrame(bytes.NewReader([]byte{3, 0, 0, 0, 1, 2, 3})); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("undersize read = %v", err)
+	}
+}
+
+func TestScalarCodecRoundTrip(t *testing.T) {
+	var e Enc
+	now := time.Unix(123456789, 987654321)
+	e.U8(7).U32(1 << 30).U64(1 << 60).I64(-5).Dur(10 * time.Second).Time(now).Time(time.Time{}).Str("path/to/x").Blob([]byte{1, 2, 3})
+	d := NewDec(e.Bytes())
+	if d.U8() != 7 || d.U32() != 1<<30 || d.U64() != 1<<60 || d.I64() != -5 {
+		t.Fatal("scalar mismatch")
+	}
+	if d.Dur() != 10*time.Second {
+		t.Fatal("duration mismatch")
+	}
+	if !d.Time().Equal(now) {
+		t.Fatal("time mismatch")
+	}
+	if !d.Time().IsZero() {
+		t.Fatal("zero time not preserved")
+	}
+	if d.Str() != "path/to/x" {
+		t.Fatal("string mismatch")
+	}
+	b := d.Blob()
+	if len(b) != 3 || b[2] != 3 {
+		t.Fatal("blob mismatch")
+	}
+	if d.Err != nil || d.Remaining() != 0 {
+		t.Fatalf("decoder state: err=%v remaining=%d", d.Err, d.Remaining())
+	}
+}
+
+func TestDecShortInputSetsErr(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	d.U64()
+	if d.Err == nil {
+		t.Fatal("short U64 did not set Err")
+	}
+	// Further reads stay safe.
+	if d.Str() != "" || d.U32() != 0 {
+		t.Fatal("reads after error returned data")
+	}
+}
+
+func TestDecHugeStringLengthRejected(t *testing.T) {
+	var e Enc
+	e.U32(1 << 31)
+	d := NewDec(e.Bytes())
+	if d.Str() != "" || d.Err == nil {
+		t.Fatal("huge declared string length not rejected")
+	}
+}
+
+func TestAttrRoundTrip(t *testing.T) {
+	in := vfs.Attr{
+		ID: 42, Name: "latex", IsDir: false, Size: 12345,
+		Owner: "root", Perm: vfs.DefaultPerm,
+		ModTime: time.Unix(1e9, 500), Version: 17,
+	}
+	var e Enc
+	e.Attr(in)
+	out := NewDec(e.Bytes()).Attr()
+	if out.ID != in.ID || out.Name != in.Name || out.IsDir != in.IsDir ||
+		out.Size != in.Size || out.Owner != in.Owner || out.Perm != in.Perm ||
+		!out.ModTime.Equal(in.ModTime) || out.Version != in.Version {
+		t.Fatalf("attr round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestGrantsRoundTrip(t *testing.T) {
+	in := []GrantWire{
+		{Datum: vfs.Datum{Kind: vfs.FileData, Node: 5}, Term: 10 * time.Second, Version: 3, Leased: true},
+		{Datum: vfs.Datum{Kind: vfs.DirBinding, Node: 1}, Term: 0, Version: 9, Leased: false},
+	}
+	var e Enc
+	e.EncodeGrants(in)
+	d := NewDec(e.Bytes())
+	out := d.DecodeGrants()
+	if d.Err != nil || len(out) != 2 {
+		t.Fatalf("grants decode: %v %v", out, d.Err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("grant %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestGrantsBogusCountRejected(t *testing.T) {
+	var e Enc
+	e.U32(1 << 30)
+	d := NewDec(e.Bytes())
+	if got := d.DecodeGrants(); got != nil || d.Err == nil {
+		t.Fatal("bogus grant count not rejected")
+	}
+}
+
+func TestApprovalRoundTrip(t *testing.T) {
+	in := ApprovalWire{WriteID: 99, Datum: vfs.Datum{Kind: vfs.FileData, Node: 7}}
+	var e Enc
+	e.EncodeApproval(in)
+	out := NewDec(e.Bytes()).DecodeApproval()
+	if out != in {
+		t.Fatalf("approval round trip: %+v", out)
+	}
+}
+
+// Property: any frame round-trips through a buffer.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, reqID uint64, payload []byte) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		var buf bytes.Buffer
+		in := Frame{Type: MsgType(typ), ReqID: reqID, Payload: payload}
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil || out.Type != in.Type || out.ReqID != in.ReqID {
+			return false
+		}
+		return bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary bytes.
+func TestDecoderNeverPanicsProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		d := NewDec(b)
+		d.Attr()
+		d.DecodeGrants()
+		d.DecodeApproval()
+		d.Str()
+		d.Blob()
+		d.Time()
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package replay drives a workload trace (internal/trace) against a
+// live networked lease server (internal/server) over real TCP — the
+// bridge between the deterministic simulator and the deployment. The
+// same traces that regenerate the paper's figures in simulation can be
+// replayed here to sanity-check that the real stack exhibits the same
+// behaviour: cache hit rates rising with the term, writes deferred
+// behind leases, zero staleness.
+//
+// Traces are replayed under time compression: a Speedup of 60 replays
+// an hour-long trace in a minute. Message timing then differs from the
+// simulator's model (real TCP on a real host), so the comparable
+// quantities are counts and ratios, not absolute delays.
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/stats"
+	"leases/internal/trace"
+	"leases/internal/vfs"
+)
+
+// Config parameterizes a replay.
+type Config struct {
+	// Addr is the server address.
+	Addr string
+	// Trace is the workload. Required. File indices map to paths
+	// "/f<N>" which must exist on the server (Prepare creates them).
+	Trace *trace.Trace
+	// Speedup divides all trace gaps; 0 means 60.
+	Speedup float64
+	// Allowance is ε for the client caches.
+	Allowance time.Duration
+	// MaxOps bounds the number of events replayed (0 = all), for quick
+	// smoke runs.
+	MaxOps int
+}
+
+// Result reports replay measurements.
+type Result struct {
+	Ops, Reads, Writes int64
+	// ReadHits counts reads served from cache under a valid lease.
+	ReadHits int64
+	// Errors counts failed operations.
+	Errors int64
+	// ReadLatency and WriteLatency summarize operation times.
+	ReadLatency, WriteLatency LatencySummary
+	// WallTime is how long the replay took.
+	WallTime time.Duration
+}
+
+// LatencySummary is a compact latency digest.
+type LatencySummary struct {
+	Count     int64
+	Mean, Max time.Duration
+}
+
+// PathForFile maps a trace file index to its server path.
+func PathForFile(f uint32) string { return fmt.Sprintf("/f%d", f) }
+
+// Prepare creates the trace's files on the server through a temporary
+// client connection. Call once before Run against a fresh server.
+func Prepare(addr string, tr *trace.Trace) error {
+	c, err := client.Dial(addr, client.Config{ID: "replay-prepare"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for f := 0; f < tr.Files; f++ {
+		if _, err := c.Create(PathForFile(uint32(f)), vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+			return fmt.Errorf("creating %s: %w", PathForFile(uint32(f)), err)
+		}
+		if err := c.Write(PathForFile(uint32(f)), []byte("seed")); err != nil {
+			return fmt.Errorf("seeding %s: %w", PathForFile(uint32(f)), err)
+		}
+	}
+	return nil
+}
+
+// Run replays the trace. Each trace client gets its own connection and
+// goroutine; events fire at their compressed offsets.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("replay: nil trace")
+	}
+	if cfg.Speedup == 0 {
+		cfg.Speedup = 60
+	}
+	if cfg.Speedup <= 0 {
+		return nil, fmt.Errorf("replay: non-positive speedup")
+	}
+
+	// Partition events per client, preserving order.
+	perClient := make([][]trace.Event, cfg.Trace.Clients)
+	total := 0
+	for _, e := range cfg.Trace.Events {
+		if cfg.MaxOps > 0 && total >= cfg.MaxOps {
+			break
+		}
+		perClient[e.Client] = append(perClient[e.Client], e)
+		total++
+	}
+
+	caches := make([]*client.Cache, cfg.Trace.Clients)
+	for i := range caches {
+		c, err := client.Dial(cfg.Addr, client.Config{
+			ID:        fmt.Sprintf("replay-c%d", i),
+			Allowance: cfg.Allowance,
+		})
+		if err != nil {
+			for _, prev := range caches[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("replay: dialing client %d: %w", i, err)
+		}
+		caches[i] = c
+	}
+	defer func() {
+		for _, c := range caches {
+			c.Close()
+		}
+	}()
+
+	var (
+		errs        stats.Counter
+		readLat     stats.DurationStat
+		writeLat    stats.DurationStat
+		reads       stats.Counter
+		writes      stats.Counter
+		readPayload = []byte("replayed write")
+	)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, events := range perClient {
+		if len(events) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idx int, events []trace.Event) {
+			defer wg.Done()
+			c := caches[idx]
+			for _, e := range events {
+				target := start.Add(time.Duration(float64(e.At) / cfg.Speedup))
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+				path := PathForFile(e.File)
+				opStart := time.Now()
+				var err error
+				switch e.Op {
+				case trace.OpRead:
+					_, err = c.Read(path)
+					reads.Inc()
+					readLat.Observe(time.Since(opStart))
+				case trace.OpWrite:
+					err = c.Write(path, readPayload)
+					writes.Inc()
+					writeLat.Observe(time.Since(opStart))
+				}
+				if err != nil {
+					errs.Inc()
+				}
+			}
+		}(i, events)
+	}
+	wg.Wait()
+
+	var hits int64
+	for _, c := range caches {
+		m := c.Metrics()
+		hits += m.ReadHits
+	}
+	return &Result{
+		Ops:      reads.Value() + writes.Value(),
+		Reads:    reads.Value(),
+		Writes:   writes.Value(),
+		ReadHits: hits,
+		Errors:   errs.Value(),
+		ReadLatency: LatencySummary{
+			Count: readLat.Count(), Mean: readLat.Mean(), Max: readLat.Max(),
+		},
+		WriteLatency: LatencySummary{
+			Count: writeLat.Count(), Mean: writeLat.Mean(), Max: writeLat.Max(),
+		},
+		WallTime: time.Since(start),
+	}, nil
+}
+
+// SortEventsForDisplay orders a copy of events by time then client, for
+// debugging dumps.
+func SortEventsForDisplay(events []trace.Event) []trace.Event {
+	out := make([]trace.Event, len(events))
+	copy(out, events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Client < out[j].Client
+	})
+	return out
+}

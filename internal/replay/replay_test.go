@@ -1,0 +1,117 @@
+package replay_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"leases/internal/replay"
+	"leases/internal/server"
+	"leases/internal/trace"
+)
+
+func startServer(t *testing.T, term time.Duration) string {
+	t.Helper()
+	s := server.New(server.Config{Term: term, WriteTimeout: 5 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); s.Serve(ln) }()
+	t.Cleanup(func() { s.Stop(); <-done })
+	return ln.Addr().String()
+}
+
+func smallTrace(seed int64) *trace.Trace {
+	return trace.Poisson(trace.PoissonConfig{
+		Seed: seed, Duration: 2 * time.Minute, Clients: 3, Files: 4,
+		ReadRate: 1.2, WriteRate: 0.1,
+	})
+}
+
+func TestReplayAgainstRealServer(t *testing.T) {
+	addr := startServer(t, 30*time.Second)
+	tr := smallTrace(1)
+	if err := replay.Prepare(addr, tr); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	res, err := replay.Run(replay.Config{
+		Addr: addr, Trace: tr, Speedup: 120,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d operation errors", res.Errors)
+	}
+	if res.Ops == 0 || res.Reads == 0 {
+		t.Fatalf("nothing replayed: %+v", res)
+	}
+	// With a 30 s real-time term and compressed gaps, most reads hit.
+	hitRate := float64(res.ReadHits) / float64(res.Reads)
+	if hitRate < 0.5 {
+		t.Fatalf("hit rate %.2f under a long term — leases not working over TCP", hitRate)
+	}
+}
+
+// The real stack must show the same ordering the simulator shows: a
+// longer term yields a higher hit rate than a zero term.
+func TestReplayTermOrdering(t *testing.T) {
+	tr := smallTrace(2)
+
+	run := func(term time.Duration) float64 {
+		addr := startServer(t, term)
+		if err := replay.Prepare(addr, tr); err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		res, err := replay.Run(replay.Config{Addr: addr, Trace: tr, Speedup: 240, MaxOps: 150})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%d errors at term %v", res.Errors, term)
+		}
+		if res.Reads == 0 {
+			return 0
+		}
+		return float64(res.ReadHits) / float64(res.Reads)
+	}
+
+	zero := run(0)
+	long := run(time.Minute)
+	if zero != 0 {
+		t.Fatalf("zero-term hit rate %.2f, want 0", zero)
+	}
+	if long <= zero {
+		t.Fatalf("term ordering violated: hit rate %.2f at 1m vs %.2f at 0", long, zero)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := replay.Run(replay.Config{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := replay.Run(replay.Config{Trace: smallTrace(3), Speedup: -1}); err == nil {
+		t.Fatal("negative speedup accepted")
+	}
+	if _, err := replay.Run(replay.Config{Trace: smallTrace(3), Addr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}
+
+func TestSortEventsForDisplay(t *testing.T) {
+	events := []trace.Event{
+		{At: 2 * time.Second, Client: 1},
+		{At: time.Second, Client: 2},
+		{At: time.Second, Client: 0},
+	}
+	out := replay.SortEventsForDisplay(events)
+	if out[0].Client != 0 || out[1].Client != 2 || out[2].Client != 1 {
+		t.Fatalf("sorted = %+v", out)
+	}
+	// Input untouched.
+	if events[0].Client != 1 {
+		t.Fatal("input mutated")
+	}
+}

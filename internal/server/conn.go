@@ -1,0 +1,518 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"leases/internal/core"
+	"leases/internal/proto"
+	"leases/internal/vfs"
+)
+
+// serverConn is one client connection.
+type serverConn struct {
+	srv    *Server
+	nc     net.Conn
+	client core.ClientID
+	wmu    sync.Mutex // serializes frame writes
+	closed sync.Once
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.raw, nc)
+		s.mu.Unlock()
+	}()
+	c := &serverConn{srv: s, nc: nc}
+	defer c.close()
+
+	// The first frame must be THello, identifying the client for lease
+	// records and approval pushes.
+	f, err := proto.ReadFrame(nc)
+	if err != nil || f.Type != proto.THello {
+		return
+	}
+	d := proto.NewDec(f.Payload)
+	id := core.ClientID(d.Str())
+	if d.Err != nil || id == "" {
+		c.reply(f.ReqID, proto.TError, errPayload(fmt.Errorf("bad hello")))
+		return
+	}
+	c.client = id
+	s.mu.Lock()
+	if old, ok := s.conns[id]; ok {
+		old.close()
+	}
+	s.conns[id] = c
+	s.mu.Unlock()
+	c.reply(f.ReqID, proto.THelloAck, nil)
+
+	defer func() {
+		s.mu.Lock()
+		if s.conns[id] == c {
+			delete(s.conns, id)
+		}
+		s.mu.Unlock()
+	}()
+
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := proto.ReadFrame(nc)
+		if err != nil {
+			return
+		}
+		if f.Type == proto.TApprove {
+			// Pushes are handled inline: cheap, never blocking.
+			c.handleApprove(f)
+			continue
+		}
+		// Each request runs in its own goroutine so a deferred write
+		// blocks only itself. f is freshly declared each iteration.
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			c.dispatch(f)
+		}()
+	}
+}
+
+func (c *serverConn) close() {
+	c.closed.Do(func() { c.nc.Close() })
+}
+
+func (c *serverConn) reply(reqID uint64, t proto.MsgType, payload []byte) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := proto.WriteFrame(c.nc, proto.Frame{Type: t, ReqID: reqID, Payload: payload}); err != nil {
+		c.close()
+	}
+}
+
+// pushApproval sends an unsolicited approval request. Callers hold
+// s.mu; the write happens under the connection's own lock, which is
+// never held while taking s.mu, so the order is safe.
+func (c *serverConn) pushApproval(a proto.ApprovalWire) {
+	var e proto.Enc
+	e.EncodeApproval(a)
+	go c.replyPush(e.Bytes())
+}
+
+func (c *serverConn) replyPush(payload []byte) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := proto.WriteFrame(c.nc, proto.Frame{Type: proto.TApprovalReq, Payload: payload}); err != nil {
+		c.close()
+	}
+}
+
+func errPayload(err error) []byte {
+	var e proto.Enc
+	e.Str(err.Error())
+	return e.Bytes()
+}
+
+func (c *serverConn) fail(reqID uint64, err error) {
+	c.reply(reqID, proto.TError, errPayload(err))
+}
+
+func (c *serverConn) dispatch(f proto.Frame) {
+	switch f.Type {
+	case proto.TLookup:
+		c.handleLookup(f)
+	case proto.TRead:
+		c.handleRead(f)
+	case proto.TWrite:
+		c.handleWrite(f)
+	case proto.TExtend:
+		c.handleExtend(f)
+	case proto.TRelease:
+		c.handleRelease(f)
+	case proto.TReadDir:
+		c.handleReadDir(f)
+	case proto.TStat:
+		c.handleStat(f)
+	case proto.TCreate:
+		c.handleCreate(f, false)
+	case proto.TMkdir:
+		c.handleCreate(f, true)
+	case proto.TRemove:
+		c.handleRemove(f)
+	case proto.TRename:
+		c.handleRename(f)
+	case proto.TSetPerm:
+		c.handleSetPerm(f)
+	default:
+		c.fail(f.ReqID, fmt.Errorf("server: unknown message type %d", f.Type))
+	}
+}
+
+// grantLocked grants a lease on d and packages it for the wire. Callers
+// hold s.mu.
+func (c *serverConn) grantLocked(d vfs.Datum) proto.GrantWire {
+	s := c.srv
+	g := s.mgr.Grant(c.client, d, s.clk.Now())
+	version, err := s.store.Version(d)
+	if err != nil {
+		version = 0
+	}
+	return proto.GrantWire{Datum: d, Term: g.Term, Version: version, Leased: g.Leased}
+}
+
+func (c *serverConn) handleLookup(f proto.Frame) {
+	d := proto.NewDec(f.Payload)
+	path := d.Str()
+	if d.Err != nil {
+		c.fail(f.ReqID, d.Err)
+		return
+	}
+	s := c.srv
+	attr, err := s.store.Lookup(path)
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	// Grant a lease on the parent directory's binding so the client can
+	// repeat this open locally (§2: the cache "must also hold the
+	// name-to-file binding and permission information, and it needs a
+	// lease over this information").
+	parentAttr, err := s.store.Lookup(parentOf(path))
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	s.mu.Lock()
+	grants := []proto.GrantWire{c.grantLocked(vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID})}
+	s.mu.Unlock()
+
+	var e proto.Enc
+	e.Attr(attr).U64(uint64(parentAttr.ID)).EncodeGrants(grants)
+	c.reply(f.ReqID, proto.TLookupRep, e.Bytes())
+}
+
+func (c *serverConn) handleRead(f proto.Frame) {
+	d := proto.NewDec(f.Payload)
+	node := vfs.NodeID(d.U64())
+	if d.Err != nil {
+		c.fail(f.ReqID, d.Err)
+		return
+	}
+	s := c.srv
+	if err := s.store.CheckAccess(node, string(c.client), false); err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	data, attr, err := s.store.ReadFile(node)
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	s.mu.Lock()
+	grant := c.grantLocked(vfs.Datum{Kind: vfs.FileData, Node: node})
+	s.mu.Unlock()
+	// Re-read under the granted version if a write slipped between the
+	// read and the grant, so data and version always agree.
+	if grant.Version != attr.Version {
+		data, attr, err = s.store.ReadFile(node)
+		if err != nil {
+			c.fail(f.ReqID, err)
+			return
+		}
+		grant.Version = attr.Version
+	}
+	var e proto.Enc
+	e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).Blob(data)
+	c.reply(f.ReqID, proto.TReadRep, e.Bytes())
+}
+
+func (c *serverConn) handleWrite(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	node := vfs.NodeID(dec.U64())
+	data := dec.Blob()
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	if err := s.store.CheckAccess(node, string(c.client), true); err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	var attr vfs.Attr
+	err := s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.FileData, Node: node}}, func() error {
+		var werr error
+		attr, _, werr = s.store.WriteFile(node, data)
+		return werr
+	})
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	var e proto.Enc
+	e.Attr(attr)
+	c.reply(f.ReqID, proto.TWriteRep, e.Bytes())
+}
+
+func (c *serverConn) handleExtend(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	n := dec.U32()
+	if dec.Err != nil || n > 1<<16 {
+		c.fail(f.ReqID, proto.ErrTruncated)
+		return
+	}
+	data := make([]vfs.Datum, 0, n)
+	for i := uint32(0); i < n; i++ {
+		data = append(data, dec.Datum())
+	}
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	s.mu.Lock()
+	grants := make([]proto.GrantWire, 0, len(data))
+	for _, d := range data {
+		grants = append(grants, c.grantLocked(d))
+	}
+	s.mu.Unlock()
+	var e proto.Enc
+	e.EncodeGrants(grants)
+	c.reply(f.ReqID, proto.TExtendRep, e.Bytes())
+}
+
+func (c *serverConn) handleRelease(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	n := dec.U32()
+	if dec.Err != nil || n > 1<<16 {
+		c.fail(f.ReqID, proto.ErrTruncated)
+		return
+	}
+	data := make([]vfs.Datum, 0, n)
+	for i := uint32(0); i < n; i++ {
+		data = append(data, dec.Datum())
+	}
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	s.mu.Lock()
+	s.mgr.Release(c.client, data, s.clk.Now())
+	s.releaseReadyLocked()
+	s.mu.Unlock()
+	s.wake()
+	c.reply(f.ReqID, proto.TOK, nil)
+}
+
+func (c *serverConn) handleReadDir(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	node := vfs.NodeID(dec.U64())
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	entries, attr, err := s.store.ReadDir(node)
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	s.mu.Lock()
+	grant := c.grantLocked(vfs.Datum{Kind: vfs.DirBinding, Node: node})
+	s.mu.Unlock()
+	var e proto.Enc
+	e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.Str(ent.Name).U64(uint64(ent.ID))
+		if ent.IsDir {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+	}
+	c.reply(f.ReqID, proto.TReadDirRep, e.Bytes())
+}
+
+func (c *serverConn) handleStat(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	node := vfs.NodeID(dec.U64())
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	attr, err := c.srv.store.Stat(node)
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	var e proto.Enc
+	e.Attr(attr)
+	c.reply(f.ReqID, proto.TStatRep, e.Bytes())
+}
+
+// handleCreate covers TCreate (files) and TMkdir (directories): a write
+// to the parent directory's binding datum.
+func (c *serverConn) handleCreate(f proto.Frame, dir bool) {
+	dec := proto.NewDec(f.Payload)
+	path := dec.Str()
+	perm := vfs.Perm(dec.U8())
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	parentAttr, err := s.store.Lookup(parentOf(path))
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	var attr vfs.Attr
+	err = s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.DirBinding, Node: parentAttr.ID}}, func() error {
+		var cerr error
+		if dir {
+			attr, cerr = s.store.Mkdir(path, string(c.client), perm)
+		} else {
+			attr, cerr = s.store.Create(path, string(c.client), perm)
+		}
+		return cerr
+	})
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	var e proto.Enc
+	e.Attr(attr)
+	c.reply(f.ReqID, proto.TCreateRep, e.Bytes())
+}
+
+func (c *serverConn) handleRemove(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	path := dec.Str()
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	attr, err := s.store.Lookup(path)
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	parentAttr, err := s.store.Lookup(parentOf(path))
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	kind := vfs.FileData
+	if attr.IsDir {
+		kind = vfs.DirBinding
+	}
+	data := []vfs.Datum{
+		{Kind: kind, Node: attr.ID},
+		{Kind: vfs.DirBinding, Node: parentAttr.ID},
+	}
+	err = s.acquireClearance(c.client, data, func() error {
+		_, rerr := s.store.Remove(path)
+		return rerr
+	})
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	c.reply(f.ReqID, proto.TOK, nil)
+}
+
+func (c *serverConn) handleRename(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	oldPath := dec.Str()
+	newPath := dec.Str()
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	oldParent, err := s.store.Lookup(parentOf(oldPath))
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	newParent, err := s.store.Lookup(parentOf(newPath))
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	data := []vfs.Datum{{Kind: vfs.DirBinding, Node: oldParent.ID}}
+	if newParent.ID != oldParent.ID {
+		data = append(data, vfs.Datum{Kind: vfs.DirBinding, Node: newParent.ID})
+	}
+	err = s.acquireClearance(c.client, data, func() error {
+		_, rerr := s.store.Rename(oldPath, newPath)
+		return rerr
+	})
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	c.reply(f.ReqID, proto.TOK, nil)
+}
+
+// handleSetPerm changes ownership/permissions — per §2, attribute
+// changes are writes to the parent's binding datum, so they defer on
+// conflicting binding leases like a rename would.
+func (c *serverConn) handleSetPerm(f proto.Frame) {
+	dec := proto.NewDec(f.Payload)
+	node := vfs.NodeID(dec.U64())
+	owner := dec.Str()
+	perm := vfs.Perm(dec.U8())
+	if dec.Err != nil {
+		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	s := c.srv
+	attr, err := s.store.Stat(node)
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	// Only the current owner may change attributes.
+	if attr.Owner != string(c.client) {
+		c.fail(f.ReqID, vfs.ErrPerm)
+		return
+	}
+	path, err := s.store.Path(node)
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	parentAttr, err := s.store.Lookup(parentOf(path))
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	err = s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.DirBinding, Node: parentAttr.ID}}, func() error {
+		_, perr := s.store.SetPerm(node, owner, perm)
+		return perr
+	})
+	if err != nil {
+		c.fail(f.ReqID, err)
+		return
+	}
+	c.reply(f.ReqID, proto.TOK, nil)
+}
+
+func (c *serverConn) handleApprove(f proto.Frame) {
+	a := proto.NewDec(f.Payload).DecodeApproval()
+	s := c.srv
+	s.mu.Lock()
+	if s.mgr.Approve(c.client, a.WriteID, s.clk.Now()) {
+		s.releaseReadyLocked()
+	}
+	s.mu.Unlock()
+	s.wake()
+}
+
+var errBadRequest = errors.New("server: bad request")

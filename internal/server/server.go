@@ -1,0 +1,369 @@
+// Package server is the networked lease file server: the vfs store and
+// the core lease Manager behind a TCP wire protocol (internal/proto).
+//
+// Reads and lookups grant leases. Writes — both file contents and
+// name-binding mutations (create, remove, rename), which the paper is
+// explicit are writes too (§2) — are deferred until every conflicting
+// leaseholder approves via the callback push or its lease expires. A
+// binding mutation needs clearance on more than one datum (the removed
+// file's data and its directory's binding); clearances are acquired in
+// a global datum order so concurrent multi-datum writes cannot
+// deadlock.
+//
+// Concurrency model: one goroutine per connection reads frames; each
+// request runs in its own goroutine (a deferred write blocks only its
+// own request). A single mutex serializes the lease manager and store
+// mutation; a dedicated timer goroutine releases expiry-blocked writes.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/core"
+	"leases/internal/proto"
+	"leases/internal/vfs"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Policy chooses lease terms. Nil means FixedTerm(Term).
+	Policy core.TermPolicy
+	// Term is the fixed lease term when Policy is nil.
+	Term time.Duration
+	// Clock supplies time; nil means the real clock.
+	Clock clock.Clock
+	// Owner owns the store root.
+	Owner string
+	// RecoveryWindow, when positive, delays all writes for that long
+	// after startup — the restart-after-crash rule (§2). A fresh server
+	// passes zero.
+	RecoveryWindow time.Duration
+	// WriteTimeout bounds how long a write may stay deferred before the
+	// server fails it back to the writer. Zero means no bound (an
+	// unreachable holder with an infinite lease blocks forever, as the
+	// protocol dictates).
+	WriteTimeout time.Duration
+}
+
+// Server is a running lease file server.
+type Server struct {
+	cfg   Config
+	clk   clock.Clock
+	store *vfs.Store
+
+	mu      sync.Mutex
+	mgr     *core.Manager
+	conns   map[core.ClientID]*serverConn
+	raw     map[net.Conn]struct{} // every accepted conn, pre- or post-hello
+	waiters map[core.WriteID]chan struct{}
+
+	ln       net.Listener
+	stopOnce sync.Once
+	stopped  chan struct{}
+	kick     chan struct{} // wakes the deadline goroutine
+	wg       sync.WaitGroup
+}
+
+// New creates a server with an empty store.
+func New(cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Owner == "" {
+		cfg.Owner = "root"
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = core.FixedTerm(cfg.Term)
+	}
+	var opts []core.ManagerOption
+	if cfg.RecoveryWindow > 0 {
+		opts = append(opts, core.WithRecoveryWindow(cfg.Clock.Now().Add(cfg.RecoveryWindow)))
+	}
+	s := &Server{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		store:   vfs.New(cfg.Clock, cfg.Owner),
+		mgr:     core.NewManager(policy, opts...),
+		conns:   make(map[core.ClientID]*serverConn),
+		raw:     make(map[net.Conn]struct{}),
+		waiters: make(map[core.WriteID]chan struct{}),
+		stopped: make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+	}
+	return s
+}
+
+// Store exposes the underlying file store (e.g. to seed test fixtures
+// before serving).
+func (s *Server) Store() *vfs.Store { return s.store }
+
+// MaxTermGranted reports the value a deployment persists for crash
+// recovery.
+func (s *Server) MaxTermGranted() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.MaxTermGranted()
+}
+
+// Metrics reports the lease manager's event counters.
+func (s *Server) Metrics() core.ManagerMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.Metrics()
+}
+
+// LeaseCount reports the current number of lease records.
+func (s *Server) LeaseCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.LeaseCount()
+}
+
+// Snapshot returns the current lease records (the detailed persistent
+// record recovery alternative).
+func (s *Server) Snapshot() []core.LeaseSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.Snapshot(s.clk.Now())
+}
+
+// Restore loads lease records persisted before a crash.
+func (s *Server) Restore(records []core.LeaseSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mgr.Restore(records, s.clk.Now())
+}
+
+// ListenAndServe binds addr and serves until Stop.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Stop. It returns nil after Stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.deadlineLoop()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopped:
+				s.wg.Wait()
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.raw[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Addr reports the bound address, for clients of a test server.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stop shuts the server down: the listener closes, connections drop,
+// deferred writes fail back to their writers.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		s.mu.Lock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		for nc := range s.raw {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		s.wake()
+	})
+	s.wg.Wait()
+}
+
+func (s *Server) wake() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// deadlineLoop releases writes whose blocking leases expire.
+func (s *Server) deadlineLoop() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		dl, ok := s.mgr.NextDeadline()
+		s.mu.Unlock()
+		var fire <-chan time.Time
+		var stopTimer func() bool
+		if ok {
+			d := dl.Sub(s.clk.Now()) + time.Millisecond
+			if d < 0 {
+				d = 0
+			}
+			fire, stopTimer = s.clk.After(d)
+		}
+		select {
+		case <-s.stopped:
+			if stopTimer != nil {
+				stopTimer()
+			}
+			s.failAllWaiters()
+			return
+		case <-s.kick:
+			if stopTimer != nil {
+				stopTimer()
+			}
+		case <-fire:
+			s.mu.Lock()
+			s.releaseReadyLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// releaseReadyLocked signals the waiter of every write the manager
+// considers releasable. Callers hold s.mu.
+func (s *Server) releaseReadyLocked() {
+	for _, id := range s.mgr.ReadyWrites(s.clk.Now()) {
+		if ch, ok := s.waiters[id]; ok {
+			delete(s.waiters, id)
+			close(ch)
+		}
+	}
+}
+
+func (s *Server) failAllWaiters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ch := range s.waiters {
+		s.mgr.CancelWrite(id, s.clk.Now())
+		delete(s.waiters, id)
+		close(ch)
+	}
+}
+
+// errShutdown reports a write aborted by server shutdown or timeout.
+var errShutdown = errors.New("server: shutting down")
+
+// acquireClearance defers until writer may write every datum in data,
+// then runs apply while still holding clearance and finally releases the
+// per-datum write queue entries. Data are acquired in sorted order to
+// prevent deadlock between concurrent multi-datum writes.
+func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply func() error) error {
+	sorted := make([]vfs.Datum, len(data))
+	copy(sorted, data)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Kind != sorted[j].Kind {
+			return sorted[i].Kind < sorted[j].Kind
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+
+	var held []core.WriteID
+	releaseHeld := func(applied bool) {
+		s.mu.Lock()
+		now := s.clk.Now()
+		for _, id := range held {
+			if applied {
+				s.mgr.WriteApplied(id, now)
+			} else {
+				s.mgr.CancelWrite(id, now)
+			}
+		}
+		s.releaseReadyLocked()
+		s.mu.Unlock()
+		s.wake()
+	}
+
+	for _, d := range sorted {
+		s.mu.Lock()
+		now := s.clk.Now()
+		// Held submission: the queue entry blocks new grants on d until
+		// the apply completes, even when no lease conflicts right now.
+		disp := s.mgr.SubmitWriteHeld(writer, d, now)
+		ch := make(chan struct{})
+		s.waiters[disp.WriteID] = ch
+		// Push approval requests to the connected holders.
+		for _, holder := range disp.NeedApproval {
+			if hc, ok := s.conns[holder]; ok {
+				hc.pushApproval(proto.ApprovalWire{WriteID: disp.WriteID, Datum: d})
+			}
+		}
+		// In case everything needed already cleared between Submit and
+		// now (or the deadline already passed), let the loop re-check.
+		s.releaseReadyLocked()
+		s.mu.Unlock()
+		s.wake()
+
+		var timeout <-chan time.Time
+		var stopTimer func() bool
+		if s.cfg.WriteTimeout > 0 {
+			timeout, stopTimer = s.clk.After(s.cfg.WriteTimeout)
+		}
+		select {
+		case <-ch:
+			if stopTimer != nil {
+				stopTimer()
+			}
+			select {
+			case <-s.stopped:
+				// Shutdown closes waiter channels without clearance.
+				releaseHeld(false)
+				return errShutdown
+			default:
+			}
+			held = append(held, disp.WriteID)
+		case <-timeout:
+			s.mu.Lock()
+			if _, still := s.waiters[disp.WriteID]; still {
+				delete(s.waiters, disp.WriteID)
+				s.mgr.CancelWrite(disp.WriteID, s.clk.Now())
+				s.mu.Unlock()
+				releaseHeld(false)
+				return fmt.Errorf("server: write timed out awaiting lease clearance on %v", d)
+			}
+			// Cleared concurrently with the timeout: proceed.
+			s.mu.Unlock()
+			held = append(held, disp.WriteID)
+		}
+	}
+
+	err := apply()
+	releaseHeld(true)
+	return err
+}
+
+// parentOf returns the directory part of a path.
+func parentOf(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}

@@ -1,0 +1,168 @@
+// Package sim is a deterministic discrete-event simulation engine.
+//
+// The paper validates its analytic model with a trace-driven simulation of
+// the cache and server (§3.2, the "Trace" curve of Figure 1). Package
+// tracesim rebuilds that simulation on top of this engine: events are
+// scheduled at virtual instants, executed strictly in time order (ties
+// broken by scheduling order, so runs are reproducible), and virtual time
+// jumps instantaneously between events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled action.
+type Event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+	// index in the heap, or -1 when cancelled/executed.
+	index int
+}
+
+// At reports the instant at which the event is scheduled.
+func (e *Event) At() time.Time { return e.at }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use: all scheduling and execution happens on the caller's
+// goroutine, which is what makes simulations deterministic.
+type Engine struct {
+	now      time.Time
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	running  bool
+}
+
+// New returns an engine whose virtual clock reads start.
+func New(start time.Time) *Engine {
+	return &Engine{now: start}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Executed reports how many events have run.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled and not yet run.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at the given virtual instant. Scheduling in the
+// past (before Now) panics: such an event would require time to move
+// backwards. Scheduling exactly at Now is allowed and runs after events
+// already queued for that instant.
+func (e *Engine) At(at time.Time, fn func()) *Event {
+	if at.Before(e.now) {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before current time %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was
+// still pending (false if already executed or cancelled).
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Step executes the single earliest pending event, advancing virtual time
+// to its instant. It reports false if no events are pending.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.executed++
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	return true
+}
+
+// Run executes events until none remain. It guards against re-entrant
+// calls from inside an event handler.
+func (e *Engine) Run() {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with instants at or before deadline, then
+// advances virtual time to the deadline. Events scheduled later remain
+// pending.
+func (e *Engine) RunUntil(deadline time.Time) {
+	if e.running {
+		panic("sim: re-entrant RunUntil")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 && !e.queue[0].at.After(deadline) {
+		e.Step()
+	}
+	if deadline.After(e.now) {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for the next d of virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"leases/internal/clock"
+)
+
+func TestEngineStartsAtGivenTime(t *testing.T) {
+	e := New(clock.Epoch)
+	if !e.Now().Equal(clock.Epoch) {
+		t.Fatalf("Now = %v, want %v", e.Now(), clock.Epoch)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(clock.Epoch)
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", order)
+	}
+	if got, want := e.Now(), clock.Epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("final time %v, want %v", got, want)
+	}
+}
+
+func TestSimultaneousEventsRunInScheduleOrder(t *testing.T) {
+	e := New(clock.Epoch)
+	var order []int
+	at := clock.Epoch.Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(at, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want ascending", order)
+		}
+	}
+}
+
+func TestEventsScheduledFromHandlers(t *testing.T) {
+	e := New(clock.Epoch)
+	var fired []time.Duration
+	e.After(time.Second, func() {
+		fired = append(fired, e.Now().Sub(clock.Epoch))
+		e.After(time.Second, func() {
+			fired = append(fired, e.Now().Sub(clock.Epoch))
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired at %v, want [1s 2s]", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(clock.Epoch)
+	e.After(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling before Now did not panic")
+		}
+	}()
+	e.At(clock.Epoch, func() {})
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	e := New(clock.Epoch)
+	ran := false
+	e.After(-time.Hour, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if !e.Now().Equal(clock.Epoch) {
+		t.Fatalf("time moved to %v, want epoch", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(clock.Epoch)
+	ran := false
+	ev := e.After(time.Second, func() { ran = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel on pending event reported false")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel reported true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelExecutedEvent(t *testing.T) {
+	e := New(clock.Epoch)
+	ev := e.After(0, func() {})
+	e.Run()
+	if e.Cancel(ev) {
+		t.Fatal("Cancel on executed event reported true")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) reported true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New(clock.Epoch)
+	var order []int
+	events := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		events[i] = e.After(time.Duration(i)*time.Second, func() { order = append(order, i) })
+	}
+	e.Cancel(events[4])
+	e.Cancel(events[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(clock.Epoch)
+	var ran []int
+	e.After(1*time.Second, func() { ran = append(ran, 1) })
+	e.After(5*time.Second, func() { ran = append(ran, 5) })
+	e.RunUntil(clock.Epoch.Add(3 * time.Second))
+	if len(ran) != 1 || ran[0] != 1 {
+		t.Fatalf("ran %v, want [1]", ran)
+	}
+	if got, want := e.Now(), clock.Epoch.Add(3*time.Second); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v (deadline)", got, want)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunFor(2 * time.Second)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want both events", ran)
+	}
+}
+
+func TestRunUntilEventExactlyAtDeadlineRuns(t *testing.T) {
+	e := New(clock.Epoch)
+	ran := false
+	e.After(time.Second, func() { ran = true })
+	e.RunUntil(clock.Epoch.Add(time.Second))
+	if !ran {
+		t.Fatal("event at the deadline did not run")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	e := New(clock.Epoch)
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run()
+	if e.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", e.Executed())
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := New(clock.Epoch)
+	var recovered any
+	e.After(0, func() {
+		defer func() { recovered = recover() }()
+		e.Run()
+	})
+	e.Run()
+	if recovered == nil {
+		t.Fatal("re-entrant Run did not panic")
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New(clock.Epoch)
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+// Property: for any multiset of delays, events execute in nondecreasing
+// time order and the engine finishes at the maximum delay.
+func TestTimeOrderProperty(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		e := New(clock.Epoch)
+		var fired []time.Time
+		var maxAt time.Time = clock.Epoch
+		for _, d := range delaysMS {
+			at := clock.Epoch.Add(time.Duration(d) * time.Millisecond)
+			if at.After(maxAt) {
+				maxAt = at
+			}
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i].Before(fired[i-1]) {
+				return false
+			}
+		}
+		return e.Now().Equal(maxAt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

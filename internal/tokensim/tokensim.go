@@ -1,0 +1,534 @@
+// Package tokensim simulates the token extension (non-write-through
+// caching, §2/§6) over the same workloads and fabric as tracesim, so the
+// write-back and write-through regimes can be compared head to head —
+// the study the paper suggests for Echo and MFS: "with extension, our
+// analysis of performance could be profitably applied to these systems."
+//
+// Under tokens, a client holding a write token absorbs writes locally
+// and flushes only when recalled (another cache wants the datum), when
+// its token is about to expire with dirty data, or at a periodic flush
+// interval. The interesting trade-off: write-back removes per-write
+// server round trips (a big win for write-heavy private data) but adds
+// recall round trips to reads of recently-written data, and buffered
+// writes are exposed to loss if the holder crashes.
+package tokensim
+
+import (
+	"fmt"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/core"
+	"leases/internal/netsim"
+	"leases/internal/sim"
+	"leases/internal/stats"
+	"leases/internal/trace"
+	"leases/internal/vfs"
+)
+
+// Message kinds; "lease."-prefixed kinds count as consistency traffic,
+// "data." kinds as base traffic, matching tracesim's accounting.
+const (
+	kindAcquire  = "lease.acquire"
+	kindGrant    = "lease.grant"
+	kindRecall   = "lease.recall"
+	kindRecallOK = "lease.recall-ack"
+	kindFlush    = "data.flush"
+	kindFlushAck = "data.flush-ack"
+)
+
+// Config parameterizes a token simulation.
+type Config struct {
+	// Trace is the workload. Required.
+	Trace *trace.Trace
+	// Term is the token term.
+	Term time.Duration
+	// Net is the fabric model.
+	Net netsim.Params
+	// FlushInterval bounds how long dirty data may sit unflushed. Zero
+	// means flush only on recall or pre-expiry.
+	FlushInterval time.Duration
+}
+
+// Result reports the measurements.
+type Result struct {
+	Duration              time.Duration
+	ServerConsistencyMsgs int64
+	ServerTotalMsgs       int64
+	ConsistencyLoad       float64
+	Reads, Writes         int64
+	ReadHits, WriteHits   int64 // served/absorbed locally under a token
+	Flushes               int64
+	Recalls               int64
+	// LostWrites counts data whose locally buffered writes never
+	// reached the server because the write token expired before a flush
+	// — the write-back hazard. Frequent flushing (FlushInterval) or
+	// terms comfortably above the write burst length drive this to
+	// zero.
+	LostWrites int64
+	// StaleReads counts consistency violations (must be zero).
+	StaleReads int64
+}
+
+type tokenSim struct {
+	cfg    Config
+	engine *sim.Engine
+	fabric *netsim.Fabric
+	mgr    *core.TokenManager
+	// server state
+	versions map[vfs.Datum]uint64
+	// per-acquisition bookkeeping at the server
+	reqs map[core.TokenReqID]*pendingAcq
+	// clients
+	clients []*tokenClient
+
+	reads, writes, readHits, writeHits stats.Counter
+	flushes, recalls, stale, lost      stats.Counter
+	deadlineEv                         *sim.Event
+}
+
+type pendingAcq struct {
+	client core.ClientID
+	datum  vfs.Datum
+	mode   core.TokenMode
+	reqID  uint64 // client-side request id
+}
+
+type tokenClient struct {
+	s      *tokenSim
+	index  int
+	id     core.ClientID
+	node   netsim.NodeID
+	holder *core.TokenHolder
+	// cached maps datum → last version seen (server or local).
+	cached map[vfs.Datum]uint64
+	// pendingMode tracks the outstanding acquisition per datum so reads
+	// and writes issued meanwhile don't duplicate requests.
+	pendingMode map[vfs.Datum]core.TokenMode
+	// afterFlush holds continuations awaiting a flush ack, keyed by
+	// datum (recall answers that had to flush first).
+	afterFlush map[vfs.Datum]func()
+	nextReq    uint64
+}
+
+const serverNode netsim.NodeID = "srv"
+
+// Run executes the simulation.
+func Run(cfg Config) *Result {
+	if cfg.Trace == nil {
+		panic("tokensim: nil trace")
+	}
+	if cfg.Term <= 0 {
+		panic("tokensim: token term must be positive")
+	}
+	s := &tokenSim{
+		cfg:      cfg,
+		engine:   sim.New(clock.Epoch),
+		versions: make(map[vfs.Datum]uint64),
+		reqs:     make(map[core.TokenReqID]*pendingAcq),
+	}
+	s.fabric = netsim.New(s.engine, cfg.Net)
+	s.mgr = core.NewTokenManager(core.FixedTerm(cfg.Term))
+	s.fabric.Register(serverNode, s.handleServer)
+	for i := 0; i < cfg.Trace.Clients; i++ {
+		c := &tokenClient{
+			s:     s,
+			index: i,
+			id:    core.ClientID(fmt.Sprintf("c%d", i)),
+			node:  netsim.NodeID(fmt.Sprintf("c%d", i)),
+			holder: core.NewTokenHolder(core.HolderConfig{
+				Delivery: cfg.Net.DeliveryDelay(),
+			}),
+			cached:      make(map[vfs.Datum]uint64),
+			pendingMode: make(map[vfs.Datum]core.TokenMode),
+		}
+		s.fabric.Register(c.node, c.handle)
+		s.clients = append(s.clients, c)
+		if cfg.FlushInterval > 0 {
+			c.scheduleFlush()
+		}
+	}
+	for _, e := range cfg.Trace.Events {
+		e := e
+		s.engine.At(clock.Epoch.Add(e.At), func() {
+			c := s.clients[e.Client]
+			d := vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(e.File) + 2}
+			switch e.Op {
+			case trace.OpRead:
+				c.read(d)
+			case trace.OpWrite:
+				c.write(d)
+			}
+		})
+	}
+	// Drain flush at trace end so no writes are silently lost.
+	s.engine.At(clock.Epoch.Add(cfg.Trace.Duration), func() {
+		for _, c := range s.clients {
+			for _, d := range c.holder.DirtyData() {
+				c.flush(d)
+			}
+		}
+	})
+	s.engine.Run()
+
+	lost := s.lost.Value()
+	for _, c := range s.clients {
+		lost += int64(len(c.holder.DirtyData()))
+	}
+	r := &Result{
+		Duration:              cfg.Trace.Duration,
+		ServerConsistencyMsgs: s.fabric.Handled(serverNode, "lease."),
+		ServerTotalMsgs:       s.fabric.Handled(serverNode, ""),
+		Reads:                 s.reads.Value(),
+		Writes:                s.writes.Value(),
+		ReadHits:              s.readHits.Value(),
+		WriteHits:             s.writeHits.Value(),
+		Flushes:               s.flushes.Value(),
+		Recalls:               s.recalls.Value(),
+		LostWrites:            lost,
+		StaleReads:            s.stale.Value(),
+	}
+	r.ConsistencyLoad = float64(r.ServerConsistencyMsgs) / cfg.Trace.Duration.Seconds()
+	return r
+}
+
+// --- messages ---
+
+type acquireMsg struct {
+	ReqID uint64
+	From  core.ClientID
+	Datum vfs.Datum
+	Mode  core.TokenMode
+}
+
+type grantMsg struct {
+	ReqID   uint64
+	Datum   vfs.Datum
+	Mode    core.TokenMode
+	Term    time.Duration
+	Version uint64
+}
+
+type recallMsg struct {
+	AcqID core.TokenReqID
+	Datum vfs.Datum
+	// ReadOnly reports that the requester only wants to read: a write
+	// holder may downgrade instead of invalidating.
+	ReadOnly bool
+}
+
+type recallAckMsg struct {
+	AcqID      core.TokenReqID
+	From       core.ClientID
+	Downgraded bool
+}
+
+type flushMsg struct {
+	From    core.ClientID
+	Datum   vfs.Datum
+	Version uint64
+}
+
+type flushAckMsg struct {
+	Datum   vfs.Datum
+	Version uint64
+}
+
+// --- server ---
+
+func (s *tokenSim) handleServer(m netsim.Message) {
+	now := s.engine.Now()
+	if debugTokens {
+		fmt.Printf("%v srv <- %s %T %+v\n", now.Sub(clock.Epoch), m.From, m.Payload, m.Payload)
+	}
+	switch p := m.Payload.(type) {
+	case acquireMsg:
+		disp := s.mgr.Acquire(p.From, p.Datum, p.Mode, now)
+		if disp.Granted {
+			s.fabric.Unicast(serverNode, m.From, kindGrant, grantMsg{
+				ReqID: p.ReqID, Datum: p.Datum, Mode: p.Mode,
+				Term: disp.Term, Version: s.versions[p.Datum],
+			})
+			return
+		}
+		if disp.ReqID == 0 {
+			// Refused outright (zero-term policy); grant nothing. The
+			// client treats a zero-term grant as a one-shot read.
+			s.fabric.Unicast(serverNode, m.From, kindGrant, grantMsg{
+				ReqID: p.ReqID, Datum: p.Datum, Mode: p.Mode,
+				Term: 0, Version: s.versions[p.Datum],
+			})
+			return
+		}
+		s.reqs[disp.ReqID] = &pendingAcq{client: p.From, datum: p.Datum, mode: p.Mode, reqID: p.ReqID}
+		for _, holder := range disp.NeedRecall {
+			s.recalls.Inc()
+			s.fabric.Unicast(serverNode, netsim.NodeID(holder), kindRecall, recallMsg{
+				AcqID: disp.ReqID, Datum: p.Datum, ReadOnly: p.Mode == core.TokenRead,
+			})
+		}
+		s.armDeadline()
+	case recallAckMsg:
+		var ready bool
+		if p.Downgraded {
+			// The holder flushed and kept a read token.
+			ready = s.mgr.DowngradeAck(p.From, p.AcqID, now)
+		} else {
+			ready = s.mgr.RecallAck(p.From, p.AcqID, now)
+		}
+		if ready {
+			s.grantReady(now)
+		}
+	case flushMsg:
+		s.versions[p.Datum] = p.Version
+		s.flushes.Inc()
+		s.fabric.Unicast(serverNode, m.From, kindFlushAck, flushAckMsg{Datum: p.Datum, Version: p.Version})
+	default:
+		panic("tokensim: unknown payload at server")
+	}
+}
+
+func (s *tokenSim) grantReady(now time.Time) {
+	for {
+		ready := s.mgr.ReadyAcquisitions(now)
+		if len(ready) == 0 {
+			break
+		}
+		for _, id := range ready {
+			pa := s.reqs[id]
+			delete(s.reqs, id)
+			client, term := s.mgr.GrantReady(id, now)
+			s.fabric.Unicast(serverNode, netsim.NodeID(client), kindGrant, grantMsg{
+				ReqID: pa.reqID, Datum: pa.datum, Mode: pa.mode,
+				Term: term, Version: s.versions[pa.datum],
+			})
+			// The token just granted may newly block the next queued
+			// acquisition on the same datum: recall it.
+			s.recallNewBlockers(pa.datum, now)
+		}
+	}
+	s.armDeadline()
+}
+
+// recallNewBlockers sends recalls to holders that became blockers of
+// the head acquisition after the queue moved.
+func (s *tokenSim) recallNewBlockers(d vfs.Datum, now time.Time) {
+	added := s.mgr.RefreshHead(d, now)
+	if len(added) == 0 {
+		return
+	}
+	// Identify the head acquisition to address the recalls.
+	var headID core.TokenReqID
+	var head *pendingAcq
+	for id, pa := range s.reqs {
+		if pa.datum == d {
+			if head == nil || id < headID {
+				headID, head = id, pa
+			}
+		}
+	}
+	if head == nil {
+		return
+	}
+	for _, holder := range added {
+		s.recalls.Inc()
+		s.fabric.Unicast(serverNode, netsim.NodeID(holder), kindRecall, recallMsg{
+			AcqID: headID, Datum: d, ReadOnly: head.mode == core.TokenRead,
+		})
+	}
+}
+
+func (s *tokenSim) armDeadline() {
+	dl, ok := s.mgr.NextTokenDeadline()
+	if !ok {
+		if s.deadlineEv != nil {
+			s.engine.Cancel(s.deadlineEv)
+			s.deadlineEv = nil
+		}
+		return
+	}
+	fire := dl.Add(time.Millisecond)
+	if fire.Before(s.engine.Now()) {
+		fire = s.engine.Now()
+	}
+	if s.deadlineEv != nil {
+		s.engine.Cancel(s.deadlineEv)
+	}
+	s.deadlineEv = s.engine.At(fire, func() {
+		s.deadlineEv = nil
+		s.grantReady(s.engine.Now())
+	})
+}
+
+// --- client ---
+
+// scrubExpired discards an expired token record. If the token was a
+// dirty write token, its buffered writes are lost: after expiry the
+// holder no longer has the right to flush (another cache may already
+// hold the token and have advanced the data) — this is the write-back
+// hazard the paper's write-through design avoids.
+func (c *tokenClient) scrubExpired(d vfs.Datum, now time.Time) {
+	if c.holder.Mode(d) == 0 {
+		return
+	}
+	if c.holder.CanRead(d, now) {
+		return // still live
+	}
+	if c.holder.Dirty(d) {
+		c.s.lost.Inc()
+	}
+	c.holder.Invalidate(d)
+	delete(c.cached, d)
+}
+
+func (c *tokenClient) read(d vfs.Datum) {
+	c.s.reads.Inc()
+	now := c.s.engine.Now()
+	if c.holder.CanRead(d, now) {
+		c.s.readHits.Inc()
+		c.checkFreshness(d)
+		return
+	}
+	c.scrubExpired(d, now)
+	c.acquire(d, core.TokenRead)
+}
+
+func (c *tokenClient) write(d vfs.Datum) {
+	c.s.writes.Inc()
+	now := c.s.engine.Now()
+	if c.holder.CanWrite(d, now) {
+		// Write-back: absorbed locally, zero messages.
+		c.holder.WriteLocal(d, now)
+		v, _ := c.holder.Version(d)
+		c.cached[d] = v
+		c.s.writeHits.Inc()
+		// Renew before expiry while actively writing, so buffered
+		// writes are not lost to a lapsed token (the token analogue of
+		// lease extension).
+		if c.holder.ExpiresWithin(d, now, c.s.cfg.Term/4) {
+			c.acquire(d, core.TokenWrite)
+		}
+		return
+	}
+	c.scrubExpired(d, now)
+	c.acquire(d, core.TokenWrite)
+}
+
+// acquire asks the server for a token unless an equal-or-stronger
+// acquisition is already outstanding.
+func (c *tokenClient) acquire(d vfs.Datum, mode core.TokenMode) {
+	if cur, ok := c.pendingMode[d]; ok {
+		if cur == core.TokenWrite || cur == mode {
+			return
+		}
+	}
+	c.pendingMode[d] = mode
+	c.nextReq++
+	c.s.fabric.Unicast(c.node, serverNode, kindAcquire, acquireMsg{
+		ReqID: c.nextReq, From: c.id, Datum: d, Mode: mode,
+	})
+}
+
+var debugTokens = false
+
+func (c *tokenClient) handle(m netsim.Message) {
+	now := c.s.engine.Now()
+	if debugTokens {
+		fmt.Printf("%v %s <- %T %+v\n", now.Sub(clock.Epoch), c.id, m.Payload, m.Payload)
+	}
+	switch p := m.Payload.(type) {
+	case grantMsg:
+		delete(c.pendingMode, p.Datum)
+		if p.Term > 0 {
+			c.holder.ApplyToken(p.Datum, p.Mode, p.Version, p.Term, now, now)
+		}
+		c.cached[p.Datum] = p.Version
+		if p.Mode == core.TokenWrite {
+			// The deferred write the acquisition served: apply locally.
+			c.holder.WriteLocal(p.Datum, now)
+			if v, ok := c.holder.Version(p.Datum); ok {
+				c.cached[p.Datum] = v
+			}
+		}
+	case recallMsg:
+		if c.holder.OnRecall(p.Datum) {
+			// Dirty: flush first, then answer the recall.
+			c.flushThen(p.Datum, func() { c.answerRecall(p) })
+			return
+		}
+		c.answerRecall(p)
+	case flushAckMsg:
+		c.holder.Flushed(p.Datum, p.Version)
+		if cb := c.afterFlush[p.Datum]; cb != nil {
+			delete(c.afterFlush, p.Datum)
+			cb()
+		}
+	default:
+		panic("tokensim: unknown payload at client")
+	}
+}
+
+func (c *tokenClient) answerRecall(p recallMsg) {
+	downgraded := false
+	if p.ReadOnly && c.holder.Mode(p.Datum) == core.TokenWrite && !c.holder.Dirty(p.Datum) {
+		downgraded = c.holder.DowngradeLocal(p.Datum)
+	}
+	if !downgraded {
+		c.holder.Invalidate(p.Datum)
+		delete(c.cached, p.Datum)
+	}
+	c.s.fabric.Unicast(c.node, serverNode, kindRecallOK, recallAckMsg{
+		AcqID: p.AcqID, From: c.id, Downgraded: downgraded,
+	})
+}
+
+// flush sends dirty contents to the server. Only a live write token
+// confers the right to flush; dirty data under an expired token is lost
+// (see scrubExpired).
+func (c *tokenClient) flush(d vfs.Datum) {
+	now := c.s.engine.Now()
+	if !c.holder.CanWrite(d, now) {
+		c.scrubExpired(d, now)
+		return
+	}
+	v, ok := c.holder.Version(d)
+	if !ok || !c.holder.Dirty(d) {
+		return
+	}
+	c.s.fabric.Unicast(c.node, serverNode, kindFlush, flushMsg{From: c.id, Datum: d, Version: v})
+}
+
+// flushThen flushes and runs cb when the ack arrives.
+func (c *tokenClient) flushThen(d vfs.Datum, cb func()) {
+	if c.afterFlush == nil {
+		c.afterFlush = make(map[vfs.Datum]func())
+	}
+	c.afterFlush[d] = cb
+	c.flush(d)
+}
+
+func (c *tokenClient) scheduleFlush() {
+	var tick func()
+	tick = func() {
+		for _, d := range c.holder.DirtyData() {
+			c.flush(d)
+		}
+		if c.s.engine.Now().Before(clock.Epoch.Add(c.s.cfg.Trace.Duration)) {
+			c.s.engine.After(c.s.cfg.FlushInterval, tick)
+		}
+	}
+	c.s.engine.After(c.s.cfg.FlushInterval, tick)
+}
+
+// checkFreshness asserts the token consistency invariant on a local
+// read: the cached version is at least the server's flushed version
+// (a write-token holder may be ahead; a read-token holder must match,
+// since any writer had to recall this token first).
+func (c *tokenClient) checkFreshness(d vfs.Datum) {
+	server := c.s.versions[d]
+	if c.cached[d] < server {
+		fmt.Printf("STALE: client=%s datum=%v cached=%d server=%d mode=%v dirty=%v t=%v\n",
+			c.id, d, c.cached[d], server, c.holder.Mode(d), c.holder.Dirty(d), c.s.engine.Now())
+		c.s.stale.Inc()
+	}
+}

@@ -1,0 +1,135 @@
+package tokensim
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/netsim"
+	"leases/internal/trace"
+	"leases/internal/tracesim"
+)
+
+func lanNet() netsim.Params {
+	return netsim.Params{Prop: 500 * time.Microsecond, Proc: 50 * time.Microsecond, Seed: 1}
+}
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r := Run(cfg)
+	if r.StaleReads != 0 {
+		t.Fatalf("TOKEN CONSISTENCY VIOLATION: %d stale reads", r.StaleReads)
+	}
+	return r
+}
+
+// A private write-heavy workload: each client hammers its own file.
+// Write-back should absorb nearly all writes locally.
+func privateWriteHeavy(seed int64) *trace.Trace {
+	tr := trace.Poisson(trace.PoissonConfig{
+		Seed: seed, Duration: 30 * time.Minute, Clients: 4, Files: 4,
+		ReadRate: 0.4, WriteRate: 1.0,
+	})
+	// Make file access private: client i uses file i only.
+	for j := range tr.Events {
+		tr.Events[j].File = tr.Events[j].Client
+	}
+	return tr
+}
+
+func TestWriteBackAbsorbsPrivateWrites(t *testing.T) {
+	tr := privateWriteHeavy(1)
+	res := run(t, Config{Trace: tr, Term: 30 * time.Second, Net: lanNet()})
+	if res.Writes == 0 {
+		t.Skip("no writes generated")
+	}
+	frac := float64(res.WriteHits) / float64(res.Writes)
+	if frac < 0.95 {
+		t.Fatalf("only %.2f of private writes absorbed locally, want ≥0.95", frac)
+	}
+}
+
+// Head-to-head: on the private write-heavy workload, write-back (tokens)
+// sends far fewer messages to the server than write-through (leases).
+func TestWriteBackBeatsWriteThroughOnPrivateData(t *testing.T) {
+	tr := privateWriteHeavy(2)
+	tokens := run(t, Config{Trace: tr, Term: 30 * time.Second, Net: lanNet()})
+	leases := tracesim.Run(tracesim.Config{Trace: tr, Term: 30 * time.Second, Net: lanNet()})
+	if leases.StaleReads != 0 {
+		t.Fatal("lease run inconsistent")
+	}
+	// Write-through pays 2 messages per write (request + ack, "data."
+	// kinds) plus consistency traffic; write-back pays only occasional
+	// flushes. Compare total server messages.
+	if tokens.ServerTotalMsgs*2 >= leases.ServerTotalMsgs {
+		t.Fatalf("write-back total %d not well below write-through %d on private write-heavy data",
+			tokens.ServerTotalMsgs, leases.ServerTotalMsgs)
+	}
+}
+
+// Shared data with interleaved writers: recalls force flushes; readers
+// always see flushed data (the run helper asserts zero staleness).
+func TestTokensConsistentUnderSharing(t *testing.T) {
+	tr := trace.Shared(trace.SharedConfig{
+		Seed: 3, Duration: 30 * time.Minute, Clients: 5, Files: 2,
+		ReadRate: 0.6, WriteRate: 0.1,
+	})
+	res := run(t, Config{Trace: tr, Term: 10 * time.Second, Net: lanNet()})
+	if res.Recalls == 0 {
+		t.Fatal("sharing produced no recalls — conflict path not exercised")
+	}
+	if res.Flushes == 0 {
+		t.Fatal("no flushes despite recalled dirty tokens")
+	}
+}
+
+// Periodic flushing bounds the window of unflushed data at the cost of
+// extra flush traffic — and it is what prevents the write-back hazard:
+// lazy flushing loses buffered writes when tokens expire dirty, eager
+// flushing does not.
+func TestPeriodicFlushTradeoff(t *testing.T) {
+	tr := privateWriteHeavy(4)
+	lazy := run(t, Config{Trace: tr, Term: 30 * time.Second, Net: lanNet()})
+	eager := run(t, Config{Trace: tr, Term: 30 * time.Second, Net: lanNet(), FlushInterval: 5 * time.Second})
+	if eager.Flushes <= lazy.Flushes {
+		t.Fatalf("periodic flushing produced %d flushes, lazy %d — interval not working",
+			eager.Flushes, lazy.Flushes)
+	}
+	// With pre-expiry renewal, active writers never lose buffered
+	// writes in either regime (loss requires a crash, which the
+	// write-back example and core tests exercise).
+	if lazy.LostWrites != 0 || eager.LostWrites != 0 {
+		t.Fatalf("writes lost without crashes: lazy=%d eager=%d", lazy.LostWrites, eager.LostWrites)
+	}
+}
+
+// Read-mostly shared data: tokens behave like plain leases (read tokens
+// shared by all, writers recall), with similar consistency load.
+func TestTokensOnReadMostlyMatchLeases(t *testing.T) {
+	tr := trace.Shared(trace.SharedConfig{
+		Seed: 5, Duration: 30 * time.Minute, Clients: 4, Files: 2,
+		ReadRate: 0.864, WriteRate: 0.01,
+	})
+	tokens := run(t, Config{Trace: tr, Term: 10 * time.Second, Net: lanNet()})
+	leaseRes := tracesim.Run(tracesim.Config{Trace: tr, Term: 10 * time.Second, Net: lanNet()})
+	ratio := tokens.ConsistencyLoad / leaseRes.ConsistencyLoad
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("token consistency load %.3f/s vs lease %.3f/s (ratio %.2f) — should be comparable on read-mostly data",
+			tokens.ConsistencyLoad, leaseRes.ConsistencyLoad, ratio)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Trace: privateWriteHeavy(6), Term: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad config did not panic")
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}

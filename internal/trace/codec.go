@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Binary trace format:
+//
+//	magic    [4]byte  "VTR1"
+//	duration int64    nanoseconds
+//	clients  uint32
+//	files    uint32
+//	ninst    uint32   number of installed-file indices
+//	inst     [ninst]uint32
+//	nevents  uint64
+//	events   [nevents]{at int64, client uint32, file uint32, op uint8}
+//
+// All integers are little-endian.
+
+var magic = [4]byte{'V', 'T', 'R', '1'}
+
+// ErrBadFormat reports a malformed trace stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Write encodes the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var hdr [20]byte
+	le.PutUint64(hdr[0:8], uint64(t.Duration))
+	le.PutUint32(hdr[8:12], uint32(t.Clients))
+	le.PutUint32(hdr[12:16], uint32(t.Files))
+	le.PutUint32(hdr[16:20], uint32(len(t.Installed)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	inst := make([]uint32, 0, len(t.Installed))
+	for f := range t.Installed {
+		inst = append(inst, f)
+	}
+	sort.Slice(inst, func(i, j int) bool { return inst[i] < inst[j] })
+	var u32 [4]byte
+	for _, f := range inst {
+		le.PutUint32(u32[:], f)
+		if _, err := bw.Write(u32[:]); err != nil {
+			return err
+		}
+	}
+	var n64 [8]byte
+	le.PutUint64(n64[:], uint64(len(t.Events)))
+	if _, err := bw.Write(n64[:]); err != nil {
+		return err
+	}
+	var ev [17]byte
+	for _, e := range t.Events {
+		le.PutUint64(ev[0:8], uint64(e.At))
+		le.PutUint32(ev[8:12], e.Client)
+		le.PutUint32(ev[12:16], e.File)
+		ev[16] = byte(e.Op)
+		if _, err := bw.Write(ev[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
+	}
+	le := binary.LittleEndian
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	t := &Trace{
+		Duration: time.Duration(le.Uint64(hdr[0:8])),
+		Clients:  int(le.Uint32(hdr[8:12])),
+		Files:    int(le.Uint32(hdr[12:16])),
+	}
+	ninst := le.Uint32(hdr[16:20])
+	const maxInstalled = 1 << 24
+	if ninst > maxInstalled {
+		return nil, fmt.Errorf("%w: %d installed files exceeds limit", ErrBadFormat, ninst)
+	}
+	if ninst > 0 {
+		// Never preallocate from an untrusted count: grow as the bytes
+		// actually arrive.
+		t.Installed = make(map[uint32]bool, min(int(ninst), 1<<12))
+		var u32 [4]byte
+		for i := uint32(0); i < ninst; i++ {
+			if _, err := io.ReadFull(br, u32[:]); err != nil {
+				return nil, fmt.Errorf("%w: truncated installed list: %v", ErrBadFormat, err)
+			}
+			t.Installed[le.Uint32(u32[:])] = true
+		}
+	}
+	var n64 [8]byte
+	if _, err := io.ReadFull(br, n64[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated event count: %v", ErrBadFormat, err)
+	}
+	n := le.Uint64(n64[:])
+	const maxEvents = 1 << 30
+	if n > maxEvents {
+		return nil, fmt.Errorf("%w: %d events exceeds limit", ErrBadFormat, n)
+	}
+	// Preallocate conservatively; an untrusted count must not drive a
+	// multi-gigabyte allocation before the bytes exist.
+	t.Events = make([]Event, 0, min(int(n), 1<<16))
+	var ev [17]byte
+	var prev time.Duration
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, ev[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated events: %v", ErrBadFormat, err)
+		}
+		e := Event{
+			At:     time.Duration(le.Uint64(ev[0:8])),
+			Client: le.Uint32(ev[8:12]),
+			File:   le.Uint32(ev[12:16]),
+			Op:     Op(ev[16]),
+		}
+		if e.Op != OpRead && e.Op != OpWrite {
+			return nil, fmt.Errorf("%w: bad op %d", ErrBadFormat, ev[16])
+		}
+		if e.At < prev {
+			return nil, fmt.Errorf("%w: events out of order", ErrBadFormat)
+		}
+		prev = e.At
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}

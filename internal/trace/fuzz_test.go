@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzRead feeds arbitrary bytes to the trace decoder: never panic, and
+// any trace it accepts must round-trip through Write/Read unchanged.
+func FuzzRead(f *testing.F) {
+	tr := Poisson(PoissonConfig{Seed: 1, Duration: time.Minute, Clients: 1, Files: 2, ReadRate: 1, WriteRate: 0.1})
+	var seed bytes.Buffer
+	tr.Write(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("VTR1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := got.Write(&buf); werr != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", werr)
+		}
+		again, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("re-encoded trace failed to parse: %v", rerr)
+		}
+		if len(again.Events) != len(got.Events) || again.Duration != got.Duration {
+			t.Fatal("round trip mismatch")
+		}
+		for i := range got.Events {
+			if again.Events[i] != got.Events[i] {
+				t.Fatalf("event %d mismatch", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package tracesim
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/trace"
+)
+
+// mixedWorkload: file 0 is read-mostly by everyone; file 1 is heavily
+// write-shared. A single fixed term cannot serve both well.
+func mixedWorkload(seed int64, dur time.Duration) *trace.Trace {
+	readMostly := trace.Poisson(trace.PoissonConfig{
+		Seed: seed, Duration: dur, Clients: 6, Files: 1,
+		ReadRate: 0.864, WriteRate: 0.005,
+	})
+	writeHot := trace.Poisson(trace.PoissonConfig{
+		Seed: seed + 1, Duration: dur, Clients: 6, Files: 1,
+		ReadRate: 0.4, WriteRate: 1.0,
+	})
+	// Shift the write-hot stream onto file index 1.
+	for i := range writeHot.Events {
+		writeHot.Events[i].File = 1
+	}
+	m := trace.Merge(readMostly, writeHot)
+	m.Files = 2
+	return m
+}
+
+// The adaptive policy (§4/§7) must beat the best *wrong* fixed term on
+// a mixed workload: long terms hurt the write-hot file (approval storms
+// and false sharing), zero terms hurt the read-mostly file.
+func TestAdaptivePolicyBeatsBadFixedTerms(t *testing.T) {
+	tr := mixedWorkload(51, time.Hour)
+	adaptive := run(t, Config{
+		Trace: tr, Net: lanNet(),
+		Adaptive: &AdaptiveConfig{Window: time.Minute, Min: time.Second, Max: 30 * time.Second},
+	})
+	fixedLong := run(t, Config{Trace: tr, Term: 30 * time.Second, Net: lanNet()})
+	fixedZero := run(t, Config{Trace: tr, Term: 0, Net: lanNet()})
+
+	if adaptive.ServerConsistencyMsgs >= fixedLong.ServerConsistencyMsgs {
+		t.Errorf("adaptive load %d not below fixed-30s %d on mixed workload",
+			adaptive.ServerConsistencyMsgs, fixedLong.ServerConsistencyMsgs)
+	}
+	if adaptive.ServerConsistencyMsgs >= fixedZero.ServerConsistencyMsgs {
+		t.Errorf("adaptive load %d not below fixed-0 %d on mixed workload",
+			adaptive.ServerConsistencyMsgs, fixedZero.ServerConsistencyMsgs)
+	}
+	if adaptive.CacheHits == 0 {
+		t.Error("adaptive policy produced no cache hits — read-mostly file not leased")
+	}
+}
+
+// On the pure read-mostly workload, adaptive converges to long terms:
+// its load approaches the long-fixed-term load, far below zero-term.
+func TestAdaptiveConvergesOnReadMostly(t *testing.T) {
+	tr := trace.Poisson(trace.PoissonConfig{
+		Seed: 3, Duration: time.Hour, Clients: 1, Files: 1,
+		ReadRate: 0.864, WriteRate: 0.004,
+	})
+	adaptive := run(t, Config{
+		Trace: tr, Net: lanNet(),
+		Adaptive: &AdaptiveConfig{},
+	})
+	zero := run(t, Config{Trace: tr, Term: 0, Net: lanNet()})
+	if adaptive.ServerConsistencyMsgs*3 >= zero.ServerConsistencyMsgs {
+		t.Fatalf("adaptive %d not well below zero-term %d on read-mostly workload",
+			adaptive.ServerConsistencyMsgs, zero.ServerConsistencyMsgs)
+	}
+}
+
+// Unicast approvals cost more server messages than multicast at the
+// same sharing level: S messages (1 multicast + S−1 approvals) versus
+// 2(S−1) (requests + approvals).
+func TestUnicastApprovalsCostMore(t *testing.T) {
+	tr := trace.Shared(trace.SharedConfig{
+		Seed: 13, Duration: 30 * time.Minute, Clients: 10, Files: 1,
+		ReadRate: 0.864, WriteRate: 0.01,
+	})
+	multicast := run(t, Config{Trace: tr, Term: 30 * time.Second, Net: lanNet()})
+	unicast := run(t, Config{Trace: tr, Term: 30 * time.Second, Net: lanNet(), UnicastApprovals: true})
+	if unicast.ServerConsistencyMsgs <= multicast.ServerConsistencyMsgs {
+		t.Fatalf("unicast approvals %d not above multicast %d",
+			unicast.ServerConsistencyMsgs, multicast.ServerConsistencyMsgs)
+	}
+}

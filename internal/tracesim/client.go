@@ -1,0 +1,381 @@
+package tracesim
+
+import (
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/netsim"
+	"leases/internal/sim"
+	"leases/internal/vfs"
+)
+
+// simClient is one caching client: a lease holder, a cached-version map,
+// in-flight request tracking with retransmission, and the fault hooks.
+type simClient struct {
+	sim    *simulation
+	index  int
+	id     core.ClientID
+	node   netsim.NodeID
+	holder *core.Holder
+	// cached maps each datum to the version this cache last saw.
+	cached map[vfs.Datum]uint64
+	// invalidatedAt records, per datum, the server send time of the
+	// latest approval request processed. On a reordering transport a
+	// grant sent *before* that invalidation can arrive *after* it;
+	// recording it would resurrect a lease over data the client just
+	// agreed to stop using. Grants older than the barrier are dropped.
+	invalidatedAt map[vfs.Datum]time.Time
+
+	nextReq uint64
+	// inflight tracks outstanding requests by reqID.
+	inflight map[uint64]*inflightOp
+	// extending maps a datum to the reqID of the extension covering it,
+	// so concurrent reads of the same datum share one request.
+	extending map[vfs.Datum]uint64
+
+	down bool
+	// incarnation invalidates in-flight state across restarts.
+	incarnation uint64
+	// anticipatoryEv is the periodic renewal loop event, if enabled.
+	anticipatoryEv *sim.Event
+}
+
+type opKind uint8
+
+const (
+	opExtend opKind = iota + 1
+	opWrite
+)
+
+// inflightOp is one outstanding request-response exchange.
+type inflightOp struct {
+	kind         opKind
+	reqID        uint64
+	data         []vfs.Datum // extension targets
+	datum        vfs.Datum   // write target
+	startedAt    time.Time   // true time, for delay accounting
+	startedLocal time.Time   // client-clock time, for lease anchoring
+	retries      int
+	incarnation  uint64
+	retryEv      *sim.Event
+	// waiters counts trace reads blocked on this extension (each
+	// records a read completion when the reply lands).
+	waiters int
+	// anticipatory marks renewals not triggered by a read; their
+	// completion adds no read delay.
+	anticipatory bool
+}
+
+func newSimClient(s *simulation, index int) *simClient {
+	c := &simClient{
+		sim:           s,
+		index:         index,
+		id:            core.ClientID(clientNode(index)),
+		node:          clientNode(index),
+		holder:        s.newHolder(),
+		cached:        make(map[vfs.Datum]uint64),
+		invalidatedAt: make(map[vfs.Datum]time.Time),
+		inflight:      make(map[uint64]*inflightOp),
+		extending:     make(map[vfs.Datum]uint64),
+	}
+	s.fabric.Register(c.node, c.handle)
+	if s.cfg.AnticipatoryLead > 0 {
+		c.scheduleAnticipatory()
+	}
+	return c
+}
+
+func (s *simulation) newHolder() *core.Holder {
+	return core.NewHolder(core.HolderConfig{
+		Allowance: s.cfg.Allowance,
+		Delivery:  s.cfg.Net.DeliveryDelay(),
+	})
+}
+
+// localNow reads this client's (possibly drifting) clock.
+func (c *simClient) localNow() time.Time {
+	rates := c.sim.cfg.ClientClockRate
+	if rates == nil || c.index >= len(rates) {
+		return c.sim.now()
+	}
+	return localTime(c.sim.start, c.sim.now(), rates[c.index])
+}
+
+// read performs one trace read: served from cache under a valid lease,
+// otherwise fetch+extend from the server.
+func (c *simClient) read(d vfs.Datum) {
+	if c.down {
+		return
+	}
+	now := c.localNow()
+	if c.holder.Valid(d, now) {
+		c.sim.reads.Inc()
+		c.sim.hits.Inc()
+		c.sim.readDelay.Observe(0)
+		c.checkFreshness(d)
+		return
+	}
+	// Miss. If an extension covering this datum is already in flight,
+	// ride it rather than issuing another.
+	if reqID, ok := c.extending[d]; ok {
+		if op, live := c.inflight[reqID]; live {
+			op.waiters++
+			return
+		}
+		delete(c.extending, d)
+	}
+	data := []vfs.Datum{d}
+	if c.sim.cfg.BatchExtension {
+		for _, held := range c.holder.Held() {
+			if held != d {
+				data = append(data, held)
+			}
+		}
+	}
+	op := c.sendExtend(data, false)
+	op.waiters = 1
+}
+
+// sendExtend issues an extension request covering data.
+func (c *simClient) sendExtend(data []vfs.Datum, anticipatory bool) *inflightOp {
+	now := c.sim.now()
+	op := &inflightOp{
+		kind:         opExtend,
+		reqID:        c.allocReq(),
+		data:         data,
+		startedAt:    now,
+		startedLocal: c.localNow(),
+		incarnation:  c.incarnation,
+		anticipatory: anticipatory,
+	}
+	c.inflight[op.reqID] = op
+	for _, d := range data {
+		c.extending[d] = op.reqID
+	}
+	c.transmit(op)
+	return op
+}
+
+// write performs one trace write (write-through).
+func (c *simClient) write(d vfs.Datum) {
+	if c.down {
+		return
+	}
+	op := &inflightOp{
+		kind:         opWrite,
+		reqID:        c.allocReq(),
+		datum:        d,
+		startedAt:    c.sim.now(),
+		startedLocal: c.localNow(),
+		incarnation:  c.incarnation,
+	}
+	c.inflight[op.reqID] = op
+	c.transmit(op)
+}
+
+func (c *simClient) allocReq() uint64 {
+	c.nextReq++
+	// Disambiguate across restarts so the server's dedupe map never
+	// confuses a new incarnation's request with an old one.
+	return c.incarnation<<32 | c.nextReq
+}
+
+// transmit sends (or resends) the request and arms the retry timer.
+func (c *simClient) transmit(op *inflightOp) {
+	switch op.kind {
+	case opExtend:
+		c.sim.fabric.Unicast(c.node, serverNode, kindExtendReq, extendReq{
+			ReqID:  op.reqID,
+			From:   c.id,
+			Data:   op.data,
+			SentAt: c.sim.now(),
+		})
+	case opWrite:
+		c.sim.fabric.Unicast(c.node, serverNode, kindWriteReq, writeReq{
+			ReqID: op.reqID,
+			From:  c.id,
+			Datum: op.datum,
+		})
+	}
+	timeout := c.sim.cfg.RetryTimeout << uint(op.retries) // exponential backoff
+	op.retryEv = c.sim.engine.After(timeout, func() {
+		c.retry(op)
+	})
+}
+
+func (c *simClient) retry(op *inflightOp) {
+	if c.down || op.incarnation != c.incarnation {
+		return
+	}
+	if _, live := c.inflight[op.reqID]; !live {
+		return
+	}
+	// Writes must never give up silently: a lost write would violate
+	// write-through semantics. Extensions may give up (the read simply
+	// counts its delay so far); writes keep retrying.
+	if op.kind == opExtend && op.retries >= c.sim.cfg.MaxRetries {
+		c.finishExtend(op, nil)
+		c.sim.givenUp.Inc()
+		return
+	}
+	if op.retries < 62 { // cap the shift
+		op.retries++
+	}
+	c.transmit(op)
+}
+
+func (c *simClient) handle(m netsim.Message) {
+	if c.down {
+		return
+	}
+	now := c.sim.now()
+	switch p := m.Payload.(type) {
+	case extendRep:
+		op, ok := c.inflight[p.ReqID]
+		if !ok || op.incarnation != c.incarnation {
+			return // stale reply (retransmit already answered, or pre-crash)
+		}
+		c.applyGrants(op, p.Grants, m.SentAt)
+		c.finishExtend(op, p.Grants)
+	case writeAck:
+		op, ok := c.inflight[p.ReqID]
+		if !ok || op.incarnation != c.incarnation {
+			return
+		}
+		delete(c.inflight, p.ReqID)
+		c.sim.engine.Cancel(op.retryEv)
+		// The writer's cache holds the new contents under its retained
+		// lease.
+		c.cached[op.datum] = p.Version
+		c.holder.Update(op.datum, p.Version)
+		c.sim.writes.Inc()
+		// Added write delay: total minus the base round trip every
+		// write-through write pays.
+		added := now.Sub(op.startedAt) - c.sim.cfg.Net.RoundTrip()
+		if added < 0 {
+			added = 0
+		}
+		c.sim.writeDelay.Observe(added)
+	case approvalReq:
+		// Invalidate the local copy, then approve (§2). The barrier
+		// guards against a reordered grant resurrecting the lease.
+		if m.SentAt.After(c.invalidatedAt[p.Datum]) {
+			c.invalidatedAt[p.Datum] = m.SentAt
+		}
+		c.holder.Invalidate(p.Datum)
+		delete(c.cached, p.Datum)
+		c.sim.fabric.Unicast(c.node, serverNode, kindApprove, approveMsg{
+			WriteID: p.WriteID,
+			From:    c.id,
+		})
+	case installedExt:
+		c.holder.ApplyInstalledExtension(p.Data, p.Term, p.SentAt)
+	default:
+		panic("tracesim: client received unknown payload")
+	}
+}
+
+func (c *simClient) applyGrants(op *inflightOp, grants []grantInfo, sentAt time.Time) {
+	now := c.localNow()
+	for _, g := range grants {
+		if barrier, ok := c.invalidatedAt[g.Datum]; ok && !sentAt.After(barrier) {
+			// The grant predates an invalidation this cache already
+			// honoured: a reordered datagram. Recording it would let a
+			// read hit on data the approved write has since replaced.
+			continue
+		}
+		if g.Leased {
+			c.holder.ApplyGrant(g.Datum, g.Version, g.Term, op.startedLocal, now)
+		} else {
+			c.holder.Invalidate(g.Datum)
+		}
+		c.cached[g.Datum] = g.Version
+	}
+}
+
+// finishExtend completes an extension: waiting reads record their delay.
+func (c *simClient) finishExtend(op *inflightOp, grants []grantInfo) {
+	delete(c.inflight, op.reqID)
+	c.sim.engine.Cancel(op.retryEv)
+	for _, d := range op.data {
+		if c.extending[d] == op.reqID {
+			delete(c.extending, d)
+		}
+	}
+	if op.anticipatory {
+		return
+	}
+	delay := c.sim.now().Sub(op.startedAt)
+	for i := 0; i < op.waiters; i++ {
+		c.sim.reads.Inc()
+		c.sim.readDelay.Observe(delay)
+	}
+}
+
+// checkFreshness asserts the consistency invariant on a cache hit: the
+// cached version must match the server's current version. Staleness is
+// counted, not fatal — the clock-failure experiments rely on observing
+// it.
+func (c *simClient) checkFreshness(d vfs.Datum) {
+	// A read concurrent with this client's own in-flight write is
+	// ordered before the write completes; comparing it against the
+	// server's already-advanced version would be a false positive.
+	for _, op := range c.inflight {
+		if op.kind == opWrite && op.datum == d {
+			return
+		}
+	}
+	v, err := c.sim.server.store.Version(d)
+	if err != nil {
+		panic(err)
+	}
+	if c.cached[d] != v {
+		c.sim.stale.Inc()
+	}
+}
+
+func (c *simClient) scheduleAnticipatory() {
+	lead := c.sim.cfg.AnticipatoryLead
+	var tick func()
+	tick = func() {
+		if !c.down {
+			now := c.localNow()
+			expiring := c.holder.ExpiringWithin(now, lead)
+			if len(expiring) > 0 {
+				c.sendExtend(expiring, true)
+			}
+		}
+		if c.sim.engine.Now().Before(c.sim.end) {
+			c.anticipatoryEv = c.sim.engine.After(lead/2, tick)
+		}
+	}
+	c.anticipatoryEv = c.sim.engine.After(lead/2, tick)
+}
+
+// crash drops the client from the network and forgets all cache state.
+func (c *simClient) crash() {
+	if c.down {
+		return
+	}
+	c.down = true
+	c.sim.fabric.SetDown(c.node, true)
+	for _, op := range c.inflight {
+		c.sim.engine.Cancel(op.retryEv)
+	}
+	c.inflight = make(map[uint64]*inflightOp)
+	c.extending = make(map[vfs.Datum]uint64)
+}
+
+// restart rejoins with a cold cache.
+func (c *simClient) restart() {
+	if !c.down {
+		return
+	}
+	c.down = false
+	c.incarnation++
+	c.nextReq = 0
+	c.holder = c.sim.newHolder()
+	c.cached = make(map[vfs.Datum]uint64)
+	c.invalidatedAt = make(map[vfs.Datum]time.Time)
+	c.sim.fabric.SetDown(c.node, false)
+}

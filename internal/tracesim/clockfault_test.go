@@ -1,0 +1,117 @@
+package tracesim
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/trace"
+)
+
+// §5: "a server clock that advances too quickly can cause errors because
+// it may allow a write before the term of a lease held by a previous
+// client has expired at that client." Two clients share a file; the
+// server's clock runs 50% fast, so it releases a crashed-holder-blocked
+// write while the reader still trusts its lease.
+func TestFastServerClockViolatesConsistency(t *testing.T) {
+	tr := sharingScenario()
+	res := Run(Config{
+		Trace: tr, Term: 10 * time.Second, Net: lanNet(),
+		ServerClockRate: 1.5,
+		// Reader is partitioned so it cannot receive the approval
+		// request; the write must wait out the lease — which the fast
+		// server clock cuts short.
+		Faults: []Fault{{Kind: PartitionClient, At: 2 * time.Second, Client: 0}},
+	})
+	if res.StaleReads == 0 {
+		t.Fatal("fast server clock produced no stale reads — the failure mode is not being modelled")
+	}
+}
+
+// The same scenario with a well-behaved server clock is consistent.
+func TestSameScenarioConsistentWithGoodClocks(t *testing.T) {
+	tr := sharingScenario()
+	res := Run(Config{
+		Trace: tr, Term: 10 * time.Second, Net: lanNet(),
+		Faults: []Fault{{Kind: PartitionClient, At: 2 * time.Second, Client: 0}},
+	})
+	if res.StaleReads != 0 {
+		t.Fatalf("well-behaved clocks produced %d stale reads", res.StaleReads)
+	}
+}
+
+// §5: "if a client clock fails by advancing too slowly, it may continue
+// using a lease which the server regards as having expired."
+func TestSlowClientClockViolatesConsistency(t *testing.T) {
+	tr := sharingScenario()
+	res := Run(Config{
+		Trace: tr, Term: 10 * time.Second, Net: lanNet(),
+		ClientClockRate: []float64{0.5, 1.0},
+		Faults:          []Fault{{Kind: PartitionClient, At: 2 * time.Second, Client: 0}},
+	})
+	if res.StaleReads == 0 {
+		t.Fatal("slow client clock produced no stale reads")
+	}
+}
+
+// §5: "The opposite errors — a slow server clock or fast client clock —
+// do not result in inconsistencies, but do generate extra traffic since
+// a client will regard leases to have expired before the server does."
+func TestBenignClockErrorsCostOnlyTraffic(t *testing.T) {
+	tr := trace.Poisson(trace.PoissonConfig{
+		Seed: 77, Duration: time.Hour, Clients: 1, Files: 1,
+		ReadRate: 0.864, WriteRate: 0.04,
+	})
+	good := Run(Config{Trace: tr, Term: 10 * time.Second, Net: lanNet()})
+	fastClient := Run(Config{
+		Trace: tr, Term: 10 * time.Second, Net: lanNet(),
+		ClientClockRate: []float64{2.0},
+	})
+	if fastClient.StaleReads != 0 {
+		t.Fatalf("fast client clock caused %d stale reads — should be safe", fastClient.StaleReads)
+	}
+	if fastClient.ServerConsistencyMsgs <= good.ServerConsistencyMsgs {
+		t.Fatalf("fast client clock traffic %d not above well-behaved %d",
+			fastClient.ServerConsistencyMsgs, good.ServerConsistencyMsgs)
+	}
+	slowServer := Run(Config{
+		Trace: tr, Term: 10 * time.Second, Net: lanNet(),
+		ServerClockRate: 0.5,
+	})
+	if slowServer.StaleReads != 0 {
+		t.Fatalf("slow server clock caused %d stale reads — should be safe", slowServer.StaleReads)
+	}
+}
+
+// The ε allowance absorbs bounded skew: with drift small enough that the
+// accumulated error within a term stays below ε, even a slow client
+// clock stays consistent.
+func TestAllowanceAbsorbsBoundedDrift(t *testing.T) {
+	tr := sharingScenario()
+	// 1% slow over a 10 s term accrues ≤ 100 ms of error, within ε=200ms.
+	res := Run(Config{
+		Trace: tr, Term: 10 * time.Second, Net: lanNet(),
+		Allowance:       200 * time.Millisecond,
+		ClientClockRate: []float64{0.99, 1.0},
+		Faults:          []Fault{{Kind: PartitionClient, At: 2 * time.Second, Client: 0}},
+	})
+	if res.StaleReads != 0 {
+		t.Fatalf("ε did not absorb 1%% drift: %d stale reads", res.StaleReads)
+	}
+}
+
+// sharingScenario: client 0 reads and keeps re-reading a file under
+// lease; client 1 writes it mid-term. Used by the clock-failure tests.
+func sharingScenario() *trace.Trace {
+	events := []trace.Event{
+		{At: 1 * time.Second, Client: 0, File: 0, Op: trace.OpRead},
+		{At: 3 * time.Second, Client: 1, File: 0, Op: trace.OpWrite},
+	}
+	// Client 0 re-reads every 500 ms through the term: if the write
+	// applies while its lease is still locally valid, staleness shows.
+	for at := 3500 * time.Millisecond; at < 14*time.Second; at += 500 * time.Millisecond {
+		events = append(events, trace.Event{At: at, Client: 0, File: 0, Op: trace.OpRead})
+	}
+	tr := &trace.Trace{Duration: 30 * time.Second, Clients: 2, Files: 1}
+	tr.Events = events
+	return tr
+}

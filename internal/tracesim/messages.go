@@ -1,0 +1,81 @@
+package tracesim
+
+import (
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/vfs"
+)
+
+// Message kinds on the fabric. Kinds under "lease." are consistency
+// traffic — the quantity formula (1) models; "data." kinds are the base
+// file traffic every design pays.
+const (
+	kindExtendReq    = "lease.extend"        // client → server: fetch/extend request
+	kindExtendRep    = "lease.grant"         // server → client: grant(s) + version(s)
+	kindApprovalReq  = "lease.approval-req"  // server → holders: approve write?
+	kindApprove      = "lease.approve"       // holder → server: approved
+	kindInstalledExt = "lease.installed-ext" // server → all: multicast extension
+	kindWriteReq     = "data.write"          // client → server: write-through
+	kindWriteAck     = "data.ack"            // server → client: write applied
+)
+
+// consistencyPrefix selects lease-protocol traffic in fabric accounting.
+const consistencyPrefix = "lease."
+
+// extendReq asks the server to grant or extend leases on data (and
+// return current versions). A read miss sends a request covering the
+// missed datum, or, with batching enabled, every datum the cache holds.
+type extendReq struct {
+	ReqID uint64
+	From  core.ClientID
+	Data  []vfs.Datum
+	// SentAt anchors the conservative effective-term computation.
+	SentAt time.Time
+}
+
+// grantInfo is the per-datum part of an extension reply.
+type grantInfo struct {
+	Datum   vfs.Datum
+	Term    time.Duration
+	Version uint64
+	Leased  bool
+}
+
+// extendRep answers an extendReq.
+type extendRep struct {
+	ReqID  uint64
+	Grants []grantInfo
+}
+
+// writeReq submits a write-through write.
+type writeReq struct {
+	ReqID uint64
+	From  core.ClientID
+	Datum vfs.Datum
+}
+
+// writeAck confirms a write was applied at the given version.
+type writeAck struct {
+	ReqID   uint64
+	Version uint64
+}
+
+// approvalReq asks a leaseholder to approve a pending write.
+type approvalReq struct {
+	WriteID core.WriteID
+	Datum   vfs.Datum
+}
+
+// approveMsg grants approval for a pending write.
+type approveMsg struct {
+	WriteID core.WriteID
+	From    core.ClientID
+}
+
+// installedExt is the periodic multicast extension over installed data.
+type installedExt struct {
+	Data   []vfs.Datum
+	Term   time.Duration
+	SentAt time.Time
+}

@@ -1,0 +1,71 @@
+package tracesim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"leases/internal/analytic"
+	"leases/internal/trace"
+)
+
+// With N clients all caching one file, the sharing degree at each write
+// approaches S = N, and the simulated consistency load must track
+// formula (1) with that S: 2NR/(1+R·t_c) + NSW. This extends the S=1
+// validation to the shared case.
+func TestSimulatorMatchesAnalyticModelShared(t *testing.T) {
+	const (
+		n    = 5
+		r    = 0.864
+		w    = 0.01 // rare writes keep S ≈ N at write time
+		term = 20 * time.Second
+	)
+	tr := trace.Shared(trace.SharedConfig{
+		Seed: 99, Duration: 2 * time.Hour, Clients: n, Files: 1,
+		ReadRate: r, WriteRate: w,
+	})
+	res := run(t, Config{Trace: tr, Term: term, Net: lanNet()})
+
+	p := analytic.VParams()
+	p.N, p.R, p.W, p.S = n, r, w, n
+	// The model is "only approximate" (§7): it ignores that each shared
+	// write invalidates S−1 cached copies whose next read refetches.
+	// That adds at most 2·(N·W)·(S−1) messages per second (two per
+	// refetch), partially absorbed by the extension term it resets. The
+	// simulated load must land between the raw model and the model plus
+	// the full correction.
+	lower := p.ConsistencyLoad(term)
+	upper := lower + 2*(n*w)*(n-1)
+	got := res.ConsistencyLoad
+	if got < lower*0.95 || got > upper*1.05 {
+		t.Fatalf("shared consistency load %.4f/s outside model band [%.4f, %.4f]",
+			got, lower, upper)
+	}
+
+	// The write path itself: each deferred write should cost about S
+	// messages at the server (1 multicast + S−1 approvals). Count the
+	// approval-related traffic per write.
+	approvals := res.ServerConsistencyMsgs // total; cross-check via rates instead
+	_ = approvals
+	if res.WriteDelay.Max > time.Second {
+		t.Fatalf("approval gathering took %v — writes should clear in milliseconds with live holders", res.WriteDelay.Max)
+	}
+}
+
+// The zero-term shared system pays no approval traffic at all (no
+// leases exist), matching the model's S-independence at t_s = 0.
+func TestSharedZeroTermNoApprovals(t *testing.T) {
+	tr := trace.Shared(trace.SharedConfig{
+		Seed: 7, Duration: 30 * time.Minute, Clients: 6, Files: 1,
+		ReadRate: 0.864, WriteRate: 0.05,
+	})
+	res := run(t, Config{Trace: tr, Term: 0, Net: lanNet()})
+	wantLoad := 2 * float64(res.Reads) / tr.Duration.Seconds()
+	if math.Abs(res.ConsistencyLoad-wantLoad)/wantLoad > 0.02 {
+		t.Fatalf("zero-term shared load %.4f, want %.4f (2 per read, no approvals)",
+			res.ConsistencyLoad, wantLoad)
+	}
+	if res.WriteDelay.Max != 0 {
+		t.Fatalf("zero-term write delayed %v — no leases can conflict", res.WriteDelay.Max)
+	}
+}

@@ -1,0 +1,594 @@
+// Package vfs is a versioned, hierarchical, in-memory file store: the
+// primary storage site of every datum that leases cover.
+//
+// The paper (§2) is explicit that the data covered by leases are not only
+// file contents: "the cache must also hold the name-to-file binding and
+// permission information, and it needs a lease over this information in
+// order to use that information to perform the open. Similarly,
+// modification of this information, such as renaming the file, would
+// constitute a write." The store therefore exposes two kinds of datum,
+// file contents and directory bindings, each with its own monotonically
+// increasing version number. The lease layer (internal/core) addresses
+// data by Datum values and uses versions for revalidation when a lease is
+// extended after expiry.
+//
+// Writes are applied atomically under a single store lock; durability is
+// out of scope (the paper assumes "writes are persistent at the server
+// across a crash" — we model a crash as the loss of lease soft state, not
+// file data, and the store survives a simulated server restart).
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"leases/internal/clock"
+)
+
+// Errors reported by the store.
+var (
+	ErrNotExist = errors.New("vfs: file does not exist")
+	ErrExist    = errors.New("vfs: file already exists")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrIsDir    = errors.New("vfs: is a directory")
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+	ErrPerm     = errors.New("vfs: permission denied")
+	ErrBadPath  = errors.New("vfs: invalid path")
+	ErrRootOp   = errors.New("vfs: operation not permitted on root")
+)
+
+// NodeID identifies a file or directory for the life of the store.
+type NodeID uint64
+
+// RootID is the NodeID of the root directory of every store.
+const RootID NodeID = 1
+
+// DatumKind distinguishes the two classes of leased data.
+type DatumKind uint8
+
+const (
+	// FileData is a file's contents.
+	FileData DatumKind = iota + 1
+	// DirBinding is a directory's name→file bindings plus the attributes
+	// (permissions, ownership) of its entries.
+	DirBinding
+)
+
+// String implements fmt.Stringer.
+func (k DatumKind) String() string {
+	switch k {
+	case FileData:
+		return "file"
+	case DirBinding:
+		return "dir"
+	default:
+		return fmt.Sprintf("DatumKind(%d)", uint8(k))
+	}
+}
+
+// Datum names one leasable unit of data.
+type Datum struct {
+	Kind DatumKind
+	Node NodeID
+}
+
+// String implements fmt.Stringer.
+func (d Datum) String() string { return fmt.Sprintf("%s:%d", d.Kind, d.Node) }
+
+// Perm is a simple permission word: owner and world read/write bits.
+type Perm uint8
+
+// Permission bits.
+const (
+	OwnerRead Perm = 1 << iota
+	OwnerWrite
+	WorldRead
+	WorldWrite
+)
+
+// DefaultPerm grants the owner read/write and the world read.
+const DefaultPerm = OwnerRead | OwnerWrite | WorldRead
+
+// Attr describes a node.
+type Attr struct {
+	ID      NodeID
+	Name    string // base name within parent; "/" for the root
+	IsDir   bool
+	Size    int64
+	Owner   string
+	Perm    Perm
+	ModTime time.Time
+	// Version counts writes to this node's datum: file content writes
+	// for files; binding changes (create, remove, rename, chmod of a
+	// child) for directories.
+	Version uint64
+}
+
+// DirEntry is one name→node binding inside a directory.
+type DirEntry struct {
+	Name  string
+	ID    NodeID
+	IsDir bool
+}
+
+type node struct {
+	id      NodeID
+	name    string
+	isDir   bool
+	parent  *node
+	data    []byte
+	entries map[string]*node // directories only
+	owner   string
+	perm    Perm
+	modTime time.Time
+	version uint64
+}
+
+func (n *node) attr() Attr {
+	return Attr{
+		ID:      n.id,
+		Name:    n.name,
+		IsDir:   n.isDir,
+		Size:    int64(len(n.data)),
+		Owner:   n.owner,
+		Perm:    n.perm,
+		ModTime: n.modTime,
+		Version: n.version,
+	}
+}
+
+// Store is an in-memory file tree. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	clk    clock.Clock
+	nodes  map[NodeID]*node
+	nextID NodeID
+}
+
+// New returns an empty store whose root directory is owned by owner.
+// Timestamps are read from clk.
+func New(clk clock.Clock, owner string) *Store {
+	s := &Store{clk: clk, nodes: make(map[NodeID]*node), nextID: RootID}
+	root := &node{
+		id:      s.alloc(),
+		name:    "/",
+		isDir:   true,
+		entries: make(map[string]*node),
+		owner:   owner,
+		perm:    DefaultPerm | WorldWrite,
+		modTime: clk.Now(),
+	}
+	s.nodes[root.id] = root
+	return s
+}
+
+func (s *Store) alloc() NodeID {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// splitPath validates and splits an absolute slash path into components.
+func splitPath(p string) ([]string, error) {
+	if p == "" || p[0] != '/' {
+		return nil, fmt.Errorf("%w: %q (must be absolute)", ErrBadPath, p)
+	}
+	if p == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(p[1:], "/")
+	for _, part := range parts {
+		if part == "" || part == "." || part == ".." {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, p)
+		}
+	}
+	return parts, nil
+}
+
+// lookup walks the tree. Caller holds at least the read lock.
+func (s *Store) lookup(p string) (*node, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	n := s.nodes[RootID]
+	for _, part := range parts {
+		if !n.isDir {
+			return nil, fmt.Errorf("%w: %q", ErrNotDir, p)
+		}
+		child, ok := n.entries[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotExist, p)
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// lookupParent resolves the parent directory and base name of p.
+func (s *Store) lookupParent(p string) (*node, string, error) {
+	parts, err := splitPath(p)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", ErrRootOp
+	}
+	dirParts, base := parts[:len(parts)-1], parts[len(parts)-1]
+	n := s.nodes[RootID]
+	for _, part := range dirParts {
+		if !n.isDir {
+			return nil, "", fmt.Errorf("%w: %q", ErrNotDir, p)
+		}
+		child, ok := n.entries[part]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %q", ErrNotExist, p)
+		}
+		n = child
+	}
+	if !n.isDir {
+		return nil, "", fmt.Errorf("%w: %q", ErrNotDir, p)
+	}
+	return n, base, nil
+}
+
+func (s *Store) touchBinding(dir *node) {
+	dir.version++
+	dir.modTime = s.clk.Now()
+}
+
+// Lookup resolves an absolute path to the node's identity and datum.
+func (s *Store) Lookup(p string) (Attr, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, err := s.lookup(p)
+	if err != nil {
+		return Attr{}, err
+	}
+	return n.attr(), nil
+}
+
+// Stat reports the attributes of a node by ID.
+func (s *Store) Stat(id NodeID) (Attr, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return Attr{}, ErrNotExist
+	}
+	return n.attr(), nil
+}
+
+// Create makes an empty file at path p owned by owner. It fails if the
+// name exists.
+func (s *Store) Create(p, owner string, perm Perm) (Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, base, err := s.lookupParent(p)
+	if err != nil {
+		return Attr{}, err
+	}
+	if _, exists := dir.entries[base]; exists {
+		return Attr{}, fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	n := &node{
+		id:      s.alloc(),
+		name:    base,
+		parent:  dir,
+		owner:   owner,
+		perm:    perm,
+		modTime: s.clk.Now(),
+	}
+	s.nodes[n.id] = n
+	dir.entries[base] = n
+	s.touchBinding(dir)
+	return n.attr(), nil
+}
+
+// Mkdir makes a directory at path p owned by owner.
+func (s *Store) Mkdir(p, owner string, perm Perm) (Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, base, err := s.lookupParent(p)
+	if err != nil {
+		return Attr{}, err
+	}
+	if _, exists := dir.entries[base]; exists {
+		return Attr{}, fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	n := &node{
+		id:      s.alloc(),
+		name:    base,
+		isDir:   true,
+		parent:  dir,
+		entries: make(map[string]*node),
+		owner:   owner,
+		perm:    perm,
+		modTime: s.clk.Now(),
+	}
+	s.nodes[n.id] = n
+	dir.entries[base] = n
+	s.touchBinding(dir)
+	return n.attr(), nil
+}
+
+// Remove deletes the file or empty directory at path p. It returns the
+// data affected: the removed node's datum and its parent's binding datum.
+func (s *Store) Remove(p string) ([]Datum, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, base, err := s.lookupParent(p)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := dir.entries[base]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	if n.isDir && len(n.entries) > 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNotEmpty, p)
+	}
+	delete(dir.entries, base)
+	delete(s.nodes, n.id)
+	s.touchBinding(dir)
+	kind := FileData
+	if n.isDir {
+		kind = DirBinding
+	}
+	return []Datum{{kind, n.id}, {DirBinding, dir.id}}, nil
+}
+
+// Rename moves the node at oldPath to newPath (which must not exist).
+// It returns the binding data affected (old parent, new parent).
+func (s *Store) Rename(oldPath, newPath string) ([]Datum, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldDir, oldBase, err := s.lookupParent(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := oldDir.entries[oldBase]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, oldPath)
+	}
+	newDir, newBase, err := s.lookupParent(newPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, exists := newDir.entries[newBase]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrExist, newPath)
+	}
+	// Refuse to move a directory into its own subtree.
+	for a := newDir; a != nil; a = a.parent {
+		if a == n {
+			return nil, fmt.Errorf("%w: %q into %q", ErrBadPath, oldPath, newPath)
+		}
+	}
+	delete(oldDir.entries, oldBase)
+	n.name = newBase
+	n.parent = newDir
+	newDir.entries[newBase] = n
+	s.touchBinding(oldDir)
+	data := []Datum{{DirBinding, oldDir.id}}
+	if newDir != oldDir {
+		s.touchBinding(newDir)
+		data = append(data, Datum{DirBinding, newDir.id})
+	}
+	return data, nil
+}
+
+// ReadFile returns a copy of the file's contents and its attributes.
+func (s *Store) ReadFile(id NodeID) ([]byte, Attr, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, Attr{}, ErrNotExist
+	}
+	if n.isDir {
+		return nil, Attr{}, fmt.Errorf("%w: %q", ErrIsDir, n.name)
+	}
+	data := make([]byte, len(n.data))
+	copy(data, n.data)
+	return data, n.attr(), nil
+}
+
+// WriteFile replaces the file's contents, bumping its version. It
+// returns the new attributes and the datum written.
+func (s *Store) WriteFile(id NodeID, data []byte) (Attr, Datum, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return Attr{}, Datum{}, ErrNotExist
+	}
+	if n.isDir {
+		return Attr{}, Datum{}, fmt.Errorf("%w: %q", ErrIsDir, n.name)
+	}
+	n.data = make([]byte, len(data))
+	copy(n.data, data)
+	n.version++
+	n.modTime = s.clk.Now()
+	return n.attr(), Datum{FileData, n.id}, nil
+}
+
+// SetPerm changes a node's permissions and owner, bumping the parent's
+// binding version (attributes are part of the binding datum). It returns
+// the binding datum affected, or the node's own datum for the root.
+func (s *Store) SetPerm(id NodeID, owner string, perm Perm) (Datum, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return Datum{}, ErrNotExist
+	}
+	n.owner = owner
+	n.perm = perm
+	if n.parent != nil {
+		s.touchBinding(n.parent)
+		return Datum{DirBinding, n.parent.id}, nil
+	}
+	s.touchBinding(n)
+	return Datum{DirBinding, n.id}, nil
+}
+
+// ReadDir lists a directory's entries in name order.
+func (s *Store) ReadDir(id NodeID) ([]DirEntry, Attr, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, Attr{}, ErrNotExist
+	}
+	if !n.isDir {
+		return nil, Attr{}, fmt.Errorf("%w: %q", ErrNotDir, n.name)
+	}
+	entries := make([]DirEntry, 0, len(n.entries))
+	for name, child := range n.entries {
+		entries = append(entries, DirEntry{Name: name, ID: child.id, IsDir: child.isDir})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, n.attr(), nil
+}
+
+// Version reports the current version of a datum. For a FileData datum
+// that names a directory (or vice versa) it returns ErrNotExist, since no
+// such datum exists.
+func (s *Store) Version(d Datum) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[d.Node]
+	if !ok {
+		return 0, ErrNotExist
+	}
+	switch d.Kind {
+	case FileData:
+		if n.isDir {
+			return 0, ErrNotExist
+		}
+	case DirBinding:
+		if !n.isDir {
+			return 0, ErrNotExist
+		}
+	default:
+		return 0, ErrNotExist
+	}
+	return n.version, nil
+}
+
+// Path reconstructs the absolute path of a node.
+func (s *Store) Path(id NodeID) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return "", ErrNotExist
+	}
+	if n.parent == nil {
+		return "/", nil
+	}
+	var parts []string
+	for ; n.parent != nil; n = n.parent {
+		parts = append(parts, n.name)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String(), nil
+}
+
+// CheckAccess reports whether principal may perform the operation on the
+// node: write=false checks read permission.
+func (s *Store) CheckAccess(id NodeID, principal string, write bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return ErrNotExist
+	}
+	var need Perm
+	if principal == n.owner {
+		need = OwnerRead
+		if write {
+			need = OwnerWrite
+		}
+	} else {
+		need = WorldRead
+		if write {
+			need = WorldWrite
+		}
+	}
+	if n.perm&need == 0 {
+		return fmt.Errorf("%w: %s on %q by %q", ErrPerm, map[bool]string{false: "read", true: "write"}[write], n.name, principal)
+	}
+	return nil
+}
+
+// NodeCount reports how many nodes (files and directories) exist.
+func (s *Store) NodeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
+
+// Walk visits every node under the given directory in depth-first name
+// order, invoking fn with the absolute path and attributes.
+func (s *Store) Walk(id NodeID, fn func(path string, a Attr) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return ErrNotExist
+	}
+	base, err := s.pathLocked(n)
+	if err != nil {
+		return err
+	}
+	return s.walkLocked(n, base, fn)
+}
+
+func (s *Store) pathLocked(n *node) (string, error) {
+	if n.parent == nil {
+		return "/", nil
+	}
+	var parts []string
+	for m := n; m.parent != nil; m = m.parent {
+		parts = append(parts, m.name)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String(), nil
+}
+
+func (s *Store) walkLocked(n *node, path string, fn func(string, Attr) error) error {
+	if err := fn(path, n.attr()); err != nil {
+		return err
+	}
+	if !n.isDir {
+		return nil
+	}
+	names := make([]string, 0, len(n.entries))
+	for name := range n.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		childPath := path + "/" + name
+		if path == "/" {
+			childPath = "/" + name
+		}
+		if err := s.walkLocked(n.entries[name], childPath, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package leases_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"leases"
+	"leases/internal/vfs"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	srv := leases.NewServer(leases.ServerConfig{Term: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(ln) }()
+	defer func() { srv.Stop(); <-done }()
+
+	srv.Store().Create("/bin", "root", vfs.DefaultPerm|vfs.WorldWrite)
+
+	c, err := leases.Dial(ln.Addr().String(), leases.ClientConfig{ID: "ws1"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	if err := c.Write("/bin", []byte("latex")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		data, err := c.Read("/bin")
+		if err != nil || string(data) != "latex" {
+			t.Fatalf("Read: %q %v", data, err)
+		}
+	}
+	if c.Metrics().ReadHits < 4 {
+		t.Fatalf("ReadHits = %d", c.Metrics().ReadHits)
+	}
+}
+
+func TestFacadeManagerHolder(t *testing.T) {
+	m := leases.NewManager(leases.FixedTerm(10 * time.Second))
+	h := leases.NewHolder(leases.HolderConfig{})
+	now := time.Now()
+	d := leases.Datum{Kind: vfs.FileData, Node: 5}
+	g := m.Grant("c1", d, now)
+	if !g.Leased {
+		t.Fatal("grant refused")
+	}
+	h.ApplyGrant(d, 1, g.Term, now, now)
+	if !h.Valid(d, now.Add(5*time.Second)) {
+		t.Fatal("lease invalid")
+	}
+}
+
+func TestChooseTerm(t *testing.T) {
+	m := leases.VParams()
+	// Unshared: any term helps → max.
+	if got := leases.ChooseTerm(m, time.Second, 30*time.Second); got != 30*time.Second {
+		t.Fatalf("unshared ChooseTerm = %v", got)
+	}
+	// Shared at V rates: a short finite term.
+	m.S = 10
+	got := leases.ChooseTerm(m, time.Second, 30*time.Second)
+	if got < time.Second || got > 30*time.Second {
+		t.Fatalf("shared ChooseTerm = %v", got)
+	}
+	// Heavy write sharing: zero.
+	m.W = 10
+	if got := leases.ChooseTerm(m, time.Second, 30*time.Second); got != 0 {
+		t.Fatalf("write-hot ChooseTerm = %v", got)
+	}
+}
+
+func TestInfiniteConstantExported(t *testing.T) {
+	if leases.Infinite <= 0 {
+		t.Fatal("Infinite not positive")
+	}
+}
