@@ -1,0 +1,157 @@
+// Concurrency benchmarks for the sharded lease manager and the
+// networked server under parallel clients. These quantify the scaling
+// work of PR 1 (see BENCH_pr1.json for recorded before/after numbers):
+// the global server mutex was replaced by lock-striped shards, and the
+// O(all-data) deadline scan in ReadyWrites/NextDeadline by a per-shard
+// expiry min-heap.
+//
+// Run with:
+//
+//	go test -bench='Parallel|Concurrent|Pending' -benchmem -cpu 1,8
+package leases_test
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leases"
+	"leases/internal/core"
+	"leases/internal/vfs"
+)
+
+// BenchmarkManagerParallelGlobalMutex is the seed architecture at the
+// manager layer: every operation funnels through one mutex around one
+// Manager. It is the baseline BenchmarkShardedManagerParallel is
+// measured against.
+func BenchmarkManagerParallelGlobalMutex(b *testing.B) {
+	var mu sync.Mutex
+	m := core.NewManager(core.FixedTerm(10 * time.Second))
+	now := time.Now()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		worker := next.Add(1)
+		client := core.ClientID(fmt.Sprintf("c%d", worker))
+		i := 0
+		for pb.Next() {
+			d := vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(uint64(worker)<<20 | uint64(i%4096) + 2)}
+			mu.Lock()
+			m.Grant(client, d, now)
+			mu.Unlock()
+			i++
+		}
+	})
+}
+
+// BenchmarkShardedManagerParallel is the same workload over the
+// lock-striped ShardedManager: distinct data hash to distinct stripes,
+// so parallel grants rarely contend on a lock.
+func BenchmarkShardedManagerParallel(b *testing.B) {
+	m := core.NewShardedManager(core.DefaultShards, core.FixedTerm(10*time.Second))
+	now := time.Now()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		worker := next.Add(1)
+		client := core.ClientID(fmt.Sprintf("c%d", worker))
+		i := 0
+		for pb.Next() {
+			d := vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(uint64(worker)<<20 | uint64(i%4096) + 2)}
+			m.Grant(client, d, now)
+			i++
+		}
+	})
+}
+
+// BenchmarkManagerReadyWritesManyPending measures the deadline-timer
+// path with many far-future pending writes outstanding: the seed scanned
+// every datum on each ReadyWrites/NextDeadline call; the heap pops only
+// due entries.
+func BenchmarkManagerReadyWritesManyPending(b *testing.B) {
+	for _, pending := range []int{100, 5000} {
+		b.Run(fmt.Sprintf("pending=%d", pending), func(b *testing.B) {
+			m := core.NewManager(core.FixedTerm(time.Hour))
+			now := time.Now()
+			for i := 0; i < pending; i++ {
+				d := vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(i + 2)}
+				m.Grant("holder", d, now)
+				m.SubmitWrite("writer", d, now)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := m.ReadyWrites(now); len(got) != 0 {
+					b.Fatalf("unexpected ready writes: %d", len(got))
+				}
+				if _, ok := m.NextDeadline(); !ok {
+					b.Fatal("expected a deadline")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTCPConcurrentClients measures server throughput under 1, 8
+// and 64 concurrent clients issuing lease-extension requests — the
+// pure lease-manager hot path of the TCP deployment. Each client holds
+// leases on its own file and its directory binding, so requests from
+// different clients touch disjoint data and, post-sharding, mostly
+// disjoint locks.
+func BenchmarkTCPConcurrentClients(b *testing.B) {
+	for _, nc := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("clients=%d", nc), func(b *testing.B) {
+			srv := leases.NewServer(leases.ServerConfig{Term: time.Hour})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			b.Cleanup(srv.Stop)
+			st := srv.Store()
+			clients := make([]*leases.Client, nc)
+			for i := range clients {
+				path := fmt.Sprintf("/bench-%d", i)
+				a, err := st.Create(path, "root", vfs.DefaultPerm|vfs.WorldWrite)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := st.WriteFile(a.ID, []byte("contents")); err != nil {
+					b.Fatal(err)
+				}
+				c, err := leases.Dial(ln.Addr().String(), leases.ClientConfig{ID: fmt.Sprintf("bench-%d", i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { c.Close() })
+				if _, err := c.Read(path); err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = c
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i, c := range clients {
+				n := b.N / nc
+				if i < b.N%nc {
+					n++
+				}
+				wg.Add(1)
+				go func(c *leases.Client, n int) {
+					defer wg.Done()
+					for j := 0; j < n; j++ {
+						if err := c.ExtendAll(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c, n)
+			}
+			wg.Wait()
+		})
+	}
+}

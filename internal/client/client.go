@@ -11,6 +11,7 @@
 package client
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -51,6 +52,7 @@ type Cache struct {
 	cfg Config
 	clk clock.Clock
 	nc  net.Conn
+	br  *bufio.Reader // buffers nc; only the demux goroutine reads it
 
 	mu     sync.Mutex
 	holder *core.Holder
@@ -104,6 +106,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 4096),
 		holder:   core.NewHolder(core.HolderConfig{Allowance: cfg.Allowance}),
 		data:     make(map[vfs.Datum][]byte),
 		dattr:    make(map[vfs.Datum]vfs.Attr),
@@ -118,7 +121,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		nc.Close()
 		return nil, err
 	}
-	f, err := proto.ReadFrame(nc)
+	f, err := proto.ReadFrame(c.br)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -127,6 +130,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: unexpected hello response type %d", f.Type)
 	}
+	f.Recycle()
 	c.nextID = 1
 	c.wg.Add(1)
 	go c.readLoop()
@@ -194,7 +198,7 @@ func (c *Cache) HeldLeases() int {
 func (c *Cache) readLoop() {
 	defer c.wg.Done()
 	for {
-		f, err := proto.ReadFrame(c.nc)
+		f, err := proto.ReadFrame(c.br)
 		if err != nil {
 			c.mu.Lock()
 			c.err = fmt.Errorf("%w: %v", ErrClosed, err)
@@ -231,6 +235,7 @@ func (c *Cache) handleApprovalPush(f proto.Frame) {
 	var e proto.Enc
 	e.EncodeApproval(proto.ApprovalWire{WriteID: a.WriteID, Datum: a.Datum})
 	c.send(proto.Frame{Type: proto.TApprove, Payload: e.Bytes()})
+	f.Recycle()
 }
 
 // invalidateLocked drops the lease, data and dependent binding caches
@@ -277,7 +282,13 @@ func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
 	}
 	if f.Type == proto.TError {
 		msg := proto.NewDec(f.Payload).Str()
+		f.Recycle()
 		return proto.Frame{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+	if f.Type == proto.TOK {
+		// Empty success: callers that discard the frame would otherwise
+		// strand the pooled buffer.
+		f.Recycle()
 	}
 	return f, nil
 }
@@ -373,6 +384,7 @@ func (c *Cache) lookupRemote(path string) (vfs.Attr, error) {
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer f.Recycle()
 	d := proto.NewDec(f.Payload)
 	attr := d.Attr()
 	parentID := vfs.NodeID(d.U64())
@@ -448,6 +460,7 @@ func (c *Cache) Read(path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer f.Recycle()
 	dec := proto.NewDec(f.Payload)
 	rattr := dec.Attr()
 	grants := dec.DecodeGrants()
@@ -483,6 +496,7 @@ func (c *Cache) Write(path string, data []byte) error {
 	if err != nil {
 		return err
 	}
+	defer f.Recycle()
 	dec := proto.NewDec(f.Payload)
 	nattr := dec.Attr()
 	if dec.Err != nil {
@@ -531,6 +545,7 @@ func (c *Cache) ReadDir(path string) ([]vfs.DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer f.Recycle()
 	dec := proto.NewDec(f.Payload)
 	dattr := dec.Attr()
 	grants := dec.DecodeGrants()
@@ -585,6 +600,7 @@ func (c *Cache) createCommon(path string, perm vfs.Perm, t proto.MsgType) (vfs.A
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer f.Recycle()
 	dec := proto.NewDec(f.Payload)
 	attr := dec.Attr()
 	if dec.Err != nil {
@@ -737,6 +753,7 @@ func (c *Cache) ExtendAll() error {
 	if err != nil {
 		return err
 	}
+	defer f.Recycle()
 	dec := proto.NewDec(f.Payload)
 	grants := dec.DecodeGrants()
 	if dec.Err != nil {

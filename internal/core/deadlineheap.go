@@ -1,0 +1,67 @@
+package core
+
+import "time"
+
+// deadlineEntry schedules the instant a pending write may become
+// releasable by the passage of time alone: the latest expiry among its
+// blocking leases, its blocked-until window, or the recovery window.
+type deadlineEntry struct {
+	at time.Time
+	id WriteID
+}
+
+// deadlineHeap is a lazy min-heap of write-release deadlines, ordered by
+// instant (ties by WriteID for determinism). "Lazy" because entries are
+// never removed in place: a write's effective deadline only shrinks
+// (approvals remove blockers; leases cannot be extended while a write is
+// pending), so each shrink pushes a fresh, smaller entry and records the
+// new value in pendingWrite.scheduled. An entry is live iff its write is
+// still pending and its instant equals that write's scheduled value;
+// anything else is skipped on pop. This keeps ReadyWrites and
+// NextDeadline O(log n) in place of the seed's scan of every datum.
+type deadlineHeap []deadlineEntry
+
+func (h deadlineHeap) less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].id < h[j].id
+}
+
+func (h *deadlineHeap) push(e deadlineEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *deadlineHeap) pop() deadlineEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && (*h).less(left, smallest) {
+			smallest = left
+		}
+		if right < n && (*h).less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

@@ -58,6 +58,11 @@ type pendingWrite struct {
 	// countedExpiry dedupes the ExpiryReleases metric across repeated
 	// ReadyWrites calls.
 	countedExpiry bool
+	// scheduled is the instant of this write's live entry in the
+	// deadline heap; zero when the write has no timed release (it is in
+	// the due set, or only approvals can release it). Maintained by
+	// Manager.schedule; see deadlineHeap for the laziness contract.
+	scheduled time.Time
 }
 
 // datumState is the server's soft state for one datum.
@@ -95,6 +100,16 @@ type Manager struct {
 	data   map[vfs.Datum]*datumState
 	writes map[WriteID]*pendingWrite
 	nextID WriteID
+	// idStride spaces consecutive WriteIDs; 1 for a standalone manager.
+	// A ShardedManager gives shard i the IDs i+1, i+1+N, i+1+2N, … so
+	// IDs stay unique across shards and route back by (id-1) mod N.
+	idStride WriteID
+	// dl schedules pending writes' earliest release-by-time instants;
+	// due holds writes whose deadlines have passed (or that never had
+	// timed blockers) and that await application. Together they replace
+	// the seed's O(all-data) scans in ReadyWrites and NextDeadline.
+	dl  deadlineHeap
+	due map[WriteID]struct{}
 	// maxTerm is the longest term ever granted; a recovering server
 	// delays writes for this long (§2).
 	maxTerm time.Duration
@@ -127,10 +142,12 @@ func NewManager(policy TermPolicy, opts ...ManagerOption) *Manager {
 		panic("core: nil TermPolicy")
 	}
 	m := &Manager{
-		policy: policy,
-		data:   make(map[vfs.Datum]*datumState),
-		writes: make(map[WriteID]*pendingWrite),
-		nextID: 1,
+		policy:   policy,
+		data:     make(map[vfs.Datum]*datumState),
+		writes:   make(map[WriteID]*pendingWrite),
+		nextID:   1,
+		idStride: 1,
+		due:      make(map[WriteID]struct{}),
 	}
 	for _, o := range opts {
 		o(m)
@@ -283,7 +300,7 @@ func (m *Manager) SubmitWrite(writer ClientID, d vfs.Datum, now time.Time) Write
 			blockedUntil: blocked,
 			queuedAt:     now,
 		}
-		m.enqueue(pw, ds)
+		m.enqueue(pw, ds, now)
 		disp.WriteID = pw.id
 		disp.Deadline = blocked
 		m.metrics.WritesDeferred++
@@ -324,7 +341,7 @@ func (m *Manager) SubmitWrite(writer ClientID, d vfs.Datum, now time.Time) Write
 			pw.deadline = maxDeadline(pw.deadline, m.recoverUntil)
 		}
 	}
-	m.enqueue(pw, ds)
+	m.enqueue(pw, ds, now)
 
 	disp.WriteID = pw.id
 	disp.Deadline = pw.deadline
@@ -377,7 +394,7 @@ func (m *Manager) SubmitWriteHeld(writer ClientID, d vfs.Datum, now time.Time) W
 	} else {
 		pw.deadline = maxDeadline(pw.deadline, blocked)
 	}
-	m.enqueue(pw, ds)
+	m.enqueue(pw, ds, now)
 	disp.WriteID = pw.id
 	disp.Deadline = pw.deadline
 	disp.NeedApproval = sortedClients(holders)
@@ -415,13 +432,67 @@ func sortedClients(set map[ClientID]time.Time) []ClientID {
 
 func (m *Manager) allocWrite() WriteID {
 	id := m.nextID
-	m.nextID++
+	m.nextID += m.idStride
 	return id
 }
 
-func (m *Manager) enqueue(pw *pendingWrite, ds *datumState) {
+func (m *Manager) enqueue(pw *pendingWrite, ds *datumState, now time.Time) {
 	ds.pending = append(ds.pending, pw)
 	m.writes[pw.id] = pw
+	if ds.pending[0] == pw {
+		// Only the queue head is schedulable; a write behind another is
+		// scheduled by promote when it reaches the head.
+		m.schedule(pw, now)
+	}
+}
+
+// schedule (re)computes pw's earliest release-by-time instant and files
+// it: a future instant goes to the deadline heap, a passed or absent one
+// puts the write in the due set (it may be applied as soon as a driver
+// asks), and an infinite blocker leaves it unfiled — only an approval
+// can release it, and that approval reschedules. Callers must only pass
+// queue-head writes. A reschedule changes scheduled, so the write's
+// older heap entries turn stale (normally deadlines only shrink — leases
+// cannot be extended while a write is pending — but Restore may lengthen
+// a blocking lease, and both directions are handled).
+func (m *Manager) schedule(pw *pendingWrite, now time.Time) {
+	var worst time.Time
+	for _, exp := range pw.waitingOn {
+		if exp.IsZero() {
+			// An infinite lease blocks until approved: no timer helps.
+			pw.scheduled = time.Time{}
+			delete(m.due, pw.id)
+			return
+		}
+		worst = maxDeadline(worst, exp)
+	}
+	worst = maxDeadline(worst, pw.blockedUntil)
+	if m.Recovering(now) {
+		worst = maxDeadline(worst, m.recoverUntil)
+	}
+	if worst.IsZero() || !worst.After(now) {
+		pw.scheduled = time.Time{}
+		m.due[pw.id] = struct{}{}
+		return
+	}
+	if worst.Equal(pw.scheduled) {
+		return
+	}
+	pw.scheduled = worst
+	delete(m.due, pw.id)
+	m.dl.push(deadlineEntry{at: worst, id: pw.id})
+}
+
+// liveEntry reports whether a heap entry is still authoritative for its
+// write: the write is pending and the entry carries its current
+// scheduled instant. Stale entries (superseded or applied) are dropped
+// by the callers' pop loops.
+func (m *Manager) liveEntry(e deadlineEntry) (*pendingWrite, bool) {
+	pw, ok := m.writes[e.id]
+	if !ok || !e.at.Equal(pw.scheduled) {
+		return nil, false
+	}
+	return pw, true
 }
 
 // Approve records that client approves the identified write, having
@@ -441,6 +512,11 @@ func (m *Manager) Approve(client ClientID, id WriteID, now time.Time) bool {
 	m.metrics.ApprovalsApplied++
 	if ds, ok := m.data[pw.datum]; ok {
 		delete(ds.leases, client)
+		if len(ds.pending) > 0 && ds.pending[0] == pw {
+			// The approval may have shrunk the head write's release
+			// deadline (or removed its last timed blocker).
+			m.schedule(pw, now)
+		}
 	}
 	return m.writeReady(pw, now)
 }
@@ -474,12 +550,31 @@ func (m *Manager) writeReady(pw *pendingWrite, now time.Time) bool {
 // timer fires. Each returned write is still pending; the driver applies
 // it to storage and then calls WriteApplied.
 func (m *Manager) ReadyWrites(now time.Time) []WriteID {
-	var out []WriteID
-	for _, ds := range m.data {
-		if len(ds.pending) == 0 {
+	// Move every write whose deadline has passed from the heap into the
+	// due set, dropping stale entries along the way.
+	for len(m.dl) > 0 {
+		pw, live := m.liveEntry(m.dl[0])
+		if !live {
+			m.dl.pop()
 			continue
 		}
-		pw := ds.pending[0]
+		if m.dl[0].at.After(now) {
+			break
+		}
+		m.dl.pop()
+		pw.scheduled = time.Time{}
+		m.due[pw.id] = struct{}{}
+	}
+	out := make([]WriteID, 0, len(m.due))
+	for id := range m.due {
+		pw, ok := m.writes[id]
+		if !ok {
+			delete(m.due, id)
+			continue
+		}
+		// Not ready despite a passed deadline happens only at the exact
+		// expiry instant (a lease is valid through it); keep the entry,
+		// a later call re-checks.
 		if !m.writeReady(pw, now) {
 			continue
 		}
@@ -487,10 +582,14 @@ func (m *Manager) ReadyWrites(now time.Time) []WriteID {
 			pw.countedExpiry = true
 			m.metrics.ExpiryReleases++
 		}
-		out = append(out, pw.id)
+		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortWriteIDs(out)
 	return out
+}
+
+func sortWriteIDs(ids []WriteID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 // NextDeadline reports the earliest instant at which some pending write
@@ -498,49 +597,14 @@ func (m *Manager) ReadyWrites(now time.Time) []WriteID {
 // result is false when nothing is pending or every blocker holds an
 // infinite lease (only approvals can release those writes).
 func (m *Manager) NextDeadline() (time.Time, bool) {
-	var earliest time.Time
-	found := false
-	consider := func(t time.Time) {
-		if t.IsZero() {
-			return
-		}
-		if !found || t.Before(earliest) {
-			earliest = t
-			found = true
-		}
-	}
-	for _, ds := range m.data {
-		if len(ds.pending) == 0 {
+	for len(m.dl) > 0 {
+		if _, live := m.liveEntry(m.dl[0]); !live {
+			m.dl.pop()
 			continue
 		}
-		pw := ds.pending[0]
-		var worst time.Time
-		infinite := false
-		for _, exp := range pw.waitingOn {
-			if exp.IsZero() {
-				infinite = true
-				break
-			}
-			if exp.After(worst) {
-				worst = exp
-			}
-		}
-		if infinite {
-			// Only an approval can release this write; no timer helps.
-			continue
-		}
-		worst = maxDeadline(worst, pw.blockedUntil)
-		if worst.IsZero() {
-			// All blockers already approved: ready immediately. Report
-			// no deadline; the driver applies it via ReadyWrites.
-			continue
-		}
-		consider(worst)
+		return m.dl[0].at, true
 	}
-	if found && !m.recoverUntil.IsZero() && m.recoverUntil.After(earliest) {
-		earliest = m.recoverUntil
-	}
-	return earliest, found
+	return time.Time{}, false
 }
 
 // WriteApplied tells the manager the driver has applied the write to
@@ -559,6 +623,7 @@ func (m *Manager) WriteApplied(id WriteID, now time.Time) {
 	}
 	ds.pending = ds.pending[1:]
 	delete(m.writes, id)
+	delete(m.due, id)
 	m.promote(pw.datum, ds, now)
 	m.compactIfEmpty(pw.datum, ds)
 }
@@ -577,13 +642,16 @@ func (m *Manager) CancelWrite(id WriteID, now time.Time) {
 		}
 	}
 	delete(m.writes, id)
+	delete(m.due, id)
 	m.promote(pw.datum, ds, now)
 	m.compactIfEmpty(pw.datum, ds)
 }
 
 // promote refreshes the head pending write's blocker set after the queue
 // changes: leases approved or expired while it waited behind another
-// write no longer block it.
+// write no longer block it. The head is then (re)scheduled on the
+// deadline heap, since a write that just reached the head has never been
+// scheduled and a shrunk blocker set shrinks the deadline.
 func (m *Manager) promote(d vfs.Datum, ds *datumState, now time.Time) {
 	if len(ds.pending) == 0 {
 		return
@@ -598,6 +666,7 @@ func (m *Manager) promote(d vfs.Datum, ds *datumState, now time.Time) {
 		head.waitingOn[c] = live
 		_ = exp
 	}
+	m.schedule(head, now)
 	_ = d
 }
 
@@ -707,6 +776,11 @@ func (m *Manager) Snapshot(now time.Time) []LeaseSnapshot {
 			}
 		}
 	}
+	sortSnapshots(out)
+	return out
+}
+
+func sortSnapshots(out []LeaseSnapshot) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Datum != b.Datum {
@@ -717,7 +791,6 @@ func (m *Manager) Snapshot(now time.Time) []LeaseSnapshot {
 		}
 		return a.Client < b.Client
 	})
-	return out
 }
 
 // Restore reloads lease records from a snapshot taken before a crash.

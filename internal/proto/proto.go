@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"leases/internal/core"
@@ -98,29 +99,76 @@ type Frame struct {
 	Type    MsgType
 	ReqID   uint64
 	Payload []byte
+	// pooled is the backing buffer when the frame came off the frame
+	// pool; Recycle returns it.
+	pooled *[]byte
 }
 
-// WriteFrame encodes and writes one frame.
+// framePool recycles frame buffers between messages. Frames on the hot
+// path (lease extensions, cached reads, approvals) are tens of bytes;
+// without pooling every ReadFrame and WriteFrame allocates afresh.
+// Oversized buffers are dropped on the floor rather than pooled so one
+// large write doesn't pin megabytes.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+const maxPooled = 64 << 10
+
+func getBuf(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		b := make([]byte, 0, n)
+		*bp = b
+	}
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooled {
+		return
+	}
+	*bp = (*bp)[:0]
+	framePool.Put(bp)
+}
+
+// Recycle returns the frame's backing buffer to the pool. Only call it
+// once the payload (and anything aliasing it) is no longer referenced:
+// handlers that decode with Dec.Str/Dec.Blob copy out of the buffer, so
+// recycling after dispatch is safe; holding a sub-slice of Payload past
+// Recycle is not. Recycling is optional — frames whose payloads escape
+// are simply left to the garbage collector.
+func (f *Frame) Recycle() {
+	if f.pooled == nil {
+		return
+	}
+	bp := f.pooled
+	f.pooled, f.Payload = nil, nil
+	putBuf(bp)
+}
+
+// WriteFrame encodes and writes one frame. The header and payload are
+// assembled into one pooled buffer and issued as a single Write, so a
+// frame costs one syscall and no steady-state allocation.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return ErrFrameTooBig
 	}
-	hdr := make([]byte, 4+1+8)
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+8+len(f.Payload)))
-	hdr[4] = byte(f.Type)
-	binary.LittleEndian.PutUint64(hdr[5:13], f.ReqID)
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	if len(f.Payload) > 0 {
-		if _, err := w.Write(f.Payload); err != nil {
-			return err
-		}
-	}
-	return nil
+	bp := getBuf(4 + 1 + 8 + len(f.Payload))
+	b := (*bp)[:13]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(1+8+len(f.Payload)))
+	b[4] = byte(f.Type)
+	binary.LittleEndian.PutUint64(b[5:13], f.ReqID)
+	b = append(b, f.Payload...)
+	_, err := w.Write(b)
+	*bp = b
+	putBuf(bp)
+	return err
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame. The returned frame's payload lives in a
+// pooled buffer; call Frame.Recycle once done with it (or don't — see
+// Recycle).
 func ReadFrame(r io.Reader) (Frame, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -133,14 +181,18 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if n > MaxFrame+9 {
 		return Frame{}, ErrFrameTooBig
 	}
-	body := make([]byte, n)
+	bp := getBuf(int(n))
+	body := (*bp)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
+		putBuf(bp)
 		return Frame{}, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
+	*bp = body
 	return Frame{
 		Type:    MsgType(body[0]),
 		ReqID:   binary.LittleEndian.Uint64(body[1:9]),
 		Payload: body[9:],
+		pooled:  bp,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -23,16 +24,19 @@ type serverConn struct {
 func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		s.mu.Lock()
+		s.connMu.Lock()
 		delete(s.raw, nc)
-		s.mu.Unlock()
+		s.connMu.Unlock()
 	}()
 	c := &serverConn{srv: s, nc: nc}
 	defer c.close()
+	// Buffer reads: a frame otherwise costs two read syscalls (length,
+	// body), and pipelined clients batch several frames per read.
+	br := bufio.NewReaderSize(nc, 4096)
 
 	// The first frame must be THello, identifying the client for lease
 	// records and approval pushes.
-	f, err := proto.ReadFrame(nc)
+	f, err := proto.ReadFrame(br)
 	if err != nil || f.Type != proto.THello {
 		return
 	}
@@ -43,39 +47,44 @@ func (s *Server) serveConn(nc net.Conn) {
 		return
 	}
 	c.client = id
-	s.mu.Lock()
+	s.connMu.Lock()
 	if old, ok := s.conns[id]; ok {
 		old.close()
 	}
 	s.conns[id] = c
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	c.reply(f.ReqID, proto.THelloAck, nil)
+	f.Recycle()
 
 	defer func() {
-		s.mu.Lock()
+		s.connMu.Lock()
 		if s.conns[id] == c {
 			delete(s.conns, id)
 		}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 	}()
 
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
-		f, err := proto.ReadFrame(nc)
+		f, err := proto.ReadFrame(br)
 		if err != nil {
 			return
 		}
 		if f.Type == proto.TApprove {
 			// Pushes are handled inline: cheap, never blocking.
 			c.handleApprove(f)
+			f.Recycle()
 			continue
 		}
 		// Each request runs in its own goroutine so a deferred write
 		// blocks only itself. f is freshly declared each iteration.
+		// Handlers decode with copying Dec methods, so the frame buffer
+		// can be recycled once dispatch returns.
 		reqWG.Add(1)
 		go func() {
 			defer reqWG.Done()
+			defer f.Recycle()
 			c.dispatch(f)
 		}()
 	}
@@ -93,9 +102,9 @@ func (c *serverConn) reply(reqID uint64, t proto.MsgType, payload []byte) {
 	}
 }
 
-// pushApproval sends an unsolicited approval request. Callers hold
-// s.mu; the write happens under the connection's own lock, which is
-// never held while taking s.mu, so the order is safe.
+// pushApproval sends an unsolicited approval request. Callers may hold
+// s.connMu; the write happens on a fresh goroutine under the
+// connection's own lock, so no server lock is held across network I/O.
 func (c *serverConn) pushApproval(a proto.ApprovalWire) {
 	var e proto.Enc
 	e.EncodeApproval(a)
@@ -151,11 +160,11 @@ func (c *serverConn) dispatch(f proto.Frame) {
 	}
 }
 
-// grantLocked grants a lease on d and packages it for the wire. Callers
-// hold s.mu.
-func (c *serverConn) grantLocked(d vfs.Datum) proto.GrantWire {
+// grant grants a lease on d and packages it for the wire. The sharded
+// manager locks d's stripe internally.
+func (c *serverConn) grant(d vfs.Datum) proto.GrantWire {
 	s := c.srv
-	g := s.mgr.Grant(c.client, d, s.clk.Now())
+	g := s.lm.Grant(c.client, d, s.clk.Now())
 	version, err := s.store.Version(d)
 	if err != nil {
 		version = 0
@@ -185,9 +194,7 @@ func (c *serverConn) handleLookup(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	s.mu.Lock()
-	grants := []proto.GrantWire{c.grantLocked(vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID})}
-	s.mu.Unlock()
+	grants := []proto.GrantWire{c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID})}
 
 	var e proto.Enc
 	e.Attr(attr).U64(uint64(parentAttr.ID)).EncodeGrants(grants)
@@ -211,9 +218,7 @@ func (c *serverConn) handleRead(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	s.mu.Lock()
-	grant := c.grantLocked(vfs.Datum{Kind: vfs.FileData, Node: node})
-	s.mu.Unlock()
+	grant := c.grant(vfs.Datum{Kind: vfs.FileData, Node: node})
 	// Re-read under the granted version if a write slipped between the
 	// read and the grant, so data and version always agree.
 	if grant.Version != attr.Version {
@@ -272,13 +277,10 @@ func (c *serverConn) handleExtend(f proto.Frame) {
 		c.fail(f.ReqID, dec.Err)
 		return
 	}
-	s := c.srv
-	s.mu.Lock()
 	grants := make([]proto.GrantWire, 0, len(data))
 	for _, d := range data {
-		grants = append(grants, c.grantLocked(d))
+		grants = append(grants, c.grant(d))
 	}
-	s.mu.Unlock()
 	var e proto.Enc
 	e.EncodeGrants(grants)
 	c.reply(f.ReqID, proto.TExtendRep, e.Bytes())
@@ -300,11 +302,17 @@ func (c *serverConn) handleRelease(f proto.Frame) {
 		return
 	}
 	s := c.srv
-	s.mu.Lock()
-	s.mgr.Release(c.client, data, s.clk.Now())
-	s.releaseReadyLocked()
-	s.mu.Unlock()
-	s.wake()
+	s.lm.Release(c.client, data, s.clk.Now())
+	// A released lease may have been the last blocker on a deferred
+	// write; re-check each touched shard.
+	touched := make(map[int]struct{}, len(data))
+	for _, d := range data {
+		touched[s.lm.ShardFor(d)] = struct{}{}
+	}
+	for shard := range touched {
+		s.releaseReady(shard)
+		s.wake(shard)
+	}
 	c.reply(f.ReqID, proto.TOK, nil)
 }
 
@@ -321,9 +329,7 @@ func (c *serverConn) handleReadDir(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	s.mu.Lock()
-	grant := c.grantLocked(vfs.Datum{Kind: vfs.DirBinding, Node: node})
-	s.mu.Unlock()
+	grant := c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: node})
 	var e proto.Enc
 	e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).U32(uint32(len(entries)))
 	for _, ent := range entries {
@@ -507,12 +513,11 @@ func (c *serverConn) handleSetPerm(f proto.Frame) {
 func (c *serverConn) handleApprove(f proto.Frame) {
 	a := proto.NewDec(f.Payload).DecodeApproval()
 	s := c.srv
-	s.mu.Lock()
-	if s.mgr.Approve(c.client, a.WriteID, s.clk.Now()) {
-		s.releaseReadyLocked()
+	if s.lm.Approve(c.client, a.WriteID, s.clk.Now()) {
+		shard := s.lm.ShardForWrite(a.WriteID)
+		s.releaseReady(shard)
+		s.wake(shard)
 	}
-	s.mu.Unlock()
-	s.wake()
 }
 
 var errBadRequest = errors.New("server: bad request")

@@ -1,5 +1,5 @@
 // Package server is the networked lease file server: the vfs store and
-// the core lease Manager behind a TCP wire protocol (internal/proto).
+// the core lease manager behind a TCP wire protocol (internal/proto).
 //
 // Reads and lookups grant leases. Writes — both file contents and
 // name-binding mutations (create, remove, rename), which the paper is
@@ -12,8 +12,13 @@
 //
 // Concurrency model: one goroutine per connection reads frames; each
 // request runs in its own goroutine (a deferred write blocks only its
-// own request). A single mutex serializes the lease manager and store
-// mutation; a dedicated timer goroutine releases expiry-blocked writes.
+// own request). Lease state is lock-striped across the shards of a
+// core.ShardedManager, so requests touching different data proceed in
+// parallel; the vfs store carries its own lock. Each shard has a
+// dedicated timer goroutine releasing its expiry-blocked writes, woken
+// through a per-shard kick channel. Connection registry and write
+// waiters sit behind two small dedicated locks (connMu, waitMu) that
+// are never held across lease-manager calls.
 package server
 
 import (
@@ -50,6 +55,9 @@ type Config struct {
 	// unreachable holder with an infinite lease blocks forever, as the
 	// protocol dictates).
 	WriteTimeout time.Duration
+	// Shards is the number of lock stripes in the lease manager. Zero
+	// means core.DefaultShards; 1 degenerates to a single global lock.
+	Shards int
 }
 
 // Server is a running lease file server.
@@ -57,17 +65,19 @@ type Server struct {
 	cfg   Config
 	clk   clock.Clock
 	store *vfs.Store
+	lm    *core.ShardedManager
 
-	mu      sync.Mutex
-	mgr     *core.Manager
-	conns   map[core.ClientID]*serverConn
-	raw     map[net.Conn]struct{} // every accepted conn, pre- or post-hello
+	connMu sync.RWMutex // conns, raw, ln
+	conns  map[core.ClientID]*serverConn
+	raw    map[net.Conn]struct{} // every accepted conn, pre- or post-hello
+
+	waitMu  sync.Mutex
 	waiters map[core.WriteID]chan struct{}
 
 	ln       net.Listener
 	stopOnce sync.Once
 	stopped  chan struct{}
-	kick     chan struct{} // wakes the deadline goroutine
+	kicks    []chan struct{} // per-shard deadline-goroutine wakeups
 	wg       sync.WaitGroup
 }
 
@@ -78,6 +88,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Owner == "" {
 		cfg.Owner = "root"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = core.DefaultShards
 	}
 	policy := cfg.Policy
 	if policy == nil {
@@ -91,12 +104,15 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		clk:     cfg.Clock,
 		store:   vfs.New(cfg.Clock, cfg.Owner),
-		mgr:     core.NewManager(policy, opts...),
+		lm:      core.NewShardedManager(cfg.Shards, policy, opts...),
 		conns:   make(map[core.ClientID]*serverConn),
 		raw:     make(map[net.Conn]struct{}),
 		waiters: make(map[core.WriteID]chan struct{}),
 		stopped: make(chan struct{}),
-		kick:    make(chan struct{}, 1),
+		kicks:   make([]chan struct{}, cfg.Shards),
+	}
+	for i := range s.kicks {
+		s.kicks[i] = make(chan struct{}, 1)
 	}
 	return s
 }
@@ -107,40 +123,23 @@ func (s *Server) Store() *vfs.Store { return s.store }
 
 // MaxTermGranted reports the value a deployment persists for crash
 // recovery.
-func (s *Server) MaxTermGranted() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mgr.MaxTermGranted()
-}
+func (s *Server) MaxTermGranted() time.Duration { return s.lm.MaxTermGranted() }
 
-// Metrics reports the lease manager's event counters.
-func (s *Server) Metrics() core.ManagerMetrics {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mgr.Metrics()
-}
+// Metrics reports the lease manager's event counters, summed across
+// shards.
+func (s *Server) Metrics() core.ManagerMetrics { return s.lm.Metrics() }
 
-// LeaseCount reports the current number of lease records.
-func (s *Server) LeaseCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mgr.LeaseCount()
-}
+// LeaseCount reports the current number of lease records across shards.
+func (s *Server) LeaseCount() int { return s.lm.LeaseCount() }
 
 // Snapshot returns the current lease records (the detailed persistent
-// record recovery alternative).
-func (s *Server) Snapshot() []core.LeaseSnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mgr.Snapshot(s.clk.Now())
-}
+// record recovery alternative), merged across shards in deterministic
+// order.
+func (s *Server) Snapshot() []core.LeaseSnapshot { return s.lm.Snapshot(s.clk.Now()) }
 
-// Restore loads lease records persisted before a crash.
-func (s *Server) Restore(records []core.LeaseSnapshot) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mgr.Restore(records, s.clk.Now())
-}
+// Restore loads lease records persisted before a crash, routing each to
+// its shard.
+func (s *Server) Restore(records []core.LeaseSnapshot) { s.lm.Restore(records, s.clk.Now()) }
 
 // ListenAndServe binds addr and serves until Stop.
 func (s *Server) ListenAndServe(addr string) error {
@@ -153,11 +152,13 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Serve accepts connections on ln until Stop. It returns nil after Stop.
 func (s *Server) Serve(ln net.Listener) error {
-	s.mu.Lock()
+	s.connMu.Lock()
 	s.ln = ln
-	s.mu.Unlock()
-	s.wg.Add(1)
-	go s.deadlineLoop()
+	s.connMu.Unlock()
+	for shard := range s.kicks {
+		s.wg.Add(1)
+		go s.deadlineLoop(shard)
+	}
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -169,9 +170,9 @@ func (s *Server) Serve(ln net.Listener) error {
 				return err
 			}
 		}
-		s.mu.Lock()
+		s.connMu.Lock()
 		s.raw[c] = struct{}{}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(c)
 	}
@@ -179,8 +180,8 @@ func (s *Server) Serve(ln net.Listener) error {
 
 // Addr reports the bound address, for clients of a test server.
 func (s *Server) Addr() net.Addr {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.connMu.RLock()
+	defer s.connMu.RUnlock()
 	if s.ln == nil {
 		return nil
 	}
@@ -192,33 +193,36 @@ func (s *Server) Addr() net.Addr {
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopped)
-		s.mu.Lock()
+		s.connMu.Lock()
 		if s.ln != nil {
 			s.ln.Close()
 		}
 		for nc := range s.raw {
 			nc.Close()
 		}
-		s.mu.Unlock()
-		s.wake()
+		s.connMu.Unlock()
+		for shard := range s.kicks {
+			s.wake(shard)
+		}
 	})
 	s.wg.Wait()
 }
 
-func (s *Server) wake() {
+// wake nudges one shard's deadline goroutine to re-evaluate.
+func (s *Server) wake(shard int) {
 	select {
-	case s.kick <- struct{}{}:
+	case s.kicks[shard] <- struct{}{}:
 	default:
 	}
 }
 
-// deadlineLoop releases writes whose blocking leases expire.
-func (s *Server) deadlineLoop() {
+// deadlineLoop releases writes on one shard whose blocking leases
+// expire. Each shard has its own loop and timer, so an expiry storm on
+// one stripe never delays releases on another.
+func (s *Server) deadlineLoop(shard int) {
 	defer s.wg.Done()
 	for {
-		s.mu.Lock()
-		dl, ok := s.mgr.NextDeadline()
-		s.mu.Unlock()
+		dl, ok := s.lm.NextDeadlineShard(shard)
 		var fire <-chan time.Time
 		var stopTimer func() bool
 		if ok {
@@ -235,34 +239,43 @@ func (s *Server) deadlineLoop() {
 			}
 			s.failAllWaiters()
 			return
-		case <-s.kick:
+		case <-s.kicks[shard]:
 			if stopTimer != nil {
 				stopTimer()
 			}
 		case <-fire:
-			s.mu.Lock()
-			s.releaseReadyLocked()
-			s.mu.Unlock()
+			s.releaseReady(shard)
 		}
 	}
 }
 
-// releaseReadyLocked signals the waiter of every write the manager
-// considers releasable. Callers hold s.mu.
-func (s *Server) releaseReadyLocked() {
-	for _, id := range s.mgr.ReadyWrites(s.clk.Now()) {
+// releaseReady signals the waiter of every write the shard considers
+// releasable. Readiness is sticky (a ready write stays ready until
+// applied or cancelled), so concurrent callers cannot lose a wakeup:
+// whoever registered the waiter last re-checks after registering.
+func (s *Server) releaseReady(shard int) {
+	ready := s.lm.ReadyWritesShard(shard, s.clk.Now())
+	if len(ready) == 0 {
+		return
+	}
+	s.waitMu.Lock()
+	for _, id := range ready {
 		if ch, ok := s.waiters[id]; ok {
 			delete(s.waiters, id)
 			close(ch)
 		}
 	}
+	s.waitMu.Unlock()
 }
 
+// failAllWaiters cancels every deferred write at shutdown. Called by
+// each shard loop; the first caller drains the map, the rest no-op.
 func (s *Server) failAllWaiters() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.waitMu.Lock()
+	defer s.waitMu.Unlock()
+	now := s.clk.Now()
 	for id, ch := range s.waiters {
-		s.mgr.CancelWrite(id, s.clk.Now())
+		s.lm.CancelWrite(id, now)
 		delete(s.waiters, id)
 		close(ch)
 	}
@@ -287,39 +300,47 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 
 	var held []core.WriteID
 	releaseHeld := func(applied bool) {
-		s.mu.Lock()
 		now := s.clk.Now()
+		touched := make(map[int]struct{}, len(held))
 		for _, id := range held {
 			if applied {
-				s.mgr.WriteApplied(id, now)
+				s.lm.WriteApplied(id, now)
 			} else {
-				s.mgr.CancelWrite(id, now)
+				s.lm.CancelWrite(id, now)
 			}
+			touched[s.lm.ShardForWrite(id)] = struct{}{}
 		}
-		s.releaseReadyLocked()
-		s.mu.Unlock()
-		s.wake()
+		// Applying or cancelling may unblock the next write queued on the
+		// same datum.
+		for shard := range touched {
+			s.releaseReady(shard)
+			s.wake(shard)
+		}
 	}
 
 	for _, d := range sorted {
-		s.mu.Lock()
 		now := s.clk.Now()
+		shard := s.lm.ShardFor(d)
 		// Held submission: the queue entry blocks new grants on d until
 		// the apply completes, even when no lease conflicts right now.
-		disp := s.mgr.SubmitWriteHeld(writer, d, now)
+		disp := s.lm.SubmitWriteHeld(writer, d, now)
 		ch := make(chan struct{})
+		s.waitMu.Lock()
 		s.waiters[disp.WriteID] = ch
+		s.waitMu.Unlock()
 		// Push approval requests to the connected holders.
+		s.connMu.RLock()
 		for _, holder := range disp.NeedApproval {
 			if hc, ok := s.conns[holder]; ok {
 				hc.pushApproval(proto.ApprovalWire{WriteID: disp.WriteID, Datum: d})
 			}
 		}
-		// In case everything needed already cleared between Submit and
-		// now (or the deadline already passed), let the loop re-check.
-		s.releaseReadyLocked()
-		s.mu.Unlock()
-		s.wake()
+		s.connMu.RUnlock()
+		// Re-check after registering the waiter: approvals or expiries
+		// that landed between SubmitWriteHeld and registration left the
+		// write ready (readiness is sticky), and this call claims it.
+		s.releaseReady(shard)
+		s.wake(shard)
 
 		var timeout <-chan time.Time
 		var stopTimer func() bool
@@ -340,16 +361,20 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 			}
 			held = append(held, disp.WriteID)
 		case <-timeout:
-			s.mu.Lock()
-			if _, still := s.waiters[disp.WriteID]; still {
+			s.waitMu.Lock()
+			_, still := s.waiters[disp.WriteID]
+			if still {
 				delete(s.waiters, disp.WriteID)
-				s.mgr.CancelWrite(disp.WriteID, s.clk.Now())
-				s.mu.Unlock()
+			}
+			s.waitMu.Unlock()
+			if still {
+				s.lm.CancelWrite(disp.WriteID, s.clk.Now())
+				s.releaseReady(shard)
+				s.wake(shard)
 				releaseHeld(false)
 				return fmt.Errorf("server: write timed out awaiting lease clearance on %v", d)
 			}
 			// Cleared concurrently with the timeout: proceed.
-			s.mu.Unlock()
 			held = append(held, disp.WriteID)
 		}
 	}
