@@ -96,11 +96,27 @@ func main() {
 	if res.Reads > 0 {
 		fmt.Printf("  cache hit rate: %.1f%%\n", 100*float64(res.ReadHits)/float64(res.Reads))
 	}
-	fmt.Printf("  read latency: mean %v, max %v\n", res.ReadLatency.Mean, res.ReadLatency.Max)
-	fmt.Printf("  write latency: mean %v, max %v\n", res.WriteLatency.Mean, res.WriteLatency.Max)
+	printClass("cached read", res.CachedRead)
+	printClass("uncached read", res.UncachedRead)
+	printClass("write", res.WriteLatency)
 	if res.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// printClass reports one op class's client-observed latency
+// distribution — exact nearest-rank percentiles, the paper's
+// formula-2 view of consistency-induced delay per operation.
+func printClass(name string, s replay.LatencySummary) {
+	if s.Count == 0 {
+		fmt.Printf("  %-13s n=0\n", name)
+		return
+	}
+	fmt.Printf("  %-13s n=%-6d p50=%v p95=%v p99=%v mean=%v max=%v\n",
+		name, s.Count,
+		s.P50.Truncate(time.Microsecond), s.P95.Truncate(time.Microsecond),
+		s.P99.Truncate(time.Microsecond), s.Mean.Truncate(time.Microsecond),
+		s.Max.Truncate(time.Microsecond))
 }
 
 func minInt(a, b int) int {

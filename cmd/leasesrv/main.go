@@ -4,12 +4,23 @@
 //
 //	leasesrv -addr :7025 -term 10s
 //	leasesrv -addr :7025 -term 10s -recovery 10s   # restarting after a crash
+//	leasesrv -addr :7025 -metrics-addr :9100       # HTTP admin/metrics plane
 //
 // The store starts with a small demonstration tree (/bin/latex,
 // /docs/README) unless -empty is given. Writes are deferred until every
 // conflicting leaseholder approves or its lease expires; -write-timeout
 // bounds how long a writer may be held up before the server fails the
 // write back.
+//
+// Observability: the server always records protocol trace events
+// (grant, extend, approval round-trips, deferral, expiry release,
+// timeout, eviction) into a bounded ring, plus per-op latency
+// histograms. With -metrics-addr the admin plane serves /metrics
+// (Prometheus text format), /healthz, /leases (JSON lease table) and
+// /debug/pprof/. Without it, SIGUSR1 dumps the metrics snapshot and the
+// most recent trace events to stderr; the same dump runs at shutdown.
+// -trace-out mirrors every event to a JSONL file, and writes deferred
+// longer than -slow-write are logged as they complete.
 package main
 
 import (
@@ -17,12 +28,14 @@ import (
 	"flag"
 	"io/fs"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"leases/internal/core"
+	"leases/internal/obs"
 	"leases/internal/server"
 	"leases/internal/vfs"
 )
@@ -34,12 +47,29 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "bound on write deferral (0 = unbounded)")
 	empty := flag.Bool("empty", false, "start with an empty store")
 	snapshot := flag.String("snapshot", "", "lease snapshot file: loaded at startup, saved on SIGINT/SIGTERM (the §2 detailed-record recovery alternative)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP admin/metrics listen address (/metrics, /healthz, /leases, /debug/pprof); empty disables")
+	traceRing := flag.Int("trace-ring", 4096, "protocol trace event ring size")
+	traceOut := flag.String("trace-out", "", "mirror trace events to this JSONL file")
+	slowWrite := flag.Duration("slow-write", time.Second, "log writes deferred at least this long (0 disables)")
+	dumpEvents := flag.Int("dump-events", 32, "trace events included in the SIGUSR1/shutdown dump")
 	flag.Parse()
+
+	ocfg := obs.Config{RingSize: *traceRing, SlowWrite: *slowWrite}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("leasesrv: opening trace sink: %v", err)
+		}
+		defer f.Close()
+		ocfg.Sink = f
+	}
+	o := obs.New(ocfg)
 
 	srv := server.New(server.Config{
 		Term:           *term,
 		RecoveryWindow: *recovery,
 		WriteTimeout:   *writeTimeout,
+		Obs:            o,
 	})
 	if !*empty {
 		seed(srv.Store())
@@ -51,12 +81,45 @@ func main() {
 			srv.Restore(records)
 			log.Printf("leasesrv: restored %d lease records from %s", len(records), *snapshot)
 		}
-		go saveOnSignal(srv, *snapshot)
 	}
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("leasesrv: admin/metrics plane on http://%s (/metrics /healthz /leases /debug/pprof/)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, srv.AdminHandler()); err != nil {
+				log.Fatalf("leasesrv: metrics listener: %v", err)
+			}
+		}()
+	}
+	go handleSignals(srv, o, *snapshot, *dumpEvents)
 	log.Printf("leasesrv: serving on %s, term=%v recovery=%v", *addr, *term, *recovery)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("leasesrv: %v", err)
 	}
+}
+
+// handleSignals gives operators state without the HTTP plane: SIGUSR1
+// dumps the metrics snapshot and recent trace events to stderr and the
+// server keeps running; SIGINT/SIGTERM dump the same, persist the lease
+// snapshot when configured, and exit.
+func handleSignals(srv *server.Server, o *obs.Observer, snapshotPath string, dumpEvents int) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	for sig := range ch {
+		dump(srv, o, dumpEvents)
+		if sig == syscall.SIGUSR1 {
+			continue
+		}
+		if snapshotPath != "" {
+			saveSnapshot(srv, snapshotPath)
+		}
+		srv.Stop()
+		os.Exit(0)
+	}
+}
+
+func dump(srv *server.Server, o *obs.Observer, n int) {
+	snap := srv.MetricsSnapshot()
+	obs.DumpText(os.Stderr, &snap, o.Events(n))
 }
 
 func loadSnapshot(path string) ([]core.LeaseSnapshot, error) {
@@ -71,10 +134,7 @@ func loadSnapshot(path string) ([]core.LeaseSnapshot, error) {
 	return core.ReadSnapshot(f)
 }
 
-func saveOnSignal(srv *server.Server, path string) {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
+func saveSnapshot(srv *server.Server, path string) {
 	records := srv.Snapshot()
 	f, err := os.Create(path)
 	if err != nil {
@@ -90,8 +150,6 @@ func saveOnSignal(srv *server.Server, path string) {
 		os.Exit(1)
 	}
 	log.Printf("leasesrv: saved %d lease records to %s", len(records), path)
-	srv.Stop()
-	os.Exit(0)
 }
 
 func seed(st *vfs.Store) {

@@ -20,7 +20,9 @@ import (
 
 	"leases/internal/clock"
 	"leases/internal/core"
+	"leases/internal/obs"
 	"leases/internal/proto"
+	"leases/internal/stats"
 	"leases/internal/vfs"
 )
 
@@ -45,6 +47,9 @@ type Config struct {
 	// held leases at that period (anticipatory extension, §4). Zero
 	// disables it; leases are then extended on demand by use.
 	AutoExtend time.Duration
+	// Obs, when non-nil, receives client-side trace events (cache
+	// evictions forced by server approval pushes). Nil disables them.
+	Obs *obs.Observer
 }
 
 // Cache is a connected caching client.
@@ -69,6 +74,12 @@ type Cache struct {
 	wg        sync.WaitGroup
 
 	metrics Metrics
+
+	// latMu guards opLat, the client-observed RPC latency histograms
+	// keyed by request type. Cache hits never reach call(), so these
+	// measure exactly the operations that cost a server round-trip.
+	latMu sync.Mutex
+	opLat map[proto.MsgType]*stats.Histogram
 }
 
 type entry struct {
@@ -113,6 +124,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		dirs:     make(map[vfs.NodeID]map[string]entry),
 		calls:    make(map[uint64]chan proto.Frame),
 		stopping: make(chan struct{}),
+		opLat:    make(map[proto.MsgType]*stats.Histogram),
 	}
 	// Handshake synchronously before starting the demux loop.
 	var e proto.Enc
@@ -248,6 +260,9 @@ func (c *Cache) invalidateLocked(d vfs.Datum) {
 		delete(c.dirs, d.Node)
 	}
 	c.metrics.Invalidations++
+	if c.cfg.Obs.Enabled() {
+		c.cfg.Obs.Record(obs.Event{Type: obs.EvEviction, Client: c.cfg.ID, Datum: d})
+	}
 }
 
 func (c *Cache) send(f proto.Frame) error {
@@ -256,8 +271,40 @@ func (c *Cache) send(f proto.Frame) error {
 	return proto.WriteFrame(c.nc, f)
 }
 
+// observeOp records one RPC's client-observed latency.
+func (c *Cache) observeOp(t proto.MsgType, d time.Duration) {
+	c.latMu.Lock()
+	h := c.opLat[t]
+	if h == nil {
+		h = stats.NewLatencyHistogram()
+		c.opLat[t] = h
+	}
+	c.latMu.Unlock()
+	h.Observe(d.Seconds())
+}
+
+// OpLatencies returns the client-observed latency digest of every RPC
+// issued so far, keyed by operation name. Latencies are recorded only
+// when Config.Obs is set (the same switch that enables trace events),
+// so an uninstrumented cache pays nothing; cache hits are served
+// without an RPC and never appear — drivers wanting hit latencies time
+// their own calls (see internal/replay).
+func (c *Cache) OpLatencies() map[string]stats.HistogramSnapshot {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	out := make(map[string]stats.HistogramSnapshot, len(c.opLat))
+	for t, h := range c.opLat {
+		out[t.String()] = h.Snapshot()
+	}
+	return out
+}
+
 // call performs one request-response exchange.
 func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
+	var start time.Time
+	if c.cfg.Obs.Enabled() {
+		start = c.clk.Now()
+	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -279,6 +326,9 @@ func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
 	f, ok := <-ch
 	if !ok {
 		return proto.Frame{}, ErrClosed
+	}
+	if c.cfg.Obs.Enabled() {
+		c.observeOp(t, c.clk.Now().Sub(start))
 	}
 	if f.Type == proto.TError {
 		msg := proto.NewDec(f.Payload).Str()

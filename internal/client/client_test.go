@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"leases/internal/client"
+	"leases/internal/obs"
 	"leases/internal/server"
 	"leases/internal/vfs"
 )
@@ -321,5 +322,47 @@ func TestConcurrentReadsSameClient(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatalf("concurrent read: %v", err)
 		}
+	}
+}
+
+// TestOpLatenciesGatedOnObserver: client RPC latency histograms record
+// only when Config.Obs is set (the disabled path must not even read the
+// clock), and cache hits never appear because no RPC is issued.
+func TestOpLatenciesGatedOnObserver(t *testing.T) {
+	_, addr := startServer(t, server.Config{Term: 10 * time.Second})
+
+	plain, err := client.Dial(addr, client.Config{ID: "lat-plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.Create("/lat", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.OpLatencies(); len(got) != 0 {
+		t.Fatalf("unobserved client recorded latencies: %v", got)
+	}
+
+	o := obs.New(obs.Config{RingSize: 16})
+	c, err := client.Dial(addr, client.Config{ID: "lat-obs", Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/lat"); err != nil { // uncached: one RPC
+		t.Fatal(err)
+	}
+	if _, err := c.Read("/lat"); err != nil { // cached: no RPC
+		t.Fatal(err)
+	}
+	lat := c.OpLatencies()
+	if lat["read"].Count != 1 {
+		t.Fatalf("read RPC count = %d, want 1 (cache hit must not count)", lat["read"].Count)
+	}
+	if lat["read"].Mean <= 0 {
+		t.Fatalf("read latency mean = %v", lat["read"].Mean)
+	}
+	if _, ok := lat["write"]; ok {
+		t.Fatalf("write histogram present without writes: %v", lat)
 	}
 }

@@ -286,6 +286,21 @@ func (s *ShardedManager) Metrics() ManagerMetrics {
 	return out
 }
 
+// ShardMetrics returns each shard's event counters separately, in shard
+// order — the per-stripe view that makes shard imbalance visible (a hot
+// datum shows up as one stripe carrying most of the grants or
+// deferrals). Each shard is read under its own lock; the slice is
+// per-shard consistent rather than a global atomic snapshot.
+func (s *ShardedManager) ShardMetrics() []ManagerMetrics {
+	out := make([]ManagerMetrics, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.mgr.Metrics()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // MaxTermGranted reports the longest lease term granted by any shard —
 // the value a server persists for crash recovery.
 func (s *ShardedManager) MaxTermGranted() time.Duration {

@@ -329,3 +329,46 @@ func TestShardedManagerConcurrentInvariant(t *testing.T) {
 		t.Fatalf("LeaseCount = %d after universal expiry", n)
 	}
 }
+
+// TestShardedManagerShardMetrics: per-shard counters are exposed in
+// shard order and sum to the aggregate Metrics(), and an imbalanced
+// workload is visible in the per-shard view (the signal the /metrics
+// shard series exists to surface).
+func TestShardedManagerShardMetrics(t *testing.T) {
+	const shards = 4
+	s := NewShardedManager(shards, FixedTerm(10*time.Second))
+	now := time.Now()
+
+	// Route every grant to a single datum — one shard absorbs them all.
+	hot := vfs.Datum{Kind: vfs.FileData, Node: 2}
+	for i := 0; i < 12; i++ {
+		if g := s.Grant(ClientID(fmt.Sprintf("c%d", i)), hot, now); !g.Leased {
+			t.Fatalf("grant %d refused", i)
+		}
+	}
+	// Spread a few more across all shards.
+	for _, d := range shardedTestData(8) {
+		s.Grant("cx", d, now)
+	}
+
+	per := s.ShardMetrics()
+	if len(per) != shards {
+		t.Fatalf("ShardMetrics() has %d entries, want %d", len(per), shards)
+	}
+	var sum ManagerMetrics
+	for _, m := range per {
+		sum.Grants += m.Grants
+		sum.Refusals += m.Refusals
+		sum.WritesImmediate += m.WritesImmediate
+		sum.WritesDeferred += m.WritesDeferred
+		sum.ApprovalsApplied += m.ApprovalsApplied
+		sum.ExpiryReleases += m.ExpiryReleases
+		sum.Releases += m.Releases
+	}
+	if total := s.Metrics(); sum != total {
+		t.Fatalf("shard sum %+v != aggregate %+v", sum, total)
+	}
+	if hotShard := s.ShardFor(hot); per[hotShard].Grants < 12 {
+		t.Fatalf("hot shard %d shows %d grants, want >= 12", hotShard, per[hotShard].Grants)
+	}
+}

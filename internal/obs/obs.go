@@ -1,0 +1,289 @@
+// Package obs is the live observability layer of the lease system:
+// structured protocol event tracing, per-operation latency histograms,
+// and the snapshot/exposition plumbing behind the HTTP admin plane.
+//
+// The paper's whole evaluation (§3) is about measuring the protocol —
+// server message load (formula 1) and consistency-induced delay
+// (formula 2). internal/trace and internal/tracesim measure those
+// quantities offline, in simulation; obs is the online analogue for the
+// real TCP deployment: every grant, approval callback, deferral and
+// expiry-release that a running server performs is recorded as a
+// structured event, and every request's latency lands in a histogram,
+// so formula-1 message counts and formula-2 delay distributions can be
+// read off a production server while traffic flows.
+//
+// Cost model: an *Observer is optional everywhere it is threaded
+// (server, client, cmd tools). A nil Observer is the disabled state —
+// every method nil-checks its receiver and returns immediately, so the
+// instrumented hot paths cost one predictable branch and zero
+// allocations when observability is off (asserted by
+// TestDisabledObserverAllocFree). Enabled, the ring buffer takes one
+// per-slot mutex, counters are atomic, and histograms take one short
+// mutex per observation; nothing global serializes two requests.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"leases/internal/stats"
+	"leases/internal/vfs"
+)
+
+// EventType classifies a protocol event.
+type EventType uint8
+
+// The protocol event taxonomy. Together the types cover every message
+// class of the paper's formula 1 (grants, extensions, approval
+// round-trips) and every source of formula-2 delay (deferral, expiry
+// release, timeout).
+const (
+	// EvGrant: a lease was granted on first contact (read, lookup,
+	// readdir). Term zero means the grant was refused — a write was
+	// pending (anti-starvation, §2 fn. 1) or the policy said no caching.
+	EvGrant EventType = iota
+	// EvExtend: a lease was extended by an explicit batch extension
+	// request (§3.1). Term zero means the extension was refused.
+	EvExtend
+	// EvApproveRequest: the server pushed an approval callback to a
+	// leaseholder blocking a write.
+	EvApproveRequest
+	// EvApprove: a leaseholder approved a write, having invalidated its
+	// cached copy.
+	EvApprove
+	// EvExpire: a deferred write was released because its blocking
+	// leases expired — the fault-tolerance path (§2).
+	EvExpire
+	// EvWriteDefer: a write was queued behind conflicting leases (or a
+	// blocked window) rather than applied immediately.
+	EvWriteDefer
+	// EvWriteApply: a write obtained clearance and was applied; Wait is
+	// how long clearance took.
+	EvWriteApply
+	// EvWriteTimeout: a write exceeded the server's deferral bound and
+	// was failed back to the writer.
+	EvWriteTimeout
+	// EvEviction: a cached copy was invalidated — at the server, a
+	// holder's lease record dropped by its approval; at the client, a
+	// datum dropped from the local cache by an approval push.
+	EvEviction
+
+	numEventTypes = int(EvEviction) + 1
+)
+
+var eventTypeNames = [numEventTypes]string{
+	"grant", "extend", "approve-request", "approve", "expire",
+	"write-defer", "write-apply", "write-timeout", "eviction",
+}
+
+// String names the event type ("grant", "write-defer", …).
+func (t EventType) String() string {
+	if int(t) < numEventTypes {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("event%d", uint8(t))
+}
+
+// MarshalJSON writes the type as its name, so JSONL sinks stay readable
+// and stable across reorderings of the enum.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// Event is one structured protocol event.
+type Event struct {
+	// Seq is the event's global sequence number, assigned by Record.
+	Seq uint64 `json:"seq"`
+	// At is when the event happened. Record stamps it if zero.
+	At   time.Time `json:"at"`
+	Type EventType `json:"type"`
+	// Client is the client the event concerns, when known.
+	Client string `json:"client,omitempty"`
+	// Datum is the datum the event concerns, when known.
+	Datum vfs.Datum `json:"datum"`
+	// Shard is the lease-manager shard that owns the datum or write.
+	Shard int `json:"shard"`
+	// Term is the granted term for grant/extend events (zero = refused).
+	Term time.Duration `json:"term_ns,omitempty"`
+	// WriteID identifies the pending write for approval and write events.
+	WriteID uint64 `json:"write_id,omitempty"`
+	// Wait is the deferral duration for write-apply/write-timeout events.
+	Wait time.Duration `json:"wait_ns,omitempty"`
+}
+
+// Config parameterizes an Observer.
+type Config struct {
+	// RingSize bounds the event ring buffer (rounded up to a power of
+	// two). Zero means 4096.
+	RingSize int
+	// Sink, when non-nil, receives every event as one JSON line — the
+	// live counterpart of internal/trace's offline codec, so a recorded
+	// stream can be replayed or post-processed by the leasetrace
+	// tooling's analysis habits.
+	Sink io.Writer
+	// SlowWrite, when positive, logs any write deferred for at least
+	// this long to SlowLog — the operator's view of formula-2 outliers.
+	SlowWrite time.Duration
+	// SlowLog receives slow-write lines; nil means log.Default().
+	SlowLog *log.Logger
+	// Now supplies event timestamps; nil means time.Now. Tests inject a
+	// fixed clock for deterministic golden output.
+	Now func() time.Time
+}
+
+// Observer records protocol events and operation latencies. The nil
+// Observer is valid and disabled: every method returns immediately.
+type Observer struct {
+	now  func() time.Time
+	ring *ring
+
+	counts [numEventTypes]stats.Counter
+
+	sinkMu sync.Mutex
+	sink   io.Writer
+
+	slowWrite time.Duration
+	slowLog   *log.Logger
+
+	opMu sync.RWMutex
+	ops  map[string]*stats.Histogram
+}
+
+// New returns an enabled Observer.
+func New(cfg Config) *Observer {
+	o := &Observer{
+		now:       cfg.Now,
+		ring:      newRing(cfg.RingSize),
+		sink:      cfg.Sink,
+		slowWrite: cfg.SlowWrite,
+		slowLog:   cfg.SlowLog,
+		ops:       make(map[string]*stats.Histogram),
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	if o.slowLog == nil {
+		o.slowLog = log.Default()
+	}
+	return o
+}
+
+// Enabled reports whether the observer records anything. It is the
+// nil-check instrumented code guards expensive argument preparation
+// with (e.g. reading the clock before timing an operation).
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Record files one event: it is stamped, sequenced, counted, appended
+// to the ring, mirrored to the JSONL sink, and — for writes deferred
+// beyond the slow threshold — logged. Safe for concurrent use; a nil
+// receiver is a no-op.
+func (o *Observer) Record(ev Event) {
+	if o == nil {
+		return
+	}
+	if ev.At.IsZero() {
+		ev.At = o.now()
+	}
+	ev.Seq = o.ring.append(&ev)
+	if int(ev.Type) < numEventTypes {
+		o.counts[ev.Type].Inc()
+	}
+	if o.slowWrite > 0 && ev.Wait >= o.slowWrite &&
+		(ev.Type == EvWriteApply || ev.Type == EvWriteTimeout) {
+		o.slowLog.Printf("obs: slow write: client=%s datum=%v write=%d wait=%v (%s)",
+			ev.Client, ev.Datum, ev.WriteID, ev.Wait, ev.Type)
+	}
+	if o.sink != nil {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		line = append(line, '\n')
+		o.sinkMu.Lock()
+		o.sink.Write(line)
+		o.sinkMu.Unlock()
+	}
+}
+
+// ObserveOp records one operation latency under the given name. Safe
+// for concurrent use; a nil receiver is a no-op.
+func (o *Observer) ObserveOp(op string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.opMu.RLock()
+	h := o.ops[op]
+	o.opMu.RUnlock()
+	if h == nil {
+		o.opMu.Lock()
+		h = o.ops[op]
+		if h == nil {
+			h = stats.NewLatencyHistogram()
+			o.ops[op] = h
+		}
+		o.opMu.Unlock()
+	}
+	h.Observe(d.Seconds())
+}
+
+// Events returns up to n of the most recent events, oldest first. n ≤ 0
+// means everything still in the ring.
+func (o *Observer) Events(n int) []Event {
+	if o == nil {
+		return nil
+	}
+	return o.ring.snapshot(n)
+}
+
+// EventCount is one event type's running total.
+type EventCount struct {
+	Type string `json:"type"`
+	N    int64  `json:"n"`
+}
+
+// EventCounts returns the running total of every event type, in
+// taxonomy order (including zero counts, so exposition stays stable).
+func (o *Observer) EventCounts() []EventCount {
+	if o == nil {
+		return nil
+	}
+	out := make([]EventCount, numEventTypes)
+	for i := range out {
+		out[i] = EventCount{Type: EventType(i).String(), N: o.counts[i].Value()}
+	}
+	return out
+}
+
+// OpLatency is one operation's latency digest.
+type OpLatency struct {
+	Op   string
+	Hist stats.HistogramSnapshot
+}
+
+// OpLatencies returns a snapshot of every operation latency histogram,
+// sorted by operation name.
+func (o *Observer) OpLatencies() []OpLatency {
+	if o == nil {
+		return nil
+	}
+	o.opMu.RLock()
+	names := make([]string, 0, len(o.ops))
+	for n := range o.ops {
+		names = append(names, n)
+	}
+	o.opMu.RUnlock()
+	sort.Strings(names)
+	out := make([]OpLatency, 0, len(names))
+	for _, n := range names {
+		o.opMu.RLock()
+		h := o.ops[n]
+		o.opMu.RUnlock()
+		out = append(out, OpLatency{Op: n, Hist: h.Snapshot()})
+	}
+	return out
+}

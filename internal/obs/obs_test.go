@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leases/internal/vfs"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestEventTypeNames(t *testing.T) {
+	want := []string{
+		"grant", "extend", "approve-request", "approve", "expire",
+		"write-defer", "write-apply", "write-timeout", "eviction",
+	}
+	for i, w := range want {
+		if got := EventType(i).String(); got != w {
+			t.Errorf("EventType(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if got := EventType(200).String(); got != "event200" {
+		t.Errorf("unknown type = %q", got)
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	o := New(Config{RingSize: 8, Now: fixedClock()})
+	d := vfs.Datum{Kind: vfs.FileData, Node: 7}
+	for i := 0; i < 3; i++ {
+		o.Record(Event{Type: EvGrant, Client: "c1", Datum: d, Term: 10 * time.Second})
+	}
+	o.Record(Event{Type: EvWriteDefer, Client: "c2", Datum: d, WriteID: 42})
+
+	evs := o.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("Events(0) = %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.At.IsZero() {
+			t.Errorf("event %d not timestamped", i)
+		}
+	}
+	if last := evs[3]; last.Type != EvWriteDefer || last.WriteID != 42 || last.Client != "c2" {
+		t.Errorf("last event = %+v", last)
+	}
+
+	if got := o.Events(2); len(got) != 2 || got[0].Seq != 2 {
+		t.Errorf("Events(2) = %+v, want seqs 2,3", got)
+	}
+
+	counts := o.EventCounts()
+	if len(counts) != numEventTypes {
+		t.Fatalf("EventCounts() has %d entries, want %d", len(counts), numEventTypes)
+	}
+	if counts[EvGrant].N != 3 || counts[EvWriteDefer].N != 1 || counts[EvExpire].N != 0 {
+		t.Errorf("counts = %+v", counts)
+	}
+}
+
+func TestRingWrapKeepsMostRecent(t *testing.T) {
+	o := New(Config{RingSize: 4, Now: fixedClock()})
+	for i := 0; i < 10; i++ {
+		o.Record(Event{Type: EvGrant, WriteID: uint64(i)})
+	}
+	evs := o.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 returned %d events", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want || ev.WriteID != want {
+			t.Errorf("event %d = seq %d write %d, want %d", i, ev.Seq, ev.WriteID, want)
+		}
+	}
+}
+
+// TestRingConcurrentWriters hammers the ring from many goroutines while
+// snapshots run, under -race: no torn events, snapshot sequences always
+// monotonically increasing and within the live window.
+func TestRingConcurrentWriters(t *testing.T) {
+	o := New(Config{RingSize: 64})
+	const writers, perWriter = 8, 500
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := o.Events(0)
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq <= evs[i-1].Seq {
+					t.Errorf("snapshot not in sequence order: %d then %d", evs[i-1].Seq, evs[i].Seq)
+					return
+				}
+			}
+			for _, ev := range evs {
+				// Writers encode their identity redundantly; a torn slot
+				// would disagree with itself.
+				if ev.Wait != time.Duration(ev.WriteID) || ev.Term != time.Duration(ev.WriteID) {
+					t.Errorf("torn event: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i)
+				o.Record(Event{
+					Type: EvGrant, WriteID: id,
+					Wait: time.Duration(id), Term: time.Duration(id),
+				})
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if got := o.EventCounts()[EvGrant].N; got != writers*perWriter {
+		t.Fatalf("recorded %d events, want %d", got, writers*perWriter)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Config{RingSize: 8, Sink: &buf, Now: fixedClock()})
+	o.Record(Event{Type: EvWriteApply, Client: "w", Datum: vfs.Datum{Kind: vfs.FileData, Node: 3},
+		Shard: 2, WriteID: 17, Wait: 250 * time.Millisecond})
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("sink empty")
+	}
+	var got map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+		t.Fatalf("sink line is not JSON: %v", err)
+	}
+	if got["type"] != "write-apply" || got["client"] != "w" || got["write_id"] != float64(17) {
+		t.Errorf("sink line = %v", got)
+	}
+	if got["wait_ns"] != float64(250*time.Millisecond) {
+		t.Errorf("wait_ns = %v", got["wait_ns"])
+	}
+}
+
+func TestSlowWriteLog(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Config{
+		RingSize: 8, SlowWrite: 100 * time.Millisecond,
+		SlowLog: log.New(&buf, "", 0), Now: fixedClock(),
+	})
+	o.Record(Event{Type: EvWriteApply, Client: "w", Wait: 50 * time.Millisecond})
+	if buf.Len() != 0 {
+		t.Fatalf("fast write logged: %q", buf.String())
+	}
+	o.Record(Event{Type: EvGrant, Client: "w", Wait: time.Hour}) // wrong type: no log
+	if buf.Len() != 0 {
+		t.Fatalf("grant logged as slow write: %q", buf.String())
+	}
+	o.Record(Event{Type: EvWriteTimeout, Client: "w", WriteID: 9, Wait: 2 * time.Second})
+	if !strings.Contains(buf.String(), "slow write") || !strings.Contains(buf.String(), "write=9") {
+		t.Fatalf("slow write not logged: %q", buf.String())
+	}
+}
+
+func TestObserveOpHistograms(t *testing.T) {
+	o := New(Config{RingSize: 8})
+	for i := 0; i < 10; i++ {
+		o.ObserveOp("read", time.Millisecond)
+	}
+	o.ObserveOp("write", 2*time.Second)
+	ops := o.OpLatencies()
+	if len(ops) != 2 || ops[0].Op != "read" || ops[1].Op != "write" {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ops[0].Hist.Count != 10 {
+		t.Errorf("read count = %d", ops[0].Hist.Count)
+	}
+	if p := ops[0].Hist.P99; p < 0.001 || p > 0.0025 {
+		t.Errorf("read p99 = %v, want the 1ms bucket bound", p)
+	}
+}
+
+// TestDisabledObserverAllocFree pins the contract the server hot path
+// relies on: with observability off (nil Observer) the instrumentation
+// hooks perform zero allocations.
+func TestDisabledObserverAllocFree(t *testing.T) {
+	var o *Observer
+	d := vfs.Datum{Kind: vfs.FileData, Node: 9}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if o.Enabled() {
+			t.Fatal("nil observer reports enabled")
+		}
+		o.Record(Event{Type: EvGrant, Client: "c", Datum: d, Term: time.Second})
+		o.ObserveOp("read", time.Millisecond)
+		_ = o.Events(4)
+		_ = o.EventCounts()
+		_ = o.OpLatencies()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observer allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestEnabledRecordAllocFree documents that even the enabled event path
+// does not allocate once the ring exists (no sink attached) — the ring
+// slot copy is in place and counters are atomic.
+func TestEnabledRecordAllocFree(t *testing.T) {
+	o := New(Config{RingSize: 64, Now: fixedClock()})
+	d := vfs.Datum{Kind: vfs.FileData, Node: 9}
+	allocs := testing.AllocsPerRun(1000, func() {
+		o.Record(Event{Type: EvGrant, Client: "c", Datum: d, Term: time.Second})
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkRecordDisabled(b *testing.B) {
+	var o *Observer
+	d := vfs.Datum{Kind: vfs.FileData, Node: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Record(Event{Type: EvGrant, Client: "c", Datum: d, Term: time.Second})
+	}
+}
+
+func BenchmarkRecordEnabled(b *testing.B) {
+	o := New(Config{RingSize: 4096})
+	d := vfs.Datum{Kind: vfs.FileData, Node: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Record(Event{Type: EvGrant, Client: "c", Datum: d, Term: time.Second})
+	}
+}
+
+func BenchmarkRecordEnabledParallel(b *testing.B) {
+	o := New(Config{RingSize: 4096})
+	d := vfs.Datum{Kind: vfs.FileData, Node: 9}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			o.Record(Event{Type: EvGrant, Client: "c", Datum: d, Term: time.Second})
+		}
+	})
+}
+
+func BenchmarkObserveOpEnabled(b *testing.B) {
+	o := New(Config{RingSize: 16})
+	o.ObserveOp("read", time.Millisecond) // pre-create the histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.ObserveOp("read", time.Millisecond)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"leases/internal/core"
+)
+
+// MetricsSnapshot gathers everything the /metrics endpoint (and the
+// SIGUSR1 stderr dump) exports: the lease manager's protocol counters,
+// the same counters per shard (so stripe imbalance is visible), the
+// live lease-record count, and the observer's event totals and
+// latency histograms.
+type MetricsSnapshot struct {
+	Manager    core.ManagerMetrics
+	Shards     []core.ManagerMetrics
+	LeaseCount int
+	Events     []EventCount
+	Ops        []OpLatency
+}
+
+// managerCounters fixes the exposition order and naming of the
+// core.ManagerMetrics fields.
+var managerCounters = []struct {
+	name, help string
+	get        func(*core.ManagerMetrics) int64
+}{
+	{"leases_grants_total", "Leases granted or extended.",
+		func(m *core.ManagerMetrics) int64 { return m.Grants }},
+	{"leases_refusals_total", "Lease grants refused (write pending or zero-term policy).",
+		func(m *core.ManagerMetrics) int64 { return m.Refusals }},
+	{"leases_writes_immediate_total", "Writes applied with no conflicting leases.",
+		func(m *core.ManagerMetrics) int64 { return m.WritesImmediate }},
+	{"leases_writes_deferred_total", "Writes queued behind conflicting leases.",
+		func(m *core.ManagerMetrics) int64 { return m.WritesDeferred }},
+	{"leases_approvals_total", "Approval callbacks received and recorded.",
+		func(m *core.ManagerMetrics) int64 { return m.ApprovalsApplied }},
+	{"leases_expiry_releases_total", "Deferred writes released by lease expiry.",
+		func(m *core.ManagerMetrics) int64 { return m.ExpiryReleases }},
+	{"leases_releases_total", "Leases relinquished voluntarily.",
+		func(m *core.ManagerMetrics) int64 { return m.Releases }},
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (hand-rolled; the repo takes no dependencies). The output is
+// deterministic for a given snapshot — counters in fixed order, shards
+// by index, ops pre-sorted by OpLatencies — and is pinned by a golden
+// test.
+func WriteProm(w io.Writer, s *MetricsSnapshot) {
+	for _, c := range managerCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.get(&s.Manager))
+	}
+
+	fmt.Fprintf(w, "# HELP leases_lease_records Live lease records at the server.\n")
+	fmt.Fprintf(w, "# TYPE leases_lease_records gauge\n")
+	fmt.Fprintf(w, "leases_lease_records %d\n", s.LeaseCount)
+
+	if len(s.Shards) > 0 {
+		fmt.Fprintf(w, "# HELP leases_shard_grants_total Leases granted or extended, by manager shard.\n")
+		fmt.Fprintf(w, "# TYPE leases_shard_grants_total counter\n")
+		for i := range s.Shards {
+			fmt.Fprintf(w, "leases_shard_grants_total{shard=\"%d\"} %d\n", i, s.Shards[i].Grants)
+		}
+		fmt.Fprintf(w, "# HELP leases_shard_writes_deferred_total Writes queued behind leases, by manager shard.\n")
+		fmt.Fprintf(w, "# TYPE leases_shard_writes_deferred_total counter\n")
+		for i := range s.Shards {
+			fmt.Fprintf(w, "leases_shard_writes_deferred_total{shard=\"%d\"} %d\n", i, s.Shards[i].WritesDeferred)
+		}
+	}
+
+	if len(s.Events) > 0 {
+		fmt.Fprintf(w, "# HELP leases_events_total Protocol trace events recorded, by type.\n")
+		fmt.Fprintf(w, "# TYPE leases_events_total counter\n")
+		for _, ec := range s.Events {
+			fmt.Fprintf(w, "leases_events_total{type=%q} %d\n", ec.Type, ec.N)
+		}
+	}
+
+	if len(s.Ops) > 0 {
+		fmt.Fprintf(w, "# HELP leases_op_latency_seconds Server-side request latency by operation.\n")
+		fmt.Fprintf(w, "# TYPE leases_op_latency_seconds histogram\n")
+		for _, op := range s.Ops {
+			var cum int64
+			for i, bound := range op.Hist.Bounds {
+				cum += op.Hist.Counts[i]
+				fmt.Fprintf(w, "leases_op_latency_seconds_bucket{op=%q,le=%q} %d\n",
+					op.Op, promFloat(bound), cum)
+			}
+			cum += op.Hist.Counts[len(op.Hist.Bounds)]
+			fmt.Fprintf(w, "leases_op_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op.Op, cum)
+			fmt.Fprintf(w, "leases_op_latency_seconds_sum{op=%q} %s\n", op.Op, promFloat(op.Hist.Sum))
+			fmt.Fprintf(w, "leases_op_latency_seconds_count{op=%q} %d\n", op.Op, op.Hist.Count)
+		}
+	}
+}
+
+// promFloat formats a float the way Prometheus expects: shortest
+// round-trip representation, +Inf spelled out.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// DumpText renders an operator-readable summary — the SIGUSR1 /
+// shutdown dump for servers running without the HTTP plane: every
+// counter, per-op quantiles, per-shard grant/defer lines, and the last
+// events in the ring.
+func DumpText(w io.Writer, s *MetricsSnapshot, events []Event) {
+	fmt.Fprintf(w, "== lease server metrics ==\n")
+	for _, c := range managerCounters {
+		fmt.Fprintf(w, "%-32s %d\n", c.name, c.get(&s.Manager))
+	}
+	fmt.Fprintf(w, "%-32s %d\n", "leases_lease_records", s.LeaseCount)
+	for _, ec := range s.Events {
+		fmt.Fprintf(w, "event %-26s %d\n", ec.Type, ec.N)
+	}
+	for i := range s.Shards {
+		fmt.Fprintf(w, "shard %-3d grants=%d deferred=%d\n",
+			i, s.Shards[i].Grants, s.Shards[i].WritesDeferred)
+	}
+	for _, op := range s.Ops {
+		fmt.Fprintf(w, "op %-10s n=%d mean=%s p50=%s p95=%s p99=%s\n",
+			op.Op, op.Hist.Count, promSeconds(op.Hist.Mean),
+			promSeconds(op.Hist.P50), promSeconds(op.Hist.P95), promSeconds(op.Hist.P99))
+	}
+	if len(events) > 0 {
+		fmt.Fprintf(w, "== last %d trace events ==\n", len(events))
+		for _, ev := range events {
+			fmt.Fprintf(w, "#%d %s %s client=%s datum=%v shard=%d",
+				ev.Seq, ev.At.Format("15:04:05.000"), ev.Type, ev.Client, ev.Datum, ev.Shard)
+			if ev.Term != 0 {
+				fmt.Fprintf(w, " term=%v", ev.Term)
+			}
+			if ev.WriteID != 0 {
+				fmt.Fprintf(w, " write=%d", ev.WriteID)
+			}
+			if ev.Wait != 0 {
+				fmt.Fprintf(w, " wait=%v", ev.Wait)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// promSeconds renders a quantile in seconds compactly, tolerating the
+// +Inf overflow bound.
+func promSeconds(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64) + "s"
+}

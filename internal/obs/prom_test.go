@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// promSnapshot builds a fixed, fully deterministic snapshot exercising
+// every exposition section: manager counters, two shards, event
+// totals, and one op histogram with observations in distinct buckets.
+func promSnapshot() MetricsSnapshot {
+	o := New(Config{RingSize: 8, Now: fixedClock()})
+	o.Record(Event{Type: EvGrant})
+	o.Record(Event{Type: EvGrant})
+	o.Record(Event{Type: EvWriteDefer})
+	o.ObserveOp("read", 200*time.Microsecond)
+	o.ObserveOp("read", 200*time.Microsecond)
+	o.ObserveOp("read", 30*time.Millisecond)
+	o.ObserveOp("write", 20*time.Second) // overflow bucket
+	return MetricsSnapshot{
+		Manager: core.ManagerMetrics{
+			Grants: 12, Refusals: 3, WritesImmediate: 4, WritesDeferred: 2,
+			ApprovalsApplied: 5, ExpiryReleases: 1, Releases: 6,
+		},
+		Shards: []core.ManagerMetrics{
+			{Grants: 8, WritesDeferred: 2},
+			{Grants: 4},
+		},
+		LeaseCount: 7,
+		Events:     o.EventCounts(),
+		Ops:        o.OpLatencies(),
+	}
+}
+
+// TestWritePromGolden pins the Prometheus text exposition format: any
+// change to metric names, label sets, bucket bounds or float rendering
+// shows up as a golden diff and must be deliberate.
+func TestWritePromGolden(t *testing.T) {
+	snap := promSnapshot()
+	var buf bytes.Buffer
+	WriteProm(&buf, &snap)
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition format drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePromWellFormed(t *testing.T) {
+	snap := promSnapshot()
+	var buf bytes.Buffer
+	WriteProm(&buf, &snap)
+	out := buf.String()
+
+	for _, want := range []string{
+		"leases_grants_total 12",
+		"leases_lease_records 7",
+		`leases_shard_grants_total{shard="0"} 8`,
+		`leases_shard_writes_deferred_total{shard="1"} 0`,
+		`leases_events_total{type="grant"} 2`,
+		`leases_op_latency_seconds_bucket{op="read",le="+Inf"} 3`,
+		`leases_op_latency_seconds_count{op="write"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Histogram buckets must be cumulative: the 30ms read lands in the
+	// 0.05 bucket, so le="0.05" carries all three observations.
+	if !strings.Contains(out, `leases_op_latency_seconds_bucket{op="read",le="0.05"} 3`) {
+		t.Errorf("buckets not cumulative:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestDumpText(t *testing.T) {
+	snap := promSnapshot()
+	o := New(Config{RingSize: 8, Now: fixedClock()})
+	o.Record(Event{Type: EvExpire, WriteID: 5, Shard: 1})
+	var buf bytes.Buffer
+	DumpText(&buf, &snap, o.Events(10))
+	out := buf.String()
+	for _, want := range []string{
+		"leases_grants_total", "shard 0", "op read", "p95=", "expire", "write=5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// sanity: the latency bounds used by ObserveOp match stats' defaults,
+// so the golden bucket layout tracks LatencyBounds.
+func TestOpHistogramUsesLatencyBounds(t *testing.T) {
+	o := New(Config{RingSize: 8})
+	o.ObserveOp("x", time.Millisecond)
+	got := o.OpLatencies()[0].Hist.Bounds
+	want := stats.LatencyBounds()
+	if len(got) != len(want) {
+		t.Fatalf("bounds len %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("bound %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ring is a bounded, concurrent event buffer. Writers claim a slot with
+// one atomic increment on the global cursor and then copy the event
+// under that slot's own mutex, so two concurrent writers contend only
+// when they land on the same slot — i.e. when one laps the other, which
+// at 4096 slots means the ring wrapped between them. Readers lock one
+// slot at a time; a snapshot is per-slot consistent, not a frozen
+// instant, which is the right trade for a diagnostic buffer that must
+// never stall the request path.
+type ring struct {
+	mask  uint64
+	next  atomic.Uint64 // next sequence number to assign
+	slots []ringSlot
+}
+
+type ringSlot struct {
+	mu sync.Mutex
+	ev Event
+	ok bool // slot has ever been written
+}
+
+// defaultRingSize is used when a Config leaves RingSize zero.
+const defaultRingSize = 4096
+
+func newRing(size int) *ring {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	// Round up to a power of two so slot routing is a mask, not a mod.
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+}
+
+// append stores a copy of *ev and returns its sequence number (0-based,
+// monotonically increasing across the observer's lifetime).
+func (r *ring) append(ev *Event) uint64 {
+	seq := r.next.Add(1) - 1
+	s := &r.slots[seq&r.mask]
+	s.mu.Lock()
+	s.ev = *ev
+	s.ev.Seq = seq
+	s.ok = true
+	s.mu.Unlock()
+	return seq
+}
+
+// snapshot returns up to n of the most recent events in sequence order.
+// n ≤ 0 means every event still buffered. Events overwritten mid-read
+// by a racing writer appear with their new (still in-window) contents;
+// slots never expose torn state.
+func (r *ring) snapshot(n int) []Event {
+	end := r.next.Load()
+	span := uint64(len(r.slots))
+	if end < span {
+		span = end
+	}
+	if n > 0 && uint64(n) < span {
+		span = uint64(n)
+	}
+	out := make([]Event, 0, span)
+	for seq := end - span; seq < end; seq++ {
+		s := &r.slots[seq&r.mask]
+		s.mu.Lock()
+		ev, ok := s.ev, s.ok
+		s.mu.Unlock()
+		// A writer may have lapped past seq already; keep only events
+		// from the window we asked for.
+		if ok && ev.Seq >= end-span && ev.Seq < end {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

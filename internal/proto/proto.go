@@ -84,6 +84,46 @@ const (
 	TError
 )
 
+// msgTypeNames maps request and push types to stable operation names
+// for metrics and tracing. Reply types are derived from their request.
+var msgTypeNames = map[MsgType]string{
+	THello:       "hello",
+	THelloAck:    "hello",
+	TLookup:      "lookup",
+	TLookupRep:   "lookup",
+	TRead:        "read",
+	TReadRep:     "read",
+	TWrite:       "write",
+	TWriteRep:    "write",
+	TExtend:      "extend",
+	TExtendRep:   "extend",
+	TRelease:     "release",
+	TReadDir:     "readdir",
+	TReadDirRep:  "readdir",
+	TCreate:      "create",
+	TCreateRep:   "create",
+	TMkdir:       "mkdir",
+	TRemove:      "remove",
+	TRename:      "rename",
+	TStat:        "stat",
+	TStatRep:     "stat",
+	TSetPerm:     "setperm",
+	TApprovalReq: "approval-req",
+	TApprove:     "approve",
+	TOK:          "ok",
+	TError:       "error",
+}
+
+// String names the message's operation: request and reply share a name
+// ("read"), so a latency keyed by the request type and a trace keyed by
+// the reply agree.
+func (t MsgType) String() string {
+	if n, ok := msgTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("type%d", uint8(t))
+}
+
 // MaxFrame bounds a frame's payload to keep a malicious peer from
 // forcing huge allocations.
 const MaxFrame = 16 << 20

@@ -49,14 +49,29 @@ type Result struct {
 	Errors int64
 	// ReadLatency and WriteLatency summarize operation times.
 	ReadLatency, WriteLatency LatencySummary
+	// CachedRead and UncachedRead split ReadLatency by op class: reads
+	// served from the local cache under a valid lease versus reads that
+	// cost a server round-trip — the two regimes whose gap is the whole
+	// point of leasing (§3's consistency-induced delay is exactly the
+	// uncached excess).
+	CachedRead, UncachedRead LatencySummary
 	// WallTime is how long the replay took.
 	WallTime time.Duration
 }
 
-// LatencySummary is a compact latency digest.
+// LatencySummary is a compact latency digest with exact quantiles
+// (nearest-rank over every observation).
 type LatencySummary struct {
-	Count     int64
-	Mean, Max time.Duration
+	Count         int64
+	Mean, Max     time.Duration
+	P50, P95, P99 time.Duration
+}
+
+func summarize(s *stats.DurationSample) LatencySummary {
+	return LatencySummary{
+		Count: s.Count(), Mean: s.Mean(), Max: s.Max(),
+		P50: s.Quantile(0.50), P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+	}
 }
 
 // PathForFile maps a trace file index to its server path.
@@ -127,8 +142,10 @@ func Run(cfg Config) (*Result, error) {
 
 	var (
 		errs        stats.Counter
-		readLat     stats.DurationStat
-		writeLat    stats.DurationStat
+		readLat     stats.DurationSample
+		writeLat    stats.DurationSample
+		cachedLat   stats.DurationSample
+		uncachedLat stats.DurationSample
 		reads       stats.Counter
 		writes      stats.Counter
 		readPayload = []byte("replayed write")
@@ -154,9 +171,19 @@ func Run(cfg Config) (*Result, error) {
 				var err error
 				switch e.Op {
 				case trace.OpRead:
+					// Each trace client is replayed by one goroutine over
+					// its own cache, so the hit-counter delta attributes
+					// this read to the cached or uncached class exactly.
+					hitsBefore := c.Metrics().ReadHits
 					_, err = c.Read(path)
+					d := time.Since(opStart)
 					reads.Inc()
-					readLat.Observe(time.Since(opStart))
+					readLat.Observe(d)
+					if c.Metrics().ReadHits > hitsBefore {
+						cachedLat.Observe(d)
+					} else {
+						uncachedLat.Observe(d)
+					}
 				case trace.OpWrite:
 					err = c.Write(path, readPayload)
 					writes.Inc()
@@ -176,18 +203,16 @@ func Run(cfg Config) (*Result, error) {
 		hits += m.ReadHits
 	}
 	return &Result{
-		Ops:      reads.Value() + writes.Value(),
-		Reads:    reads.Value(),
-		Writes:   writes.Value(),
-		ReadHits: hits,
-		Errors:   errs.Value(),
-		ReadLatency: LatencySummary{
-			Count: readLat.Count(), Mean: readLat.Mean(), Max: readLat.Max(),
-		},
-		WriteLatency: LatencySummary{
-			Count: writeLat.Count(), Mean: writeLat.Mean(), Max: writeLat.Max(),
-		},
-		WallTime: time.Since(start),
+		Ops:          reads.Value() + writes.Value(),
+		Reads:        reads.Value(),
+		Writes:       writes.Value(),
+		ReadHits:     hits,
+		Errors:       errs.Value(),
+		ReadLatency:  summarize(&readLat),
+		WriteLatency: summarize(&writeLat),
+		CachedRead:   summarize(&cachedLat),
+		UncachedRead: summarize(&uncachedLat),
+		WallTime:     time.Since(start),
 	}, nil
 }
 

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/obs"
+)
+
+// Obs returns the server's observer (nil when instrumentation is
+// disabled).
+func (s *Server) Obs() *obs.Observer { return s.obs }
+
+// ShardMetrics returns the lease manager's event counters per shard.
+func (s *Server) ShardMetrics() []core.ManagerMetrics { return s.lm.ShardMetrics() }
+
+// MetricsSnapshot gathers everything the admin plane exports: manager
+// counters (total and per shard), the live lease-record count, and —
+// when an observer is attached — event totals and per-op latency
+// histograms.
+func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
+	snap := obs.MetricsSnapshot{
+		Manager:    s.lm.Metrics(),
+		Shards:     s.lm.ShardMetrics(),
+		LeaseCount: s.lm.LeaseCount(),
+	}
+	if s.obs.Enabled() {
+		snap.Events = s.obs.EventCounts()
+		snap.Ops = s.obs.OpLatencies()
+	}
+	return snap
+}
+
+// leaseRecord is one /leases entry.
+type leaseRecord struct {
+	Client string    `json:"client"`
+	Kind   string    `json:"kind"`
+	Node   uint64    `json:"node"`
+	Expiry time.Time `json:"expiry"`
+}
+
+// AdminHandler returns the HTTP admin/metrics plane:
+//
+//	/metrics        Prometheus text exposition (counters, per-shard
+//	                counters, event totals, per-op latency histograms)
+//	/healthz        liveness probe
+//	/leases         JSON dump of the current lease table (Snapshot)
+//	/debug/pprof/   the standard Go profiling endpoints
+//
+// Serve it on a side listener (leasesrv -metrics-addr), never on the
+// protocol port.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.MetricsSnapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WriteProm(w, &snap)
+	})
+	mux.HandleFunc("/leases", func(w http.ResponseWriter, r *http.Request) {
+		now := s.clk.Now()
+		records := s.Snapshot()
+		out := struct {
+			Now    time.Time     `json:"now"`
+			Count  int           `json:"count"`
+			Leases []leaseRecord `json:"leases"`
+		}{Now: now, Count: len(records), Leases: make([]leaseRecord, 0, len(records))}
+		for _, r := range records {
+			out.Leases = append(out.Leases, leaseRecord{
+				Client: string(r.Client),
+				Kind:   r.Datum.Kind.String(),
+				Node:   uint64(r.Datum.Node),
+				Expiry: r.Expiry,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"leases/internal/core"
+	"leases/internal/obs"
 	"leases/internal/proto"
 	"leases/internal/vfs"
 )
@@ -85,7 +86,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		go func() {
 			defer reqWG.Done()
 			defer f.Recycle()
-			c.dispatch(f)
+			c.dispatchTimed(f)
 		}()
 	}
 }
@@ -129,6 +130,22 @@ func (c *serverConn) fail(reqID uint64, err error) {
 	c.reply(reqID, proto.TError, errPayload(err))
 }
 
+// dispatchTimed wraps dispatch with the server-side op latency
+// histogram: decode through reply, including any write deferral — what
+// a client would see minus the network. It exists as a method (rather
+// than inline in the request goroutine) so the disabled path does not
+// grow the goroutine closure.
+func (c *serverConn) dispatchTimed(f proto.Frame) {
+	s := c.srv
+	if o := s.obs; o.Enabled() {
+		start := s.clk.Now()
+		c.dispatch(f)
+		o.ObserveOp(f.Type.String(), s.clk.Now().Sub(start))
+		return
+	}
+	c.dispatch(f)
+}
+
 func (c *serverConn) dispatch(f proto.Frame) {
 	switch f.Type {
 	case proto.TLookup:
@@ -160,11 +177,19 @@ func (c *serverConn) dispatch(f proto.Frame) {
 	}
 }
 
-// grant grants a lease on d and packages it for the wire. The sharded
-// manager locks d's stripe internally.
-func (c *serverConn) grant(d vfs.Datum) proto.GrantWire {
+// grant grants a lease on d and packages it for the wire, recording the
+// trace event as et (EvGrant for first-contact grants, EvExtend for
+// batch extensions). The sharded manager locks d's stripe internally.
+func (c *serverConn) grant(d vfs.Datum, et obs.EventType) proto.GrantWire {
 	s := c.srv
 	g := s.lm.Grant(c.client, d, s.clk.Now())
+	if s.obs.Enabled() {
+		// Term zero marks a refusal (write pending / zero policy).
+		s.obs.Record(obs.Event{
+			Type: et, Client: string(c.client), Datum: d,
+			Shard: s.lm.ShardFor(d), Term: g.Term,
+		})
+	}
 	version, err := s.store.Version(d)
 	if err != nil {
 		version = 0
@@ -194,7 +219,7 @@ func (c *serverConn) handleLookup(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	grants := []proto.GrantWire{c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID})}
+	grants := []proto.GrantWire{c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID}, obs.EvGrant)}
 
 	var e proto.Enc
 	e.Attr(attr).U64(uint64(parentAttr.ID)).EncodeGrants(grants)
@@ -218,7 +243,7 @@ func (c *serverConn) handleRead(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	grant := c.grant(vfs.Datum{Kind: vfs.FileData, Node: node})
+	grant := c.grant(vfs.Datum{Kind: vfs.FileData, Node: node}, obs.EvGrant)
 	// Re-read under the granted version if a write slipped between the
 	// read and the grant, so data and version always agree.
 	if grant.Version != attr.Version {
@@ -279,7 +304,7 @@ func (c *serverConn) handleExtend(f proto.Frame) {
 	}
 	grants := make([]proto.GrantWire, 0, len(data))
 	for _, d := range data {
-		grants = append(grants, c.grant(d))
+		grants = append(grants, c.grant(d, obs.EvExtend))
 	}
 	var e proto.Enc
 	e.EncodeGrants(grants)
@@ -329,7 +354,7 @@ func (c *serverConn) handleReadDir(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	grant := c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: node})
+	grant := c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: node}, obs.EvGrant)
 	var e proto.Enc
 	e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).U32(uint32(len(entries)))
 	for _, ent := range entries {
@@ -513,7 +538,21 @@ func (c *serverConn) handleSetPerm(f proto.Frame) {
 func (c *serverConn) handleApprove(f proto.Frame) {
 	a := proto.NewDec(f.Payload).DecodeApproval()
 	s := c.srv
-	if s.lm.Approve(c.client, a.WriteID, s.clk.Now()) {
+	ready := s.lm.Approve(c.client, a.WriteID, s.clk.Now())
+	if s.obs.Enabled() {
+		shard := s.lm.ShardForWrite(a.WriteID)
+		s.obs.Record(obs.Event{
+			Type: obs.EvApprove, Client: string(c.client), Datum: a.Datum,
+			Shard: shard, WriteID: uint64(a.WriteID),
+		})
+		// An approval means the holder invalidated its cached copy and
+		// the server dropped its lease record: an eviction.
+		s.obs.Record(obs.Event{
+			Type: obs.EvEviction, Client: string(c.client), Datum: a.Datum,
+			Shard: shard, WriteID: uint64(a.WriteID),
+		})
+	}
+	if ready {
 		shard := s.lm.ShardForWrite(a.WriteID)
 		s.releaseReady(shard)
 		s.wake(shard)

@@ -32,6 +32,7 @@ import (
 
 	"leases/internal/clock"
 	"leases/internal/core"
+	"leases/internal/obs"
 	"leases/internal/proto"
 	"leases/internal/vfs"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	// Shards is the number of lock stripes in the lease manager. Zero
 	// means core.DefaultShards; 1 degenerates to a single global lock.
 	Shards int
+	// Obs, when non-nil, receives protocol trace events and per-op
+	// latency observations. Nil disables instrumentation; the request
+	// path then costs one branch per hook and no allocations.
+	Obs *obs.Observer
 }
 
 // Server is a running lease file server.
@@ -66,6 +71,7 @@ type Server struct {
 	clk   clock.Clock
 	store *vfs.Store
 	lm    *core.ShardedManager
+	obs   *obs.Observer // nil = instrumentation disabled
 
 	connMu sync.RWMutex // conns, raw, ln
 	conns  map[core.ClientID]*serverConn
@@ -103,6 +109,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		clk:     cfg.Clock,
+		obs:     cfg.Obs,
 		store:   vfs.New(cfg.Clock, cfg.Owner),
 		lm:      core.NewShardedManager(cfg.Shards, policy, opts...),
 		conns:   make(map[core.ClientID]*serverConn),
@@ -244,28 +251,43 @@ func (s *Server) deadlineLoop(shard int) {
 				stopTimer()
 			}
 		case <-fire:
-			s.releaseReady(shard)
+			released := s.releaseReady(shard)
+			if s.obs.Enabled() {
+				// Writes woken by the deadline timer were released by the
+				// passage of time — the fault-tolerance path (§2).
+				for _, id := range released {
+					s.obs.Record(obs.Event{Type: obs.EvExpire, WriteID: uint64(id), Shard: shard})
+				}
+			}
 		}
 	}
 }
 
 // releaseReady signals the waiter of every write the shard considers
-// releasable. Readiness is sticky (a ready write stays ready until
-// applied or cancelled), so concurrent callers cannot lose a wakeup:
-// whoever registered the waiter last re-checks after registering.
-func (s *Server) releaseReady(shard int) {
+// releasable and returns the writes whose waiters it woke — the return
+// is collected only when the observer is enabled (it exists to label
+// expiry events) so the common path never allocates. Readiness is
+// sticky (a ready write stays ready until applied or cancelled), so
+// concurrent callers cannot lose a wakeup: whoever registered the
+// waiter last re-checks after registering.
+func (s *Server) releaseReady(shard int) []core.WriteID {
 	ready := s.lm.ReadyWritesShard(shard, s.clk.Now())
 	if len(ready) == 0 {
-		return
+		return nil
 	}
+	var released []core.WriteID
 	s.waitMu.Lock()
 	for _, id := range ready {
 		if ch, ok := s.waiters[id]; ok {
 			delete(s.waiters, id)
 			close(ch)
+			if s.obs.Enabled() {
+				released = append(released, id)
+			}
 		}
 	}
 	s.waitMu.Unlock()
+	return released
 }
 
 // failAllWaiters cancels every deferred write at shutdown. Called by
@@ -318,12 +340,19 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 		}
 	}
 
+	clearStart := s.clk.Now()
 	for _, d := range sorted {
 		now := s.clk.Now()
 		shard := s.lm.ShardFor(d)
 		// Held submission: the queue entry blocks new grants on d until
 		// the apply completes, even when no lease conflicts right now.
 		disp := s.lm.SubmitWriteHeld(writer, d, now)
+		if s.obs.Enabled() && (len(disp.NeedApproval) > 0 || !disp.Deadline.IsZero()) {
+			s.obs.Record(obs.Event{
+				Type: obs.EvWriteDefer, Client: string(writer), Datum: d,
+				Shard: shard, WriteID: uint64(disp.WriteID),
+			})
+		}
 		ch := make(chan struct{})
 		s.waitMu.Lock()
 		s.waiters[disp.WriteID] = ch
@@ -333,6 +362,12 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 		for _, holder := range disp.NeedApproval {
 			if hc, ok := s.conns[holder]; ok {
 				hc.pushApproval(proto.ApprovalWire{WriteID: disp.WriteID, Datum: d})
+				if s.obs.Enabled() {
+					s.obs.Record(obs.Event{
+						Type: obs.EvApproveRequest, Client: string(holder), Datum: d,
+						Shard: shard, WriteID: uint64(disp.WriteID),
+					})
+				}
 			}
 		}
 		s.connMu.RUnlock()
@@ -368,7 +403,14 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 			}
 			s.waitMu.Unlock()
 			if still {
-				s.lm.CancelWrite(disp.WriteID, s.clk.Now())
+				now := s.clk.Now()
+				s.lm.CancelWrite(disp.WriteID, now)
+				if s.obs.Enabled() {
+					s.obs.Record(obs.Event{
+						Type: obs.EvWriteTimeout, Client: string(writer), Datum: d,
+						Shard: shard, WriteID: uint64(disp.WriteID), Wait: now.Sub(clearStart),
+					})
+				}
 				s.releaseReady(shard)
 				s.wake(shard)
 				releaseHeld(false)
@@ -379,6 +421,16 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 		}
 	}
 
+	if s.obs.Enabled() {
+		// One apply event per write operation; Wait is the full clearance
+		// time across every datum — the paper's formula-2 added delay as
+		// a writer experiences it.
+		s.obs.Record(obs.Event{
+			Type: obs.EvWriteApply, Client: string(writer), Datum: sorted[0],
+			Shard: s.lm.ShardFor(sorted[0]), WriteID: uint64(held[len(held)-1]),
+			Wait: s.clk.Now().Sub(clearStart),
+		})
+	}
 	err := apply()
 	releaseHeld(true)
 	return err

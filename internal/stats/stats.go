@@ -193,6 +193,84 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Inf(1)
 }
 
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, decorated
+// with the quantiles an operator actually reads (p50/p95/p99). Counts
+// are per-bucket (not cumulative); the final count is the overflow
+// bucket.
+type HistogramSnapshot struct {
+	Count         int64
+	Sum           float64
+	Mean          float64
+	P50, P95, P99 float64
+	Bounds        []float64
+	Counts        []int64
+}
+
+// Snapshot captures the histogram's state and quantile digest in one
+// consistent read.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:  h.total,
+		Sum:    h.sum,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+	}
+	if h.total > 0 {
+		s.Mean = h.sum / float64(h.total)
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.bounds) {
+				return math.Inf(1)
+			}
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// LatencyBounds returns the default latency bucket upper bounds in
+// seconds: a roughly 1-2.5-5 exponential ladder from 50µs to 10s, wide
+// enough for a cached in-process hit and a write deferred behind a
+// multi-second lease term alike.
+func LatencyBounds() []float64 {
+	return []float64{
+		0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// NewLatencyHistogram returns a histogram over LatencyBounds, for
+// recording operation latencies in seconds.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(LatencyBounds()...)
+}
+
 // Buckets returns copies of the bucket bounds and counts (the final count
 // is the overflow bucket).
 func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
@@ -220,6 +298,81 @@ func (h *Histogram) String() string {
 	}
 	b.WriteString("]")
 	return b.String()
+}
+
+// DurationSample records every observation so that exact quantiles can
+// be extracted afterwards — the right tool for a bounded replay or
+// benchmark run where the paper's evaluation style (per-operation delay
+// distributions, §3) wants true percentiles rather than bucket upper
+// bounds. For unbounded production streams use Histogram instead. It is
+// safe for concurrent use. The zero value is ready to use.
+type DurationSample struct {
+	mu   sync.Mutex
+	vals []time.Duration
+}
+
+// Observe records one duration.
+func (s *DurationSample) Observe(v time.Duration) {
+	s.mu.Lock()
+	s.vals = append(s.vals, v)
+	s.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (s *DurationSample) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.vals))
+}
+
+// Mean reports the average observation, or zero if none were recorded.
+func (s *DurationSample) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / time.Duration(len(s.vals))
+}
+
+// Max reports the largest observation, or zero if none were recorded.
+func (s *DurationSample) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max time.Duration
+	for _, v := range s.vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Quantile reports the exact q-quantile (0 ≤ q ≤ 1) by the nearest-rank
+// method: the smallest observation v such that at least q·n observations
+// are ≤ v. It returns zero if nothing was recorded.
+func (s *DurationSample) Quantile(q float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, s.vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
 }
 
 // Registry is a named collection of counters and duration statistics, so

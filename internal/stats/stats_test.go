@@ -255,3 +255,143 @@ func TestDurationStatMeanBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Observe(1.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%v) = %v, want upper bound 2 of the sample's bucket", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAllEqual(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 4 {
+			t.Errorf("Quantile(%v) = %v, want 4 for identical samples", q, got)
+		}
+	}
+}
+
+func TestHistogramSumAndSnapshot(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10)
+	if got := h.Sum(); math.Abs(got-12) > 1e-9 {
+		t.Errorf("Sum() = %v, want 12", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 || math.Abs(s.Sum-12) > 1e-9 {
+		t.Errorf("snapshot count/sum = %d/%v", s.Count, s.Sum)
+	}
+	if s.P50 != 2 {
+		t.Errorf("snapshot P50 = %v, want 2", s.P50)
+	}
+	if !math.IsInf(s.P99, 1) {
+		t.Errorf("snapshot P99 = %v, want +Inf (overflow bucket)", s.P99)
+	}
+	if len(s.Bounds) != 2 || len(s.Counts) != 3 {
+		t.Errorf("snapshot shape bounds=%d counts=%d", len(s.Bounds), len(s.Counts))
+	}
+	// The snapshot is a copy: further observations must not leak in.
+	h.Observe(0.5)
+	if s.Count != 3 {
+		t.Errorf("snapshot mutated by later Observe")
+	}
+}
+
+func TestLatencyBoundsSortedPositive(t *testing.T) {
+	b := LatencyBounds()
+	if len(b) == 0 || b[0] <= 0 {
+		t.Fatalf("bad first bound: %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+	NewLatencyHistogram().Observe(0.001) // must not panic
+}
+
+func TestDurationSampleEmpty(t *testing.T) {
+	var s DurationSample
+	if s.Count() != 0 || s.Mean() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Errorf("empty sample not all-zero: count=%d mean=%v max=%v p50=%v",
+			s.Count(), s.Mean(), s.Max(), s.Quantile(0.5))
+	}
+}
+
+func TestDurationSampleSingle(t *testing.T) {
+	var s DurationSample
+	s.Observe(7 * time.Millisecond)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 7*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want the single sample", q, got)
+		}
+	}
+	if s.Mean() != 7*time.Millisecond || s.Max() != 7*time.Millisecond {
+		t.Errorf("mean/max = %v/%v", s.Mean(), s.Max())
+	}
+}
+
+func TestDurationSampleAllEqual(t *testing.T) {
+	var s DurationSample
+	for i := 0; i < 64; i++ {
+		s.Observe(time.Second)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		if got := s.Quantile(q); got != time.Second {
+			t.Errorf("Quantile(%v) = %v, want 1s", q, got)
+		}
+	}
+}
+
+// Nearest-rank on a known set: quantiles are always actual observations.
+func TestDurationSampleNearestRank(t *testing.T) {
+	var s DurationSample
+	for i := 10; i >= 1; i-- { // out of order on purpose
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.10, 1 * time.Millisecond},
+		{0.50, 5 * time.Millisecond},
+		{0.90, 9 * time.Millisecond},
+		{0.95, 10 * time.Millisecond},
+		{1.00, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if s.Max() != 10*time.Millisecond {
+		t.Errorf("Max = %v", s.Max())
+	}
+}
+
+func TestDurationSampleConcurrent(t *testing.T) {
+	var s DurationSample
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 1600 {
+		t.Fatalf("count = %d, want 1600", s.Count())
+	}
+}
