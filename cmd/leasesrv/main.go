@@ -3,8 +3,17 @@
 // Usage:
 //
 //	leasesrv -addr :7025 -term 10s
-//	leasesrv -addr :7025 -term 10s -recovery 10s   # restarting after a crash
+//	leasesrv -addr :7025 -term 10s -maxterm-file /var/lib/leases/maxterm
+//	leasesrv -addr :7025 -term 10s -recovery 10s   # manual crash recovery
 //	leasesrv -addr :7025 -metrics-addr :9100       # HTTP admin/metrics plane
+//
+// Crash safety: with -maxterm-file the server persists the maximum
+// granted lease term (atomic temp+rename, fsync'd, updated only when
+// the maximum grows) and a restart automatically observes the §2
+// recovery window for the persisted value — no operator-supplied
+// -recovery needed. -snapshot persists the detailed lease records
+// (atomically) at shutdown and, with -snapshot-interval, periodically,
+// so a crash loses at most one interval of records.
 //
 // The store starts with a small demonstration tree (/bin/latex,
 // /docs/README) unless -empty is given. Writes are deferred until every
@@ -31,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -47,6 +57,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", time.Minute, "bound on write deferral (0 = unbounded)")
 	empty := flag.Bool("empty", false, "start with an empty store")
 	snapshot := flag.String("snapshot", "", "lease snapshot file: loaded at startup, saved on SIGINT/SIGTERM (the §2 detailed-record recovery alternative)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "also save the lease snapshot at this period, so a crash loses at most one interval (0 = shutdown only)")
+	maxTermFile := flag.String("maxterm-file", "", "durable max-term file: persisted before any grant raises the maximum; a restart automatically observes the §2 recovery window for the stored value (-recovery overrides)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP admin/metrics listen address (/metrics, /healthz, /leases, /debug/pprof); empty disables")
 	traceRing := flag.Int("trace-ring", 4096, "protocol trace event ring size")
 	traceOut := flag.String("trace-out", "", "mirror trace events to this JSONL file")
@@ -69,6 +81,7 @@ func main() {
 		Term:           *term,
 		RecoveryWindow: *recovery,
 		WriteTimeout:   *writeTimeout,
+		MaxTermPath:    *maxTermFile,
 		Obs:            o,
 	})
 	if !*empty {
@@ -90,8 +103,25 @@ func main() {
 			}
 		}()
 	}
+	if *snapshot != "" && *snapshotInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotInterval)
+			defer t.Stop()
+			for range t.C {
+				if err := saveSnapshot(srv, *snapshot); err != nil {
+					log.Printf("leasesrv: periodic snapshot: %v", err)
+				}
+			}
+		}()
+	}
 	go handleSignals(srv, o, *snapshot, *dumpEvents)
-	log.Printf("leasesrv: serving on %s, term=%v recovery=%v", *addr, *term, *recovery)
+	window := *recovery
+	if window == 0 && *maxTermFile != "" {
+		if d, found, err := server.LoadMaxTerm(*maxTermFile); err == nil && found {
+			window = d // ListenAndServe rejects a corrupt file below
+		}
+	}
+	log.Printf("leasesrv: serving on %s, term=%v recovery=%v", *addr, *term, window)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("leasesrv: %v", err)
 	}
@@ -110,7 +140,10 @@ func handleSignals(srv *server.Server, o *obs.Observer, snapshotPath string, dum
 			continue
 		}
 		if snapshotPath != "" {
-			saveSnapshot(srv, snapshotPath)
+			if err := saveSnapshot(srv, snapshotPath); err != nil {
+				log.Printf("leasesrv: saving snapshot: %v", err)
+				os.Exit(1)
+			}
 		}
 		srv.Stop()
 		os.Exit(0)
@@ -134,22 +167,33 @@ func loadSnapshot(path string) ([]core.LeaseSnapshot, error) {
 	return core.ReadSnapshot(f)
 }
 
-func saveSnapshot(srv *server.Server, path string) {
+// saveSnapshot persists the lease table atomically: temp file, fsync,
+// rename. A crash mid-save leaves the previous snapshot intact instead
+// of a torn file, which matters now that saves also run on a periodic
+// ticker rather than only at clean shutdown.
+func saveSnapshot(srv *server.Server, path string) error {
 	records := srv.Snapshot()
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
 	if err != nil {
-		log.Printf("leasesrv: saving snapshot: %v", err)
-		os.Exit(1)
+		return err
 	}
+	defer os.Remove(f.Name()) // no-op after a successful rename
 	if err := core.WriteSnapshot(f, records); err != nil {
-		log.Printf("leasesrv: writing snapshot: %v", err)
-		os.Exit(1)
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
 	}
 	if err := f.Close(); err != nil {
-		log.Printf("leasesrv: closing snapshot: %v", err)
-		os.Exit(1)
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return err
 	}
 	log.Printf("leasesrv: saved %d lease records to %s", len(records), path)
+	return nil
 }
 
 func seed(st *vfs.Store) {

@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScenarios runs every fault script against a real TCP deployment
+// and requires the §2 invariants to hold: zero stale reads after
+// acknowledged writes, clearance delays within the lease-term bound.
+// Scenarios run in parallel; the only timing-sensitive assertion is the
+// client-crash lower bound, which contention can only lengthen.
+func TestScenarios(t *testing.T) {
+	for _, name := range Scenarios() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Options{
+				Scenario:     name,
+				Seed:         7,
+				Term:         800 * time.Millisecond,
+				WriteTimeout: 4 * time.Second,
+				Readers:      2,
+				Logf:         t.Logf,
+			})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", name, err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("scenario %s failed:\n%s", name, rep)
+			}
+			t.Logf("\n%s", rep)
+		})
+	}
+}
+
+// TestScenariosExerciseFaultPaths asserts the scripts actually injected
+// what they claim: severs cause reconnects, crashed holders cause
+// expiry releases.
+func TestScenariosExerciseFaultPaths(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Scenario:     "client-crash",
+		Seed:         3,
+		Term:         700 * time.Millisecond,
+		WriteTimeout: 4 * time.Second,
+		Readers:      2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("client-crash failed:\n%s", rep)
+	}
+	if rep.Expiries == 0 {
+		t.Errorf("client-crash: no expiry release recorded; the crashed holder's lease never blocked the write:\n%s", rep)
+	}
+	if rep.FaultEvents == 0 {
+		t.Errorf("client-crash: no fault events recorded:\n%s", rep)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	t.Parallel()
+	_, err := Run(Options{Scenario: "no-such-thing"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("want unknown-scenario error, got %v", err)
+	}
+}
+
+func TestCheckerFlagsStaleRead(t *testing.T) {
+	t.Parallel()
+	ck := newChecker([]string{"/x"})
+	ck.acked(0, 5, time.Millisecond)
+	ck.observeRead(0, payload("/x", 4), ck.floors[0].Load())
+	if ck.stale.Load() != 1 {
+		t.Fatalf("stale read not flagged: %+v", ck.violations)
+	}
+	ck.observeRead(0, payload("/x", 6), ck.floors[0].Load())
+	if ck.stale.Load() != 1 {
+		t.Fatalf("fresh read wrongly flagged: %+v", ck.violations)
+	}
+}

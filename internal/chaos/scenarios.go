@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/clock"
+	"leases/internal/faultnet"
+	"leases/internal/server"
+)
+
+// The fault scripts. Each runs in the foreground while the workload
+// hammers the deployment, placing its faults at fractions of
+// Options.Duration via a faultnet.Schedule (so every fault lands as a
+// traceable fault-inject event) and then letting the system settle
+// before the checker's verdict.
+var scenarioTable = []scenarioSpec{
+	{
+		name:     "smoke",
+		summary:  "mild latency plus one connection storm; the CI canary",
+		duration: 2 * time.Second,
+		run:      runSmoke,
+	},
+	{
+		name:     "loss",
+		summary:  "probabilistic connection severs under latency jitter",
+		duration: 3 * time.Second,
+		run:      runLoss,
+	},
+	{
+		name:     "partition",
+		summary:  "flapping partition: refuse and sever, heal, repeat",
+		duration: 4 * time.Second,
+		run:      runPartition,
+	},
+	{
+		name:     "server-crash",
+		summary:  "crash-stop the server mid-deferred-write, restart from the durable max-term file",
+		duration: 4 * time.Second,
+		run:      runServerCrash,
+	},
+	{
+		name:     "client-crash",
+		summary:  "crash a client holding a lease; a conflicting write waits out the term",
+		duration: 3 * time.Second,
+		run:      runClientCrash,
+	},
+}
+
+func runSmoke(h *harness) {
+	d := h.o.Duration
+	faultnet.NewSchedule(h.obs).
+		At(0, "latency-on", func() {
+			h.proxy.SetBoth(faultnet.LinkConfig{Latency: 2 * time.Millisecond, Jitter: 3 * time.Millisecond})
+		}).
+		At(d/2, "sever-all", h.proxy.SeverAll).
+		At(d, "heal", func() { h.proxy.SetBoth(faultnet.LinkConfig{}) }).
+		Run(clock.Real{}, h.stop)
+	h.settle()
+}
+
+func runLoss(h *harness) {
+	d := h.o.Duration
+	faultnet.NewSchedule(h.obs).
+		At(0, "loss-on", func() {
+			h.proxy.SetBoth(faultnet.LinkConfig{
+				DropProb: 0.01, Latency: time.Millisecond, Jitter: 2 * time.Millisecond,
+			})
+		}).
+		At(d, "loss-off", func() { h.proxy.SetBoth(faultnet.LinkConfig{}) }).
+		Run(clock.Real{}, h.stop)
+	h.settle()
+}
+
+func runPartition(h *harness) {
+	d := h.o.Duration
+	sched := faultnet.NewSchedule(h.obs)
+	for i := 0; i < 3; i++ {
+		at := d * time.Duration(2*i+1) / 8
+		sched.At(at, "partition", h.proxy.Partition)
+		sched.At(at+d/8, "heal", h.proxy.Heal)
+	}
+	sched.Run(clock.Real{}, h.stop)
+	h.settle()
+}
+
+// runServerCrash is the §2 restart-after-crash scenario, end to end on
+// real TCP: a lurker client takes a lease and crashes so the writer's
+// next write on that file is deferring when the server crash-stops;
+// the restarted incarnation reads the durable max-term file and
+// observes the recovery window automatically. The writer must come out
+// the other side with its session re-established against the new
+// incarnation, consistency intact.
+func runServerCrash(h *harness) {
+	d := h.o.Duration
+	bootBefore := h.clients[0].ServerBoot()
+	faultnet.NewSchedule(h.obs).
+		At(d/4, "lurker-lease", h.lurkerLease).
+		At(d/4+150*time.Millisecond, "server-crash", h.crashServer).
+		At(d/4+650*time.Millisecond, "server-restart", h.restartServer).
+		At(d, "end", func() {}).
+		Run(clock.Real{}, h.stop)
+	h.settle()
+
+	// The writer should have reconnected to the new incarnation and
+	// seen its boot ID change in the hello ack.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.clients[0].ServerBoot() == bootBefore && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if boot := h.clients[0].ServerBoot(); boot == bootBefore {
+		h.ck.violate("writer never observed the restarted server incarnation (boot still %d)", boot)
+	}
+	if term, found, err := server.LoadMaxTerm(h.maxTermPath); err != nil || !found || term <= 0 {
+		h.ck.violate("durable max-term file unusable after crash: term=%v found=%v err=%v", term, found, err)
+	}
+}
+
+// lurkerLease takes a lease and abandons the connection without
+// releasing it, leaving an unreachable holder on the server.
+func (h *harness) lurkerLease() {
+	c, err := client.Dial(h.proxy.Addr(), h.clientCfg("lurker", 99))
+	if err != nil {
+		h.logf("chaos: lurker dial: %v", err)
+		return
+	}
+	if _, err := c.Read(workFiles[0]); err != nil {
+		h.logf("chaos: lurker read: %v", err)
+	}
+	c.Abandon()
+}
+
+func runClientCrash(h *harness) {
+	d := h.o.Duration
+	faultnet.NewSchedule(h.obs).
+		At(d/3, "client-crash", h.clientCrashProbe).
+		At(d, "end", func() {}).
+		Run(clock.Real{}, h.stop)
+	h.settle()
+}
+
+// clientCrashProbe is the paper's client-crash case in miniature: a
+// victim reads the probe file (taking a lease), crashes without
+// releasing it, and a prober immediately writes the same file. The
+// server cannot reach the victim for approval, so the write must be
+// deferred until the victim's lease term runs out — and no longer.
+func (h *harness) clientCrashProbe() {
+	victim, err := client.Dial(h.proxy.Addr(), h.clientCfg("victim", 98))
+	if err != nil {
+		h.ck.violate("victim dial: %v", err)
+		return
+	}
+	if _, err := victim.Read(workFiles[victimIdx]); err != nil {
+		victim.Abandon()
+		h.ck.violate("victim read: %v", err)
+		return
+	}
+	held := victim.HeldLeases()
+	victim.Abandon()
+	if held == 0 {
+		h.ck.violate("victim held no leases before crashing")
+		return
+	}
+
+	prober, err := client.Dial(h.proxy.Addr(), h.clientCfg("prober", 97))
+	if err != nil {
+		h.ck.violate("prober dial: %v", err)
+		return
+	}
+	defer prober.Close()
+	seq := h.ck.floors[victimIdx].Load() + 1
+	start := time.Now()
+	err = prober.Write(workFiles[victimIdx], payload(workFiles[victimIdx], seq))
+	delay := time.Since(start)
+	if err != nil {
+		h.ck.violate("probe write after client crash failed: %v", err)
+		return
+	}
+	h.ck.acked(victimIdx, seq, delay)
+	if delay < h.o.Term/4 {
+		h.ck.violate("probe write cleared in %v — expected deferral behind the crashed client's lease (term %v)",
+			delay, h.o.Term)
+	}
+}

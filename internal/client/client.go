@@ -48,8 +48,50 @@ type Config struct {
 	// disables it; leases are then extended on demand by use.
 	AutoExtend time.Duration
 	// Obs, when non-nil, receives client-side trace events (cache
-	// evictions forced by server approval pushes). Nil disables them.
+	// evictions forced by server approval pushes, session reconnects).
+	// Nil disables them.
 	Obs *obs.Observer
+
+	// DialTimeout bounds connection establishment and the hello
+	// handshake, for the initial Dial and every reconnect attempt.
+	// Zero means 5 seconds.
+	DialTimeout time.Duration
+	// Reconnect enables the session layer: when the connection drops,
+	// the cache discards every cached lease and datum (the §5-safe
+	// default — a lease is only as good as its clock window, so a
+	// resumed session revalidates everything), then redials with
+	// capped exponential backoff plus jitter and re-hellos under the
+	// same ID. Operations issued while the session is down wait for
+	// the reconnect (bounded by RetryWait) and are retried up to
+	// RetryBudget times.
+	Reconnect bool
+	// ReconnectBackoff is the first retry delay (default 50ms);
+	// ReconnectMaxBackoff caps the exponential growth (default 2s).
+	ReconnectBackoff, ReconnectMaxBackoff time.Duration
+	// RetryBudget is how many times one operation is retried across
+	// connection failures. Zero means 2 when Reconnect is set;
+	// negative disables retries. Retries only fire on connection
+	// errors (ErrClosed), never on server-reported errors, but a
+	// non-idempotent operation (Create, Remove, Rename) whose first
+	// attempt was applied before the connection died may surface a
+	// remote error (e.g. "exists") on its retry.
+	RetryBudget int
+	// RetryWait bounds how long one operation waits for the session to
+	// come back before failing with ErrClosed. Zero means 30s.
+	RetryWait time.Duration
+	// OnDisconnect runs (on the session goroutine) when the connection
+	// is lost, with the read error that killed it. OnReconnect runs
+	// after a successful re-hello, with the number of failed dial
+	// attempts that preceded it.
+	OnDisconnect func(err error)
+	OnReconnect  func(attempts int)
+	// Seed makes reconnect jitter deterministic; zero derives a seed
+	// from the clock.
+	Seed int64
+	// Redial reopens the transport for the session layer. Dial fills
+	// it automatically; callers using NewFromConn over a custom
+	// transport supply their own to enable reconnection.
+	Redial func() (net.Conn, error)
 }
 
 // Cache is a connected caching client.
@@ -67,6 +109,24 @@ type Cache struct {
 	calls  map[uint64]chan proto.Frame
 	nextID uint64
 	err    error // terminal connection error
+	// Session state (Config.Reconnect). down marks the window between
+	// losing the connection and completing the re-hello; ready is
+	// closed while connected and replaced with an open channel while
+	// down, so operations can wait for the session to come back.
+	down       bool
+	ready      chan struct{}
+	serverBoot uint64
+	// invalSeq fences in-flight fetches against invalidations. The
+	// server may push an approval request for a datum after composing —
+	// but before delivering — a reply that grants a lease on it (the
+	// grant is recorded under the shard lock, the reply written outside
+	// it). The push then precedes the reply on the wire: the client
+	// approves, the conflicting write applies, and the late reply
+	// carries data and a lease record the server no longer honors.
+	// Every invalidation bumps this counter; a reply whose request
+	// predates the latest invalidation is returned to the caller but
+	// never cached and its grants never applied.
+	invalSeq uint64
 
 	wmu       sync.Mutex // serializes frame writes
 	stopping  chan struct{}
@@ -93,18 +153,67 @@ type Metrics struct {
 	Lookups, LookupHits int64
 	Writes              int64
 	Invalidations       int64
+	// Reconnects counts completed session re-establishments.
+	Reconnects int64
 }
 
-// Dial connects to a server and performs the hello handshake.
+// Dial connects to a server and performs the hello handshake. The dial
+// is bounded by Config.DialTimeout and the connection keeps TCP
+// keepalive on, so a silently dead server surfaces as a read error
+// rather than an indefinite hang.
 func Dial(addr string, cfg Config) (*Cache, error) {
-	nc, err := net.Dial("tcp", addr)
+	dial := func() (net.Conn, error) {
+		d := net.Dialer{Timeout: dialTimeout(cfg), KeepAlive: 30 * time.Second}
+		return d.Dial("tcp", addr)
+	}
+	if cfg.Redial == nil {
+		cfg.Redial = dial
+	}
+	nc, err := dial()
 	if err != nil {
 		return nil, err
 	}
 	return NewFromConn(nc, cfg)
 }
 
-// NewFromConn builds a cache over an established connection.
+func dialTimeout(cfg Config) time.Duration {
+	if cfg.DialTimeout > 0 {
+		return cfg.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// handshake performs the hello exchange on a fresh connection, bounded
+// by the dial timeout, and returns the connection's buffered reader and
+// the server's boot ID.
+func handshake(nc net.Conn, cfg Config) (*bufio.Reader, uint64, error) {
+	nc.SetDeadline(time.Now().Add(dialTimeout(cfg)))
+	defer nc.SetDeadline(time.Time{})
+	var e proto.Enc
+	e.Str(cfg.ID)
+	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
+		return nil, 0, err
+	}
+	br := bufio.NewReaderSize(nc, 4096)
+	f, err := proto.ReadFrame(br)
+	if err != nil {
+		return nil, 0, err
+	}
+	if f.Type != proto.THelloAck {
+		f.Recycle()
+		return nil, 0, fmt.Errorf("client: unexpected hello response type %d", f.Type)
+	}
+	var boot uint64
+	if len(f.Payload) >= 8 {
+		boot = proto.NewDec(f.Payload).U64()
+	}
+	f.Recycle()
+	return br, boot, nil
+}
+
+// NewFromConn builds a cache over an established connection. Session
+// resilience (Config.Reconnect) requires Config.Redial; Dial supplies
+// it automatically.
 func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 	if cfg.ID == "" {
 		nc.Close()
@@ -113,39 +222,31 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	c := &Cache{
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		nc:       nc,
-		br:       bufio.NewReaderSize(nc, 4096),
-		holder:   core.NewHolder(core.HolderConfig{Allowance: cfg.Allowance}),
-		data:     make(map[vfs.Datum][]byte),
-		dattr:    make(map[vfs.Datum]vfs.Attr),
-		dirs:     make(map[vfs.NodeID]map[string]entry),
-		calls:    make(map[uint64]chan proto.Frame),
-		stopping: make(chan struct{}),
-		opLat:    make(map[proto.MsgType]*stats.Histogram),
-	}
-	// Handshake synchronously before starting the demux loop.
-	var e proto.Enc
-	e.Str(cfg.ID)
-	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
-		nc.Close()
-		return nil, err
-	}
-	f, err := proto.ReadFrame(c.br)
+	br, boot, err := handshake(nc, cfg)
 	if err != nil {
 		nc.Close()
 		return nil, err
 	}
-	if f.Type != proto.THelloAck {
-		nc.Close()
-		return nil, fmt.Errorf("client: unexpected hello response type %d", f.Type)
+	ready := make(chan struct{})
+	close(ready) // connected from the start
+	c := &Cache{
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		nc:         nc,
+		br:         br,
+		holder:     core.NewHolder(core.HolderConfig{Allowance: cfg.Allowance}),
+		data:       make(map[vfs.Datum][]byte),
+		dattr:      make(map[vfs.Datum]vfs.Attr),
+		dirs:       make(map[vfs.NodeID]map[string]entry),
+		calls:      make(map[uint64]chan proto.Frame),
+		stopping:   make(chan struct{}),
+		opLat:      make(map[proto.MsgType]*stats.Histogram),
+		ready:      ready,
+		serverBoot: boot,
 	}
-	f.Recycle()
 	c.nextID = 1
 	c.wg.Add(1)
-	go c.readLoop()
+	go c.readLoop(nc, br)
 	if cfg.AutoExtend > 0 {
 		c.wg.Add(1)
 		go c.extendLoop()
@@ -169,10 +270,15 @@ func (c *Cache) Close() error {
 			for _, d := range held {
 				e.Datum(d)
 			}
-			c.call(proto.TRelease, e.Bytes())
+			// One attempt, no session retries: a Close racing a dead
+			// connection must not wait out a reconnect; the server
+			// reclaims unreleased leases by expiry anyway.
+			c.callOnce(proto.TRelease, e.Bytes())
 		}
 		close(c.stopping)
+		c.wmu.Lock()
 		err = c.nc.Close()
+		c.wmu.Unlock()
 		c.wg.Wait()
 	})
 	return err
@@ -187,7 +293,9 @@ func (c *Cache) Abandon() error {
 	var err error
 	c.closeOnce.Do(func() {
 		close(c.stopping)
+		c.wmu.Lock()
 		err = c.nc.Close()
+		c.wmu.Unlock()
 		c.wg.Wait()
 	})
 	return err
@@ -207,18 +315,25 @@ func (c *Cache) HeldLeases() int {
 	return c.holder.Len()
 }
 
-func (c *Cache) readLoop() {
+// ServerBoot reports the server incarnation ID received in the latest
+// hello ack (zero when talking to a server predating boot IDs). A
+// change across a reconnect means the server restarted and is running
+// its §2 recovery window.
+func (c *Cache) ServerBoot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverBoot
+}
+
+// readLoop demultiplexes frames from one connection until it dies; on a
+// read error the session layer (connLost) decides between terminating
+// the cache and reconnecting.
+func (c *Cache) readLoop(nc net.Conn, br *bufio.Reader) {
 	defer c.wg.Done()
 	for {
-		f, err := proto.ReadFrame(c.br)
+		f, err := proto.ReadFrame(br)
 		if err != nil {
-			c.mu.Lock()
-			c.err = fmt.Errorf("%w: %v", ErrClosed, err)
-			for id, ch := range c.calls {
-				delete(c.calls, id)
-				close(ch)
-			}
-			c.mu.Unlock()
+			c.connLost(nc, err)
 			return
 		}
 		if f.Type == proto.TApprovalReq {
@@ -253,6 +368,7 @@ func (c *Cache) handleApprovalPush(f proto.Frame) {
 // invalidateLocked drops the lease, data and dependent binding caches
 // for a datum. Callers hold c.mu.
 func (c *Cache) invalidateLocked(d vfs.Datum) {
+	c.invalSeq++
 	c.holder.Invalidate(d)
 	delete(c.data, d)
 	delete(c.dattr, d)
@@ -268,7 +384,14 @@ func (c *Cache) invalidateLocked(d vfs.Datum) {
 func (c *Cache) send(f proto.Frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return proto.WriteFrame(c.nc, f)
+	err := proto.WriteFrame(c.nc, f)
+	if err != nil {
+		// Nudge the read loop: a half-open connection whose writes fail
+		// may block reads for a long time; closing it surfaces the
+		// failure to the session layer immediately.
+		c.nc.Close()
+	}
+	return err
 }
 
 // observeOp records one RPC's client-observed latency.
@@ -299,8 +422,28 @@ func (c *Cache) OpLatencies() map[string]stats.HistogramSnapshot {
 	return out
 }
 
-// call performs one request-response exchange.
+// call performs one request-response exchange. With the session layer
+// enabled, an exchange killed by a connection failure waits for the
+// reconnect and retries within the per-op retry budget; server-reported
+// errors are never retried.
 func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
+	budget := c.retryBudget()
+	for attempt := 0; ; attempt++ {
+		f, err := c.callOnce(t, payload)
+		if err == nil || !errors.Is(err, ErrClosed) {
+			return f, err
+		}
+		if attempt >= budget {
+			return f, err
+		}
+		if !c.awaitReady() {
+			return proto.Frame{}, ErrClosed
+		}
+	}
+}
+
+// callOnce performs one attempt on the current connection.
+func (c *Cache) callOnce(t proto.MsgType, payload []byte) (proto.Frame, error) {
 	var start time.Time
 	if c.cfg.Obs.Enabled() {
 		start = c.clk.Now()
@@ -310,6 +453,10 @@ func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
 		err := c.err
 		c.mu.Unlock()
 		return proto.Frame{}, err
+	}
+	if c.down {
+		c.mu.Unlock()
+		return proto.Frame{}, fmt.Errorf("%w: session down", ErrClosed)
 	}
 	c.nextID++
 	id := c.nextID
@@ -342,6 +489,21 @@ func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
 	}
 	return f, nil
 }
+
+// fetchEpoch snapshots the invalidation fence before a caching
+// request is sent; cacheableLocked reports whether the reply may still
+// be cached when it arrives (callers hold c.mu). The check is
+// deliberately global rather than per-datum: invalidations are rare,
+// and a skipped caching opportunity costs one refetch, while caching a
+// reply that crossed an invalidation costs a stale read — the one
+// failure the protocol forbids.
+func (c *Cache) fetchEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invalSeq
+}
+
+func (c *Cache) cacheableLocked(epoch uint64) bool { return c.invalSeq == epoch }
 
 // applyGrantsLocked records wire grants in the holder. Callers hold
 // c.mu. requestedAt anchors the conservative effective term.
@@ -428,6 +590,7 @@ func indexByte(s string, b byte) int {
 
 func (c *Cache) lookupRemote(path string) (vfs.Attr, error) {
 	requestedAt := c.clk.Now()
+	epoch := c.fetchEpoch()
 	var e proto.Enc
 	e.Str(path)
 	f, err := c.call(proto.TLookup, e.Bytes())
@@ -443,22 +606,24 @@ func (c *Cache) lookupRemote(path string) (vfs.Attr, error) {
 		return vfs.Attr{}, d.Err
 	}
 	c.mu.Lock()
-	c.applyGrantsLocked(grants, requestedAt)
-	// Cache the binding: parent dir → name → node.
-	name := baseOf(path)
-	if name != "" {
-		ents := c.dirs[parentID]
-		if ents == nil {
-			ents = make(map[string]entry)
-			c.dirs[parentID] = ents
+	if c.cacheableLocked(epoch) {
+		c.applyGrantsLocked(grants, requestedAt)
+		// Cache the binding: parent dir → name → node.
+		name := baseOf(path)
+		if name != "" {
+			ents := c.dirs[parentID]
+			if ents == nil {
+				ents = make(map[string]entry)
+				c.dirs[parentID] = ents
+			}
+			ents[name] = entry{id: attr.ID, isDir: attr.IsDir}
 		}
-		ents[name] = entry{id: attr.ID, isDir: attr.IsDir}
+		kind := vfs.FileData
+		if attr.IsDir {
+			kind = vfs.DirBinding
+		}
+		c.dattr[vfs.Datum{Kind: kind, Node: attr.ID}] = attr
 	}
-	kind := vfs.FileData
-	if attr.IsDir {
-		kind = vfs.DirBinding
-	}
-	c.dattr[vfs.Datum{Kind: kind, Node: attr.ID}] = attr
 	c.mu.Unlock()
 	return attr, nil
 }
@@ -504,6 +669,7 @@ func (c *Cache) Read(path string) ([]byte, error) {
 	c.mu.Unlock()
 
 	requestedAt := c.clk.Now()
+	epoch := c.fetchEpoch()
 	var e proto.Enc
 	e.U64(uint64(attr.ID))
 	f, err := c.call(proto.TRead, e.Bytes())
@@ -519,9 +685,11 @@ func (c *Cache) Read(path string) ([]byte, error) {
 		return nil, dec.Err
 	}
 	c.mu.Lock()
-	c.applyGrantsLocked(grants, requestedAt)
-	c.data[d] = data
-	c.dattr[d] = rattr
+	if c.cacheableLocked(epoch) {
+		c.applyGrantsLocked(grants, requestedAt)
+		c.data[d] = data
+		c.dattr[d] = rattr
+	}
 	c.mu.Unlock()
 	out := make([]byte, len(data))
 	copy(out, data)
@@ -540,6 +708,7 @@ func (c *Cache) Write(path string, data []byte) error {
 	if attr.IsDir {
 		return vfs.ErrIsDir
 	}
+	epoch := c.fetchEpoch()
 	var e proto.Enc
 	e.U64(uint64(attr.ID)).Blob(data)
 	f, err := c.call(proto.TWrite, e.Bytes())
@@ -555,11 +724,13 @@ func (c *Cache) Write(path string, data []byte) error {
 	d := vfs.Datum{Kind: vfs.FileData, Node: attr.ID}
 	c.mu.Lock()
 	c.metrics.Writes++
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	c.data[d] = buf
-	c.dattr[d] = nattr
-	c.holder.Update(d, nattr.Version)
+	if c.cacheableLocked(epoch) {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		c.data[d] = buf
+		c.dattr[d] = nattr
+		c.holder.Update(d, nattr.Version)
+	}
 	c.mu.Unlock()
 	return nil
 }
@@ -589,6 +760,7 @@ func (c *Cache) ReadDir(path string) ([]vfs.DirEntry, error) {
 	c.mu.Unlock()
 
 	requestedAt := c.clk.Now()
+	epoch := c.fetchEpoch()
 	var e proto.Enc
 	e.U64(uint64(attr.ID))
 	f, err := c.call(proto.TReadDir, e.Bytes())
@@ -616,9 +788,11 @@ func (c *Cache) ReadDir(path string) ([]vfs.DirEntry, error) {
 		return nil, dec.Err
 	}
 	c.mu.Lock()
-	c.applyGrantsLocked(grants, requestedAt)
-	c.dirs[attr.ID] = ents
-	c.dattr[bind] = dattr
+	if c.cacheableLocked(epoch) {
+		c.applyGrantsLocked(grants, requestedAt)
+		c.dirs[attr.ID] = ents
+		c.dattr[bind] = dattr
+	}
 	c.mu.Unlock()
 	sortEntries(out)
 	return out, nil
@@ -794,6 +968,7 @@ func (c *Cache) ExtendAll() error {
 		return nil
 	}
 	requestedAt := c.clk.Now()
+	epoch := c.fetchEpoch()
 	var e proto.Enc
 	e.U32(uint32(len(held)))
 	for _, d := range held {
@@ -810,6 +985,13 @@ func (c *Cache) ExtendAll() error {
 		return dec.Err
 	}
 	c.mu.Lock()
+	if !c.cacheableLocked(epoch) {
+		// An invalidation crossed the extension in flight; applying
+		// these grants could resurrect a lease the approval already
+		// surrendered. The next extension round renews what remains.
+		c.mu.Unlock()
+		return nil
+	}
 	now := c.clk.Now()
 	for _, g := range grants {
 		if !g.Leased {

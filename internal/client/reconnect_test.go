@@ -1,0 +1,282 @@
+package client_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/faultnet"
+	"leases/internal/obs"
+	"leases/internal/server"
+	"leases/internal/vfs"
+)
+
+// startProxy threads a fault-injecting proxy in front of a test server.
+func startProxy(t *testing.T, target string, o *obs.Observer) *faultnet.Proxy {
+	t.Helper()
+	p, err := faultnet.NewProxy(faultnet.ProxyConfig{Target: target, Seed: 1, Obs: o})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func reconnectCfg(id string) client.Config {
+	return client.Config{
+		ID:                  id,
+		Reconnect:           true,
+		ReconnectBackoff:    10 * time.Millisecond,
+		ReconnectMaxBackoff: 100 * time.Millisecond,
+		RetryWait:           5 * time.Second,
+		DialTimeout:         2 * time.Second,
+		Seed:                42,
+	}
+}
+
+// TestReconnectAfterSever severs the client's connection mid-workload
+// through a faultnet proxy and requires the session layer to recover:
+// cached leases dropped for revalidation, the re-hello served by the
+// same server incarnation, operations resuming, the reconnect counted
+// and hooks fired.
+func TestReconnectAfterSever(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 5 * time.Second})
+	seedFile(t, srv, "/f", "v1")
+	proxy := startProxy(t, addr, nil)
+
+	var drops, resumes atomic.Int64
+	cfg := reconnectCfg("c1")
+	cfg.OnDisconnect = func(error) { drops.Add(1) }
+	cfg.OnReconnect = func(int) { resumes.Add(1) }
+	c, err := client.Dial(proxy.Addr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatalf("read before sever: %v", err)
+	}
+	if c.HeldLeases() == 0 {
+		t.Fatal("no leases held before sever")
+	}
+	bootBefore := c.ServerBoot()
+
+	proxy.SeverAll()
+	// The next read rides the retry path: it may observe the dead
+	// connection, wait for the reconnect, and run again.
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatalf("read across sever: %v", err)
+	}
+	waitFor(t, func() bool { return c.Metrics().Reconnects >= 1 })
+	if got := c.ServerBoot(); got != bootBefore {
+		t.Fatalf("server boot changed across reconnect: %d != %d (server never restarted)", got, bootBefore)
+	}
+	if drops.Load() == 0 || resumes.Load() == 0 {
+		t.Fatalf("hooks not fired: disconnects=%d reconnects=%d", drops.Load(), resumes.Load())
+	}
+	if err := c.Write("/f", []byte("v2")); err != nil {
+		t.Fatalf("write after reconnect: %v", err)
+	}
+}
+
+// TestReconnectDropsCachedLeases requires the §5-safe default: a
+// resumed session starts from an empty cache and revalidates, because
+// a lease is only as good as the clock window it was granted in.
+func TestReconnectDropsCachedLeases(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Minute})
+	seedFile(t, srv, "/f", "v1")
+	proxy := startProxy(t, addr, nil)
+
+	c, err := client.Dial(proxy.Addr(), reconnectCfg("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Metrics()
+	proxy.SeverAll()
+	waitFor(t, func() bool { return c.Metrics().Reconnects >= 1 })
+	if held := c.HeldLeases(); held != 0 {
+		t.Fatalf("%d leases survived the reconnect; want 0 (revalidate-on-resume)", held)
+	}
+	// The next read must go back to the server, not the purged cache.
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Metrics()
+	if after.ReadHits != before.ReadHits {
+		t.Fatalf("read after reconnect hit the cache (hits %d -> %d)", before.ReadHits, after.ReadHits)
+	}
+}
+
+// TestReconnectDisabledFailsTerminally preserves the seed behaviour:
+// without Config.Reconnect a severed connection breaks the cache for
+// good.
+func TestReconnectDisabledFailsTerminally(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	seedFile(t, srv, "/f", "v1")
+	proxy := startProxy(t, addr, nil)
+
+	c, err := client.Dial(proxy.Addr(), client.Config{ID: "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	proxy.SeverAll()
+	waitFor(t, func() bool {
+		_, err := c.Read("/f")
+		return errors.Is(err, client.ErrClosed)
+	})
+}
+
+// TestReconnectConsistencyStress runs a writer and a reader through a
+// proxy that severs every connection several times, and requires the
+// reader to never observe content older than a write the writer has
+// already seen acknowledged — the §2 invariant under connection churn.
+func TestReconnectConsistencyStress(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 500 * time.Millisecond, WriteTimeout: 5 * time.Second})
+	seedFile(t, srv, "/f", "seq=0")
+	proxy := startProxy(t, addr, nil)
+
+	w, err := client.Dial(proxy.Addr(), reconnectCfg("writer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := client.Dial(proxy.Addr(), reconnectCfg("reader"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var floor atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var staleMu sync.Mutex
+	var stale []string
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var seq uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			if err := w.Write("/f", []byte(seqPayload(seq))); err == nil {
+				floor.Store(seq)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := floor.Load()
+			data, err := r.Read("/f")
+			if err != nil {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			if got, ok := parseSeqPayload(data); !ok || got < f {
+				staleMu.Lock()
+				if len(stale) < 8 {
+					stale = append(stale, string(data))
+				}
+				staleMu.Unlock()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for i := 0; i < 4; i++ {
+		time.Sleep(150 * time.Millisecond)
+		proxy.SeverAll()
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if len(stale) > 0 {
+		t.Fatalf("stale reads after acknowledged writes: %q", stale)
+	}
+	if floor.Load() == 0 {
+		t.Fatal("no write was ever acknowledged")
+	}
+	if w.Metrics().Reconnects+r.Metrics().Reconnects == 0 {
+		t.Fatal("stress never exercised a reconnect")
+	}
+}
+
+func seqPayload(seq uint64) string {
+	return "seq=" + itoa(seq)
+}
+
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func parseSeqPayload(data []byte) (uint64, bool) {
+	s := string(data)
+	if len(s) < 5 || s[:4] != "seq=" {
+		return 0, false
+	}
+	var n uint64
+	for _, ch := range s[4:] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(ch-'0')
+	}
+	return n, true
+}
+
+func seedFile(t *testing.T, srv *server.Server, path, content string) {
+	t.Helper()
+	a, err := srv.Store().Create(path, "root", vfs.DefaultPerm|vfs.WorldWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Store().WriteFile(a.ID, []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,182 @@
+// Package faultnet injects deterministic, seeded faults into real TCP
+// connections, so the §5 failure schedules the simulators replay
+// (internal/netsim loss, partitions, crashes) can also be thrown at the
+// live deployment (internal/server, internal/client).
+//
+// Two entry points share one fault vocabulary (LinkConfig):
+//
+//   - Proxy: a TCP forwarder that sits between clients and a server,
+//     injecting per-direction latency (fixed + jitter), probabilistic
+//     and scripted connection severs, partitions (refuse new
+//     connections and sever established ones) and bandwidth
+//     throttling. The peers run unmodified — faults happen on the
+//     wire, exactly where the paper's §5 failure analysis places them.
+//   - Wrap: an in-process net.Conn wrapper applying the same link
+//     faults without a proxy hop, for tests that own both conn ends.
+//
+// All randomness flows from caller-supplied seeds: the same seed and
+// the same Schedule reproduce the same fault pattern, which is what
+// makes a chaos run (cmd/leasechaos) a regression test rather than a
+// dice roll. TCP is a byte stream, so "message loss" cannot be injected
+// without corrupting framing; faultnet instead severs the connection
+// (the failure a lost TCP segment escalates to after retries) and
+// leaves recovery to the client session layer — the paper's point is
+// precisely that any such non-Byzantine failure costs bounded delay,
+// never inconsistency.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"leases/internal/obs"
+)
+
+// Dir selects a fault direction through a Proxy.
+type Dir int
+
+// Proxy directions.
+const (
+	// Up is client→server traffic.
+	Up Dir = iota
+	// Down is server→client traffic.
+	Down
+)
+
+// String names the direction for fault events.
+func (d Dir) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// LinkConfig describes the faults injected on one direction of a link.
+// The zero value is a clean link.
+type LinkConfig struct {
+	// Latency is a fixed delay added to every forwarded chunk.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) on top of
+	// Latency, drawn from the link's seeded RNG.
+	Jitter time.Duration
+	// DropProb severs the connection with this probability per
+	// forwarded chunk — the TCP-stream analogue of message loss (a
+	// lease-protocol message whose connection died is a message that
+	// never arrived).
+	DropProb float64
+	// Bandwidth throttles the link to this many bytes per second;
+	// zero means unlimited.
+	Bandwidth int64
+}
+
+// delay computes the injected delay for forwarding n bytes: fixed
+// latency, seeded jitter, and the serialization time the configured
+// bandwidth implies.
+func (lc LinkConfig) delay(rng *rand.Rand, n int) time.Duration {
+	d := lc.Latency
+	if lc.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(lc.Jitter)))
+	}
+	if lc.Bandwidth > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / lc.Bandwidth)
+	}
+	return d
+}
+
+// drop reports whether this chunk's forwarding should sever the
+// connection.
+func (lc LinkConfig) drop(rng *rand.Rand) bool {
+	return lc.DropProb > 0 && rng.Float64() < lc.DropProb
+}
+
+// Conn wraps a net.Conn with link faults for in-process use: the
+// Transport-level counterpart of the Proxy for tests that hold both
+// ends of a pipe. Read and write faults are configured independently
+// and may be swapped mid-flight; an injected drop closes the underlying
+// connection, so both peers observe the failure the way they would a
+// severed TCP session.
+type Conn struct {
+	net.Conn
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	read  LinkConfig
+	write LinkConfig
+	obs   *obs.Observer
+}
+
+// Wrap returns nc with seeded link faults applied to reads and writes.
+// o may be nil; when set, injected drops are recorded as fault-inject
+// events.
+func Wrap(nc net.Conn, seed int64, read, write LinkConfig, o *obs.Observer) *Conn {
+	return &Conn{
+		Conn:  nc,
+		rng:   rand.New(rand.NewSource(seed)),
+		read:  read,
+		write: write,
+		obs:   o,
+	}
+}
+
+// SetRead replaces the read-side fault config.
+func (c *Conn) SetRead(lc LinkConfig) {
+	c.mu.Lock()
+	c.read = lc
+	c.mu.Unlock()
+}
+
+// SetWrite replaces the write-side fault config.
+func (c *Conn) SetWrite(lc LinkConfig) {
+	c.mu.Lock()
+	c.write = lc
+	c.mu.Unlock()
+}
+
+// apply rolls the link's dice for one chunk: it sleeps out any injected
+// delay and reports whether the connection must be severed instead.
+func (c *Conn) apply(lc LinkConfig, n int, side string) bool {
+	c.mu.Lock()
+	dropped := lc.drop(c.rng)
+	var d time.Duration
+	if !dropped {
+		d = lc.delay(c.rng, n)
+	}
+	c.mu.Unlock()
+	if dropped {
+		if c.obs.Enabled() {
+			c.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: "wrap:drop-" + side})
+		}
+		return true
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return false
+}
+
+// Read implements net.Conn with read-side faults.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	lc := c.read
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.apply(lc, n, "read") {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return n, err
+}
+
+// Write implements net.Conn with write-side faults.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	lc := c.write
+	c.mu.Unlock()
+	if c.apply(lc, len(p), "write") {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,219 @@
+package faultnet_test
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/faultnet"
+	"leases/internal/obs"
+)
+
+// startEcho runs a TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundtrip(t *testing.T, nc net.Conn, msg string) (string, error) {
+	t.Helper()
+	if _, err := nc.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, len(msg))
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func TestProxyForwardsCleanly(t *testing.T) {
+	echo := startEcho(t)
+	p, err := faultnet.NewProxy(faultnet.ProxyConfig{Target: echo, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer nc.Close()
+	got, err := roundtrip(t, nc, "hello through the proxy")
+	if err != nil || got != "hello through the proxy" {
+		t.Fatalf("roundtrip = %q, %v", got, err)
+	}
+	if p.ActiveConns() != 1 {
+		t.Fatalf("ActiveConns = %d, want 1", p.ActiveConns())
+	}
+}
+
+func TestProxyPartitionSeversAndRefuses(t *testing.T) {
+	echo := startEcho(t)
+	o := obs.New(obs.Config{})
+	p, err := faultnet.NewProxy(faultnet.ProxyConfig{Target: echo, Seed: 1, Obs: o})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer nc.Close()
+	if _, err := roundtrip(t, nc, "pre"); err != nil {
+		t.Fatalf("pre-partition roundtrip: %v", err)
+	}
+
+	p.Partition()
+	if !p.Partitioned() {
+		t.Fatal("Partitioned = false after Partition")
+	}
+	// The established pipe is severed: the next read fails.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on severed conn succeeded")
+	}
+	// New connections are refused (accepted then immediately closed, so
+	// the client observes an unusable conn).
+	nc2, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		if _, rerr := roundtrip(t, nc2, "during"); rerr == nil {
+			t.Fatal("roundtrip succeeded during partition")
+		}
+		nc2.Close()
+	}
+
+	p.Heal()
+	nc3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer nc3.Close()
+	if got, err := roundtrip(t, nc3, "post"); err != nil || got != "post" {
+		t.Fatalf("post-heal roundtrip = %q, %v", got, err)
+	}
+
+	// The partition and heal were recorded as fault events.
+	var labels []string
+	for _, ev := range o.Events(0) {
+		if ev.Type == obs.EvFaultInject {
+			labels = append(labels, ev.Client)
+		}
+	}
+	if len(labels) < 2 {
+		t.Fatalf("fault-inject events = %v, want partition and heal", labels)
+	}
+}
+
+func TestProxyProbabilisticDropSevers(t *testing.T) {
+	echo := startEcho(t)
+	p, err := faultnet.NewProxy(faultnet.ProxyConfig{
+		Target: echo, Seed: 42,
+		Up: faultnet.LinkConfig{DropProb: 1}, // every chunk severs
+	})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer nc.Close()
+	if _, err := roundtrip(t, nc, "doomed"); err == nil {
+		t.Fatal("roundtrip survived DropProb=1")
+	}
+}
+
+func TestProxyInjectsLatency(t *testing.T) {
+	echo := startEcho(t)
+	const lat = 50 * time.Millisecond
+	p, err := faultnet.NewProxy(faultnet.ProxyConfig{
+		Target: echo, Seed: 7,
+		Up: faultnet.LinkConfig{Latency: lat},
+	})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer nc.Close()
+	start := time.Now()
+	if _, err := roundtrip(t, nc, "slow"); err != nil {
+		t.Fatalf("roundtrip: %v", err)
+	}
+	if el := time.Since(start); el < lat {
+		t.Fatalf("roundtrip took %v, want ≥ %v injected latency", el, lat)
+	}
+}
+
+func TestWrapAppliesFaults(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	w := faultnet.Wrap(a, 3, faultnet.LinkConfig{}, faultnet.LinkConfig{DropProb: 1}, nil)
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write survived DropProb=1")
+	}
+	// The underlying conn was closed by the injected drop.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn still open after drop")
+	}
+}
+
+func TestScheduleFiresInOrderAndStops(t *testing.T) {
+	clk := clock.NewSim()
+	var fired []string
+	stop := make(chan struct{})
+	s := faultnet.NewSchedule(nil).
+		At(2*time.Second, "second", func() { fired = append(fired, "second") }).
+		At(1*time.Second, "first", func() { fired = append(fired, "first") }).
+		At(10*time.Second, "never", func() { fired = append(fired, "never") })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Run(clk, stop)
+	}()
+	waitTimers := func(n int) {
+		for i := 0; i < 200 && clk.PendingTimers() < n; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitTimers(1)
+	clk.Advance(1 * time.Second) // fires "first"
+	waitTimers(1)
+	clk.Advance(1 * time.Second) // fires "second"
+	waitTimers(1)
+	close(stop)
+	<-done
+	if len(fired) != 2 || fired[0] != "first" || fired[1] != "second" {
+		t.Fatalf("fired = %v, want [first second]", fired)
+	}
+}

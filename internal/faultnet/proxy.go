@@ -1,0 +1,279 @@
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"leases/internal/obs"
+)
+
+// ProxyConfig parameterizes a Proxy.
+type ProxyConfig struct {
+	// Listen is the address the proxy accepts client connections on.
+	// Empty means an ephemeral loopback port ("127.0.0.1:0").
+	Listen string
+	// Target is the server address the proxy forwards to. Required.
+	Target string
+	// Seed makes the probabilistic faults (drops, jitter) reproducible:
+	// each accepted connection derives its two pump RNGs from Seed and
+	// the connection's accept sequence number, so a re-run with the
+	// same seed and the same connection order rolls the same dice.
+	Seed int64
+	// Up and Down are the initial per-direction fault configs
+	// (client→server and server→client).
+	Up, Down LinkConfig
+	// DialTimeout bounds the proxy's own dial to Target. Zero means 5s.
+	DialTimeout time.Duration
+	// Obs, when non-nil, receives a fault-inject event for every fault
+	// the proxy applies (drops, severs, partitions, refused conns).
+	Obs *obs.Observer
+}
+
+// Proxy is a fault-injecting TCP forwarder. Clients dial Addr; the
+// proxy dials Target and pumps bytes both ways, applying the current
+// LinkConfig of each direction per forwarded chunk. Faults can be
+// reconfigured at any time (typically from a Schedule), so a scenario
+// script can partition, heal, throttle and sever a live deployment
+// deterministically.
+type Proxy struct {
+	target      string
+	ln          net.Listener
+	dialTimeout time.Duration
+	obs         *obs.Observer
+	seed        int64
+
+	mu          sync.Mutex
+	up, down    LinkConfig
+	partitioned bool
+	closed      bool
+	connSeq     int64
+	conns       map[net.Conn]struct{} // both legs of every live pipe
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a proxy forwarding to cfg.Target.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	p := &Proxy{
+		target:      cfg.Target,
+		ln:          ln,
+		dialTimeout: cfg.DialTimeout,
+		obs:         cfg.Obs,
+		seed:        cfg.Seed,
+		up:          cfg.Up,
+		down:        cfg.Down,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// record files one fault event, when observing.
+func (p *Proxy) record(label string) {
+	if p.obs.Enabled() {
+		p.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: label})
+	}
+}
+
+// SetLink replaces one direction's fault config.
+func (p *Proxy) SetLink(dir Dir, lc LinkConfig) {
+	p.mu.Lock()
+	if dir == Up {
+		p.up = lc
+	} else {
+		p.down = lc
+	}
+	p.mu.Unlock()
+}
+
+// SetBoth replaces both directions' fault configs.
+func (p *Proxy) SetBoth(lc LinkConfig) {
+	p.mu.Lock()
+	p.up, p.down = lc, lc
+	p.mu.Unlock()
+}
+
+func (p *Proxy) link(dir Dir) LinkConfig {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dir == Up {
+		return p.up
+	}
+	return p.down
+}
+
+// Partition isolates the client side: new connections are refused and
+// every established pipe is severed, until Heal. This is the §5
+// communication failure — clients keep their leases but cannot extend
+// them, so a conflicting write waits at most the remaining term.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	p.severLocked()
+	p.mu.Unlock()
+	p.record("partition")
+}
+
+// Heal ends a partition; new connections flow again.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+	p.record("heal")
+}
+
+// Partitioned reports whether the proxy is currently partitioned.
+func (p *Proxy) Partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+// SeverAll drops every established connection once — a transient storm
+// rather than a standing partition; reconnects succeed immediately.
+func (p *Proxy) SeverAll() {
+	p.mu.Lock()
+	p.severLocked()
+	p.mu.Unlock()
+	p.record("sever-all")
+}
+
+func (p *Proxy) severLocked() {
+	for nc := range p.conns {
+		nc.Close()
+	}
+}
+
+// ActiveConns reports the number of live client pipes.
+func (p *Proxy) ActiveConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns) / 2
+}
+
+// Close stops the proxy and severs everything.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.severLocked()
+	p.mu.Unlock()
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			p.mu.Unlock()
+			cc.Close()
+			p.record("refuse-conn")
+			continue
+		}
+		seq := p.connSeq
+		p.connSeq++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(cc, seq)
+	}
+}
+
+// serve dials the target and pumps one client pipe until either leg
+// fails or a fault severs it.
+func (p *Proxy) serve(cc net.Conn, seq int64) {
+	defer p.wg.Done()
+	sc, err := net.DialTimeout("tcp", p.target, p.dialTimeout)
+	if err != nil {
+		cc.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.partitioned {
+		p.mu.Unlock()
+		cc.Close()
+		sc.Close()
+		return
+	}
+	p.conns[cc] = struct{}{}
+	p.conns[sc] = struct{}{}
+	p.mu.Unlock()
+
+	// Each pump direction gets its own RNG derived from the proxy seed
+	// and the connection's accept order, so fault patterns replay.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go p.pump(&wg, cc, sc, Up, rand.New(rand.NewSource(p.seed^(seq*2+1))))
+	go p.pump(&wg, sc, cc, Down, rand.New(rand.NewSource(p.seed^(seq*2+2))))
+	wg.Wait()
+
+	cc.Close()
+	sc.Close()
+	p.mu.Lock()
+	delete(p.conns, cc)
+	delete(p.conns, sc)
+	p.mu.Unlock()
+}
+
+// pump forwards one direction chunk by chunk, applying the direction's
+// current fault config to each chunk. Injected latency is
+// stream-granular: a delayed chunk delays everything queued behind it,
+// which is how latency on a single TCP connection actually behaves.
+func (p *Proxy) pump(wg *sync.WaitGroup, src, dst net.Conn, dir Dir, rng *rand.Rand) {
+	defer wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			lc := p.link(dir)
+			if lc.drop(rng) {
+				p.record("drop-" + dir.String())
+				src.Close()
+				dst.Close()
+				return
+			}
+			if d := lc.delay(rng, n); d > 0 {
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				src.Close()
+				return
+			}
+		}
+		if err != nil {
+			// Half-close so in-flight replies on the other direction
+			// still drain, as a real TCP FIN would allow.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				dst.Close()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package faultnet
+
+import (
+	"sort"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/obs"
+)
+
+// Action is one scripted fault: at offset At from the schedule's start,
+// Do runs (e.g. partition the proxy, kill the server, crash a client).
+type Action struct {
+	At   time.Duration
+	Name string
+	Do   func()
+}
+
+// Schedule is a scriptable fault timeline: a sorted list of actions
+// replayed against live components. Together with the proxy's seeded
+// RNGs it makes a failure scenario — "at t=2s partition client A for
+// 5s; at t=10s kill the server for 3s" — reproducible: the same
+// schedule and seed yield the same fault pattern every run.
+type Schedule struct {
+	actions []Action
+	obs     *obs.Observer
+}
+
+// NewSchedule returns an empty schedule. o may be nil; when set, every
+// fired action is recorded as a fault-inject event named after the
+// action.
+func NewSchedule(o *obs.Observer) *Schedule {
+	return &Schedule{obs: o}
+}
+
+// At appends an action and returns the schedule for chaining.
+func (s *Schedule) At(offset time.Duration, name string, do func()) *Schedule {
+	s.actions = append(s.actions, Action{At: offset, Name: name, Do: do})
+	return s
+}
+
+// Len reports the number of scheduled actions.
+func (s *Schedule) Len() int { return len(s.actions) }
+
+// Run fires the actions in offset order, sleeping on clk between them,
+// until done or stop closes. It blocks; callers wanting a background
+// timeline run it in a goroutine.
+func (s *Schedule) Run(clk clock.Clock, stop <-chan struct{}) {
+	acts := make([]Action, len(s.actions))
+	copy(acts, s.actions)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	start := clk.Now()
+	for _, a := range acts {
+		wait := a.At - clk.Now().Sub(start)
+		if wait > 0 {
+			ch, stopTimer := clk.After(wait)
+			select {
+			case <-stop:
+				stopTimer()
+				return
+			case <-ch:
+			}
+		} else {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		if s.obs.Enabled() {
+			s.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: a.Name})
+		}
+		a.Do()
+	}
+}

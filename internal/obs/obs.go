@@ -72,13 +72,24 @@ const (
 	// holder's lease record dropped by its approval; at the client, a
 	// datum dropped from the local cache by an approval push.
 	EvEviction
+	// EvReconnect: a client session lost its connection and
+	// re-established it (re-hello done, cached leases dropped for
+	// revalidation). Client identifies the cache; Wait is how long the
+	// session was down.
+	EvReconnect
+	// EvFaultInject: the fault-injection layer (internal/faultnet)
+	// applied a scripted or probabilistic fault — a drop, sever,
+	// partition, heal or schedule action. Client carries the fault
+	// label.
+	EvFaultInject
 
-	numEventTypes = int(EvEviction) + 1
+	numEventTypes = int(EvFaultInject) + 1
 )
 
 var eventTypeNames = [numEventTypes]string{
 	"grant", "extend", "approve-request", "approve", "expire",
 	"write-defer", "write-apply", "write-timeout", "eviction",
+	"reconnect", "fault-inject",
 }
 
 // String names the event type ("grant", "write-defer", …).

@@ -36,7 +36,12 @@ type MsgType uint8
 // Message types.
 const (
 	// THello introduces a client (payload: client ID string). Answered
-	// by THelloAck.
+	// by THelloAck, whose payload carries the server's boot ID
+	// (uint64; absent from servers predating it — decoders treat an
+	// empty payload as boot 0). The hello is idempotent: re-sending it
+	// on a new connection with the same ID — a client session
+	// reconnecting after a fault — replaces the old connection while
+	// the server-side lease records, keyed by client ID, survive.
 	THello MsgType = iota + 1
 	THelloAck
 	// TLookup resolves a path (payload: path). Answered by TLookupRep.

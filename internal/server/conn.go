@@ -54,7 +54,14 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 	s.conns[id] = c
 	s.connMu.Unlock()
-	c.reply(f.ReqID, proto.THelloAck, nil)
+	// The hello is idempotent: a re-hello with the same ID (a client
+	// session reconnecting) replaces the dead conn while the client's
+	// lease records — keyed by ID, not connection — survive untouched.
+	// The ack carries the server's boot ID so the client can tell a
+	// restart from a transient fault.
+	var ack proto.Enc
+	ack.U64(s.boot)
+	c.reply(f.ReqID, proto.THelloAck, ack.Bytes())
 	f.Recycle()
 
 	defer func() {
@@ -183,6 +190,19 @@ func (c *serverConn) dispatch(f proto.Frame) {
 func (c *serverConn) grant(d vfs.Datum, et obs.EventType) proto.GrantWire {
 	s := c.srv
 	g := s.lm.Grant(c.client, d, s.clk.Now())
+	if g.Leased && s.maxTermF != nil {
+		// Durability ordering: the recovery window must cover this term
+		// before any client holds it. The update is a no-op unless the
+		// term exceeds every term ever persisted, so steady state pays
+		// one comparison, not an fsync. If persistence fails, withdraw
+		// the lease — the client may still use the reply's data once,
+		// it just cannot cache it — rather than risk a post-crash
+		// window shorter than an outstanding lease.
+		if err := s.maxTermF.update(g.Term); err != nil {
+			s.lm.Release(c.client, []vfs.Datum{d}, s.clk.Now())
+			g = core.Grant{Datum: d}
+		}
+	}
 	if s.obs.Enabled() {
 		// Term zero marks a refusal (write pending / zero policy).
 		s.obs.Record(obs.Event{

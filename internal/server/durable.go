@@ -1,0 +1,90 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Durable max-term recovery (§2): "the server need only remember the
+// maximum term for which it has granted a lease … after a crash it
+// delays writes to all files for that period." The file holds one
+// decimal integer — the maximum granted term in nanoseconds — and is
+// replaced atomically (temp file, fsync, rename, directory fsync), so a
+// crash at any instant leaves either the old value or the new one,
+// never a torn write. Because the value only ever grows and changes at
+// most once per policy change, the fsync cost is a one-time event, not
+// a per-grant tax.
+
+// LoadMaxTerm reads a durable max-term file written by a server with
+// Config.MaxTermPath set. It returns the persisted term and whether the
+// file existed; a missing file is a fresh boot, not an error.
+func LoadMaxTerm(path string) (time.Duration, bool, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	s := strings.TrimSpace(string(b))
+	n, perr := strconv.ParseInt(s, 10, 64)
+	if perr != nil || n < 0 {
+		return 0, false, fmt.Errorf("server: corrupt max-term file %s: %q", path, s)
+	}
+	return time.Duration(n), true, nil
+}
+
+// maxTermFile persists the largest lease term ever granted. update is
+// called on the grant path before the grant is sent, so the durability
+// ordering is correct: no client ever holds a lease longer than the
+// persisted recovery window.
+type maxTermFile struct {
+	mu   sync.Mutex
+	path string
+	last time.Duration
+}
+
+// update persists t if it exceeds the last persisted value. The write
+// is atomic and fsync'd; on error nothing is recorded and the caller
+// must not grant the term.
+func (f *maxTermFile) update(t time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t <= f.last {
+		return nil
+	}
+	dir := filepath.Dir(f.path)
+	tmp, err := os.CreateTemp(dir, ".maxterm-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.WriteString(strconv.FormatInt(int64(t), 10) + "\n"); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		return err
+	}
+	// Make the rename itself durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	f.last = t
+	return nil
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLoadMaxTermMissingFileIsFreshBoot(t *testing.T) {
+	term, found, err := LoadMaxTerm(filepath.Join(t.TempDir(), "maxterm"))
+	if err != nil || found || term != 0 {
+		t.Fatalf("LoadMaxTerm(missing) = %v, %v, %v; want 0, false, nil", term, found, err)
+	}
+}
+
+func TestMaxTermFilePersistsMonotonically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "maxterm")
+	f := &maxTermFile{path: path}
+
+	if err := f.update(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	term, found, err := LoadMaxTerm(path)
+	if err != nil || !found || term != 5*time.Second {
+		t.Fatalf("after update(5s): %v, %v, %v", term, found, err)
+	}
+
+	// A smaller term must not regress the persisted maximum — the
+	// recovery window must cover the longest lease ever granted.
+	if err := f.update(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if term, _, _ = LoadMaxTerm(path); term != 5*time.Second {
+		t.Fatalf("update(3s) regressed the maximum to %v", term)
+	}
+
+	if err := f.update(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if term, _, _ = LoadMaxTerm(path); term != 8*time.Second {
+		t.Fatalf("update(8s) not persisted: %v", term)
+	}
+}
+
+func TestMaxTermFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	f := &maxTermFile{path: filepath.Join(dir, "maxterm")}
+	for i := 1; i <= 5; i++ {
+		if err := f.update(time.Duration(i) * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "maxterm" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp debris after atomic updates: %v", names)
+	}
+}
+
+func TestLoadMaxTermCorruptFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "maxterm")
+	if err := os.WriteFile(path, []byte("not a number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadMaxTerm(path); err == nil {
+		t.Fatal("corrupt max-term file loaded without error")
+	}
+}
+
+func TestServeReportsCorruptMaxTermFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "maxterm")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Term: time.Second, MaxTermPath: path})
+	if err := s.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Fatal("Serve with corrupt max-term file returned nil; serving with an unknown recovery window risks a stale read")
+	}
+}

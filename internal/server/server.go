@@ -59,6 +59,16 @@ type Config struct {
 	// Shards is the number of lock stripes in the lease manager. Zero
 	// means core.DefaultShards; 1 degenerates to a single global lock.
 	Shards int
+	// MaxTermPath, when non-empty, makes crash recovery automatic: the
+	// largest lease term ever granted is persisted to this file
+	// (atomic temp+rename, fsync'd) *before* the grant is sent, and a
+	// restarting server finding the file observes the §2 recovery
+	// window for the persisted value without the operator passing
+	// RecoveryWindow by hand. An explicit RecoveryWindow still wins. A
+	// load or parse failure is reported by Serve/ListenAndServe —
+	// serving with a recovery window shorter than an outstanding lease
+	// would risk the one thing leases never allow, a stale read.
+	MaxTermPath string
 	// Obs, when non-nil, receives protocol trace events and per-op
 	// latency observations. Nil disables instrumentation; the request
 	// path then costs one branch per hook and no allocations.
@@ -85,6 +95,16 @@ type Server struct {
 	stopped  chan struct{}
 	kicks    []chan struct{} // per-shard deadline-goroutine wakeups
 	wg       sync.WaitGroup
+
+	// boot identifies this server incarnation; it is carried in the
+	// hello ack so a reconnecting client can tell a restart (leases
+	// gone, recovery window running) from a transient network fault.
+	boot uint64
+	// maxTermF persists MaxTermGranted for crash recovery; nil when
+	// Config.MaxTermPath is empty. initErr defers a max-term load
+	// failure from New (which cannot fail) to Serve (which can).
+	maxTermF *maxTermFile
+	initErr  error
 }
 
 // New creates a server with an empty store.
@@ -103,8 +123,23 @@ func New(cfg Config) *Server {
 		policy = core.FixedTerm(cfg.Term)
 	}
 	var opts []core.ManagerOption
+	var maxTermF *maxTermFile
+	var initErr error
 	if cfg.RecoveryWindow > 0 {
 		opts = append(opts, core.WithRecoveryWindow(cfg.Clock.Now().Add(cfg.RecoveryWindow)))
+	}
+	if cfg.MaxTermPath != "" {
+		persisted, found, err := LoadMaxTerm(cfg.MaxTermPath)
+		if err != nil {
+			initErr = err
+		} else {
+			maxTermF = &maxTermFile{path: cfg.MaxTermPath, last: persisted}
+			if found && persisted > 0 && cfg.RecoveryWindow == 0 {
+				// Restart after a crash: automatically defer all writes
+				// for the persisted maximum granted term (§2).
+				opts = append(opts, core.WithRecoveryWindow(cfg.Clock.Now().Add(persisted)))
+			}
+		}
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -117,6 +152,10 @@ func New(cfg Config) *Server {
 		waiters: make(map[core.WriteID]chan struct{}),
 		stopped: make(chan struct{}),
 		kicks:   make([]chan struct{}, cfg.Shards),
+
+		boot:     uint64(time.Now().UnixNano()),
+		maxTermF: maxTermF,
+		initErr:  initErr,
 	}
 	for i := range s.kicks {
 		s.kicks[i] = make(chan struct{}, 1)
@@ -159,6 +198,10 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Serve accepts connections on ln until Stop. It returns nil after Stop.
 func (s *Server) Serve(ln net.Listener) error {
+	if s.initErr != nil {
+		ln.Close()
+		return s.initErr
+	}
 	s.connMu.Lock()
 	s.ln = ln
 	s.connMu.Unlock()
@@ -177,6 +220,13 @@ func (s *Server) Serve(ln net.Listener) error {
 				return err
 			}
 		}
+		// Keepalive detects silently dead peers (a crashed or
+		// partitioned client's conn otherwise lingers until its next
+		// write), bounding how long a dead session holds resources.
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(30 * time.Second)
+		}
 		s.connMu.Lock()
 		s.raw[c] = struct{}{}
 		s.connMu.Unlock()
@@ -184,6 +234,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		go s.serveConn(c)
 	}
 }
+
+// BootID identifies this server incarnation; clients receive it in the
+// hello ack and use a change to detect a restart across a reconnect.
+func (s *Server) BootID() uint64 { return s.boot }
 
 // Addr reports the bound address, for clients of a test server.
 func (s *Server) Addr() net.Addr {
