@@ -436,7 +436,7 @@ func (h *harness) readerLoop(c *client.Cache, idx int) {
 		default:
 		}
 		fi := i % len(workFiles)
-		floor := h.ck.floors[fi].Load()
+		floor := h.ck.floors.Floor(fi)
 		data, err := c.Read(workFiles[fi])
 		pause := 2 * time.Millisecond
 		if err != nil {
@@ -520,7 +520,7 @@ func (h *harness) report() *Report {
 // collects invariant violations.
 type checker struct {
 	files  []string
-	floors []atomic.Uint64 // highest acknowledged sequence per file
+	floors *FloorChecker // highest acknowledged sequence per file
 
 	writes, writeErrs atomic.Int64
 	reads, readErrs   atomic.Int64
@@ -532,7 +532,7 @@ type checker struct {
 }
 
 func newChecker(files []string) *checker {
-	return &checker{files: files, floors: make([]atomic.Uint64, len(files))}
+	return &checker{files: files, floors: NewFloorChecker(len(files))}
 }
 
 // maxViolations caps the violation list so a systematic failure doesn't
@@ -551,7 +551,7 @@ func (ck *checker) violate(format string, args ...any) {
 // write. Each file has a single writer, so the store is monotonic.
 func (ck *checker) acked(fi int, seq uint64, delay time.Duration) {
 	ck.writes.Add(1)
-	ck.floors[fi].Store(seq)
+	ck.floors.Acked(fi, seq)
 	ck.mu.Lock()
 	if delay > ck.maxWriteDelay {
 		ck.maxWriteDelay = delay
@@ -569,7 +569,7 @@ func (ck *checker) observeRead(fi int, data []byte, floorBefore uint64) {
 		ck.violate("unparseable content on %s: %q", ck.files[fi], truncate(data))
 		return
 	}
-	if seq < floorBefore {
+	if FloorViolated(seq, floorBefore) {
 		ck.stale.Add(1)
 		ck.violate("stale read on %s: saw seq %d after write %d was acknowledged",
 			ck.files[fi], seq, floorBefore)
@@ -581,7 +581,7 @@ func (ck *checker) observeRead(fi int, data []byte, floorBefore uint64) {
 func (ck *checker) seedContents() map[string][]byte {
 	m := make(map[string][]byte, len(ck.files))
 	for i, f := range ck.files {
-		m[f] = payload(f, ck.floors[i].Load())
+		m[f] = payload(f, ck.floors.Floor(i))
 	}
 	return m
 }

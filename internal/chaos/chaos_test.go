@@ -73,11 +73,11 @@ func TestCheckerFlagsStaleRead(t *testing.T) {
 	t.Parallel()
 	ck := newChecker([]string{"/x"})
 	ck.acked(0, 5, time.Millisecond)
-	ck.observeRead(0, payload("/x", 4), ck.floors[0].Load())
+	ck.observeRead(0, payload("/x", 4), ck.floors.Floor(0))
 	if ck.stale.Load() != 1 {
 		t.Fatalf("stale read not flagged: %+v", ck.violations)
 	}
-	ck.observeRead(0, payload("/x", 6), ck.floors[0].Load())
+	ck.observeRead(0, payload("/x", 6), ck.floors.Floor(0))
 	if ck.stale.Load() != 1 {
 		t.Fatalf("fresh read wrongly flagged: %+v", ck.violations)
 	}

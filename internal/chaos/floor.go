@@ -1,0 +1,50 @@
+package chaos
+
+import "sync/atomic"
+
+// FloorChecker is the acked-floor consistency lens, shared between the
+// TCP chaos harness and the deterministic model checker
+// (internal/check). Per file it tracks the floor — the highest write
+// sequence whose acknowledgement some writer has received — and judges
+// completed reads against the floor snapshotted when the read began:
+//
+//	floorBefore := fc.Floor(fi)   // before issuing the read
+//	...read completes with seq...
+//	if FloorViolated(seq, floorBefore) { /* stale read */ }
+//
+// The snapshot-before-read discipline is what makes the check sound
+// under concurrency: a write acknowledged while the read is in flight
+// is concurrent with it, and either ordering is sequentially
+// consistent. Only a read that began after the acknowledgement was
+// received must observe the write (§2: no read is stale with respect
+// to an approved write).
+type FloorChecker struct {
+	floors []atomic.Uint64
+}
+
+// NewFloorChecker returns a checker for files numbered 0..files-1.
+func NewFloorChecker(files int) *FloorChecker {
+	return &FloorChecker{floors: make([]atomic.Uint64, files)}
+}
+
+// Acked raises a file's floor to seq after the writer received the
+// server's acknowledgement. The floor never regresses, so concurrent
+// writers acknowledging out of order are safe.
+func (fc *FloorChecker) Acked(file int, seq uint64) {
+	for {
+		cur := fc.floors[file].Load()
+		if seq <= cur || fc.floors[file].CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Floor reports a file's current floor. Readers snapshot it before a
+// read begins.
+func (fc *FloorChecker) Floor(file int) uint64 {
+	return fc.floors[file].Load()
+}
+
+// FloorViolated reports whether a read observing seq is stale against
+// the floor snapshotted before the read began.
+func FloorViolated(seq, floorBefore uint64) bool { return seq < floorBefore }

@@ -168,7 +168,7 @@ func (h *harness) clientCrashProbe() {
 		return
 	}
 	defer prober.Close()
-	seq := h.ck.floors[victimIdx].Load() + 1
+	seq := h.ck.floors.Floor(victimIdx) + 1
 	start := time.Now()
 	err = prober.Write(workFiles[victimIdx], payload(workFiles[victimIdx], seq))
 	delay := time.Since(start)

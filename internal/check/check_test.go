@@ -1,0 +1,212 @@
+package check
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// quickSeeds reports the schedule budget for TestModelCheckQuick: 2000
+// by default (the CI budget), overridable for nightly runs via
+// LEASECHECK_SEEDS.
+func quickSeeds(t *testing.T) int {
+	if s := os.Getenv("LEASECHECK_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad LEASECHECK_SEEDS=%q", s)
+		}
+		return n
+	}
+	return 2000
+}
+
+// baseSeed lets CI rotate the explored schedule set per commit while
+// keeping the run replayable: the logged value, fed back through
+// LEASECHECK_SEED, reproduces the exact walk.
+func baseSeed(t *testing.T) int64 {
+	if s := os.Getenv("LEASECHECK_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad LEASECHECK_SEED=%q", s)
+		}
+		return n
+	}
+	return 1
+}
+
+// TestModelCheckQuick is the model checker's standing gate: random
+// schedule exploration across the full fault grammar must stay
+// violation-free. On failure the shrunk counterexample is saved so it
+// can be committed as a regression artifact.
+func TestModelCheckQuick(t *testing.T) {
+	seeds := quickSeeds(t)
+	base := baseSeed(t)
+	t.Logf("exploring %d schedules from base seed %d (replay: LEASECHECK_SEED=%d)", seeds, base, base)
+	rep, err := Explore(ExploreConfig{
+		Gen:      GenConfig{Profile: ProfileAll},
+		Mode:     "random",
+		Seeds:    seeds,
+		BaseSeed: base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violating != nil {
+		dir := os.Getenv("LEASECHECK_ARTIFACT_DIR")
+		if dir == "" {
+			dir = t.TempDir()
+		}
+		path := ""
+		if rep.Counterexample != nil {
+			path, _ = rep.Counterexample.Save(dir)
+		}
+		t.Fatalf("schedule %d (seed %d) violated: %v\nshrunk counterexample: %s",
+			rep.Schedules, rep.Violating.Seed, rep.Outcome.Violations, path)
+	}
+	t.Logf("%d schedules clean", rep.Schedules)
+}
+
+// TestProfilesClean runs each fault grammar on its own, so a failure
+// localizes to the fault dimension that caused it.
+func TestProfilesClean(t *testing.T) {
+	for _, p := range []Profile{ProfileDrift, ProfilePartition, ProfileCrash} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Explore(ExploreConfig{
+				Gen:      GenConfig{Profile: p},
+				Mode:     "random",
+				Seeds:    200,
+				BaseSeed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violating != nil {
+				t.Fatalf("seed %d violated: %v", rep.Violating.Seed, rep.Outcome.Violations)
+			}
+		})
+	}
+}
+
+// TestExhaustiveSmoke enumerates every 4-op schedule over 2 clients
+// and 1 file (6^4 = 1296 sequences) and requires all of them clean.
+func TestExhaustiveSmoke(t *testing.T) {
+	rep, err := Explore(ExploreConfig{
+		Gen:  GenConfig{Clients: 2, Files: 1, Ops: 4},
+		Mode: "exhaustive",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violating != nil {
+		t.Fatalf("exhaustive schedule violated: %+v\n%v", rep.Violating, rep.Outcome.Violations)
+	}
+	if want := ExhaustiveCount(GenConfig{Clients: 2, Files: 1, Ops: 4}); rep.Schedules != want {
+		t.Fatalf("visited %d schedules, want %d", rep.Schedules, want)
+	}
+}
+
+// TestBreakWriteDeferShrinks is the harness's own acceptance test:
+// deliberately breaking the §2 write-defer path must be caught by the
+// oracle, shrink to a short counterexample, replay deterministically
+// from its JSON form, and pass again once the break is removed.
+func TestBreakWriteDeferShrinks(t *testing.T) {
+	var failing *Scenario
+	var foundSeed int64
+	for seed := int64(1); seed <= 300; seed++ {
+		sc := Generate(seed, GenConfig{Profile: ProfileDrift})
+		sc.Break = BreakWriteDefer
+		out, err := RunScenario(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Ok() {
+			failing = &sc
+			foundSeed = seed
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("no generated schedule caught the write-defer break in 300 seeds")
+	}
+	ce := Minimize("write-defer-break", *failing, foundSeed)
+	t.Logf("shrunk %d steps -> %d steps: %v", failing.Steps(), ce.Steps, ce.Violation)
+	if ce.Steps > 12 {
+		t.Fatalf("counterexample has %d steps, want <= 12", ce.Steps)
+	}
+
+	// Round-trip through the JSON artifact and replay twice.
+	dir := t.TempDir()
+	path, err := ce.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCounterexample(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayMatches(loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same schedule under the honest protocol is clean.
+	honest := loaded.Scenario.clone()
+	honest.Break = ""
+	out, err := RunScenario(honest, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Ok() {
+		t.Fatalf("honest replay of the counterexample still fails: %v", out.Violations)
+	}
+}
+
+// TestBreakFenceCaught covers the other safety hook: with the
+// invalidation fence disabled, some schedule must cache a stale reply.
+func TestBreakFenceCaught(t *testing.T) {
+	for seed := int64(1); seed <= 2000; seed++ {
+		sc := Generate(seed, GenConfig{Profile: ProfileAll})
+		sc.Break = BreakFence
+		out, err := RunScenario(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Ok() {
+			t.Logf("seed %d caught the fence break: %v", seed, out.Violations[0])
+			return
+		}
+	}
+	t.Fatal("no schedule caught the fence break in 2000 seeds")
+}
+
+// TestGenerateDeterministic pins the generator: equal seeds yield
+// deeply equal scenarios.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, GenConfig{Profile: ProfileAll})
+	b := Generate(42, GenConfig{Profile: ProfileAll})
+	aj, err := a.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("seed 42 generated two different scenarios:\n%s\n---\n%s", aj, bj)
+	}
+}
+
+// TestScenarioValidate rejects out-of-range references.
+func TestScenarioValidate(t *testing.T) {
+	sc := Scenario{Clients: 1, Files: 1, Ops: []Op{{Client: 3, Kind: OpRead}}}
+	if _, err := RunScenario(sc, Options{}); err == nil {
+		t.Fatal("out-of-range client accepted")
+	}
+	sc = Scenario{Clients: 1, Files: 1, Faults: []Fault{{Kind: "meteor", At: time.Millisecond}}}
+	if _, err := RunScenario(sc, Options{}); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}

@@ -1,0 +1,339 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/netsim"
+	"leases/internal/obs"
+	"leases/internal/sim"
+	"leases/internal/vfs"
+)
+
+// maxRetries bounds at-least-once retransmission so every execution
+// terminates; an op that exhausts its retries is counted GivenUp, not
+// failed (§5: after a partition longer than the lease term, the client
+// simply starts over).
+const maxRetries = 8
+
+type mopKind int
+
+const (
+	opReadFetch mopKind = iota
+	opRenew
+	opWriteOp
+)
+
+// mop is one in-flight client request.
+type mop struct {
+	kind  mopKind
+	reqID uint64
+	data  []vfs.Datum
+	// datum/value for writes and single-datum read fetches.
+	datum vfs.Datum
+	value string
+	// floor and seenFloor are the oracle snapshots taken when the read
+	// began: the file's acked floor and this client's newest observed
+	// position.
+	floor, seenFloor uint64
+	// startedLocal anchors the holder's conservative expiry rule: the
+	// grant cannot predate the first transmission, so anchoring there
+	// is safe even when a retry's reply comes back (§3.1).
+	startedLocal time.Time
+	retries      int
+	incarnation  uint64
+	retryEv      *sim.Event
+}
+
+// mclient is the model client: the real lease Holder plus the cache
+// and invalidation-fence semantics of the TCP deployment's session
+// (internal/client), driven by the scenario's operation trace.
+type mclient struct {
+	w     *world
+	index int
+	id    core.ClientID
+	node  netsim.NodeID
+
+	holder *core.Holder
+	vals   map[vfs.Datum]string
+	vers   map[vfs.Datum]uint64
+	// invalidatedAt is the fence: per datum, the SentAt of the newest
+	// approval push processed. Grants and acks stamped at or before it
+	// crossed the invalidation on the wire and must not be cached
+	// (the PR 4 grant/approval reorder race).
+	invalidatedAt map[vfs.Datum]time.Time
+
+	inflight    map[uint64]*mop
+	nextReq     uint64
+	incarnation uint64
+	down        bool
+}
+
+func newMclient(w *world, index int) *mclient {
+	c := &mclient{w: w, index: index, node: clientNode(index)}
+	c.id = core.ClientID(c.node)
+	c.reset()
+	w.fabric.Register(c.node, c.handle)
+	return c
+}
+
+// reset installs fresh volatile state (boot and post-crash restart).
+func (c *mclient) reset() {
+	allowance := c.w.sc.Allowance
+	if c.w.sc.Break == BreakAllowance {
+		allowance = 0
+	}
+	c.holder = core.NewHolder(core.HolderConfig{Allowance: allowance})
+	c.vals = make(map[vfs.Datum]string)
+	c.vers = make(map[vfs.Datum]uint64)
+	c.invalidatedAt = make(map[vfs.Datum]time.Time)
+	c.inflight = make(map[uint64]*mop)
+	c.nextReq = 0
+}
+
+// localNow reads this client's drifting, skewed clock.
+func (c *mclient) localNow() time.Time {
+	return localAt(c.w.start, c.w.engine.Now(), c.w.sc.ClientRate[c.index], c.w.sc.ClientSkew[c.index])
+}
+
+func (c *mclient) allocReq() uint64 {
+	c.nextReq++
+	return c.incarnation<<32 | c.nextReq
+}
+
+func (c *mclient) doOp(op Op) {
+	if c.down {
+		return
+	}
+	switch op.Kind {
+	case OpRead:
+		c.read(op.File)
+	case OpWrite:
+		c.write(op.File)
+	case OpExtend:
+		c.renew()
+	}
+}
+
+func (c *mclient) read(file int) {
+	d := datumForFile(file)
+	floor, seen := c.w.orc.readStart(c.id, file)
+	c.w.out.Reads++
+	if c.holder.Valid(d, c.localNow()) {
+		if val, ok := c.vals[d]; ok {
+			c.w.out.CacheHits++
+			c.w.orc.readDone(c.id, file, val, floor, seen, true)
+			return
+		}
+	}
+	op := &mop{kind: opReadFetch, data: []vfs.Datum{d}, datum: d, floor: floor, seenFloor: seen}
+	c.send(op)
+}
+
+func (c *mclient) write(file int) {
+	d := datumForFile(file)
+	c.w.out.Writes++
+	op := &mop{kind: opWriteOp, datum: d}
+	// Values are globally unique (client · incarnation · request), so
+	// the oracle can identify every value's apply positions.
+	c.send(op)
+	op.value = string(c.id) + "#" + strconv.FormatUint(op.reqID, 10)
+	c.transmit(op)
+}
+
+func (c *mclient) renew() {
+	held := c.holder.Held() // sorted, so batches are deterministic
+	if len(held) == 0 {
+		return
+	}
+	c.w.out.Extends++
+	op := &mop{kind: opRenew, data: held}
+	c.send(op)
+	c.transmit(op)
+}
+
+// send registers the op; reads and renews transmit immediately, writes
+// first derive their value from the allocated reqID.
+func (c *mclient) send(op *mop) {
+	op.reqID = c.allocReq()
+	op.startedLocal = c.localNow()
+	op.incarnation = c.incarnation
+	c.inflight[op.reqID] = op
+	if op.kind != opWriteOp {
+		c.transmit(op)
+	}
+}
+
+func (c *mclient) transmit(op *mop) {
+	switch op.kind {
+	case opReadFetch, opRenew:
+		c.w.fabric.Unicast(c.node, serverNode, kindExtend, extendReq{ReqID: op.reqID, From: c.id, Data: op.data})
+	case opWriteOp:
+		c.w.fabric.Unicast(c.node, serverNode, kindWrite, writeReq{ReqID: op.reqID, From: c.id, Datum: op.datum, Value: op.value})
+	}
+	backoff := c.retryBase() << op.retries
+	op.retryEv = c.w.engine.After(backoff, func() { c.retry(op) })
+}
+
+func (c *mclient) retryBase() time.Duration {
+	return 3*(2*c.w.sc.Prop+4*c.w.sc.Proc) + 4*c.w.sc.Jitter + time.Millisecond
+}
+
+func (c *mclient) retry(op *mop) {
+	op.retryEv = nil
+	if c.down || op.incarnation != c.incarnation || c.inflight[op.reqID] != op {
+		return
+	}
+	if op.retries >= maxRetries {
+		delete(c.inflight, op.reqID)
+		c.w.out.GivenUp++
+		return
+	}
+	op.retries++
+	c.transmit(op)
+}
+
+func (c *mclient) handle(m netsim.Message) {
+	if c.down {
+		return
+	}
+	switch p := m.Payload.(type) {
+	case extendRep:
+		c.handleGrants(m, p)
+	case writeAck:
+		c.handleAck(m, p)
+	case approvalReq:
+		c.handleApprovalPush(m, p)
+	default:
+		panic(fmt.Sprintf("check: client got %T", m.Payload))
+	}
+}
+
+func (c *mclient) handleGrants(m netsim.Message, rep extendRep) {
+	op, ok := c.inflight[rep.ReqID]
+	if !ok || op.incarnation != c.incarnation {
+		return // duplicate reply to a retransmit, or pre-crash residue
+	}
+	delete(c.inflight, rep.ReqID)
+	if op.retryEv != nil {
+		c.w.engine.Cancel(op.retryEv)
+		op.retryEv = nil
+	}
+	now := c.localNow()
+	for _, g := range rep.Grants {
+		if fence, fenced := c.invalidatedAt[g.Datum]; fenced && !m.SentAt.After(fence) && c.w.sc.Break != BreakFence {
+			// The reply crossed an approval push on the wire: the
+			// value may satisfy the waiting read once, but caching it
+			// would resurrect an invalidated lease.
+			continue
+		}
+		if g.Leased {
+			ver, val := g.Version, g.Value
+			if cur, ok := c.vers[g.Datum]; ok && cur > ver {
+				// The jittered fabric can reorder two replies; an
+				// older snapshot must not clobber newer cached data.
+				// (TCP's per-connection FIFO hides this case; a
+				// datagram transport must version-guard the cache.)
+				ver, val = cur, c.vals[g.Datum]
+			}
+			c.holder.ApplyGrant(g.Datum, ver, g.Term, op.startedLocal, now)
+			c.vals[g.Datum] = val
+			c.vers[g.Datum] = ver
+		} else {
+			// Refused (a write is pending): usable once, not cached.
+			c.holder.Invalidate(g.Datum)
+			delete(c.vals, g.Datum)
+			delete(c.vers, g.Datum)
+		}
+	}
+	if op.kind == opReadFetch {
+		for _, g := range rep.Grants {
+			if g.Datum == op.datum {
+				c.w.orc.readDone(c.id, fileForDatum(op.datum), g.Value, op.floor, op.seenFloor, false)
+				return
+			}
+		}
+		c.w.out.GivenUp++ // server answered without the datum: abandoned
+	}
+}
+
+func (c *mclient) handleAck(m netsim.Message, ack writeAck) {
+	op, ok := c.inflight[ack.ReqID]
+	if !ok || op.kind != opWriteOp || op.incarnation != c.incarnation {
+		return
+	}
+	delete(c.inflight, ack.ReqID)
+	if op.retryEv != nil {
+		c.w.engine.Cancel(op.retryEv)
+		op.retryEv = nil
+	}
+	c.w.out.WritesAcked++
+	c.w.orc.acked(c.id, fileForDatum(op.datum), op.value)
+	if fence, fenced := c.invalidatedAt[op.datum]; fenced && !m.SentAt.After(fence) && c.w.sc.Break != BreakFence {
+		// The ack crossed a later write's approval push: the writer's
+		// retained lease was already invalidated.
+		return
+	}
+	// §3.1: the writer's cache stays valid after its own write — but
+	// only if no newer version has been cached since (a delayed ack
+	// must not roll the cache back).
+	if cur, ok := c.vers[op.datum]; !ok || ack.Version >= cur {
+		c.vals[op.datum] = op.value
+		c.vers[op.datum] = ack.Version
+		c.holder.Update(op.datum, ack.Version)
+	}
+}
+
+func (c *mclient) handleApprovalPush(m netsim.Message, ar approvalReq) {
+	// The fence records the push's send instant; pushes and replies
+	// share the fabric's SentAt clock, so any grant or ack stamped at
+	// or before it was computed from pre-invalidation server state.
+	if fence := c.invalidatedAt[ar.Datum]; m.SentAt.After(fence) {
+		c.invalidatedAt[ar.Datum] = m.SentAt
+	}
+	c.holder.Invalidate(ar.Datum)
+	delete(c.vals, ar.Datum)
+	delete(c.vers, ar.Datum)
+	c.w.obs.Record(obs.Event{
+		Type:    obs.EvEviction,
+		Client:  string(c.id),
+		Datum:   ar.Datum,
+		WriteID: uint64(ar.WriteID),
+	})
+	c.w.fabric.Unicast(c.node, serverNode, kindApprove, approveMsg{WriteID: ar.WriteID, From: c.id})
+}
+
+// crash loses the cache, the holder, and every in-flight request.
+func (c *mclient) crash() {
+	if c.down {
+		return
+	}
+	c.down = true
+	c.w.fabric.SetDown(c.node, true)
+	ids := make([]uint64, 0, len(c.inflight))
+	for id := range c.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if ev := c.inflight[id].retryEv; ev != nil {
+			c.w.engine.Cancel(ev)
+		}
+	}
+	c.inflight = make(map[uint64]*mop)
+}
+
+// restart boots a fresh incarnation with an empty cache.
+func (c *mclient) restart() {
+	if !c.down {
+		return
+	}
+	c.down = false
+	c.incarnation++
+	c.reset()
+	c.w.fabric.SetDown(c.node, false)
+	c.w.obs.Record(obs.Event{Type: obs.EvReconnect, Client: string(c.id)})
+}

@@ -1,0 +1,55 @@
+package check
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCounterexampleArtifacts is the table-driven regression loader:
+// every JSON artifact under testdata/counterexamples/ must (a) replay
+// its recorded violation deterministically with the scenario's
+// deliberate break enabled, and (b) run clean once the break is
+// removed. Together the two directions make each artifact a
+// revert-guard: grant-approval-reorder fails if the invalidation fence
+// is removed from the client, write-defer-immediate-apply fails if the
+// server stops deferring writes behind live leases.
+func TestCounterexampleArtifacts(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "counterexamples", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no counterexample artifacts found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			ce, err := LoadCounterexample(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ce.Scenario.Break == "" {
+				t.Fatal("artifact has no protocol break; it cannot guard anything")
+			}
+			if got := ce.Scenario.Steps(); got != ce.Steps {
+				t.Errorf("artifact declares %d steps, scenario has %d", ce.Steps, got)
+			}
+			if ce.Steps > 12 {
+				t.Errorf("counterexample has %d steps; artifacts should stay minimal (<= 12)", ce.Steps)
+			}
+			if err := ReplayMatches(ce); err != nil {
+				t.Fatalf("broken replay: %v", err)
+			}
+			honest := ce.Scenario.clone()
+			honest.Break = ""
+			out, err := RunScenario(honest, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Ok() {
+				t.Fatalf("honest protocol still violates: %v", out.Violations)
+			}
+		})
+	}
+}

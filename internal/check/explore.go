@@ -1,0 +1,99 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// ExploreConfig bounds one exploration run.
+type ExploreConfig struct {
+	// Gen parameterizes scenario generation (random mode) or the
+	// alphabet (exhaustive mode).
+	Gen GenConfig
+	// Mode is "random" (seeded walks) or "exhaustive" (bounded
+	// enumeration).
+	Mode string
+	// Seeds is how many random scenarios to run; exhaustive mode uses
+	// it as a schedule budget when positive.
+	Seeds int
+	// BaseSeed derives the per-scenario seeds; equal BaseSeeds explore
+	// equal schedule sets.
+	BaseSeed int64
+	// NoShrink skips minimization of a found failure.
+	NoShrink bool
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	Schedules int
+	// Violating is the first failing scenario found, nil if none.
+	Violating *Scenario
+	// Outcome is the failing scenario's outcome, nil if none.
+	Outcome *Outcome
+	// Counterexample is the shrunk failure, nil if none (or NoShrink).
+	Counterexample *Counterexample
+}
+
+func (r *Report) logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// Explore runs schedules until one fails or the budget is exhausted.
+func Explore(cfg ExploreConfig) (*Report, error) {
+	r := &Report{}
+	switch cfg.Mode {
+	case "", "random":
+		if cfg.Seeds <= 0 {
+			cfg.Seeds = 1000
+		}
+		seedRNG := rand.New(rand.NewSource(cfg.BaseSeed))
+		for i := 0; i < cfg.Seeds; i++ {
+			seed := seedRNG.Int63()
+			sc := Generate(seed, cfg.Gen)
+			out, err := RunScenario(sc, Options{})
+			if err != nil {
+				return nil, fmt.Errorf("check: scenario seed %d: %w", seed, err)
+			}
+			r.Schedules++
+			if !out.Ok() {
+				r.Violating = &sc
+				r.Outcome = out
+				r.logf(cfg.Log, "seed %d violates after %d schedules: %v", seed, r.Schedules, out.Violations[0])
+				break
+			}
+			if cfg.Log != nil && (i+1)%500 == 0 {
+				r.logf(cfg.Log, "%d/%d schedules clean", i+1, cfg.Seeds)
+			}
+		}
+	case "exhaustive":
+		budget := cfg.Seeds
+		visited := ExhaustiveWalk(cfg.Gen, budget, func(sc Scenario) bool {
+			out, err := RunScenario(sc, Options{})
+			if err != nil || !out.Ok() {
+				copied := sc.clone()
+				r.Violating = &copied
+				r.Outcome = out
+				return false
+			}
+			return true
+		})
+		r.Schedules = visited
+		if r.Violating != nil {
+			r.logf(cfg.Log, "schedule %d of exhaustive walk violates: %v", visited, r.Outcome.Violations)
+		}
+	default:
+		return nil, fmt.Errorf("check: unknown mode %q", cfg.Mode)
+	}
+
+	if r.Violating != nil && !cfg.NoShrink {
+		r.logf(cfg.Log, "shrinking %d-step failure...", r.Violating.Steps())
+		r.Counterexample = Minimize("", *r.Violating, r.Violating.Seed)
+		r.logf(cfg.Log, "shrunk to %d steps", r.Counterexample.Steps)
+	}
+	return r, nil
+}

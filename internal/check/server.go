@@ -1,0 +1,395 @@
+package check
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"leases/internal/core"
+	"leases/internal/netsim"
+	"leases/internal/obs"
+	"leases/internal/sim"
+	"leases/internal/vfs"
+)
+
+// checkShards exercises the sharded manager's cross-shard routing
+// without drowning the small model configurations.
+const checkShards = 2
+
+// engineClock adapts the discrete-event engine to clock.Clock for the
+// vfs store; only Now is meaningful inside the simulation.
+type engineClock struct{ engine *sim.Engine }
+
+func (c engineClock) Now() time.Time { return c.engine.Now() }
+func (c engineClock) After(time.Duration) (<-chan time.Time, func() bool) {
+	panic("check: After on engine clock")
+}
+func (c engineClock) Sleep(time.Duration) { panic("check: Sleep on engine clock") }
+
+// Wire payloads. The model speaks typed structs instead of the TCP
+// deployment's byte frames, but the message flow — extend/grant,
+// write/ack, approval-request/approve — and the SentAt stamps the
+// fence depends on are the same.
+type extendReq struct {
+	ReqID uint64
+	From  core.ClientID
+	Data  []vfs.Datum
+}
+
+type grantInfo struct {
+	Datum   vfs.Datum
+	Term    time.Duration
+	Version uint64
+	Value   string
+	Leased  bool
+}
+
+type extendRep struct {
+	ReqID  uint64
+	Grants []grantInfo
+}
+
+type writeReq struct {
+	ReqID uint64
+	From  core.ClientID
+	Datum vfs.Datum
+	Value string
+}
+
+type writeAck struct {
+	ReqID   uint64
+	Version uint64
+}
+
+type approvalReq struct {
+	WriteID core.WriteID
+	Datum   vfs.Datum
+}
+
+type approveMsg struct {
+	WriteID core.WriteID
+	From    core.ClientID
+}
+
+// mwriter is the server's record of one deferred write.
+type mwriter struct {
+	client   core.ClientID
+	reqID    uint64
+	datum    vfs.Datum
+	value    string
+	queuedAt time.Time // server-local, for the write-wait lens
+}
+
+// mserver is the model file server: the real vfs store and the real
+// sharded lease manager under the model's message loop, mirroring the
+// TCP deployment's write-deferral and crash-recovery semantics.
+type mserver struct {
+	w       *world
+	store   *vfs.Store
+	mgr     *core.ShardedManager
+	writers map[core.WriteID]mwriter
+	// seen dedupes at-least-once writes per client: reqID → applied
+	// version (lost on crash, so duplicates across a crash re-apply —
+	// the at-least-once behaviour the oracle must tolerate).
+	seen map[core.ClientID]map[uint64]uint64
+
+	deadlineEv *sim.Event
+	deadlineAt time.Time
+	down       bool
+	// persistedMaxTerm survives crashes, like the durable max-term
+	// file in internal/server (§5 recovery rule).
+	persistedMaxTerm time.Duration
+}
+
+func newMserver(w *world) *mserver {
+	srv := &mserver{
+		w:       w,
+		writers: make(map[core.WriteID]mwriter),
+		seen:    make(map[core.ClientID]map[uint64]uint64),
+	}
+	srv.store = vfs.New(engineClock{w.engine}, "srv")
+	for f := 0; f < w.sc.Files; f++ {
+		path := "/f" + strconv.Itoa(f)
+		if _, err := srv.store.Create(path, "srv", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
+			panic(fmt.Sprintf("check: seeding %s: %v", path, err))
+		}
+		val := "init#" + strconv.Itoa(f)
+		if _, _, err := srv.store.WriteFile(datumForFile(f).Node, []byte(val)); err != nil {
+			panic(fmt.Sprintf("check: seeding %s: %v", path, err))
+		}
+		w.orc.initialApplied(f, val)
+	}
+	srv.resetManager(time.Time{})
+	w.fabric.Register(serverNode, srv.handle)
+	return srv
+}
+
+// resetManager builds a fresh lease manager, optionally inside a
+// recovery window ending at recoverUntil (server-local time).
+func (srv *mserver) resetManager(recoverUntil time.Time) {
+	var opts []core.ManagerOption
+	if !recoverUntil.IsZero() {
+		opts = append(opts, core.WithRecoveryWindow(recoverUntil))
+	}
+	srv.mgr = core.NewShardedManager(checkShards, core.FixedTerm(srv.w.sc.Term), opts...)
+}
+
+// localNow reads the server's drifting clock.
+func (srv *mserver) localNow() time.Time {
+	return localAt(srv.w.start, srv.w.engine.Now(), srv.w.sc.ServerRate, srv.w.sc.ServerSkew)
+}
+
+func (srv *mserver) handle(m netsim.Message) {
+	if srv.down {
+		return
+	}
+	switch p := m.Payload.(type) {
+	case extendReq:
+		srv.handleExtend(m.From, p)
+	case writeReq:
+		srv.handleWrite(m.From, p)
+	case approveMsg:
+		srv.handleApprove(p)
+	default:
+		panic(fmt.Sprintf("check: server got %T", m.Payload))
+	}
+}
+
+func (srv *mserver) handleExtend(from netsim.NodeID, req extendReq) {
+	now := srv.localNow()
+	rep := extendRep{ReqID: req.ReqID}
+	for _, d := range req.Data {
+		g := srv.mgr.Grant(req.From, d, now)
+		version, err := srv.store.Version(d)
+		if err != nil {
+			panic(fmt.Sprintf("check: version of %v: %v", d, err))
+		}
+		data, _, err := srv.store.ReadFile(d.Node)
+		if err != nil {
+			panic(fmt.Sprintf("check: read %v: %v", d, err))
+		}
+		rep.Grants = append(rep.Grants, grantInfo{
+			Datum:   d,
+			Term:    g.Term,
+			Version: version,
+			Value:   string(data),
+			Leased:  g.Leased,
+		})
+		srv.w.obs.Record(obs.Event{
+			Type:   obs.EvGrant,
+			Client: string(req.From),
+			Datum:  d,
+			Shard:  srv.w.srvShardFor(d),
+			Term:   g.Term,
+		})
+	}
+	srv.w.fabric.Unicast(serverNode, from, kindGrant, rep)
+}
+
+// srvShardFor tolerates being called during server construction, when
+// w.srv is not yet assigned.
+func (w *world) srvShardFor(d vfs.Datum) int {
+	if w.srv == nil {
+		return 0
+	}
+	return w.srv.mgr.ShardFor(d)
+}
+
+func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
+	now := srv.localNow()
+	if seen, ok := srv.seen[req.From]; ok {
+		if version, dup := seen[req.ReqID]; dup {
+			// At-least-once retransmit: re-ack an applied write;
+			// stay silent for one still deferred (version 0), whose
+			// eventual apply acks it.
+			if version > 0 {
+				srv.w.fabric.Unicast(serverNode, from, kindAck, writeAck{ReqID: req.ReqID, Version: version})
+			}
+			return
+		}
+	}
+	disp := srv.mgr.SubmitWrite(req.From, req.Datum, now)
+	wtr := mwriter{client: req.From, reqID: req.ReqID, datum: req.Datum, value: req.Value, queuedAt: now}
+	if disp.Ready {
+		srv.applyWrite(wtr, 0, now)
+		return
+	}
+	if srv.w.sc.Break == BreakWriteDefer {
+		// §2 sabotage: apply immediately, ignoring the unexpired read
+		// leases the manager just told us about.
+		srv.mgr.CancelWrite(disp.WriteID, now)
+		srv.applyWrite(wtr, 0, now)
+		return
+	}
+	srv.writers[disp.WriteID] = wtr
+	if srv.seen[req.From] == nil {
+		srv.seen[req.From] = make(map[uint64]uint64)
+	}
+	srv.seen[req.From][req.ReqID] = 0 // pending marker, set by applyWrite
+	srv.w.obs.Record(obs.Event{
+		Type:    obs.EvWriteDefer,
+		Client:  string(req.From),
+		Datum:   req.Datum,
+		Shard:   srv.mgr.ShardFor(req.Datum),
+		WriteID: uint64(disp.WriteID),
+	})
+	targets := make([]netsim.NodeID, 0, len(disp.NeedApproval))
+	for _, holder := range disp.NeedApproval {
+		targets = append(targets, netsim.NodeID(holder))
+		srv.w.obs.Record(obs.Event{
+			Type:    obs.EvApproveRequest,
+			Client:  string(holder),
+			Datum:   req.Datum,
+			Shard:   srv.mgr.ShardFor(req.Datum),
+			WriteID: uint64(disp.WriteID),
+		})
+	}
+	srv.w.fabric.Multicast(serverNode, targets, kindApprovalReq, approvalReq{WriteID: disp.WriteID, Datum: req.Datum})
+	srv.armDeadline()
+}
+
+func (srv *mserver) handleApprove(ap approveMsg) {
+	now := srv.localNow()
+	if srv.mgr.Approve(ap.From, ap.WriteID, now) {
+		srv.w.obs.Record(obs.Event{
+			Type:    obs.EvApprove,
+			Client:  string(ap.From),
+			WriteID: uint64(ap.WriteID),
+		})
+	}
+	srv.applyReady(now)
+	srv.armDeadline()
+}
+
+// applyReady drains writes whose approvals arrived or whose deadlines
+// passed, in the manager's deterministic (sorted WriteID) order. It
+// loops to a fixpoint: applying a queue head promotes its successor,
+// which may already be releasable (its blockers expired while it
+// waited) without ever appearing on the deadline heap.
+func (srv *mserver) applyReady(now time.Time) {
+	for {
+		ids := srv.mgr.ReadyWrites(now)
+		if len(ids) == 0 {
+			return
+		}
+		for _, id := range ids {
+			wtr, ok := srv.writers[id]
+			if !ok {
+				panic(fmt.Sprintf("check: ready write %d has no writer record", id))
+			}
+			delete(srv.writers, id)
+			srv.mgr.WriteApplied(id, now)
+			srv.applyWrite(wtr, now.Sub(wtr.queuedAt), now)
+		}
+	}
+}
+
+// applyWrite commits a write to the store, informs the oracle, and
+// acks the writer. The writer keeps its lease (§3.1: a write carries
+// implicit approval and the writer's cache stays valid).
+func (srv *mserver) applyWrite(wtr mwriter, wait time.Duration, now time.Time) {
+	attr, _, err := srv.store.WriteFile(wtr.datum.Node, []byte(wtr.value))
+	if err != nil {
+		panic(fmt.Sprintf("check: apply write %v: %v", wtr.datum, err))
+	}
+	srv.w.orc.applied(fileForDatum(wtr.datum), wtr.value)
+	if srv.seen[wtr.client] == nil {
+		srv.seen[wtr.client] = make(map[uint64]uint64)
+	}
+	srv.seen[wtr.client][wtr.reqID] = attr.Version
+	if wait > srv.w.out.MaxWriteWait {
+		srv.w.out.MaxWriteWait = wait
+	}
+	srv.w.obs.Record(obs.Event{
+		Type:   obs.EvWriteApply,
+		Client: string(wtr.client),
+		Datum:  wtr.datum,
+		Shard:  srv.mgr.ShardFor(wtr.datum),
+		Wait:   wait,
+	})
+	srv.w.fabric.Unicast(serverNode, netsim.NodeID(wtr.client), kindAck, writeAck{ReqID: wtr.reqID, Version: attr.Version})
+}
+
+// armDeadline keeps exactly one engine timer at the manager's earliest
+// write deadline, converted from server-local to true time with 1µs of
+// slack so the deadline has strictly passed when the timer fires.
+func (srv *mserver) armDeadline() {
+	dl, ok := srv.mgr.NextDeadline()
+	if !ok {
+		if len(srv.writers) > 0 {
+			// Writes pending but nothing on the deadline heap: either
+			// they await approvals (no timer can help) or a due-set
+			// entry was held back at an exact expiry instant. A short
+			// re-poll keeps the latter live without busy-waiting.
+			dl = srv.localNow().Add(time.Millisecond)
+			ok = true
+		} else {
+			if srv.deadlineEv != nil {
+				srv.w.engine.Cancel(srv.deadlineEv)
+				srv.deadlineEv = nil
+			}
+			srv.deadlineAt = time.Time{}
+			return
+		}
+	}
+	if srv.deadlineEv != nil && srv.deadlineAt.Equal(dl) {
+		return
+	}
+	if srv.deadlineEv != nil {
+		srv.w.engine.Cancel(srv.deadlineEv)
+	}
+	at := trueAt(srv.w.start, dl.Add(time.Microsecond), srv.w.sc.ServerRate, srv.w.sc.ServerSkew)
+	if at.Before(srv.w.engine.Now()) {
+		at = srv.w.engine.Now()
+	}
+	srv.deadlineAt = dl
+	srv.deadlineEv = srv.w.engine.At(at, srv.onDeadline)
+}
+
+func (srv *mserver) onDeadline() {
+	srv.deadlineEv = nil
+	srv.deadlineAt = time.Time{}
+	if srv.down {
+		return
+	}
+	now := srv.localNow()
+	srv.applyReady(now)
+	srv.armDeadline()
+}
+
+// crash loses all volatile server state — the lease manager, the
+// deferred-writer table, the dedupe table — but not the store or the
+// persisted max term.
+func (srv *mserver) crash() {
+	if srv.down {
+		return
+	}
+	srv.down = true
+	if t := srv.mgr.MaxTermGranted(); t > srv.persistedMaxTerm {
+		srv.persistedMaxTerm = t
+	}
+	srv.w.fabric.SetDown(serverNode, true)
+	if srv.deadlineEv != nil {
+		srv.w.engine.Cancel(srv.deadlineEv)
+		srv.deadlineEv = nil
+		srv.deadlineAt = time.Time{}
+	}
+	srv.writers = make(map[core.WriteID]mwriter)
+	srv.seen = make(map[core.ClientID]map[uint64]uint64)
+}
+
+// restart brings the server back inside the §5 recovery window: for
+// one persisted max term it assumes every datum may be leased by
+// unknown clients, so writes defer for the full window.
+func (srv *mserver) restart() {
+	if !srv.down {
+		return
+	}
+	srv.down = false
+	srv.w.fabric.SetDown(serverNode, false)
+	var until time.Time
+	if srv.persistedMaxTerm > 0 && srv.persistedMaxTerm < core.Infinite {
+		until = srv.localNow().Add(srv.persistedMaxTerm)
+	}
+	srv.resetManager(until)
+}

@@ -1,0 +1,190 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Counterexample is a minimized failing scenario, replayable from its
+// JSON form. Artifacts under testdata/counterexamples/ are loaded as
+// regression tests.
+type Counterexample struct {
+	Name string `json:"name,omitempty"`
+	// Violation is the oracle verdict the scenario reproduces.
+	Violation Violation `json:"violation"`
+	// FoundSeed is the exploration seed that first hit the failure,
+	// for provenance; replay needs only Scenario.
+	FoundSeed int64 `json:"found_seed,omitempty"`
+	// Steps is len(Ops)+len(Faults) after shrinking.
+	Steps    int      `json:"steps"`
+	Scenario Scenario `json:"scenario"`
+}
+
+// Save writes the counterexample as an indented JSON artifact.
+func (ce *Counterexample) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := ce.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-seed%d", ce.Violation.Kind, ce.Scenario.Seed)
+	}
+	path := filepath.Join(dir, name+".json")
+	data, err := json.MarshalIndent(ce, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	return path, os.WriteFile(path, data, 0o644)
+}
+
+// LoadCounterexample reads a saved artifact.
+func LoadCounterexample(path string) (*Counterexample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ce Counterexample
+	if err := json.Unmarshal(data, &ce); err != nil {
+		return nil, fmt.Errorf("check: parsing %s: %w", path, err)
+	}
+	return &ce, nil
+}
+
+// fails replays a candidate and reports whether it still violates.
+// Replay is deterministic, so a candidate that fails once fails always.
+func fails(sc Scenario) bool {
+	out, err := RunScenario(sc, Options{MaxViolations: 1})
+	return err == nil && !out.Ok()
+}
+
+// Shrink minimizes a failing scenario to a small counterexample using
+// ddmin-style passes: drop chunks of the fault schedule, then chunks
+// of the operation trace (halving chunk sizes), then straighten the
+// clocks and remove jitter, looping until a fixpoint. Every candidate
+// is judged by deterministic replay, so the result provably still
+// fails.
+func Shrink(sc Scenario) Scenario {
+	sc = sc.withDefaults().clone()
+	if !fails(sc) {
+		return sc
+	}
+	for {
+		before := sc.Steps()
+		sc = shrinkFaults(sc)
+		sc = shrinkOps(sc)
+		sc = straighten(sc)
+		if sc.Steps() >= before {
+			return sc
+		}
+	}
+}
+
+func shrinkFaults(sc Scenario) Scenario {
+	for chunk := len(sc.Faults); chunk >= 1; chunk /= 2 {
+		for lo := 0; lo < len(sc.Faults); {
+			cand := sc.clone()
+			hi := lo + chunk
+			if hi > len(cand.Faults) {
+				hi = len(cand.Faults)
+			}
+			cand.Faults = append(cand.Faults[:lo], cand.Faults[hi:]...)
+			if fails(cand) {
+				sc = cand
+				continue // same lo, next chunk now occupies it
+			}
+			lo += chunk
+		}
+	}
+	return sc
+}
+
+func shrinkOps(sc Scenario) Scenario {
+	for chunk := len(sc.Ops); chunk >= 1; chunk /= 2 {
+		for lo := 0; lo < len(sc.Ops); {
+			cand := sc.clone()
+			hi := lo + chunk
+			if hi > len(cand.Ops) {
+				hi = len(cand.Ops)
+			}
+			cand.Ops = append(cand.Ops[:lo], cand.Ops[hi:]...)
+			if fails(cand) {
+				sc = cand
+				continue
+			}
+			lo += chunk
+		}
+	}
+	return sc
+}
+
+// straighten tries to remove incidental nondeterminism sources: ideal
+// clocks, zero jitter. Each simplification is kept only if the
+// scenario still fails without it.
+func straighten(sc Scenario) Scenario {
+	cand := sc.clone()
+	for i := range cand.ClientRate {
+		cand.ClientRate[i] = 1
+		cand.ClientSkew[i] = 0
+	}
+	cand.ServerRate = 1
+	cand.ServerSkew = 0
+	if fails(cand) {
+		sc = cand
+	}
+	if sc.Jitter != 0 {
+		cand = sc.clone()
+		cand.Jitter = 0
+		if fails(cand) {
+			sc = cand
+		}
+	}
+	return sc
+}
+
+// Minimize shrinks a failing scenario into a named counterexample.
+func Minimize(name string, sc Scenario, foundSeed int64) *Counterexample {
+	small := Shrink(sc)
+	out, err := RunScenario(small, Options{MaxViolations: 1})
+	if err != nil || out.Ok() {
+		// Shrink only returns failing scenarios; fall back to the
+		// original if something is off.
+		small = sc
+		out, _ = RunScenario(small, Options{MaxViolations: 1})
+	}
+	ce := &Counterexample{Name: name, FoundSeed: foundSeed, Steps: small.Steps(), Scenario: small}
+	if out != nil && len(out.Violations) > 0 {
+		ce.Violation = out.Violations[0]
+	}
+	return ce
+}
+
+// ReplayMatches replays a counterexample twice and reports whether
+// both runs reproduce the recorded violation kind identically — the
+// regression-test predicate for saved artifacts.
+func ReplayMatches(ce *Counterexample) error {
+	for i := 0; i < 2; i++ {
+		out, err := RunScenario(ce.Scenario, Options{})
+		if err != nil {
+			return err
+		}
+		if out.Ok() {
+			return fmt.Errorf("check: replay %d of %q produced no violation", i+1, ce.Name)
+		}
+		if ce.Violation.Kind != "" {
+			found := false
+			for _, v := range out.Violations {
+				if v.Kind == ce.Violation.Kind {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("check: replay %d of %q produced %v, want kind %q", i+1, ce.Name, out.Violations, ce.Violation.Kind)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/netsim"
+	"leases/internal/obs"
+	"leases/internal/sim"
+	"leases/internal/vfs"
+)
+
+// Wire kinds, mirroring the trace simulator's message taxonomy so
+// fabric metrics and fault filters speak one vocabulary.
+const (
+	kindExtend      = "lease.extend"
+	kindGrant       = "lease.grant"
+	kindApprovalReq = "lease.approval-req"
+	kindApprove     = "lease.approve"
+	kindWrite       = "data.write"
+	kindAck         = "data.ack"
+)
+
+const serverNode = netsim.NodeID("srv")
+
+func clientNode(i int) netsim.NodeID {
+	return netsim.NodeID("c" + strconv.Itoa(i))
+}
+
+// datumForFile maps file index f to its FileData datum. Node IDs start
+// at 2: the root directory is node 1.
+func datumForFile(f int) vfs.Datum {
+	return vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(2 + f)}
+}
+
+func fileForDatum(d vfs.Datum) int { return int(d.Node) - 2 }
+
+// Options tunes one RunScenario call.
+type Options struct {
+	// Sink, when non-nil, receives the observability event stream as
+	// JSON lines (one per protocol event, in schedule order).
+	Sink io.Writer
+	// MaxViolations caps how many violations are collected before the
+	// oracle stops recording; zero means 8.
+	MaxViolations int
+}
+
+// Violation is one oracle verdict.
+type Violation struct {
+	Kind string `json:"kind"`
+	// At is the virtual offset from scenario start.
+	At     time.Duration `json:"at"`
+	Detail string        `json:"detail"`
+}
+
+func (v Violation) String() string { return fmt.Sprintf("[%s @%v] %s", v.Kind, v.At, v.Detail) }
+
+// Outcome summarizes one execution.
+type Outcome struct {
+	Violations []Violation
+
+	Reads       int
+	CacheHits   int
+	Writes      int
+	WritesAcked int
+	Extends     int
+	// GivenUp counts operations abandoned after exhausting retries
+	// (expected under partitions; never a violation by itself).
+	GivenUp int
+
+	Deliveries int64
+	Losses     int64
+	Events     int64
+	// MaxWriteWait is the longest server-side write deferral.
+	MaxWriteWait time.Duration
+}
+
+// Ok reports a violation-free execution.
+func (o *Outcome) Ok() bool { return len(o.Violations) == 0 }
+
+// world wires one scenario's components together: the discrete-event
+// engine, the fabric, the model server and clients, and the oracle.
+type world struct {
+	sc      Scenario
+	engine  *sim.Engine
+	fabric  *netsim.Fabric
+	obs     *obs.Observer
+	start   time.Time
+	orc     *oracle
+	srv     *mserver
+	clients []*mclient
+	out     *Outcome
+	lossRNG *rand.Rand
+}
+
+// mix derives independent deterministic seeds for the engine
+// tie-breaker, the fabric jitter, and the loss windows, so shrinking
+// one dimension does not perturb the others.
+func mix(seed, salt int64) int64 {
+	x := uint64(seed) ^ uint64(salt)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// localAt maps true time onto a node's drifting, skewed clock:
+// local = start + rate·(now − start) + skew.
+func localAt(start, now time.Time, rate float64, skew time.Duration) time.Time {
+	if rate != 0 && rate != 1 {
+		now = start.Add(time.Duration(float64(now.Sub(start)) * rate))
+	}
+	return now.Add(skew)
+}
+
+// trueAt inverts localAt: the true instant at which the node's clock
+// will read local.
+func trueAt(start, local time.Time, rate float64, skew time.Duration) time.Time {
+	local = local.Add(-skew)
+	if rate == 0 || rate == 1 {
+		return local
+	}
+	return start.Add(time.Duration(float64(local.Sub(start)) / rate))
+}
+
+// RunScenario executes one scenario to completion and reports the
+// outcome. Execution is fully deterministic: equal scenarios yield
+// equal outcomes and equal event streams.
+func RunScenario(sc Scenario, opt Options) (*Outcome, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxViolations <= 0 {
+		opt.MaxViolations = 8
+	}
+	w := &world{sc: sc, out: &Outcome{}}
+	w.engine = sim.New(clock.Epoch)
+	w.start = w.engine.Now()
+	tieRNG := rand.New(rand.NewSource(mix(sc.Seed, 0x7ea5)))
+	w.engine.SetTieBreaker(func(n int) int { return tieRNG.Intn(n) })
+	w.fabric = netsim.New(w.engine, netsim.Params{
+		Prop:   sc.Prop,
+		Proc:   sc.Proc,
+		Jitter: sc.Jitter,
+		Seed:   mix(sc.Seed, 0xfab),
+	})
+	w.fabric.SetFaults(w.faultFor)
+	w.lossRNG = rand.New(rand.NewSource(mix(sc.Seed, 0x1055)))
+	w.obs = obs.New(obs.Config{RingSize: 1 << 15, Sink: opt.Sink, Now: w.engine.Now})
+	w.orc = newOracle(w, opt.MaxViolations)
+	w.srv = newMserver(w)
+	for i := 0; i < sc.Clients; i++ {
+		w.clients = append(w.clients, newMclient(w, i))
+	}
+	w.scheduleOps()
+	w.scheduleFaults()
+	w.engine.Run()
+
+	// Post-run lens: under the honest protocol a write may be deferred
+	// at most one lease term (§2) plus the crash-recovery window;
+	// 2·term + slack bounds both with margin.
+	if sc.Break == "" {
+		if bound := 2*sc.Term + time.Second; w.out.MaxWriteWait > bound {
+			w.orc.violate(vSlowWrite, fmt.Sprintf("a write was deferred %v, past the %v bound", w.out.MaxWriteWait, bound))
+		}
+	}
+	w.out.Deliveries = w.fabric.Deliveries()
+	w.out.Losses = w.fabric.Losses()
+	for _, ec := range w.obs.EventCounts() {
+		w.out.Events += ec.N
+	}
+	return w.out, nil
+}
+
+func (w *world) scheduleOps() {
+	for i := range w.sc.Ops {
+		op := w.sc.Ops[i]
+		c := w.clients[op.Client]
+		w.engine.At(w.start.Add(op.At), func() { c.doOp(op) })
+	}
+}
+
+func (w *world) scheduleFaults() {
+	for i := range w.sc.Faults {
+		ft := w.sc.Faults[i]
+		switch ft.Kind {
+		case FaultPartition:
+			node := clientNode(ft.Client)
+			w.engine.At(w.start.Add(ft.At), func() {
+				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(node)})
+				w.fabric.CutLink(node, serverNode)
+			})
+			w.engine.At(w.start.Add(ft.At+ft.Dur), func() {
+				w.fabric.HealLink(node, serverNode)
+			})
+		case FaultClientCrash:
+			c := w.clients[ft.Client]
+			w.engine.At(w.start.Add(ft.At), func() {
+				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(c.node)})
+				c.crash()
+			})
+			w.engine.At(w.start.Add(ft.At+ft.Dur), func() { c.restart() })
+		case FaultServerCrash:
+			w.engine.At(w.start.Add(ft.At), func() {
+				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(serverNode)})
+				w.srv.crash()
+			})
+			w.engine.At(w.start.Add(ft.At+ft.Dur), func() { w.srv.restart() })
+		case FaultDrop, FaultDelay, FaultLoss:
+			// Window faults act through faultFor on each delivery.
+		}
+	}
+}
+
+// faultFor is the fabric's per-delivery fault choice point: it scans
+// the schedule's window faults active at the current virtual instant.
+// The fabric consults it in deterministic delivery order, so the
+// lossRNG stream — and therefore every loss decision — replays
+// exactly under equal scenarios.
+func (w *world) faultFor(from, to netsim.NodeID, kind string) netsim.FaultDecision {
+	var dec netsim.FaultDecision
+	now := w.engine.Now().Sub(w.start)
+	for i := range w.sc.Faults {
+		ft := &w.sc.Faults[i]
+		if now < ft.At || now >= ft.At+ft.Dur {
+			continue
+		}
+		switch ft.Kind {
+		case FaultLoss:
+			if w.lossRNG.Float64() < ft.Rate {
+				dec.Drop = true
+			}
+		case FaultDrop:
+			if ft.matches(from, to, kind) {
+				dec.Drop = true
+			}
+		case FaultDelay:
+			if ft.matches(from, to, kind) {
+				dec.Delay += ft.Extra
+			}
+		}
+	}
+	return dec
+}
+
+// matches reports whether a drop/delay fault applies to one delivery.
+func (ft *Fault) matches(from, to netsim.NodeID, kind string) bool {
+	if ft.MsgKind != "" && ft.MsgKind != kind {
+		return false
+	}
+	c := clientNode(ft.Client)
+	if ft.ToServer {
+		return from == c && to == serverNode
+	}
+	return from == serverNode && to == c
+}

@@ -54,18 +54,24 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 // value is arbitrary; tests compare instants relative to it.
 var Epoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
 
-// simTimer is a pending timer on a Sim clock.
+// simTimer is a pending timer on a Sim clock. seq records arming order:
+// timers with equal deadlines fire in the order they were created,
+// pinning a total (deadline, seq) order — selecting among equal
+// deadlines by map iteration would make same-tick firing order vary
+// between runs of the same schedule.
 type simTimer struct {
-	at time.Time
-	ch chan time.Time
+	at  time.Time
+	seq uint64
+	ch  chan time.Time
 }
 
 // Sim is a deterministic, manually advanced clock. Time moves only when
 // Advance or AdvanceTo is called; timers fire synchronously during the
-// advance, in deadline order. Sim is safe for concurrent use.
+// advance, in (deadline, arming order). Sim is safe for concurrent use.
 type Sim struct {
 	mu     sync.Mutex
 	now    time.Time
+	seq    uint64
 	timers map[*simTimer]struct{}
 }
 
@@ -90,7 +96,8 @@ func (s *Sim) Now() time.Time {
 func (s *Sim) After(d time.Duration) (<-chan time.Time, func() bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t := &simTimer{at: s.now.Add(d), ch: make(chan time.Time, 1)}
+	t := &simTimer{at: s.now.Add(d), seq: s.seq, ch: make(chan time.Time, 1)}
+	s.seq++
 	if d <= 0 {
 		// Fire immediately: the deadline has already passed.
 		t.ch <- s.now
@@ -130,26 +137,16 @@ func (s *Sim) Advance(d time.Duration) {
 }
 
 // AdvanceTo moves the clock forward to instant t. Moving backwards is a
-// no-op. Timers fire in deadline order; each timer observes Now equal to
-// its own deadline, as a real clock would.
+// no-op. Timers fire in (deadline, arming) order; each timer observes
+// Now equal to its own deadline, as a real clock would.
 func (s *Sim) AdvanceTo(at time.Time) {
 	for {
 		s.mu.Lock()
-		if !at.After(s.now) {
-			s.mu.Unlock()
-			return
-		}
-		var next *simTimer
-		for t := range s.timers {
-			if t.at.After(at) {
-				continue
-			}
-			if next == nil || t.at.Before(next.at) {
-				next = t
-			}
-		}
+		next := s.earliestTimerLocked(at)
 		if next == nil {
-			s.now = at
+			if at.After(s.now) {
+				s.now = at
+			}
 			s.mu.Unlock()
 			return
 		}
@@ -161,6 +158,23 @@ func (s *Sim) AdvanceTo(at time.Time) {
 		s.mu.Unlock()
 		next.ch <- fireAt
 	}
+}
+
+// earliestTimerLocked returns the armed timer with the earliest
+// deadline at or before limit, breaking deadline ties by arming order.
+// Callers hold s.mu.
+func (s *Sim) earliestTimerLocked(limit time.Time) *simTimer {
+	var next *simTimer
+	for t := range s.timers {
+		if t.at.After(limit) {
+			continue
+		}
+		if next == nil || t.at.Before(next.at) ||
+			(t.at.Equal(next.at) && t.seq < next.seq) {
+			next = t
+		}
+	}
+	return next
 }
 
 // PendingTimers reports how many timers are armed. Useful in tests to

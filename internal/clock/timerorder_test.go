@@ -1,0 +1,72 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSimTimersFireInArmingOrderAtEqualDeadlines pins the (deadline,
+// arming order) total order: before seq was added, equal-deadline
+// timers fired in map-iteration order, which varied between runs of
+// the same schedule.
+func TestSimTimersFireInArmingOrderAtEqualDeadlines(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		s := NewSim()
+		const n = 8
+		chans := make([]<-chan time.Time, n)
+		for i := range chans {
+			ch, _ := s.After(time.Second)
+			chans[i] = ch
+		}
+		s.Advance(time.Second)
+		// Timers fired synchronously during Advance, in arming order;
+		// each buffered channel holds its tick. Draining in arming
+		// order must never block.
+		for i, ch := range chans {
+			select {
+			case at := <-ch:
+				if want := Epoch.Add(time.Second); !at.Equal(want) {
+					t.Fatalf("timer %d fired at %v, want %v", i, at, want)
+				}
+			default:
+				t.Fatalf("round %d: timer %d did not fire", round, i)
+			}
+		}
+	}
+}
+
+// TestSimTimerOrderInterleavedDeadlines checks the full (at, seq)
+// order with mixed deadlines armed out of order.
+func TestSimTimerOrderInterleavedDeadlines(t *testing.T) {
+	s := NewSim()
+	var fired []int
+	record := func(idx int, ch <-chan time.Time) (drain func()) {
+		return func() {
+			select {
+			case <-ch:
+				fired = append(fired, idx)
+			default:
+			}
+		}
+	}
+	c2a, _ := s.After(2 * time.Second) // armed first at t+2
+	c1a, _ := s.After(1 * time.Second) // armed second at t+1
+	c2b, _ := s.After(2 * time.Second) // armed third at t+2
+	c1b, _ := s.After(1 * time.Second) // armed fourth at t+1
+	drains := []func(){record(0, c2a), record(1, c1a), record(2, c2b), record(3, c1b)}
+
+	s.Advance(time.Second)
+	for _, d := range drains {
+		d()
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("after 1s fired %v, want [1 3] (deadline then arming order)", fired)
+	}
+	s.Advance(time.Second)
+	for _, d := range drains {
+		d()
+	}
+	if len(fired) != 4 || fired[2] != 0 || fired[3] != 2 {
+		t.Fatalf("after 2s fired %v, want [1 3 0 2]", fired)
+	}
+}

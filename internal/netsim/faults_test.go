@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/sim"
+)
+
+func TestFaultFuncDropDiscardsAndCountsLoss(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	delivered := 0
+	f.Register("a", func(Message) {})
+	f.Register("b", func(Message) { delivered++ })
+	f.SetFaults(func(from, to NodeID, kind string) FaultDecision {
+		return FaultDecision{Drop: kind == "drop.me"}
+	})
+	f.Unicast("a", "b", "drop.me", nil)
+	f.Unicast("a", "b", "keep.me", nil)
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d messages, want 1", delivered)
+	}
+	if got := f.Losses(); got != 1 {
+		t.Fatalf("Losses = %d, want 1", got)
+	}
+}
+
+func TestFaultFuncDelayAddsToDeliveryDelay(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	p := lanParams()
+	f := New(e, p)
+	extra := 10 * time.Millisecond
+	var at time.Time
+	f.Register("a", func(Message) {})
+	f.Register("b", func(Message) { at = e.Now() })
+	f.SetFaults(func(NodeID, NodeID, string) FaultDecision {
+		return FaultDecision{Delay: extra}
+	})
+	f.Unicast("a", "b", "slow", nil)
+	e.Run()
+	want := clock.Epoch.Add(p.DeliveryDelay() + extra)
+	if !at.Equal(want) {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestFaultFuncSeesEndpointsAndKind(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	f.Register("a", func(Message) {})
+	f.Register("b", func(Message) {})
+	type call struct {
+		from, to NodeID
+		kind     string
+	}
+	var calls []call
+	f.SetFaults(func(from, to NodeID, kind string) FaultDecision {
+		calls = append(calls, call{from, to, kind})
+		return FaultDecision{}
+	})
+	f.Unicast("a", "b", "k1", nil)
+	f.Unicast("b", "a", "k2", nil)
+	e.Run()
+	if len(calls) != 2 {
+		t.Fatalf("fault func consulted %d times, want 2", len(calls))
+	}
+	if calls[0] != (call{"a", "b", "k1"}) || calls[1] != (call{"b", "a", "k2"}) {
+		t.Fatalf("fault func saw %v", calls)
+	}
+}
+
+func TestFaultFuncNotConsultedAcrossCutLink(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	f.Register("a", func(Message) {})
+	f.Register("b", func(Message) {})
+	f.CutLink("a", "b")
+	calls := 0
+	f.SetFaults(func(NodeID, NodeID, string) FaultDecision { calls++; return FaultDecision{} })
+	f.Unicast("a", "b", "k", nil)
+	e.Run()
+	if calls != 0 {
+		t.Fatalf("fault func consulted %d times across a cut link, want 0", calls)
+	}
+	if got := f.PartitionDrops(); got != 1 {
+		t.Fatalf("PartitionDrops = %d, want 1", got)
+	}
+}
+
+func TestSetFaultsNilRemovesHook(t *testing.T) {
+	e := sim.New(clock.Epoch)
+	f := New(e, lanParams())
+	delivered := 0
+	f.Register("a", func(Message) {})
+	f.Register("b", func(Message) { delivered++ })
+	f.SetFaults(func(NodeID, NodeID, string) FaultDecision { return FaultDecision{Drop: true} })
+	f.Unicast("a", "b", "k", nil)
+	f.SetFaults(nil)
+	f.Unicast("a", "b", "k", nil)
+	e.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (first dropped, second clean)", delivered)
+	}
+}

@@ -42,6 +42,24 @@ type Message struct {
 // Handler consumes a delivered message.
 type Handler func(Message)
 
+// FaultDecision tells the fabric what to do with one candidate
+// delivery.
+type FaultDecision struct {
+	// Drop silently discards the message (counted as a loss).
+	Drop bool
+	// Delay adds extra latency on top of the normal delivery delay,
+	// letting a fault schedule reorder specific messages against later
+	// traffic.
+	Delay time.Duration
+}
+
+// FaultFunc is a deterministic fault choice point, consulted once per
+// candidate delivery after partitions are checked and before the
+// fabric's own probabilistic loss process. The model checker threads
+// its fault grammar through here; because the fabric calls it in a
+// deterministic order, equal seeds make equal decisions.
+type FaultFunc func(from, to NodeID, kind string) FaultDecision
+
 // Params configures the fabric.
 type Params struct {
 	// Prop is the one-way propagation delay m_prop.
@@ -92,6 +110,7 @@ type Fabric struct {
 	cutLinks    map[pair]bool
 	downNodes   map[NodeID]bool
 	linkProp    map[pair]time.Duration
+	faults      FaultFunc
 	reg         *stats.Registry
 	deliveries  stats.Counter
 	losses      stats.Counter
@@ -143,6 +162,10 @@ func (f *Fabric) Losses() int64 { return f.losses.Value() }
 
 // PartitionDrops reports how many messages were dropped by partitions.
 func (f *Fabric) PartitionDrops() int64 { return f.partitioned.Value() }
+
+// SetFaults installs fn as the fabric's per-delivery fault choice
+// point; nil removes it.
+func (f *Fabric) SetFaults(fn FaultFunc) { f.faults = fn }
 
 // CutLink blocks traffic in both directions between a and b.
 func (f *Fabric) CutLink(a, b NodeID) { f.cutLinks[mkPair(a, b)] = true }
@@ -253,13 +276,24 @@ func (f *Fabric) deliver(from, to NodeID, kind string, payload any) {
 		f.partitioned.Inc()
 		return
 	}
+	var extra time.Duration
+	if f.faults != nil {
+		dec := f.faults(from, to, kind)
+		if dec.Drop {
+			f.losses.Inc()
+			return
+		}
+		if dec.Delay > 0 {
+			extra = dec.Delay
+		}
+	}
 	if f.params.LossRate > 0 && f.rng.Float64() < f.params.LossRate {
 		f.losses.Inc()
 		return
 	}
 	msg := Message{From: from, To: to, Kind: kind, SentAt: f.engine.Now()}
 	msg.Payload = payload
-	delay := f.DeliveryDelayBetween(from, to)
+	delay := f.DeliveryDelayBetween(from, to) + extra
 	if f.params.Jitter > 0 {
 		delay += time.Duration(f.rng.Int63n(int64(f.params.Jitter)))
 	}

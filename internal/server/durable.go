@@ -22,9 +22,19 @@ import (
 // most once per policy change, the fsync cost is a one-time event, not
 // a per-grant tax.
 
+// MaxDurableTerm bounds what a max-term file may claim. No sane
+// configuration grants year-long leases, so a larger value is corruption
+// (a wall-clock timestamp written where a duration belongs, a flipped
+// bit in the high digits), and honoring it would park the server in its
+// recovery window for decades. Refusing to load it forces the operator
+// to inspect the file instead.
+const MaxDurableTerm = 365 * 24 * time.Hour
+
 // LoadMaxTerm reads a durable max-term file written by a server with
 // Config.MaxTermPath set. It returns the persisted term and whether the
-// file existed; a missing file is a fresh boot, not an error.
+// file existed; a missing file is a fresh boot, not an error. Anything
+// unparseable, negative, or beyond MaxDurableTerm is reported as
+// corrupt: the recovery window must come from evidence, not garbage.
 func LoadMaxTerm(path string) (time.Duration, bool, error) {
 	b, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -35,7 +45,7 @@ func LoadMaxTerm(path string) (time.Duration, bool, error) {
 	}
 	s := strings.TrimSpace(string(b))
 	n, perr := strconv.ParseInt(s, 10, 64)
-	if perr != nil || n < 0 {
+	if perr != nil || n < 0 || time.Duration(n) > MaxDurableTerm {
 		return 0, false, fmt.Errorf("server: corrupt max-term file %s: %q", path, s)
 	}
 	return time.Duration(n), true, nil
@@ -59,6 +69,11 @@ func (f *maxTermFile) update(t time.Duration) error {
 	defer f.mu.Unlock()
 	if t <= f.last {
 		return nil
+	}
+	if t > MaxDurableTerm {
+		// A term this long would be unloadable after the restart it is
+		// supposed to protect; the grant must be refused instead.
+		return fmt.Errorf("server: max term %v exceeds durable cap %v", t, MaxDurableTerm)
 	}
 	dir := filepath.Dir(f.path)
 	tmp, err := os.CreateTemp(dir, ".maxterm-*")

@@ -3,6 +3,7 @@ package server
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -65,12 +66,67 @@ func TestMaxTermFileLeavesNoTempDebris(t *testing.T) {
 }
 
 func TestLoadMaxTermCorruptFileErrors(t *testing.T) {
+	// Every way a crash or operator mishap can mangle the file: a torn
+	// write leaving nothing or NUL-padded digits, stray text, a negative
+	// value, a flipped high bit overflowing int64, and a plausible-looking
+	// wall-clock timestamp (~56 years in nanoseconds) that would park the
+	// server in its recovery window for decades if honored.
+	cases := map[string][]byte{
+		"zero-length":      {},
+		"whitespace-only":  []byte("  \n\t\n"),
+		"garbage":          []byte("not a number\n"),
+		"partial-write":    []byte("25000000\x00\x00\x00\x00"),
+		"negative":         []byte("-5000000000\n"),
+		"overflow":         []byte("99999999999999999999999999\n"),
+		"future-timestamp": []byte("1790000000000000000\n"),
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "maxterm")
+			if err := os.WriteFile(path, content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			term, found, err := LoadMaxTerm(path)
+			if err == nil {
+				t.Fatalf("corrupt max-term file %q loaded as %v (found=%v)", content, term, found)
+			}
+		})
+	}
+}
+
+func TestLoadMaxTermAcceptsCapBoundary(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "maxterm")
-	if err := os.WriteFile(path, []byte("not a number\n"), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(strconv.FormatInt(int64(MaxDurableTerm), 10)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	term, found, err := LoadMaxTerm(path)
+	if err != nil || !found || term != MaxDurableTerm {
+		t.Fatalf("LoadMaxTerm(cap) = %v, %v, %v; want %v, true, nil", term, found, err, MaxDurableTerm)
+	}
+	if err := os.WriteFile(path, []byte(strconv.FormatInt(int64(MaxDurableTerm)+1, 10)+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := LoadMaxTerm(path); err == nil {
-		t.Fatal("corrupt max-term file loaded without error")
+		t.Fatal("cap+1ns loaded without error")
+	}
+}
+
+func TestMaxTermFileRefusesUncappedTerm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "maxterm")
+	f := &maxTermFile{path: path}
+	if err := f.update(MaxDurableTerm + time.Second); err == nil {
+		t.Fatal("update beyond MaxDurableTerm succeeded; such a file could never be loaded back")
+	}
+	// The refusal must leave no file behind: a fresh boot, not corruption.
+	if _, found, err := LoadMaxTerm(path); err != nil || found {
+		t.Fatalf("after refused update: found=%v err=%v; want a missing file", found, err)
+	}
+	// And the cap itself must still be grantable.
+	if err := f.update(MaxDurableTerm); err != nil {
+		t.Fatalf("update at the cap: %v", err)
+	}
+	if term, _, err := LoadMaxTerm(path); err != nil || term != MaxDurableTerm {
+		t.Fatalf("after update at cap: %v, %v", term, err)
 	}
 }
 

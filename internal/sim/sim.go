@@ -69,6 +69,8 @@ type Engine struct {
 	seq      uint64
 	executed uint64
 	running  bool
+	// choose, when set, is the same-instant choice point (SetTieBreaker).
+	choose func(n int) int
 }
 
 // New returns an engine whose virtual clock reads start.
@@ -120,6 +122,19 @@ func (e *Engine) Cancel(ev *Event) bool {
 	return true
 }
 
+// SetTieBreaker installs choose as the engine's same-instant choice
+// point, or removes it when nil. Events at distinct instants always run
+// in time order; but when several pending events share the earliest
+// instant, their order is a real scheduling freedom — on a network, two
+// messages delivered "at the same time" arrive in either order. With a
+// chooser installed, Step gathers the tied events in scheduling order
+// and runs the one at index choose(n) (clamped into [0,n)); the rest
+// stay pending with their original sequence numbers, so a nil or
+// constant-zero chooser degenerates to the default FIFO tie-break. A
+// model checker threads a seeded RNG through here to explore
+// interleavings; replaying the seed replays the schedule.
+func (e *Engine) SetTieBreaker(choose func(n int) int) { e.choose = choose }
+
 // Step executes the single earliest pending event, advancing virtual time
 // to its instant. It reports false if no events are pending.
 func (e *Engine) Step() bool {
@@ -127,12 +142,35 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*Event)
+	if e.choose != nil && e.queue.Len() > 0 && e.queue[0].at.Equal(ev.at) {
+		ev = e.popTied(ev)
+	}
 	e.now = ev.at
 	e.executed++
 	fn := ev.fn
 	ev.fn = nil
 	fn()
 	return true
+}
+
+// popTied collects every event tied with first's instant, asks the
+// chooser to pick one, and re-queues the rest (which keep their
+// sequence numbers, preserving their relative order).
+func (e *Engine) popTied(first *Event) *Event {
+	tied := []*Event{first}
+	for e.queue.Len() > 0 && e.queue[0].at.Equal(first.at) {
+		tied = append(tied, heap.Pop(&e.queue).(*Event))
+	}
+	k := e.choose(len(tied))
+	if k < 0 || k >= len(tied) {
+		k = 0
+	}
+	for i, ev := range tied {
+		if i != k {
+			heap.Push(&e.queue, ev)
+		}
+	}
+	return tied[k]
 }
 
 // Run executes events until none remain. It guards against re-entrant

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+)
+
+func TestTieBreakerChoosesAmongTiedEvents(t *testing.T) {
+	e := New(clock.Epoch)
+	e.SetTieBreaker(func(n int) int { return n - 1 }) // always pick the last tied event
+	var order []int
+	at := clock.Epoch.Add(time.Second)
+	for i := 0; i < 4; i++ {
+		i := i
+		e.At(at, func() { order = append(order, i) })
+	}
+	e.Run()
+	// Picking the last each round reverses the schedule order.
+	want := []int{3, 2, 1, 0}
+	for i, v := range order {
+		if v != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakerZeroKeepsScheduleOrder(t *testing.T) {
+	e := New(clock.Epoch)
+	e.SetTieBreaker(func(int) int { return 0 })
+	var order []int
+	at := clock.Epoch.Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(at, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("constant-zero chooser broke FIFO order: %v", order)
+		}
+	}
+}
+
+func TestTieBreakerOnlyAffectsTies(t *testing.T) {
+	e := New(clock.Epoch)
+	e.SetTieBreaker(func(n int) int { return n - 1 })
+	var order []int
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("distinct instants reordered: %v", order)
+	}
+}
+
+func TestTieBreakerOutOfRangeClampsToFirst(t *testing.T) {
+	e := New(clock.Epoch)
+	e.SetTieBreaker(func(n int) int { return n + 7 })
+	var order []int
+	at := clock.Epoch.Add(time.Second)
+	for i := 0; i < 3; i++ {
+		i := i
+		e.At(at, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("clamped chooser should behave as FIFO, got %v", order)
+		}
+	}
+}
+
+func TestTieBreakerSeededReplayIsIdentical(t *testing.T) {
+	run := func(seed int64) []int {
+		e := New(clock.Epoch)
+		rng := rand.New(rand.NewSource(seed))
+		e.SetTieBreaker(func(n int) int { return rng.Intn(n) })
+		var order []int
+		for batch := 0; batch < 10; batch++ {
+			at := clock.Epoch.Add(time.Duration(batch+1) * time.Second)
+			for i := 0; i < 6; i++ {
+				v := batch*10 + i
+				e.At(at, func() { order = append(order, v) })
+			}
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical tie-broken orders across 10 batches; chooser appears unused")
+	}
+}
+
+func TestTieBreakerUnaffectedBySoloEvents(t *testing.T) {
+	e := New(clock.Epoch)
+	calls := 0
+	e.SetTieBreaker(func(n int) int { calls++; return 0 })
+	e.After(time.Second, func() {})
+	e.After(2*time.Second, func() {})
+	e.Run()
+	if calls != 0 {
+		t.Fatalf("chooser consulted %d times with no ties", calls)
+	}
+}
