@@ -35,6 +35,8 @@ func main() {
 	speedup := flag.Float64("speedup", 60, "time compression factor")
 	maxOps := flag.Int("max-ops", 0, "cap on replayed events (0 = all)")
 	skipPrepare := flag.Bool("skip-prepare", false, "assume /f<N> files already exist")
+	depth := flag.Int("depth", 1, "per-client pipeline depth (ops in flight; 1 = blocking)")
+	open := flag.Bool("open", false, "open-loop: issue as fast as the pipeline window allows, ignoring trace timing")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -83,16 +85,27 @@ func main() {
 			log.Fatalf("leaseload: preparing files: %v", err)
 		}
 	}
-	fmt.Printf("replaying %d events (%d clients, %d files) at %gx against %s...\n",
-		len(tr.Events), tr.Clients, tr.Files, *speedup, *addr)
+	pacing := fmt.Sprintf("at %gx", *speedup)
+	if *open {
+		pacing = "open-loop"
+	}
+	fmt.Printf("replaying %d events (%d clients, %d files, depth %d) %s against %s...\n",
+		len(tr.Events), tr.Clients, tr.Files, maxInt(*depth, 1), pacing, *addr)
 	res, err := replay.Run(replay.Config{
 		Addr: *addr, Trace: tr, Speedup: *speedup, MaxOps: *maxOps,
+		Depth: *depth, OpenLoop: *open,
 	})
 	if err != nil {
 		log.Fatalf("leaseload: %v", err)
 	}
 	fmt.Printf("done in %v\n", res.WallTime.Truncate(time.Millisecond))
 	fmt.Printf("  ops: %d (%d reads, %d writes), errors: %d\n", res.Ops, res.Reads, res.Writes, res.Errors)
+	if *open {
+		secs := res.WallTime.Seconds()
+		if secs > 0 {
+			fmt.Printf("  throughput: %.0f ops/s, window stalls: %d\n", float64(res.Ops)/secs, res.Stalls)
+		}
+	}
 	if res.Reads > 0 {
 		fmt.Printf("  cache hit rate: %.1f%%\n", 100*float64(res.ReadHits)/float64(res.Reads))
 	}
@@ -121,6 +134,13 @@ func printClass(name string, s replay.LatencySummary) {
 
 func minInt(a, b int) int {
 	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
 		return a
 	}
 	return b

@@ -45,6 +45,12 @@ var scenarioTable = []scenarioSpec{
 		duration: 3 * time.Second,
 		run:      runClientCrash,
 	},
+	{
+		name:     "pipeline",
+		summary:  "a client keeps a window of pipelined futures in flight through latency jitter and a mid-run sever",
+		duration: 3 * time.Second,
+		run:      runPipeline,
+	},
 }
 
 func runSmoke(h *harness) {
@@ -180,5 +186,85 @@ func (h *harness) clientCrashProbe() {
 	if delay < h.o.Term/4 {
 		h.ck.violate("probe write cleared in %v — expected deferral behind the crashed client's lease (term %v)",
 			delay, h.o.Term)
+	}
+}
+
+// runPipeline drives the asynchronous client API through the fault
+// proxy: an extra client keeps a depth-8 window of StartRead futures
+// (plus periodic batched extensions) in flight while the standard
+// writer keeps invalidating the same files, so approval pushes
+// interleave with pipelined replies on a jittery link — and a mid-run
+// sever kills the whole window, whose futures must ride the session
+// retry budget onto the reconnected connection. Every harvested read
+// is checked against the floor snapshotted when it was issued: a
+// pipelined read is held to exactly the same consistency bar as a
+// blocking one.
+func runPipeline(h *harness) {
+	d := h.o.Duration
+	pipeliner, err := client.Dial(h.proxy.Addr(), h.clientCfg("pipeliner", 50))
+	if err != nil {
+		h.ck.violate("pipeliner dial: %v", err)
+		return
+	}
+	pstop := make(chan struct{})
+	pdone := make(chan struct{})
+	go h.pipelineLoop(pipeliner, pstop, pdone)
+
+	faultnet.NewSchedule(h.obs).
+		At(0, "latency-on", func() {
+			h.proxy.SetBoth(faultnet.LinkConfig{Latency: time.Millisecond, Jitter: 3 * time.Millisecond})
+		}).
+		At(d/2, "sever-all", h.proxy.SeverAll).
+		At(d, "heal", func() { h.proxy.SetBoth(faultnet.LinkConfig{}) }).
+		Run(clock.Real{}, h.stop)
+	close(pstop)
+	<-pdone
+	pipeliner.Close()
+	h.settle()
+}
+
+// pipelineLoop issues reads through the futures API, keeping up to
+// eight in flight, and harvests them oldest-first.
+func (h *harness) pipelineLoop(c *client.Cache, stop, done chan struct{}) {
+	defer close(done)
+	const depth = 8
+	type inflight struct {
+		fi    int
+		floor uint64
+		read  *client.ReadCall
+	}
+	var window []inflight
+	harvest := func() {
+		op := window[0]
+		window = window[1:]
+		data, err := op.read.Wait()
+		if err != nil {
+			h.ck.readErrs.Add(1)
+			return
+		}
+		h.ck.observeRead(op.fi, data, op.floor)
+	}
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			for len(window) > 0 {
+				harvest()
+			}
+			return
+		default:
+		}
+		if len(window) >= depth {
+			harvest()
+		}
+		if i%16 == 15 {
+			// A batched extension rides in the same window as the reads.
+			if err := c.StartExtendAll().Wait(); err != nil {
+				h.ck.readErrs.Add(1)
+			}
+			continue
+		}
+		fi := i % 2 // the victim file belongs to the client-crash probe
+		floor := h.ck.floors.Floor(fi)
+		window = append(window, inflight{fi: fi, floor: floor, read: c.StartRead(workFiles[fi])})
 	}
 }

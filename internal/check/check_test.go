@@ -210,3 +210,45 @@ func TestScenarioValidate(t *testing.T) {
 		t.Fatal("unknown fault kind accepted")
 	}
 }
+
+// TestPipelinedBurstSchedule hand-builds the schedule shape the
+// generator now also emits: one client issuing several operations at
+// the same instant, so its requests are concurrently in flight (the
+// deployment's futures API on the model substrate). The burst crosses
+// another client's leases, forcing approval pushes to interleave with
+// the burst's replies, and the oracle must stay clean.
+func TestPipelinedBurstSchedule(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	sc := Scenario{
+		Clients: 3, Files: 2,
+		Ops: []Op{
+			// Client 1 takes leases on both files.
+			{At: ms(0), Client: 1, File: 0, Kind: OpRead},
+			{At: ms(0), Client: 1, File: 1, Kind: OpRead},
+			// Client 0 pipelines a mixed burst: two writes (each must
+			// collect client 1's approval), a read, and an extend, all in
+			// flight together.
+			{At: ms(20), Client: 0, File: 0, Kind: OpWrite},
+			{At: ms(20), Client: 0, File: 1, Kind: OpWrite},
+			{At: ms(20), Client: 0, File: 0, Kind: OpRead},
+			{At: ms(20), Client: 0, Kind: OpExtend},
+			// Client 1 reads into the middle of the burst: its reply may
+			// cross the approval pushes aimed at it.
+			{At: ms(21), Client: 1, File: 0, Kind: OpRead},
+			// A second burst from a third client against the same files.
+			{At: ms(40), Client: 2, File: 0, Kind: OpRead},
+			{At: ms(40), Client: 2, File: 1, Kind: OpWrite},
+			{At: ms(40), Client: 2, File: 1, Kind: OpRead},
+		},
+	}
+	out, err := RunScenario(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) != 0 {
+		t.Fatalf("pipelined burst schedule violated: %v", out.Violations)
+	}
+	if out.Reads == 0 || out.Writes == 0 {
+		t.Fatalf("burst schedule ran no work: %+v", out)
+	}
+}

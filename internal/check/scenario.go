@@ -306,25 +306,51 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 
 	// Operation trace: uniform times over the first 80% of the horizon
 	// (the tail lets deferred writes and retries drain), weighted
-	// read-heavy like the paper's workload.
+	// read-heavy like the paper's workload. Some slots expand into
+	// pipelined bursts — several operations one client issues at the
+	// same instant, so its requests are concurrently in flight the way
+	// the deployment's futures API (StartRead/StartWrite) drives the
+	// wire — and some into contention pairs: a read and a write of the
+	// same file from two clients at the same instant, the shape of the
+	// reorder race the invalidation fence guards (an approval push
+	// overtaking a grant reply composed just before it).
 	times := make([]time.Duration, cfg.Ops)
 	for i := range times {
 		times[i] = randDur(rng, 0, cfg.Horizon*8/10)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	for _, at := range times {
-		op := Op{At: at, Client: rng.Intn(cfg.Clients)}
-		switch r := rng.Float64(); {
-		case r < 0.55:
-			op.Kind = OpRead
-			op.File = rng.Intn(cfg.Files)
-		case r < 0.85:
-			op.Kind = OpWrite
-			op.File = rng.Intn(cfg.Files)
-		default:
-			op.Kind = OpExtend
+		if len(sc.Ops) >= cfg.Ops {
+			break
 		}
-		sc.Ops = append(sc.Ops, op)
+		client := rng.Intn(cfg.Clients)
+		if cfg.Clients > 1 && rng.Float64() < 0.2 {
+			file := rng.Intn(cfg.Files)
+			other := (client + 1 + rng.Intn(cfg.Clients-1)) % cfg.Clients
+			sc.Ops = append(sc.Ops, Op{At: at, Client: client, File: file, Kind: OpRead})
+			if len(sc.Ops) < cfg.Ops {
+				sc.Ops = append(sc.Ops, Op{At: at, Client: other, File: file, Kind: OpWrite})
+			}
+			continue
+		}
+		burst := 1
+		if rng.Float64() < 0.2 {
+			burst = 2 + rng.Intn(3)
+		}
+		for i := 0; i < burst && len(sc.Ops) < cfg.Ops; i++ {
+			op := Op{At: at, Client: client}
+			switch r := rng.Float64(); {
+			case r < 0.55:
+				op.Kind = OpRead
+				op.File = rng.Intn(cfg.Files)
+			case r < 0.85:
+				op.Kind = OpWrite
+				op.File = rng.Intn(cfg.Files)
+			default:
+				op.Kind = OpExtend
+			}
+			sc.Ops = append(sc.Ops, op)
+		}
 	}
 
 	p := cfg.Profile

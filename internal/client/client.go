@@ -11,7 +11,6 @@
 package client
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -99,7 +98,15 @@ type Cache struct {
 	cfg Config
 	clk clock.Clock
 	nc  net.Conn
-	br  *bufio.Reader // buffers nc; only the demux goroutine reads it
+	fr  *proto.FrameReader // buffers nc; only the demux goroutine reads it
+	// co coalesces outbound frames for the current connection
+	// incarnation: requests from many goroutines and approval replies
+	// append to one pending buffer and go out in batched write
+	// syscalls. The coalescer dies with its connection — frames queued
+	// before a disconnect are never replayed onto the next connection
+	// (the completion table failing the calls decides what retries) —
+	// so connLost closes it and finishReconnect installs a fresh one.
+	co *proto.Coalescer
 
 	mu     sync.Mutex
 	holder *core.Holder
@@ -128,7 +135,6 @@ type Cache struct {
 	// never cached and its grants never applied.
 	invalSeq uint64
 
-	wmu       sync.Mutex // serializes frame writes
 	stopping  chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -184,9 +190,11 @@ func dialTimeout(cfg Config) time.Duration {
 }
 
 // handshake performs the hello exchange on a fresh connection, bounded
-// by the dial timeout, and returns the connection's buffered reader and
-// the server's boot ID.
-func handshake(nc net.Conn, cfg Config) (*bufio.Reader, uint64, error) {
+// by the dial timeout, and returns the connection's frame reader and
+// the server's boot ID. The hello is the one frame written outside the
+// coalescer: the connection carries no other traffic yet, so there is
+// nothing to batch with.
+func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, error) {
 	nc.SetDeadline(time.Now().Add(dialTimeout(cfg)))
 	defer nc.SetDeadline(time.Time{})
 	var e proto.Enc
@@ -194,13 +202,15 @@ func handshake(nc net.Conn, cfg Config) (*bufio.Reader, uint64, error) {
 	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
 		return nil, 0, err
 	}
-	br := bufio.NewReaderSize(nc, 4096)
-	f, err := proto.ReadFrame(br)
+	fr := proto.GetReader(nc)
+	f, err := fr.Next()
 	if err != nil {
+		proto.PutReader(fr)
 		return nil, 0, err
 	}
 	if f.Type != proto.THelloAck {
 		f.Recycle()
+		proto.PutReader(fr)
 		return nil, 0, fmt.Errorf("client: unexpected hello response type %d", f.Type)
 	}
 	var boot uint64
@@ -208,7 +218,25 @@ func handshake(nc net.Conn, cfg Config) (*bufio.Reader, uint64, error) {
 		boot = proto.NewDec(f.Payload).U64()
 	}
 	f.Recycle()
-	return br, boot, nil
+	return fr, boot, nil
+}
+
+// newCoalescer builds the outbound coalescer for one connection
+// incarnation: a failed flush closes that connection (so the read loop
+// notices and the session layer takes over), and — when instrumented —
+// flush batch sizes and backpressure stalls land in the observer.
+func (c *Cache) newCoalescer(nc net.Conn) *proto.Coalescer {
+	co := proto.NewCoalescer(nc)
+	co.OnError = func(error) { nc.Close() }
+	if c.cfg.Obs.Enabled() {
+		co.OnFlush = c.cfg.Obs.ObserveFlush
+		co.OnStall = func(depth int) {
+			c.cfg.Obs.Record(obs.Event{
+				Type: obs.EvQueueFull, Client: c.cfg.ID, Depth: depth,
+			})
+		}
+	}
+	return co
 }
 
 // NewFromConn builds a cache over an established connection. Session
@@ -222,7 +250,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	br, boot, err := handshake(nc, cfg)
+	fr, boot, err := handshake(nc, cfg)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -233,7 +261,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		cfg:        cfg,
 		clk:        cfg.Clock,
 		nc:         nc,
-		br:         br,
+		fr:         fr,
 		holder:     core.NewHolder(core.HolderConfig{Allowance: cfg.Allowance}),
 		data:       make(map[vfs.Datum][]byte),
 		dattr:      make(map[vfs.Datum]vfs.Attr),
@@ -245,8 +273,9 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		serverBoot: boot,
 	}
 	c.nextID = 1
+	c.co = c.newCoalescer(nc)
 	c.wg.Add(1)
-	go c.readLoop(nc, br)
+	go c.readLoop(nc, fr, c.co)
 	if cfg.AutoExtend > 0 {
 		c.wg.Add(1)
 		go c.extendLoop()
@@ -276,9 +305,11 @@ func (c *Cache) Close() error {
 			c.callOnce(proto.TRelease, e.Bytes())
 		}
 		close(c.stopping)
-		c.wmu.Lock()
-		err = c.nc.Close()
-		c.wmu.Unlock()
+		c.mu.Lock()
+		nc, co := c.nc, c.co
+		c.mu.Unlock()
+		err = nc.Close()
+		co.Close()
 		c.wg.Wait()
 	})
 	return err
@@ -293,9 +324,11 @@ func (c *Cache) Abandon() error {
 	var err error
 	c.closeOnce.Do(func() {
 		close(c.stopping)
-		c.wmu.Lock()
-		err = c.nc.Close()
-		c.wmu.Unlock()
+		c.mu.Lock()
+		nc, co := c.nc, c.co
+		c.mu.Unlock()
+		err = nc.Close()
+		co.Close()
 		c.wg.Wait()
 	})
 	return err
@@ -327,17 +360,20 @@ func (c *Cache) ServerBoot() uint64 {
 
 // readLoop demultiplexes frames from one connection until it dies; on a
 // read error the session layer (connLost) decides between terminating
-// the cache and reconnecting.
-func (c *Cache) readLoop(nc net.Conn, br *bufio.Reader) {
+// the cache and reconnecting. The loop owns its connection's frame
+// reader and coalescer: approval replies go out through the same
+// incarnation the push arrived on.
+func (c *Cache) readLoop(nc net.Conn, fr *proto.FrameReader, co *proto.Coalescer) {
 	defer c.wg.Done()
+	defer proto.PutReader(fr)
 	for {
-		f, err := proto.ReadFrame(br)
+		f, err := fr.Next()
 		if err != nil {
 			c.connLost(nc, err)
 			return
 		}
 		if f.Type == proto.TApprovalReq {
-			c.handleApprovalPush(f)
+			c.handleApprovalPush(f, co)
 			continue
 		}
 		c.mu.Lock()
@@ -353,15 +389,20 @@ func (c *Cache) readLoop(nc net.Conn, br *bufio.Reader) {
 }
 
 // handleApprovalPush implements the leaseholder's side of a write
-// callback: invalidate the local copy, then approve (§2).
-func (c *Cache) handleApprovalPush(f proto.Frame) {
+// callback: invalidate the local copy, then approve (§2). The
+// invalidation happens here, before the approval can possibly reach the
+// wire; the approval itself goes out on a helper goroutine because
+// Append may write inline when it wins flush leadership, and the read
+// loop must never block on a write — over a synchronous pipe the peer
+// could be mid-write itself, with nobody left to read.
+func (c *Cache) handleApprovalPush(f proto.Frame, co *proto.Coalescer) {
 	a := proto.NewDec(f.Payload).DecodeApproval()
 	c.mu.Lock()
 	c.invalidateLocked(a.Datum)
 	c.mu.Unlock()
-	var e proto.Enc
-	e.EncodeApproval(proto.ApprovalWire{WriteID: a.WriteID, Datum: a.Datum})
-	c.send(proto.Frame{Type: proto.TApprove, Payload: e.Bytes()})
+	go co.Append(proto.TApprove, 0, func(e *proto.Enc) {
+		e.EncodeApproval(proto.ApprovalWire{WriteID: a.WriteID, Datum: a.Datum})
+	})
 	f.Recycle()
 }
 
@@ -379,19 +420,6 @@ func (c *Cache) invalidateLocked(d vfs.Datum) {
 	if c.cfg.Obs.Enabled() {
 		c.cfg.Obs.Record(obs.Event{Type: obs.EvEviction, Client: c.cfg.ID, Datum: d})
 	}
-}
-
-func (c *Cache) send(f proto.Frame) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	err := proto.WriteFrame(c.nc, f)
-	if err != nil {
-		// Nudge the read loop: a half-open connection whose writes fail
-		// may block reads for a long time; closing it surfaces the
-		// failure to the session layer immediately.
-		c.nc.Close()
-	}
-	return err
 }
 
 // observeOp records one RPC's client-observed latency.
@@ -422,72 +450,21 @@ func (c *Cache) OpLatencies() map[string]stats.HistogramSnapshot {
 	return out
 }
 
-// call performs one request-response exchange. With the session layer
-// enabled, an exchange killed by a connection failure waits for the
-// reconnect and retries within the per-op retry budget; server-reported
-// errors are never retried.
+// call performs one request-response exchange — the blocking form of a
+// startCall/Wait pair. With the session layer enabled, an exchange
+// killed by a connection failure waits for the reconnect and retries
+// within the per-op retry budget; server-reported errors are never
+// retried.
 func (c *Cache) call(t proto.MsgType, payload []byte) (proto.Frame, error) {
-	budget := c.retryBudget()
-	for attempt := 0; ; attempt++ {
-		f, err := c.callOnce(t, payload)
-		if err == nil || !errors.Is(err, ErrClosed) {
-			return f, err
-		}
-		if attempt >= budget {
-			return f, err
-		}
-		if !c.awaitReady() {
-			return proto.Frame{}, ErrClosed
-		}
-	}
+	return c.startCall(t, payload).Wait()
 }
 
-// callOnce performs one attempt on the current connection.
+// callOnce performs one attempt on the current connection, with no
+// session retries.
 func (c *Cache) callOnce(t proto.MsgType, payload []byte) (proto.Frame, error) {
-	var start time.Time
-	if c.cfg.Obs.Enabled() {
-		start = c.clk.Now()
-	}
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
-		return proto.Frame{}, err
-	}
-	if c.down {
-		c.mu.Unlock()
-		return proto.Frame{}, fmt.Errorf("%w: session down", ErrClosed)
-	}
-	c.nextID++
-	id := c.nextID
-	ch := make(chan proto.Frame, 1)
-	c.calls[id] = ch
-	c.mu.Unlock()
-
-	if err := c.send(proto.Frame{Type: t, ReqID: id, Payload: payload}); err != nil {
-		c.mu.Lock()
-		delete(c.calls, id)
-		c.mu.Unlock()
-		return proto.Frame{}, fmt.Errorf("%w: %v", ErrClosed, err)
-	}
-	f, ok := <-ch
-	if !ok {
-		return proto.Frame{}, ErrClosed
-	}
-	if c.cfg.Obs.Enabled() {
-		c.observeOp(t, c.clk.Now().Sub(start))
-	}
-	if f.Type == proto.TError {
-		msg := proto.NewDec(f.Payload).Str()
-		f.Recycle()
-		return proto.Frame{}, fmt.Errorf("%w: %s", ErrRemote, msg)
-	}
-	if f.Type == proto.TOK {
-		// Empty success: callers that discard the frame would otherwise
-		// strand the pooled buffer.
-		f.Recycle()
-	}
-	return f, nil
+	cl := c.startCall(t, payload)
+	cl.budget = 0
+	return cl.Wait()
 }
 
 // fetchEpoch snapshots the invalidation fence before a caching
@@ -647,92 +624,18 @@ func reverse(s string) string {
 	return string(b)
 }
 
-// Read returns the file's contents, from cache when the lease is valid.
+// Read returns the file's contents, from cache when the lease is
+// valid. It is the blocking form of StartRead.
 func (c *Cache) Read(path string) ([]byte, error) {
-	attr, err := c.Lookup(path)
-	if err != nil {
-		return nil, err
-	}
-	if attr.IsDir {
-		return nil, vfs.ErrIsDir
-	}
-	d := vfs.Datum{Kind: vfs.FileData, Node: attr.ID}
-	c.mu.Lock()
-	c.metrics.Reads++
-	if data, ok := c.data[d]; ok && c.holder.Valid(d, c.clk.Now()) {
-		c.metrics.ReadHits++
-		out := make([]byte, len(data))
-		copy(out, data)
-		c.mu.Unlock()
-		return out, nil
-	}
-	c.mu.Unlock()
-
-	requestedAt := c.clk.Now()
-	epoch := c.fetchEpoch()
-	var e proto.Enc
-	e.U64(uint64(attr.ID))
-	f, err := c.call(proto.TRead, e.Bytes())
-	if err != nil {
-		return nil, err
-	}
-	defer f.Recycle()
-	dec := proto.NewDec(f.Payload)
-	rattr := dec.Attr()
-	grants := dec.DecodeGrants()
-	data := dec.Blob()
-	if dec.Err != nil {
-		return nil, dec.Err
-	}
-	c.mu.Lock()
-	if c.cacheableLocked(epoch) {
-		c.applyGrantsLocked(grants, requestedAt)
-		c.data[d] = data
-		c.dattr[d] = rattr
-	}
-	c.mu.Unlock()
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out, nil
+	return c.StartRead(path).Wait()
 }
 
 // Write writes the file through to the server. The call blocks while
 // the server gathers approvals or waits out conflicting leases. On
 // success the local cache holds the new contents under the retained
-// lease.
+// lease. It is the blocking form of StartWrite.
 func (c *Cache) Write(path string, data []byte) error {
-	attr, err := c.Lookup(path)
-	if err != nil {
-		return err
-	}
-	if attr.IsDir {
-		return vfs.ErrIsDir
-	}
-	epoch := c.fetchEpoch()
-	var e proto.Enc
-	e.U64(uint64(attr.ID)).Blob(data)
-	f, err := c.call(proto.TWrite, e.Bytes())
-	if err != nil {
-		return err
-	}
-	defer f.Recycle()
-	dec := proto.NewDec(f.Payload)
-	nattr := dec.Attr()
-	if dec.Err != nil {
-		return dec.Err
-	}
-	d := vfs.Datum{Kind: vfs.FileData, Node: attr.ID}
-	c.mu.Lock()
-	c.metrics.Writes++
-	if c.cacheableLocked(epoch) {
-		buf := make([]byte, len(data))
-		copy(buf, data)
-		c.data[d] = buf
-		c.dattr[d] = nattr
-		c.holder.Update(d, nattr.Version)
-	}
-	c.mu.Unlock()
-	return nil
+	return c.StartWrite(path, data).Wait()
 }
 
 // ReadDir lists a directory, from cache when the binding lease is valid.
@@ -959,56 +862,9 @@ func (c *Cache) SetPerm(path, owner string, perm vfs.Perm) error {
 
 // ExtendAll renews every lease the cache holds in one batched request
 // (§3.1: "a cache should extend together all leases over all files that
-// it still holds").
+// it still holds"). It is the blocking form of StartExtendAll.
 func (c *Cache) ExtendAll() error {
-	c.mu.Lock()
-	held := c.holder.Held()
-	c.mu.Unlock()
-	if len(held) == 0 {
-		return nil
-	}
-	requestedAt := c.clk.Now()
-	epoch := c.fetchEpoch()
-	var e proto.Enc
-	e.U32(uint32(len(held)))
-	for _, d := range held {
-		e.Datum(d)
-	}
-	f, err := c.call(proto.TExtend, e.Bytes())
-	if err != nil {
-		return err
-	}
-	defer f.Recycle()
-	dec := proto.NewDec(f.Payload)
-	grants := dec.DecodeGrants()
-	if dec.Err != nil {
-		return dec.Err
-	}
-	c.mu.Lock()
-	if !c.cacheableLocked(epoch) {
-		// An invalidation crossed the extension in flight; applying
-		// these grants could resurrect a lease the approval already
-		// surrendered. The next extension round renews what remains.
-		c.mu.Unlock()
-		return nil
-	}
-	now := c.clk.Now()
-	for _, g := range grants {
-		if !g.Leased {
-			c.invalidateLocked(g.Datum)
-			continue
-		}
-		version, _, held := c.holder.Peek(g.Datum)
-		if held && version != g.Version {
-			// The datum changed while our lease was lapsed: the cached
-			// copy is stale. Drop it; the next read refetches.
-			c.invalidateLocked(g.Datum)
-			continue
-		}
-		c.holder.ApplyGrant(g.Datum, g.Version, g.Term, requestedAt, now)
-	}
-	c.mu.Unlock()
-	return nil
+	return c.StartExtendAll().Wait()
 }
 
 func (c *Cache) extendLoop() {

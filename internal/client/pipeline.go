@@ -1,0 +1,380 @@
+// Request pipelining: the asynchronous form of the cache's RPCs.
+//
+// The blocking API issues one request and waits — at most one frame per
+// client is ever in flight, so each operation pays a full round trip
+// and the server flushes every reply alone. StartRead / StartWrite /
+// StartExtendAll-style futures split issue from completion: a caller
+// starts N operations, the coalescer batches their frames into few
+// write syscalls, the server's reply coalescer batches the responses
+// back, and the completion table (Cache.calls, keyed by request ID)
+// demultiplexes them in whatever order they finish. This is the §4
+// amortization argument applied to the transport: per-message cost is
+// what limits scale, so the protocol spends fewer, larger messages.
+//
+// Semantics under pipelining:
+//
+//   - Replies may complete out of order; each future resolves its own
+//     request only. Approval pushes interleave freely with replies and
+//     are handled by the demux loop as they arrive, so a push crossing
+//     a pipelined grant still fences it from the cache (invalSeq).
+//   - A connection failure fails every in-flight future with ErrClosed.
+//     With the session layer enabled, Wait transparently resubmits the
+//     request on the reconnected session within the per-op retry
+//     budget (Config.RetryBudget) — the same policy the blocking calls
+//     have. Frames queued but unsent when the connection died are
+//     never replayed wholesale: only futures whose Wait is still
+//     pending resubmit, each as a fresh request.
+//   - Futures are not goroutine-safe: one goroutine starts and waits a
+//     given future (many goroutines may each run their own).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"leases/internal/proto"
+	"leases/internal/vfs"
+)
+
+// Call is one in-flight raw RPC: a request enqueued on the connection
+// whose reply has not been claimed yet.
+type Call struct {
+	c       *Cache
+	t       proto.MsgType
+	payload []byte // retained so session retries can resubmit
+	id      uint64
+	ch      chan proto.Frame
+	budget  int
+	began   time.Time // obs timing; spans retries
+	done    bool
+	f       proto.Frame
+	err     error
+}
+
+// startCall registers the request in the completion table and appends
+// its frame to the current connection's coalescer, without waiting for
+// the reply.
+func (c *Cache) startCall(t proto.MsgType, payload []byte) *Call {
+	cl := &Call{c: c, t: t, payload: payload, budget: c.retryBudget()}
+	if c.cfg.Obs.Enabled() {
+		cl.began = c.clk.Now()
+	}
+	cl.err = cl.submit()
+	return cl
+}
+
+// submit performs one enqueue attempt on the current incarnation.
+func (cl *Call) submit() error {
+	c := cl.c
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.down {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: session down", ErrClosed)
+	}
+	c.nextID++
+	cl.id = c.nextID
+	cl.ch = make(chan proto.Frame, 1)
+	c.calls[cl.id] = cl.ch
+	co := c.co
+	c.mu.Unlock()
+	// The coalescer read under the same lock as the registration is the
+	// incarnation the request belongs to. If the connection dies between
+	// unlock and append, either the append fails (coalescer closed) or
+	// the frame dies with the old connection — and in both cases
+	// failCallsLocked has closed cl.ch, so Wait retries.
+	if !co.AppendPayload(cl.t, cl.id, cl.payload) {
+		c.mu.Lock()
+		delete(c.calls, cl.id)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: send failed", ErrClosed)
+	}
+	return nil
+}
+
+// Wait blocks until the reply arrives and returns it. A call killed by
+// a connection failure (the session closing its channel) is
+// resubmitted on the reconnected session within the retry budget;
+// server-reported errors surface immediately as ErrRemote. Wait is
+// idempotent: further calls return the first result.
+func (cl *Call) Wait() (proto.Frame, error) {
+	if cl.done {
+		return cl.f, cl.err
+	}
+	for attempt := 0; ; attempt++ {
+		if cl.err == nil {
+			f, ok := <-cl.ch
+			if ok {
+				return cl.finish(f)
+			}
+			cl.err = ErrClosed
+		}
+		if !errors.Is(cl.err, ErrClosed) || attempt >= cl.budget {
+			cl.done = true
+			return proto.Frame{}, cl.err
+		}
+		if !cl.c.awaitReady() {
+			cl.done, cl.err = true, ErrClosed
+			return proto.Frame{}, ErrClosed
+		}
+		cl.err = cl.submit()
+	}
+}
+
+func (cl *Call) finish(f proto.Frame) (proto.Frame, error) {
+	cl.done = true
+	c := cl.c
+	if c.cfg.Obs.Enabled() {
+		c.observeOp(cl.t, c.clk.Now().Sub(cl.began))
+	}
+	if f.Type == proto.TError {
+		msg := proto.NewDec(f.Payload).Str()
+		f.Recycle()
+		cl.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+		return proto.Frame{}, cl.err
+	}
+	if f.Type == proto.TOK {
+		// Empty success: callers that discard the frame would otherwise
+		// strand the pooled buffer.
+		f.Recycle()
+	}
+	cl.f = f
+	return f, nil
+}
+
+// ReadCall is an in-flight Read. StartRead resolves the path and
+// either satisfies the read from cache immediately or launches the
+// fetch; Wait completes it.
+type ReadCall struct {
+	c           *Cache
+	call        *Call
+	d           vfs.Datum
+	requestedAt time.Time
+	epoch       uint64
+	hit         bool
+	data        []byte
+	err         error
+	done        bool
+}
+
+// StartRead begins a read of path. The path resolution itself may
+// consult the server (an uncached lookup is a blocking RPC); the data
+// fetch, the expensive part, is always asynchronous.
+func (c *Cache) StartRead(path string) *ReadCall {
+	r := &ReadCall{c: c}
+	attr, err := c.Lookup(path)
+	if err != nil {
+		r.done, r.err = true, err
+		return r
+	}
+	if attr.IsDir {
+		r.done, r.err = true, vfs.ErrIsDir
+		return r
+	}
+	r.d = vfs.Datum{Kind: vfs.FileData, Node: attr.ID}
+	c.mu.Lock()
+	c.metrics.Reads++
+	if data, ok := c.data[r.d]; ok && c.holder.Valid(r.d, c.clk.Now()) {
+		c.metrics.ReadHits++
+		out := make([]byte, len(data))
+		copy(out, data)
+		c.mu.Unlock()
+		r.done, r.hit, r.data = true, true, out
+		return r
+	}
+	c.mu.Unlock()
+
+	r.requestedAt = c.clk.Now()
+	r.epoch = c.fetchEpoch()
+	var e proto.Enc
+	e.U64(uint64(attr.ID))
+	r.call = c.startCall(proto.TRead, e.Bytes())
+	return r
+}
+
+// Hit reports whether the read was served from the local cache without
+// a data RPC. It is meaningful as soon as StartRead returns.
+func (r *ReadCall) Hit() bool { return r.hit }
+
+// Wait returns the file contents. Idempotent.
+func (r *ReadCall) Wait() ([]byte, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	r.done = true
+	c := r.c
+	f, err := r.call.Wait()
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	defer f.Recycle()
+	dec := proto.NewDec(f.Payload)
+	rattr := dec.Attr()
+	grants := dec.DecodeGrants()
+	data := dec.Blob()
+	if dec.Err != nil {
+		r.err = dec.Err
+		return nil, dec.Err
+	}
+	c.mu.Lock()
+	if c.cacheableLocked(r.epoch) {
+		c.applyGrantsLocked(grants, r.requestedAt)
+		c.data[r.d] = data
+		c.dattr[r.d] = rattr
+	}
+	c.mu.Unlock()
+	out := make([]byte, len(data))
+	copy(out, data)
+	r.data = out
+	return out, nil
+}
+
+// WriteCall is an in-flight Write.
+type WriteCall struct {
+	c     *Cache
+	call  *Call
+	d     vfs.Datum
+	data  []byte
+	epoch uint64
+	err   error
+	done  bool
+}
+
+// StartWrite begins a write-through of data to path. The caller must
+// not mutate data until Wait returns. Path resolution may consult the
+// server; the write itself — including any server-side deferral for
+// lease clearance — is asynchronous.
+func (c *Cache) StartWrite(path string, data []byte) *WriteCall {
+	w := &WriteCall{c: c}
+	attr, err := c.Lookup(path)
+	if err != nil {
+		w.done, w.err = true, err
+		return w
+	}
+	if attr.IsDir {
+		w.done, w.err = true, vfs.ErrIsDir
+		return w
+	}
+	w.d = vfs.Datum{Kind: vfs.FileData, Node: attr.ID}
+	w.epoch = c.fetchEpoch()
+	w.data = data
+	var e proto.Enc
+	e.U64(uint64(attr.ID)).Blob(data)
+	w.call = c.startCall(proto.TWrite, e.Bytes())
+	return w
+}
+
+// Wait blocks until the write is applied at the server. Idempotent.
+func (w *WriteCall) Wait() error {
+	if w.done {
+		return w.err
+	}
+	w.done = true
+	c := w.c
+	f, err := w.call.Wait()
+	if err != nil {
+		w.err = err
+		return err
+	}
+	defer f.Recycle()
+	dec := proto.NewDec(f.Payload)
+	nattr := dec.Attr()
+	if dec.Err != nil {
+		w.err = dec.Err
+		return dec.Err
+	}
+	c.mu.Lock()
+	c.metrics.Writes++
+	if c.cacheableLocked(w.epoch) {
+		buf := make([]byte, len(w.data))
+		copy(buf, w.data)
+		c.data[w.d] = buf
+		c.dattr[w.d] = nattr
+		c.holder.Update(w.d, nattr.Version)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// ExtendCall is an in-flight batched lease extension.
+type ExtendCall struct {
+	c           *Cache
+	call        *Call
+	requestedAt time.Time
+	epoch       uint64
+	err         error
+	done        bool
+}
+
+// StartExtendAll begins renewing every held lease in one batched
+// request (§3.1). With nothing held it completes immediately.
+func (c *Cache) StartExtendAll() *ExtendCall {
+	x := &ExtendCall{c: c}
+	c.mu.Lock()
+	held := c.holder.Held()
+	c.mu.Unlock()
+	if len(held) == 0 {
+		x.done = true
+		return x
+	}
+	x.requestedAt = c.clk.Now()
+	x.epoch = c.fetchEpoch()
+	var e proto.Enc
+	e.U32(uint32(len(held)))
+	for _, d := range held {
+		e.Datum(d)
+	}
+	x.call = c.startCall(proto.TExtend, e.Bytes())
+	return x
+}
+
+// Wait blocks until the extension reply is applied. Idempotent.
+func (x *ExtendCall) Wait() error {
+	if x.done {
+		return x.err
+	}
+	x.done = true
+	c := x.c
+	f, err := x.call.Wait()
+	if err != nil {
+		x.err = err
+		return err
+	}
+	defer f.Recycle()
+	dec := proto.NewDec(f.Payload)
+	grants := dec.DecodeGrants()
+	if dec.Err != nil {
+		x.err = dec.Err
+		return dec.Err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.cacheableLocked(x.epoch) {
+		// An invalidation crossed the extension in flight; applying
+		// these grants could resurrect a lease the approval already
+		// surrendered. The next extension round renews what remains.
+		return nil
+	}
+	now := c.clk.Now()
+	for _, g := range grants {
+		if !g.Leased {
+			c.invalidateLocked(g.Datum)
+			continue
+		}
+		version, _, held := c.holder.Peek(g.Datum)
+		if held && version != g.Version {
+			// The datum changed while our lease was lapsed: the cached
+			// copy is stale. Drop it; the next read refetches.
+			c.invalidateLocked(g.Datum)
+			continue
+		}
+		c.holder.ApplyGrant(g.Datum, g.Version, g.Term, x.requestedAt, now)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package client_test
+
+// End-to-end pipelining tests against a live TCP server: futures
+// complete out of order, approval pushes interleave with pipelined
+// replies, and concurrent windows stress the per-connection coalescers
+// under the race detector.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/server"
+)
+
+// TestPipelinedReadsOutOfOrderWait issues a window of reads and waits
+// them newest-first; every future must return its own file's contents,
+// and a second pipelined round must be served from cache.
+func TestPipelinedReadsOutOfOrderWait(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 5 * time.Second})
+	const files = 6
+	for i := 0; i < files; i++ {
+		seedFile(t, srv, fmt.Sprintf("/f%d", i), fmt.Sprintf("contents-%d", i))
+	}
+	c, err := client.Dial(addr, client.Config{ID: "pipe-r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reads := make([]*client.ReadCall, files)
+	for i := range reads {
+		reads[i] = c.StartRead(fmt.Sprintf("/f%d", i))
+	}
+	for i := files - 1; i >= 0; i-- {
+		data, err := reads[i].Wait()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got, want := string(data), fmt.Sprintf("contents-%d", i); got != want {
+			t.Fatalf("read %d = %q, want %q", i, got, want)
+		}
+		if reads[i].Hit() {
+			t.Fatalf("first read %d reported a cache hit", i)
+		}
+	}
+	// Round two rides the leases taken by round one.
+	for i := 0; i < files; i++ {
+		r := c.StartRead(fmt.Sprintf("/f%d", i))
+		if !r.Hit() {
+			t.Fatalf("second read %d missed the cache", i)
+		}
+		if _, err := r.Wait(); err != nil {
+			t.Fatalf("second read %d: %v", i, err)
+		}
+	}
+}
+
+// TestPipelinePushInterleavesWithReplies has a writer invalidate a
+// leased file while the leaseholder keeps a window of futures in
+// flight: the approval push crosses the pipelined replies on the same
+// connection, and the holder must end up approving the write, dropping
+// its copy, and reading the new contents — never the stale ones.
+func TestPipelinePushInterleavesWithReplies(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 5 * time.Second})
+	seedFile(t, srv, "/shared", "old")
+	const files = 4
+	for i := 0; i < files; i++ {
+		seedFile(t, srv, fmt.Sprintf("/f%d", i), "x")
+	}
+	holder, err := client.Dial(addr, client.Config{ID: "pipe-holder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	writer, err := client.Dial(addr, client.Config{ID: "pipe-writer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	if _, err := holder.Read("/shared"); err != nil { // take the lease
+		t.Fatal(err)
+	}
+
+	// Keep the holder's pipeline busy while the writer forces a push.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			window := make([]*client.ReadCall, files)
+			for j := range window {
+				window[j] = holder.StartRead(fmt.Sprintf("/f%d", j))
+			}
+			x := holder.StartExtendAll()
+			for j := range window {
+				if _, err := window[j].Wait(); err != nil {
+					t.Errorf("windowed read: %v", err)
+					return
+				}
+			}
+			if err := x.Wait(); err != nil {
+				t.Errorf("extend: %v", err)
+				return
+			}
+		}
+	}()
+
+	if err := writer.Write("/shared", []byte("new")); err != nil {
+		t.Fatalf("conflicting write: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	data, err := holder.Read("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new" {
+		t.Fatalf("holder read %q after approved write, want %q", data, "new")
+	}
+	if inv := holder.Metrics().Invalidations; inv == 0 {
+		t.Fatal("holder approved a write without invalidating")
+	}
+}
+
+// TestPipelineConcurrentStress runs several clients, each keeping a
+// depth-8 window of mixed reads and writes over a small shared file
+// set. Writes constantly push approvals at the other clients'
+// connections while their reply streams are full — the concurrent
+// push-versus-reply path through every coalescer, checked under -race.
+func TestPipelineConcurrentStress(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Second})
+	const (
+		files   = 4
+		clients = 4
+		ops     = 120
+		depth   = 8
+	)
+	for i := 0; i < files; i++ {
+		seedFile(t, srv, fmt.Sprintf("/s%d", i), "seed")
+	}
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Config{ID: fmt.Sprintf("stress-%d", ci)})
+			if err != nil {
+				t.Errorf("client %d: %v", ci, err)
+				return
+			}
+			defer c.Close()
+			var window []func() error
+			harvest := func() {
+				f := window[0]
+				window = window[1:]
+				if err := f(); err != nil {
+					t.Errorf("client %d: %v", ci, err)
+				}
+			}
+			for op := 0; op < ops; op++ {
+				if len(window) >= depth {
+					harvest()
+				}
+				path := fmt.Sprintf("/s%d", (op+ci)%files)
+				if (op+ci)%3 == 0 {
+					w := c.StartWrite(path, []byte(fmt.Sprintf("w-%d-%d", ci, op)))
+					window = append(window, w.Wait)
+				} else {
+					r := c.StartRead(path)
+					window = append(window, func() error { _, err := r.Wait(); return err })
+				}
+			}
+			for len(window) > 0 {
+				harvest()
+			}
+		}(ci)
+	}
+	wg.Wait()
+}

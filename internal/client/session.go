@@ -1,13 +1,13 @@
 package client
 
 import (
-	"bufio"
 	"fmt"
 	"math/rand"
 	"net"
 	"time"
 
 	"leases/internal/obs"
+	"leases/internal/proto"
 )
 
 // Session resilience: the paper's §5 argument is that a lease makes
@@ -69,6 +69,20 @@ func (c *Cache) retryWait() time.Duration {
 // ErrClosed — with the session up, callers retry within their budget.
 func (c *Cache) connLost(nc net.Conn, err error) {
 	nc.Close()
+	// Tear down this incarnation's coalescer: with the transport closed
+	// any flush in flight errors out fast, stalled appenders unblock,
+	// and frames still pending die with the connection — they are never
+	// replayed onto the next one. (The completion table decides what
+	// retries.)
+	c.mu.Lock()
+	var co *proto.Coalescer
+	if c.nc == nc {
+		co = c.co
+	}
+	c.mu.Unlock()
+	if co != nil {
+		co.Close()
+	}
 	select {
 	case <-c.stopping:
 		// Deliberate Close/Abandon: fail callers terminally.
@@ -181,36 +195,36 @@ func (c *Cache) reconnectLoop(downSince time.Time) {
 
 // resumeState carries what a successful re-hello produced.
 type resumeState struct {
-	br   *bufio.Reader
+	fr   *proto.FrameReader
 	boot uint64
 }
 
 // resume re-hellos on a fresh connection.
 func (c *Cache) resume(nc net.Conn) (*resumeState, error) {
-	br, boot, err := handshake(nc, c.cfg)
+	fr, boot, err := handshake(nc, c.cfg)
 	if err != nil {
 		nc.Close()
 		return nil, err
 	}
-	return &resumeState{br: br, boot: boot}, nil
+	return &resumeState{fr: fr, boot: boot}, nil
 }
 
-// finishReconnect installs the new connection and wakes every operation
-// parked on the session.
+// finishReconnect installs the new connection — with a fresh coalescer
+// incarnation — and wakes every operation parked on the session.
 func (c *Cache) finishReconnect(nc net.Conn, st *resumeState, attempts int, downSince time.Time) {
-	c.wmu.Lock()
+	co := c.newCoalescer(nc)
 	c.mu.Lock()
 	c.nc = nc
-	c.br = st.br
+	c.fr = st.fr
+	c.co = co
 	c.serverBoot = st.boot
 	c.down = false
 	c.metrics.Reconnects++
 	ready := c.ready
 	c.mu.Unlock()
-	c.wmu.Unlock()
 
 	c.wg.Add(1)
-	go c.readLoop(nc, st.br)
+	go c.readLoop(nc, st.fr, co)
 	close(ready)
 	if c.cfg.Obs.Enabled() {
 		c.cfg.Obs.Record(obs.Event{

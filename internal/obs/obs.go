@@ -82,14 +82,20 @@ const (
 	// partition, heal or schedule action. Client carries the fault
 	// label.
 	EvFaultInject
+	// EvQueueFull: a connection's pending flush buffer hit its
+	// backpressure bound and an appender stalled — the operator's
+	// signal that a peer is draining slower than the system produces
+	// for it. Client identifies the connection; Depth is the number of
+	// frames queued at the stall.
+	EvQueueFull
 
-	numEventTypes = int(EvFaultInject) + 1
+	numEventTypes = int(EvQueueFull) + 1
 )
 
 var eventTypeNames = [numEventTypes]string{
 	"grant", "extend", "approve-request", "approve", "expire",
 	"write-defer", "write-apply", "write-timeout", "eviction",
-	"reconnect", "fault-inject",
+	"reconnect", "fault-inject", "queue-full",
 }
 
 // String names the event type ("grant", "write-defer", …).
@@ -125,6 +131,8 @@ type Event struct {
 	WriteID uint64 `json:"write_id,omitempty"`
 	// Wait is the deferral duration for write-apply/write-timeout events.
 	Wait time.Duration `json:"wait_ns,omitempty"`
+	// Depth is the frames queued at a queue-full stall.
+	Depth int `json:"depth,omitempty"`
 }
 
 // Config parameterizes an Observer.
@@ -163,17 +171,26 @@ type Observer struct {
 
 	opMu sync.RWMutex
 	ops  map[string]*stats.Histogram
+
+	// flushFrames/flushBytes record the write coalescer's batch sizes:
+	// frames and bytes per flush syscall. frames-per-flush is also the
+	// connection queue depth at each flush point, so the mean here is
+	// the amortization factor the paper's §4 scaling argument assumes.
+	flushFrames *stats.Histogram
+	flushBytes  *stats.Histogram
 }
 
 // New returns an enabled Observer.
 func New(cfg Config) *Observer {
 	o := &Observer{
-		now:       cfg.Now,
-		ring:      newRing(cfg.RingSize),
-		sink:      cfg.Sink,
-		slowWrite: cfg.SlowWrite,
-		slowLog:   cfg.SlowLog,
-		ops:       make(map[string]*stats.Histogram),
+		now:         cfg.Now,
+		ring:        newRing(cfg.RingSize),
+		sink:        cfg.Sink,
+		slowWrite:   cfg.SlowWrite,
+		slowLog:     cfg.SlowLog,
+		ops:         make(map[string]*stats.Histogram),
+		flushFrames: stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		flushBytes:  stats.NewHistogram(64, 256, 1024, 4096, 16384, 65536, 262144, 1<<20),
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -240,6 +257,26 @@ func (o *Observer) ObserveOp(op string, d time.Duration) {
 		o.opMu.Unlock()
 	}
 	h.Observe(d.Seconds())
+}
+
+// ObserveFlush records one coalesced flush: how many frames and bytes
+// went out in a single write syscall. Safe for concurrent use; a nil
+// receiver is a no-op.
+func (o *Observer) ObserveFlush(frames, bytes int) {
+	if o == nil {
+		return
+	}
+	o.flushFrames.Observe(float64(frames))
+	o.flushBytes.Observe(float64(bytes))
+}
+
+// FlushStats returns the flush batch-size digests: frames per flush
+// (the queue depth at each flush point) and bytes per flush.
+func (o *Observer) FlushStats() (frames, bytes stats.HistogramSnapshot) {
+	if o == nil {
+		return stats.HistogramSnapshot{}, stats.HistogramSnapshot{}
+	}
+	return o.flushFrames.Snapshot(), o.flushBytes.Snapshot()
 }
 
 // Events returns up to n of the most recent events, oldest first. n ≤ 0

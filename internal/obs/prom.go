@@ -7,19 +7,25 @@ import (
 	"strconv"
 
 	"leases/internal/core"
+	"leases/internal/stats"
 )
 
 // MetricsSnapshot gathers everything the /metrics endpoint (and the
 // SIGUSR1 stderr dump) exports: the lease manager's protocol counters,
 // the same counters per shard (so stripe imbalance is visible), the
-// live lease-record count, and the observer's event totals and
-// latency histograms.
+// live lease-record count, and the observer's event totals, latency
+// histograms and write-coalescer flush digests.
 type MetricsSnapshot struct {
 	Manager    core.ManagerMetrics
 	Shards     []core.ManagerMetrics
 	LeaseCount int
 	Events     []EventCount
 	Ops        []OpLatency
+	// FlushFrames/FlushBytes are the coalescer batch-size digests
+	// (frames and bytes per flush syscall); zero-count when no flush
+	// has been observed.
+	FlushFrames stats.HistogramSnapshot
+	FlushBytes  stats.HistogramSnapshot
 }
 
 // managerCounters fixes the exposition order and naming of the
@@ -80,6 +86,13 @@ func WriteProm(w io.Writer, s *MetricsSnapshot) {
 		}
 	}
 
+	if s.FlushFrames.Count > 0 {
+		writePromHist(w, "leases_flush_frames",
+			"Frames coalesced per flush syscall (connection queue depth at flush).", s.FlushFrames)
+		writePromHist(w, "leases_flush_bytes",
+			"Bytes written per flush syscall.", s.FlushBytes)
+	}
+
 	if len(s.Ops) > 0 {
 		fmt.Fprintf(w, "# HELP leases_op_latency_seconds Server-side request latency by operation.\n")
 		fmt.Fprintf(w, "# TYPE leases_op_latency_seconds histogram\n")
@@ -96,6 +109,20 @@ func WriteProm(w io.Writer, s *MetricsSnapshot) {
 			fmt.Fprintf(w, "leases_op_latency_seconds_count{op=%q} %d\n", op.Op, op.Hist.Count)
 		}
 	}
+}
+
+// writePromHist renders one unlabelled histogram in exposition format.
+func writePromHist(w io.Writer, name, help string, h stats.HistogramSnapshot) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }
 
 // promFloat formats a float the way Prometheus expects: shortest

@@ -27,6 +27,10 @@ func promSnapshot() MetricsSnapshot {
 	o.ObserveOp("read", 200*time.Microsecond)
 	o.ObserveOp("read", 30*time.Millisecond)
 	o.ObserveOp("write", 20*time.Second) // overflow bucket
+	o.ObserveFlush(1, 96)
+	o.ObserveFlush(12, 4000)
+	o.ObserveFlush(300, 2<<20) // overflow buckets
+	ff, fb := o.FlushStats()
 	return MetricsSnapshot{
 		Manager: core.ManagerMetrics{
 			Grants: 12, Refusals: 3, WritesImmediate: 4, WritesDeferred: 2,
@@ -36,9 +40,11 @@ func promSnapshot() MetricsSnapshot {
 			{Grants: 8, WritesDeferred: 2},
 			{Grants: 4},
 		},
-		LeaseCount: 7,
-		Events:     o.EventCounts(),
-		Ops:        o.OpLatencies(),
+		LeaseCount:  7,
+		Events:      o.EventCounts(),
+		Ops:         o.OpLatencies(),
+		FlushFrames: ff,
+		FlushBytes:  fb,
 	}
 }
 

@@ -192,6 +192,49 @@ func (f *Frame) Recycle() {
 	putBuf(bp)
 }
 
+// frameHeader is the encoded size of the length, type and reqID fields.
+const frameHeader = 4 + 1 + 8
+
+// BeginFrame appends a frame header to dst with a placeholder length
+// and returns the extended slice. The caller appends the payload (e.g.
+// through EncOn) and then calls FinishFrame with dst's pre-call length
+// to patch the length prefix. Together they let an encoder write a
+// frame directly into a connection's pending flush buffer with no
+// intermediate per-frame copy.
+func BeginFrame(dst []byte, t MsgType, reqID uint64) []byte {
+	dst = append(dst, 0, 0, 0, 0, byte(t))
+	return binary.LittleEndian.AppendUint64(dst, reqID)
+}
+
+// FinishFrame patches the length prefix of the frame begun at offset
+// start in buf, where start is len(buf) at the BeginFrame call. It
+// reports ErrFrameTooBig (leaving the prefix unpatched) if the payload
+// appended since exceeds MaxFrame.
+func FinishFrame(buf []byte, start int) error {
+	payload := len(buf) - start - frameHeader
+	if payload > MaxFrame {
+		return ErrFrameTooBig
+	}
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(1+8+payload))
+	return nil
+}
+
+// AppendFrame appends the fully encoded frame to dst and returns the
+// extended slice — the one-shot form of BeginFrame+FinishFrame for
+// callers that already hold the payload.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxFrame {
+		return dst, ErrFrameTooBig
+	}
+	start := len(dst)
+	dst = BeginFrame(dst, f.Type, f.ReqID)
+	dst = append(dst, f.Payload...)
+	if err := FinishFrame(dst, start); err != nil {
+		return dst[:start], err
+	}
+	return dst, nil
+}
+
 // WriteFrame encodes and writes one frame. The header and payload are
 // assembled into one pooled buffer and issued as a single Write, so a
 // frame costs one syscall and no steady-state allocation.
@@ -199,12 +242,8 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return ErrFrameTooBig
 	}
-	bp := getBuf(4 + 1 + 8 + len(f.Payload))
-	b := (*bp)[:13]
-	binary.LittleEndian.PutUint32(b[0:4], uint32(1+8+len(f.Payload)))
-	b[4] = byte(f.Type)
-	binary.LittleEndian.PutUint64(b[5:13], f.ReqID)
-	b = append(b, f.Payload...)
+	bp := getBuf(frameHeader + len(f.Payload))
+	b, _ := AppendFrame((*bp)[:0], f)
 	_, err := w.Write(b)
 	*bp = b
 	putBuf(bp)
@@ -243,6 +282,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 
 // Enc is an append-style payload encoder.
 type Enc struct{ b []byte }
+
+// EncOn returns an encoder that appends to buf in place, so a payload
+// can be encoded directly into a pending flush buffer (see BeginFrame).
+// The caller takes the grown slice back with Bytes.
+func EncOn(buf []byte) Enc { return Enc{b: buf} }
 
 // Bytes returns the encoded payload.
 func (e *Enc) Bytes() []byte { return e.b }

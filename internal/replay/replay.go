@@ -38,6 +38,20 @@ type Config struct {
 	// MaxOps bounds the number of events replayed (0 = all), for quick
 	// smoke runs.
 	MaxOps int
+	// Depth is the per-client pipeline depth: how many operations one
+	// client keeps in flight through the async API (StartRead /
+	// StartWrite) before harvesting the oldest. 0 or 1 replays in the
+	// classic blocking lock-step. At depth > 1 the client's write
+	// coalescer batches the outstanding requests into few syscalls and
+	// the per-op latencies become issue-to-harvest times — they include
+	// time a completed reply waits in the window, so throughput and hit
+	// ratios are the meaningful outputs there, not tail latencies.
+	Depth int
+	// OpenLoop, when set, ignores the trace's timestamps: each client
+	// issues its next operation as soon as its pipeline window has room,
+	// measuring the sustainable throughput of the serving path rather
+	// than replaying the trace's arrival process. Speedup is ignored.
+	OpenLoop bool
 }
 
 // Result reports replay measurements.
@@ -57,6 +71,11 @@ type Result struct {
 	CachedRead, UncachedRead LatencySummary
 	// WallTime is how long the replay took.
 	WallTime time.Duration
+	// Stalls counts open-loop issue attempts that found the pipeline
+	// window full and had to harvest first — the client-side
+	// backpressure signal (the serving path, not the arrival process,
+	// was the bottleneck at that moment).
+	Stalls int64
 }
 
 // LatencySummary is a compact latency digest with exact quantiles
@@ -148,8 +167,13 @@ func Run(cfg Config) (*Result, error) {
 		uncachedLat stats.DurationSample
 		reads       stats.Counter
 		writes      stats.Counter
+		stalls      stats.Counter
 		readPayload = []byte("replayed write")
 	)
+	depth := cfg.Depth
+	if depth < 1 {
+		depth = 1
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -161,37 +185,65 @@ func Run(cfg Config) (*Result, error) {
 		go func(idx int, events []trace.Event) {
 			defer wg.Done()
 			c := caches[idx]
-			for _, e := range events {
-				target := start.Add(time.Duration(float64(e.At) / cfg.Speedup))
-				if d := time.Until(target); d > 0 {
-					time.Sleep(d)
-				}
-				path := PathForFile(e.File)
-				opStart := time.Now()
+			// window holds this client's in-flight operations, oldest
+			// first; harvest blocks on the oldest future.
+			window := make([]inflightOp, 0, depth)
+			harvest := func() {
+				op := window[0]
+				window = window[1:]
+				d := time.Since(op.start)
 				var err error
-				switch e.Op {
-				case trace.OpRead:
-					// Each trace client is replayed by one goroutine over
-					// its own cache, so the hit-counter delta attributes
-					// this read to the cached or uncached class exactly.
-					hitsBefore := c.Metrics().ReadHits
-					_, err = c.Read(path)
-					d := time.Since(opStart)
+				switch {
+				case op.read != nil:
+					_, err = op.read.Wait()
 					reads.Inc()
 					readLat.Observe(d)
-					if c.Metrics().ReadHits > hitsBefore {
+					// The future knows directly whether it was served
+					// from cache — no hit-counter delta needed, which
+					// also stays exact when several reads are in flight.
+					if op.read.Hit() {
 						cachedLat.Observe(d)
 					} else {
 						uncachedLat.Observe(d)
 					}
-				case trace.OpWrite:
-					err = c.Write(path, readPayload)
+				case op.write != nil:
+					err = op.write.Wait()
 					writes.Inc()
-					writeLat.Observe(time.Since(opStart))
+					writeLat.Observe(d)
 				}
 				if err != nil {
 					errs.Inc()
 				}
+			}
+			for _, e := range events {
+				// Make room before pacing, so a blocking harvest never
+				// counts the inter-arrival sleep as operation latency.
+				if len(window) >= depth {
+					if cfg.OpenLoop {
+						stalls.Inc()
+					}
+					harvest()
+				}
+				if !cfg.OpenLoop {
+					target := start.Add(time.Duration(float64(e.At) / cfg.Speedup))
+					if d := time.Until(target); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				path := PathForFile(e.File)
+				op := inflightOp{start: time.Now()}
+				switch e.Op {
+				case trace.OpRead:
+					op.read = c.StartRead(path)
+				case trace.OpWrite:
+					op.write = c.StartWrite(path, readPayload)
+				default:
+					continue
+				}
+				window = append(window, op)
+			}
+			for len(window) > 0 {
+				harvest()
 			}
 		}(i, events)
 	}
@@ -213,7 +265,16 @@ func Run(cfg Config) (*Result, error) {
 		CachedRead:   summarize(&cachedLat),
 		UncachedRead: summarize(&uncachedLat),
 		WallTime:     time.Since(start),
+		Stalls:       stalls.Value(),
 	}, nil
+}
+
+// inflightOp is one issued-but-unharvested operation in a client's
+// pipeline window: exactly one of read/write is set.
+type inflightOp struct {
+	start time.Time
+	read  *client.ReadCall
+	write *client.WriteCall
 }
 
 // SortEventsForDisplay orders a copy of events by time then client, for

@@ -30,6 +30,7 @@ func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
 	if s.obs.Enabled() {
 		snap.Events = s.obs.EventCounts()
 		snap.Ops = s.obs.OpLatencies()
+		snap.FlushFrames, snap.FlushBytes = s.obs.FlushStats()
 	}
 	return snap
 }

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -13,12 +12,16 @@ import (
 	"leases/internal/vfs"
 )
 
-// serverConn is one client connection.
+// serverConn is one client connection. All outbound frames — replies
+// from request goroutines and unsolicited approval pushes — funnel
+// through the write coalescer, which batches whatever accumulates
+// while a flush syscall is in flight into the next one. Handlers never
+// touch the transport directly.
 type serverConn struct {
 	srv    *Server
 	nc     net.Conn
+	co     *proto.Coalescer
 	client core.ClientID
-	wmu    sync.Mutex // serializes frame writes
 	closed sync.Once
 }
 
@@ -30,21 +33,39 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.connMu.Unlock()
 	}()
 	c := &serverConn{srv: s, nc: nc}
+	c.co = proto.NewCoalescer(nc)
+	if s.obs.Enabled() {
+		c.co.OnFlush = s.obs.ObserveFlush
+		c.co.OnStall = func(depth int) {
+			s.obs.Record(obs.Event{
+				Type: obs.EvQueueFull, Client: string(c.client), Depth: depth,
+			})
+		}
+	}
+	// A failed flush closes the transport so the read loop notices; the
+	// hook must not Close the coalescer itself (it runs under the flush
+	// leadership Close waits out).
+	c.co.OnError = func(error) { c.close() }
+	// Defer order (LIFO): the coalescer drains pending replies while the
+	// conn is still open, then the conn closes.
 	defer c.close()
-	// Buffer reads: a frame otherwise costs two read syscalls (length,
-	// body), and pipelined clients batch several frames per read.
-	br := bufio.NewReaderSize(nc, 4096)
+	defer c.co.Close()
+	// The frame reader pulls whole batches per read syscall — a
+	// pipelined client's burst decodes from one fill — and its grown
+	// buffer is recycled across connections.
+	fr := proto.GetReader(nc)
+	defer proto.PutReader(fr)
 
 	// The first frame must be THello, identifying the client for lease
 	// records and approval pushes.
-	f, err := proto.ReadFrame(br)
+	f, err := fr.Next()
 	if err != nil || f.Type != proto.THello {
 		return
 	}
 	d := proto.NewDec(f.Payload)
 	id := core.ClientID(d.Str())
 	if d.Err != nil || id == "" {
-		c.reply(f.ReqID, proto.TError, errPayload(fmt.Errorf("bad hello")))
+		c.fail(f.ReqID, fmt.Errorf("bad hello"))
 		return
 	}
 	c.client = id
@@ -59,9 +80,7 @@ func (s *Server) serveConn(nc net.Conn) {
 	// lease records — keyed by ID, not connection — survive untouched.
 	// The ack carries the server's boot ID so the client can tell a
 	// restart from a transient fault.
-	var ack proto.Enc
-	ack.U64(s.boot)
-	c.reply(f.ReqID, proto.THelloAck, ack.Bytes())
+	c.replyEnc(f.ReqID, proto.THelloAck, func(e *proto.Enc) { e.U64(s.boot) })
 	f.Recycle()
 
 	defer func() {
@@ -75,7 +94,7 @@ func (s *Server) serveConn(nc net.Conn) {
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
-		f, err := proto.ReadFrame(br)
+		f, err := fr.Next()
 		if err != nil {
 			return
 		}
@@ -102,39 +121,31 @@ func (c *serverConn) close() {
 	c.closed.Do(func() { c.nc.Close() })
 }
 
+// reply enqueues a pre-encoded reply. A false Append means the
+// connection already failed; the frame is dropped, exactly as a write
+// against the dead socket would have been.
 func (c *serverConn) reply(reqID uint64, t proto.MsgType, payload []byte) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if err := proto.WriteFrame(c.nc, proto.Frame{Type: t, ReqID: reqID, Payload: payload}); err != nil {
-		c.close()
-	}
+	c.co.AppendPayload(t, reqID, payload)
+}
+
+// replyEnc encodes a reply directly into the coalescer's pending
+// buffer: fill appends the payload in place, so the frame costs no
+// intermediate Enc allocation and no copy between encode and flush.
+func (c *serverConn) replyEnc(reqID uint64, t proto.MsgType, fill func(*proto.Enc)) {
+	c.co.Append(t, reqID, fill)
 }
 
 // pushApproval sends an unsolicited approval request. Callers may hold
-// s.connMu; the write happens on a fresh goroutine under the
-// connection's own lock, so no server lock is held across network I/O.
+// s.connMu, and Append can block on coalescer backpressure, so the
+// enqueue happens on a fresh goroutine — no server lock is held across
+// a potential stall.
 func (c *serverConn) pushApproval(a proto.ApprovalWire) {
-	var e proto.Enc
-	e.EncodeApproval(a)
-	go c.replyPush(e.Bytes())
-}
-
-func (c *serverConn) replyPush(payload []byte) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if err := proto.WriteFrame(c.nc, proto.Frame{Type: proto.TApprovalReq, Payload: payload}); err != nil {
-		c.close()
-	}
-}
-
-func errPayload(err error) []byte {
-	var e proto.Enc
-	e.Str(err.Error())
-	return e.Bytes()
+	go c.co.Append(proto.TApprovalReq, 0, func(e *proto.Enc) { e.EncodeApproval(a) })
 }
 
 func (c *serverConn) fail(reqID uint64, err error) {
-	c.reply(reqID, proto.TError, errPayload(err))
+	msg := err.Error()
+	c.replyEnc(reqID, proto.TError, func(e *proto.Enc) { e.Str(msg) })
 }
 
 // dispatchTimed wraps dispatch with the server-side op latency
@@ -241,9 +252,9 @@ func (c *serverConn) handleLookup(f proto.Frame) {
 	}
 	grants := []proto.GrantWire{c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID}, obs.EvGrant)}
 
-	var e proto.Enc
-	e.Attr(attr).U64(uint64(parentAttr.ID)).EncodeGrants(grants)
-	c.reply(f.ReqID, proto.TLookupRep, e.Bytes())
+	c.replyEnc(f.ReqID, proto.TLookupRep, func(e *proto.Enc) {
+		e.Attr(attr).U64(uint64(parentAttr.ID)).EncodeGrants(grants)
+	})
 }
 
 func (c *serverConn) handleRead(f proto.Frame) {
@@ -274,9 +285,9 @@ func (c *serverConn) handleRead(f proto.Frame) {
 		}
 		grant.Version = attr.Version
 	}
-	var e proto.Enc
-	e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).Blob(data)
-	c.reply(f.ReqID, proto.TReadRep, e.Bytes())
+	c.replyEnc(f.ReqID, proto.TReadRep, func(e *proto.Enc) {
+		e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).Blob(data)
+	})
 }
 
 func (c *serverConn) handleWrite(f proto.Frame) {
@@ -302,9 +313,7 @@ func (c *serverConn) handleWrite(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	var e proto.Enc
-	e.Attr(attr)
-	c.reply(f.ReqID, proto.TWriteRep, e.Bytes())
+	c.replyEnc(f.ReqID, proto.TWriteRep, func(e *proto.Enc) { e.Attr(attr) })
 }
 
 func (c *serverConn) handleExtend(f proto.Frame) {
@@ -326,9 +335,7 @@ func (c *serverConn) handleExtend(f proto.Frame) {
 	for _, d := range data {
 		grants = append(grants, c.grant(d, obs.EvExtend))
 	}
-	var e proto.Enc
-	e.EncodeGrants(grants)
-	c.reply(f.ReqID, proto.TExtendRep, e.Bytes())
+	c.replyEnc(f.ReqID, proto.TExtendRep, func(e *proto.Enc) { e.EncodeGrants(grants) })
 }
 
 func (c *serverConn) handleRelease(f proto.Frame) {
@@ -375,17 +382,17 @@ func (c *serverConn) handleReadDir(f proto.Frame) {
 		return
 	}
 	grant := c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: node}, obs.EvGrant)
-	var e proto.Enc
-	e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).U32(uint32(len(entries)))
-	for _, ent := range entries {
-		e.Str(ent.Name).U64(uint64(ent.ID))
-		if ent.IsDir {
-			e.U8(1)
-		} else {
-			e.U8(0)
+	c.replyEnc(f.ReqID, proto.TReadDirRep, func(e *proto.Enc) {
+		e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).U32(uint32(len(entries)))
+		for _, ent := range entries {
+			e.Str(ent.Name).U64(uint64(ent.ID))
+			if ent.IsDir {
+				e.U8(1)
+			} else {
+				e.U8(0)
+			}
 		}
-	}
-	c.reply(f.ReqID, proto.TReadDirRep, e.Bytes())
+	})
 }
 
 func (c *serverConn) handleStat(f proto.Frame) {
@@ -400,9 +407,7 @@ func (c *serverConn) handleStat(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	var e proto.Enc
-	e.Attr(attr)
-	c.reply(f.ReqID, proto.TStatRep, e.Bytes())
+	c.replyEnc(f.ReqID, proto.TStatRep, func(e *proto.Enc) { e.Attr(attr) })
 }
 
 // handleCreate covers TCreate (files) and TMkdir (directories): a write
@@ -435,9 +440,7 @@ func (c *serverConn) handleCreate(f proto.Frame, dir bool) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	var e proto.Enc
-	e.Attr(attr)
-	c.reply(f.ReqID, proto.TCreateRep, e.Bytes())
+	c.replyEnc(f.ReqID, proto.TCreateRep, func(e *proto.Enc) { e.Attr(attr) })
 }
 
 func (c *serverConn) handleRemove(f proto.Frame) {

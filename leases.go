@@ -132,6 +132,13 @@ type (
 	Client = client.Cache
 	// ClientConfig parameterizes a client.
 	ClientConfig = client.Config
+	// ReadCall, WriteCall and ExtendCall are in-flight pipelined
+	// operations: Client.StartRead / StartWrite / StartExtendAll issue
+	// without waiting, the client's write coalescer batches the frames,
+	// and Wait completes each one as its reply arrives (in any order).
+	ReadCall   = client.ReadCall
+	WriteCall  = client.WriteCall
+	ExtendCall = client.ExtendCall
 )
 
 // NewServer creates a lease file server with an empty store.
