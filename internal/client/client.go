@@ -358,14 +358,40 @@ func (c *Cache) ServerBoot() uint64 {
 	return c.serverBoot
 }
 
+// approvalQueue bounds the per-incarnation approval reply queue. It
+// only fills when the coalescer is stalled on backpressure for the
+// whole window; overflow is dropped, which the protocol tolerates
+// (the server falls back to lease expiry for that write).
+const approvalQueue = 1024
+
 // readLoop demultiplexes frames from one connection until it dies; on a
 // read error the session layer (connLost) decides between terminating
 // the cache and reconnecting. The loop owns its connection's frame
 // reader and coalescer: approval replies go out through the same
-// incarnation the push arrived on.
+// incarnation the push arrived on, via a single long-lived sender
+// goroutine fed by a bounded queue — delivery stays in push-arrival
+// order and a stalled coalescer blocks one goroutine instead of
+// accumulating one per push.
 func (c *Cache) readLoop(nc net.Conn, fr *proto.FrameReader, co *proto.Coalescer) {
 	defer c.wg.Done()
 	defer proto.PutReader(fr)
+	approvals := make(chan proto.ApprovalWire, approvalQueue)
+	var senderWG sync.WaitGroup
+	senderWG.Add(1)
+	go func() {
+		defer senderWG.Done()
+		for a := range approvals {
+			a := a
+			if !co.Append(proto.TApprove, 0, func(e *proto.Enc) { e.EncodeApproval(a) }) {
+				// Coalescer dead: keep draining so the read loop's
+				// close never races a blocked send.
+			}
+		}
+	}()
+	// LIFO: the channel closes after connLost has closed the coalescer,
+	// so the sender's pending Append (if any) unblocks and it drains out.
+	defer senderWG.Wait()
+	defer close(approvals)
 	for {
 		f, err := fr.Next()
 		if err != nil {
@@ -373,7 +399,7 @@ func (c *Cache) readLoop(nc net.Conn, fr *proto.FrameReader, co *proto.Coalescer
 			return
 		}
 		if f.Type == proto.TApprovalReq {
-			c.handleApprovalPush(f, co)
+			c.handleApprovalPush(f, approvals)
 			continue
 		}
 		c.mu.Lock()
@@ -391,18 +417,29 @@ func (c *Cache) readLoop(nc net.Conn, fr *proto.FrameReader, co *proto.Coalescer
 // handleApprovalPush implements the leaseholder's side of a write
 // callback: invalidate the local copy, then approve (§2). The
 // invalidation happens here, before the approval can possibly reach the
-// wire; the approval itself goes out on a helper goroutine because
-// Append may write inline when it wins flush leadership, and the read
-// loop must never block on a write — over a synchronous pipe the peer
-// could be mid-write itself, with nobody left to read.
-func (c *Cache) handleApprovalPush(f proto.Frame, co *proto.Coalescer) {
+// wire; the approval itself is handed to the incarnation's sender
+// goroutine because Append may write inline when it wins flush
+// leadership, and the read loop must never block on a write — over a
+// synchronous pipe the peer could be mid-write itself, with nobody
+// left to read. The enqueue is non-blocking for the same reason: if
+// the queue is full behind a stalled coalescer the approval is
+// dropped — the invalidation above already happened, so consistency
+// holds, and the server's write falls back to waiting out the lease
+// term (§2's fault path).
+func (c *Cache) handleApprovalPush(f proto.Frame, approvals chan<- proto.ApprovalWire) {
 	a := proto.NewDec(f.Payload).DecodeApproval()
 	c.mu.Lock()
 	c.invalidateLocked(a.Datum)
 	c.mu.Unlock()
-	go co.Append(proto.TApprove, 0, func(e *proto.Enc) {
-		e.EncodeApproval(proto.ApprovalWire{WriteID: a.WriteID, Datum: a.Datum})
-	})
+	select {
+	case approvals <- proto.ApprovalWire{WriteID: a.WriteID, Datum: a.Datum}:
+	default:
+		if c.cfg.Obs.Enabled() {
+			c.cfg.Obs.Record(obs.Event{
+				Type: obs.EvQueueFull, Client: c.cfg.ID, Depth: approvalQueue,
+			})
+		}
+	}
 	f.Recycle()
 }
 

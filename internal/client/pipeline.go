@@ -48,7 +48,6 @@ type Call struct {
 	budget  int
 	began   time.Time // obs timing; spans retries
 	done    bool
-	f       proto.Frame
 	err     error
 }
 
@@ -101,10 +100,14 @@ func (cl *Call) submit() error {
 // a connection failure (the session closing its channel) is
 // resubmitted on the reconnected session within the retry budget;
 // server-reported errors surface immediately as ErrRemote. Wait is
-// idempotent: further calls return the first result.
+// idempotent in its completion and error state, but the reply frame is
+// handed out exactly once: the first successful Wait transfers
+// ownership of the frame — whose pooled payload the caller typically
+// recycles — so later calls return an empty frame with the first
+// error (nil after success).
 func (cl *Call) Wait() (proto.Frame, error) {
 	if cl.done {
-		return cl.f, cl.err
+		return proto.Frame{}, cl.err
 	}
 	for attempt := 0; ; attempt++ {
 		if cl.err == nil {
@@ -143,7 +146,6 @@ func (cl *Call) finish(f proto.Frame) (proto.Frame, error) {
 		// strand the pooled buffer.
 		f.Recycle()
 	}
-	cl.f = f
 	return f, nil
 }
 

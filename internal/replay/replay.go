@@ -191,11 +191,15 @@ func Run(cfg Config) (*Result, error) {
 			harvest := func() {
 				op := window[0]
 				window = window[1:]
-				d := time.Since(op.start)
 				var err error
+				// Latency is measured after Wait returns so it includes
+				// the time blocked on the reply: at depth 1 this is the
+				// full issue-to-completion round trip, at depth > 1 the
+				// issue-to-harvest time (see Config.Depth).
 				switch {
 				case op.read != nil:
 					_, err = op.read.Wait()
+					d := time.Since(op.start)
 					reads.Inc()
 					readLat.Observe(d)
 					// The future knows directly whether it was served
@@ -209,7 +213,7 @@ func Run(cfg Config) (*Result, error) {
 				case op.write != nil:
 					err = op.write.Wait()
 					writes.Inc()
-					writeLat.Observe(d)
+					writeLat.Observe(time.Since(op.start))
 				}
 				if err != nil {
 					errs.Inc()

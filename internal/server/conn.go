@@ -23,7 +23,19 @@ type serverConn struct {
 	co     *proto.Coalescer
 	client core.ClientID
 	closed sync.Once
+	// pushes feeds the connection's approval sender: one long-lived
+	// goroutine appends pushes to the coalescer in arrival order, so a
+	// coalescer stalled on backpressure blocks that one goroutine
+	// instead of accumulating one per push. serveConn closes the
+	// channel after deregistering the conn (pushApproval is only
+	// reached through s.conns under connMu, which serializes against
+	// the deregistration), so a send never races the close.
+	pushes chan proto.ApprovalWire
 }
+
+// pushQueue bounds the per-connection approval push queue; see
+// pushApproval for the overflow policy.
+const pushQueue = 1024
 
 func (s *Server) serveConn(nc net.Conn) {
 	defer s.wg.Done()
@@ -50,6 +62,25 @@ func (s *Server) serveConn(nc net.Conn) {
 	// conn is still open, then the conn closes.
 	defer c.close()
 	defer c.co.Close()
+	c.pushes = make(chan proto.ApprovalWire, pushQueue)
+	var pushWG sync.WaitGroup
+	pushWG.Add(1)
+	go func() {
+		defer pushWG.Done()
+		for a := range c.pushes {
+			a := a
+			if !c.co.Append(proto.TApprovalReq, 0, func(e *proto.Enc) { e.EncodeApproval(a) }) {
+				// Coalescer dead: keep draining so close never races a
+				// blocked sender.
+			}
+		}
+	}()
+	// LIFO: the queue closes before the coalescer does, so queued pushes
+	// still reach the final flush; it closes after the conns-map
+	// deregistration (deferred below, post-hello), so no pushApproval
+	// can be sending concurrently.
+	defer pushWG.Wait()
+	defer close(c.pushes)
 	// The frame reader pulls whole batches per read syscall — a
 	// pipelined client's burst decodes from one fill — and its grown
 	// buffer is recycled across connections.
@@ -137,10 +168,21 @@ func (c *serverConn) replyEnc(reqID uint64, t proto.MsgType, fill func(*proto.En
 
 // pushApproval sends an unsolicited approval request. Callers may hold
 // s.connMu, and Append can block on coalescer backpressure, so the
-// enqueue happens on a fresh goroutine — no server lock is held across
-// a potential stall.
+// enqueue hands the push to the connection's sender goroutine without
+// blocking: if the queue is full behind a stalled coalescer the push
+// is dropped — the deferred write then waits out the holder's lease
+// term, the protocol's fault path (§2) — rather than holding a server
+// lock across the stall or spawning an unbounded goroutine per push.
 func (c *serverConn) pushApproval(a proto.ApprovalWire) {
-	go c.co.Append(proto.TApprovalReq, 0, func(e *proto.Enc) { e.EncodeApproval(a) })
+	select {
+	case c.pushes <- a:
+	default:
+		if s := c.srv; s.obs.Enabled() {
+			s.obs.Record(obs.Event{
+				Type: obs.EvQueueFull, Client: string(c.client), Depth: pushQueue,
+			})
+		}
+	}
 }
 
 func (c *serverConn) fail(reqID uint64, err error) {
