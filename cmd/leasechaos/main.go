@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"leases/internal/chaos"
@@ -83,6 +84,10 @@ func main() {
 			dumpEvents(o, *events)
 		}
 		if !rep.Ok() {
+			// Lead the failure with the checker lens that tripped, so a CI
+			// log names the broken invariant before the details.
+			fmt.Printf("FAILED LENS: %s (scenario %s)\n",
+				strings.Join(rep.FailedLenses(), ", "), name)
 			exit = 1
 		}
 	}

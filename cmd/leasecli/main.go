@@ -3,6 +3,7 @@
 // Usage:
 //
 //	leasecli -addr 127.0.0.1:7025 -id ws1
+//	leasecli -replicas 127.0.0.1:7025,127.0.0.1:7026,127.0.0.1:7027 -id ws1
 //
 // Commands (read from stdin):
 //
@@ -33,15 +34,25 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7025", "server address")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses in replica-ID order; enables master discovery and session failover (overrides -addr)")
 	id := flag.String("id", "cli", "client (cache) identity")
 	flag.Parse()
 
-	c, err := client.Dial(*addr, client.Config{ID: *id})
+	var c *client.Cache
+	var err error
+	target := *addr
+	if *replicas != "" {
+		set := strings.Split(*replicas, ",")
+		c, err = client.DialReplicas(client.Config{ID: *id, Reconnect: true, Replicas: set})
+		target = *replicas
+	} else {
+		c, err = client.Dial(*addr, client.Config{ID: *id})
+	}
 	if err != nil {
 		log.Fatalf("leasecli: %v", err)
 	}
 	defer c.Close()
-	fmt.Printf("connected to %s as %q; type 'help'\n", *addr, *id)
+	fmt.Printf("connected to %s as %q; type 'help'\n", target, *id)
 
 	sc := bufio.NewScanner(os.Stdin)
 	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {

@@ -41,11 +41,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"leases/internal/core"
 	"leases/internal/obs"
+	"leases/internal/replica"
 	"leases/internal/server"
 	"leases/internal/vfs"
 )
@@ -64,6 +66,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "mirror trace events to this JSONL file")
 	slowWrite := flag.Duration("slow-write", time.Second, "log writes deferred at least this long (0 disables)")
 	dumpEvents := flag.Int("dump-events", 32, "trace events included in the SIGUSR1/shutdown dump")
+	replicaID := flag.Int("replica-id", -1, "this replica's index into -peers; >= 0 enables the replicated lease service")
+	peersFlag := flag.String("peers", "", "comma-separated peer-mesh addresses in replica-ID order — identical on every replica (and, index-wise, every client's replica list)")
+	electionTerm := flag.Duration("election-term", 0, "master-lease term for the PaxosLease election (0 = the lease term)")
+	allowance := flag.Duration("allowance", 0, "clock-uncertainty margin ε for the master lease (0 = term/10)")
 	flag.Parse()
 
 	ocfg := obs.Config{RingSize: *traceRing, SlowWrite: *slowWrite}
@@ -77,15 +83,91 @@ func main() {
 	}
 	o := obs.New(ocfg)
 
-	srv := server.New(server.Config{
+	// Replicated mode: a PaxosLease node negotiates the master lease on
+	// the peer mesh; the server only accepts sessions (and clears
+	// writes) while this replica holds it. The node's callbacks close
+	// over srv, which is assigned before Start — no callback fires
+	// until then.
+	var nd *replica.Node
+	var srv *server.Server
+	if *replicaID >= 0 {
+		peers := splitPeers(*peersFlag)
+		if *replicaID >= len(peers) {
+			log.Fatalf("leasesrv: -replica-id %d out of range for %d peers", *replicaID, len(peers))
+		}
+		et := *electionTerm
+		if et <= 0 {
+			et = *term
+		}
+		if et <= 0 {
+			et = 10 * time.Second
+		}
+		al := *allowance
+		if al <= 0 {
+			al = et / 10
+		}
+		var err error
+		nd, err = replica.NewNode(replica.NodeConfig{
+			ID: *replicaID, Peers: peers, Term: et, Allowance: al,
+			Seed: int64(*replicaID) + 1, Obs: o,
+			OnReplApply: func(f replica.FileState) error {
+				return srv.ApplyReplicated(f.Path, f.Seq, f.Data)
+			},
+			OnSyncState: func() ([]replica.FileState, time.Duration) {
+				files := srv.ReplState()
+				out := make([]replica.FileState, len(files))
+				for i, f := range files {
+					out[i] = replica.FileState{Path: f.Path, Seq: f.Seq, Data: f.Data}
+				}
+				return out, srv.ReplTermFloor()
+			},
+			OnMaxTerm: func(d time.Duration) error { return srv.PersistMaxTerm(d) },
+			OnRole: func(r replica.Role, master int) {
+				if r != replica.RoleMaster {
+					srv.Demote()
+					return
+				}
+				files, floor, serr := nd.SyncFromPeers()
+				if serr != nil {
+					// Won the election but the sync quorum fell apart
+					// before answering: promote behind the most
+					// conservative window local evidence supports.
+					log.Printf("leasesrv: promotion catch-up sync: %v", serr)
+					srv.Promote(nil, *term)
+					return
+				}
+				out := make([]server.ReplFile, len(files))
+				for i, f := range files {
+					out[i] = server.ReplFile{Path: f.Path, Seq: f.Seq, Data: f.Data}
+				}
+				srv.Promote(out, floor)
+				log.Printf("leasesrv: replica %d elected master (recovery floor %v)", *replicaID, floor)
+			},
+		})
+		if err != nil {
+			log.Fatalf("leasesrv: %v", err)
+		}
+	}
+	scfg := server.Config{
 		Term:           *term,
 		RecoveryWindow: *recovery,
 		WriteTimeout:   *writeTimeout,
 		MaxTermPath:    *maxTermFile,
 		Obs:            o,
-	})
+	}
+	if nd != nil {
+		scfg.Replica = nodeReplica{nd}
+	}
+	srv = server.New(scfg)
 	if !*empty {
 		seed(srv.Store())
+	}
+	if nd != nil {
+		if err := nd.Start(); err != nil {
+			log.Fatalf("leasesrv: starting replica node: %v", err)
+		}
+		defer nd.Stop()
+		log.Printf("leasesrv: replica %d of %d, peer mesh on %s", *replicaID, len(splitPeers(*peersFlag)), nd.Addr())
 	}
 	if *snapshot != "" {
 		if records, err := loadSnapshot(*snapshot); err != nil {
@@ -126,6 +208,33 @@ func main() {
 		log.Fatalf("leasesrv: %v", err)
 	}
 }
+
+// splitPeers parses the -peers list, trimming whitespace.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		log.Fatal("leasesrv: -replica-id set but -peers is empty")
+	}
+	return out
+}
+
+// nodeReplica adapts a replica.Node to the server.Replica interface,
+// keeping the server package free of the election machinery.
+type nodeReplica struct{ n *replica.Node }
+
+func (r nodeReplica) IsMaster() bool          { return r.n.IsMaster() }
+func (r nodeReplica) MasterIndex() int        { return r.n.MasterIndex() }
+func (r nodeReplica) Role() string            { return string(r.n.Role()) }
+func (r nodeReplica) MasterExpiry() time.Time { return r.n.MasterExpiry() }
+func (r nodeReplica) ReplicateWrite(path string, seq uint64, data []byte) error {
+	return r.n.ReplicateWrite(replica.FileState{Path: path, Seq: seq, Data: data})
+}
+func (r nodeReplica) ReplicateMaxTerm(d time.Duration) error { return r.n.ReplicateMaxTerm(d) }
 
 // handleSignals gives operators state without the HTTP plane: SIGUSR1
 // dumps the metrics snapshot and recent trace events to stderr and the

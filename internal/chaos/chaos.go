@@ -115,11 +115,36 @@ type Report struct {
 	// fault-tolerance path actually firing.
 	Expiries    int64
 	FaultEvents int64
-	Violations  []string
+	Violations  []Violation
 }
+
+// Violation is one checker finding, tagged with the lens (the named
+// invariant) that tripped: "acked-floor" (a read older than an
+// acknowledged write), "bounded-delay", "liveness", "election"
+// (replicated scenarios), or "harness" (the rig itself broke).
+type Violation struct {
+	Lens string
+	Msg  string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("[%s] %s", v.Lens, v.Msg) }
 
 // Ok reports whether every invariant held.
 func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// FailedLenses names the distinct checker lenses that tripped, in
+// first-trip order — what a CI log should lead with.
+func (r *Report) FailedLenses() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range r.Violations {
+		if !seen[v.Lens] {
+			seen[v.Lens] = true
+			out = append(out, v.Lens)
+		}
+	}
+	return out
+}
 
 // String renders the report as an operator-facing block.
 func (r *Report) String() string {
@@ -147,7 +172,10 @@ type scenarioSpec struct {
 	name     string
 	summary  string
 	duration time.Duration
-	run      func(*harness)
+	// replicated scripts run against a 3-replica deployment with an
+	// elected master instead of the standalone server.
+	replicated bool
+	run        func(*harness)
 }
 
 // Scenarios lists the scenario names in run order.
@@ -224,27 +252,44 @@ func Run(opts Options) (*Report, error) {
 		ck:          newChecker(workFiles),
 		stop:        make(chan struct{}),
 	}
-	if err := h.startServer("127.0.0.1:0"); err != nil {
-		return nil, err
+	dial := func(id string, n int64) (*client.Cache, error) {
+		return client.Dial(h.proxy.Addr(), h.clientCfg(id, n))
 	}
-	defer h.server().Stop()
+	if spec.replicated {
+		rs, err := newReplSet(h, dir)
+		if err != nil {
+			return nil, err
+		}
+		h.repl = rs
+		defer rs.close()
+		dial = func(id string, n int64) (*client.Cache, error) {
+			cfg := h.clientCfg(id, n)
+			cfg.Replicas = rs.clientAddrs()
+			return client.DialReplicas(cfg)
+		}
+	} else {
+		if err := h.startServer("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		defer h.server().Stop()
 
-	proxy, err := faultnet.NewProxy(faultnet.ProxyConfig{
-		Target: h.srvAddr, Seed: opts.Seed, Obs: o,
-	})
-	if err != nil {
-		return nil, err
+		proxy, err := faultnet.NewProxy(faultnet.ProxyConfig{
+			Target: h.srvAddr, Seed: opts.Seed, Obs: o,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.proxy = proxy
+		defer proxy.Close()
 	}
-	h.proxy = proxy
-	defer proxy.Close()
 
-	writer, err := client.Dial(proxy.Addr(), h.clientCfg("writer", 1))
+	writer, err := dial("writer", 1)
 	if err != nil {
 		return nil, err
 	}
 	h.clients = append(h.clients, writer)
 	for i := 0; i < opts.Readers; i++ {
-		r, err := client.Dial(proxy.Addr(), h.clientCfg(fmt.Sprintf("reader-%d", i), int64(2+i)))
+		r, err := dial(fmt.Sprintf("reader-%d", i), int64(2+i))
 		if err != nil {
 			closeAll(h.clients)
 			return nil, err
@@ -282,6 +327,7 @@ type harness struct {
 	maxTermPath string
 	ck          *checker
 	proxy       *faultnet.Proxy
+	repl        *replSet // non-nil for replicated scenarios
 	clients     []*client.Cache
 
 	srvMu   sync.Mutex
@@ -329,7 +375,7 @@ func (h *harness) startServer(addr string) error {
 	h.srvAddr = ln.Addr().String()
 	go func() {
 		if err := srv.Serve(ln); err != nil {
-			h.ck.violate("server terminated with error: %v", err)
+			h.ck.violate("harness", "server terminated with error: %v", err)
 		}
 	}()
 	return nil
@@ -352,7 +398,7 @@ func (h *harness) restartServer() {
 		}
 		time.Sleep(40 * time.Millisecond)
 	}
-	h.ck.violate("server restart failed: %v", err)
+	h.ck.violate("harness", "server restart failed: %v", err)
 }
 
 func (h *harness) clientCfg(id string, n int64) client.Config {
@@ -495,23 +541,23 @@ func (h *harness) report() *Report {
 		}
 	}
 	if rep.MaxApplyWait > rep.ApplyBound {
-		rep.Violations = append(rep.Violations, fmt.Sprintf(
+		rep.Violations = append(rep.Violations, Violation{"bounded-delay", fmt.Sprintf(
 			"write clearance wait %v exceeded bound %v (term %v)",
-			rep.MaxApplyWait, rep.ApplyBound, h.o.Term))
+			rep.MaxApplyWait, rep.ApplyBound, h.o.Term)})
 	}
 	// Client side, a hang detector rather than a tight bound: retries
 	// multiply the per-attempt cost by the retry budget.
 	hangBound := 3*h.o.WriteTimeout + 3*harnessRetryWait + h.o.Duration
 	if rep.MaxWriteDelay > hangBound {
-		rep.Violations = append(rep.Violations, fmt.Sprintf(
+		rep.Violations = append(rep.Violations, Violation{"bounded-delay", fmt.Sprintf(
 			"client-observed write delay %v exceeded hang bound %v",
-			rep.MaxWriteDelay, hangBound))
+			rep.MaxWriteDelay, hangBound)})
 	}
 	if rep.Writes == 0 {
-		rep.Violations = append(rep.Violations, "no write was ever acknowledged")
+		rep.Violations = append(rep.Violations, Violation{"liveness", "no write was ever acknowledged"})
 	}
 	if rep.Reads == 0 {
-		rep.Violations = append(rep.Violations, "no read ever completed")
+		rep.Violations = append(rep.Violations, Violation{"liveness", "no read ever completed"})
 	}
 	return rep
 }
@@ -528,7 +574,7 @@ type checker struct {
 
 	mu            sync.Mutex
 	maxWriteDelay time.Duration
-	violations    []string
+	violations    []Violation
 }
 
 func newChecker(files []string) *checker {
@@ -539,10 +585,10 @@ func newChecker(files []string) *checker {
 // flood the report; the counters still tell the full story.
 const maxViolations = 32
 
-func (ck *checker) violate(format string, args ...any) {
+func (ck *checker) violate(lens, format string, args ...any) {
 	ck.mu.Lock()
 	if len(ck.violations) < maxViolations {
-		ck.violations = append(ck.violations, fmt.Sprintf(format, args...))
+		ck.violations = append(ck.violations, Violation{Lens: lens, Msg: fmt.Sprintf(format, args...)})
 	}
 	ck.mu.Unlock()
 }
@@ -566,12 +612,12 @@ func (ck *checker) observeRead(fi int, data []byte, floorBefore uint64) {
 	seq, err := parseSeq(data)
 	if err != nil {
 		ck.stale.Add(1)
-		ck.violate("unparseable content on %s: %q", ck.files[fi], truncate(data))
+		ck.violate("acked-floor", "unparseable content on %s: %q", ck.files[fi], truncate(data))
 		return
 	}
 	if FloorViolated(seq, floorBefore) {
 		ck.stale.Add(1)
-		ck.violate("stale read on %s: saw seq %d after write %d was acknowledged",
+		ck.violate("acked-floor", "stale read on %s: saw seq %d after write %d was acknowledged",
 			ck.files[fi], seq, floorBefore)
 	}
 }

@@ -1,0 +1,360 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"leases/internal/faultnet"
+	"leases/internal/replica"
+	"leases/internal/server"
+)
+
+// replicas is the replica-set size for replicated scenarios. Three is
+// the smallest set with a meaningful quorum and the deployment the
+// README documents.
+const replicas = 3
+
+// replSet is a 3-replica lease deployment wired like cmd/leasesrv: per
+// replica a PaxosLease node, a lease server that only grants while its
+// node holds the master lease, and a client listener. Every DIRECTED
+// peer link i→j runs through its own faultnet proxy, so scenarios can
+// partition a replica asymmetrically — hold what it sends while it
+// still hears its peers — which per-listener proxies cannot express.
+type replSet struct {
+	h     *harness
+	dir   string        // scratch dir for per-replica max-term files
+	term  time.Duration // election (master-lease) term
+	allow time.Duration // clock allowance ε
+
+	// links[i][j] fronts j's peer-mesh listener for node i's exclusive
+	// use (nil on the diagonal).
+	links [][]*faultnet.Proxy
+
+	mu        sync.Mutex
+	nodes     []*replica.Node
+	srvs      []*server.Server
+	peerAddrs []string // real peer-mesh listen addresses, by replica ID
+	cliAddrs  []string // client listen addresses, by replica ID
+	down      []bool
+}
+
+// replicaAdapter exposes a replica.Node through the plain-typed
+// server.Replica interface (the same shim cmd/leasesrv uses).
+type replicaAdapter struct{ n *replica.Node }
+
+func (r replicaAdapter) IsMaster() bool          { return r.n.IsMaster() }
+func (r replicaAdapter) MasterIndex() int        { return r.n.MasterIndex() }
+func (r replicaAdapter) Role() string            { return string(r.n.Role()) }
+func (r replicaAdapter) MasterExpiry() time.Time { return r.n.MasterExpiry() }
+func (r replicaAdapter) ReplicateMaxTerm(d time.Duration) error {
+	return r.n.ReplicateMaxTerm(d)
+}
+func (r replicaAdapter) ReplicateWrite(path string, seq uint64, data []byte) error {
+	return r.n.ReplicateWrite(replica.FileState{Path: path, Seq: seq, Data: data})
+}
+
+// newReplSet boots the full replicated deployment: addresses reserved,
+// the directed-link proxy mesh, then every replica.
+func newReplSet(h *harness, dir string) (*replSet, error) {
+	rs := &replSet{
+		h:   h,
+		dir: dir,
+		// Elections run on a shorter term than file leases so a failover
+		// completes well inside the workload's retry budget; the §2
+		// recovery window is governed by the replicated FILE-lease term,
+		// not this one.
+		term:      h.o.Term / 2,
+		allow:     h.o.Term / 20,
+		nodes:     make([]*replica.Node, replicas),
+		srvs:      make([]*server.Server, replicas),
+		peerAddrs: make([]string, replicas),
+		cliAddrs:  make([]string, replicas),
+		down:      make([]bool, replicas),
+		links:     make([][]*faultnet.Proxy, replicas),
+	}
+	for i := 0; i < replicas; i++ {
+		addr, err := reserveAddr()
+		if err != nil {
+			return nil, err
+		}
+		rs.peerAddrs[i] = addr
+	}
+	for i := 0; i < replicas; i++ {
+		rs.links[i] = make([]*faultnet.Proxy, replicas)
+		for j := 0; j < replicas; j++ {
+			if j == i {
+				continue
+			}
+			p, err := faultnet.NewProxy(faultnet.ProxyConfig{
+				Target: rs.peerAddrs[j],
+				Seed:   h.o.Seed*100 + int64(i*replicas+j),
+				Obs:    h.obs,
+			})
+			if err != nil {
+				rs.close()
+				return nil, err
+			}
+			rs.links[i][j] = p
+		}
+	}
+	for i := 0; i < replicas; i++ {
+		if err := rs.startReplica(i, dir, false); err != nil {
+			rs.close()
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// reserveAddr grabs a distinct loopback address by binding and
+// releasing an ephemeral port.
+func reserveAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// startReplica boots replica i: its election node (peer list routed
+// through its own outbound link proxies), its lease server, and its
+// client listener. A restart rebinds the same addresses and — being a
+// diskless rejoin with amnesia — catches up from a quorum before it
+// can answer anyone's sync, so a later promotion never merges against
+// its empty state.
+func (rs *replSet) startReplica(i int, dir string, restart bool) error {
+	h := rs.h
+	peers := make([]string, replicas)
+	for j := 0; j < replicas; j++ {
+		if j == i {
+			peers[j] = rs.peerAddrs[i]
+		} else {
+			peers[j] = rs.links[i][j].Addr()
+		}
+	}
+	var nd *replica.Node
+	var srv *server.Server
+	nd, err := replica.NewNode(replica.NodeConfig{
+		ID: i, Peers: peers, Term: rs.term, Allowance: rs.allow,
+		Seed: h.o.Seed*31 + int64(i) + 1, Obs: h.obs,
+		OnReplApply: func(f replica.FileState) error {
+			return srv.ApplyReplicated(f.Path, f.Seq, f.Data)
+		},
+		OnSyncState: func() ([]replica.FileState, time.Duration) {
+			files := srv.ReplState()
+			out := make([]replica.FileState, len(files))
+			for k, f := range files {
+				out[k] = replica.FileState{Path: f.Path, Seq: f.Seq, Data: f.Data}
+			}
+			return out, srv.ReplTermFloor()
+		},
+		OnMaxTerm: func(d time.Duration) error { return srv.PersistMaxTerm(d) },
+		OnRole: func(r replica.Role, master int) {
+			if r != replica.RoleMaster {
+				srv.Demote()
+				return
+			}
+			files, floor, serr := nd.SyncFromPeers()
+			if serr != nil {
+				// Conservative fallback: without a synced floor, wait the
+				// full configured file-lease term.
+				h.logf("chaos: replica %d promotion sync failed: %v", i, serr)
+				srv.Promote(nil, h.o.Term)
+				return
+			}
+			out := make([]server.ReplFile, len(files))
+			for k, f := range files {
+				out[k] = server.ReplFile{Path: f.Path, Seq: f.Seq, Data: f.Data}
+			}
+			srv.Promote(out, floor)
+			h.logf("chaos: replica %d promoted (floor %v)", i, floor)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	srv = server.New(server.Config{
+		Term:         h.o.Term,
+		WriteTimeout: h.o.WriteTimeout,
+		MaxTermPath:  filepath.Join(dir, fmt.Sprintf("maxterm-%d", i)),
+		Obs:          h.obs,
+		Replica:      replicaAdapter{nd},
+	})
+	if err := seedFiles(srv.Store(), h.ck.seedContents()); err != nil {
+		return err
+	}
+	cliAddr := "127.0.0.1:0"
+	if restart {
+		cliAddr = rs.cliAddrs[i]
+	}
+	ln, err := listenRetry(cliAddr)
+	if err != nil {
+		return err
+	}
+	if err := startNodeRetry(nd); err != nil {
+		ln.Close()
+		return err
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil {
+			h.ck.violate("harness", "replica %d server terminated with error: %v", i, serr)
+		}
+	}()
+	if restart {
+		// Diskless catch-up: recover the replicated state and floor this
+		// incarnation lost in the crash before it participates again.
+		if files, floor, serr := nd.SyncFromPeers(); serr == nil {
+			for _, f := range files {
+				srv.ApplyReplicated(f.Path, f.Seq, f.Data)
+			}
+			srv.PersistMaxTerm(floor)
+		} else {
+			h.logf("chaos: replica %d rejoin sync failed: %v", i, serr)
+		}
+	}
+	rs.mu.Lock()
+	rs.nodes[i] = nd
+	rs.srvs[i] = srv
+	rs.cliAddrs[i] = ln.Addr().String()
+	rs.down[i] = false
+	rs.mu.Unlock()
+	return nil
+}
+
+// listenRetry binds addr, retrying briefly: a restart reuses the
+// address its crashed predecessor just released.
+func listenRetry(addr string) (net.Listener, error) {
+	var err error
+	for i := 0; i < 50; i++ {
+		var ln net.Listener
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			return ln, nil
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// startNodeRetry starts a node's peer-mesh listener with the same
+// rebind tolerance.
+func startNodeRetry(nd *replica.Node) error {
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = nd.Start(); err == nil {
+			return nil
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	return err
+}
+
+// clientAddrs lists the client-plane addresses in replica-ID order —
+// the client.Config.Replicas value.
+func (rs *replSet) clientAddrs() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]string(nil), rs.cliAddrs...)
+}
+
+// waitMaster polls for a replica that holds the master lease,
+// returning its ID or -1 on timeout.
+func (rs *replSet) waitMaster(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		rs.mu.Lock()
+		for i, nd := range rs.nodes {
+			if rs.down[i] || nd == nil {
+				continue
+			}
+			if nd.IsMaster() {
+				rs.mu.Unlock()
+				return i
+			}
+		}
+		rs.mu.Unlock()
+		if time.Now().After(deadline) {
+			return -1
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// crash crash-stops replica i: election node and lease server die
+// together, connections drop, nothing is persisted but the max-term
+// file (exactly the §2 crash model).
+func (rs *replSet) crash(i int) {
+	rs.mu.Lock()
+	nd, srv := rs.nodes[i], rs.srvs[i]
+	rs.down[i] = true
+	rs.mu.Unlock()
+	if nd != nil {
+		nd.Stop()
+	}
+	if srv != nil {
+		srv.Stop()
+	}
+}
+
+// restart reboots a crashed replica as a follower on its old
+// addresses.
+func (rs *replSet) restart(i int) {
+	if err := rs.startReplica(i, rs.dir, true); err != nil {
+		rs.h.ck.violate("harness", "replica %d restart failed: %v", i, err)
+	}
+}
+
+// partitionOutbound asymmetrically partitions replica i: everything it
+// SENDS to peers is held at the link proxies, while everything peers
+// send it still arrives. A master in this state keeps hearing the
+// cluster but cannot renew its lease or replicate writes — it must
+// demote itself on its own clock within one election term.
+func (rs *replSet) partitionOutbound(i int) {
+	for j, p := range rs.links[i] {
+		if p != nil {
+			rs.h.logf("chaos: holding link %d→%d", i, j)
+			p.PartitionOneWay(faultnet.Up)
+		}
+	}
+}
+
+// healLinks heals every link proxy, flushing held frames — the stale
+// election messages the partitioned replica kept sending arrive late
+// and must be rejected by ballot, not by luck.
+func (rs *replSet) healLinks() {
+	for _, row := range rs.links {
+		for _, p := range row {
+			if p != nil {
+				p.Heal()
+			}
+		}
+	}
+}
+
+func (rs *replSet) close() {
+	rs.mu.Lock()
+	nodes := append([]*replica.Node(nil), rs.nodes...)
+	srvs := append([]*server.Server(nil), rs.srvs...)
+	rs.mu.Unlock()
+	for _, nd := range nodes {
+		if nd != nil {
+			nd.Stop()
+		}
+	}
+	for _, s := range srvs {
+		if s != nil {
+			s.Stop()
+		}
+	}
+	for _, row := range rs.links {
+		for _, p := range row {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}
+}

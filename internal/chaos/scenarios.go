@@ -1,11 +1,13 @@
 package chaos
 
 import (
+	"sync/atomic"
 	"time"
 
 	"leases/internal/client"
 	"leases/internal/clock"
 	"leases/internal/faultnet"
+	"leases/internal/obs"
 	"leases/internal/server"
 )
 
@@ -50,6 +52,20 @@ var scenarioTable = []scenarioSpec{
 		summary:  "a client keeps a window of pipelined futures in flight through latency jitter and a mid-run sever",
 		duration: 3 * time.Second,
 		run:      runPipeline,
+	},
+	{
+		name:       "master-crash",
+		summary:    "crash the elected master of a 3-replica set mid-workload; clients fail over behind the §2 recovery window",
+		duration:   6 * time.Second,
+		replicated: true,
+		run:        runMasterCrash,
+	},
+	{
+		name:       "asym-partition",
+		summary:    "asymmetrically partition the master — it sends into a void but still hears peers — so it must demote on its own stale lease",
+		duration:   6 * time.Second,
+		replicated: true,
+		run:        runAsymPartition,
 	},
 }
 
@@ -115,10 +131,10 @@ func runServerCrash(h *harness) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	if boot := h.clients[0].ServerBoot(); boot == bootBefore {
-		h.ck.violate("writer never observed the restarted server incarnation (boot still %d)", boot)
+		h.ck.violate("liveness", "writer never observed the restarted server incarnation (boot still %d)", boot)
 	}
 	if term, found, err := server.LoadMaxTerm(h.maxTermPath); err != nil || !found || term <= 0 {
-		h.ck.violate("durable max-term file unusable after crash: term=%v found=%v err=%v", term, found, err)
+		h.ck.violate("harness", "durable max-term file unusable after crash: term=%v found=%v err=%v", term, found, err)
 	}
 }
 
@@ -153,24 +169,24 @@ func runClientCrash(h *harness) {
 func (h *harness) clientCrashProbe() {
 	victim, err := client.Dial(h.proxy.Addr(), h.clientCfg("victim", 98))
 	if err != nil {
-		h.ck.violate("victim dial: %v", err)
+		h.ck.violate("harness", "victim dial: %v", err)
 		return
 	}
 	if _, err := victim.Read(workFiles[victimIdx]); err != nil {
 		victim.Abandon()
-		h.ck.violate("victim read: %v", err)
+		h.ck.violate("harness", "victim read: %v", err)
 		return
 	}
 	held := victim.HeldLeases()
 	victim.Abandon()
 	if held == 0 {
-		h.ck.violate("victim held no leases before crashing")
+		h.ck.violate("harness", "victim held no leases before crashing")
 		return
 	}
 
 	prober, err := client.Dial(h.proxy.Addr(), h.clientCfg("prober", 97))
 	if err != nil {
-		h.ck.violate("prober dial: %v", err)
+		h.ck.violate("harness", "prober dial: %v", err)
 		return
 	}
 	defer prober.Close()
@@ -179,14 +195,115 @@ func (h *harness) clientCrashProbe() {
 	err = prober.Write(workFiles[victimIdx], payload(workFiles[victimIdx], seq))
 	delay := time.Since(start)
 	if err != nil {
-		h.ck.violate("probe write after client crash failed: %v", err)
+		h.ck.violate("liveness", "probe write after client crash failed: %v", err)
 		return
 	}
 	h.ck.acked(victimIdx, seq, delay)
 	if delay < h.o.Term/4 {
-		h.ck.violate("probe write cleared in %v — expected deferral behind the crashed client's lease (term %v)",
+		h.ck.violate("bounded-delay", "probe write cleared in %v — expected deferral behind the crashed client's lease (term %v)",
 			delay, h.o.Term)
 	}
+}
+
+// runMasterCrash is the tentpole failover scenario: the elected master
+// of a 3-replica deployment crash-stops mid-workload (election node
+// and lease server together), the survivors elect a successor whose
+// promotion syncs replicated state from a quorum and waits out the §2
+// recovery window, and the clients' replica-set failover lands the
+// workload on the new master. Later the crashed replica rejoins as a
+// follower — a diskless restart that must catch up before it counts.
+// The acked-floor checker holds across the whole arc: every write
+// acknowledged before the crash stays visible after it.
+func runMasterCrash(h *harness) {
+	rs := h.repl
+	d := h.o.Duration
+	var crashed atomic.Int64
+	crashed.Store(-1)
+	faultnet.NewSchedule(h.obs).
+		At(d/4, "master-crash", func() {
+			m := rs.waitMaster(5 * time.Second)
+			if m < 0 {
+				h.ck.violate("election", "no master was ever elected to crash")
+				return
+			}
+			h.logf("chaos: crashing master %d", m)
+			crashed.Store(int64(m))
+			rs.crash(m)
+		}).
+		At(3*d/4, "replica-restart", func() {
+			if m := crashed.Load(); m >= 0 {
+				h.logf("chaos: restarting replica %d as follower", m)
+				rs.restart(int(m))
+			}
+		}).
+		At(d, "end", func() {}).
+		Run(clock.Real{}, h.stop)
+	h.settleReplicated()
+	if m := crashed.Load(); m < 0 {
+		return
+	}
+	if rs.waitMaster(5*time.Second) < 0 {
+		h.ck.violate("election", "no master after the crash — the survivors never failed over")
+	}
+	if n := electedCount(h.obs); n < 2 {
+		h.ck.violate("election", "no failover election recorded (elected events: %d)", n)
+	}
+}
+
+// runAsymPartition partitions the master asymmetrically: every frame
+// it sends toward its peers is held at the link proxies while peer
+// traffic still reaches it. Unable to renew, it must demote itself on
+// its own (stale) lease clock within one election term, while the
+// peers — who can still talk to each other — elect a successor. The
+// heal then flushes the held frames, so the deposed master's stale
+// ballots arrive late and must lose on ballot comparison, not timing.
+func runAsymPartition(h *harness) {
+	rs := h.repl
+	d := h.o.Duration
+	var victim atomic.Int64
+	victim.Store(-1)
+	faultnet.NewSchedule(h.obs).
+		At(d/4, "asym-partition", func() {
+			m := rs.waitMaster(5 * time.Second)
+			if m < 0 {
+				h.ck.violate("election", "no master was ever elected to partition")
+				return
+			}
+			h.logf("chaos: asymmetrically partitioning master %d", m)
+			victim.Store(int64(m))
+			rs.partitionOutbound(m)
+		}).
+		At(3*d/4, "heal", rs.healLinks).
+		At(d, "end", func() {}).
+		Run(clock.Real{}, h.stop)
+	h.settleReplicated()
+	if victim.Load() < 0 {
+		return
+	}
+	if rs.waitMaster(5*time.Second) < 0 {
+		h.ck.violate("election", "no master after the asymmetric partition healed")
+	}
+	if n := electedCount(h.obs); n < 2 {
+		h.ck.violate("election", "the partitioned master was never succeeded (elected events: %d)", n)
+	}
+}
+
+// electedCount totals elected events across the run.
+func electedCount(o *obs.Observer) int64 {
+	for _, ec := range o.EventCounts() {
+		if ec.Type == "elected" {
+			return ec.N
+		}
+	}
+	return 0
+}
+
+// settleReplicated extends settle for replicated scenarios: a failover
+// costs an election plus the promoted master's §2 recovery window (one
+// file-lease term) before writes clear again.
+func (h *harness) settleReplicated() {
+	time.Sleep(h.o.Term + h.o.Term/2 + time.Second)
+	h.settle()
 }
 
 // runPipeline drives the asynchronous client API through the fault
@@ -203,7 +320,7 @@ func runPipeline(h *harness) {
 	d := h.o.Duration
 	pipeliner, err := client.Dial(h.proxy.Addr(), h.clientCfg("pipeliner", 50))
 	if err != nil {
-		h.ck.violate("pipeliner dial: %v", err)
+		h.ck.violate("harness", "pipeliner dial: %v", err)
 		return
 	}
 	pstop := make(chan struct{})

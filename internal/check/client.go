@@ -19,6 +19,11 @@ import (
 // simply starts over).
 const maxRetries = 8
 
+// maxRedirects bounds how many NOT_MASTER redirects one op will chase
+// back-to-back before falling back to the paced retry timer, so a
+// confused replica set cannot trap a client in a redirect storm.
+const maxRedirects = 4
+
 type mopKind int
 
 const (
@@ -44,6 +49,7 @@ type mop struct {
 	// is safe even when a retry's reply comes back (§3.1).
 	startedLocal time.Time
 	retries      int
+	redirects    int
 	incarnation  uint64
 	retryEv      *sim.Event
 }
@@ -70,6 +76,10 @@ type mclient struct {
 	nextReq     uint64
 	incarnation uint64
 	down        bool
+	// belief is the replica index this client currently addresses: the
+	// last replica that answered it, steered by NOT_MASTER hints and
+	// rotated on timeouts. Always 0 in single-server worlds.
+	belief int
 }
 
 func newMclient(w *world, index int) *mclient {
@@ -168,19 +178,18 @@ func (c *mclient) send(op *mop) {
 }
 
 func (c *mclient) transmit(op *mop) {
+	target := c.w.serverNodeID(c.belief)
 	switch op.kind {
 	case opReadFetch, opRenew:
-		c.w.fabric.Unicast(c.node, serverNode, kindExtend, extendReq{ReqID: op.reqID, From: c.id, Data: op.data})
+		c.w.fabric.Unicast(c.node, target, kindExtend, extendReq{ReqID: op.reqID, From: c.id, Data: op.data})
 	case opWriteOp:
-		c.w.fabric.Unicast(c.node, serverNode, kindWrite, writeReq{ReqID: op.reqID, From: c.id, Datum: op.datum, Value: op.value})
+		c.w.fabric.Unicast(c.node, target, kindWrite, writeReq{ReqID: op.reqID, From: c.id, Datum: op.datum, Value: op.value})
 	}
 	backoff := c.retryBase() << op.retries
 	op.retryEv = c.w.engine.After(backoff, func() { c.retry(op) })
 }
 
-func (c *mclient) retryBase() time.Duration {
-	return 3*(2*c.w.sc.Prop+4*c.w.sc.Proc) + 4*c.w.sc.Jitter + time.Millisecond
-}
+func (c *mclient) retryBase() time.Duration { return c.w.retryBase() }
 
 func (c *mclient) retry(op *mop) {
 	op.retryEv = nil
@@ -193,6 +202,11 @@ func (c *mclient) retry(op *mop) {
 		return
 	}
 	op.retries++
+	if n := c.w.sc.Servers; n > 1 {
+		// Silence may mean the believed replica is down, partitioned,
+		// or mid-promotion: try the next one.
+		c.belief = (c.belief + 1) % n
+	}
 	c.transmit(op)
 }
 
@@ -207,9 +221,37 @@ func (c *mclient) handle(m netsim.Message) {
 		c.handleAck(m, p)
 	case approvalReq:
 		c.handleApprovalPush(m, p)
+	case notMasterRep:
+		c.handleNotMaster(m, p)
 	default:
 		panic(fmt.Sprintf("check: client got %T", m.Payload))
 	}
+}
+
+// handleNotMaster is the failover path: steer belief toward the
+// replier's hint (or rotate when it has none) and retransmit
+// immediately — a storm of redirected clients converges in one round
+// trip instead of a backoff ladder — bounded by maxRedirects.
+func (c *mclient) handleNotMaster(m netsim.Message, rep notMasterRep) {
+	op, ok := c.inflight[rep.ReqID]
+	if !ok || op.incarnation != c.incarnation {
+		return
+	}
+	n := c.w.sc.Servers
+	if rep.Hint >= 0 && rep.Hint < n && c.w.serverNodeID(rep.Hint) != m.From {
+		c.belief = rep.Hint
+	} else if sender := c.w.serverIndex(m.From); sender == c.belief && n > 1 {
+		c.belief = (c.belief + 1) % n
+	}
+	if op.redirects >= maxRedirects {
+		return // the paced retry timer takes it from here
+	}
+	op.redirects++
+	if op.retryEv != nil {
+		c.w.engine.Cancel(op.retryEv)
+		op.retryEv = nil
+	}
+	c.transmit(op)
 }
 
 func (c *mclient) handleGrants(m netsim.Message, rep extendRep) {
@@ -221,6 +263,9 @@ func (c *mclient) handleGrants(m netsim.Message, rep extendRep) {
 	if op.retryEv != nil {
 		c.w.engine.Cancel(op.retryEv)
 		op.retryEv = nil
+	}
+	if idx := c.w.serverIndex(m.From); idx >= 0 {
+		c.belief = idx // pin the session to the replica that answered
 	}
 	now := c.localNow()
 	for _, g := range rep.Grants {
@@ -270,6 +315,9 @@ func (c *mclient) handleAck(m netsim.Message, ack writeAck) {
 		c.w.engine.Cancel(op.retryEv)
 		op.retryEv = nil
 	}
+	if idx := c.w.serverIndex(m.From); idx >= 0 {
+		c.belief = idx
+	}
 	c.w.out.WritesAcked++
 	c.w.orc.acked(c.id, fileForDatum(op.datum), op.value)
 	if fence, fenced := c.invalidatedAt[op.datum]; fenced && !m.SentAt.After(fence) && c.w.sc.Break != BreakFence {
@@ -303,7 +351,9 @@ func (c *mclient) handleApprovalPush(m netsim.Message, ar approvalReq) {
 		Datum:   ar.Datum,
 		WriteID: uint64(ar.WriteID),
 	})
-	c.w.fabric.Unicast(c.node, serverNode, kindApprove, approveMsg{WriteID: ar.WriteID, From: c.id})
+	// Reply to whichever replica pushed the request — during a failover
+	// the pusher may not be the replica this client believes in.
+	c.w.fabric.Unicast(c.node, m.From, kindApprove, approveMsg{WriteID: ar.WriteID, From: c.id})
 }
 
 // crash loses the cache, the holder, and every in-flight request.

@@ -68,6 +68,17 @@ const (
 	FaultDelay FaultKind = "delay"
 	// FaultLoss drops each message in the window with probability Rate.
 	FaultLoss FaultKind = "loss"
+	// FaultMasterCrash (replicated worlds only) crashes whichever
+	// replica holds the master lease at At and restarts it at At+Dur;
+	// a no-op if no replica is master at At.
+	FaultMasterCrash FaultKind = "master-crash"
+	// FaultAsymPartition (replicated worlds only) asymmetrically
+	// partitions the replica that is master at At: everything it SENDS
+	// is held in flight and delivered just after the window closes,
+	// while everything addressed to it still arrives — the shape under
+	// which a master must step down on its own clock, and under which
+	// its stale frames arrive late and must be rejected by fencing.
+	FaultAsymPartition FaultKind = "asym-partition"
 )
 
 // Fault is one entry of the fault schedule.
@@ -78,6 +89,11 @@ type Fault struct {
 	// Client selects the affected client for partition, client-crash,
 	// drop, and delay faults.
 	Client int `json:"client,omitempty"`
+	// Server selects the affected replica for server-crash faults and
+	// the far end of partition/drop/delay faults in replicated worlds
+	// (ignored when Servers <= 1; master-crash and asym-partition
+	// resolve their target dynamically instead).
+	Server int `json:"server,omitempty"`
 	// MsgKind, when non-empty, restricts drop/delay to one message
 	// class (e.g. "lease.grant"); empty matches every kind.
 	MsgKind string `json:"msg_kind,omitempty"`
@@ -105,6 +121,17 @@ const (
 	// BreakAllowance sets the client's clock allowance ε to zero, so
 	// drifted clocks make the client trust expired leases.
 	BreakAllowance = "allowance"
+	// BreakQuiet removes the failover waiting discipline: restarted
+	// replicas rejoin elections immediately (amnesiac about the
+	// promises their previous incarnation made), and a freshly
+	// promoted master serves without the §5 recovery window. The first
+	// shortcut lets two amnesiac acceptors elect a second master while
+	// the first one's lease is still running — the diskless split
+	// brain the PaxosLease quiet period exists to prevent. The second
+	// embodies the belief that mastership alone makes failover safe:
+	// the usurper applies writes inside leases the deposed master
+	// granted and never told it about.
+	BreakQuiet = "quiet"
 )
 
 // Scenario fully determines one model-checked execution.
@@ -112,6 +139,11 @@ type Scenario struct {
 	Seed    int64 `json:"seed"`
 	Clients int   `json:"clients"`
 	Files   int   `json:"files"`
+	// Servers is the replica-set size; 1 (the default) runs the
+	// original single-server world, >1 runs a PaxosLease replica set:
+	// one election Machine per server, master-only lease granting,
+	// replicate-before-apply writes, and promotion state sync.
+	Servers int `json:"servers,omitempty"`
 
 	// Term is the fixed lease term t_s; Allowance is the clock bound ε
 	// clients subtract.
@@ -130,6 +162,12 @@ type Scenario struct {
 	ClientSkew []time.Duration `json:"client_skew,omitempty"`
 	ServerRate float64         `json:"server_rate,omitempty"`
 	ServerSkew time.Duration   `json:"server_skew,omitempty"`
+	// ServerRates/ServerSkews give each replica its own clock in
+	// replicated worlds; entries default to the scalar
+	// ServerRate/ServerSkew above, which stays authoritative for
+	// single-server scenarios.
+	ServerRates []float64       `json:"server_rates,omitempty"`
+	ServerSkews []time.Duration `json:"server_skews,omitempty"`
 
 	Ops    []Op    `json:"ops"`
 	Faults []Fault `json:"faults,omitempty"`
@@ -162,8 +200,22 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Proc == 0 {
 		sc.Proc = 100 * time.Microsecond
 	}
+	if sc.Servers == 0 {
+		sc.Servers = 1
+	}
 	if sc.ServerRate == 0 {
 		sc.ServerRate = 1
+	}
+	for len(sc.ServerRates) < sc.Servers {
+		sc.ServerRates = append(sc.ServerRates, sc.ServerRate)
+	}
+	for len(sc.ServerSkews) < sc.Servers {
+		sc.ServerSkews = append(sc.ServerSkews, sc.ServerSkew)
+	}
+	for i, r := range sc.ServerRates {
+		if r == 0 {
+			sc.ServerRates[i] = 1
+		}
 	}
 	for len(sc.ClientRate) < sc.Clients {
 		sc.ClientRate = append(sc.ClientRate, 1)
@@ -195,6 +247,10 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("check: op %d scheduled before start", i)
 		}
 	}
+	servers := sc.Servers
+	if servers == 0 {
+		servers = 1
+	}
 	for i, ft := range sc.Faults {
 		if ft.At < 0 || ft.Dur < 0 {
 			return fmt.Errorf("check: fault %d has negative timing", i)
@@ -205,8 +261,15 @@ func (sc Scenario) Validate() error {
 				return fmt.Errorf("check: fault %d targets client %d of %d", i, ft.Client, sc.Clients)
 			}
 		case FaultServerCrash, FaultLoss:
+		case FaultMasterCrash, FaultAsymPartition:
+			if servers < 2 {
+				return fmt.Errorf("check: fault %d (%s) needs a replicated world", i, ft.Kind)
+			}
 		default:
 			return fmt.Errorf("check: fault %d has unknown kind %q", i, ft.Kind)
+		}
+		if ft.Server < 0 || ft.Server >= servers {
+			return fmt.Errorf("check: fault %d targets server %d of %d", i, ft.Server, servers)
 		}
 	}
 	return nil
@@ -219,6 +282,8 @@ func (sc Scenario) clone() Scenario {
 	out.Faults = append([]Fault(nil), sc.Faults...)
 	out.ClientRate = append([]float64(nil), sc.ClientRate...)
 	out.ClientSkew = append([]time.Duration(nil), sc.ClientSkew...)
+	out.ServerRates = append([]float64(nil), sc.ServerRates...)
+	out.ServerSkews = append([]time.Duration(nil), sc.ServerSkews...)
 	return out
 }
 
@@ -243,8 +308,12 @@ const (
 
 // GenConfig bounds the generator.
 type GenConfig struct {
-	Clients   int
-	Files     int
+	Clients int
+	Files   int
+	// Servers > 1 generates replicated scenarios: failover faults
+	// (master crash, asymmetric master partition, follower crashes) and
+	// independent per-replica clock drift at the ε budget.
+	Servers   int
 	Ops       int
 	Horizon   time.Duration
 	Term      time.Duration
@@ -259,11 +328,19 @@ func (cfg GenConfig) withDefaults() GenConfig {
 	if cfg.Files == 0 {
 		cfg.Files = 2
 	}
+	if cfg.Servers == 0 {
+		cfg.Servers = 1
+	}
 	if cfg.Ops == 0 {
 		cfg.Ops = 24
 	}
 	if cfg.Horizon == 0 {
 		cfg.Horizon = 3 * time.Second
+		if cfg.Servers > 1 {
+			// Replicated runs spend the first election term electing a
+			// master and a failover mid-run; give the workload room.
+			cfg.Horizon = 4 * time.Second
+		}
 	}
 	if cfg.Term == 0 {
 		cfg.Term = 250 * time.Millisecond
@@ -299,6 +376,7 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		Seed:      seed,
 		Clients:   cfg.Clients,
 		Files:     cfg.Files,
+		Servers:   cfg.Servers,
 		Term:      cfg.Term,
 		Allowance: cfg.Allowance,
 	}
@@ -372,6 +450,12 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		}
 		sc.ServerRate = 1 + (rng.Float64()*2-1)*dev
 		sc.ServerSkew = time.Duration((rng.Float64()*2 - 1) * float64(skewMax))
+		// Replicas drift independently of one another, each at the same
+		// ε budget: elections must stay safe at the allowance boundary.
+		for i := range sc.ServerRates {
+			sc.ServerRates[i] = 1 + (rng.Float64()*2-1)*dev
+			sc.ServerSkews[i] = time.Duration((rng.Float64()*2 - 1) * float64(skewMax))
+		}
 	}
 	if partition {
 		sc.Jitter = randDur(rng, 0, sc.Prop)
@@ -380,8 +464,16 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 			sc.Faults = append(sc.Faults, Fault{
 				Kind:   FaultPartition,
 				Client: rng.Intn(cfg.Clients),
+				Server: rng.Intn(cfg.Servers),
 				At:     randDur(rng, 0, cfg.Horizon*7/10),
 				Dur:    randDur(rng, cfg.Term/2, cfg.Term*3/2),
+			})
+		}
+		if cfg.Servers > 1 && rng.Float64() < 0.5 {
+			sc.Faults = append(sc.Faults, Fault{
+				Kind: FaultAsymPartition,
+				At:   randDur(rng, cfg.Term, cfg.Horizon*7/10),
+				Dur:  randDur(rng, cfg.Term/2, cfg.Term*3/2),
 			})
 		}
 		if rng.Float64() < 0.7 {
@@ -416,9 +508,17 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		}
 		if rng.Float64() < 0.6 {
 			sc.Faults = append(sc.Faults, Fault{
-				Kind: FaultServerCrash,
-				At:   randDur(rng, 0, cfg.Horizon*7/10),
-				Dur:  randDur(rng, cfg.Term/4, cfg.Term),
+				Kind:   FaultServerCrash,
+				Server: rng.Intn(cfg.Servers),
+				At:     randDur(rng, 0, cfg.Horizon*7/10),
+				Dur:    randDur(rng, cfg.Term/4, cfg.Term),
+			})
+		}
+		if cfg.Servers > 1 && rng.Float64() < 0.6 {
+			sc.Faults = append(sc.Faults, Fault{
+				Kind: FaultMasterCrash,
+				At:   randDur(rng, cfg.Term, cfg.Horizon*7/10),
+				Dur:  randDur(rng, cfg.Term/2, cfg.Term*2),
 			})
 		}
 	}

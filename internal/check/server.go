@@ -8,6 +8,7 @@ import (
 	"leases/internal/core"
 	"leases/internal/netsim"
 	"leases/internal/obs"
+	"leases/internal/replica"
 	"leases/internal/sim"
 	"leases/internal/vfs"
 )
@@ -15,6 +16,11 @@ import (
 // checkShards exercises the sharded manager's cross-shard routing
 // without drowning the small model configurations.
 const checkShards = 2
+
+// maxStagedRetries bounds replication-frame retransmission; a staged
+// write that cannot reach quorum is dropped unacked (the client has
+// long given up) so the engine drains.
+const maxStagedRetries = 10
 
 // engineClock adapts the discrete-event engine to clock.Clock for the
 // vfs store; only Now is meaningful inside the simulation.
@@ -71,6 +77,59 @@ type approveMsg struct {
 	From    core.ClientID
 }
 
+// notMasterRep refuses a client op at a non-master replica, carrying
+// the replier's belief about who the master is (-1 when unknown).
+type notMasterRep struct {
+	ReqID uint64
+	Hint  int
+}
+
+// electMsg carries one PaxosLease election message between replicas.
+type electMsg struct{ M replica.Msg }
+
+// replFrame replicates one staged write: the master may only apply and
+// ack the write after quorum-1 peers have applied seq.
+type replFrame struct {
+	From  int
+	File  int
+	Seq   uint64
+	Value string
+}
+
+type replAck struct {
+	From int
+	File int
+	Seq  uint64
+}
+
+// syncReq/syncRep implement promotion state sync: a fresh master
+// merges quorum-1 peer snapshots before serving, so every write that
+// was ever acked (it reached a quorum) is in its store.
+type syncReq struct {
+	From  int
+	ReqID uint64
+}
+
+type fileRepl struct {
+	File  int
+	Seq   uint64
+	Value string
+}
+
+type syncRep struct {
+	From  int
+	ReqID uint64
+	Files []fileRepl
+}
+
+// installMsg pushes the new master's merged snapshot to every peer,
+// healing laggards and sequence gaps left by a dead master's partial
+// replication.
+type installMsg struct {
+	From  int
+	Files []fileRepl
+}
+
 // mwriter is the server's record of one deferred write.
 type mwriter struct {
 	client   core.ClientID
@@ -80,11 +139,26 @@ type mwriter struct {
 	queuedAt time.Time // server-local, for the write-wait lens
 }
 
+// stagedWrite is one write past its lease deferral but not yet at
+// quorum: its replication frames are in flight.
+type stagedWrite struct {
+	wtr     mwriter
+	seq     uint64
+	acks    []bool // by replica index
+	retries int
+	retryEv *sim.Event
+}
+
 // mserver is the model file server: the real vfs store and the real
 // sharded lease manager under the model's message loop, mirroring the
-// TCP deployment's write-deferral and crash-recovery semantics.
+// TCP deployment's write-deferral and crash-recovery semantics. In
+// replicated worlds (sc.Servers > 1) it additionally runs the real
+// PaxosLease Machine and the replicate-before-apply pipeline; mach is
+// nil in single-server worlds, which behave exactly as before.
 type mserver struct {
 	w       *world
+	idx     int
+	node    netsim.NodeID
 	store   *vfs.Store
 	mgr     *core.ShardedManager
 	writers map[core.WriteID]mwriter
@@ -99,15 +173,38 @@ type mserver struct {
 	// persistedMaxTerm survives crashes, like the durable max-term
 	// file in internal/server (§5 recovery rule).
 	persistedMaxTerm time.Duration
+
+	// Replication state (Servers > 1 only).
+	mach       *replica.Machine
+	machGen    int64
+	machEv     *sim.Event
+	wasMaster  bool
+	lastBelief int
+	// applied and nextSeq are per file: the last replication sequence
+	// applied to the store and the last one assigned. They are durable
+	// (the store survives crashes); sequences double as client-facing
+	// versions so version guards stay comparable across failovers.
+	applied []uint64
+	nextSeq []uint64
+	staged  [][]*stagedWrite
+	parked  []map[uint64]replFrame
+	synced  bool
+	syncID  uint64
+	syncGot []*syncRep
+	syncTry int
+	syncEv  *sim.Event
 }
 
-func newMserver(w *world) *mserver {
+func newMserver(w *world, idx int) *mserver {
 	srv := &mserver{
-		w:       w,
-		writers: make(map[core.WriteID]mwriter),
-		seen:    make(map[core.ClientID]map[uint64]uint64),
+		w:          w,
+		idx:        idx,
+		node:       w.serverNodeID(idx),
+		writers:    make(map[core.WriteID]mwriter),
+		seen:       make(map[core.ClientID]map[uint64]uint64),
+		lastBelief: -1,
 	}
-	srv.store = vfs.New(engineClock{w.engine}, "srv")
+	srv.store = vfs.New(engineClock{w.engine}, string(srv.node))
 	for f := 0; f < w.sc.Files; f++ {
 		path := "/f" + strconv.Itoa(f)
 		if _, err := srv.store.Create(path, "srv", vfs.DefaultPerm|vfs.WorldWrite); err != nil {
@@ -117,11 +214,43 @@ func newMserver(w *world) *mserver {
 		if _, _, err := srv.store.WriteFile(datumForFile(f).Node, []byte(val)); err != nil {
 			panic(fmt.Sprintf("check: seeding %s: %v", path, err))
 		}
-		w.orc.initialApplied(f, val)
+		if idx == 0 {
+			w.orc.initialApplied(f, val)
+		}
 	}
 	srv.resetManager(time.Time{})
-	w.fabric.Register(serverNode, srv.handle)
+	if w.sc.Servers > 1 {
+		srv.applied = make([]uint64, w.sc.Files)
+		srv.nextSeq = make([]uint64, w.sc.Files)
+		srv.staged = make([][]*stagedWrite, w.sc.Files)
+		srv.parked = make([]map[uint64]replFrame, w.sc.Files)
+		for f := 0; f < w.sc.Files; f++ {
+			v, err := srv.store.Version(datumForFile(f))
+			if err != nil {
+				panic(fmt.Sprintf("check: version of file %d: %v", f, err))
+			}
+			srv.applied[f] = v
+			srv.nextSeq[f] = v
+			srv.parked[f] = make(map[uint64]replFrame)
+		}
+		// Genesis machines skip the quiet period: a fresh cluster has no
+		// prior promises to contradict, so the first election may start
+		// at t0. Restarts go through the honest quiet period.
+		srv.mach = srv.newMach(w.start.Add(-w.sc.Term))
+		srv.armMach()
+	}
+	w.fabric.Register(srv.node, srv.handle)
 	return srv
+}
+
+func (srv *mserver) newMach(start time.Time) *replica.Machine {
+	return replica.NewMachine(replica.Config{
+		ID:        srv.idx,
+		N:         srv.w.sc.Servers,
+		Term:      srv.w.sc.Term,
+		Allowance: srv.w.sc.Allowance,
+		Seed:      mix(srv.w.sc.Seed, 0xe1ec7^int64(srv.idx)<<8^srv.machGen<<20),
+	}, start)
 }
 
 // resetManager builds a fresh lease manager, optionally inside a
@@ -134,10 +263,475 @@ func (srv *mserver) resetManager(recoverUntil time.Time) {
 	srv.mgr = core.NewShardedManager(checkShards, core.FixedTerm(srv.w.sc.Term), opts...)
 }
 
+func (srv *mserver) rate() float64       { return srv.w.sc.ServerRates[srv.idx] }
+func (srv *mserver) skew() time.Duration { return srv.w.sc.ServerSkews[srv.idx] }
+
 // localNow reads the server's drifting clock.
 func (srv *mserver) localNow() time.Time {
-	return localAt(srv.w.start, srv.w.engine.Now(), srv.w.sc.ServerRate, srv.w.sc.ServerSkew)
+	return localAt(srv.w.start, srv.w.engine.Now(), srv.rate(), srv.skew())
 }
+
+// quorumPeers is how many peer acknowledgements (excluding the master
+// itself) a staged write or promotion sync needs.
+func (srv *mserver) quorumPeers() int { return srv.w.sc.Servers / 2 }
+
+// fromLiveMaster is the replication fence: replication traffic is only
+// honoured from the replica this machine currently believes holds a
+// live master lease, so a deposed master's late-flushed frames die
+// here instead of poisoning the store.
+func (srv *mserver) fromLiveMaster(from int) bool {
+	owner, live := srv.mach.Master(srv.localNow())
+	return live && owner == from
+}
+
+// ---- election machine pump ----
+
+func (srv *mserver) armMach() {
+	if srv.mach == nil || srv.down {
+		return
+	}
+	if srv.machEv != nil {
+		srv.w.engine.Cancel(srv.machEv)
+		srv.machEv = nil
+	}
+	at := trueAt(srv.w.start, srv.mach.NextWake(), srv.rate(), srv.skew())
+	if at.After(srv.w.machStop) {
+		return
+	}
+	if at.Before(srv.w.engine.Now()) {
+		at = srv.w.engine.Now()
+	}
+	srv.machEv = srv.w.engine.At(at, srv.onMachWake)
+}
+
+func (srv *mserver) onMachWake() {
+	srv.machEv = nil
+	if srv.down {
+		return
+	}
+	srv.sendElect(srv.mach.Tick(srv.localNow()))
+	srv.machChanged()
+}
+
+func (srv *mserver) sendElect(msgs []replica.Msg) {
+	for _, m := range msgs {
+		if m.To == srv.idx {
+			continue
+		}
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(m.To), kindElect, electMsg{M: m})
+	}
+}
+
+// machChanged runs after every machine interaction: it clears the
+// parked-frame buffer when the believed master changes (a parked frame
+// from a dead reign must never fill a live reign's sequence gap),
+// detects this replica's own promotion and demotion edges, and rearms
+// the wake timer.
+func (srv *mserver) machChanged() {
+	now := srv.localNow()
+	owner, live := srv.mach.Master(now)
+	if !live {
+		owner = -1
+	}
+	if owner != srv.lastBelief {
+		srv.lastBelief = owner
+		for f := range srv.parked {
+			srv.parked[f] = make(map[uint64]replFrame)
+		}
+	}
+	if is := srv.mach.IsMaster(now); is != srv.wasMaster {
+		srv.wasMaster = is
+		if is {
+			srv.onPromote()
+		} else {
+			srv.onDemote()
+		}
+	}
+	srv.armMach()
+}
+
+// onPromote installs a fresh lease manager inside a §5-style recovery
+// window: any predecessor may have granted leases this replica never
+// saw, so for one maximum term plus the clock allowance every datum is
+// treated as possibly leased by unknown clients. Serving starts only
+// after the promotion sync completes.
+func (srv *mserver) onPromote() {
+	srv.w.obs.Record(obs.Event{Type: obs.EvElected, Shard: srv.idx})
+	if srv.w.sc.Break == BreakQuiet {
+		// Sabotage: trust PaxosLease mastership alone and serve
+		// immediately. The predecessor's grants are still live, so a
+		// write applied now can slide in under a lease this replica
+		// has never heard of.
+		srv.resetManager(time.Time{})
+		srv.clearServing()
+		srv.beginSync()
+		return
+	}
+	maxTerm := srv.w.sc.Term
+	if srv.persistedMaxTerm > maxTerm && srv.persistedMaxTerm < core.Infinite {
+		maxTerm = srv.persistedMaxTerm
+	}
+	srv.resetManager(srv.localNow().Add(maxTerm + srv.w.sc.Allowance))
+	srv.clearServing()
+	srv.beginSync()
+}
+
+func (srv *mserver) onDemote() {
+	srv.w.obs.Record(obs.Event{Type: obs.EvDemoted, Shard: srv.idx})
+	if t := srv.mgr.MaxTermGranted(); t > srv.persistedMaxTerm {
+		srv.persistedMaxTerm = t
+	}
+	srv.dropAllStaged()
+	srv.clearServing()
+	srv.resetManager(time.Time{})
+	srv.synced = false
+	srv.syncGot = nil
+	if srv.syncEv != nil {
+		srv.w.engine.Cancel(srv.syncEv)
+		srv.syncEv = nil
+	}
+}
+
+// clearServing drops the deferred-writer table and pending dedupe
+// markers — a non-master will never finish them, and a black-holed
+// marker would silently eat the client's retransmit to a later reign.
+func (srv *mserver) clearServing() {
+	srv.writers = make(map[core.WriteID]mwriter)
+	if srv.deadlineEv != nil {
+		srv.w.engine.Cancel(srv.deadlineEv)
+		srv.deadlineEv = nil
+	}
+	srv.deadlineAt = time.Time{}
+	for _, m := range srv.seen {
+		for req, v := range m {
+			if v == 0 {
+				delete(m, req)
+			}
+		}
+	}
+}
+
+func (srv *mserver) dropAllStaged() {
+	for f := range srv.staged {
+		for _, e := range srv.staged[f] {
+			if e.retryEv != nil {
+				srv.w.engine.Cancel(e.retryEv)
+				e.retryEv = nil
+			}
+		}
+		srv.staged[f] = nil
+	}
+}
+
+// ---- promotion sync ----
+
+func (srv *mserver) beginSync() {
+	if srv.syncEv != nil {
+		srv.w.engine.Cancel(srv.syncEv)
+		srv.syncEv = nil
+	}
+	srv.synced = false
+	srv.syncID++
+	srv.syncGot = make([]*syncRep, srv.w.sc.Servers)
+	srv.syncTry = 0
+	srv.sendSync()
+}
+
+func (srv *mserver) sendSync() {
+	req := syncReq{From: srv.idx, ReqID: srv.syncID}
+	for i := range srv.w.servers {
+		if i == srv.idx || srv.syncGot[i] != nil {
+			continue
+		}
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(i), kindSyncReq, req)
+	}
+	backoff := srv.w.retryBase() << uint(min(srv.syncTry, 6))
+	srv.syncEv = srv.w.engine.After(backoff, srv.onSyncRetry)
+}
+
+func (srv *mserver) onSyncRetry() {
+	srv.syncEv = nil
+	if srv.down || srv.synced || !srv.mach.IsMaster(srv.localNow()) {
+		return
+	}
+	if srv.syncTry >= maxRetries {
+		return // stranded: serves nothing until its lease lapses
+	}
+	srv.syncTry++
+	srv.sendSync()
+}
+
+func (srv *mserver) handleSyncReq(p syncReq) {
+	srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(p.From), kindSyncRep,
+		syncRep{From: srv.idx, ReqID: p.ReqID, Files: srv.fileSnapshot()})
+}
+
+func (srv *mserver) fileSnapshot() []fileRepl {
+	out := make([]fileRepl, srv.w.sc.Files)
+	for f := 0; f < srv.w.sc.Files; f++ {
+		data, _, err := srv.store.ReadFile(datumForFile(f).Node)
+		if err != nil {
+			panic(fmt.Sprintf("check: snapshot file %d: %v", f, err))
+		}
+		out[f] = fileRepl{File: f, Seq: srv.applied[f], Value: string(data)}
+	}
+	return out
+}
+
+func (srv *mserver) handleSyncRep(p syncRep) {
+	if srv.mach == nil || srv.synced || p.ReqID != srv.syncID || !srv.mach.IsMaster(srv.localNow()) {
+		return
+	}
+	if p.From < 0 || p.From >= len(srv.syncGot) || srv.syncGot[p.From] != nil {
+		return
+	}
+	rep := p
+	srv.syncGot[p.From] = &rep
+	got := 0
+	for _, r := range srv.syncGot {
+		if r != nil {
+			got++
+		}
+	}
+	if got < srv.quorumPeers() {
+		return
+	}
+	srv.finishSync()
+}
+
+// finishSync merges the quorum's snapshots — per file, the highest
+// applied sequence wins; quorum intersection guarantees every acked
+// write is among them — then pushes the merged state to all peers.
+func (srv *mserver) finishSync() {
+	if srv.syncEv != nil {
+		srv.w.engine.Cancel(srv.syncEv)
+		srv.syncEv = nil
+	}
+	for f := 0; f < srv.w.sc.Files; f++ {
+		for i := 0; i < srv.w.sc.Servers; i++ {
+			r := srv.syncGot[i]
+			if r == nil {
+				continue
+			}
+			if fr := r.Files[f]; fr.Seq > srv.applied[f] {
+				srv.applyRepl(f, fr.Seq, fr.Value)
+			}
+		}
+	}
+	srv.synced = true
+	srv.syncGot = nil
+	inst := installMsg{From: srv.idx, Files: srv.fileSnapshot()}
+	for i := range srv.w.servers {
+		if i != srv.idx {
+			srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(i), kindInstall, inst)
+		}
+	}
+}
+
+func (srv *mserver) handleInstall(p installMsg) {
+	if srv.mach == nil || !srv.fromLiveMaster(p.From) {
+		return
+	}
+	for _, fr := range p.Files {
+		if fr.Seq > srv.applied[fr.File] {
+			srv.applyRepl(fr.File, fr.Seq, fr.Value)
+		}
+		for s := range srv.parked[fr.File] {
+			if s <= srv.applied[fr.File] {
+				delete(srv.parked[fr.File], s)
+			}
+		}
+		srv.drainParked(fr.File)
+	}
+}
+
+// ---- replication pipeline ----
+
+// stageWrite enters a write into the replicate-before-apply pipeline:
+// frames fan out to the peers, and only quorum-1 acks commit the write
+// locally and ack the client — no reader can ever observe a value a
+// failover could lose. The value's serialization position is fixed
+// now, because replicas apply strictly in sequence order.
+func (srv *mserver) stageWrite(wtr mwriter) {
+	f := fileForDatum(wtr.datum)
+	if srv.seen[wtr.client] == nil {
+		srv.seen[wtr.client] = make(map[uint64]uint64)
+	}
+	srv.seen[wtr.client][wtr.reqID] = 0
+	srv.nextSeq[f]++
+	e := &stagedWrite{wtr: wtr, seq: srv.nextSeq[f], acks: make([]bool, srv.w.sc.Servers)}
+	srv.staged[f] = append(srv.staged[f], e)
+	srv.w.orc.applied(f, wtr.value)
+	srv.sendFrames(e)
+}
+
+func (srv *mserver) sendFrames(e *stagedWrite) {
+	f := fileForDatum(e.wtr.datum)
+	fr := replFrame{From: srv.idx, File: f, Seq: e.seq, Value: e.wtr.value}
+	for i := range srv.w.servers {
+		if i == srv.idx || e.acks[i] {
+			continue
+		}
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(i), kindReplWrite, fr)
+	}
+	backoff := srv.w.retryBase() << uint(min(e.retries, 6))
+	e.retryEv = srv.w.engine.After(backoff, func() { srv.retryStaged(e) })
+}
+
+func (srv *mserver) retryStaged(e *stagedWrite) {
+	e.retryEv = nil
+	if srv.down {
+		return
+	}
+	f := fileForDatum(e.wtr.datum)
+	live := false
+	for _, s := range srv.staged[f] {
+		if s == e {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return
+	}
+	if e.retries >= maxStagedRetries {
+		srv.dropStagedFrom(f, e)
+		return
+	}
+	e.retries++
+	srv.sendFrames(e)
+}
+
+// dropStagedFrom abandons a staged write that cannot reach quorum, and
+// everything queued behind it (their sequences would gap). None were
+// acked, so no oracle guarantee is lost; the sequence gap itself heals
+// at the next promotion's install push.
+func (srv *mserver) dropStagedFrom(f int, e *stagedWrite) {
+	q := srv.staged[f]
+	for i, s := range q {
+		if s != e {
+			continue
+		}
+		for _, d := range q[i:] {
+			if d.retryEv != nil {
+				srv.w.engine.Cancel(d.retryEv)
+				d.retryEv = nil
+			}
+		}
+		srv.staged[f] = q[:i]
+		return
+	}
+}
+
+func (srv *mserver) handleReplAck(p replAck) {
+	if srv.mach == nil {
+		return
+	}
+	for _, e := range srv.staged[p.File] {
+		if e.seq == p.Seq {
+			if p.From >= 0 && p.From < len(e.acks) {
+				e.acks[p.From] = true
+			}
+			break
+		}
+	}
+	srv.drainStaged(p.File)
+}
+
+func (srv *mserver) drainStaged(f int) {
+	for len(srv.staged[f]) > 0 {
+		e := srv.staged[f][0]
+		n := 0
+		for _, a := range e.acks {
+			if a {
+				n++
+			}
+		}
+		if n < srv.quorumPeers() {
+			return
+		}
+		srv.staged[f] = srv.staged[f][1:]
+		srv.commitStaged(e)
+	}
+}
+
+func (srv *mserver) commitStaged(e *stagedWrite) {
+	if e.retryEv != nil {
+		srv.w.engine.Cancel(e.retryEv)
+		e.retryEv = nil
+	}
+	now := srv.localNow()
+	f := fileForDatum(e.wtr.datum)
+	if _, _, err := srv.store.WriteFile(e.wtr.datum.Node, []byte(e.wtr.value)); err != nil {
+		panic(fmt.Sprintf("check: commit staged write %v: %v", e.wtr.datum, err))
+	}
+	srv.applied[f] = e.seq
+	wait := now.Sub(e.wtr.queuedAt)
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > srv.w.out.MaxWriteWait {
+		srv.w.out.MaxWriteWait = wait
+	}
+	if srv.seen[e.wtr.client] == nil {
+		srv.seen[e.wtr.client] = make(map[uint64]uint64)
+	}
+	srv.seen[e.wtr.client][e.wtr.reqID] = e.seq
+	srv.w.obs.Record(obs.Event{
+		Type:   obs.EvWriteApply,
+		Client: string(e.wtr.client),
+		Datum:  e.wtr.datum,
+		Shard:  srv.mgr.ShardFor(e.wtr.datum),
+		Wait:   wait,
+	})
+	srv.w.fabric.Unicast(srv.node, netsim.NodeID(e.wtr.client), kindAck, writeAck{ReqID: e.wtr.reqID, Version: e.seq})
+}
+
+func (srv *mserver) handleReplFrame(p replFrame) {
+	if srv.mach == nil || !srv.fromLiveMaster(p.From) {
+		return
+	}
+	f := p.File
+	switch {
+	case p.Seq <= srv.applied[f]:
+		// Duplicate of an applied frame: re-ack so a lost ack cannot
+		// stall the master's commit.
+	case p.Seq == srv.applied[f]+1:
+		srv.applyRepl(f, p.Seq, p.Value)
+	default:
+		// Out of order: hold until the gap fills. Acked only once
+		// applied — an acked-but-parked frame could vanish in a crash
+		// after the master committed on the strength of the ack.
+		srv.parked[f][p.Seq] = p
+		return
+	}
+	srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(p.From), kindReplAck, replAck{From: srv.idx, File: f, Seq: p.Seq})
+	srv.drainParked(f)
+}
+
+func (srv *mserver) drainParked(f int) {
+	for {
+		fr, ok := srv.parked[f][srv.applied[f]+1]
+		if !ok {
+			return
+		}
+		delete(srv.parked[f], fr.Seq)
+		srv.applyRepl(f, fr.Seq, fr.Value)
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(fr.From), kindReplAck, replAck{From: srv.idx, File: f, Seq: fr.Seq})
+	}
+}
+
+func (srv *mserver) applyRepl(f int, seq uint64, val string) {
+	if _, _, err := srv.store.WriteFile(datumForFile(f).Node, []byte(val)); err != nil {
+		panic(fmt.Sprintf("check: replicate file %d: %v", f, err))
+	}
+	srv.applied[f] = seq
+	if srv.nextSeq[f] < seq {
+		srv.nextSeq[f] = seq
+	}
+}
+
+// ---- client-facing handlers ----
 
 func (srv *mserver) handle(m netsim.Message) {
 	if srv.down {
@@ -145,29 +739,100 @@ func (srv *mserver) handle(m netsim.Message) {
 	}
 	switch p := m.Payload.(type) {
 	case extendReq:
+		if !srv.gateClient(m.From, p.ReqID) {
+			return
+		}
 		srv.handleExtend(m.From, p)
 	case writeReq:
+		if !srv.gateClient(m.From, p.ReqID) {
+			return
+		}
 		srv.handleWrite(m.From, p)
 	case approveMsg:
+		if srv.mach != nil && !srv.servingMaster() {
+			return // approvals for a reign this replica no longer runs
+		}
 		srv.handleApprove(p)
+	case electMsg:
+		if srv.mach == nil {
+			return
+		}
+		srv.sendElect(srv.mach.HandleMessage(srv.localNow(), p.M))
+		srv.machChanged()
+	case replFrame:
+		srv.handleReplFrame(p)
+	case replAck:
+		srv.handleReplAck(p)
+	case syncReq:
+		srv.handleSyncReq(p)
+	case syncRep:
+		srv.handleSyncRep(p)
+	case installMsg:
+		srv.handleInstall(p)
 	default:
 		panic(fmt.Sprintf("check: server got %T", m.Payload))
 	}
+}
+
+func (srv *mserver) servingMaster() bool {
+	return srv.mach == nil || (srv.mach.IsMaster(srv.localNow()) && srv.synced)
+}
+
+// gateClient is the replica gate: a non-master refuses with a redirect
+// hint; a master still syncing stays silent (the client's retry lands
+// a round trip later, when sync has almost certainly finished).
+func (srv *mserver) gateClient(from netsim.NodeID, reqID uint64) bool {
+	if srv.mach == nil {
+		return true
+	}
+	if !srv.mach.IsMaster(srv.localNow()) {
+		srv.refuse(from, reqID)
+		return false
+	}
+	return srv.synced
+}
+
+func (srv *mserver) refuse(to netsim.NodeID, reqID uint64) {
+	owner, live := srv.mach.Master(srv.localNow())
+	hint := -1
+	if live && owner != srv.idx {
+		hint = owner
+	}
+	srv.w.fabric.Unicast(srv.node, to, kindNotMaster, notMasterRep{ReqID: reqID, Hint: hint})
+}
+
+// fileVersion is the client-facing version: the store's in
+// single-server worlds, the replication sequence in replicated ones
+// (store versions diverge across replicas; sequences do not).
+func (srv *mserver) fileVersion(d vfs.Datum) uint64 {
+	if srv.mach == nil {
+		v, err := srv.store.Version(d)
+		if err != nil {
+			panic(fmt.Sprintf("check: version of %v: %v", d, err))
+		}
+		return v
+	}
+	return srv.applied[fileForDatum(d)]
 }
 
 func (srv *mserver) handleExtend(from netsim.NodeID, req extendReq) {
 	now := srv.localNow()
 	rep := extendRep{ReqID: req.ReqID}
 	for _, d := range req.Data {
-		g := srv.mgr.Grant(req.From, d, now)
-		version, err := srv.store.Version(d)
-		if err != nil {
-			panic(fmt.Sprintf("check: version of %v: %v", d, err))
-		}
 		data, _, err := srv.store.ReadFile(d.Node)
 		if err != nil {
 			panic(fmt.Sprintf("check: read %v: %v", d, err))
 		}
+		version := srv.fileVersion(d)
+		if srv.mach != nil && len(srv.staged[fileForDatum(d)]) > 0 {
+			// A write is between staging and quorum commit: a lease
+			// granted now would cover a value about to be superseded
+			// without the holder's approval. Serve the committed value
+			// usable-once, like the write-pending refusal below.
+			rep.Grants = append(rep.Grants, grantInfo{Datum: d, Version: version, Value: string(data), Leased: false})
+			continue
+		}
+		g := srv.mgr.Grant(req.From, d, now)
 		rep.Grants = append(rep.Grants, grantInfo{
 			Datum:   d,
 			Term:    g.Term,
@@ -179,20 +844,11 @@ func (srv *mserver) handleExtend(from netsim.NodeID, req extendReq) {
 			Type:   obs.EvGrant,
 			Client: string(req.From),
 			Datum:  d,
-			Shard:  srv.w.srvShardFor(d),
+			Shard:  srv.mgr.ShardFor(d),
 			Term:   g.Term,
 		})
 	}
-	srv.w.fabric.Unicast(serverNode, from, kindGrant, rep)
-}
-
-// srvShardFor tolerates being called during server construction, when
-// w.srv is not yet assigned.
-func (w *world) srvShardFor(d vfs.Datum) int {
-	if w.srv == nil {
-		return 0
-	}
-	return w.srv.mgr.ShardFor(d)
+	srv.w.fabric.Unicast(srv.node, from, kindGrant, rep)
 }
 
 func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
@@ -203,7 +859,7 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 			// stay silent for one still deferred (version 0), whose
 			// eventual apply acks it.
 			if version > 0 {
-				srv.w.fabric.Unicast(serverNode, from, kindAck, writeAck{ReqID: req.ReqID, Version: version})
+				srv.w.fabric.Unicast(srv.node, from, kindAck, writeAck{ReqID: req.ReqID, Version: version})
 			}
 			return
 		}
@@ -211,14 +867,14 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 	disp := srv.mgr.SubmitWrite(req.From, req.Datum, now)
 	wtr := mwriter{client: req.From, reqID: req.ReqID, datum: req.Datum, value: req.Value, queuedAt: now}
 	if disp.Ready {
-		srv.applyWrite(wtr, 0, now)
+		srv.finishWrite(wtr, now)
 		return
 	}
 	if srv.w.sc.Break == BreakWriteDefer {
 		// §2 sabotage: apply immediately, ignoring the unexpired read
 		// leases the manager just told us about.
 		srv.mgr.CancelWrite(disp.WriteID, now)
-		srv.applyWrite(wtr, 0, now)
+		srv.finishWrite(wtr, now)
 		return
 	}
 	srv.writers[disp.WriteID] = wtr
@@ -244,7 +900,7 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 			WriteID: uint64(disp.WriteID),
 		})
 	}
-	srv.w.fabric.Multicast(serverNode, targets, kindApprovalReq, approvalReq{WriteID: disp.WriteID, Datum: req.Datum})
+	srv.w.fabric.Multicast(srv.node, targets, kindApprovalReq, approvalReq{WriteID: disp.WriteID, Datum: req.Datum})
 	srv.armDeadline()
 }
 
@@ -279,9 +935,20 @@ func (srv *mserver) applyReady(now time.Time) {
 			}
 			delete(srv.writers, id)
 			srv.mgr.WriteApplied(id, now)
-			srv.applyWrite(wtr, now.Sub(wtr.queuedAt), now)
+			srv.finishWrite(wtr, now)
 		}
 	}
+}
+
+// finishWrite dispatches a write that has cleared lease deferral:
+// straight to the store in single-server worlds, into the replication
+// pipeline otherwise.
+func (srv *mserver) finishWrite(wtr mwriter, now time.Time) {
+	if srv.mach == nil {
+		srv.applyWrite(wtr, now.Sub(wtr.queuedAt), now)
+		return
+	}
+	srv.stageWrite(wtr)
 }
 
 // applyWrite commits a write to the store, informs the oracle, and
@@ -307,7 +974,7 @@ func (srv *mserver) applyWrite(wtr mwriter, wait time.Duration, now time.Time) {
 		Shard:  srv.mgr.ShardFor(wtr.datum),
 		Wait:   wait,
 	})
-	srv.w.fabric.Unicast(serverNode, netsim.NodeID(wtr.client), kindAck, writeAck{ReqID: wtr.reqID, Version: attr.Version})
+	srv.w.fabric.Unicast(srv.node, netsim.NodeID(wtr.client), kindAck, writeAck{ReqID: wtr.reqID, Version: attr.Version})
 }
 
 // armDeadline keeps exactly one engine timer at the manager's earliest
@@ -338,7 +1005,7 @@ func (srv *mserver) armDeadline() {
 	if srv.deadlineEv != nil {
 		srv.w.engine.Cancel(srv.deadlineEv)
 	}
-	at := trueAt(srv.w.start, dl.Add(time.Microsecond), srv.w.sc.ServerRate, srv.w.sc.ServerSkew)
+	at := trueAt(srv.w.start, dl.Add(time.Microsecond), srv.rate(), srv.skew())
 	if at.Before(srv.w.engine.Now()) {
 		at = srv.w.engine.Now()
 	}
@@ -358,8 +1025,9 @@ func (srv *mserver) onDeadline() {
 }
 
 // crash loses all volatile server state — the lease manager, the
-// deferred-writer table, the dedupe table — but not the store or the
-// persisted max term.
+// deferred-writer table, the dedupe table, the election machine's
+// promises, staged and parked replication frames — but not the store,
+// the applied sequences, or the persisted max term.
 func (srv *mserver) crash() {
 	if srv.down {
 		return
@@ -368,7 +1036,7 @@ func (srv *mserver) crash() {
 	if t := srv.mgr.MaxTermGranted(); t > srv.persistedMaxTerm {
 		srv.persistedMaxTerm = t
 	}
-	srv.w.fabric.SetDown(serverNode, true)
+	srv.w.fabric.SetDown(srv.node, true)
 	if srv.deadlineEv != nil {
 		srv.w.engine.Cancel(srv.deadlineEv)
 		srv.deadlineEv = nil
@@ -376,20 +1044,55 @@ func (srv *mserver) crash() {
 	}
 	srv.writers = make(map[core.WriteID]mwriter)
 	srv.seen = make(map[core.ClientID]map[uint64]uint64)
+	if srv.mach != nil {
+		if srv.machEv != nil {
+			srv.w.engine.Cancel(srv.machEv)
+			srv.machEv = nil
+		}
+		if srv.syncEv != nil {
+			srv.w.engine.Cancel(srv.syncEv)
+			srv.syncEv = nil
+		}
+		srv.dropAllStaged()
+		for f := range srv.parked {
+			srv.parked[f] = make(map[uint64]replFrame)
+		}
+		srv.synced = false
+		srv.syncGot = nil
+		srv.wasMaster = false
+		srv.lastBelief = -1
+	}
 }
 
-// restart brings the server back inside the §5 recovery window: for
-// one persisted max term it assumes every datum may be leased by
-// unknown clients, so writes defer for the full window.
+// restart brings the server back. Single-server worlds re-enter the §5
+// recovery window immediately; replicated worlds impose it at the next
+// promotion instead, and the election machine re-enters its quiet
+// period — unless BreakQuiet sabotages exactly that.
 func (srv *mserver) restart() {
 	if !srv.down {
 		return
 	}
 	srv.down = false
-	srv.w.fabric.SetDown(serverNode, false)
-	var until time.Time
-	if srv.persistedMaxTerm > 0 && srv.persistedMaxTerm < core.Infinite {
-		until = srv.localNow().Add(srv.persistedMaxTerm)
+	srv.w.fabric.SetDown(srv.node, false)
+	if srv.mach == nil {
+		var until time.Time
+		if srv.persistedMaxTerm > 0 && srv.persistedMaxTerm < core.Infinite {
+			until = srv.localNow().Add(srv.persistedMaxTerm)
+		}
+		srv.resetManager(until)
+		return
 	}
-	srv.resetManager(until)
+	srv.resetManager(time.Time{})
+	now := srv.localNow()
+	if srv.w.sc.Break == BreakQuiet {
+		// Sabotage: rejoin elections immediately, with amnesia about
+		// the promises the previous incarnation made. Two amnesiac
+		// acceptors can then elect a second master inside the first
+		// one's live lease — the diskless split brain.
+		srv.machGen++
+		srv.mach = srv.newMach(now.Add(-srv.w.sc.Term))
+	} else {
+		srv.mach.Restart(now)
+	}
+	srv.armMach()
 }

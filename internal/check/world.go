@@ -23,12 +23,57 @@ const (
 	kindApprove     = "lease.approve"
 	kindWrite       = "data.write"
 	kindAck         = "data.ack"
+	// Replicated-world kinds: the election machine's traffic, the
+	// replicate-before-apply pipeline, promotion state sync, and the
+	// NOT_MASTER redirect.
+	kindElect     = "repl.elect"
+	kindReplWrite = "repl.write"
+	kindReplAck   = "repl.write-ack"
+	kindSyncReq   = "repl.sync-req"
+	kindSyncRep   = "repl.sync-rep"
+	kindInstall   = "repl.install"
+	kindNotMaster = "lease.notmaster"
 )
 
 const serverNode = netsim.NodeID("srv")
 
 func clientNode(i int) netsim.NodeID {
 	return netsim.NodeID("c" + strconv.Itoa(i))
+}
+
+// serverNodeID names replica i on the fabric. Single-server worlds keep
+// the historical "srv" so existing pinned artifacts replay unchanged;
+// replicated worlds use s0..sN-1.
+func (w *world) serverNodeID(i int) netsim.NodeID {
+	if w.sc.Servers <= 1 {
+		return serverNode
+	}
+	return netsim.NodeID("s" + strconv.Itoa(i))
+}
+
+// serverIndex inverts serverNodeID (-1 for client nodes).
+func (w *world) serverIndex(id netsim.NodeID) int {
+	for i := range w.servers {
+		if w.serverNodeID(i) == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// currentMaster reports the lowest-indexed live replica whose machine
+// holds the master lease on its own clock, or -1. Deterministic: the
+// scan order and every clock involved are fixed by the scenario.
+func (w *world) currentMaster() int {
+	for i, srv := range w.servers {
+		if srv.down || srv.mach == nil {
+			continue
+		}
+		if srv.mach.IsMaster(srv.localNow()) {
+			return i
+		}
+	}
+	return -1
 }
 
 // datumForFile maps file index f to its FileData datum. Node IDs start
@@ -91,10 +136,20 @@ type world struct {
 	obs     *obs.Observer
 	start   time.Time
 	orc     *oracle
-	srv     *mserver
+	servers []*mserver
 	clients []*mclient
 	out     *Outcome
 	lossRNG *rand.Rand
+	// machStop bounds election-machine timer rearming (true time) so
+	// replicated runs quiesce: past it, masters lapse and stragglers
+	// exhaust their retries instead of electing forever.
+	machStop time.Time
+	// asymTarget maps an asym-partition fault's index to the replica it
+	// resolved to at window start (the master of that instant). While
+	// the window is open, everything that replica SENDS is delayed to
+	// just past the window's end — a one-way partition whose backlog
+	// flushes on heal.
+	asymTarget map[int]int
 }
 
 // mix derives independent deterministic seeds for the engine
@@ -119,14 +174,22 @@ func localAt(start, now time.Time, rate float64, skew time.Duration) time.Time {
 	return now.Add(skew)
 }
 
-// trueAt inverts localAt: the true instant at which the node's clock
-// will read local.
+// trueAt inverts localAt: the earliest true instant at which the
+// node's clock reads at least local. The float inversion truncates, so
+// the result is nudged forward until the round trip lands — otherwise
+// a timer converted through trueAt can fire a nanosecond early on the
+// local clock, observe nothing due, rearm at the same instant, and
+// livelock the engine.
 func trueAt(start, local time.Time, rate float64, skew time.Duration) time.Time {
 	local = local.Add(-skew)
 	if rate == 0 || rate == 1 {
 		return local
 	}
-	return start.Add(time.Duration(float64(local.Sub(start)) / rate))
+	at := start.Add(time.Duration(float64(local.Sub(start)) / rate))
+	for localAt(start, at, rate, 0).Before(local) {
+		at = at.Add(time.Nanosecond)
+	}
+	return at
 }
 
 // RunScenario executes one scenario to completion and reports the
@@ -140,7 +203,7 @@ func RunScenario(sc Scenario, opt Options) (*Outcome, error) {
 	if opt.MaxViolations <= 0 {
 		opt.MaxViolations = 8
 	}
-	w := &world{sc: sc, out: &Outcome{}}
+	w := &world{sc: sc, out: &Outcome{}, asymTarget: make(map[int]int)}
 	w.engine = sim.New(clock.Epoch)
 	w.start = w.engine.Now()
 	tieRNG := rand.New(rand.NewSource(mix(sc.Seed, 0x7ea5)))
@@ -155,7 +218,24 @@ func RunScenario(sc Scenario, opt Options) (*Outcome, error) {
 	w.lossRNG = rand.New(rand.NewSource(mix(sc.Seed, 0x1055)))
 	w.obs = obs.New(obs.Config{RingSize: 1 << 15, Sink: opt.Sink, Now: w.engine.Now})
 	w.orc = newOracle(w, opt.MaxViolations)
-	w.srv = newMserver(w)
+	// Elections keep renewing well past the last scheduled activity —
+	// long enough for every client retry ladder to resolve against a
+	// live master — then stop so the engine drains.
+	var last time.Duration
+	for _, op := range sc.Ops {
+		if op.At > last {
+			last = op.At
+		}
+	}
+	for _, ft := range sc.Faults {
+		if ft.At+ft.Dur > last {
+			last = ft.At + ft.Dur
+		}
+	}
+	w.machStop = w.start.Add(last + 2*sc.Term + w.retryBase()<<(maxRetries+1))
+	for i := 0; i < sc.Servers; i++ {
+		w.servers = append(w.servers, newMserver(w, i))
+	}
 	for i := 0; i < sc.Clients; i++ {
 		w.clients = append(w.clients, newMclient(w, i))
 	}
@@ -193,12 +273,13 @@ func (w *world) scheduleFaults() {
 		switch ft.Kind {
 		case FaultPartition:
 			node := clientNode(ft.Client)
+			sn := w.serverNodeID(ft.Server)
 			w.engine.At(w.start.Add(ft.At), func() {
 				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(node)})
-				w.fabric.CutLink(node, serverNode)
+				w.fabric.CutLink(node, sn)
 			})
 			w.engine.At(w.start.Add(ft.At+ft.Dur), func() {
-				w.fabric.HealLink(node, serverNode)
+				w.fabric.HealLink(node, sn)
 			})
 		case FaultClientCrash:
 			c := w.clients[ft.Client]
@@ -208,15 +289,53 @@ func (w *world) scheduleFaults() {
 			})
 			w.engine.At(w.start.Add(ft.At+ft.Dur), func() { c.restart() })
 		case FaultServerCrash:
+			srv := w.servers[ft.Server]
 			w.engine.At(w.start.Add(ft.At), func() {
-				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(serverNode)})
-				w.srv.crash()
+				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(srv.node)})
+				srv.crash()
 			})
-			w.engine.At(w.start.Add(ft.At+ft.Dur), func() { w.srv.restart() })
+			w.engine.At(w.start.Add(ft.At+ft.Dur), func() { srv.restart() })
+		case FaultMasterCrash:
+			// The target is whoever holds the master lease when the
+			// fault fires; remember it so the restart half matches.
+			target := -1
+			w.engine.At(w.start.Add(ft.At), func() {
+				target = w.currentMaster()
+				if target < 0 {
+					return // mid-election: nobody to crash
+				}
+				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(w.servers[target].node)})
+				w.servers[target].crash()
+			})
+			w.engine.At(w.start.Add(ft.At+ft.Dur), func() {
+				if target >= 0 {
+					w.servers[target].restart()
+				}
+			})
+		case FaultAsymPartition:
+			idx := i
+			w.engine.At(w.start.Add(ft.At), func() {
+				target := w.currentMaster()
+				if target < 0 {
+					return
+				}
+				w.asymTarget[idx] = target
+				w.obs.Record(obs.Event{Type: obs.EvFaultInject, Client: string(w.servers[target].node)})
+			})
+			w.engine.At(w.start.Add(ft.At+ft.Dur), func() {
+				delete(w.asymTarget, idx)
+			})
 		case FaultDrop, FaultDelay, FaultLoss:
 			// Window faults act through faultFor on each delivery.
 		}
 	}
+}
+
+// retryBase is the starting backoff for every at-least-once retry in
+// the model (client ops, replication frames, promotion sync): a little
+// over one worst-case round trip.
+func (w *world) retryBase() time.Duration {
+	return 3*(2*w.sc.Prop+4*w.sc.Proc) + 4*w.sc.Jitter + time.Millisecond
 }
 
 // faultFor is the fabric's per-delivery fault choice point: it scans
@@ -238,12 +357,22 @@ func (w *world) faultFor(from, to netsim.NodeID, kind string) netsim.FaultDecisi
 				dec.Drop = true
 			}
 		case FaultDrop:
-			if ft.matches(from, to, kind) {
+			if ft.matches(from, to, kind, w.serverNodeID(ft.Server)) {
 				dec.Drop = true
 			}
 		case FaultDelay:
-			if ft.matches(from, to, kind) {
+			if ft.matches(from, to, kind, w.serverNodeID(ft.Server)) {
 				dec.Delay += ft.Extra
+			}
+		case FaultAsymPartition:
+			// One-way partition: everything the isolated master sends is
+			// held until just past the window's end, then flushed. The
+			// master still HEARS the world — the nastiest shape, because
+			// it keeps believing its lease matters while its grants and
+			// replication frames are stuck in the void.
+			target, ok := w.asymTarget[i]
+			if ok && from == w.serverNodeID(target) {
+				dec.Delay += ft.At + ft.Dur - now + 2*time.Millisecond
 			}
 		}
 	}
@@ -251,13 +380,15 @@ func (w *world) faultFor(from, to netsim.NodeID, kind string) netsim.FaultDecisi
 }
 
 // matches reports whether a drop/delay fault applies to one delivery.
-func (ft *Fault) matches(from, to netsim.NodeID, kind string) bool {
+// sn is the server endpoint the fault names (always "srv" in
+// single-server worlds).
+func (ft *Fault) matches(from, to netsim.NodeID, kind string, sn netsim.NodeID) bool {
 	if ft.MsgKind != "" && ft.MsgKind != kind {
 		return false
 	}
 	c := clientNode(ft.Client)
 	if ft.ToServer {
-		return from == c && to == serverNode
+		return from == c && to == sn
 	}
-	return from == serverNode && to == c
+	return from == sn && to == c
 }

@@ -91,6 +91,15 @@ type Config struct {
 	// it automatically; callers using NewFromConn over a custom
 	// transport supply their own to enable reconnection.
 	Redial func() (net.Conn, error)
+	// Replicas is the static replica set of a replicated deployment,
+	// in replica-ID order — the same order every replica's -peers flag
+	// uses, since a NOT_MASTER redirect carries only an index into it.
+	// Used by DialReplicas; ignored by Dial.
+	Replicas []string
+
+	// cursor steers session redials across the replica set; set by
+	// DialReplicas, nil for single-server clients.
+	cursor *replicaCursor
 }
 
 // Cache is a connected caching client.
@@ -207,6 +216,18 @@ func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, error) {
 	if err != nil {
 		proto.PutReader(fr)
 		return nil, 0, err
+	}
+	if f.Type == proto.TNotMaster {
+		// A replica refusing the session: not an error of the transport
+		// but of the target. The payload hints at the master's replica
+		// index (empty or -1 when the replica doesn't know).
+		master := -1
+		if len(f.Payload) >= 8 {
+			master = int(proto.NewDec(f.Payload).I64())
+		}
+		f.Recycle()
+		proto.PutReader(fr)
+		return nil, 0, notMasterError{master: master}
 	}
 	if f.Type != proto.THelloAck {
 		f.Recycle()

@@ -1,0 +1,202 @@
+package client_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/server"
+	"leases/internal/vfs"
+)
+
+// stubReplica drives the server's replica gate from a test-controlled
+// master index shared by every server in the set, so failover tests
+// exercise the client's redirect machinery without a real election.
+type stubReplica struct {
+	idx    int
+	master *atomic.Int64
+}
+
+func (s stubReplica) IsMaster() bool          { return int(s.master.Load()) == s.idx }
+func (s stubReplica) MasterIndex() int        { return int(s.master.Load()) }
+func (s stubReplica) MasterExpiry() time.Time { return time.Time{} }
+func (s stubReplica) Role() string {
+	if s.IsMaster() {
+		return "master"
+	}
+	return "follower"
+}
+func (s stubReplica) ReplicateWrite(string, uint64, []byte) error { return nil }
+func (s stubReplica) ReplicateMaxTerm(time.Duration) error        { return nil }
+
+// startReplicaPair boots two servers gated by a shared master index
+// (initially 0), both seeded with the same /f content.
+func startReplicaPair(t *testing.T) (srvs [2]*server.Server, addrs []string, master *atomic.Int64) {
+	t.Helper()
+	master = new(atomic.Int64)
+	for i := 0; i < 2; i++ {
+		srv, addr := startServer(t, server.Config{
+			Term:    time.Minute,
+			Replica: stubReplica{idx: i, master: master},
+		})
+		seedFile(t, srv, "/f", "v1")
+		srvs[i] = srv
+		addrs = append(addrs, addr)
+	}
+	return srvs, addrs, master
+}
+
+func failoverCfg(id string) client.Config {
+	cfg := reconnectCfg(id)
+	return cfg
+}
+
+// TestFailoverRedirectsInFlightPipeline keeps pipelined Read, Write
+// and ExtendAll futures in flight across a NOT_MASTER failover: the
+// old master demotes (severing the session), the hello retry is
+// refused with a redirect hint, and every future must complete against
+// the new master within its retry budget.
+func TestFailoverRedirectsInFlightPipeline(t *testing.T) {
+	srvs, addrs, master := startReplicaPair(t)
+
+	cfg := failoverCfg("c1")
+	cfg.Replicas = addrs
+	c, err := client.DialReplicas(cfg)
+	if err != nil {
+		t.Fatalf("DialReplicas: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatalf("read before failover: %v", err)
+	}
+
+	// Queue a window of futures, then fail over while they are (or may
+	// still be) in flight.
+	reads := make([]*client.ReadCall, 4)
+	for i := range reads {
+		reads[i] = c.StartRead("/f")
+	}
+	w := c.StartWrite("/f", []byte("v2"))
+	ext := c.StartExtendAll()
+
+	master.Store(1)
+	srvs[0].Demote()
+
+	for i, r := range reads {
+		if _, err := r.Wait(); err != nil {
+			t.Fatalf("pipelined read %d across failover: %v", i, err)
+		}
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatalf("pipelined write across failover: %v", err)
+	}
+	if err := ext.Wait(); err != nil {
+		t.Fatalf("pipelined extend-all across failover: %v", err)
+	}
+
+	// The session must now be pinned to the new master: the write above
+	// landed on server 1 (stores are independent in this stub world).
+	data, err := c.Read("/f")
+	if err != nil {
+		t.Fatalf("read after failover: %v", err)
+	}
+	if got := string(data); got != "v2" {
+		t.Fatalf("read after failover = %q, want %q (write applied at the old master?)", got, "v2")
+	}
+	if got, _, _ := srvs[1].Store().ReadFile(mustLookup(t, srvs[1], "/f")); string(got) != "v2" {
+		t.Fatalf("new master holds %q, want %q", got, "v2")
+	}
+	if c.Metrics().Reconnects == 0 {
+		t.Fatal("failover never counted a reconnect")
+	}
+}
+
+func mustLookup(t *testing.T, srv *server.Server, path string) vfs.NodeID {
+	t.Helper()
+	a, err := srv.Store().Lookup(path)
+	if err != nil {
+		t.Fatalf("lookup %s: %v", path, err)
+	}
+	return a.ID
+}
+
+// TestFailoverReconnectStorm demotes the master under a fleet of
+// clients at once; every client must land on the new master within a
+// single backoff cycle — the NOT_MASTER hint redials immediately
+// instead of backing off, so a storm converges in one round trip per
+// client rather than a backoff ladder.
+func TestFailoverReconnectStorm(t *testing.T) {
+	srvs, addrs, master := startReplicaPair(t)
+
+	const fleet = 8
+	clients := make([]*client.Cache, fleet)
+	for i := range clients {
+		cfg := failoverCfg(fmt.Sprintf("storm-%d", i))
+		cfg.Replicas = addrs
+		// A long floor makes any accidental ladder visible: one cycle is
+		// 250ms, two would blow the deadline below.
+		cfg.ReconnectBackoff = 250 * time.Millisecond
+		cfg.ReconnectMaxBackoff = 250 * time.Millisecond
+		c, err := client.DialReplicas(cfg)
+		if err != nil {
+			t.Fatalf("DialReplicas %d: %v", i, err)
+		}
+		defer c.Close()
+		if _, err := c.Read("/f"); err != nil {
+			t.Fatalf("client %d read: %v", i, err)
+		}
+		clients[i] = c
+	}
+
+	master.Store(1)
+	start := time.Now()
+	srvs[0].Demote()
+
+	// Every session must finish its reconnect — redirect included —
+	// against the new master. The deadline allows one backoff sleep
+	// plus the redirect round trip; a second backoff cycle per client
+	// would overrun it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		settled := 0
+		for _, c := range clients {
+			if c.Metrics().Reconnects >= 1 {
+				settled++
+			}
+		}
+		if settled == fleet {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d clients reconnected within one backoff cycle", settled, fleet)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("storm converged in %v", time.Since(start))
+
+	// Fresh reads (cache was purged on resume) prove each session is
+	// live against the new master, without a second reconnect.
+	var wg sync.WaitGroup
+	errs := make([]error, fleet)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Cache) {
+			defer wg.Done()
+			_, errs[i] = c.Read("/f")
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d never recovered: %v", i, err)
+		}
+	}
+	for i, c := range clients {
+		if got := c.Metrics().Reconnects; got != 1 {
+			t.Errorf("client %d reconnected %d times; want exactly 1 (no bouncing)", i, got)
+		}
+	}
+}

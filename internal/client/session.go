@@ -175,9 +175,18 @@ func (c *Cache) reconnectLoop(downSince time.Time) {
 			var st *resumeState
 			st, err = c.resume(nc)
 			if err == nil {
+				if rc := c.cfg.cursor; rc != nil {
+					rc.ok()
+				}
 				c.finishReconnect(nc, st, attempts, downSince)
 				return
 			}
+		}
+		if rc := c.cfg.cursor; rc != nil && rc.note(err) {
+			// NOT_MASTER with a fresh hint: the next dial goes straight
+			// at the hinted master. No backoff — a failover should land
+			// every client on the new master within one cycle.
+			continue
 		}
 		sleep := backoff + time.Duration(rng.Int63n(int64(backoff/2)+1))
 		if backoff *= 2; backoff > max {

@@ -128,6 +128,68 @@ func TestProxyPartitionSeversAndRefuses(t *testing.T) {
 	}
 }
 
+// TestProxyPartitionOneWay: an asymmetric partition holds one
+// direction's frames at the proxy while the other keeps flowing, and
+// Heal flushes the held bytes so delayed traffic arrives — late, in
+// order, not lost.
+func TestProxyPartitionOneWay(t *testing.T) {
+	echo := startEcho(t)
+	p, err := faultnet.NewProxy(faultnet.ProxyConfig{Target: echo, Seed: 9})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	nc, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer nc.Close()
+	if _, err := roundtrip(t, nc, "pre"); err != nil {
+		t.Fatalf("pre-partition roundtrip: %v", err)
+	}
+
+	// Hold client→server: the write is swallowed by the proxy, so no
+	// echo comes back, but the connection is NOT severed.
+	p.PartitionOneWay(faultnet.Up)
+	if _, err := nc.Write([]byte("held")); err != nil {
+		t.Fatalf("write during one-way partition: %v", err)
+	}
+	buf := make([]byte, 4)
+	nc.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if n, err := nc.Read(buf); err == nil {
+		t.Fatalf("read got %q during up-partition, want timeout", buf[:n])
+	}
+
+	// Heal flushes the held frame; the echo finally arrives, intact.
+	p.Heal()
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(buf) != "held" {
+		t.Fatalf("flushed frame = %q, want %q", buf, "held")
+	}
+
+	// The reverse asymmetry: requests reach the server, replies hang.
+	p.PartitionOneWay(faultnet.Down)
+	if _, err := nc.Write([]byte("down")); err != nil {
+		t.Fatalf("write during down-partition: %v", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if n, err := nc.Read(buf); err == nil {
+		t.Fatalf("read got %q during down-partition, want timeout", buf[:n])
+	}
+	p.Heal()
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatalf("read after second heal: %v", err)
+	}
+	if string(buf) != "down" {
+		t.Fatalf("flushed reply = %q, want %q", buf, "down")
+	}
+}
+
 func TestProxyProbabilisticDropSevers(t *testing.T) {
 	echo := startEcho(t)
 	p, err := faultnet.NewProxy(faultnet.ProxyConfig{

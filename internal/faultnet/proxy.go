@@ -3,6 +3,7 @@ package faultnet
 import (
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -47,11 +48,62 @@ type Proxy struct {
 	mu          sync.Mutex
 	up, down    LinkConfig
 	partitioned bool
+	oneway      [2]bool // per-Dir asymmetric partition (frames held, not severed)
 	closed      bool
 	connSeq     int64
-	conns       map[net.Conn]struct{} // both legs of every live pipe
+	conns       map[net.Conn]struct{}   // both legs of every live pipe
+	pumps       map[*pumpState]struct{} // one per live pump direction
 
 	wg sync.WaitGroup
+}
+
+// pumpState is the deliverable end of one pump direction. While its
+// direction is asymmetrically partitioned, forwarded chunks accumulate
+// in buf instead of reaching dst; Heal flushes them in arrival order.
+type pumpState struct {
+	seq int64
+	dir Dir
+	dst net.Conn
+
+	mu   sync.Mutex
+	held bool
+	buf  []byte
+}
+
+// deliver forwards one chunk, or buffers it while the direction is
+// held. Any backlog flushes first so bytes never reorder.
+func (ps *pumpState) deliver(chunk []byte) error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.held {
+		ps.buf = append(ps.buf, chunk...)
+		return nil
+	}
+	if len(ps.buf) > 0 {
+		if _, err := ps.dst.Write(ps.buf); err != nil {
+			return err
+		}
+		ps.buf = nil
+	}
+	_, err := ps.dst.Write(chunk)
+	return err
+}
+
+// release ends the hold and drains the backlog to dst.
+func (ps *pumpState) release() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.held = false
+	if len(ps.buf) > 0 {
+		ps.dst.Write(ps.buf)
+		ps.buf = nil
+	}
+}
+
+func (ps *pumpState) hold() {
+	ps.mu.Lock()
+	ps.held = true
+	ps.mu.Unlock()
 }
 
 // NewProxy starts a proxy forwarding to cfg.Target.
@@ -76,6 +128,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		up:          cfg.Up,
 		down:        cfg.Down,
 		conns:       make(map[net.Conn]struct{}),
+		pumps:       make(map[*pumpState]struct{}),
 	}
 	p.wg.Add(1)
 	go p.acceptLoop()
@@ -131,11 +184,48 @@ func (p *Proxy) Partition() {
 	p.record("partition")
 }
 
-// Heal ends a partition; new connections flow again.
+// PartitionOneWay installs an asymmetric partition: traffic in dir is
+// held at the proxy (buffered, not severed, not delivered) while the
+// opposite direction keeps flowing. This is the nastiest §5 failure for
+// an election protocol — a master that can hear its peers but cannot
+// reach them (or vice versa) must still lose mastership within one
+// lease term. New connections are still accepted; their dir-side pump
+// starts held.
+func (p *Proxy) PartitionOneWay(dir Dir) {
+	p.mu.Lock()
+	p.oneway[dir] = true
+	for ps := range p.pumps {
+		if ps.dir == dir {
+			ps.hold()
+		}
+	}
+	p.mu.Unlock()
+	p.record("partition-oneway-" + dir.String())
+}
+
+// Heal ends every partition — symmetric and asymmetric — and flushes
+// held in-flight frames deterministically: pumps drain in accept order
+// (Up before Down within a connection), each buffer in arrival order,
+// all before Heal returns. A replayed schedule therefore delivers the
+// delayed bytes at the same point in the run every time.
 func (p *Proxy) Heal() {
 	p.mu.Lock()
 	p.partitioned = false
+	p.oneway = [2]bool{}
+	pumps := make([]*pumpState, 0, len(p.pumps))
+	for ps := range p.pumps {
+		pumps = append(pumps, ps)
+	}
 	p.mu.Unlock()
+	sort.Slice(pumps, func(i, j int) bool {
+		if pumps[i].seq != pumps[j].seq {
+			return pumps[i].seq < pumps[j].seq
+		}
+		return pumps[i].dir < pumps[j].dir
+	})
+	for _, ps := range pumps {
+		ps.release()
+	}
 	p.record("heal")
 }
 
@@ -222,14 +312,18 @@ func (p *Proxy) serve(cc net.Conn, seq int64) {
 	}
 	p.conns[cc] = struct{}{}
 	p.conns[sc] = struct{}{}
+	upState := &pumpState{seq: seq, dir: Up, dst: sc, held: p.oneway[Up]}
+	downState := &pumpState{seq: seq, dir: Down, dst: cc, held: p.oneway[Down]}
+	p.pumps[upState] = struct{}{}
+	p.pumps[downState] = struct{}{}
 	p.mu.Unlock()
 
 	// Each pump direction gets its own RNG derived from the proxy seed
 	// and the connection's accept order, so fault patterns replay.
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go p.pump(&wg, cc, sc, Up, rand.New(rand.NewSource(p.seed^(seq*2+1))))
-	go p.pump(&wg, sc, cc, Down, rand.New(rand.NewSource(p.seed^(seq*2+2))))
+	go p.pump(&wg, cc, upState, Up, rand.New(rand.NewSource(p.seed^(seq*2+1))))
+	go p.pump(&wg, sc, downState, Down, rand.New(rand.NewSource(p.seed^(seq*2+2))))
 	wg.Wait()
 
 	cc.Close()
@@ -237,6 +331,8 @@ func (p *Proxy) serve(cc net.Conn, seq int64) {
 	p.mu.Lock()
 	delete(p.conns, cc)
 	delete(p.conns, sc)
+	delete(p.pumps, upState)
+	delete(p.pumps, downState)
 	p.mu.Unlock()
 }
 
@@ -244,8 +340,9 @@ func (p *Proxy) serve(cc net.Conn, seq int64) {
 // current fault config to each chunk. Injected latency is
 // stream-granular: a delayed chunk delays everything queued behind it,
 // which is how latency on a single TCP connection actually behaves.
-func (p *Proxy) pump(wg *sync.WaitGroup, src, dst net.Conn, dir Dir, rng *rand.Rand) {
+func (p *Proxy) pump(wg *sync.WaitGroup, src net.Conn, ps *pumpState, dir Dir, rng *rand.Rand) {
 	defer wg.Done()
+	dst := ps.dst
 	buf := make([]byte, 4096)
 	for {
 		n, err := src.Read(buf)
@@ -260,7 +357,7 @@ func (p *Proxy) pump(wg *sync.WaitGroup, src, dst net.Conn, dir Dir, rng *rand.R
 			if d := lc.delay(rng, n); d > 0 {
 				time.Sleep(d)
 			}
-			if _, werr := dst.Write(buf[:n]); werr != nil {
+			if werr := ps.deliver(buf[:n]); werr != nil {
 				src.Close()
 				return
 			}

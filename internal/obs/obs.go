@@ -88,14 +88,20 @@ const (
 	// for it. Client identifies the connection; Depth is the number of
 	// frames queued at the stall.
 	EvQueueFull
+	// EvElected: this replica won the master-lease election
+	// (internal/replica); Shard carries the replica index.
+	EvElected
+	// EvDemoted: this replica's master lease lapsed or was lost; Shard
+	// carries the replica index.
+	EvDemoted
 
-	numEventTypes = int(EvQueueFull) + 1
+	numEventTypes = int(EvDemoted) + 1
 )
 
 var eventTypeNames = [numEventTypes]string{
 	"grant", "extend", "approve-request", "approve", "expire",
 	"write-defer", "write-apply", "write-timeout", "eviction",
-	"reconnect", "fault-inject", "queue-full",
+	"reconnect", "fault-inject", "queue-full", "elected", "demoted",
 }
 
 // String names the event type ("grant", "write-defer", …).

@@ -26,6 +26,12 @@ type MetricsSnapshot struct {
 	// has been observed.
 	FlushFrames stats.HistogramSnapshot
 	FlushBytes  stats.HistogramSnapshot
+	// ReplicaRole is this server's replication role ("master",
+	// "candidate", "follower"); empty on a standalone server, which
+	// suppresses the lease_replica_role gauge. ReplicaMaster is the
+	// believed master's replica index (-1 unknown).
+	ReplicaRole   string
+	ReplicaMaster int
 }
 
 // managerCounters fixes the exposition order and naming of the
@@ -64,6 +70,21 @@ func WriteProm(w io.Writer, s *MetricsSnapshot) {
 	fmt.Fprintf(w, "# HELP leases_lease_records Live lease records at the server.\n")
 	fmt.Fprintf(w, "# TYPE leases_lease_records gauge\n")
 	fmt.Fprintf(w, "leases_lease_records %d\n", s.LeaseCount)
+
+	if s.ReplicaRole != "" {
+		fmt.Fprintf(w, "# HELP lease_replica_role Replication role of this server (one-hot by role label).\n")
+		fmt.Fprintf(w, "# TYPE lease_replica_role gauge\n")
+		for _, role := range []string{"follower", "candidate", "master"} {
+			v := 0
+			if role == s.ReplicaRole {
+				v = 1
+			}
+			fmt.Fprintf(w, "lease_replica_role{role=%q} %d\n", role, v)
+		}
+		fmt.Fprintf(w, "# HELP lease_replica_master_index Replica index this server believes is master (-1 unknown).\n")
+		fmt.Fprintf(w, "# TYPE lease_replica_master_index gauge\n")
+		fmt.Fprintf(w, "lease_replica_master_index %d\n", s.ReplicaMaster)
+	}
 
 	if len(s.Shards) > 0 {
 		fmt.Fprintf(w, "# HELP leases_shard_grants_total Leases granted or extended, by manager shard.\n")

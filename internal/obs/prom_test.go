@@ -40,11 +40,13 @@ func promSnapshot() MetricsSnapshot {
 			{Grants: 8, WritesDeferred: 2},
 			{Grants: 4},
 		},
-		LeaseCount:  7,
-		Events:      o.EventCounts(),
-		Ops:         o.OpLatencies(),
-		FlushFrames: ff,
-		FlushBytes:  fb,
+		LeaseCount:    7,
+		Events:        o.EventCounts(),
+		Ops:           o.OpLatencies(),
+		FlushFrames:   ff,
+		FlushBytes:    fb,
+		ReplicaRole:   "master",
+		ReplicaMaster: 1,
 	}
 }
 
@@ -88,6 +90,9 @@ func TestWritePromWellFormed(t *testing.T) {
 		`leases_events_total{type="grant"} 2`,
 		`leases_op_latency_seconds_bucket{op="read",le="+Inf"} 3`,
 		`leases_op_latency_seconds_count{op="write"} 1`,
+		`lease_replica_role{role="master"} 1`,
+		`lease_replica_role{role="follower"} 0`,
+		`lease_replica_master_index 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
@@ -105,6 +110,19 @@ func TestWritePromWellFormed(t *testing.T) {
 		if !strings.Contains(line, " ") {
 			t.Errorf("malformed sample line %q", line)
 		}
+	}
+}
+
+// A standalone server (empty ReplicaRole) exposes no replication
+// metrics at all — the gauge appearing is the signal that the server
+// is part of a replica set.
+func TestWritePromStandaloneOmitsRole(t *testing.T) {
+	snap := promSnapshot()
+	snap.ReplicaRole = ""
+	var buf bytes.Buffer
+	WriteProm(&buf, &snap)
+	if strings.Contains(buf.String(), "lease_replica_") {
+		t.Errorf("standalone exposition leaks replica metrics:\n%s", buf.String())
 	}
 }
 

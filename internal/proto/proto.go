@@ -87,6 +87,26 @@ const (
 	TOK
 	// TError carries an error string response.
 	TError
+	// TNotMaster is the reply a non-master replica gives to THello:
+	// payload is the listen address of the replica it believes is master
+	// (empty when unknown). The client redials against that hint.
+	TNotMaster
+	// TPrepare / TPromise / TPropose / TAccept carry the PaxosLease
+	// master-election rounds between replicas (internal/replica).
+	TPrepare
+	TPromise
+	TPropose
+	TAccept
+	// TReplApply pushes a committed file write from the master to its
+	// peers (payload: seq, path, data); answered by TOK with the same
+	// reqID. TReplSync asks a peer for its full replicated file state
+	// during a new master's catch-up; TReplSyncRep answers it.
+	// TReplMaxTerm replicates a raise of the durable max lease term to a
+	// quorum before the grant that caused it is sent.
+	TReplApply
+	TReplSync
+	TReplSyncRep
+	TReplMaxTerm
 )
 
 // msgTypeNames maps request and push types to stable operation names
@@ -117,6 +137,15 @@ var msgTypeNames = map[MsgType]string{
 	TApprove:     "approve",
 	TOK:          "ok",
 	TError:       "error",
+	TNotMaster:   "not-master",
+	TPrepare:     "prepare",
+	TPromise:     "promise",
+	TPropose:     "propose",
+	TAccept:      "accept",
+	TReplApply:   "repl-apply",
+	TReplSync:    "repl-sync",
+	TReplSyncRep: "repl-sync",
+	TReplMaxTerm: "repl-maxterm",
 }
 
 // String names the message's operation: request and reply share a name

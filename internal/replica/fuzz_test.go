@@ -1,0 +1,102 @@
+package replica
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// fuzzRounds is the per-run budget knob shared with the model checker:
+// LEASECHECK_SEEDS scales the number of random schedules (the nightly
+// deep run sets it to 20000), defaulting to a quick 300.
+func fuzzRounds(t *testing.T) int {
+	if s := os.Getenv("LEASECHECK_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad LEASECHECK_SEEDS %q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 40
+	}
+	return 300
+}
+
+// TestElectionFuzz throws random crash/restart and link-cut schedules
+// at a replica set and checks the two properties everything above is
+// built on: never two masters at once (asserted every simulated
+// millisecond by the bus), and — once the faults stop — a master
+// emerges within a bounded number of terms.
+func TestElectionFuzz(t *testing.T) {
+	rounds := fuzzRounds(t)
+	for seed := 0; seed < rounds; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 13))
+		n := 3 + rng.Intn(2)*2 // 3 or 5 replicas
+		b := newBus(t, n, testTerm, testAllowance)
+		down := make([]int, n) // ms until restart; 0 = up
+
+		// Fault phase: ~8 terms of random crashes and link cuts. A
+		// majority stays up so progress remains possible afterwards.
+		steps := int(8 * testTerm / time.Millisecond)
+		for s := 0; s < steps; s++ {
+			if rng.Intn(200) == 0 {
+				victim := rng.Intn(n)
+				crashed := 0
+				for _, d := range down {
+					if d > 0 {
+						crashed++
+					}
+				}
+				if down[victim] == 0 && crashed < (n-1)/2 {
+					down[victim] = 1 + rng.Intn(int(2*testTerm/time.Millisecond))
+					// Crash-stop: sever every link; restart below heals
+					// them and puts the machine through its honest
+					// amnesia + quiet period.
+					for i := 0; i < n; i++ {
+						b.cut[victim][i] = true
+						b.cut[i][victim] = true
+					}
+				}
+			}
+			if rng.Intn(400) == 0 {
+				// Transient one-way link cut, healed a moment later by
+				// the restart sweep or left for the fault phase's end.
+				b.cut[rng.Intn(n)][rng.Intn(n)] = true
+			}
+			for v := range down {
+				if down[v] > 0 {
+					down[v]--
+					if down[v] == 0 {
+						b.machines[v].Restart(b.now)
+						for i := 0; i < n; i++ {
+							b.cut[v][i] = false
+							b.cut[i][v] = false
+						}
+					}
+				}
+			}
+			b.step(time.Millisecond)
+		}
+
+		// Heal everything and require convergence. The longest wait is
+		// a freshly restarted machine's quiet period plus a few
+		// contended election rounds.
+		for i := 0; i < n; i++ {
+			if down[i] > 0 {
+				down[i] = 0
+				b.machines[i].Restart(b.now)
+			}
+			for j := 0; j < n; j++ {
+				b.cut[i][j] = false
+			}
+		}
+		b.step(8 * testTerm)
+		if b.master() < 0 {
+			t.Fatalf("seed %d: no master within 8 terms after faults healed", seed)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+// Package replica implements a PaxosLease-style diskless master lease
+// among N leasesrv replicas (Trencseni et al., "PaxosLease: Diskless
+// Paxos for Leases"). Exactly one replica at a time — the master —
+// grants file leases to clients; the others redirect. The master's
+// authority is itself a lease: it expires on the master's own clock a
+// margin ε before it expires on any acceptor's clock, so a partitioned
+// master provably steps down before its peers can elect a successor.
+//
+// The negotiation is diskless: acceptors persist nothing. Safety
+// instead comes from a quiet period — a restarted replica answers no
+// election traffic for one full maximum lease duration after boot, so
+// any promise it made before crashing has expired before it can
+// contradict it. This mirrors the paper's §2 recovery argument for
+// file leases, applied one level up.
+//
+// The package is split in two layers:
+//
+//   - Machine (this file): the pure protocol state machine. It owns no
+//     goroutines, sockets, or timers; callers feed it messages and
+//     explicit `now` instants and it returns messages to send. The
+//     model checker (internal/check) drives a Machine per simulated
+//     replica directly on the netsim substrate.
+//   - Node (node.go): the TCP runtime that runs a Machine over
+//     internal/proto framing with internal/clock timers — the form
+//     cmd/leasesrv embeds.
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// MsgKind identifies an election message between replicas.
+type MsgKind uint8
+
+// Election message kinds; they map 1:1 onto proto.TPrepare..TAccept on
+// the wire and onto netsim payload kinds in the model.
+const (
+	MsgPrepare MsgKind = iota + 1
+	MsgPromise
+	MsgPropose
+	MsgAccept
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgPrepare:
+		return "prepare"
+	case MsgPromise:
+		return "promise"
+	case MsgPropose:
+		return "propose"
+	case MsgAccept:
+		return "accept"
+	}
+	return fmt.Sprintf("msg%d", uint8(k))
+}
+
+// Msg is one election message. Remaining is meaningful on MsgPromise
+// (the acceptor's view of how long its accepted lease still runs;
+// zero if none) and on MsgPropose (the lease duration being granted).
+// Owner is the lease owner being reported (MsgPromise) or proposed
+// (MsgPropose). Outgoing messages carry an explicit To so transports
+// route without positional conventions.
+type Msg struct {
+	Kind      MsgKind
+	From      int
+	To        int
+	Ballot    uint64
+	Owner     int
+	Remaining time.Duration
+	// Ack reports whether a promise/accept is positive; a negative
+	// reply (rejected ballot) just updates the proposer's ballot floor.
+	Ack bool
+}
+
+// Role is a replica's current standing in the election.
+type Role string
+
+// Roles. A replica is Master only while its own timer says the master
+// lease it won is still valid (minus ε); Candidate while it has an
+// election round in flight; Follower otherwise.
+const (
+	RoleFollower  Role = "follower"
+	RoleCandidate Role = "candidate"
+	RoleMaster    Role = "master"
+)
+
+// Config parameterizes a Machine.
+type Config struct {
+	// ID is this replica's index in [0, N).
+	ID int
+	// N is the replica-set size.
+	N int
+	// Term is the master-lease duration T. The winner's authority runs
+	// [prepare-send, prepare-send+T-Allowance) on its own clock and
+	// [receipt, receipt+T) on each acceptor's.
+	Term time.Duration
+	// Allowance is the clock margin ε subtracted from the master's own
+	// view of its lease, covering bounded drift between replicas.
+	Allowance time.Duration
+	// Quiet is how long a freshly-started machine stays silent before
+	// joining elections — the diskless-safety window. It must be at
+	// least Term; zero defaults to Term.
+	Quiet time.Duration
+	// Seed drives election backoff jitter deterministically.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Term == 0 {
+		c.Term = 2 * time.Second
+	}
+	if c.Quiet < c.Term {
+		c.Quiet = c.Term
+	}
+	return c
+}
+
+// acceptor is the promise/accept half of the machine: what this
+// replica has guaranteed to the rest of the set.
+type acceptor struct {
+	promised uint64 // highest ballot promised
+	accepted uint64 // ballot of the accepted lease, 0 if none
+	owner    int    // owner of the accepted lease
+	expires  time.Time
+}
+
+// proposer is the prepare/propose half: this replica's own attempt to
+// win (or renew) the master lease.
+type proposer struct {
+	ballot    uint64
+	preparing bool
+	proposing bool
+	sentAt    time.Time // prepare send instant anchoring the lease
+	promises  int
+	accepts   int
+	// othersLease reports that some prepare round saw a live lease
+	// owned by another replica; the round is abandoned.
+	othersLease bool
+}
+
+// Machine is the pure PaxosLease state machine for one replica. It is
+// not safe for concurrent use; Node serializes access.
+type Machine struct {
+	cfg Config
+	acc acceptor
+	prp proposer
+	rng *rand.Rand
+
+	// quietUntil gates all participation after (re)start.
+	quietUntil time.Time
+	// masterUntil is this replica's own conservative view of the lease
+	// it holds (zero when not master).
+	masterUntil time.Time
+	// ballotFloor is the highest ballot seen anywhere, so the next
+	// round starts above it.
+	ballotFloor uint64
+	// backoffUntil delays the next election attempt after a failed
+	// round, breaking simultaneous-candidate livelock.
+	backoffUntil time.Time
+	// wake is the earliest instant Tick must next run.
+	wake time.Time
+}
+
+// NewMachine returns a machine that stays quiet until start+Quiet and
+// then campaigns whenever it observes no live master.
+func NewMachine(cfg Config, start time.Time) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<32 ^ 0x9e3779b9)),
+	}
+	m.quietUntil = start.Add(cfg.Quiet)
+	m.wake = m.quietUntil
+	return m
+}
+
+// Config reports the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// IsMaster reports whether this replica holds the master lease at now,
+// judged conservatively on its own clock (term minus ε).
+func (m *Machine) IsMaster(now time.Time) bool {
+	return !m.masterUntil.IsZero() && now.Before(m.masterUntil)
+}
+
+// MasterUntil reports when this replica's own master lease expires on
+// its clock (zero when it is not master).
+func (m *Machine) MasterUntil() time.Time { return m.masterUntil }
+
+// Master reports which replica this machine believes holds the master
+// lease at now, and whether it believes anyone does. The belief comes
+// from its acceptor state — the lease it last accepted — so it is
+// exactly as stale as PaxosLease allows beliefs to be.
+func (m *Machine) Master(now time.Time) (int, bool) {
+	if m.IsMaster(now) {
+		return m.cfg.ID, true
+	}
+	if m.acc.accepted != 0 && now.Before(m.acc.expires) {
+		return m.acc.owner, true
+	}
+	return -1, false
+}
+
+// Role classifies the replica at now.
+func (m *Machine) Role(now time.Time) Role {
+	switch {
+	case m.IsMaster(now):
+		return RoleMaster
+	case m.prp.preparing || m.prp.proposing:
+		return RoleCandidate
+	default:
+		return RoleFollower
+	}
+}
+
+// NextWake reports the earliest instant at which Tick has work to do.
+func (m *Machine) NextWake() time.Time { return m.wake }
+
+// Restart re-enters the post-boot quiet period, as after a crash: all
+// volatile promise/accept state is gone and the machine must not
+// answer election traffic until every promise it might have made has
+// expired.
+func (m *Machine) Restart(now time.Time) {
+	cfg := m.cfg
+	seed := m.rng.Int63()
+	*m = Machine{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	m.quietUntil = now.Add(cfg.Quiet)
+	m.wake = m.quietUntil
+}
+
+// nextBallot returns a fresh ballot unique to this replica: ballots
+// are k*N + ID, so no two replicas ever share one.
+func (m *Machine) nextBallot() uint64 {
+	n := uint64(m.cfg.N)
+	id := uint64(m.cfg.ID)
+	k := m.ballotFloor/n + 1
+	b := k*n + id
+	for b <= m.ballotFloor {
+		k++
+		b = k*n + id
+	}
+	m.ballotFloor = b
+	return b
+}
+
+// majority is the quorum size: floor(N/2)+1.
+func (m *Machine) majority() int { return m.cfg.N/2 + 1 }
+
+// Tick runs the machine's timers at now and returns messages to send.
+// Callers must invoke it no later than NextWake and may invoke it any
+// time earlier.
+func (m *Machine) Tick(now time.Time) []Msg {
+	// Master lease expired on our own clock: step down before any
+	// acceptor could have granted a successor.
+	if !m.masterUntil.IsZero() && !now.Before(m.masterUntil) {
+		m.masterUntil = time.Time{}
+	}
+	if now.Before(m.quietUntil) {
+		m.wake = m.quietUntil
+		return nil
+	}
+	// Renew early (at T/2 before our own expiry) while master;
+	// otherwise campaign when nobody holds a live lease.
+	if m.IsMaster(now) {
+		if m.prp.preparing || m.prp.proposing {
+			return nil // renewal round already in flight
+		}
+		renewAt := m.masterUntil.Add(-m.cfg.Term / 2)
+		if now.Before(renewAt) {
+			m.wake = renewAt
+			return nil
+		}
+		return m.startRound(now)
+	}
+	if m.prp.preparing || m.prp.proposing {
+		// A round is in flight; if it stalls (lost messages), retry
+		// after a full term plus jitter.
+		if now.Before(m.wake) {
+			return nil
+		}
+		m.abandonRound(now)
+	}
+	if now.Before(m.backoffUntil) {
+		m.wake = m.backoffUntil
+		return nil
+	}
+	if _, live := m.Master(now); live {
+		m.wake = m.acc.expires
+		return nil
+	}
+	return m.startRound(now)
+}
+
+// startRound begins a prepare phase and returns the prepares to send.
+func (m *Machine) startRound(now time.Time) []Msg {
+	b := m.nextBallot()
+	m.prp = proposer{ballot: b, preparing: true, sentAt: now}
+	// Stall timeout: if the round hasn't completed in a term, abandon
+	// and re-campaign with jittered backoff.
+	m.wake = now.Add(m.cfg.Term)
+	out := make([]Msg, 0, m.cfg.N)
+	for i := 0; i < m.cfg.N; i++ {
+		if i == m.cfg.ID {
+			continue
+		}
+		out = append(out, Msg{Kind: MsgPrepare, From: m.cfg.ID, To: i, Ballot: b})
+	}
+	// Self-delivery: count our own promise/accept locally. (At N=1
+	// the self promise completes the round immediately.)
+	out = append(out, m.handlePrepareSelf(now)...)
+	return out
+}
+
+func (m *Machine) abandonRound(now time.Time) {
+	m.prp = proposer{}
+	// Jittered backoff within [T/2, T): simultaneous candidates that
+	// collided draw different waits and separate.
+	half := m.cfg.Term / 2
+	m.backoffUntil = now.Add(half + time.Duration(m.rng.Int63n(int64(half)+1)))
+	if m.backoffUntil.After(m.wake) || m.wake.Before(now) {
+		m.wake = m.backoffUntil
+	}
+}
+
+// handlePrepareSelf applies our own prepare to our own acceptor and
+// feeds the resulting promise straight back to the proposer, returning
+// any propose fan-out it triggers.
+func (m *Machine) handlePrepareSelf(now time.Time) []Msg {
+	rep := m.acceptPrepare(now, m.cfg.ID, m.prp.ballot)
+	return m.onPromise(now, rep)
+}
+
+// HandleMessage applies one incoming election message at now and
+// returns messages to send in response. Messages during the quiet
+// period are dropped unanswered.
+func (m *Machine) HandleMessage(now time.Time, msg Msg) []Msg {
+	if now.Before(m.quietUntil) {
+		return nil
+	}
+	switch msg.Kind {
+	case MsgPrepare:
+		rep := m.acceptPrepare(now, msg.From, msg.Ballot)
+		return []Msg{rep}
+	case MsgPropose:
+		rep := m.acceptPropose(now, msg)
+		return []Msg{rep}
+	case MsgPromise:
+		return m.onPromise(now, msg)
+	case MsgAccept:
+		m.onAccept(now, msg)
+		return nil
+	}
+	return nil
+}
+
+// acceptPrepare is the acceptor's prepare handler: promise the ballot
+// if it is the highest seen, reporting any live accepted lease so the
+// proposer can back off.
+func (m *Machine) acceptPrepare(now time.Time, from int, ballot uint64) Msg {
+	if ballot > m.ballotFloor {
+		m.ballotFloor = ballot
+	}
+	rep := Msg{Kind: MsgPromise, From: m.cfg.ID, To: from, Ballot: ballot}
+	if ballot <= m.acc.promised {
+		return rep // Ack stays false: ballot too old.
+	}
+	m.acc.promised = ballot
+	rep.Ack = true
+	if m.acc.accepted != 0 && now.Before(m.acc.expires) {
+		rep.Owner = m.acc.owner
+		rep.Remaining = m.acc.expires.Sub(now)
+	} else {
+		rep.Owner = -1
+		m.acc.accepted = 0
+	}
+	return rep
+}
+
+// acceptPropose is the acceptor's propose handler: accept the lease if
+// the ballot still holds the promise.
+func (m *Machine) acceptPropose(now time.Time, msg Msg) Msg {
+	rep := Msg{Kind: MsgAccept, From: m.cfg.ID, To: msg.From, Ballot: msg.Ballot}
+	if msg.Ballot < m.acc.promised {
+		return rep
+	}
+	m.acc.promised = msg.Ballot
+	m.acc.accepted = msg.Ballot
+	m.acc.owner = msg.Owner
+	m.acc.expires = now.Add(msg.Remaining)
+	rep.Ack = true
+	return rep
+}
+
+// onPromise counts a promise toward the proposer's prepare quorum.
+func (m *Machine) onPromise(now time.Time, msg Msg) []Msg {
+	if !m.prp.preparing || msg.Ballot != m.prp.ballot {
+		return nil
+	}
+	if !msg.Ack {
+		m.abandonRound(now)
+		return nil
+	}
+	if msg.Owner >= 0 && msg.Owner != m.cfg.ID && msg.Remaining > 0 {
+		// A live lease owned by someone else: abandon and wait it out.
+		m.prp.othersLease = true
+	}
+	m.prp.promises++
+	if m.prp.promises < m.majority() {
+		return nil
+	}
+	if m.prp.othersLease {
+		m.abandonRound(now)
+		return nil
+	}
+	// Majority of empty (or self-owned) promises: propose ourselves.
+	m.prp.preparing = false
+	m.prp.proposing = true
+	out := make([]Msg, 0, m.cfg.N)
+	prop := Msg{Kind: MsgPropose, From: m.cfg.ID, Ballot: m.prp.ballot, Owner: m.cfg.ID, Remaining: m.cfg.Term}
+	for i := 0; i < m.cfg.N; i++ {
+		if i == m.cfg.ID {
+			continue
+		}
+		p := prop
+		p.To = i
+		out = append(out, p)
+	}
+	prop.To = m.cfg.ID
+	self := m.acceptPropose(now, prop)
+	m.onAccept(now, self)
+	return out
+}
+
+// onAccept counts an accept; a majority makes us master. The lease is
+// anchored at the prepare send instant on OUR clock minus ε, so it
+// expires here strictly before it expires at any acceptor.
+func (m *Machine) onAccept(now time.Time, msg Msg) {
+	if !m.prp.proposing || msg.Ballot != m.prp.ballot || !msg.Ack {
+		return
+	}
+	m.prp.accepts++
+	if m.prp.accepts < m.majority() {
+		return
+	}
+	until := m.prp.sentAt.Add(m.cfg.Term - m.cfg.Allowance)
+	m.prp = proposer{}
+	if !until.After(now) {
+		// The round took longer than the lease itself; worthless.
+		m.wake = now
+		return
+	}
+	m.masterUntil = until
+	// Wake at the renewal point.
+	m.wake = until.Add(-m.cfg.Term / 2)
+	if m.wake.Before(now) {
+		m.wake = now
+	}
+}

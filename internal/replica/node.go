@@ -1,0 +1,728 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"leases/internal/clock"
+	"leases/internal/obs"
+	"leases/internal/proto"
+)
+
+// NodeConfig parameterizes the TCP runtime around a Machine.
+type NodeConfig struct {
+	// ID is this replica's index; Peers[ID] is its own peer-mesh
+	// listen address.
+	ID int
+	// Peers lists the replica set's peer-mesh addresses in replica-ID
+	// order. Replica IDs — and the NOT_MASTER index hints clients
+	// receive — are positions in this list, so every replica and every
+	// client must be configured with the same ordering.
+	Peers []string
+	// Term is the master-lease duration; Allowance the clock margin ε.
+	Term      time.Duration
+	Allowance time.Duration
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+	// Seed drives election jitter.
+	Seed int64
+	// RPCTimeout bounds replication round-trips (default 2s).
+	RPCTimeout time.Duration
+	// DialTimeout bounds peer dials (default 2s).
+	DialTimeout time.Duration
+	Obs         *obs.Observer
+
+	// OnRole is invoked (from a dedicated goroutine, in order) on
+	// every role transition with the new role and the master index
+	// this replica believes in (-1 unknown).
+	OnRole func(role Role, master int)
+	// OnReplApply applies one replicated write pushed by the master.
+	OnReplApply func(f FileState) error
+	// OnSyncState dumps this replica's replicated file state and its
+	// max-term floor for a new master's catch-up sync.
+	OnSyncState func() ([]FileState, time.Duration)
+	// OnMaxTerm persists a max-term raise replicated by the master.
+	OnMaxTerm func(d time.Duration) error
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// roleChange is one ordered role-transition notification.
+type roleChange struct {
+	role    Role
+	master  int
+	elected bool // this replica just became master
+	demoted bool // this replica just ceased being master
+}
+
+// Node runs a Machine over real TCP: a peer-mesh listener, lazily
+// dialed outgoing connections, clock-driven ticks, and the replication
+// RPCs the master uses to commit writes on a quorum.
+type Node struct {
+	cfg NodeConfig
+	clk clock.Clock
+	ln  net.Listener
+
+	mu         sync.Mutex // guards m and the role snapshot
+	m          *Machine
+	lastRole   Role
+	lastMaster int
+
+	peers    []*peer
+	kick     chan struct{}
+	notify   chan roleChange
+	stopped  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewNode creates (but does not start) a node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID < 0 || cfg.ID >= len(cfg.Peers) {
+		return nil, fmt.Errorf("replica: id %d out of range for %d peers", cfg.ID, len(cfg.Peers))
+	}
+	n := &Node{
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		kick:       make(chan struct{}, 1),
+		notify:     make(chan roleChange, 64),
+		stopped:    make(chan struct{}),
+		lastRole:   RoleFollower,
+		lastMaster: -1,
+	}
+	n.m = NewMachine(Config{
+		ID: cfg.ID, N: len(cfg.Peers), Term: cfg.Term,
+		Allowance: cfg.Allowance, Seed: cfg.Seed,
+	}, n.clk.Now())
+	for i, addr := range cfg.Peers {
+		if i == cfg.ID {
+			n.peers = append(n.peers, nil)
+			continue
+		}
+		n.peers = append(n.peers, newPeer(n, i, addr))
+	}
+	return n, nil
+}
+
+// Start binds the peer-mesh listener and launches the node's loops.
+func (n *Node) Start() error {
+	ln, err := net.Listen("tcp", n.cfg.Peers[n.cfg.ID])
+	if err != nil {
+		return err
+	}
+	n.ln = ln
+	n.wg.Add(3)
+	go n.acceptLoop()
+	go n.timerLoop()
+	go n.notifyLoop()
+	return nil
+}
+
+// Addr reports the peer-mesh listen address (useful with ":0").
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return n.cfg.Peers[n.cfg.ID]
+	}
+	return n.ln.Addr().String()
+}
+
+// Stop shuts the node down and waits for its goroutines.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopped)
+		if n.ln != nil {
+			n.ln.Close()
+		}
+		for _, p := range n.peers {
+			if p != nil {
+				p.close()
+			}
+		}
+	})
+	n.wg.Wait()
+}
+
+// IsMaster reports whether this replica currently holds the master
+// lease on its own conservative clock.
+func (n *Node) IsMaster() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.m.IsMaster(n.clk.Now())
+}
+
+// Role reports the replica's current election role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.m.Role(n.clk.Now())
+}
+
+// MasterIndex reports which replica this node believes is master (-1
+// unknown).
+func (n *Node) MasterIndex() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if id, ok := n.m.Master(n.clk.Now()); ok {
+		return id
+	}
+	return -1
+}
+
+// MasterExpiry reports when this replica's own master lease expires
+// (zero when it is not master).
+func (n *Node) MasterExpiry() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.m.MasterUntil()
+}
+
+// ID reports the replica's index.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// quorum is the majority size over the full replica set.
+func (n *Node) quorum() int { return len(n.cfg.Peers)/2 + 1 }
+
+// deliver feeds one incoming election message to the machine.
+func (n *Node) deliver(msg Msg) {
+	n.mu.Lock()
+	out := n.m.HandleMessage(n.clk.Now(), msg)
+	n.roleCheckLocked()
+	n.mu.Unlock()
+	n.send(out)
+	// The machine's wake point may have moved; let the timer recompute.
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// roleCheckLocked detects role transitions; callers hold n.mu.
+func (n *Node) roleCheckLocked() {
+	now := n.clk.Now()
+	role := n.m.Role(now)
+	master := -1
+	if id, ok := n.m.Master(now); ok {
+		master = id
+	}
+	if role == n.lastRole && master == n.lastMaster {
+		return
+	}
+	rc := roleChange{
+		role: role, master: master,
+		elected: role == RoleMaster && n.lastRole != RoleMaster,
+		demoted: n.lastRole == RoleMaster && role != RoleMaster,
+	}
+	n.lastRole, n.lastMaster = role, master
+	select {
+	case n.notify <- rc:
+	default: // never block the protocol on a slow consumer
+	}
+}
+
+// send dispatches outgoing election messages to their peers.
+func (n *Node) send(msgs []Msg) {
+	for _, m := range msgs {
+		if m.To == n.cfg.ID || m.To < 0 || m.To >= len(n.peers) {
+			continue
+		}
+		n.peers[m.To].enqueue(msgFrameType(m.Kind), 0, encodeMsg(m))
+	}
+}
+
+// timerLoop drives Machine.Tick at its requested wake points.
+func (n *Node) timerLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		now := n.clk.Now()
+		var out []Msg
+		if !now.Before(n.m.NextWake()) {
+			out = n.m.Tick(now)
+			n.roleCheckLocked()
+		}
+		wait := n.m.NextWake().Sub(n.clk.Now())
+		n.mu.Unlock()
+		n.send(out)
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		ch, cancel := n.clk.After(wait)
+		select {
+		case <-ch:
+		case <-n.kick:
+			cancel()
+		case <-n.stopped:
+			cancel()
+			return
+		}
+	}
+}
+
+// notifyLoop delivers role transitions in order: obs events first,
+// then the OnRole callback.
+func (n *Node) notifyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case rc := <-n.notify:
+			if o := n.cfg.Obs; o.Enabled() {
+				if rc.elected {
+					o.Record(obs.Event{Type: obs.EvElected, Shard: n.cfg.ID})
+				}
+				if rc.demoted {
+					o.Record(obs.Event{Type: obs.EvDemoted, Shard: n.cfg.ID})
+				}
+			}
+			if n.cfg.OnRole != nil {
+				n.cfg.OnRole(rc.role, rc.master)
+			}
+		case <-n.stopped:
+			return
+		}
+	}
+}
+
+// acceptLoop serves inbound peer-mesh connections.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stopped:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go n.serveConn(c)
+	}
+}
+
+// serveConn handles one inbound peer connection: election messages are
+// fed to the machine, replication RPCs answered in place.
+func (n *Node) serveConn(c net.Conn) {
+	defer n.wg.Done()
+	defer c.Close()
+	go func() { // unblock the read on shutdown
+		<-n.stopped
+		c.Close()
+	}()
+	fr := proto.GetReader(c)
+	defer proto.PutReader(fr)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			return
+		}
+		if k := frameMsgKind(f.Type); k != 0 {
+			msg, derr := decodeMsg(k, f.Payload)
+			f.Recycle()
+			if derr == nil {
+				n.deliver(msg)
+			}
+			continue
+		}
+		if err := n.handleRPC(c, f); err != nil {
+			return
+		}
+	}
+}
+
+// handleRPC answers one replication RPC on the inbound connection.
+func (n *Node) handleRPC(c net.Conn, f proto.Frame) error {
+	reply := func(t proto.MsgType, payload []byte) error {
+		return proto.WriteFrame(c, proto.Frame{Type: t, ReqID: f.ReqID, Payload: payload})
+	}
+	fail := func(err error) error {
+		var e proto.Enc
+		e.Str(err.Error())
+		return reply(proto.TError, e.Bytes())
+	}
+	defer f.Recycle()
+	switch f.Type {
+	case proto.TReplApply:
+		d := proto.NewDec(f.Payload)
+		from := int(d.I64())
+		fs := FileState{Seq: d.U64(), Path: d.Str(), Data: d.Blob()}
+		if d.Err != nil {
+			return fail(d.Err)
+		}
+		if !n.fromLiveMaster(from) {
+			return fail(fmt.Errorf("replica: apply from %d, not the live master", from))
+		}
+		if n.cfg.OnReplApply == nil {
+			return fail(errors.New("replica: no apply hook"))
+		}
+		if err := n.cfg.OnReplApply(fs); err != nil {
+			return fail(err)
+		}
+		return reply(proto.TOK, nil)
+	case proto.TReplSync:
+		var files []FileState
+		var maxTerm time.Duration
+		if n.cfg.OnSyncState != nil {
+			files, maxTerm = n.cfg.OnSyncState()
+		}
+		return reply(proto.TReplSyncRep, encodeSyncRep(files, maxTerm))
+	case proto.TReplMaxTerm:
+		d := proto.NewDec(f.Payload)
+		from := int(d.I64())
+		term := d.Dur()
+		if d.Err != nil {
+			return fail(d.Err)
+		}
+		if !n.fromLiveMaster(from) {
+			return fail(fmt.Errorf("replica: max-term from %d, not the live master", from))
+		}
+		if n.cfg.OnMaxTerm != nil {
+			if err := n.cfg.OnMaxTerm(term); err != nil {
+				return fail(err)
+			}
+		}
+		return reply(proto.TOK, nil)
+	default:
+		return fail(fmt.Errorf("replica: unexpected frame type %v", f.Type))
+	}
+}
+
+// fromLiveMaster reports whether replica `from` holds the master lease
+// in this node's current belief. Replication RPCs are fenced by it: a
+// partitioned master's frames, delivered late after its lease lapsed
+// and a successor was elected, must not poison peer state with
+// sequence numbers the successor is also assigning.
+func (n *Node) fromLiveMaster(from int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	owner, live := n.m.Master(n.clk.Now())
+	return live && owner == from
+}
+
+// broadcastRPC issues one RPC to every peer concurrently and returns
+// the number that acked, waiting only until enough have (or all have
+// answered).
+func (n *Node) broadcastRPC(t proto.MsgType, payload []byte, need int, each func(proto.Frame)) int {
+	var others []*peer
+	for _, p := range n.peers {
+		if p != nil {
+			others = append(others, p)
+		}
+	}
+	if len(others) == 0 {
+		return 0
+	}
+	type result struct {
+		f   proto.Frame
+		err error
+	}
+	results := make(chan result, len(others))
+	for _, p := range others {
+		p := p
+		go func() {
+			f, err := p.rpc(t, payload)
+			results <- result{f, err}
+		}()
+	}
+	acks := 0
+	for i := 0; i < len(others); i++ {
+		r := <-results
+		if r.err != nil {
+			continue
+		}
+		if r.f.Type == proto.TError {
+			r.f.Recycle()
+			continue
+		}
+		acks++
+		if each != nil {
+			each(r.f)
+		} else {
+			r.f.Recycle()
+		}
+		if acks >= need {
+			// Late responses are drained (and recycled) by the
+			// buffered channel + GC; stop waiting.
+			break
+		}
+	}
+	return acks
+}
+
+// ReplicateWrite pushes one committed write to the peer set and
+// returns nil once a quorum (counting this replica) holds it. The
+// master calls this BEFORE applying locally and acking the client, so
+// no reader ever observes a value a failover could lose.
+func (n *Node) ReplicateWrite(fs FileState) error {
+	need := n.quorum() - 1 // counting ourselves
+	if need <= 0 {
+		return nil
+	}
+	var e proto.Enc
+	e.I64(int64(n.cfg.ID)).U64(fs.Seq).Str(fs.Path).Blob(fs.Data)
+	acks := n.broadcastRPC(proto.TReplApply, e.Bytes(), need, nil)
+	if acks < need {
+		return fmt.Errorf("replica: write %s#%d replicated to %d/%d peers", fs.Path, fs.Seq, acks, need)
+	}
+	return nil
+}
+
+// ReplicateMaxTerm pushes a durable max-term raise to a quorum before
+// the grant that caused it is released to the client, preserving the
+// §2 ordering across failover: any future master's recovery window
+// covers every lease any past master granted.
+func (n *Node) ReplicateMaxTerm(d time.Duration) error {
+	need := n.quorum() - 1
+	if need <= 0 {
+		return nil
+	}
+	var e proto.Enc
+	e.I64(int64(n.cfg.ID)).Dur(d)
+	acks := n.broadcastRPC(proto.TReplMaxTerm, e.Bytes(), need, nil)
+	if acks < need {
+		return fmt.Errorf("replica: max-term %v replicated to %d/%d peers", d, acks, need)
+	}
+	return nil
+}
+
+// SyncFromPeers collects the replicated file state and max-term floor
+// from a quorum of the full set (counting this replica) and merges
+// them: files by per-path maximum sequence, the floor by maximum. Any
+// write or term raise that was ever quorum-acked is present in at
+// least one member of any quorum, so the merge recovers every
+// acknowledged one. The caller's own state participates implicitly —
+// applying the merged files through a seq-guarded apply keeps newer
+// local entries, and the caller maxes the floor with its own.
+func (n *Node) SyncFromPeers() ([]FileState, time.Duration, error) {
+	need := n.quorum() - 1
+	if need <= 0 {
+		return nil, 0, nil
+	}
+	merged := map[string]FileState{}
+	var maxTerm time.Duration
+	var mu sync.Mutex
+	acks := n.broadcastRPC(proto.TReplSync, nil, need, func(f proto.Frame) {
+		if f.Type != proto.TReplSyncRep {
+			f.Recycle()
+			return
+		}
+		files, floor, err := decodeSyncRep(f.Payload)
+		f.Recycle()
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		for _, fs := range files {
+			if cur, ok := merged[fs.Path]; !ok || fs.Seq > cur.Seq {
+				merged[fs.Path] = fs
+			}
+		}
+		if floor > maxTerm {
+			maxTerm = floor
+		}
+		mu.Unlock()
+	})
+	if acks < need {
+		return nil, 0, fmt.Errorf("replica: sync reached %d/%d peers", acks, need)
+	}
+	out := make([]FileState, 0, len(merged))
+	for _, fs := range merged {
+		out = append(out, fs)
+	}
+	return out, maxTerm, nil
+}
+
+// peer is one outgoing peer-mesh connection: a send queue for
+// fire-and-forget election messages plus an RPC layer demultiplexing
+// responses by request ID.
+type peer struct {
+	n    *Node
+	id   int
+	addr string
+
+	mu         sync.Mutex // guards conn and writes on it
+	conn       net.Conn
+	nextDialAt time.Time
+
+	callsMu sync.Mutex
+	calls   map[uint64]chan proto.Frame
+	nextID  uint64
+
+	out chan outFrame
+}
+
+type outFrame struct {
+	t       proto.MsgType
+	reqID   uint64
+	payload []byte
+}
+
+func newPeer(n *Node, id int, addr string) *peer {
+	p := &peer{n: n, id: id, addr: addr, calls: make(map[uint64]chan proto.Frame), out: make(chan outFrame, 128)}
+	n.wg.Add(1)
+	go p.sendLoop()
+	return p
+}
+
+// enqueue queues a fire-and-forget frame; full queues drop (the
+// election protocol retries by timer).
+func (p *peer) enqueue(t proto.MsgType, reqID uint64, payload []byte) {
+	select {
+	case p.out <- outFrame{t, reqID, payload}:
+	default:
+	}
+}
+
+func (p *peer) sendLoop() {
+	defer p.n.wg.Done()
+	for {
+		select {
+		case f := <-p.out:
+			p.writeFrame(f) // errors drop the message; timers retry
+		case <-p.n.stopped:
+			return
+		}
+	}
+}
+
+// writeFrame sends one frame on the (lazily dialed) connection.
+func (p *peer) writeFrame(f outFrame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		now := time.Now()
+		if now.Before(p.nextDialAt) {
+			return errors.New("replica: peer dial backoff")
+		}
+		c, err := net.DialTimeout("tcp", p.addr, p.n.cfg.DialTimeout)
+		if err != nil {
+			p.nextDialAt = now.Add(100 * time.Millisecond)
+			return err
+		}
+		p.conn = c
+		p.n.wg.Add(1)
+		go p.readLoop(c)
+	}
+	err := proto.WriteFrame(p.conn, proto.Frame{Type: f.t, ReqID: f.reqID, Payload: f.payload})
+	if err != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.failCalls(err)
+	}
+	return err
+}
+
+// readLoop demultiplexes RPC responses on the outgoing connection.
+func (p *peer) readLoop(c net.Conn) {
+	defer p.n.wg.Done()
+	go func() {
+		<-p.n.stopped
+		c.Close()
+	}()
+	fr := proto.GetReader(c)
+	defer proto.PutReader(fr)
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			p.mu.Lock()
+			if p.conn == c {
+				p.conn.Close()
+				p.conn = nil
+			}
+			p.mu.Unlock()
+			p.failCalls(err)
+			return
+		}
+		if k := frameMsgKind(f.Type); k != 0 {
+			// Defensive: a peer answering election traffic on this leg.
+			msg, derr := decodeMsg(k, f.Payload)
+			f.Recycle()
+			if derr == nil {
+				p.n.deliver(msg)
+			}
+			continue
+		}
+		p.callsMu.Lock()
+		ch, ok := p.calls[f.ReqID]
+		if ok {
+			delete(p.calls, f.ReqID)
+		}
+		p.callsMu.Unlock()
+		if ok {
+			ch <- f
+		} else {
+			f.Recycle()
+		}
+	}
+}
+
+// failCalls aborts every pending RPC after a connection failure.
+func (p *peer) failCalls(error) {
+	p.callsMu.Lock()
+	calls := p.calls
+	p.calls = make(map[uint64]chan proto.Frame)
+	p.callsMu.Unlock()
+	for _, ch := range calls {
+		close(ch)
+	}
+}
+
+// rpc issues one request and waits for its response within the node's
+// RPC timeout.
+func (p *peer) rpc(t proto.MsgType, payload []byte) (proto.Frame, error) {
+	p.callsMu.Lock()
+	p.nextID++
+	id := p.nextID
+	ch := make(chan proto.Frame, 1)
+	p.calls[id] = ch
+	p.callsMu.Unlock()
+	deregister := func() {
+		p.callsMu.Lock()
+		delete(p.calls, id)
+		p.callsMu.Unlock()
+	}
+	if err := p.writeFrame(outFrame{t, id, payload}); err != nil {
+		deregister()
+		return proto.Frame{}, err
+	}
+	timer, cancel := p.n.clk.After(p.n.cfg.RPCTimeout)
+	defer cancel()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return proto.Frame{}, errors.New("replica: peer connection lost")
+		}
+		return f, nil
+	case <-timer:
+		deregister()
+		return proto.Frame{}, fmt.Errorf("replica: rpc %v to peer %d timed out", t, p.id)
+	case <-p.n.stopped:
+		deregister()
+		return proto.Frame{}, errors.New("replica: node stopped")
+	}
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.mu.Unlock()
+	p.failCalls(errors.New("replica: node stopped"))
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -32,6 +33,10 @@ func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
 		snap.Ops = s.obs.OpLatencies()
 		snap.FlushFrames, snap.FlushBytes = s.obs.FlushStats()
 	}
+	if role, master, _, ok := s.ReplicaInfo(); ok {
+		snap.ReplicaRole = role
+		snap.ReplicaMaster = master
+	}
 	return snap
 }
 
@@ -57,6 +62,17 @@ func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Replicated servers report their role so probes can tell the
+		// master apart; a bare "ok" means standalone, preserving the old
+		// contract for existing probes.
+		if role, master, expiry, ok := s.ReplicaInfo(); ok {
+			fmt.Fprintf(w, "ok role=%s master=%d", role, master)
+			if !expiry.IsZero() {
+				fmt.Fprintf(w, " master_lease_expiry=%s", expiry.Format(time.RFC3339Nano))
+			}
+			fmt.Fprintln(w)
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -68,10 +84,21 @@ func (s *Server) AdminHandler() http.Handler {
 		now := s.clk.Now()
 		records := s.Snapshot()
 		out := struct {
-			Now    time.Time     `json:"now"`
-			Count  int           `json:"count"`
-			Leases []leaseRecord `json:"leases"`
+			Now time.Time `json:"now"`
+			// Replication fields; absent on a standalone server.
+			Role              string        `json:"replica_role,omitempty"`
+			Master            *int          `json:"replica_master,omitempty"`
+			MasterLeaseExpiry *time.Time    `json:"master_lease_expiry,omitempty"`
+			Count             int           `json:"count"`
+			Leases            []leaseRecord `json:"leases"`
 		}{Now: now, Count: len(records), Leases: make([]leaseRecord, 0, len(records))}
+		if role, master, expiry, ok := s.ReplicaInfo(); ok {
+			out.Role = role
+			out.Master = &master
+			if !expiry.IsZero() {
+				out.MasterLeaseExpiry = &expiry
+			}
+		}
 		for _, r := range records {
 			out.Leases = append(out.Leases, leaseRecord{
 				Client: string(r.Client),

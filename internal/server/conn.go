@@ -99,6 +99,16 @@ func (s *Server) serveConn(nc net.Conn) {
 		c.fail(f.ReqID, fmt.Errorf("bad hello"))
 		return
 	}
+	// A replica that does not hold the master lease refuses the session
+	// outright, carrying its master belief as a redirect hint; the conn
+	// then closes (the deferred coalescer Close drains the reply) and
+	// the client's failover logic redials toward the hinted replica.
+	if r := s.cfg.Replica; r != nil && !r.IsMaster() {
+		hint := int64(r.MasterIndex())
+		c.replyEnc(f.ReqID, proto.TNotMaster, func(e *proto.Enc) { e.I64(hint) })
+		f.Recycle()
+		return
+	}
 	c.client = id
 	s.connMu.Lock()
 	if old, ok := s.conns[id]; ok {
@@ -256,6 +266,17 @@ func (c *serverConn) grant(d vfs.Datum, et obs.EventType) proto.GrantWire {
 			g = core.Grant{Datum: d}
 		}
 	}
+	if g.Leased {
+		// Same ordering discipline at the replication layer: a quorum
+		// must know the new maximum term before any client holds a
+		// lease that long, or a failing-over master could compute too
+		// short a recovery window. No-op for standalone servers and for
+		// terms already covered by a replicated raise.
+		if err := s.replicateTermRaise(g.Term); err != nil {
+			s.lm.Release(c.client, []vfs.Datum{d}, s.clk.Now())
+			g = core.Grant{Datum: d}
+		}
+	}
 	if s.obs.Enabled() {
 		// Term zero marks a refusal (write pending / zero policy).
 		s.obs.Record(obs.Event{
@@ -347,6 +368,12 @@ func (c *serverConn) handleWrite(f proto.Frame) {
 	}
 	var attr vfs.Attr
 	err := s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.FileData, Node: node}}, func() error {
+		// Replicate-before-apply: a quorum of replicas must hold the
+		// write before the local store does, so nothing a reader can
+		// observe at this master is ever lost to a failover.
+		if rerr := s.replicateFile(node, data); rerr != nil {
+			return rerr
+		}
 		var werr error
 		attr, _, werr = s.store.WriteFile(node, data)
 		return werr

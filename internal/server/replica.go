@@ -1,0 +1,287 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"leases/internal/vfs"
+)
+
+// Replica abstracts the replication runtime (internal/replica.Node)
+// behind plain types, so the server package does not import the
+// election machinery: cmd/leasesrv adapts a replica.Node to this
+// interface when wiring a replicated deployment. A nil Replica in
+// Config is the standalone server, byte-for-byte the old behavior.
+//
+// The contract the server relies on:
+//
+//   - Only one replica's IsMaster returns true at any instant (the
+//     PaxosLease master lease, margined by the allowance so it holds
+//     even across clock drift within the ε budget).
+//   - ReplicateWrite returns nil only once a quorum of replicas
+//     (counting this one) holds the write.
+//   - ReplicateMaxTerm returns nil only once a quorum knows the term.
+type Replica interface {
+	// IsMaster reports whether this replica currently holds the master
+	// lease on its own clock.
+	IsMaster() bool
+	// MasterIndex is this replica's belief about who the master is
+	// (-1 when unknown). It is the redirect hint a refused hello
+	// carries.
+	MasterIndex() int
+	// Role names the current role ("master", "candidate", "follower")
+	// for the admin plane.
+	Role() string
+	// MasterExpiry is when this replica's master lease lapses on its
+	// own clock (zero when not master).
+	MasterExpiry() time.Time
+	// ReplicateWrite pushes one committed file write to a quorum.
+	ReplicateWrite(path string, seq uint64, data []byte) error
+	// ReplicateMaxTerm pushes a new maximum granted term to a quorum.
+	ReplicateMaxTerm(d time.Duration) error
+}
+
+// ReplFile is one replicated file's state, as exchanged during a new
+// master's catch-up sync.
+type ReplFile struct {
+	Path string
+	Seq  uint64
+	Data []byte
+}
+
+// errNotMaster rejects a write reaching a replica that lost (or never
+// held) the master lease; clients treat it like a severed session and
+// redial toward the master.
+var errNotMaster = errors.New("server: not master")
+
+// floor reads the persisted maximum without touching durable.go's
+// update path.
+func (f *maxTermFile) floor() time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.last
+}
+
+// replicateFile pushes a committed write to a quorum of peers BEFORE it
+// is applied to the local store (replicate-before-apply). The ordering
+// matters: a reader at the master only ever sees data a quorum already
+// holds, so a master crash immediately after the read can never roll
+// the write back under a failover — the new master's catch-up sync
+// intersects every write quorum and recovers it.
+func (s *Server) replicateFile(node vfs.NodeID, data []byte) error {
+	r := s.cfg.Replica
+	if r == nil {
+		return nil
+	}
+	if !r.IsMaster() {
+		return errNotMaster
+	}
+	path, err := s.store.Path(node)
+	if err != nil {
+		return err
+	}
+	s.replMu.Lock()
+	seq := s.replSeq[path] + 1
+	s.replSeq[path] = seq
+	s.replMu.Unlock()
+	return r.ReplicateWrite(path, seq, data)
+}
+
+// replicateTermRaise mirrors maxTermFile.update at the replication
+// layer: before a grant whose term exceeds every quorum-acknowledged
+// maximum reaches a client, the new maximum is pushed to a quorum, so
+// a failing-over master reconstructs the §2 recovery window without
+// this replica's disk. Raises are monotonic and rare (once per policy
+// change under a fixed-term policy), so the steady-state cost is one
+// mutex'd comparison.
+func (s *Server) replicateTermRaise(term time.Duration) error {
+	r := s.cfg.Replica
+	if r == nil {
+		return nil
+	}
+	s.replMu.Lock()
+	known := s.replTerm
+	s.replMu.Unlock()
+	if term <= known {
+		return nil
+	}
+	if err := r.ReplicateMaxTerm(term); err != nil {
+		return err
+	}
+	s.replMu.Lock()
+	if term > s.replTerm {
+		s.replTerm = term
+	}
+	s.replMu.Unlock()
+	return nil
+}
+
+// ApplyReplicated installs one replicated write pushed by the master
+// (or merged during promotion). Stale sequence numbers — retries,
+// reordered pushes, sync entries older than what this replica already
+// holds — are dropped. An unknown path is created first: the namespace
+// itself is master-only (DESIGN.md §9), so a file body can arrive for
+// a path the follower has never seen. The created file is world-
+// writable because the real owner/permission record lives at the
+// master; after a promotion the §2 recovery window — not permissions —
+// is what protects these bytes.
+func (s *Server) ApplyReplicated(path string, seq uint64, data []byte) error {
+	s.replMu.Lock()
+	if seq <= s.replSeq[path] {
+		s.replMu.Unlock()
+		return nil
+	}
+	s.replSeq[path] = seq
+	s.replMu.Unlock()
+	attr, err := s.store.Lookup(path)
+	if err != nil {
+		attr, err = s.store.Create(path, s.cfg.Owner, vfs.DefaultPerm|vfs.WorldWrite)
+		if err != nil {
+			return err
+		}
+	}
+	_, _, err = s.store.WriteFile(attr.ID, data)
+	return err
+}
+
+// ReplState dumps every file's replicated state, answering a new
+// master's catch-up sync. Files that predate replication (seeded
+// fixtures, identical on every replica by construction) report
+// sequence zero and lose every merge, which is correct: nothing newer
+// exists anywhere.
+func (s *Server) ReplState() []ReplFile {
+	root, err := s.store.Lookup("/")
+	if err != nil {
+		return nil
+	}
+	var out []ReplFile
+	s.store.Walk(root.ID, func(path string, a vfs.Attr) error {
+		if a.IsDir {
+			return nil
+		}
+		data, _, rerr := s.store.ReadFile(a.ID)
+		if rerr != nil {
+			return nil
+		}
+		s.replMu.Lock()
+		seq := s.replSeq[path]
+		s.replMu.Unlock()
+		out = append(out, ReplFile{Path: path, Seq: seq, Data: data})
+		return nil
+	})
+	return out
+}
+
+// PersistMaxTerm records a master's replicated term raise: the floor a
+// future promotion on this replica must wait out. When this replica
+// keeps its own durable max-term file the raise is persisted there
+// too, so even a restart-then-promote sequence observes it.
+func (s *Server) PersistMaxTerm(d time.Duration) error {
+	s.replMu.Lock()
+	if d > s.replTerm {
+		s.replTerm = d
+	}
+	s.replMu.Unlock()
+	if s.maxTermF != nil {
+		return s.maxTermF.update(d)
+	}
+	return nil
+}
+
+// Promote applies the catch-up state synced from a quorum of peers and
+// opens the §2 recovery window. files pass through ApplyReplicated's
+// sequence guard, which IS the merge with this replica's own state:
+// self plus quorum-1 peers form a quorum, every write quorum
+// intersects it, and per-path max-seq wins. termFloor is the quorum's
+// merged max-term floor; the window is the worst lease any previous
+// master could have granted — the max of that floor, this replica's
+// own replicated/persisted floors, and (as a belt for unsynced legacy
+// state) the configured term when any lease evidence exists — so
+// every outstanding lease has provably expired before this replica
+// clears its first write. A cluster that never granted a lease has
+// all-zero floors and serves immediately.
+func (s *Server) Promote(files []ReplFile, termFloor time.Duration) {
+	for _, f := range files {
+		s.ApplyReplicated(f.Path, f.Seq, f.Data)
+	}
+	window := termFloor
+	if p := s.maxTermF.floor(); p > window {
+		window = p
+	}
+	s.replMu.Lock()
+	if s.replTerm > window {
+		window = s.replTerm
+	}
+	s.recoverUntil = s.clk.Now().Add(window)
+	s.replMu.Unlock()
+}
+
+// ReplTermFloor is the largest lease term this replica knows
+// replicated or persisted — its contribution to a new master's
+// recovery window.
+func (s *Server) ReplTermFloor() time.Duration {
+	s.replMu.Lock()
+	floor := s.replTerm
+	s.replMu.Unlock()
+	if p := s.maxTermF.floor(); p > floor {
+		floor = p
+	}
+	return floor
+}
+
+// Demote severs every client connection so their sessions redial and
+// discover the new master; the hello path then refuses them here. The
+// listener stays up (this replica may be promoted again) and lease
+// records are left to expire on their own — the successor's recovery
+// window already covers them.
+func (s *Server) Demote() {
+	s.connMu.Lock()
+	for nc := range s.raw {
+		nc.Close()
+	}
+	s.connMu.Unlock()
+}
+
+// ReplicaInfo reports the replication role for the admin plane; ok is
+// false on a standalone server.
+func (s *Server) ReplicaInfo() (role string, master int, expiry time.Time, ok bool) {
+	r := s.cfg.Replica
+	if r == nil {
+		return "", -1, time.Time{}, false
+	}
+	return r.Role(), r.MasterIndex(), r.MasterExpiry(), true
+}
+
+// awaitRecoverWindow holds a write while a freshly promoted master is
+// inside its §2 recovery window, and rejects it outright on a replica
+// that is not master (a demotion can race a request already past the
+// hello gate). Standalone servers pass straight through — their boot
+// recovery window lives in the lease manager, unchanged.
+func (s *Server) awaitRecoverWindow() error {
+	r := s.cfg.Replica
+	if r == nil {
+		return nil
+	}
+	for {
+		if !r.IsMaster() {
+			return errNotMaster
+		}
+		s.replMu.Lock()
+		until := s.recoverUntil
+		s.replMu.Unlock()
+		d := until.Sub(s.clk.Now())
+		if d <= 0 {
+			return nil
+		}
+		fire, stopTimer := s.clk.After(d)
+		select {
+		case <-fire:
+		case <-s.stopped:
+			stopTimer()
+			return errShutdown
+		}
+	}
+}

@@ -73,6 +73,13 @@ type Config struct {
 	// latency observations. Nil disables instrumentation; the request
 	// path then costs one branch per hook and no allocations.
 	Obs *obs.Observer
+	// Replica, when non-nil, runs this server as one replica of a
+	// replicated lease service: hellos are refused (with a redirect
+	// hint) unless this replica holds the master lease, committed
+	// writes are pushed to a quorum before they apply locally, and
+	// max-term raises replicate before the grant is sent. See
+	// internal/server/replica.go for the contract.
+	Replica Replica
 }
 
 // Server is a running lease file server.
@@ -105,6 +112,15 @@ type Server struct {
 	// failure from New (which cannot fail) to Serve (which can).
 	maxTermF *maxTermFile
 	initErr  error
+
+	// Replication state (quiescent on a standalone server). replSeq
+	// orders each path's replicated writes; replTerm is the largest
+	// term known replicated to a quorum; recoverUntil gates writes on
+	// a freshly promoted master (§2 window after failover).
+	replMu       sync.Mutex
+	replSeq      map[string]uint64
+	replTerm     time.Duration
+	recoverUntil time.Time
 }
 
 // New creates a server with an empty store.
@@ -152,6 +168,7 @@ func New(cfg Config) *Server {
 		waiters: make(map[core.WriteID]chan struct{}),
 		stopped: make(chan struct{}),
 		kicks:   make([]chan struct{}, cfg.Shards),
+		replSeq: make(map[string]uint64),
 
 		boot:     uint64(time.Now().UnixNano()),
 		maxTermF: maxTermF,
@@ -365,6 +382,11 @@ var errShutdown = errors.New("server: shutting down")
 // per-datum write queue entries. Data are acquired in sorted order to
 // prevent deadlock between concurrent multi-datum writes.
 func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply func() error) error {
+	// A replicated master fresh from a failover first waits out the §2
+	// recovery window (and a replica that lost mastership refuses).
+	if err := s.awaitRecoverWindow(); err != nil {
+		return err
+	}
 	sorted := make([]vfs.Datum, len(data))
 	copy(sorted, data)
 	sort.Slice(sorted, func(i, j int) bool {
