@@ -110,7 +110,7 @@ func main() {
 		nd, err = replica.NewNode(replica.NodeConfig{
 			ID: *replicaID, Peers: peers, Term: et, Allowance: al,
 			Seed: int64(*replicaID) + 1, Obs: o,
-			OnReplApply: func(f replica.FileState) error {
+			OnReplApply: func(f replica.FileState) (bool, error) {
 				return srv.ApplyReplicated(f.Path, f.Seq, f.Data)
 			},
 			OnSyncState: func() ([]replica.FileState, time.Duration) {
@@ -127,13 +127,19 @@ func main() {
 					srv.Demote()
 					return
 				}
-				files, floor, serr := nd.SyncFromPeers()
+				// Sever any sessions left from an earlier mastership era
+				// (a demote edge coalesced into this elected one) before
+				// the catch-up sync; serving stays gated until Promote.
+				srv.Demote()
+				files, floor, serr := nd.SyncForPromotion()
 				if serr != nil {
-					// Won the election but the sync quorum fell apart
-					// before answering: promote behind the most
-					// conservative window local evidence supports.
-					log.Printf("leasesrv: promotion catch-up sync: %v", serr)
-					srv.Promote(nil, *term)
+					// The mastership lapsed (or the node stopped) before a
+					// quorum answered the catch-up sync. Do NOT promote on
+					// local evidence: quorum-acked writes this replica never
+					// received would be served stale and its unmerged
+					// sequence map would poison the whole mastership. The
+					// serving gate stays closed; the next election retries.
+					log.Printf("leasesrv: promotion abandoned: %v", serr)
 					return
 				}
 				out := make([]server.ReplFile, len(files))

@@ -142,7 +142,7 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 	nd, err := replica.NewNode(replica.NodeConfig{
 		ID: i, Peers: peers, Term: rs.term, Allowance: rs.allow,
 		Seed: h.o.Seed*31 + int64(i) + 1, Obs: h.obs,
-		OnReplApply: func(f replica.FileState) error {
+		OnReplApply: func(f replica.FileState) (bool, error) {
 			return srv.ApplyReplicated(f.Path, f.Seq, f.Data)
 		},
 		OnSyncState: func() ([]replica.FileState, time.Duration) {
@@ -159,12 +159,15 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 				srv.Demote()
 				return
 			}
-			files, floor, serr := nd.SyncFromPeers()
+			// Sever sessions from any earlier mastership era before the
+			// catch-up sync; serving stays gated until Promote reopens it.
+			srv.Demote()
+			files, floor, serr := nd.SyncForPromotion()
 			if serr != nil {
-				// Conservative fallback: without a synced floor, wait the
-				// full configured file-lease term.
-				h.logf("chaos: replica %d promotion sync failed: %v", i, serr)
-				srv.Promote(nil, h.o.Term)
+				// Mastership lapsed (or node stopped) before a quorum
+				// answered. Stay gated rather than promote on local
+				// evidence — the next election retries.
+				h.logf("chaos: replica %d promotion abandoned: %v", i, serr)
 				return
 			}
 			out := make([]server.ReplFile, len(files))

@@ -88,12 +88,16 @@ type notMasterRep struct {
 type electMsg struct{ M replica.Msg }
 
 // replFrame replicates one staged write: the master may only apply and
-// ack the write after quorum-1 peers have applied seq.
+// ack the write after quorum-1 peers have applied seq. Ballot is the
+// election ballot the sender's master lease was won (or last renewed)
+// with; receivers fence on it, so a deposed master's late frames die
+// even at a peer whose belief has not yet caught up.
 type replFrame struct {
-	From  int
-	File  int
-	Seq   uint64
-	Value string
+	From   int
+	Ballot uint64
+	File   int
+	Seq    uint64
+	Value  string
 }
 
 type replAck struct {
@@ -126,8 +130,9 @@ type syncRep struct {
 // healing laggards and sequence gaps left by a dead master's partial
 // replication.
 type installMsg struct {
-	From  int
-	Files []fileRepl
+	From   int
+	Ballot uint64
+	Files  []fileRepl
 }
 
 // mwriter is the server's record of one deferred write.
@@ -275,13 +280,17 @@ func (srv *mserver) localNow() time.Time {
 // itself) a staged write or promotion sync needs.
 func (srv *mserver) quorumPeers() int { return srv.w.sc.Servers / 2 }
 
-// fromLiveMaster is the replication fence: replication traffic is only
+// masterFrameOK is the replication fence: replication traffic is only
 // honoured from the replica this machine currently believes holds a
-// live master lease, so a deposed master's late-flushed frames die
-// here instead of poisoning the store.
-func (srv *mserver) fromLiveMaster(from int) bool {
-	owner, live := srv.mach.Master(srv.localNow())
-	return live && owner == from
+// live master lease, AND only when the frame's ballot is at least this
+// acceptor's promised/accepted ballot — so a deposed master's
+// late-flushed frames die here instead of poisoning the store, even
+// when this acceptor's belief has not caught up with the new election.
+// Senders re-stamp the current ballot on every retransmit, which
+// covers the renewal-boundary race (frame stamped just before the
+// sender renewed its own lease at a higher ballot).
+func (srv *mserver) masterFrameOK(from int, ballot uint64) bool {
+	return srv.mach.AcceptsMasterFrame(srv.localNow(), from, ballot)
 }
 
 // ---- election machine pump ----
@@ -520,7 +529,7 @@ func (srv *mserver) finishSync() {
 	}
 	srv.synced = true
 	srv.syncGot = nil
-	inst := installMsg{From: srv.idx, Files: srv.fileSnapshot()}
+	inst := installMsg{From: srv.idx, Ballot: srv.mach.MasterBallot(srv.localNow()), Files: srv.fileSnapshot()}
 	for i := range srv.w.servers {
 		if i != srv.idx {
 			srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(i), kindInstall, inst)
@@ -529,7 +538,7 @@ func (srv *mserver) finishSync() {
 }
 
 func (srv *mserver) handleInstall(p installMsg) {
-	if srv.mach == nil || !srv.fromLiveMaster(p.From) {
+	if srv.mach == nil || !srv.masterFrameOK(p.From, p.Ballot) {
 		return
 	}
 	for _, fr := range p.Files {
@@ -567,7 +576,10 @@ func (srv *mserver) stageWrite(wtr mwriter) {
 
 func (srv *mserver) sendFrames(e *stagedWrite) {
 	f := fileForDatum(e.wtr.datum)
-	fr := replFrame{From: srv.idx, File: f, Seq: e.seq, Value: e.wtr.value}
+	// Stamp the current ballot on every (re)transmit: a frame staged
+	// just before this master renewed its own lease would otherwise be
+	// rejected by peers that already accepted the renewal's ballot.
+	fr := replFrame{From: srv.idx, Ballot: srv.mach.MasterBallot(srv.localNow()), File: f, Seq: e.seq, Value: e.wtr.value}
 	for i := range srv.w.servers {
 		if i == srv.idx || e.acks[i] {
 			continue
@@ -688,7 +700,7 @@ func (srv *mserver) commitStaged(e *stagedWrite) {
 }
 
 func (srv *mserver) handleReplFrame(p replFrame) {
-	if srv.mach == nil || !srv.fromLiveMaster(p.From) {
+	if srv.mach == nil || !srv.masterFrameOK(p.From, p.Ballot) {
 		return
 	}
 	f := p.File

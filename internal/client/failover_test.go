@@ -43,6 +43,10 @@ func startReplicaPair(t *testing.T) (srvs [2]*server.Server, addrs []string, mas
 			Replica: stubReplica{idx: i, master: master},
 		})
 		seedFile(t, srv, "/f", "v1")
+		// Open the serving gate: a replicated server refuses sessions
+		// until a completed Promote, so the stubbed master index alone
+		// is not enough to serve.
+		srv.Promote(nil, 0)
 		srvs[i] = srv
 		addrs = append(addrs, addr)
 	}

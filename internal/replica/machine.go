@@ -154,6 +154,11 @@ type Machine struct {
 	// masterUntil is this replica's own conservative view of the lease
 	// it holds (zero when not master).
 	masterUntil time.Time
+	// masterBallot is the ballot the current master lease was won (or
+	// last renewed) with; zero when not master. Replication frames are
+	// stamped with it so acceptors can fence out frames from an older
+	// lease incarnation.
+	masterBallot uint64
 	// ballotFloor is the highest ballot seen anywhere, so the next
 	// round starts above it.
 	ballotFloor uint64
@@ -189,6 +194,36 @@ func (m *Machine) IsMaster(now time.Time) bool {
 // MasterUntil reports when this replica's own master lease expires on
 // its clock (zero when it is not master).
 func (m *Machine) MasterUntil() time.Time { return m.masterUntil }
+
+// MasterBallot reports the ballot the master lease held at now was won
+// with, and zero when this replica is not master. The master stamps
+// replication frames with it; see AcceptsMasterFrame.
+func (m *Machine) MasterBallot(now time.Time) uint64 {
+	if !m.IsMaster(now) {
+		return 0
+	}
+	return m.masterBallot
+}
+
+// AcceptsMasterFrame is the replication fence: it reports whether a
+// frame claiming to come from replica `from` under election ballot
+// `ballot` should be honoured at now. The claim is checked against this
+// acceptor's own election state, not the frame's say-so: `from` must be
+// the replica this acceptor currently believes holds a live master
+// lease, and the ballot must be no older than anything the acceptor has
+// promised or accepted — so a deposed master's late-flushed frames,
+// stamped with the ballot of a lease a successor has since superseded,
+// die here instead of poisoning per-path sequence state. Frames from a
+// renewal the acceptor has not yet processed (ballot above its accepted
+// one, same owner) pass; the master's one-shot retry covers the
+// opposite race.
+func (m *Machine) AcceptsMasterFrame(now time.Time, from int, ballot uint64) bool {
+	owner, live := m.Master(now)
+	if !live || owner != from {
+		return false
+	}
+	return ballot >= m.acc.promised && ballot >= m.acc.accepted
+}
 
 // Master reports which replica this machine believes holds the master
 // lease at now, and whether it believes anyone does. The belief comes
@@ -257,6 +292,7 @@ func (m *Machine) Tick(now time.Time) []Msg {
 	// acceptor could have granted a successor.
 	if !m.masterUntil.IsZero() && !now.Before(m.masterUntil) {
 		m.masterUntil = time.Time{}
+		m.masterBallot = 0
 	}
 	if now.Before(m.quietUntil) {
 		m.wake = m.quietUntil
@@ -446,6 +482,7 @@ func (m *Machine) onAccept(now time.Time, msg Msg) {
 		return
 	}
 	until := m.prp.sentAt.Add(m.cfg.Term - m.cfg.Allowance)
+	ballot := m.prp.ballot
 	m.prp = proposer{}
 	if !until.After(now) {
 		// The round took longer than the lease itself; worthless.
@@ -453,6 +490,7 @@ func (m *Machine) onAccept(now time.Time, msg Msg) {
 		return
 	}
 	m.masterUntil = until
+	m.masterBallot = ballot
 	// Wake at the renewal point.
 	m.wake = until.Add(-m.cfg.Term / 2)
 	if m.wake.Before(now) {

@@ -221,3 +221,82 @@ func TestRoleReporting(t *testing.T) {
 		t.Fatalf("master lease expiry %v not in the future (%v)", exp, b.now)
 	}
 }
+
+// TestMasterBallot: the ballot view is non-zero exactly while the
+// machine holds the master lease.
+func TestMasterBallot(t *testing.T) {
+	b := newBus(t, 3, testTerm, testAllowance)
+	for _, m := range b.machines {
+		if bal := m.MasterBallot(b.now); bal != 0 {
+			t.Fatalf("fresh machine reports master ballot %d", bal)
+		}
+	}
+	b.step(6 * testTerm)
+	id := b.master()
+	if id < 0 {
+		t.Fatal("no master elected")
+	}
+	if bal := b.machines[id].MasterBallot(b.now); bal == 0 {
+		t.Fatal("live master reports ballot 0")
+	}
+	for i, m := range b.machines {
+		if i != id && m.MasterBallot(b.now) != 0 {
+			t.Fatalf("follower %d reports a master ballot", i)
+		}
+	}
+}
+
+// TestAcceptsMasterFrame covers the replication fence: a follower
+// honours frames stamped with the live master's current ballot,
+// rejects frames from anyone else, rejects stale ballots once a newer
+// one has been promised or accepted, and keeps honouring the same
+// master across lease renewals (senders re-stamp the current ballot).
+func TestAcceptsMasterFrame(t *testing.T) {
+	b := newBus(t, 3, testTerm, testAllowance)
+	b.step(6 * testTerm)
+	old := b.master()
+	if old < 0 {
+		t.Fatal("no master elected")
+	}
+	follower := (old + 1) % 3
+	bal := b.machines[old].MasterBallot(b.now)
+	if !b.machines[follower].AcceptsMasterFrame(b.now, old, bal) {
+		t.Fatal("follower rejects the live master's current ballot")
+	}
+	if b.machines[follower].AcceptsMasterFrame(b.now, follower, bal) {
+		t.Fatal("follower accepts a frame from a non-master sender")
+	}
+	if b.machines[follower].AcceptsMasterFrame(b.now, old, 0) {
+		t.Fatal("follower accepts a frame below its accepted ballot")
+	}
+
+	// Renewals raise the ballot; a re-stamped frame must still pass.
+	b.step(4 * testTerm)
+	if b.master() != old {
+		t.Fatalf("mastership moved with no faults")
+	}
+	renewed := b.machines[old].MasterBallot(b.now)
+	if !b.machines[follower].AcceptsMasterFrame(b.now, old, renewed) {
+		t.Fatal("follower rejects the renewed ballot")
+	}
+
+	// Fail the master over; the deposed reign's ballot must be dead at
+	// the followers even though it once was the live master's.
+	for i := range b.machines {
+		b.cut[old][i] = true
+		b.cut[i][old] = true
+	}
+	b.machines[old].Restart(b.now)
+	b.step(6 * testTerm)
+	succ := b.master()
+	if succ < 0 || succ == old {
+		t.Fatalf("no failover: master is %d (old %d)", succ, old)
+	}
+	other := 3 - succ - old
+	if b.machines[other].AcceptsMasterFrame(b.now, old, renewed) {
+		t.Fatal("follower still accepts the deposed master's ballot")
+	}
+	if !b.machines[other].AcceptsMasterFrame(b.now, succ, b.machines[succ].MasterBallot(b.now)) {
+		t.Fatal("follower rejects the successor's ballot")
+	}
+}

@@ -35,12 +35,18 @@ type NodeConfig struct {
 	DialTimeout time.Duration
 	Obs         *obs.Observer
 
-	// OnRole is invoked (from a dedicated goroutine, in order) on
-	// every role transition with the new role and the master index
-	// this replica believes in (-1 unknown).
+	// OnRole is invoked (from a dedicated goroutine) on role
+	// transitions with the new role and the master index this replica
+	// believes in (-1 unknown). Transitions are never dropped: while a
+	// callback runs, later transitions coalesce to the latest state,
+	// which is delivered next — so an elected or demoted edge always
+	// reaches the callback, possibly merged with newer ones.
 	OnRole func(role Role, master int)
-	// OnReplApply applies one replicated write pushed by the master.
-	OnReplApply func(f FileState) error
+	// OnReplApply applies one replicated write pushed by the master,
+	// reporting whether it was actually applied (false: dropped as
+	// stale, i.e. this replica already holds that sequence or newer).
+	// Only real applies count toward the master's replication quorum.
+	OnReplApply func(f FileState) (applied bool, err error)
 	// OnSyncState dumps this replica's replicated file state and its
 	// max-term floor for a new master's catch-up sync.
 	OnSyncState func() ([]FileState, time.Duration)
@@ -84,10 +90,19 @@ type Node struct {
 
 	peers    []*peer
 	kick     chan struct{}
-	notify   chan roleChange
 	stopped  chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// Role-change mailbox: a 1-slot latest-value cell instead of a
+	// queue, so transitions are coalesced — never dropped — when the
+	// consumer (notifyLoop running OnRole) is slow. A dropped
+	// 'elected' would skip the promotion catch-up sync for a whole
+	// mastership; a dropped 'demoted' would leave client sessions
+	// attached to a deposed master.
+	notifyMu  sync.Mutex
+	pending   *roleChange
+	notifySig chan struct{}
 }
 
 // NewNode creates (but does not start) a node.
@@ -100,7 +115,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg:        cfg,
 		clk:        cfg.Clock,
 		kick:       make(chan struct{}, 1),
-		notify:     make(chan roleChange, 64),
+		notifySig:  make(chan struct{}, 1),
 		stopped:    make(chan struct{}),
 		lastRole:   RoleFollower,
 		lastMaster: -1,
@@ -191,6 +206,15 @@ func (n *Node) MasterExpiry() time.Time {
 	return n.m.MasterUntil()
 }
 
+// MasterBallot reports the election ballot the current master lease
+// was won with (zero when this replica is not master) — the fencing
+// token stamped into replication frames.
+func (n *Node) MasterBallot() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.m.MasterBallot(n.clk.Now())
+}
+
 // ID reports the replica's index.
 func (n *Node) ID() int { return n.cfg.ID }
 
@@ -228,9 +252,22 @@ func (n *Node) roleCheckLocked() {
 		demoted: n.lastRole == RoleMaster && role != RoleMaster,
 	}
 	n.lastRole, n.lastMaster = role, master
+	// Coalesce into the latest-value mailbox: the consumer always sees
+	// the newest role, with elected/demoted edges OR-ed so neither
+	// safety-relevant transition is ever lost. Never blocks the
+	// protocol on a slow consumer.
+	n.notifyMu.Lock()
+	if n.pending == nil {
+		n.pending = &rc
+	} else {
+		n.pending.role, n.pending.master = rc.role, rc.master
+		n.pending.elected = n.pending.elected || rc.elected
+		n.pending.demoted = n.pending.demoted || rc.demoted
+	}
+	n.notifyMu.Unlock()
 	select {
-	case n.notify <- rc:
-	default: // never block the protocol on a slow consumer
+	case n.notifySig <- struct{}{}:
+	default: // a signal is already pending; the consumer will see ours
 	}
 }
 
@@ -273,14 +310,32 @@ func (n *Node) timerLoop() {
 	}
 }
 
-// notifyLoop delivers role transitions in order: obs events first,
-// then the OnRole callback.
+// notifyLoop delivers role transitions: obs events first, then the
+// OnRole callback. Each iteration takes the coalesced latest state from
+// the mailbox, so a long-running callback (a promotion catch-up sync)
+// delays delivery but never loses a transition.
 func (n *Node) notifyLoop() {
 	defer n.wg.Done()
 	for {
 		select {
-		case rc := <-n.notify:
-			if o := n.cfg.Obs; o.Enabled() {
+		case <-n.notifySig:
+		case <-n.stopped:
+			return
+		}
+		n.notifyMu.Lock()
+		rc := n.pending
+		n.pending = nil
+		n.notifyMu.Unlock()
+		if rc == nil {
+			continue
+		}
+		if o := n.cfg.Obs; o.Enabled() {
+			// When both edges coalesced, order them toward the final
+			// role: a replica ending up master was demoted first.
+			if rc.elected && rc.demoted && rc.role == RoleMaster {
+				o.Record(obs.Event{Type: obs.EvDemoted, Shard: n.cfg.ID})
+				o.Record(obs.Event{Type: obs.EvElected, Shard: n.cfg.ID})
+			} else {
 				if rc.elected {
 					o.Record(obs.Event{Type: obs.EvElected, Shard: n.cfg.ID})
 				}
@@ -288,11 +343,9 @@ func (n *Node) notifyLoop() {
 					o.Record(obs.Event{Type: obs.EvDemoted, Shard: n.cfg.ID})
 				}
 			}
-			if n.cfg.OnRole != nil {
-				n.cfg.OnRole(rc.role, rc.master)
-			}
-		case <-n.stopped:
-			return
+		}
+		if n.cfg.OnRole != nil {
+			n.cfg.OnRole(rc.role, rc.master)
 		}
 	}
 }
@@ -326,6 +379,13 @@ func (n *Node) serveConn(c net.Conn) {
 	}()
 	fr := proto.GetReader(c)
 	defer proto.PutReader(fr)
+	// The first RPC frame's self-declared sender identity is bound to
+	// the connection; frames claiming a different identity later kill
+	// it. The mesh carries no cryptographic authentication (DESIGN.md
+	// §9 assumes a trusted network), but binding stops one peer — or
+	// one stray process — from speaking as several replicas on a
+	// single connection.
+	boundFrom := -1
 	for {
 		f, err := fr.Next()
 		if err != nil {
@@ -339,14 +399,16 @@ func (n *Node) serveConn(c net.Conn) {
 			}
 			continue
 		}
-		if err := n.handleRPC(c, f); err != nil {
+		if err := n.handleRPC(c, f, &boundFrom); err != nil {
 			return
 		}
 	}
 }
 
 // handleRPC answers one replication RPC on the inbound connection.
-func (n *Node) handleRPC(c net.Conn, f proto.Frame) error {
+// boundFrom pins the connection to the first sender identity seen; a
+// non-nil return closes the connection.
+func (n *Node) handleRPC(c net.Conn, f proto.Frame, boundFrom *int) error {
 	reply := func(t proto.MsgType, payload []byte) error {
 		return proto.WriteFrame(c, proto.Frame{Type: t, ReqID: f.ReqID, Payload: payload})
 	}
@@ -355,26 +417,67 @@ func (n *Node) handleRPC(c net.Conn, f proto.Frame) error {
 		e.Str(err.Error())
 		return reply(proto.TError, e.Bytes())
 	}
+	// bind validates the frame's claimed sender and pins it to the
+	// connection. A violation is not a protocol reply but a connection
+	// error: the peer (or impostor) is not speaking the mesh contract.
+	bind := func(from int) error {
+		if from < 0 || from >= len(n.cfg.Peers) || from == n.cfg.ID {
+			return fmt.Errorf("replica: frame claims invalid replica id %d", from)
+		}
+		if *boundFrom < 0 {
+			*boundFrom = from
+			return nil
+		}
+		if *boundFrom != from {
+			return fmt.Errorf("replica: connection bound to replica %d, frame claims %d", *boundFrom, from)
+		}
+		return nil
+	}
 	defer f.Recycle()
 	switch f.Type {
 	case proto.TReplApply:
 		d := proto.NewDec(f.Payload)
 		from := int(d.I64())
+		ballot := d.U64()
 		fs := FileState{Seq: d.U64(), Path: d.Str(), Data: d.Blob()}
 		if d.Err != nil {
 			return fail(d.Err)
 		}
-		if !n.fromLiveMaster(from) {
-			return fail(fmt.Errorf("replica: apply from %d, not the live master", from))
+		if err := bind(from); err != nil {
+			fail(err)
+			return err
+		}
+		if !n.masterFrameOK(from, ballot) {
+			return fail(fmt.Errorf("replica: apply from %d ballot %d, not the live master lease", from, ballot))
 		}
 		if n.cfg.OnReplApply == nil {
 			return fail(errors.New("replica: no apply hook"))
 		}
-		if err := n.cfg.OnReplApply(fs); err != nil {
+		applied, err := n.cfg.OnReplApply(fs)
+		if err != nil {
 			return fail(err)
 		}
-		return reply(proto.TOK, nil)
+		// The reply distinguishes a real apply from a stale-sequence
+		// drop, so the master counts only replicas that actually hold
+		// the write toward its quorum.
+		var e proto.Enc
+		if applied {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		return reply(proto.TOK, e.Bytes())
 	case proto.TReplSync:
+		d := proto.NewDec(f.Payload)
+		from := int(d.I64())
+		d.U64() // ballot: sync is read-only and also serves diskless rejoin, so it is not master-fenced
+		if d.Err != nil {
+			return fail(d.Err)
+		}
+		if err := bind(from); err != nil {
+			fail(err)
+			return err
+		}
 		var files []FileState
 		var maxTerm time.Duration
 		if n.cfg.OnSyncState != nil {
@@ -384,12 +487,17 @@ func (n *Node) handleRPC(c net.Conn, f proto.Frame) error {
 	case proto.TReplMaxTerm:
 		d := proto.NewDec(f.Payload)
 		from := int(d.I64())
+		ballot := d.U64()
 		term := d.Dur()
 		if d.Err != nil {
 			return fail(d.Err)
 		}
-		if !n.fromLiveMaster(from) {
-			return fail(fmt.Errorf("replica: max-term from %d, not the live master", from))
+		if err := bind(from); err != nil {
+			fail(err)
+			return err
+		}
+		if !n.masterFrameOK(from, ballot) {
+			return fail(fmt.Errorf("replica: max-term from %d ballot %d, not the live master lease", from, ballot))
 		}
 		if n.cfg.OnMaxTerm != nil {
 			if err := n.cfg.OnMaxTerm(term); err != nil {
@@ -402,22 +510,25 @@ func (n *Node) handleRPC(c net.Conn, f proto.Frame) error {
 	}
 }
 
-// fromLiveMaster reports whether replica `from` holds the master lease
-// in this node's current belief. Replication RPCs are fenced by it: a
-// partitioned master's frames, delivered late after its lease lapsed
-// and a successor was elected, must not poison peer state with
-// sequence numbers the successor is also assigning.
-func (n *Node) fromLiveMaster(from int) bool {
+// masterFrameOK fences replication RPCs by the acceptor's own election
+// state: the sender must be the replica this node believes holds a live
+// master lease AND the frame's ballot must be no older than anything
+// this node has promised or accepted. Belief alone (the pre-fix check)
+// let a deposed master's late-flushed frames — or any process writing
+// the right 'from' byte — mutate per-path sequence state; the ballot
+// ties a frame to one specific lease incarnation.
+func (n *Node) masterFrameOK(from int, ballot uint64) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	owner, live := n.m.Master(n.clk.Now())
-	return live && owner == from
+	return n.m.AcceptsMasterFrame(n.clk.Now(), from, ballot)
 }
 
 // broadcastRPC issues one RPC to every peer concurrently and returns
-// the number that acked, waiting only until enough have (or all have
-// answered).
-func (n *Node) broadcastRPC(t proto.MsgType, payload []byte, need int, each func(proto.Frame)) int {
+// the number of COUNTED acknowledgements, waiting only until enough
+// have (or all have answered). each consumes (and must recycle) every
+// successful non-error reply and reports whether it counts toward the
+// quorum; nil counts every TOK-class reply.
+func (n *Node) broadcastRPC(t proto.MsgType, payload []byte, need int, each func(proto.Frame) bool) int {
 	var others []*peer
 	for _, p := range n.peers {
 		if p != nil {
@@ -449,11 +560,14 @@ func (n *Node) broadcastRPC(t proto.MsgType, payload []byte, need int, each func
 			r.f.Recycle()
 			continue
 		}
-		acks++
+		counted := true
 		if each != nil {
-			each(r.f)
+			counted = each(r.f)
 		} else {
 			r.f.Recycle()
+		}
+		if counted {
+			acks++
 		}
 		if acks >= need {
 			// Late responses are drained (and recycled) by the
@@ -464,40 +578,71 @@ func (n *Node) broadcastRPC(t proto.MsgType, payload []byte, need int, each func
 	return acks
 }
 
+// appliedReply reports whether a TReplApply TOK reply marks a real
+// apply (as opposed to a stale-sequence drop), recycling the frame.
+func appliedReply(f proto.Frame) bool {
+	d := proto.NewDec(f.Payload)
+	applied := d.U8() == 1 && d.Err == nil
+	f.Recycle()
+	return applied
+}
+
 // ReplicateWrite pushes one committed write to the peer set and
-// returns nil once a quorum (counting this replica) holds it. The
-// master calls this BEFORE applying locally and acking the client, so
-// no reader ever observes a value a failover could lose.
+// returns nil once a quorum (counting this replica) has actually
+// applied it — stale-sequence drops and fencing rejections do not
+// count, so a successful return really means the bytes are durable on
+// a quorum. The master calls this BEFORE applying locally and acking
+// the client, so no reader ever observes a value a failover could
+// lose. Frames are stamped with the master lease's election ballot;
+// one retry re-stamps the current ballot to cover a frame racing a
+// lease renewal at a peer.
 func (n *Node) ReplicateWrite(fs FileState) error {
 	need := n.quorum() - 1 // counting ourselves
 	if need <= 0 {
 		return nil
 	}
-	var e proto.Enc
-	e.I64(int64(n.cfg.ID)).U64(fs.Seq).Str(fs.Path).Blob(fs.Data)
-	acks := n.broadcastRPC(proto.TReplApply, e.Bytes(), need, nil)
-	if acks < need {
-		return fmt.Errorf("replica: write %s#%d replicated to %d/%d peers", fs.Path, fs.Seq, acks, need)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		ballot := n.MasterBallot()
+		if ballot == 0 {
+			return errors.New("replica: not master")
+		}
+		var e proto.Enc
+		e.I64(int64(n.cfg.ID)).U64(ballot).U64(fs.Seq).Str(fs.Path).Blob(fs.Data)
+		acks := n.broadcastRPC(proto.TReplApply, e.Bytes(), need, appliedReply)
+		if acks >= need {
+			return nil
+		}
+		lastErr = fmt.Errorf("replica: write %s#%d applied at %d/%d peers", fs.Path, fs.Seq, acks, need)
 	}
-	return nil
+	return lastErr
 }
 
 // ReplicateMaxTerm pushes a durable max-term raise to a quorum before
 // the grant that caused it is released to the client, preserving the
 // §2 ordering across failover: any future master's recovery window
-// covers every lease any past master granted.
+// covers every lease any past master granted. Ballot-stamped and
+// retried once, like ReplicateWrite.
 func (n *Node) ReplicateMaxTerm(d time.Duration) error {
 	need := n.quorum() - 1
 	if need <= 0 {
 		return nil
 	}
-	var e proto.Enc
-	e.I64(int64(n.cfg.ID)).Dur(d)
-	acks := n.broadcastRPC(proto.TReplMaxTerm, e.Bytes(), need, nil)
-	if acks < need {
-		return fmt.Errorf("replica: max-term %v replicated to %d/%d peers", d, acks, need)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		ballot := n.MasterBallot()
+		if ballot == 0 {
+			return errors.New("replica: not master")
+		}
+		var e proto.Enc
+		e.I64(int64(n.cfg.ID)).U64(ballot).Dur(d)
+		acks := n.broadcastRPC(proto.TReplMaxTerm, e.Bytes(), need, nil)
+		if acks >= need {
+			return nil
+		}
+		lastErr = fmt.Errorf("replica: max-term %v replicated to %d/%d peers", d, acks, need)
 	}
-	return nil
+	return lastErr
 }
 
 // SyncFromPeers collects the replicated file state and max-term floor
@@ -516,15 +661,21 @@ func (n *Node) SyncFromPeers() ([]FileState, time.Duration, error) {
 	merged := map[string]FileState{}
 	var maxTerm time.Duration
 	var mu sync.Mutex
-	acks := n.broadcastRPC(proto.TReplSync, nil, need, func(f proto.Frame) {
+	// The request carries (from, ballot) like every replication frame;
+	// peers bind from to the connection but do not master-fence syncs,
+	// which also serve a restarted follower's diskless rejoin (ballot
+	// zero).
+	var e proto.Enc
+	e.I64(int64(n.cfg.ID)).U64(n.MasterBallot())
+	acks := n.broadcastRPC(proto.TReplSync, e.Bytes(), need, func(f proto.Frame) bool {
 		if f.Type != proto.TReplSyncRep {
 			f.Recycle()
-			return
+			return false
 		}
 		files, floor, err := decodeSyncRep(f.Payload)
 		f.Recycle()
 		if err != nil {
-			return
+			return false
 		}
 		mu.Lock()
 		for _, fs := range files {
@@ -536,6 +687,7 @@ func (n *Node) SyncFromPeers() ([]FileState, time.Duration, error) {
 			maxTerm = floor
 		}
 		mu.Unlock()
+		return true
 	})
 	if acks < need {
 		return nil, 0, fmt.Errorf("replica: sync reached %d/%d peers", acks, need)
@@ -545,6 +697,33 @@ func (n *Node) SyncFromPeers() ([]FileState, time.Duration, error) {
 		out = append(out, fs)
 	}
 	return out, maxTerm, nil
+}
+
+// SyncForPromotion runs the catch-up sync for a freshly elected
+// master, retrying while the election lease still stands: a transient
+// quorum shortfall (a peer mid-restart, a partition healing) must not
+// let a master serve without the merged state — the §2 recovery window
+// and the per-path sequence floor both come from this merge. It
+// returns an error only when the node stops or the mastership lapses,
+// in which case the caller must NOT promote: serving stays gated and
+// the next election retries the whole sequence.
+func (n *Node) SyncForPromotion() ([]FileState, time.Duration, error) {
+	for {
+		files, floor, err := n.SyncFromPeers()
+		if err == nil {
+			return files, floor, nil
+		}
+		if !n.IsMaster() {
+			return nil, 0, fmt.Errorf("replica: mastership lapsed during catch-up sync: %w", err)
+		}
+		wait, cancel := n.clk.After(100 * time.Millisecond)
+		select {
+		case <-wait:
+		case <-n.stopped:
+			cancel()
+			return nil, 0, errors.New("replica: node stopped during catch-up sync")
+		}
+	}
 }
 
 // peer is one outgoing peer-mesh connection: a send queue for

@@ -176,11 +176,11 @@ func TestReplicationRPCs(t *testing.T) {
 		i := i
 		nd, err := NewNode(NodeConfig{
 			ID: i, Peers: addrs, Term: nodeTerm, Allowance: nodeTerm / 10, Seed: int64(i),
-			OnReplApply: func(f FileState) error {
+			OnReplApply: func(f FileState) (bool, error) {
 				mu.Lock()
 				applied[i] = append(applied[i], f)
 				mu.Unlock()
-				return nil
+				return true, nil
 			},
 			OnSyncState: func() ([]FileState, time.Duration) {
 				mu.Lock()
@@ -266,5 +266,56 @@ func TestReplicationRPCs(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no successor's own+synced state contains the replicated write")
+	}
+}
+
+// TestReplicateWriteHonestAcks: a peer that drops a frame as stale
+// answers applied=false, and such answers do not count toward the
+// replication quorum — re-replicating an already-replicated sequence
+// must fail rather than pretend the bytes landed.
+func TestReplicateWriteHonestAcks(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	var mu sync.Mutex
+	seqs := map[int]map[string]uint64{}
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		i := i
+		seqs[i] = map[string]uint64{}
+		nd, err := NewNode(NodeConfig{
+			ID: i, Peers: addrs, Term: nodeTerm, Allowance: nodeTerm / 10, Seed: int64(i),
+			OnReplApply: func(f FileState) (bool, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				if f.Seq <= seqs[i][f.Path] {
+					return false, nil
+				}
+				seqs[i][f.Path] = f.Seq
+				return true, nil
+			},
+			OnSyncState: func() ([]FileState, time.Duration) { return nil, 0 },
+			OnMaxTerm:   func(time.Duration) error { return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+		t.Cleanup(nd.Stop)
+	}
+	id := waitMaster(nodes, nil, 10*time.Second)
+	if id < 0 {
+		t.Fatal("no master")
+	}
+	master := nodes[id]
+	if err := master.ReplicateWrite(FileState{Path: "/f0", Seq: 1, Data: []byte("v1")}); err != nil {
+		t.Fatalf("first ReplicateWrite: %v", err)
+	}
+	if err := master.ReplicateWrite(FileState{Path: "/f0", Seq: 1, Data: []byte("v1")}); err == nil {
+		t.Fatal("re-replicating an already-held sequence reached quorum on stale drops")
+	}
+	if err := master.ReplicateWrite(FileState{Path: "/f0", Seq: 2, Data: []byte("v2")}); err != nil {
+		t.Fatalf("ReplicateWrite seq 2: %v", err)
 	}
 }

@@ -99,11 +99,14 @@ func (s *Server) serveConn(nc net.Conn) {
 		c.fail(f.ReqID, fmt.Errorf("bad hello"))
 		return
 	}
-	// A replica that does not hold the master lease refuses the session
-	// outright, carrying its master belief as a redirect hint; the conn
-	// then closes (the deferred coalescer Close drains the reply) and
-	// the client's failover logic redials toward the hinted replica.
-	if r := s.cfg.Replica; r != nil && !r.IsMaster() {
+	// A replica that does not hold the master lease — or holds it but
+	// has not finished promoting (catch-up sync + recovery window; see
+	// Server.serving) — refuses the session outright, carrying its
+	// master belief as a redirect hint; the conn then closes (the
+	// deferred coalescer Close drains the reply) and the client's
+	// failover logic redials toward the hinted replica, retrying here
+	// once promotion completes.
+	if r := s.cfg.Replica; r != nil && (!r.IsMaster() || !s.serving()) {
 		hint := int64(r.MasterIndex())
 		c.replyEnc(f.ReqID, proto.TNotMaster, func(e *proto.Enc) { e.I64(hint) })
 		f.Recycle()

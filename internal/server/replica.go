@@ -76,7 +76,7 @@ func (s *Server) replicateFile(node vfs.NodeID, data []byte) error {
 	if r == nil {
 		return nil
 	}
-	if !r.IsMaster() {
+	if !r.IsMaster() || !s.serving() {
 		return errNotMaster
 	}
 	path, err := s.store.Path(node)
@@ -120,19 +120,22 @@ func (s *Server) replicateTermRaise(term time.Duration) error {
 }
 
 // ApplyReplicated installs one replicated write pushed by the master
-// (or merged during promotion). Stale sequence numbers — retries,
-// reordered pushes, sync entries older than what this replica already
-// holds — are dropped. An unknown path is created first: the namespace
-// itself is master-only (DESIGN.md §9), so a file body can arrive for
-// a path the follower has never seen. The created file is world-
-// writable because the real owner/permission record lives at the
-// master; after a promotion the §2 recovery window — not permissions —
-// is what protects these bytes.
-func (s *Server) ApplyReplicated(path string, seq uint64, data []byte) error {
+// (or merged during promotion), reporting whether it was actually
+// applied. Stale sequence numbers — retries, reordered pushes, sync
+// entries older than what this replica already holds — are dropped
+// with applied=false; the distinction matters because the master must
+// not count a stale drop toward its replication quorum (a drop means
+// this replica does NOT hold those bytes). An unknown path is created
+// first: the namespace itself is master-only (DESIGN.md §9), so a file
+// body can arrive for a path the follower has never seen. The created
+// file is world-writable because the real owner/permission record
+// lives at the master; after a promotion the §2 recovery window — not
+// permissions — is what protects these bytes.
+func (s *Server) ApplyReplicated(path string, seq uint64, data []byte) (applied bool, err error) {
 	s.replMu.Lock()
 	if seq <= s.replSeq[path] {
 		s.replMu.Unlock()
-		return nil
+		return false, nil
 	}
 	s.replSeq[path] = seq
 	s.replMu.Unlock()
@@ -140,11 +143,14 @@ func (s *Server) ApplyReplicated(path string, seq uint64, data []byte) error {
 	if err != nil {
 		attr, err = s.store.Create(path, s.cfg.Owner, vfs.DefaultPerm|vfs.WorldWrite)
 		if err != nil {
-			return err
+			return false, err
 		}
 	}
 	_, _, err = s.store.WriteFile(attr.ID, data)
-	return err
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // ReplState dumps every file's replicated state, answering a new
@@ -203,6 +209,10 @@ func (s *Server) PersistMaxTerm(d time.Duration) error {
 // every outstanding lease has provably expired before this replica
 // clears its first write. A cluster that never granted a lease has
 // all-zero floors and serves immediately.
+// Serving opens only here: serveOK flips true in the same critical
+// section that arms the window, so no session or write can slip in
+// between the election win and the merged state (hellos and clearance
+// both check serving()).
 func (s *Server) Promote(files []ReplFile, termFloor time.Duration) {
 	for _, f := range files {
 		s.ApplyReplicated(f.Path, f.Seq, f.Data)
@@ -216,6 +226,7 @@ func (s *Server) Promote(files []ReplFile, termFloor time.Duration) {
 		window = s.replTerm
 	}
 	s.recoverUntil = s.clk.Now().Add(window)
+	s.serveOK = true
 	s.replMu.Unlock()
 }
 
@@ -232,17 +243,38 @@ func (s *Server) ReplTermFloor() time.Duration {
 	return floor
 }
 
-// Demote severs every client connection so their sessions redial and
-// discover the new master; the hello path then refuses them here. The
-// listener stays up (this replica may be promoted again) and lease
-// records are left to expire on their own — the successor's recovery
-// window already covers them.
+// Demote closes the serving gate and severs every client connection so
+// their sessions redial and discover the new master; the hello path
+// then refuses them here. The listener stays up (this replica may be
+// promoted again — through a fresh Promote, which reopens the gate)
+// and lease records are left to expire on their own — the successor's
+// recovery window already covers them. The gate closes BEFORE the
+// sever so no hello admitted concurrently can land after its conn was
+// missed by the sweep.
 func (s *Server) Demote() {
+	s.replMu.Lock()
+	s.serveOK = false
+	s.replMu.Unlock()
 	s.connMu.Lock()
 	for nc := range s.raw {
 		nc.Close()
 	}
 	s.connMu.Unlock()
+}
+
+// serving reports whether this replica may accept sessions and clear
+// writes: always on a standalone server; on a replicated one only
+// between a completed Promote (catch-up state merged, §2 recovery
+// window armed) and the next Demote. IsMaster alone is NOT sufficient
+// — it turns true at the election win, before the promotion sync has
+// merged quorum state.
+func (s *Server) serving() bool {
+	if s.cfg.Replica == nil {
+		return true
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.serveOK
 }
 
 // ReplicaInfo reports the replication role for the admin plane; ok is
@@ -257,7 +289,8 @@ func (s *Server) ReplicaInfo() (role string, master int, expiry time.Time, ok bo
 
 // awaitRecoverWindow holds a write while a freshly promoted master is
 // inside its §2 recovery window, and rejects it outright on a replica
-// that is not master (a demotion can race a request already past the
+// that is not master or not yet promoted (a demotion — or a request
+// racing the asynchronous promotion sync — can reach here past the
 // hello gate). Standalone servers pass straight through — their boot
 // recovery window lives in the lease manager, unchanged.
 func (s *Server) awaitRecoverWindow() error {
@@ -266,7 +299,7 @@ func (s *Server) awaitRecoverWindow() error {
 		return nil
 	}
 	for {
-		if !r.IsMaster() {
+		if !r.IsMaster() || !s.serving() {
 			return errNotMaster
 		}
 		s.replMu.Lock()

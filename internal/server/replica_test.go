@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/server"
+)
+
+// gateReplica is a stub Replica that always claims mastership, so the
+// tests below isolate the serving gate: with a Replica configured, a
+// server must refuse sessions until Promote completes, no matter what
+// IsMaster says.
+type gateReplica struct{}
+
+func (gateReplica) IsMaster() bool                              { return true }
+func (gateReplica) MasterIndex() int                            { return 0 }
+func (gateReplica) MasterExpiry() time.Time                     { return time.Time{} }
+func (gateReplica) Role() string                                { return "master" }
+func (gateReplica) ReplicateWrite(string, uint64, []byte) error { return nil }
+func (gateReplica) ReplicateMaxTerm(time.Duration) error        { return nil }
+
+// TestServingGateOpensAtPromote: a replicated server refuses hellos
+// between the election win (IsMaster true) and the completed promotion
+// (catch-up state merged, recovery window armed) — and again after a
+// demotion — so no session can observe the unmerged gap state.
+func TestServingGateOpensAtPromote(t *testing.T) {
+	srv, addr := startServer(t, server.Config{
+		Term:    time.Minute,
+		Replica: gateReplica{},
+	})
+
+	cfg := client.Config{ID: "gate"}
+	if c, err := client.Dial(addr, cfg); err == nil {
+		c.Close()
+		t.Fatal("server accepted a session before Promote")
+	}
+
+	srv.Promote(nil, 0)
+	c, err := client.Dial(addr, cfg)
+	if err != nil {
+		t.Fatalf("dial after Promote: %v", err)
+	}
+	c.Close()
+
+	srv.Demote()
+	if c, err := client.Dial(addr, cfg); err == nil {
+		c.Close()
+		t.Fatal("server accepted a session after Demote")
+	}
+}
+
+// TestApplyReplicatedReportsStaleDrop: ApplyReplicated distinguishes a
+// real apply from a stale-sequence drop, because only real applies may
+// count toward the master's replication quorum.
+func TestApplyReplicatedReportsStaleDrop(t *testing.T) {
+	srv := server.New(server.Config{Term: time.Minute, Replica: gateReplica{}})
+
+	applied, err := srv.ApplyReplicated("/f", 2, []byte("v2"))
+	if err != nil || !applied {
+		t.Fatalf("fresh apply: applied=%v err=%v", applied, err)
+	}
+	applied, err = srv.ApplyReplicated("/f", 2, []byte("v2"))
+	if err != nil || applied {
+		t.Fatalf("duplicate seq reported applied=%v err=%v", applied, err)
+	}
+	applied, err = srv.ApplyReplicated("/f", 1, []byte("v1"))
+	if err != nil || applied {
+		t.Fatalf("older seq reported applied=%v err=%v", applied, err)
+	}
+	applied, err = srv.ApplyReplicated("/f", 3, []byte("v3"))
+	if err != nil || !applied {
+		t.Fatalf("newer seq: applied=%v err=%v", applied, err)
+	}
+}

@@ -116,11 +116,18 @@ type Server struct {
 	// Replication state (quiescent on a standalone server). replSeq
 	// orders each path's replicated writes; replTerm is the largest
 	// term known replicated to a quorum; recoverUntil gates writes on
-	// a freshly promoted master (§2 window after failover).
+	// a freshly promoted master (§2 window after failover). serveOK
+	// gates serving on promotion COMPLETION: it opens only at the end
+	// of Promote — after the catch-up sync merged quorum state and the
+	// recovery window was armed — and closes on Demote, so the gap
+	// between the election win (IsMaster turning true) and the
+	// asynchronous promotion sync can never accept a session or clear
+	// a write against unmerged sequence state.
 	replMu       sync.Mutex
 	replSeq      map[string]uint64
 	replTerm     time.Duration
 	recoverUntil time.Time
+	serveOK      bool
 }
 
 // New creates a server with an empty store.
