@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"leases/internal/obs/tracing"
 	"leases/internal/replay"
 	"leases/internal/trace"
 )
@@ -37,6 +38,7 @@ func main() {
 	skipPrepare := flag.Bool("skip-prepare", false, "assume /f<N> files already exist")
 	depth := flag.Int("depth", 1, "per-client pipeline depth (ops in flight; 1 = blocking)")
 	open := flag.Bool("open", false, "open-loop: issue as fast as the pipeline window allows, ignoring trace timing")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability for client-rooted traces (0 disables); sampled contexts ride the wire, so the server's /traces correlates")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -91,9 +93,15 @@ func main() {
 	}
 	fmt.Printf("replaying %d events (%d clients, %d files, depth %d) %s against %s...\n",
 		len(tr.Events), tr.Clients, tr.Files, maxInt(*depth, 1), pacing, *addr)
+	var tcr *tracing.Tracer
+	if *traceSample > 0 {
+		tcr = tracing.New(tracing.Config{
+			Node: "load", SampleRate: *traceSample, Seed: *seed, SlowN: 8,
+		})
+	}
 	res, err := replay.Run(replay.Config{
 		Addr: *addr, Trace: tr, Speedup: *speedup, MaxOps: *maxOps,
-		Depth: *depth, OpenLoop: *open,
+		Depth: *depth, OpenLoop: *open, Tracer: tcr,
 	})
 	if err != nil {
 		log.Fatalf("leaseload: %v", err)
@@ -112,6 +120,15 @@ func main() {
 	printClass("cached read", res.CachedRead)
 	printClass("uncached read", res.UncachedRead)
 	printClass("write", res.WriteLatency)
+	if tcr != nil {
+		started, finished, _, _ := tcr.Stats()
+		fmt.Printf("  traces: %d sampled, %d completed; slowest:\n", started, finished)
+		for _, trc := range tcr.Slowest(8) {
+			id, _ := trc.ID.MarshalJSON()
+			fmt.Printf("    %-14s %8v  trace=%s  (%d spans; fetch the server half at /traces?n=0)\n",
+				trc.Op, trc.Duration.Truncate(time.Microsecond), id, len(trc.Spans))
+		}
+	}
 	if res.Errors > 0 {
 		os.Exit(1)
 	}

@@ -35,6 +35,7 @@ package main
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"io/fs"
 	"log"
 	"net/http"
@@ -47,6 +48,7 @@ import (
 
 	"leases/internal/core"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/replica"
 	"leases/internal/server"
 	"leases/internal/vfs"
@@ -70,6 +72,7 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated peer-mesh addresses in replica-ID order — identical on every replica (and, index-wise, every client's replica list)")
 	electionTerm := flag.Duration("election-term", 0, "master-lease term for the PaxosLease election (0 = the lease term)")
 	allowance := flag.Duration("allowance", 0, "clock-uncertainty margin ε for the master lease (0 = term/10)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling probability for locally rooted traces (elections/failovers); client-sampled requests are always recorded; negative disables the tracing subsystem entirely")
 	flag.Parse()
 
 	ocfg := obs.Config{RingSize: *traceRing, SlowWrite: *slowWrite}
@@ -82,6 +85,20 @@ func main() {
 		ocfg.Sink = f
 	}
 	o := obs.New(ocfg)
+
+	// The tracer assembles causal spans: requests sampled at a client
+	// propagate their context on the wire and always record here;
+	// SampleRate only gates what this process roots itself (election
+	// traces). Negative -trace-sample leaves tr nil — the zero-cost
+	// disabled state.
+	var tr *tracing.Tracer
+	if *traceSample >= 0 {
+		node := "server"
+		if *replicaID >= 0 {
+			node = fmt.Sprintf("s%d", *replicaID)
+		}
+		tr = tracing.New(tracing.Config{Node: node, SampleRate: *traceSample, Seed: int64(*replicaID) + 1})
+	}
 
 	// Replicated mode: a PaxosLease node negotiates the master lease on
 	// the peer mesh; the server only accepts sessions (and clears
@@ -109,7 +126,7 @@ func main() {
 		var err error
 		nd, err = replica.NewNode(replica.NodeConfig{
 			ID: *replicaID, Peers: peers, Term: et, Allowance: al,
-			Seed: int64(*replicaID) + 1, Obs: o,
+			Seed: int64(*replicaID) + 1, Obs: o, Tracer: tr,
 			OnReplApply: func(f replica.FileState) (bool, error) {
 				return srv.ApplyReplicated(f.Path, f.Seq, f.Data)
 			},
@@ -131,7 +148,13 @@ func main() {
 				// (a demote edge coalesced into this elected one) before
 				// the catch-up sync; serving stays gated until Promote.
 				srv.Demote()
-				files, floor, serr := nd.SyncForPromotion()
+				// The election trace (rooted in the replica node when it
+				// became candidate) covers the whole failover: the
+				// catch-up sync, promotion, and §2 recovery window record
+				// as child spans under it.
+				tc := nd.ElectionContext()
+				syncSp := tr.StartChild(tc, "failover.sync")
+				files, floor, serr := nd.SyncForPromotion(tc)
 				if serr != nil {
 					// The mastership lapsed (or the node stopped) before a
 					// quorum answered the catch-up sync. Do NOT promote on
@@ -139,14 +162,18 @@ func main() {
 					// received would be served stale and its unmerged
 					// sequence map would poison the whole mastership. The
 					// serving gate stays closed; the next election retries.
+					syncSp.EndNote("abandoned")
+					nd.EndElection("abandoned")
 					log.Printf("leasesrv: promotion abandoned: %v", serr)
 					return
 				}
+				syncSp.End()
 				out := make([]server.ReplFile, len(files))
 				for i, f := range files {
 					out[i] = server.ReplFile{Path: f.Path, Seq: f.Seq, Data: f.Data}
 				}
-				srv.Promote(out, floor)
+				srv.Promote(tc, out, floor)
+				nd.EndElection("promoted")
 				log.Printf("leasesrv: replica %d elected master (recovery floor %v)", *replicaID, floor)
 			},
 		})
@@ -160,6 +187,7 @@ func main() {
 		WriteTimeout:   *writeTimeout,
 		MaxTermPath:    *maxTermFile,
 		Obs:            o,
+		Tracer:         tr,
 	}
 	if nd != nil {
 		scfg.Replica = nodeReplica{nd}
@@ -237,8 +265,8 @@ func (r nodeReplica) IsMaster() bool          { return r.n.IsMaster() }
 func (r nodeReplica) MasterIndex() int        { return r.n.MasterIndex() }
 func (r nodeReplica) Role() string            { return string(r.n.Role()) }
 func (r nodeReplica) MasterExpiry() time.Time { return r.n.MasterExpiry() }
-func (r nodeReplica) ReplicateWrite(path string, seq uint64, data []byte) error {
-	return r.n.ReplicateWrite(replica.FileState{Path: path, Seq: seq, Data: data})
+func (r nodeReplica) ReplicateWrite(tc tracing.Context, path string, seq uint64, data []byte) error {
+	return r.n.ReplicateWrite(tc, replica.FileState{Path: path, Seq: seq, Data: data})
 }
 func (r nodeReplica) ReplicateMaxTerm(d time.Duration) error { return r.n.ReplicateMaxTerm(d) }
 

@@ -52,6 +52,7 @@ import (
 	"leases/internal/client"
 	"leases/internal/faultnet"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/server"
 	"leases/internal/vfs"
 )
@@ -115,7 +116,11 @@ type Report struct {
 	// fault-tolerance path actually firing.
 	Expiries    int64
 	FaultEvents int64
-	Violations  []Violation
+	// ElectionTraces counts completed election traces containing the
+	// full failover sequence (prepare, catch-up sync, promote) — the
+	// replicated scenarios' tracing assertion.
+	ElectionTraces int
+	Violations     []Violation
 }
 
 // Violation is one checker finding, tagged with the lens (the named
@@ -161,6 +166,9 @@ func (r *Report) String() string {
 		r.ApplyBound.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  reconnects %d  expiry releases %d  fault events %d\n",
 		r.Reconnects, r.Expiries, r.FaultEvents)
+	if r.ElectionTraces > 0 {
+		fmt.Fprintf(&b, "  complete election traces %d\n", r.ElectionTraces)
+	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
 	}
@@ -251,6 +259,18 @@ func Run(opts Options) (*Report, error) {
 		maxTermPath: filepath.Join(dir, "maxterm"),
 		ck:          newChecker(workFiles),
 		stop:        make(chan struct{}),
+		// Chaos runs fully sampled: every client operation and every
+		// election records its span tree, so a run's report can assert
+		// trace completeness, not just event counts. One tracer spans the
+		// whole deployment (clients, servers, replica nodes live in this
+		// process), so cross-node parents resolve locally.
+		// The completed ring must outlast the whole workload: election
+		// traces finish in the first seconds and the report scans for
+		// them at the end, so a ring smaller than the op count would
+		// evict them behind tens of thousands of client-op traces.
+		tracer: tracing.New(tracing.Config{
+			Node: "chaos", SampleRate: 1, Seed: opts.Seed, Completed: 1 << 17,
+		}),
 	}
 	dial := func(id string, n int64) (*client.Cache, error) {
 		return client.Dial(h.proxy.Addr(), h.clientCfg(id, n))
@@ -324,6 +344,7 @@ type harness struct {
 	o           Options
 	spec        scenarioSpec
 	obs         *obs.Observer
+	tracer      *tracing.Tracer
 	maxTermPath string
 	ck          *checker
 	proxy       *faultnet.Proxy
@@ -361,6 +382,7 @@ func (h *harness) startServer(addr string) error {
 		WriteTimeout: h.o.WriteTimeout,
 		MaxTermPath:  h.maxTermPath,
 		Obs:          h.obs,
+		Tracer:       h.tracer,
 	})
 	if err := seedFiles(srv.Store(), h.ck.seedContents()); err != nil {
 		return err
@@ -405,6 +427,7 @@ func (h *harness) clientCfg(id string, n int64) client.Config {
 	return client.Config{
 		ID:                  id,
 		Obs:                 h.obs,
+		Tracer:              h.tracer,
 		DialTimeout:         2 * time.Second,
 		AutoExtend:          h.o.Term / 3,
 		Reconnect:           true,
@@ -558,6 +581,37 @@ func (h *harness) report() *Report {
 	}
 	if rep.Reads == 0 {
 		rep.Violations = append(rep.Violations, Violation{"liveness", "no read ever completed"})
+	}
+	// Election-trace lens, replicated scenarios only: every mastership
+	// this run established — the initial election included — must have
+	// recorded a complete failover trace: the candidate round, the
+	// catch-up sync, and the promotion, all under one TraceID. A missing
+	// span means a failover path ran untraced, which is exactly the
+	// regression this lens exists to catch.
+	if h.spec.replicated {
+		for _, tr := range h.tracer.Recent(0) {
+			if tr.Op != "election" {
+				continue
+			}
+			var prep, sync, prom bool
+			for _, sp := range tr.Spans {
+				switch sp.Name {
+				case "elect.prepare":
+					prep = true
+				case "failover.sync":
+					sync = true
+				case "failover.promote":
+					prom = true
+				}
+			}
+			if prep && sync && prom {
+				rep.ElectionTraces++
+			}
+		}
+		if rep.ElectionTraces == 0 {
+			rep.Violations = append(rep.Violations, Violation{"election-trace",
+				"no complete election trace (elect.prepare + failover.sync + failover.promote) was recorded"})
+		}
 	}
 	return rep
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"leases/internal/faultnet"
+	"leases/internal/obs/tracing"
 	"leases/internal/replica"
 	"leases/internal/server"
 )
@@ -52,8 +53,8 @@ func (r replicaAdapter) MasterExpiry() time.Time { return r.n.MasterExpiry() }
 func (r replicaAdapter) ReplicateMaxTerm(d time.Duration) error {
 	return r.n.ReplicateMaxTerm(d)
 }
-func (r replicaAdapter) ReplicateWrite(path string, seq uint64, data []byte) error {
-	return r.n.ReplicateWrite(replica.FileState{Path: path, Seq: seq, Data: data})
+func (r replicaAdapter) ReplicateWrite(tc tracing.Context, path string, seq uint64, data []byte) error {
+	return r.n.ReplicateWrite(tc, replica.FileState{Path: path, Seq: seq, Data: data})
 }
 
 // newReplSet boots the full replicated deployment: addresses reserved,
@@ -141,7 +142,7 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 	var srv *server.Server
 	nd, err := replica.NewNode(replica.NodeConfig{
 		ID: i, Peers: peers, Term: rs.term, Allowance: rs.allow,
-		Seed: h.o.Seed*31 + int64(i) + 1, Obs: h.obs,
+		Seed: h.o.Seed*31 + int64(i) + 1, Obs: h.obs, Tracer: h.tracer,
 		OnReplApply: func(f replica.FileState) (bool, error) {
 			return srv.ApplyReplicated(f.Path, f.Seq, f.Data)
 		},
@@ -162,19 +163,25 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 			// Sever sessions from any earlier mastership era before the
 			// catch-up sync; serving stays gated until Promote reopens it.
 			srv.Demote()
-			files, floor, serr := nd.SyncForPromotion()
+			tc := nd.ElectionContext()
+			syncSp := h.tracer.StartChild(tc, "failover.sync")
+			files, floor, serr := nd.SyncForPromotion(tc)
 			if serr != nil {
 				// Mastership lapsed (or node stopped) before a quorum
 				// answered. Stay gated rather than promote on local
 				// evidence — the next election retries.
+				syncSp.EndNote("abandoned")
+				nd.EndElection("abandoned")
 				h.logf("chaos: replica %d promotion abandoned: %v", i, serr)
 				return
 			}
+			syncSp.End()
 			out := make([]server.ReplFile, len(files))
 			for k, f := range files {
 				out[k] = server.ReplFile{Path: f.Path, Seq: f.Seq, Data: f.Data}
 			}
-			srv.Promote(out, floor)
+			srv.Promote(tc, out, floor)
+			nd.EndElection("promoted")
 			h.logf("chaos: replica %d promoted (floor %v)", i, floor)
 		},
 	})
@@ -186,6 +193,7 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 		WriteTimeout: h.o.WriteTimeout,
 		MaxTermPath:  filepath.Join(dir, fmt.Sprintf("maxterm-%d", i)),
 		Obs:          h.obs,
+		Tracer:       h.tracer,
 		Replica:      replicaAdapter{nd},
 	})
 	if err := seedFiles(srv.Store(), h.ck.seedContents()); err != nil {
@@ -211,7 +219,7 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 	if restart {
 		// Diskless catch-up: recover the replicated state and floor this
 		// incarnation lost in the crash before it participates again.
-		if files, floor, serr := nd.SyncFromPeers(); serr == nil {
+		if files, floor, serr := nd.SyncFromPeers(tracing.Context{}); serr == nil {
 			for _, f := range files {
 				srv.ApplyReplicated(f.Path, f.Seq, f.Data)
 			}

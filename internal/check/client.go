@@ -9,6 +9,7 @@ import (
 	"leases/internal/core"
 	"leases/internal/netsim"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/sim"
 	"leases/internal/vfs"
 )
@@ -52,6 +53,22 @@ type mop struct {
 	redirects    int
 	incarnation  uint64
 	retryEv      *sim.Event
+	// span is the op's trace root; like the TCP client it spans
+	// retries, ending at the final reply or the give-up.
+	span tracing.Span
+}
+
+// rootName maps an op kind to its client root span name, mirroring the
+// TCP client's taxonomy.
+func (k mopKind) rootName() string {
+	switch k {
+	case opReadFetch:
+		return "client.read"
+	case opWriteOp:
+		return "client.write"
+	default:
+		return "client.extend"
+	}
 }
 
 // mclient is the model client: the real lease Holder plus the cache
@@ -171,6 +188,7 @@ func (c *mclient) send(op *mop) {
 	op.reqID = c.allocReq()
 	op.startedLocal = c.localNow()
 	op.incarnation = c.incarnation
+	op.span = c.w.tracer.StartRootNode(string(c.node), op.kind.rootName())
 	c.inflight[op.reqID] = op
 	if op.kind != opWriteOp {
 		c.transmit(op)
@@ -181,9 +199,9 @@ func (c *mclient) transmit(op *mop) {
 	target := c.w.serverNodeID(c.belief)
 	switch op.kind {
 	case opReadFetch, opRenew:
-		c.w.fabric.Unicast(c.node, target, kindExtend, extendReq{ReqID: op.reqID, From: c.id, Data: op.data})
+		c.w.fabric.Unicast(c.node, target, kindExtend, extendReq{ReqID: op.reqID, From: c.id, Data: op.data, TC: op.span.Context()})
 	case opWriteOp:
-		c.w.fabric.Unicast(c.node, target, kindWrite, writeReq{ReqID: op.reqID, From: c.id, Datum: op.datum, Value: op.value})
+		c.w.fabric.Unicast(c.node, target, kindWrite, writeReq{ReqID: op.reqID, From: c.id, Datum: op.datum, Value: op.value, TC: op.span.Context()})
 	}
 	backoff := c.retryBase() << op.retries
 	op.retryEv = c.w.engine.After(backoff, func() { c.retry(op) })
@@ -199,6 +217,7 @@ func (c *mclient) retry(op *mop) {
 	if op.retries >= maxRetries {
 		delete(c.inflight, op.reqID)
 		c.w.out.GivenUp++
+		op.span.EndNote("given-up")
 		return
 	}
 	op.retries++
@@ -264,6 +283,7 @@ func (c *mclient) handleGrants(m netsim.Message, rep extendRep) {
 		c.w.engine.Cancel(op.retryEv)
 		op.retryEv = nil
 	}
+	op.span.End()
 	if idx := c.w.serverIndex(m.From); idx >= 0 {
 		c.belief = idx // pin the session to the replica that answered
 	}
@@ -315,6 +335,7 @@ func (c *mclient) handleAck(m netsim.Message, ack writeAck) {
 		c.w.engine.Cancel(op.retryEv)
 		op.retryEv = nil
 	}
+	op.span.End()
 	if idx := c.w.serverIndex(m.From); idx >= 0 {
 		c.belief = idx
 	}
@@ -374,6 +395,7 @@ func (c *mclient) crash() {
 		}
 	}
 	c.inflight = make(map[uint64]*mop)
+	c.w.tracer.AbandonNode(string(c.node), "crash")
 }
 
 // restart boots a fresh incarnation with an empty cache.

@@ -21,6 +21,16 @@ const (
 	// vSlowWrite: a write was deferred past the §2 bound (one lease
 	// term plus slack), indicating an approval/expiry scheduling bug.
 	vSlowWrite = "write-wait-bound"
+	// vSpanLeak: a trace segment (or span) stayed open after the
+	// execution quiesced — some path ends a request without ending its
+	// span.
+	vSpanLeak = "span-leak"
+	// vSpanOrphan: a recorded span's parent is unknown to the tracer —
+	// a context was fabricated or mis-threaded across the wire.
+	vSpanOrphan = "span-orphan"
+	// vSpanFanout: a write deferral's recorded fan-out disagrees with
+	// the approval-push spans actually opened under it.
+	vSpanFanout = "span-fanout"
 )
 
 // fileModel is the reference model of one file: the full apply log in

@@ -2,12 +2,14 @@ package check
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
 	"leases/internal/core"
 	"leases/internal/netsim"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/replica"
 	"leases/internal/sim"
 	"leases/internal/vfs"
@@ -40,6 +42,9 @@ type extendReq struct {
 	ReqID uint64
 	From  core.ClientID
 	Data  []vfs.Datum
+	// TC is the client root's trace context — the model analogue of
+	// the TraceFlag wire header.
+	TC tracing.Context
 }
 
 type grantInfo struct {
@@ -60,6 +65,7 @@ type writeReq struct {
 	From  core.ClientID
 	Datum vfs.Datum
 	Value string
+	TC    tracing.Context
 }
 
 type writeAck struct {
@@ -142,6 +148,9 @@ type mwriter struct {
 	datum    vfs.Datum
 	value    string
 	queuedAt time.Time // server-local, for the write-wait lens
+	// tc is the server dispatch span's context: write.apply and the
+	// repl.ship fan-out parent under it, like the TCP server.
+	tc tracing.Context
 }
 
 // stagedWrite is one write past its lease deferral but not yet at
@@ -152,6 +161,17 @@ type stagedWrite struct {
 	acks    []bool // by replica index
 	retries int
 	retryEv *sim.Event
+	// ships[i] spans peer i's replication (first transmit to ack),
+	// retries included.
+	ships []tracing.Span
+}
+
+// writeSpans tracks the open spans of one deferred write: the
+// write.defer parent and one approve.push child per holder, ended on
+// approve, expiry, or teardown.
+type writeSpans struct {
+	deferSp tracing.Span
+	pushes  map[core.ClientID]tracing.Span
 }
 
 // mserver is the model file server: the real vfs store and the real
@@ -167,6 +187,7 @@ type mserver struct {
 	store   *vfs.Store
 	mgr     *core.ShardedManager
 	writers map[core.WriteID]mwriter
+	wspans  map[core.WriteID]*writeSpans
 	// seen dedupes at-least-once writes per client: reqID → applied
 	// version (lost on crash, so duplicates across a crash re-apply —
 	// the at-least-once behaviour the oracle must tolerate).
@@ -206,6 +227,7 @@ func newMserver(w *world, idx int) *mserver {
 		idx:        idx,
 		node:       w.serverNodeID(idx),
 		writers:    make(map[core.WriteID]mwriter),
+		wspans:     make(map[core.WriteID]*writeSpans),
 		seen:       make(map[core.ClientID]map[uint64]uint64),
 		lastBelief: -1,
 	}
@@ -365,7 +387,7 @@ func (srv *mserver) machChanged() {
 // treated as possibly leased by unknown clients. Serving starts only
 // after the promotion sync completes.
 func (srv *mserver) onPromote() {
-	srv.w.obs.Record(obs.Event{Type: obs.EvElected, Shard: srv.idx})
+	srv.w.obs.Record(obs.Event{Type: obs.EvElected, Replica: srv.idx})
 	if srv.w.sc.Break == BreakQuiet {
 		// Sabotage: trust PaxosLease mastership alone and serve
 		// immediately. The predecessor's grants are still live, so a
@@ -386,7 +408,7 @@ func (srv *mserver) onPromote() {
 }
 
 func (srv *mserver) onDemote() {
-	srv.w.obs.Record(obs.Event{Type: obs.EvDemoted, Shard: srv.idx})
+	srv.w.obs.Record(obs.Event{Type: obs.EvDemoted, Replica: srv.idx})
 	if t := srv.mgr.MaxTermGranted(); t > srv.persistedMaxTerm {
 		srv.persistedMaxTerm = t
 	}
@@ -401,10 +423,37 @@ func (srv *mserver) onDemote() {
 	}
 }
 
+// endWriteSpans closes a deferred write's trace spans: any push still
+// open gets pushNote, then the write.defer parent ends with note.
+func (srv *mserver) endWriteSpans(id core.WriteID, pushNote, note string) {
+	ws := srv.wspans[id]
+	if ws == nil {
+		return
+	}
+	delete(srv.wspans, id)
+	holders := make([]core.ClientID, 0, len(ws.pushes))
+	for h := range ws.pushes {
+		holders = append(holders, h)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+	for _, h := range holders {
+		ws.pushes[h].EndNote(pushNote)
+	}
+	ws.deferSp.EndNote(note)
+}
+
 // clearServing drops the deferred-writer table and pending dedupe
 // markers — a non-master will never finish them, and a black-holed
 // marker would silently eat the client's retransmit to a later reign.
 func (srv *mserver) clearServing() {
+	ids := make([]core.WriteID, 0, len(srv.wspans))
+	for id := range srv.wspans {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		srv.endWriteSpans(id, "dropped", "dropped")
+	}
 	srv.writers = make(map[core.WriteID]mwriter)
 	if srv.deadlineEv != nil {
 		srv.w.engine.Cancel(srv.deadlineEv)
@@ -427,8 +476,16 @@ func (srv *mserver) dropAllStaged() {
 				srv.w.engine.Cancel(e.retryEv)
 				e.retryEv = nil
 			}
+			e.endShips("dropped")
 		}
 		srv.staged[f] = nil
+	}
+}
+
+// endShips closes every still-open replication span of a staged write.
+func (e *stagedWrite) endShips(note string) {
+	for _, sp := range e.ships {
+		sp.EndNote(note)
 	}
 }
 
@@ -568,7 +625,12 @@ func (srv *mserver) stageWrite(wtr mwriter) {
 	}
 	srv.seen[wtr.client][wtr.reqID] = 0
 	srv.nextSeq[f]++
-	e := &stagedWrite{wtr: wtr, seq: srv.nextSeq[f], acks: make([]bool, srv.w.sc.Servers)}
+	e := &stagedWrite{wtr: wtr, seq: srv.nextSeq[f], acks: make([]bool, srv.w.sc.Servers), ships: make([]tracing.Span, srv.w.sc.Servers)}
+	for i := range e.ships {
+		if i != srv.idx {
+			e.ships[i] = srv.w.tracer.StartChildNode(string(srv.node), wtr.tc, "repl.ship")
+		}
+	}
 	srv.staged[f] = append(srv.staged[f], e)
 	srv.w.orc.applied(f, wtr.value)
 	srv.sendFrames(e)
@@ -629,6 +691,7 @@ func (srv *mserver) dropStagedFrom(f int, e *stagedWrite) {
 				srv.w.engine.Cancel(d.retryEv)
 				d.retryEv = nil
 			}
+			d.endShips("dropped")
 		}
 		srv.staged[f] = q[:i]
 		return
@@ -642,6 +705,9 @@ func (srv *mserver) handleReplAck(p replAck) {
 	for _, e := range srv.staged[p.File] {
 		if e.seq == p.Seq {
 			if p.From >= 0 && p.From < len(e.acks) {
+				if !e.acks[p.From] {
+					e.ships[p.From].EndNote(fmt.Sprintf("peer=%d ok", p.From))
+				}
 				e.acks[p.From] = true
 			}
 			break
@@ -672,11 +738,21 @@ func (srv *mserver) commitStaged(e *stagedWrite) {
 		srv.w.engine.Cancel(e.retryEv)
 		e.retryEv = nil
 	}
+	// Quorum reached: peers that have not acked will never be waited
+	// for again — their ship spans end as stragglers, like the real
+	// master's rpc returning after the quorum count moved on.
+	for i, sp := range e.ships {
+		if sp.Recording() && !e.acks[i] && i != srv.idx {
+			sp.EndNote(fmt.Sprintf("peer=%d straggler", i))
+		}
+	}
 	now := srv.localNow()
 	f := fileForDatum(e.wtr.datum)
+	applySp := srv.w.tracer.StartChildNode(string(srv.node), e.wtr.tc, "write.apply")
 	if _, _, err := srv.store.WriteFile(e.wtr.datum.Node, []byte(e.wtr.value)); err != nil {
 		panic(fmt.Sprintf("check: commit staged write %v: %v", e.wtr.datum, err))
 	}
+	applySp.End()
 	srv.applied[f] = e.seq
 	wait := now.Sub(e.wtr.queuedAt)
 	if wait < 0 {
@@ -829,6 +905,8 @@ func (srv *mserver) fileVersion(d vfs.Datum) uint64 {
 
 func (srv *mserver) handleExtend(from netsim.NodeID, req extendReq) {
 	now := srv.localNow()
+	sp := srv.w.tracer.StartChildNode(string(srv.node), req.TC, "server.extend")
+	defer sp.End()
 	rep := extendRep{ReqID: req.ReqID}
 	for _, d := range req.Data {
 		data, _, err := srv.store.ReadFile(d.Node)
@@ -876,10 +954,12 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 			return
 		}
 	}
+	sp := srv.w.tracer.StartChildNode(string(srv.node), req.TC, "server.write")
 	disp := srv.mgr.SubmitWrite(req.From, req.Datum, now)
-	wtr := mwriter{client: req.From, reqID: req.ReqID, datum: req.Datum, value: req.Value, queuedAt: now}
+	wtr := mwriter{client: req.From, reqID: req.ReqID, datum: req.Datum, value: req.Value, queuedAt: now, tc: sp.Context()}
 	if disp.Ready {
 		srv.finishWrite(wtr, now)
+		sp.End()
 		return
 	}
 	if srv.w.sc.Break == BreakWriteDefer {
@@ -887,6 +967,7 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 		// leases the manager just told us about.
 		srv.mgr.CancelWrite(disp.WriteID, now)
 		srv.finishWrite(wtr, now)
+		sp.End()
 		return
 	}
 	srv.writers[disp.WriteID] = wtr
@@ -901,9 +982,14 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 		Shard:   srv.mgr.ShardFor(req.Datum),
 		WriteID: uint64(disp.WriteID),
 	})
+	deferSp := srv.w.tracer.StartChildNode(string(srv.node), sp.Context(), "write.defer")
+	deferSp.SetFanout(len(disp.NeedApproval))
+	ws := &writeSpans{deferSp: deferSp, pushes: make(map[core.ClientID]tracing.Span, len(disp.NeedApproval))}
+	srv.wspans[disp.WriteID] = ws
 	targets := make([]netsim.NodeID, 0, len(disp.NeedApproval))
 	for _, holder := range disp.NeedApproval {
 		targets = append(targets, netsim.NodeID(holder))
+		ws.pushes[holder] = srv.w.tracer.StartChildNode(string(srv.node), deferSp.Context(), "approve.push")
 		srv.w.obs.Record(obs.Event{
 			Type:    obs.EvApproveRequest,
 			Client:  string(holder),
@@ -913,6 +999,7 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 		})
 	}
 	srv.w.fabric.Multicast(srv.node, targets, kindApprovalReq, approvalReq{WriteID: disp.WriteID, Datum: req.Datum})
+	sp.EndNote("deferred")
 	srv.armDeadline()
 }
 
@@ -924,6 +1011,12 @@ func (srv *mserver) handleApprove(ap approveMsg) {
 			Client:  string(ap.From),
 			WriteID: uint64(ap.WriteID),
 		})
+	}
+	if ws := srv.wspans[ap.WriteID]; ws != nil {
+		if psp, ok := ws.pushes[ap.From]; ok {
+			psp.EndNote("approve")
+			delete(ws.pushes, ap.From)
+		}
 	}
 	srv.applyReady(now)
 	srv.armDeadline()
@@ -946,6 +1039,9 @@ func (srv *mserver) applyReady(now time.Time) {
 				panic(fmt.Sprintf("check: ready write %d has no writer record", id))
 			}
 			delete(srv.writers, id)
+			// Pushes still open at release time went unanswered: the
+			// blocking leases expired instead.
+			srv.endWriteSpans(id, "expire", "")
 			srv.mgr.WriteApplied(id, now)
 			srv.finishWrite(wtr, now)
 		}
@@ -967,10 +1063,12 @@ func (srv *mserver) finishWrite(wtr mwriter, now time.Time) {
 // acks the writer. The writer keeps its lease (§3.1: a write carries
 // implicit approval and the writer's cache stays valid).
 func (srv *mserver) applyWrite(wtr mwriter, wait time.Duration, now time.Time) {
+	applySp := srv.w.tracer.StartChildNode(string(srv.node), wtr.tc, "write.apply")
 	attr, _, err := srv.store.WriteFile(wtr.datum.Node, []byte(wtr.value))
 	if err != nil {
 		panic(fmt.Sprintf("check: apply write %v: %v", wtr.datum, err))
 	}
+	applySp.End()
 	srv.w.orc.applied(fileForDatum(wtr.datum), wtr.value)
 	if srv.seen[wtr.client] == nil {
 		srv.seen[wtr.client] = make(map[uint64]uint64)
@@ -1055,7 +1153,9 @@ func (srv *mserver) crash() {
 		srv.deadlineAt = time.Time{}
 	}
 	srv.writers = make(map[core.WriteID]mwriter)
+	srv.wspans = make(map[core.WriteID]*writeSpans)
 	srv.seen = make(map[core.ClientID]map[uint64]uint64)
+	srv.w.tracer.AbandonNode(string(srv.node), "crash")
 	if srv.mach != nil {
 		if srv.machEv != nil {
 			srv.w.engine.Cancel(srv.machEv)

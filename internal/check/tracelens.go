@@ -1,0 +1,70 @@
+package check
+
+import (
+	"fmt"
+
+	"leases/internal/obs/tracing"
+)
+
+// The span-tree lens: after the engine drains, the trace the tracer
+// assembled must be structurally honest. Every segment has completed
+// (no span outlives the execution), every span's parent resolves —
+// within its segment or, for a retransmit that re-opened a finished
+// TraceID, via the retained index — and every write deferral's
+// recorded fan-out matches the approval pushes actually issued. The
+// lens checks the instrumentation the deployment relies on for
+// debugging with the same adversarial schedules the protocol lenses
+// run under: if a crash or reorder can corrupt a trace tree, it
+// corrupts it here first.
+func (w *world) spanLens() {
+	t := w.tracer
+	if n := t.ActiveCount(); n > 0 {
+		w.orc.violate(vSpanLeak, fmt.Sprintf("%d trace segments still open after quiesce: %v", n, t.ActiveIDs()))
+	}
+	for _, tr := range t.Recent(0) {
+		ids := make(map[tracing.SpanID]*tracing.SpanRec, len(tr.Spans))
+		roots := 0
+		for _, sp := range tr.Spans {
+			ids[sp.ID] = sp
+			if sp.Parent == 0 {
+				roots++
+			}
+		}
+		for _, sp := range tr.Spans {
+			if sp.End.IsZero() {
+				w.orc.violate(vSpanLeak, fmt.Sprintf("span %s (%s) in completed trace %v never ended", sp.Name, sp.Node, tr.ID))
+			}
+			if sp.Parent != 0 {
+				if _, ok := ids[sp.Parent]; !ok && !t.KnownSpan(sp.Trace, sp.Parent) {
+					w.orc.violate(vSpanOrphan, fmt.Sprintf("span %s (%s) in trace %v has unknown parent %v", sp.Name, sp.Node, tr.ID, sp.Parent))
+				}
+			}
+			if sp.Fanout > 0 {
+				pushes := 0
+				for _, ch := range tr.Spans {
+					if ch.Parent == sp.ID && ch.Name == "approve.push" {
+						pushes++
+					}
+				}
+				if pushes != sp.Fanout {
+					w.orc.violate(vSpanFanout, fmt.Sprintf("span %s in trace %v recorded fan-out %d but %d approve.push children", sp.Name, tr.ID, sp.Fanout, pushes))
+				}
+			}
+		}
+		// A segment assembles around exactly one local root; a segment
+		// with none was opened by a remote child whose first span must
+		// carry the Remote mark.
+		if roots == 0 {
+			marked := false
+			for _, sp := range tr.Spans {
+				if sp.Remote {
+					marked = true
+					break
+				}
+			}
+			if !marked {
+				w.orc.violate(vSpanOrphan, fmt.Sprintf("rootless trace segment %v has no span marked remote", tr.ID))
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"leases/internal/clock"
+	"leases/internal/obs/tracing"
+	"leases/internal/sim"
+)
+
+// lensWorld is the minimal world the span lens needs: an engine clock,
+// a tracer, and the oracle's violation sink.
+func lensWorld() *world {
+	w := &world{sc: Scenario{Files: 1}, out: &Outcome{}}
+	w.engine = sim.New(clock.Epoch)
+	w.start = w.engine.Now()
+	w.tracer = tracing.New(tracing.Config{Now: w.engine.Now, SampleRate: 1, RetainIndex: true})
+	w.orc = newOracle(w, 8)
+	return w
+}
+
+func kinds(w *world) []string {
+	var out []string
+	for _, v := range w.out.Violations {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+// The lens is only trustworthy if it fires on the trees it claims to
+// reject: an unended root, a fan-out that disagrees with its pushes,
+// and a span whose parent the tracer has never seen.
+func TestSpanLensCatchesMalformedTrees(t *testing.T) {
+	t.Run("leak", func(t *testing.T) {
+		w := lensWorld()
+		w.tracer.StartRoot("client.write") // never ended
+		w.spanLens()
+		if ks := kinds(w); len(ks) != 1 || ks[0] != vSpanLeak {
+			t.Fatalf("violations = %v, want [%s]", ks, vSpanLeak)
+		}
+	})
+	t.Run("fanout", func(t *testing.T) {
+		w := lensWorld()
+		root := w.tracer.StartRoot("client.write")
+		d := w.tracer.StartChild(root.Context(), "write.defer")
+		d.SetFanout(2) // claims two pushes...
+		p := w.tracer.StartChild(d.Context(), "approve.push")
+		p.EndNote("approve") // ...issues one
+		d.End()
+		root.End()
+		w.spanLens()
+		if ks := kinds(w); len(ks) != 1 || ks[0] != vSpanFanout {
+			t.Fatalf("violations = %v, want [%s]", ks, vSpanFanout)
+		}
+	})
+	t.Run("orphan", func(t *testing.T) {
+		w := lensWorld()
+		// A context the tracer never issued: the model analogue of a
+		// corrupted wire header.
+		forged := tracing.Context{TraceID: 99, SpanID: 42, Sampled: true}
+		sp := w.tracer.StartChild(forged, "server.write")
+		sp.End()
+		w.spanLens()
+		found := false
+		for _, v := range w.out.Violations {
+			if v.Kind == vSpanOrphan && strings.Contains(v.Detail, "unknown parent") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("violations = %v, want a %s", w.out.Violations, vSpanOrphan)
+		}
+	})
+	t.Run("clean", func(t *testing.T) {
+		w := lensWorld()
+		root := w.tracer.StartRoot("client.write")
+		d := w.tracer.StartChild(root.Context(), "write.defer")
+		d.SetFanout(1)
+		p := w.tracer.StartChild(d.Context(), "approve.push")
+		p.EndNote("approve")
+		d.End()
+		root.End()
+		w.spanLens()
+		if len(w.out.Violations) != 0 {
+			t.Fatalf("clean tree violated: %v", w.out.Violations)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"leases/internal/clock"
 	"leases/internal/netsim"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/sim"
 	"leases/internal/vfs"
 )
@@ -134,6 +135,7 @@ type world struct {
 	engine  *sim.Engine
 	fabric  *netsim.Fabric
 	obs     *obs.Observer
+	tracer  *tracing.Tracer
 	start   time.Time
 	orc     *oracle
 	servers []*mserver
@@ -217,6 +219,15 @@ func RunScenario(sc Scenario, opt Options) (*Outcome, error) {
 	w.fabric.SetFaults(w.faultFor)
 	w.lossRNG = rand.New(rand.NewSource(mix(sc.Seed, 0x1055)))
 	w.obs = obs.New(obs.Config{RingSize: 1 << 15, Sink: opt.Sink, Now: w.engine.Now})
+	// Every operation is traced (100% sampling) so the span-tree lens
+	// sees the whole execution; RetainIndex lets it resolve parents when
+	// an at-least-once retransmit re-opens a completed TraceID. The
+	// engine is single-threaded, so span IDs are deterministic.
+	w.tracer = tracing.New(tracing.Config{
+		Now: w.engine.Now, Node: "check", SampleRate: 1,
+		Seed: mix(sc.Seed, 0x7ace), MaxActive: 1 << 13, Completed: 1 << 13,
+		RetainIndex: true,
+	})
 	w.orc = newOracle(w, opt.MaxViolations)
 	// Elections keep renewing well past the last scheduled activity —
 	// long enough for every client retry ladder to resolve against a
@@ -251,6 +262,7 @@ func RunScenario(sc Scenario, opt Options) (*Outcome, error) {
 			w.orc.violate(vSlowWrite, fmt.Sprintf("a write was deferred %v, past the %v bound", w.out.MaxWriteWait, bound))
 		}
 	}
+	w.spanLens()
 	w.out.Deliveries = w.fabric.Deliveries()
 	w.out.Losses = w.fabric.Losses()
 	for _, ec := range w.obs.EventCounts() {

@@ -20,6 +20,7 @@ import (
 	"leases/internal/clock"
 	"leases/internal/core"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/proto"
 	"leases/internal/stats"
 	"leases/internal/vfs"
@@ -50,6 +51,13 @@ type Config struct {
 	// evictions forced by server approval pushes, session reconnects).
 	// Nil disables them.
 	Obs *obs.Observer
+	// Tracer, when non-nil, head-samples RPCs into distributed traces:
+	// a sampled operation roots a span here and propagates its context
+	// in the request frame (when the server negotiated the trace
+	// feature), so the server's dispatch, approval fan-out and
+	// replication spans land under one TraceID. Nil disables tracing at
+	// zero cost; cache hits never reach the wire and are never traced.
+	Tracer *tracing.Tracer
 
 	// DialTimeout bounds connection establishment and the hello
 	// handshake, for the initial Dial and every reconnect attempt.
@@ -132,6 +140,11 @@ type Cache struct {
 	down       bool
 	ready      chan struct{}
 	serverBoot uint64
+	// features is the feature set the server acknowledged in the latest
+	// hello; trace contexts are only encoded on the wire when the server
+	// negotiated proto.FeatTrace (an old server would choke on the
+	// header bytes it never learned to strip).
+	features uint64
 	// invalSeq fences in-flight fetches against invalidations. The
 	// server may push an approval request for a datum after composing —
 	// but before delivering — a reply that grants a lease on it (the
@@ -199,23 +212,26 @@ func dialTimeout(cfg Config) time.Duration {
 }
 
 // handshake performs the hello exchange on a fresh connection, bounded
-// by the dial timeout, and returns the connection's frame reader and
-// the server's boot ID. The hello is the one frame written outside the
-// coalescer: the connection carries no other traffic yet, so there is
-// nothing to batch with.
-func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, error) {
+// by the dial timeout, and returns the connection's frame reader, the
+// server's boot ID and the feature set the server acknowledged. The
+// hello carries this client's feature bits as trailing payload a
+// pre-feature server ignores; a pre-feature ack is 8 bytes and decodes
+// as features 0, so nothing optional is ever sent to an old peer. The
+// hello is the one frame written outside the coalescer: the connection
+// carries no other traffic yet, so there is nothing to batch with.
+func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, uint64, error) {
 	nc.SetDeadline(time.Now().Add(dialTimeout(cfg)))
 	defer nc.SetDeadline(time.Time{})
 	var e proto.Enc
-	e.Str(cfg.ID)
+	e.Str(cfg.ID).U64(proto.FeatTrace)
 	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	fr := proto.GetReader(nc)
 	f, err := fr.Next()
 	if err != nil {
 		proto.PutReader(fr)
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if f.Type == proto.TNotMaster {
 		// A replica refusing the session: not an error of the transport
@@ -227,19 +243,23 @@ func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, error) {
 		}
 		f.Recycle()
 		proto.PutReader(fr)
-		return nil, 0, notMasterError{master: master}
+		return nil, 0, 0, notMasterError{master: master}
 	}
 	if f.Type != proto.THelloAck {
 		f.Recycle()
 		proto.PutReader(fr)
-		return nil, 0, fmt.Errorf("client: unexpected hello response type %d", f.Type)
+		return nil, 0, 0, fmt.Errorf("client: unexpected hello response type %d", f.Type)
 	}
-	var boot uint64
+	var boot, feats uint64
 	if len(f.Payload) >= 8 {
-		boot = proto.NewDec(f.Payload).U64()
+		d := proto.NewDec(f.Payload)
+		boot = d.U64()
+		if d.Remaining() >= 8 {
+			feats = d.U64()
+		}
 	}
 	f.Recycle()
-	return fr, boot, nil
+	return fr, boot, feats, nil
 }
 
 // newCoalescer builds the outbound coalescer for one connection
@@ -271,7 +291,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	fr, boot, err := handshake(nc, cfg)
+	fr, boot, feats, err := handshake(nc, cfg)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -292,6 +312,7 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		opLat:      make(map[proto.MsgType]*stats.Histogram),
 		ready:      ready,
 		serverBoot: boot,
+		features:   feats,
 	}
 	c.nextID = 1
 	c.co = c.newCoalescer(nc)

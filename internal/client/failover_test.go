@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"leases/internal/client"
+	"leases/internal/obs/tracing"
 	"leases/internal/server"
 	"leases/internal/vfs"
 )
@@ -29,8 +30,8 @@ func (s stubReplica) Role() string {
 	}
 	return "follower"
 }
-func (s stubReplica) ReplicateWrite(string, uint64, []byte) error { return nil }
-func (s stubReplica) ReplicateMaxTerm(time.Duration) error        { return nil }
+func (s stubReplica) ReplicateWrite(tracing.Context, string, uint64, []byte) error { return nil }
+func (s stubReplica) ReplicateMaxTerm(time.Duration) error                         { return nil }
 
 // startReplicaPair boots two servers gated by a shared master index
 // (initially 0), both seeded with the same /f content.
@@ -46,7 +47,7 @@ func startReplicaPair(t *testing.T) (srvs [2]*server.Server, addrs []string, mas
 		// Open the serving gate: a replicated server refuses sessions
 		// until a completed Promote, so the stubbed master index alone
 		// is not enough to serve.
-		srv.Promote(nil, 0)
+		srv.Promote(tracing.Context{}, nil, 0)
 		srvs[i] = srv
 		addrs = append(addrs, addr)
 	}

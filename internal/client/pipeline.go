@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"time"
 
+	"leases/internal/obs/tracing"
 	"leases/internal/proto"
 	"leases/internal/vfs"
 )
@@ -46,9 +47,33 @@ type Call struct {
 	id      uint64
 	ch      chan proto.Frame
 	budget  int
-	began   time.Time // obs timing; spans retries
+	began   time.Time    // obs timing; spans retries
+	span    tracing.Span // trace root; spans retries like began
 	done    bool
 	err     error
+}
+
+// clientSpanNames maps request types to their root span names,
+// precomputed so the sampled path never concatenates strings.
+var clientSpanNames = map[proto.MsgType]string{
+	proto.TRead:    "client.read",
+	proto.TWrite:   "client.write",
+	proto.TLookup:  "client.lookup",
+	proto.TReadDir: "client.readdir",
+	proto.TCreate:  "client.create",
+	proto.TMkdir:   "client.mkdir",
+	proto.TRemove:  "client.remove",
+	proto.TRename:  "client.rename",
+	proto.TSetPerm: "client.setperm",
+	proto.TExtend:  "client.extend",
+	proto.TRelease: "client.release",
+}
+
+func clientSpanName(t proto.MsgType) string {
+	if n, ok := clientSpanNames[t]; ok {
+		return n
+	}
+	return "client.call"
 }
 
 // startCall registers the request in the completion table and appends
@@ -58,6 +83,12 @@ func (c *Cache) startCall(t proto.MsgType, payload []byte) *Call {
 	cl := &Call{c: c, t: t, payload: payload, budget: c.retryBudget()}
 	if c.cfg.Obs.Enabled() {
 		cl.began = c.clk.Now()
+	}
+	if c.cfg.Tracer.Enabled() {
+		// The head-sampling decision for the whole distributed trace is
+		// made here, at the operation's origin; everything downstream
+		// inherits it through the propagated context.
+		cl.span = c.cfg.Tracer.StartRoot(clientSpanName(t))
 	}
 	cl.err = cl.submit()
 	return cl
@@ -81,13 +112,21 @@ func (cl *Call) submit() error {
 	cl.ch = make(chan proto.Frame, 1)
 	c.calls[cl.id] = cl.ch
 	co := c.co
+	traced := c.features&proto.FeatTrace != 0
 	c.mu.Unlock()
+	// Propagate the trace context only when this connection's server
+	// negotiated the feature; an unsampled call carries the zero
+	// context, which encodes to the exact pre-trace frame bytes.
+	var tc tracing.Context
+	if traced {
+		tc = cl.span.Context()
+	}
 	// The coalescer read under the same lock as the registration is the
 	// incarnation the request belongs to. If the connection dies between
 	// unlock and append, either the append fails (coalescer closed) or
 	// the frame dies with the old connection — and in both cases
 	// failCallsLocked has closed cl.ch, so Wait retries.
-	if !co.AppendPayload(cl.t, cl.id, cl.payload) {
+	if !co.AppendPayloadCtx(cl.t, cl.id, tc, cl.payload) {
 		c.mu.Lock()
 		delete(c.calls, cl.id)
 		c.mu.Unlock()
@@ -119,12 +158,15 @@ func (cl *Call) Wait() (proto.Frame, error) {
 		}
 		if !errors.Is(cl.err, ErrClosed) || attempt >= cl.budget {
 			cl.done = true
+			cl.span.EndNote("closed")
 			return proto.Frame{}, cl.err
 		}
 		if !cl.c.awaitReady() {
 			cl.done, cl.err = true, ErrClosed
+			cl.span.EndNote("given-up")
 			return proto.Frame{}, ErrClosed
 		}
+		cl.span.Annotate("retried")
 		cl.err = cl.submit()
 	}
 }
@@ -139,8 +181,10 @@ func (cl *Call) finish(f proto.Frame) (proto.Frame, error) {
 		msg := proto.NewDec(f.Payload).Str()
 		f.Recycle()
 		cl.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+		cl.span.EndNote("remote-error")
 		return proto.Frame{}, cl.err
 	}
+	cl.span.End()
 	if f.Type == proto.TOK {
 		// Empty success: callers that discard the frame would otherwise
 		// strand the pooled buffer.

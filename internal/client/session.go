@@ -204,18 +204,19 @@ func (c *Cache) reconnectLoop(downSince time.Time) {
 
 // resumeState carries what a successful re-hello produced.
 type resumeState struct {
-	fr   *proto.FrameReader
-	boot uint64
+	fr    *proto.FrameReader
+	boot  uint64
+	feats uint64
 }
 
 // resume re-hellos on a fresh connection.
 func (c *Cache) resume(nc net.Conn) (*resumeState, error) {
-	fr, boot, err := handshake(nc, c.cfg)
+	fr, boot, feats, err := handshake(nc, c.cfg)
 	if err != nil {
 		nc.Close()
 		return nil, err
 	}
-	return &resumeState{fr: fr, boot: boot}, nil
+	return &resumeState{fr: fr, boot: boot, feats: feats}, nil
 }
 
 // finishReconnect installs the new connection — with a fresh coalescer
@@ -227,6 +228,9 @@ func (c *Cache) finishReconnect(nc net.Conn, st *resumeState, attempts int, down
 	c.fr = st.fr
 	c.co = co
 	c.serverBoot = st.boot
+	// Re-negotiated per connection: a failover can land the session on
+	// a server with different feature support.
+	c.features = st.feats
 	c.down = false
 	c.metrics.Reconnects++
 	ready := c.ready

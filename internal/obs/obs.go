@@ -89,10 +89,10 @@ const (
 	// frames queued at the stall.
 	EvQueueFull
 	// EvElected: this replica won the master-lease election
-	// (internal/replica); Shard carries the replica index.
+	// (internal/replica); Replica carries the replica index.
 	EvElected
-	// EvDemoted: this replica's master lease lapsed or was lost; Shard
-	// carries the replica index.
+	// EvDemoted: this replica's master lease lapsed or was lost;
+	// Replica carries the replica index.
 	EvDemoted
 
 	numEventTypes = int(EvDemoted) + 1
@@ -131,6 +131,10 @@ type Event struct {
 	Datum vfs.Datum `json:"datum"`
 	// Shard is the lease-manager shard that owns the datum or write.
 	Shard int `json:"shard"`
+	// Replica is the replica index for election events
+	// (elected/demoted), which concern a whole node rather than a
+	// lease-manager shard.
+	Replica int `json:"replica,omitempty"`
 	// Term is the granted term for grant/extend events (zero = refused).
 	Term time.Duration `json:"term_ns,omitempty"`
 	// WriteID identifies the pending write for approval and write events.

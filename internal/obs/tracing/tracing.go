@@ -1,0 +1,668 @@
+// Package tracing is the causal span model of the lease system: one
+// TraceID follows a request across nodes — a client write through
+// server dispatch, the approval fan-out to each lease holder, the
+// replicate-before-apply shipping to each peer, and the reply — and a
+// failover through its election, catch-up sync, promotion and §2
+// recovery window. Where internal/obs records flat per-node events,
+// tracing records trees: each span knows its parent, so "why did this
+// write take 400ms" has an answer an operator can read off /traces.
+//
+// Cost model, matching obs: a nil *Tracer is the disabled state — every
+// method nil-checks its receiver and returns a zero Span whose methods
+// are no-ops, so instrumented hot paths cost one branch and zero
+// allocations when tracing is off. An enabled tracer head-samples at
+// the root: StartRoot draws from a seeded splitmix64 stream and, when
+// the draw misses, returns the same zero Span — the rejected path also
+// allocates nothing (both pinned by AllocsPerRun tests). Only sampled
+// traces allocate, and only sampled contexts propagate on the wire.
+//
+// Time comes from an injected nanosecond clock (internal/clock's Now
+// shape), so the simulated worlds (internal/check, internal/sim) and
+// the real TCP deployment trace through the same code.
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leases/internal/stats"
+)
+
+// TraceID identifies one causal chain across nodes. Zero is "no trace".
+type TraceID uint64
+
+// SpanID identifies one span within a trace. Zero is "no parent".
+type SpanID uint64
+
+// MarshalJSON renders IDs as fixed-width hex, the conventional exchange
+// form for trace identifiers.
+func (id TraceID) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fmt.Sprintf("%016x", uint64(id)))
+}
+
+// MarshalJSON renders IDs as fixed-width hex.
+func (id SpanID) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fmt.Sprintf("%016x", uint64(id)))
+}
+
+// Context is the wire-propagated trace context: which trace a request
+// belongs to and which span is its remote parent. The zero Context
+// means "not traced" and is what unsampled requests carry.
+type Context struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled marks a head-sampled trace; only sampled contexts are
+	// encoded on the wire or accepted by StartChild.
+	Sampled bool
+}
+
+// Valid reports whether the context names a sampled trace.
+func (c Context) Valid() bool { return c.Sampled && c.TraceID != 0 }
+
+// SpanRec is one recorded span. Once its trace completes the record is
+// immutable and safe to share with JSON encoders.
+type SpanRec struct {
+	Trace  TraceID `json:"trace"`
+	ID     SpanID  `json:"id"`
+	Parent SpanID  `json:"parent,omitempty"`
+	// Remote marks a span whose parent arrived over the wire: the
+	// parent span lives in another process's tracer, so it will not
+	// resolve locally (the check world shares one tracer across model
+	// nodes, where every parent does resolve).
+	Remote bool      `json:"remote,omitempty"`
+	Name   string    `json:"name"`
+	Node   string    `json:"node,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	// Note annotates the outcome: "approve", "expire", "timeout",
+	// "peer=1 ok", "crash", …
+	Note string `json:"note,omitempty"`
+	// Fanout, when set, is the child fan-out width the recorder
+	// expected under this span (the approval push count at a write
+	// deferral) — the span-tree lens checks it against reality.
+	Fanout int `json:"fanout,omitempty"`
+
+	ended bool
+}
+
+// Duration is the span's recorded extent (zero while open).
+func (r *SpanRec) Duration() time.Duration {
+	if r.End.IsZero() {
+		return 0
+	}
+	return r.End.Sub(r.Start)
+}
+
+// Trace is one locally assembled trace segment: every span this
+// tracer recorded under one TraceID between the segment's first span
+// and its completion. A distributed trace has one segment per process
+// it touched; the check world's shared tracer assembles whole traces
+// in one segment. A segment completes when its local root span has
+// ended and no span in it remains open; a late re-appearance of the
+// same TraceID (an at-least-once retry landing after the reply) opens
+// a fresh segment rather than mutating a completed one.
+type Trace struct {
+	ID TraceID `json:"trace"`
+	// Op is the local root span's name; Node its origin.
+	Op    string    `json:"op"`
+	Node  string    `json:"node,omitempty"`
+	Start time.Time `json:"start"`
+	// Duration is the local root span's extent.
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []*SpanRec    `json:"spans"`
+	// Abandoned counts spans force-ended by AbandonNode (a crash) or
+	// segment eviction rather than by their recorder.
+	Abandoned int `json:"abandoned,omitempty"`
+
+	root      SpanID
+	open      int
+	rootEnded bool
+	done      bool
+}
+
+// Span is a live handle on one recorded span. The zero Span is valid
+// and disabled: every method is a no-op, Recording reports false, and
+// Context returns the zero Context. Handles are value types; copy them
+// freely, End them once.
+type Span struct {
+	t *Tracer
+	r *SpanRec
+}
+
+// Recording reports whether the span actually records anything —
+// the guard instrumented code uses before preparing annotations.
+func (s Span) Recording() bool { return s.r != nil }
+
+// Context returns the propagation context naming this span as parent.
+func (s Span) Context() Context {
+	if s.r == nil {
+		return Context{}
+	}
+	return Context{TraceID: s.r.Trace, SpanID: s.r.ID, Sampled: true}
+}
+
+// Annotate sets the span's outcome note (last write wins).
+func (s Span) Annotate(note string) {
+	if s.r == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if !s.r.ended {
+		s.r.Note = note
+	}
+	s.t.mu.Unlock()
+}
+
+// SetFanout stamps the child fan-out width the recorder expects under
+// this span, for the span-tree lens.
+func (s Span) SetFanout(n int) {
+	if s.r == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if !s.r.ended {
+		s.r.Fanout = n
+	}
+	s.t.mu.Unlock()
+}
+
+// End closes the span. Ending twice is a no-op.
+func (s Span) End() { s.EndNote("") }
+
+// EndNote closes the span with an outcome note (kept only if none was
+// annotated earlier).
+func (s Span) EndNote(note string) {
+	if s.r == nil {
+		return
+	}
+	s.t.endSpan(s.r, note, false)
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Now supplies span timestamps; nil means time.Now. The check and
+	// chaos worlds inject their simulated clocks here.
+	Now func() time.Time
+	// Node names this tracer's process ("s0", "client:w1"); stamped on
+	// every span it records unless a *Node method overrides it.
+	Node string
+	// SampleRate is the head-sampling probability in [0,1]; 1 traces
+	// everything (the checker's setting), 0 nothing. The draw is a
+	// seeded splitmix64 stream, so equal seeds sample equal requests.
+	SampleRate float64
+	// Seed makes sampling and ID assignment deterministic; zero derives
+	// an arbitrary (still fixed) default.
+	Seed int64
+	// MaxActive bounds concurrently open trace segments; beyond it the
+	// oldest segment is force-completed (its open spans counted as
+	// abandoned). Zero means 512.
+	MaxActive int
+	// Completed bounds the ring of finished segments kept for /traces.
+	// Zero means 256.
+	Completed int
+	// SlowN bounds the top-by-duration list kept for /traces/slow.
+	// Zero means 16.
+	SlowN int
+	// RetainIndex keeps a per-TraceID index of every span ID ever
+	// recorded, so the span-tree lens can resolve parents across
+	// segments (a retry re-opening a completed TraceID). Bounded runs
+	// only — the checker sets it, servers must not.
+	RetainIndex bool
+}
+
+// Tracer records spans, assembles trace segments, and keeps the
+// completed ring, the slow list, and per-operation histogram-bucket
+// exemplars. The nil Tracer is valid and disabled.
+type Tracer struct {
+	now  func() time.Time
+	node string
+
+	// sampling: sample when splitmix64(state++) <= threshold.
+	threshold uint64
+	state     atomic.Uint64
+
+	maxActive int
+	slowN     int
+
+	mu        sync.Mutex
+	active    map[TraceID]*Trace
+	order     []TraceID // active segments in creation order, for eviction
+	completed []*Trace  // ring
+	compNext  int
+	compFull  bool
+	slow      []*Trace // sorted by Duration, descending
+	exemplars map[string][]Exemplar
+	bounds    []float64
+	index     map[TraceID]map[SpanID]struct{} // RetainIndex only
+
+	started   atomic.Int64
+	finished  atomic.Int64
+	abandoned atomic.Int64
+	evicted   atomic.Int64
+}
+
+// New returns an enabled tracer.
+func New(cfg Config) *Tracer {
+	t := &Tracer{
+		now:       cfg.Now,
+		node:      cfg.Node,
+		maxActive: cfg.MaxActive,
+		slowN:     cfg.SlowN,
+		active:    make(map[TraceID]*Trace),
+		exemplars: make(map[string][]Exemplar),
+		bounds:    stats.LatencyBounds(),
+	}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	if t.maxActive <= 0 {
+		t.maxActive = 512
+	}
+	if t.slowN <= 0 {
+		t.slowN = 16
+	}
+	n := cfg.Completed
+	if n <= 0 {
+		n = 256
+	}
+	t.completed = make([]*Trace, n)
+	switch {
+	case cfg.SampleRate >= 1:
+		t.threshold = ^uint64(0)
+	case cfg.SampleRate <= 0:
+		t.threshold = 0
+	default:
+		t.threshold = uint64(cfg.SampleRate * float64(^uint64(0)))
+	}
+	seed := uint64(cfg.Seed)
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	t.state.Store(seed)
+	if cfg.RetainIndex {
+		t.index = make(map[TraceID]map[SpanID]struct{})
+	}
+	return t
+}
+
+// Enabled reports whether the tracer records anything at all.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// splitmix64 is the PRNG behind sampling and ID assignment: one atomic
+// add plus a few multiplies, no allocation, deterministic per seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (t *Tracer) next() uint64 {
+	return splitmix64(t.state.Add(0x9e3779b97f4a7c15))
+}
+
+// id draws a nonzero identifier.
+func (t *Tracer) id() uint64 {
+	for {
+		if v := t.next(); v != 0 {
+			return v
+		}
+	}
+}
+
+// StartRoot begins a new trace, applying the head sampler: a rejected
+// draw returns the zero Span (and allocates nothing), and everything
+// downstream of a rejected root stays untraced because the zero
+// Context never propagates.
+func (t *Tracer) StartRoot(name string) Span { return t.StartRootNode("", name) }
+
+// StartRootNode is StartRoot with an explicit origin node name (the
+// check world records many model nodes through one tracer).
+func (t *Tracer) StartRootNode(node, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	if t.threshold == 0 || t.next() > t.threshold {
+		return Span{}
+	}
+	return t.start(node, Context{TraceID: TraceID(t.id()), Sampled: true}, name, false)
+}
+
+// StartChild begins a span under parent — a local parent from
+// Span.Context, or a remote one decoded off the wire. An invalid
+// (unsampled) parent returns the zero Span without allocating: the
+// sampling decision was made once, at the root.
+func (t *Tracer) StartChild(parent Context, name string) Span {
+	return t.StartChildNode("", parent, name)
+}
+
+// StartChildNode is StartChild with an explicit origin node name.
+func (t *Tracer) StartChildNode(node string, parent Context, name string) Span {
+	if t == nil || !parent.Valid() {
+		return Span{}
+	}
+	return t.start(node, parent, name, true)
+}
+
+// start records a span. For roots, parent.SpanID is zero and remote is
+// false; for children, parent names either a local span (same-process
+// Context) or a remote one.
+func (t *Tracer) start(node string, parent Context, name string, child bool) Span {
+	if node == "" {
+		node = t.node
+	}
+	r := &SpanRec{
+		Trace:  parent.TraceID,
+		ID:     SpanID(t.id()),
+		Parent: parent.SpanID,
+		Name:   name,
+		Node:   node,
+		Start:  t.now(),
+	}
+	t.started.Add(1)
+	t.mu.Lock()
+	tr := t.active[r.Trace]
+	if tr == nil {
+		tr = &Trace{ID: r.Trace, Op: name, Node: node, Start: r.Start, root: r.ID}
+		// A child opening the segment means its parent is elsewhere:
+		// over the wire in a distributed deployment, or in an already
+		// completed segment of the same TraceID (an at-least-once
+		// retry landing late).
+		r.Remote = child
+		t.active[r.Trace] = tr
+		t.order = append(t.order, r.Trace)
+		if len(t.active) > t.maxActive {
+			t.evictOldestLocked()
+		}
+	}
+	tr.Spans = append(tr.Spans, r)
+	tr.open++
+	if t.index != nil {
+		ids := t.index[r.Trace]
+		if ids == nil {
+			ids = make(map[SpanID]struct{})
+			t.index[r.Trace] = ids
+		}
+		ids[r.ID] = struct{}{}
+	}
+	t.mu.Unlock()
+	return Span{t: t, r: r}
+}
+
+// endSpan closes one span and completes its segment when it was the
+// last open span of an ended root.
+func (t *Tracer) endSpan(r *SpanRec, note string, abandon bool) {
+	now := t.now()
+	t.mu.Lock()
+	if r.ended {
+		t.mu.Unlock()
+		return
+	}
+	r.ended = true
+	r.End = now
+	if r.Note == "" {
+		r.Note = note
+	}
+	tr := t.active[r.Trace]
+	if tr == nil {
+		// The segment was evicted under MaxActive pressure; the span's
+		// record already left with it.
+		t.mu.Unlock()
+		return
+	}
+	tr.open--
+	if abandon {
+		tr.Abandoned++
+	}
+	if r.ID == tr.root {
+		tr.rootEnded = true
+		tr.Duration = r.End.Sub(tr.Start)
+	}
+	if tr.rootEnded && tr.open == 0 {
+		t.completeLocked(tr)
+	}
+	t.mu.Unlock()
+}
+
+// completeLocked moves a segment to the completed ring, the slow list
+// and the exemplar table. Callers hold t.mu.
+func (t *Tracer) completeLocked(tr *Trace) {
+	tr.done = true
+	delete(t.active, tr.ID)
+	for i, id := range t.order {
+		if id == tr.ID {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	t.completed[t.compNext] = tr
+	t.compNext++
+	if t.compNext == len(t.completed) {
+		t.compNext = 0
+		t.compFull = true
+	}
+	t.finished.Add(1)
+	// Slow list: insertion sort bounded at slowN.
+	i := sort.Search(len(t.slow), func(i int) bool { return t.slow[i].Duration < tr.Duration })
+	if i < t.slowN {
+		t.slow = append(t.slow, nil)
+		copy(t.slow[i+1:], t.slow[i:])
+		t.slow[i] = tr
+		if len(t.slow) > t.slowN {
+			t.slow = t.slow[:t.slowN]
+		}
+	}
+	// Exemplar: this trace stands for its op's latency bucket.
+	ex := t.exemplars[tr.Op]
+	if ex == nil {
+		ex = make([]Exemplar, len(t.bounds)+1)
+		t.exemplars[tr.Op] = ex
+	}
+	bi := sort.SearchFloat64s(t.bounds, tr.Duration.Seconds())
+	ex[bi] = Exemplar{Op: tr.Op, Bucket: t.bucketLE(bi), Trace: tr.ID, Duration: tr.Duration, N: ex[bi].N + 1}
+}
+
+func (t *Tracer) bucketLE(i int) float64 {
+	if i < len(t.bounds) {
+		return t.bounds[i]
+	}
+	return -1 // overflow bucket (+Inf)
+}
+
+// evictOldestLocked force-completes the oldest active segment — the
+// bound that keeps a peer that never answers from pinning memory.
+// Callers hold t.mu.
+func (t *Tracer) evictOldestLocked() {
+	if len(t.order) == 0 {
+		return
+	}
+	tr := t.active[t.order[0]]
+	if tr == nil {
+		t.order = t.order[1:]
+		return
+	}
+	now := t.now()
+	for _, r := range tr.Spans {
+		if !r.ended {
+			r.ended = true
+			r.End = now
+			if r.Note == "" {
+				r.Note = "evicted"
+			}
+			tr.Abandoned++
+			tr.open--
+		}
+	}
+	if !tr.rootEnded {
+		tr.Duration = now.Sub(tr.Start)
+	}
+	t.evicted.Add(1)
+	t.completeLocked(tr)
+}
+
+// AbandonNode force-ends every open span recorded under the given node
+// name — a model node crashing mid-protocol. Segments whose last open
+// span this releases complete normally (flagged Abandoned).
+func (t *Tracer) AbandonNode(node, note string) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	for _, id := range append([]TraceID(nil), t.order...) {
+		tr := t.active[id]
+		if tr == nil {
+			continue
+		}
+		for _, r := range tr.Spans {
+			if r.ended || r.Node != node {
+				continue
+			}
+			r.ended = true
+			r.End = now
+			if r.Note == "" {
+				r.Note = note
+			}
+			tr.Abandoned++
+			t.abandoned.Add(1)
+			tr.open--
+			if r.ID == tr.root {
+				tr.rootEnded = true
+				tr.Duration = r.End.Sub(tr.Start)
+			}
+		}
+		if tr.rootEnded && tr.open == 0 {
+			t.completeLocked(tr)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n completed segments, newest first (n <= 0:
+// everything in the ring).
+func (t *Tracer) Recent(n int) []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.compNext
+	if t.compFull {
+		size = len(t.completed)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := t.compNext - 1 - i
+		if idx < 0 {
+			idx += len(t.completed)
+		}
+		out = append(out, t.completed[idx])
+	}
+	return out
+}
+
+// Slowest returns up to n completed segments by descending duration.
+func (t *Tracer) Slowest(n int) []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.slow) {
+		n = len(t.slow)
+	}
+	return append([]*Trace(nil), t.slow[:n]...)
+}
+
+// Exemplar ties one latency histogram bucket to a representative
+// trace: the most recent completed trace of that operation whose
+// duration fell in the bucket.
+type Exemplar struct {
+	Op string `json:"op"`
+	// Bucket is the histogram upper bound in seconds (-1: overflow).
+	Bucket   float64       `json:"le"`
+	Trace    TraceID       `json:"trace"`
+	Duration time.Duration `json:"duration_ns"`
+	// N counts traces that landed in this bucket.
+	N int64 `json:"n"`
+}
+
+// Exemplars returns every populated (op, bucket) exemplar, ordered by
+// op then bucket.
+func (t *Tracer) Exemplars() []Exemplar {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ops := make([]string, 0, len(t.exemplars))
+	for op := range t.exemplars {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	var out []Exemplar
+	for _, op := range ops {
+		for _, ex := range t.exemplars[op] {
+			if ex.N > 0 {
+				out = append(out, ex)
+			}
+		}
+	}
+	return out
+}
+
+// ActiveCount reports trace segments still open — the span-tree lens
+// asserts zero once a bounded schedule has drained.
+func (t *Tracer) ActiveCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// ActiveIDs lists the open segments' TraceIDs (diagnostics for the
+// lens's violation reports).
+func (t *Tracer) ActiveIDs() []TraceID {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceID(nil), t.order...)
+}
+
+// Stats reports lifetime counters: spans started, segments finished,
+// spans force-ended by AbandonNode, and segments evicted under the
+// MaxActive bound.
+func (t *Tracer) Stats() (started, finished, abandoned, evicted int64) {
+	if t == nil {
+		return 0, 0, 0, 0
+	}
+	return t.started.Load(), t.finished.Load(), t.abandoned.Load(), t.evicted.Load()
+}
+
+// KnownSpan reports whether the tracer ever recorded (trace, span) —
+// parent resolution across segments for the lens. Requires
+// Config.RetainIndex.
+func (t *Tracer) KnownSpan(trace TraceID, span SpanID) bool {
+	if t == nil || t.index == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := t.index[trace]
+	_, ok := ids[span]
+	return ok
+}

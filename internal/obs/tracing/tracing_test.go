@@ -1,0 +1,353 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/clock"
+)
+
+func simNow(c *clock.Sim) func() time.Time { return c.Now }
+
+// TestSpanTreeAssembly walks a trace shaped like a real write — root,
+// dispatch child, two approval pushes, a replication ship — and checks
+// the completed segment holds all spans with resolvable parents.
+func TestSpanTreeAssembly(t *testing.T) {
+	sim := clock.NewSim()
+	tr := New(Config{Now: simNow(sim), Node: "s0", SampleRate: 1, Seed: 7})
+
+	root := tr.StartRoot("client.write")
+	if !root.Recording() {
+		t.Fatal("sampled root not recording")
+	}
+	disp := tr.StartChild(root.Context(), "server.write")
+	disp.SetFanout(2)
+	p1 := tr.StartChild(disp.Context(), "approve.push")
+	p2 := tr.StartChild(disp.Context(), "approve.push")
+	sim.Advance(3 * time.Millisecond)
+	p1.EndNote("approve")
+	p2.EndNote("expire")
+	ship := tr.StartChild(disp.Context(), "repl.ship")
+	sim.Advance(1 * time.Millisecond)
+	ship.EndNote("peer=1 ok")
+	disp.End()
+	sim.Advance(time.Millisecond)
+	root.End()
+
+	if n := tr.ActiveCount(); n != 0 {
+		t.Fatalf("ActiveCount = %d after all spans ended", n)
+	}
+	got := tr.Recent(0)
+	if len(got) != 1 {
+		t.Fatalf("Recent: %d traces, want 1", len(got))
+	}
+	seg := got[0]
+	if seg.Op != "client.write" || seg.ID != root.Context().TraceID {
+		t.Fatalf("segment op=%q id=%x, want root's", seg.Op, seg.ID)
+	}
+	if len(seg.Spans) != 5 {
+		t.Fatalf("segment has %d spans, want 5", len(seg.Spans))
+	}
+	if seg.Duration != 5*time.Millisecond {
+		t.Fatalf("trace duration = %v, want 5ms", seg.Duration)
+	}
+	ids := map[SpanID]bool{}
+	for _, s := range seg.Spans {
+		ids[s.ID] = true
+	}
+	fanout := 0
+	for _, s := range seg.Spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			t.Errorf("span %q parent %x not in segment", s.Name, s.Parent)
+		}
+		if s.End.Before(s.Start) {
+			t.Errorf("span %q ends before it starts", s.Name)
+		}
+		if s.Name == "approve.push" && s.Parent == disp.Context().SpanID {
+			fanout++
+		}
+	}
+	for _, s := range seg.Spans {
+		if s.Fanout != 0 && s.Fanout != fanout {
+			t.Errorf("declared fanout %d, counted %d", s.Fanout, fanout)
+		}
+	}
+}
+
+// TestSamplingDeterministic pins that equal seeds make equal sampling
+// decisions and that the rate roughly holds.
+func TestSamplingDeterministic(t *testing.T) {
+	decide := func(seed int64) []bool {
+		tr := New(Config{SampleRate: 0.25, Seed: seed})
+		out := make([]bool, 200)
+		for i := range out {
+			sp := tr.StartRoot("op")
+			out[i] = sp.Recording()
+			sp.End()
+		}
+		return out
+	}
+	a, b := decide(42), decide(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling diverged at %d for equal seeds", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits < 20 || hits > 80 {
+		t.Fatalf("rate 0.25 sampled %d/200", hits)
+	}
+	c := decide(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds made identical decisions")
+	}
+}
+
+// TestUnsampledPropagation: a rejected root's context is invalid, and
+// children of an invalid context never record.
+func TestUnsampledPropagation(t *testing.T) {
+	tr := New(Config{SampleRate: 0})
+	root := tr.StartRoot("op")
+	if root.Recording() {
+		t.Fatal("rate-0 root recorded")
+	}
+	if root.Context().Valid() {
+		t.Fatal("rejected root has valid context")
+	}
+	if ch := tr.StartChild(root.Context(), "child"); ch.Recording() {
+		t.Fatal("child of unsampled context recorded")
+	}
+	// All methods on the zero Span are no-ops.
+	root.Annotate("x")
+	root.SetFanout(3)
+	root.End()
+	root.End()
+}
+
+// TestRemoteParentSegment: a child arriving with a wire context opens
+// its own segment flagged Remote, as on a server receiving a traced
+// request.
+func TestRemoteParentSegment(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 1, Node: "srv"})
+	wire := Context{TraceID: 0xabc, SpanID: 0xdef, Sampled: true}
+	sp := tr.StartChild(wire, "server.write")
+	sp.End()
+	segs := tr.Recent(0)
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	s := segs[0].Spans[0]
+	if !s.Remote || s.Parent != 0xdef || s.Trace != 0xabc {
+		t.Fatalf("remote span not flagged/linked: %+v", s)
+	}
+}
+
+// TestLateRetryOpensNewSegment: after a TraceID completes, a late span
+// (delayed duplicate of an at-least-once retry) must open a fresh
+// segment, never mutate the completed one.
+func TestLateRetryOpensNewSegment(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 3, RetainIndex: true})
+	root := tr.StartRoot("client.write")
+	ctx := root.Context()
+	first := tr.StartChild(ctx, "server.write")
+	first.End()
+	root.End()
+	if len(tr.Recent(0)) != 1 {
+		t.Fatal("first segment not completed")
+	}
+	late := tr.StartChild(ctx, "server.write")
+	if !late.Recording() {
+		t.Fatal("late child not recorded")
+	}
+	if tr.ActiveCount() != 1 {
+		t.Fatal("late child did not open a new segment")
+	}
+	late.End()
+	segs := tr.Recent(0)
+	if len(segs) != 2 {
+		t.Fatalf("%d segments, want 2", len(segs))
+	}
+	if len(segs[1].Spans) != 2 {
+		t.Fatalf("first segment grew to %d spans", len(segs[1].Spans))
+	}
+	if !tr.KnownSpan(ctx.TraceID, ctx.SpanID) {
+		t.Fatal("index lost the root span")
+	}
+}
+
+// TestAbandonNode force-ends a crashed node's spans and completes the
+// segment.
+func TestAbandonNode(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 5})
+	root := tr.StartRootNode("c1", "client.write")
+	srv := tr.StartChildNode("s0", root.Context(), "server.write")
+	_ = srv
+	tr.AbandonNode("s0", "crash")
+	root.EndNote("given-up")
+	segs := tr.Recent(0)
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	if segs[0].Abandoned != 1 {
+		t.Fatalf("Abandoned = %d, want 1", segs[0].Abandoned)
+	}
+	for _, s := range segs[0].Spans {
+		if s.Node == "s0" && s.Note != "crash" {
+			t.Fatalf("crashed span note = %q", s.Note)
+		}
+	}
+	if _, _, abandoned, _ := tr.Stats(); abandoned != 1 {
+		t.Fatalf("Stats abandoned = %d", abandoned)
+	}
+}
+
+// TestEviction: exceeding MaxActive force-completes the oldest
+// segment rather than growing without bound.
+func TestEviction(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 9, MaxActive: 2})
+	a := tr.StartRoot("a")
+	b := tr.StartRoot("b")
+	c := tr.StartRoot("c") // evicts a's segment
+	if n := tr.ActiveCount(); n != 2 {
+		t.Fatalf("ActiveCount = %d, want 2", n)
+	}
+	segs := tr.Recent(0)
+	if len(segs) != 1 || segs[0].Op != "a" || segs[0].Abandoned != 1 {
+		t.Fatalf("evicted segment wrong: %+v", segs)
+	}
+	if segs[0].Spans[0].Note != "evicted" {
+		t.Fatalf("evicted span note = %q", segs[0].Spans[0].Note)
+	}
+	// Ending an evicted span later is harmless.
+	a.End()
+	b.End()
+	c.End()
+	if _, _, _, ev := tr.Stats(); ev != 1 {
+		t.Fatalf("Stats evicted = %d", ev)
+	}
+}
+
+// TestSlowestAndExemplars: the slow list orders by duration and each
+// op/bucket exemplar points at a trace from that bucket.
+func TestSlowestAndExemplars(t *testing.T) {
+	sim := clock.NewSim()
+	tr := New(Config{Now: simNow(sim), SampleRate: 1, Seed: 11, SlowN: 2})
+	durs := []time.Duration{3 * time.Millisecond, 40 * time.Millisecond, 800 * time.Microsecond}
+	for _, d := range durs {
+		sp := tr.StartRoot("client.write")
+		sim.Advance(d)
+		sp.End()
+	}
+	slow := tr.Slowest(0)
+	if len(slow) != 2 {
+		t.Fatalf("Slowest kept %d, want 2", len(slow))
+	}
+	if slow[0].Duration != 40*time.Millisecond || slow[1].Duration != 3*time.Millisecond {
+		t.Fatalf("slow order wrong: %v, %v", slow[0].Duration, slow[1].Duration)
+	}
+	exs := tr.Exemplars()
+	if len(exs) != 3 {
+		t.Fatalf("%d exemplars, want 3 distinct buckets", len(exs))
+	}
+	for _, ex := range exs {
+		if ex.Op != "client.write" || ex.Trace == 0 || ex.N != 1 {
+			t.Fatalf("bad exemplar %+v", ex)
+		}
+		if ex.Bucket > 0 && ex.Duration.Seconds() > ex.Bucket {
+			t.Fatalf("exemplar %v above its bucket %v", ex.Duration, ex.Bucket)
+		}
+	}
+}
+
+// TestRecentRing: the completed ring keeps the newest N and Recent
+// returns newest first.
+func TestRecentRing(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 13, Completed: 4})
+	for i := 0; i < 6; i++ {
+		sp := tr.StartRoot("op")
+		sp.End()
+	}
+	got := tr.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d, want 4", len(got))
+	}
+	if got2 := tr.Recent(2); len(got2) != 2 || got2[0] != got[0] {
+		t.Fatal("Recent(2) not newest-first prefix")
+	}
+}
+
+// TestNilTracer: every method on the nil tracer and zero span is a
+// safe no-op.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	sp := tr.StartRoot("op")
+	if sp.Recording() || sp.Context().Valid() {
+		t.Fatal("nil tracer recorded")
+	}
+	sp.Annotate("x")
+	sp.End()
+	tr.StartChild(Context{TraceID: 1, SpanID: 2, Sampled: true}, "c").End()
+	tr.AbandonNode("n", "crash")
+	if tr.Recent(5) != nil || tr.Slowest(5) != nil || tr.Exemplars() != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	if tr.ActiveCount() != 0 || tr.KnownSpan(1, 2) {
+		t.Fatal("nil tracer claims state")
+	}
+}
+
+// TestAllocFreeTracingDisabled pins the disabled hot path: a nil
+// tracer must allocate nothing on root, child, or span ops.
+func TestAllocFreeTracingDisabled(t *testing.T) {
+	var tr *Tracer
+	ctx := Context{TraceID: 1, SpanID: 2, Sampled: true}
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartRoot("client.write")
+		ch := tr.StartChild(ctx, "server.write")
+		ch.Annotate("x")
+		ch.End()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("nil tracer allocates %v per op", n)
+	}
+}
+
+// TestAllocFreeSamplerRejecting pins the enabled-but-rejected hot
+// path: with the sampler turning a request down, StartRoot and the
+// zero-span methods must allocate nothing.
+func TestAllocFreeSamplerRejecting(t *testing.T) {
+	tr := New(Config{SampleRate: 0, Seed: 17})
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartRoot("client.write")
+		sp.SetFanout(2)
+		sp.End()
+		tr.StartChild(sp.Context(), "server.write").End()
+	}); n != 0 {
+		t.Fatalf("rejected sampling allocates %v per op", n)
+	}
+}
+
+// TestAllocFreeUnsampledChild pins the server-side fast path: a frame
+// that arrived without (or with unsampled) trace context must not
+// allocate in StartChild even on an enabled, always-sampling tracer.
+func TestAllocFreeUnsampledChild(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Seed: 19})
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.StartChild(Context{}, "server.write").End()
+	}); n != 0 {
+		t.Fatalf("unsampled child allocates %v per op", n)
+	}
+}

@@ -3,6 +3,8 @@ package proto
 import (
 	"io"
 	"sync"
+
+	"leases/internal/obs/tracing"
 )
 
 // Coalescer batches outbound frames for one connection by group commit
@@ -79,6 +81,13 @@ func NewCoalescer(w io.Writer) *Coalescer {
 // the active leader's next batch carries the frame. It may also block
 // on backpressure.
 func (c *Coalescer) Append(t MsgType, reqID uint64, fill func(*Enc)) bool {
+	return c.AppendCtx(t, reqID, tracing.Context{}, fill)
+}
+
+// AppendCtx is Append with a trace context: when tc is valid the frame
+// carries a trace header (callers only pass a valid tc toward peers
+// that negotiated FeatTrace).
+func (c *Coalescer) AppendCtx(t MsgType, reqID uint64, tc tracing.Context, fill func(*Enc)) bool {
 	c.mu.Lock()
 	for len(c.pending) >= MaxPending && !c.closed && c.err == nil {
 		if c.OnStall != nil {
@@ -91,7 +100,7 @@ func (c *Coalescer) Append(t MsgType, reqID uint64, fill func(*Enc)) bool {
 		return false
 	}
 	start := len(c.pending)
-	c.pending = BeginFrame(c.pending, t, reqID)
+	c.pending = BeginFrameCtx(c.pending, t, reqID, tc)
 	if fill != nil {
 		e := EncOn(c.pending)
 		fill(&e)
@@ -114,10 +123,16 @@ func (c *Coalescer) Append(t MsgType, reqID uint64, fill func(*Enc)) bool {
 // AppendPayload is the one-shot form of Append for callers already
 // holding an encoded payload.
 func (c *Coalescer) AppendPayload(t MsgType, reqID uint64, payload []byte) bool {
+	return c.AppendPayloadCtx(t, reqID, tracing.Context{}, payload)
+}
+
+// AppendPayloadCtx is AppendPayload with a trace context (see
+// AppendCtx).
+func (c *Coalescer) AppendPayloadCtx(t MsgType, reqID uint64, tc tracing.Context, payload []byte) bool {
 	if len(payload) == 0 {
-		return c.Append(t, reqID, nil)
+		return c.AppendCtx(t, reqID, tc, nil)
 	}
-	return c.Append(t, reqID, func(e *Enc) { e.b = append(e.b, payload...) })
+	return c.AppendCtx(t, reqID, tc, func(e *Enc) { e.b = append(e.b, payload...) })
 }
 
 // Err reports the transport error that stopped the coalescer, if any.

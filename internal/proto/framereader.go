@@ -123,12 +123,13 @@ func (fr *FrameReader) Next() (Frame, error) {
 	bp := getBuf(int(n))
 	out := append((*bp)[:0], body...)
 	*bp = out
-	return Frame{
-		Type:    MsgType(out[0]),
-		ReqID:   binary.LittleEndian.Uint64(out[1:9]),
-		Payload: out[9:],
-		pooled:  bp,
-	}, nil
+	f, err := parseBody(out)
+	if err != nil {
+		putBuf(bp)
+		return Frame{}, err
+	}
+	f.pooled = bp
+	return f, nil
 }
 
 // readerPool recycles FrameReaders (and their grown buffers) across

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"leases/internal/obs/tracing"
 	"leases/internal/vfs"
 )
 
@@ -15,9 +16,19 @@ func FuzzReadFrame(f *testing.F) {
 	var seed bytes.Buffer
 	WriteFrame(&seed, Frame{Type: TRead, ReqID: 42, Payload: []byte("hello")})
 	f.Add(seed.Bytes())
+	var traced bytes.Buffer
+	WriteFrame(&traced, Frame{
+		Type:    TWrite,
+		ReqID:   7,
+		Trace:   tracing.Context{TraceID: 0xdeadbeefcafe, SpanID: 0x0123456789ab, Sampled: true},
+		Payload: []byte("traced"),
+	})
+	f.Add(traced.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{9, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0})
+	// Trace flag set but the 17-byte header truncated.
+	f.Add([]byte{10, 0, 0, 0, byte(TWrite) | TraceFlag, 1, 0, 0, 0, 0, 0, 0, 0, 9})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
 		if err != nil {
@@ -33,6 +44,15 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if fr2.Type != fr.Type || fr2.ReqID != fr.ReqID || !bytes.Equal(fr2.Payload, fr.Payload) {
 			t.Fatalf("re-encode mismatch: %+v vs %+v", fr2, fr)
+		}
+		// A valid decoded context must survive the round trip; an
+		// invalid one (header present but unsampled) normalizes away
+		// rather than resurrecting as valid.
+		if fr.Trace.Valid() && fr2.Trace != fr.Trace {
+			t.Fatalf("trace context lost: %+v vs %+v", fr2.Trace, fr.Trace)
+		}
+		if !fr.Trace.Valid() && fr2.Trace.Valid() {
+			t.Fatalf("invalid trace context resurrected: %+v", fr2.Trace)
 		}
 	})
 }

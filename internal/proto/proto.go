@@ -15,6 +15,15 @@
 // client→server approvals are one-way pushes with reqID 0 — the lease
 // protocol's callback path. All integers are little-endian; strings and
 // byte slices are length-prefixed with uint32.
+//
+// Trace header: a frame whose type byte has TraceFlag (0x80) set
+// carries a 17-byte trace context — traceID uint64, spanID uint64,
+// flags uint8 — between reqID and the payload, decoded into
+// Frame.Trace. The header is feature-negotiated: a peer only sets the
+// bit after the hello exchange advertised FeatTrace on both sides
+// (THello and THelloAck each end with an optional feature-bits uint64
+// that pre-feature decoders ignore as trailing bytes), so old peers
+// never see a type byte they can't parse.
 package proto
 
 import (
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"leases/internal/core"
+	"leases/internal/obs/tracing"
 	"leases/internal/vfs"
 )
 
@@ -109,6 +119,28 @@ const (
 	TReplMaxTerm
 )
 
+// TraceFlag marks a frame's type byte as carrying a trace header.
+// Message type values must stay below it.
+const TraceFlag = 0x80
+
+// traceWireLen is the encoded trace header: traceID, spanID, flags.
+const traceWireLen = 8 + 8 + 1
+
+// traceFlagSampled marks the context head-sampled (the only reason to
+// send it today; reserved bits must be zero on encode, ignored on
+// decode).
+const traceFlagSampled = 0x01
+
+// Feature bits exchanged in the hello handshake. THello's payload may
+// end with a uint64 of the client's feature bits, THelloAck's with the
+// server's; decoders that predate a feature ignore the trailing bytes,
+// so absence means "none". A capability is in force only when both
+// sides advertised it.
+const (
+	// FeatTrace: the peer understands TraceFlag'd frames.
+	FeatTrace uint64 = 1 << 0
+)
+
 // msgTypeNames maps request and push types to stable operation names
 // for metrics and tracing. Reply types are derived from their request.
 var msgTypeNames = map[MsgType]string{
@@ -170,8 +202,13 @@ var (
 
 // Frame is one decoded message envelope.
 type Frame struct {
-	Type    MsgType
-	ReqID   uint64
+	Type  MsgType
+	ReqID uint64
+	// Trace is the frame's trace context; the zero Context for frames
+	// without a trace header. Encoders emit a header exactly when
+	// Trace.Valid() — callers must only set it toward peers that
+	// negotiated FeatTrace.
+	Trace   tracing.Context
 	Payload []byte
 	// pooled is the backing buffer when the frame came off the frame
 	// pool; Recycle returns it.
@@ -235,6 +272,20 @@ func BeginFrame(dst []byte, t MsgType, reqID uint64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, reqID)
 }
 
+// BeginFrameCtx is BeginFrame plus a trace header when tc is a valid
+// (sampled) context; with the zero context it is exactly BeginFrame.
+// Only use a valid tc toward a peer that negotiated FeatTrace.
+func BeginFrameCtx(dst []byte, t MsgType, reqID uint64, tc tracing.Context) []byte {
+	if !tc.Valid() {
+		return BeginFrame(dst, t, reqID)
+	}
+	dst = append(dst, 0, 0, 0, 0, byte(t)|TraceFlag)
+	dst = binary.LittleEndian.AppendUint64(dst, reqID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tc.TraceID))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tc.SpanID))
+	return append(dst, traceFlagSampled)
+}
+
 // FinishFrame patches the length prefix of the frame begun at offset
 // start in buf, where start is len(buf) at the BeginFrame call. It
 // reports ErrFrameTooBig (leaving the prefix unpatched) if the payload
@@ -256,7 +307,7 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		return dst, ErrFrameTooBig
 	}
 	start := len(dst)
-	dst = BeginFrame(dst, f.Type, f.ReqID)
+	dst = BeginFrameCtx(dst, f.Type, f.ReqID, f.Trace)
 	dst = append(dst, f.Payload...)
 	if err := FinishFrame(dst, start); err != nil {
 		return dst[:start], err
@@ -271,9 +322,11 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrame {
 		return ErrFrameTooBig
 	}
-	bp := getBuf(frameHeader + len(f.Payload))
-	b, _ := AppendFrame((*bp)[:0], f)
-	_, err := w.Write(b)
+	bp := getBuf(frameHeader + traceWireLen + len(f.Payload))
+	b, err := AppendFrame((*bp)[:0], f)
+	if err == nil {
+		_, err = w.Write(b)
+	}
 	*bp = b
 	putBuf(bp)
 	return err
@@ -301,12 +354,37 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
 	*bp = body
-	return Frame{
+	f, err := parseBody(body)
+	if err != nil {
+		putBuf(bp)
+		return Frame{}, err
+	}
+	f.pooled = bp
+	return f, nil
+}
+
+// parseBody decodes a frame body (everything after the length prefix):
+// type, reqID, the optional trace header, and the payload view. The
+// payload aliases body.
+func parseBody(body []byte) (Frame, error) {
+	f := Frame{
 		Type:    MsgType(body[0]),
 		ReqID:   binary.LittleEndian.Uint64(body[1:9]),
 		Payload: body[9:],
-		pooled:  bp,
-	}, nil
+	}
+	if f.Type&TraceFlag != 0 {
+		if len(f.Payload) < traceWireLen {
+			return Frame{}, ErrTruncated
+		}
+		f.Type &^= TraceFlag
+		f.Trace = tracing.Context{
+			TraceID: tracing.TraceID(binary.LittleEndian.Uint64(f.Payload[0:8])),
+			SpanID:  tracing.SpanID(binary.LittleEndian.Uint64(f.Payload[8:16])),
+			Sampled: f.Payload[16]&traceFlagSampled != 0,
+		}
+		f.Payload = f.Payload[traceWireLen:]
+	}
+	return f, nil
 }
 
 // Enc is an append-style payload encoder.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"leases/internal/client"
+	"leases/internal/obs/tracing"
 	"leases/internal/stats"
 	"leases/internal/trace"
 	"leases/internal/vfs"
@@ -52,6 +53,10 @@ type Config struct {
 	// measuring the sustainable throughput of the serving path rather
 	// than replaying the trace's arrival process. Speedup is ignored.
 	OpenLoop bool
+	// Tracer, when non-nil, roots a client-side span on every sampled
+	// operation; when the server negotiated trace propagation, the
+	// context rides the wire so server-side /traces correlates.
+	Tracer *tracing.Tracer
 }
 
 // Result reports replay measurements.
@@ -144,6 +149,7 @@ func Run(cfg Config) (*Result, error) {
 		c, err := client.Dial(cfg.Addr, client.Config{
 			ID:        fmt.Sprintf("replay-c%d", i),
 			Allowance: cfg.Allowance,
+			Tracer:    cfg.Tracer,
 		})
 		if err != nil {
 			for _, prev := range caches[:i] {

@@ -9,6 +9,7 @@ import (
 
 	"leases/internal/clock"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/proto"
 )
 
@@ -34,6 +35,11 @@ type NodeConfig struct {
 	// DialTimeout bounds peer dials (default 2s).
 	DialTimeout time.Duration
 	Obs         *obs.Observer
+	// Tracer, when enabled, records per-peer replication ship spans
+	// under a sampled write's trace context and gives each election its
+	// own trace (prepare → elected → the server's promote/recovery
+	// spans). Nil is the disabled state and costs one branch.
+	Tracer *tracing.Tracer
 
 	// OnRole is invoked (from a dedicated goroutine) on role
 	// transitions with the new role and the master index this replica
@@ -103,6 +109,20 @@ type Node struct {
 	notifyMu  sync.Mutex
 	pending   *roleChange
 	notifySig chan struct{}
+
+	// shipOps are precomputed per-peer latency histogram names
+	// ("repl-ship-peer2"), so the replication hot path never formats a
+	// string.
+	shipOps []string
+
+	// Election trace state: one root span per election attempt, with an
+	// elect.prepare child covering the candidate round. The root stays
+	// open across the promotion catch-up (the server's failover.promote
+	// and recovery.window spans attach under it via ElectionContext) and
+	// is closed by EndElection or a demotion.
+	electMu   sync.Mutex
+	electRoot tracing.Span
+	electPrep tracing.Span
 }
 
 // NewNode creates (but does not start) a node.
@@ -125,6 +145,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Allowance: cfg.Allowance, Seed: cfg.Seed,
 	}, n.clk.Now())
 	for i, addr := range cfg.Peers {
+		n.shipOps = append(n.shipOps, fmt.Sprintf("repl-ship-peer%d", i))
 		if i == cfg.ID {
 			n.peers = append(n.peers, nil)
 			continue
@@ -168,6 +189,7 @@ func (n *Node) Stop() {
 				p.close()
 			}
 		}
+		n.EndElection("shutdown")
 	})
 	n.wg.Wait()
 }
@@ -252,6 +274,7 @@ func (n *Node) roleCheckLocked() {
 		demoted: n.lastRole == RoleMaster && role != RoleMaster,
 	}
 	n.lastRole, n.lastMaster = role, master
+	n.electionSpans(role, rc)
 	// Coalesce into the latest-value mailbox: the consumer always sees
 	// the newest role, with elected/demoted edges OR-ed so neither
 	// safety-relevant transition is ever lost. Never blocks the
@@ -269,6 +292,74 @@ func (n *Node) roleCheckLocked() {
 	case n.notifySig <- struct{}{}:
 	default: // a signal is already pending; the consumer will see ours
 	}
+}
+
+// electionSpans turns role transitions into an election trace: entering
+// the candidate role roots a new "election" trace with an
+// "elect.prepare" child covering the PaxosLease round; winning ends the
+// prepare span ("elected") but leaves the root open for the promotion
+// sequence (catch-up sync, Promote, recovery window — recorded by the
+// server under ElectionContext); losing the round or being demoted
+// closes everything. Sampling is the tracer's: an unsampled election
+// records nothing and the handles stay zero.
+func (n *Node) electionSpans(role Role, rc roleChange) {
+	if !n.cfg.Tracer.Enabled() {
+		return
+	}
+	n.electMu.Lock()
+	defer n.electMu.Unlock()
+	switch {
+	case rc.elected:
+		if !n.electRoot.Recording() {
+			// Defensive: an election observed without a candidate
+			// transition (coalesced edges) still gets a trace.
+			n.electRoot = n.cfg.Tracer.StartRoot("election")
+		}
+		if n.electPrep.Recording() {
+			n.electPrep.EndNote("elected")
+			n.electPrep = tracing.Span{}
+		}
+	case rc.demoted:
+		n.endElectionLocked("demoted")
+	case role == RoleCandidate:
+		if !n.electRoot.Recording() {
+			n.electRoot = n.cfg.Tracer.StartRoot("election")
+			n.electPrep = n.cfg.Tracer.StartChild(n.electRoot.Context(), "elect.prepare")
+		}
+	case role == RoleFollower:
+		// A candidate round that lapsed without a win.
+		n.endElectionLocked("lost")
+	}
+}
+
+func (n *Node) endElectionLocked(note string) {
+	if n.electPrep.Recording() {
+		n.electPrep.EndNote(note)
+		n.electPrep = tracing.Span{}
+	}
+	if n.electRoot.Recording() {
+		n.electRoot.EndNote(note)
+		n.electRoot = tracing.Span{}
+	}
+}
+
+// ElectionContext exposes the open election trace's context (zero when
+// none is open or the election was unsampled), so the promotion
+// sequence in cmd/leasesrv can attach its sync and promote spans to the
+// failover that caused them.
+func (n *Node) ElectionContext() tracing.Context {
+	n.electMu.Lock()
+	defer n.electMu.Unlock()
+	return n.electRoot.Context()
+}
+
+// EndElection closes the open election trace with an outcome note —
+// called once the promotion sequence completes (or fails) so the trace
+// covers election through serving.
+func (n *Node) EndElection(note string) {
+	n.electMu.Lock()
+	defer n.electMu.Unlock()
+	n.endElectionLocked(note)
 }
 
 // send dispatches outgoing election messages to their peers.
@@ -333,14 +424,14 @@ func (n *Node) notifyLoop() {
 			// When both edges coalesced, order them toward the final
 			// role: a replica ending up master was demoted first.
 			if rc.elected && rc.demoted && rc.role == RoleMaster {
-				o.Record(obs.Event{Type: obs.EvDemoted, Shard: n.cfg.ID})
-				o.Record(obs.Event{Type: obs.EvElected, Shard: n.cfg.ID})
+				o.Record(obs.Event{Type: obs.EvDemoted, Replica: n.cfg.ID})
+				o.Record(obs.Event{Type: obs.EvElected, Replica: n.cfg.ID})
 			} else {
 				if rc.elected {
-					o.Record(obs.Event{Type: obs.EvElected, Shard: n.cfg.ID})
+					o.Record(obs.Event{Type: obs.EvElected, Replica: n.cfg.ID})
 				}
 				if rc.demoted {
-					o.Record(obs.Event{Type: obs.EvDemoted, Shard: n.cfg.ID})
+					o.Record(obs.Event{Type: obs.EvDemoted, Replica: n.cfg.ID})
 				}
 			}
 		}
@@ -528,7 +619,12 @@ func (n *Node) masterFrameOK(from int, ballot uint64) bool {
 // have (or all have answered). each consumes (and must recycle) every
 // successful non-error reply and reports whether it counts toward the
 // quorum; nil counts every TOK-class reply.
-func (n *Node) broadcastRPC(t proto.MsgType, payload []byte, need int, each func(proto.Frame) bool) int {
+//
+// tc and span attach one child span per peer round-trip to a sampled
+// request's trace (the zero context records nothing); ops, when
+// non-nil, is the per-peer latency histogram name table (indexed by
+// peer id) each round-trip is observed under.
+func (n *Node) broadcastRPC(tc tracing.Context, span string, ops []string, t proto.MsgType, payload []byte, need int, each func(proto.Frame) bool) int {
 	var others []*peer
 	for _, p := range n.peers {
 		if p != nil {
@@ -546,7 +642,26 @@ func (n *Node) broadcastRPC(t proto.MsgType, payload []byte, need int, each func
 	for _, p := range others {
 		p := p
 		go func() {
+			sp := n.cfg.Tracer.StartChild(tc, span)
+			o := n.cfg.Obs
+			var start time.Time
+			if ops != nil && o.Enabled() {
+				start = n.clk.Now()
+			}
 			f, err := p.rpc(t, payload)
+			if ops != nil && o.Enabled() {
+				o.ObserveOp(ops[p.id], n.clk.Now().Sub(start))
+			}
+			if sp.Recording() {
+				switch {
+				case err != nil:
+					sp.EndNote(fmt.Sprintf("peer=%d err", p.id))
+				case f.Type == proto.TError:
+					sp.EndNote(fmt.Sprintf("peer=%d refused", p.id))
+				default:
+					sp.EndNote(fmt.Sprintf("peer=%d ok", p.id))
+				}
+			}
 			results <- result{f, err}
 		}()
 	}
@@ -596,7 +711,11 @@ func appliedReply(f proto.Frame) bool {
 // lose. Frames are stamped with the master lease's election ballot;
 // one retry re-stamps the current ballot to cover a frame racing a
 // lease renewal at a peer.
-func (n *Node) ReplicateWrite(fs FileState) error {
+//
+// tc is the causing write's trace context: a sampled write records one
+// "repl.ship" child span per peer round-trip, so /traces shows which
+// peer the quorum waited on. The zero context records nothing.
+func (n *Node) ReplicateWrite(tc tracing.Context, fs FileState) error {
 	need := n.quorum() - 1 // counting ourselves
 	if need <= 0 {
 		return nil
@@ -609,7 +728,7 @@ func (n *Node) ReplicateWrite(fs FileState) error {
 		}
 		var e proto.Enc
 		e.I64(int64(n.cfg.ID)).U64(ballot).U64(fs.Seq).Str(fs.Path).Blob(fs.Data)
-		acks := n.broadcastRPC(proto.TReplApply, e.Bytes(), need, appliedReply)
+		acks := n.broadcastRPC(tc, "repl.ship", n.shipOps, proto.TReplApply, e.Bytes(), need, appliedReply)
 		if acks >= need {
 			return nil
 		}
@@ -636,7 +755,7 @@ func (n *Node) ReplicateMaxTerm(d time.Duration) error {
 		}
 		var e proto.Enc
 		e.I64(int64(n.cfg.ID)).U64(ballot).Dur(d)
-		acks := n.broadcastRPC(proto.TReplMaxTerm, e.Bytes(), need, nil)
+		acks := n.broadcastRPC(tracing.Context{}, "", nil, proto.TReplMaxTerm, e.Bytes(), need, nil)
 		if acks >= need {
 			return nil
 		}
@@ -653,7 +772,11 @@ func (n *Node) ReplicateMaxTerm(d time.Duration) error {
 // acknowledged one. The caller's own state participates implicitly —
 // applying the merged files through a seq-guarded apply keeps newer
 // local entries, and the caller maxes the floor with its own.
-func (n *Node) SyncFromPeers() ([]FileState, time.Duration, error) {
+//
+// tc is the election trace's context during a promotion catch-up (one
+// "repl.sync" child span per peer round-trip); the zero context — a
+// follower's diskless rejoin — records nothing.
+func (n *Node) SyncFromPeers(tc tracing.Context) ([]FileState, time.Duration, error) {
 	need := n.quorum() - 1
 	if need <= 0 {
 		return nil, 0, nil
@@ -667,7 +790,7 @@ func (n *Node) SyncFromPeers() ([]FileState, time.Duration, error) {
 	// zero).
 	var e proto.Enc
 	e.I64(int64(n.cfg.ID)).U64(n.MasterBallot())
-	acks := n.broadcastRPC(proto.TReplSync, e.Bytes(), need, func(f proto.Frame) bool {
+	acks := n.broadcastRPC(tc, "repl.sync", nil, proto.TReplSync, e.Bytes(), need, func(f proto.Frame) bool {
 		if f.Type != proto.TReplSyncRep {
 			f.Recycle()
 			return false
@@ -707,9 +830,9 @@ func (n *Node) SyncFromPeers() ([]FileState, time.Duration, error) {
 // returns an error only when the node stops or the mastership lapses,
 // in which case the caller must NOT promote: serving stays gated and
 // the next election retries the whole sequence.
-func (n *Node) SyncForPromotion() ([]FileState, time.Duration, error) {
+func (n *Node) SyncForPromotion(tc tracing.Context) ([]FileState, time.Duration, error) {
 	for {
-		files, floor, err := n.SyncFromPeers()
+		files, floor, err := n.SyncFromPeers(tc)
 		if err == nil {
 			return files, floor, nil
 		}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"leases/internal/obs/tracing"
 )
 
 // freeAddrs reserves n distinct loopback addresses.
@@ -215,7 +217,7 @@ func TestReplicationRPCs(t *testing.T) {
 		t.Fatal("no master")
 	}
 	master := nodes[id]
-	if err := master.ReplicateWrite(FileState{Path: "/f0", Seq: 1, Data: []byte("hello")}); err != nil {
+	if err := master.ReplicateWrite(tracing.Context{}, FileState{Path: "/f0", Seq: 1, Data: []byte("hello")}); err != nil {
 		t.Fatalf("ReplicateWrite: %v", err)
 	}
 	if err := master.ReplicateMaxTerm(nodeTerm); err != nil {
@@ -251,7 +253,7 @@ func TestReplicationRPCs(t *testing.T) {
 	// whatever peer the sync's single needed ack came from.
 	found := false
 	for _, peerID := range []int{(id + 1) % 3, (id + 2) % 3} {
-		files, _, err := nodes[peerID].SyncFromPeers()
+		files, _, err := nodes[peerID].SyncFromPeers(tracing.Context{})
 		if err != nil {
 			t.Fatalf("SyncFromPeers from %d: %v", peerID, err)
 		}
@@ -309,13 +311,13 @@ func TestReplicateWriteHonestAcks(t *testing.T) {
 		t.Fatal("no master")
 	}
 	master := nodes[id]
-	if err := master.ReplicateWrite(FileState{Path: "/f0", Seq: 1, Data: []byte("v1")}); err != nil {
+	if err := master.ReplicateWrite(tracing.Context{}, FileState{Path: "/f0", Seq: 1, Data: []byte("v1")}); err != nil {
 		t.Fatalf("first ReplicateWrite: %v", err)
 	}
-	if err := master.ReplicateWrite(FileState{Path: "/f0", Seq: 1, Data: []byte("v1")}); err == nil {
+	if err := master.ReplicateWrite(tracing.Context{}, FileState{Path: "/f0", Seq: 1, Data: []byte("v1")}); err == nil {
 		t.Fatal("re-replicating an already-held sequence reached quorum on stale drops")
 	}
-	if err := master.ReplicateWrite(FileState{Path: "/f0", Seq: 2, Data: []byte("v2")}); err != nil {
+	if err := master.ReplicateWrite(tracing.Context{}, FileState{Path: "/f0", Seq: 2, Data: []byte("v2")}); err != nil {
 		t.Fatalf("ReplicateWrite seq 2: %v", err)
 	}
 }

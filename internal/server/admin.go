@@ -5,11 +5,16 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"leases/internal/core"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 )
+
+// Tracer returns the server's tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 
 // Obs returns the server's observer (nil when instrumentation is
 // disabled).
@@ -54,6 +59,9 @@ type leaseRecord struct {
 //	                counters, event totals, per-op latency histograms)
 //	/healthz        liveness probe
 //	/leases         JSON dump of the current lease table (Snapshot)
+//	/traces         recently completed trace segments (?n= caps count)
+//	/traces/slow    slowest-N traces with per-span breakdown, plus one
+//	                exemplar trace per populated latency bucket
 //	/debug/pprof/   the standard Go profiling endpoints
 //
 // Serve it on a side listener (leasesrv -metrics-addr), never on the
@@ -112,10 +120,86 @@ func (s *Server) AdminHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(out)
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		out := struct {
+			Enabled bool             `json:"enabled"`
+			Active  int              `json:"active"`
+			Traces  []*tracing.Trace `json:"traces"`
+		}{Enabled: s.tracer.Enabled()}
+		if s.tracer.Enabled() {
+			out.Active = s.tracer.ActiveCount()
+			out.Traces = s.tracer.Recent(n)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/traces/slow", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		out := struct {
+			Enabled   bool               `json:"enabled"`
+			Slowest   []slowTrace        `json:"slowest"`
+			Exemplars []tracing.Exemplar `json:"exemplars,omitempty"`
+		}{Enabled: s.tracer.Enabled()}
+		if s.tracer.Enabled() {
+			for _, tr := range s.tracer.Slowest(n) {
+				out.Slowest = append(out.Slowest, newSlowTrace(tr))
+			}
+			out.Exemplars = s.tracer.Exemplars()
+		}
+		writeJSON(w, out)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// slowTrace is one /traces/slow entry: a completed trace with a
+// per-span latency breakdown so a slow write decomposes into its
+// approval pushes, replica ships, and apply without reading raw spans.
+type slowTrace struct {
+	Trace    tracing.TraceID `json:"trace"`
+	Op       string          `json:"op"`
+	Node     string          `json:"node,omitempty"`
+	Start    time.Time       `json:"start"`
+	Duration time.Duration   `json:"duration_ns"`
+	Spans    []slowSpan      `json:"spans"`
+}
+
+type slowSpan struct {
+	Name     string        `json:"name"`
+	Node     string        `json:"node,omitempty"`
+	Note     string        `json:"note,omitempty"`
+	Duration time.Duration `json:"duration_ns"`
+	// Share is the span's fraction of the root duration — the quick
+	// read of where a slow request actually spent its time.
+	Share float64 `json:"share"`
+}
+
+func newSlowTrace(tr *tracing.Trace) slowTrace {
+	st := slowTrace{
+		Trace: tr.ID, Op: tr.Op, Node: tr.Node,
+		Start: tr.Start, Duration: tr.Duration,
+		Spans: make([]slowSpan, 0, len(tr.Spans)),
+	}
+	for _, sp := range tr.Spans {
+		share := 0.0
+		if tr.Duration > 0 {
+			share = float64(sp.Duration()) / float64(tr.Duration)
+		}
+		st.Spans = append(st.Spans, slowSpan{
+			Name: sp.Name, Node: sp.Node, Note: sp.Note,
+			Duration: sp.Duration(), Share: share,
+		})
+	}
+	return st
 }

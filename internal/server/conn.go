@@ -8,9 +8,31 @@ import (
 
 	"leases/internal/core"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/proto"
 	"leases/internal/vfs"
 )
+
+// serverSpanNames precomputes per-request span names so a traced
+// dispatch never builds a string on the hot path.
+var serverSpanNames = func() map[proto.MsgType]string {
+	m := make(map[proto.MsgType]string)
+	for _, t := range []proto.MsgType{
+		proto.TLookup, proto.TRead, proto.TWrite, proto.TExtend,
+		proto.TRelease, proto.TReadDir, proto.TStat, proto.TCreate,
+		proto.TMkdir, proto.TRemove, proto.TRename, proto.TSetPerm,
+	} {
+		m[t] = "server." + t.String()
+	}
+	return m
+}()
+
+func serverSpanName(t proto.MsgType) string {
+	if n, ok := serverSpanNames[t]; ok {
+		return n
+	}
+	return "server.op"
+}
 
 // serverConn is one client connection. All outbound frames — replies
 // from request goroutines and unsolicited approval pushes — funnel
@@ -99,6 +121,13 @@ func (s *Server) serveConn(nc net.Conn) {
 		c.fail(f.ReqID, fmt.Errorf("bad hello"))
 		return
 	}
+	// Optional trailing feature bits (absent from pre-feature clients:
+	// an empty remainder decodes as "no features").
+	var clientFeats uint64
+	if d.Remaining() >= 8 {
+		clientFeats = d.U64()
+	}
+	_ = clientFeats // the server sends no traced frames to clients yet
 	// A replica that does not hold the master lease — or holds it but
 	// has not finished promoting (catch-up sync + recovery window; see
 	// Server.serving) — refuses the session outright, carrying its
@@ -123,8 +152,11 @@ func (s *Server) serveConn(nc net.Conn) {
 	// session reconnecting) replaces the dead conn while the client's
 	// lease records — keyed by ID, not connection — survive untouched.
 	// The ack carries the server's boot ID so the client can tell a
-	// restart from a transient fault.
-	c.replyEnc(f.ReqID, proto.THelloAck, func(e *proto.Enc) { e.U64(s.boot) })
+	// restart from a transient fault, then the server's feature bits:
+	// advertising FeatTrace invites the client to stamp sampled
+	// requests with trace headers (pre-feature clients ignore the
+	// trailing bytes).
+	c.replyEnc(f.ReqID, proto.THelloAck, func(e *proto.Enc) { e.U64(s.boot).U64(proto.FeatTrace) })
 	f.Recycle()
 
 	defer func() {
@@ -207,26 +239,33 @@ func (c *serverConn) fail(reqID uint64, err error) {
 // histogram: decode through reply, including any write deferral — what
 // a client would see minus the network. It exists as a method (rather
 // than inline in the request goroutine) so the disabled path does not
-// grow the goroutine closure.
+// grow the goroutine closure. A frame carrying a sampled trace context
+// gets a dispatch span covering the same extent; its context parents
+// the approval fan-out, apply, and replication spans downstream.
 func (c *serverConn) dispatchTimed(f proto.Frame) {
 	s := c.srv
+	var sp tracing.Span
+	if f.Trace.Valid() {
+		sp = s.tracer.StartChild(f.Trace, serverSpanName(f.Type))
+	}
 	if o := s.obs; o.Enabled() {
 		start := s.clk.Now()
-		c.dispatch(f)
+		c.dispatch(f, sp.Context())
 		o.ObserveOp(f.Type.String(), s.clk.Now().Sub(start))
-		return
+	} else {
+		c.dispatch(f, sp.Context())
 	}
-	c.dispatch(f)
+	sp.End()
 }
 
-func (c *serverConn) dispatch(f proto.Frame) {
+func (c *serverConn) dispatch(f proto.Frame, tc tracing.Context) {
 	switch f.Type {
 	case proto.TLookup:
 		c.handleLookup(f)
 	case proto.TRead:
 		c.handleRead(f)
 	case proto.TWrite:
-		c.handleWrite(f)
+		c.handleWrite(f, tc)
 	case proto.TExtend:
 		c.handleExtend(f)
 	case proto.TRelease:
@@ -236,15 +275,15 @@ func (c *serverConn) dispatch(f proto.Frame) {
 	case proto.TStat:
 		c.handleStat(f)
 	case proto.TCreate:
-		c.handleCreate(f, false)
+		c.handleCreate(f, false, tc)
 	case proto.TMkdir:
-		c.handleCreate(f, true)
+		c.handleCreate(f, true, tc)
 	case proto.TRemove:
-		c.handleRemove(f)
+		c.handleRemove(f, tc)
 	case proto.TRename:
-		c.handleRename(f)
+		c.handleRename(f, tc)
 	case proto.TSetPerm:
-		c.handleSetPerm(f)
+		c.handleSetPerm(f, tc)
 	default:
 		c.fail(f.ReqID, fmt.Errorf("server: unknown message type %d", f.Type))
 	}
@@ -356,7 +395,7 @@ func (c *serverConn) handleRead(f proto.Frame) {
 	})
 }
 
-func (c *serverConn) handleWrite(f proto.Frame) {
+func (c *serverConn) handleWrite(f proto.Frame, tc tracing.Context) {
 	dec := proto.NewDec(f.Payload)
 	node := vfs.NodeID(dec.U64())
 	data := dec.Blob()
@@ -370,11 +409,11 @@ func (c *serverConn) handleWrite(f proto.Frame) {
 		return
 	}
 	var attr vfs.Attr
-	err := s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.FileData, Node: node}}, func() error {
+	err := s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.FileData, Node: node}}, tc, func() error {
 		// Replicate-before-apply: a quorum of replicas must hold the
 		// write before the local store does, so nothing a reader can
 		// observe at this master is ever lost to a failover.
-		if rerr := s.replicateFile(node, data); rerr != nil {
+		if rerr := s.replicateFile(node, data, tc); rerr != nil {
 			return rerr
 		}
 		var werr error
@@ -484,7 +523,7 @@ func (c *serverConn) handleStat(f proto.Frame) {
 
 // handleCreate covers TCreate (files) and TMkdir (directories): a write
 // to the parent directory's binding datum.
-func (c *serverConn) handleCreate(f proto.Frame, dir bool) {
+func (c *serverConn) handleCreate(f proto.Frame, dir bool, tc tracing.Context) {
 	dec := proto.NewDec(f.Payload)
 	path := dec.Str()
 	perm := vfs.Perm(dec.U8())
@@ -499,7 +538,7 @@ func (c *serverConn) handleCreate(f proto.Frame, dir bool) {
 		return
 	}
 	var attr vfs.Attr
-	err = s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.DirBinding, Node: parentAttr.ID}}, func() error {
+	err = s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.DirBinding, Node: parentAttr.ID}}, tc, func() error {
 		var cerr error
 		if dir {
 			attr, cerr = s.store.Mkdir(path, string(c.client), perm)
@@ -515,7 +554,7 @@ func (c *serverConn) handleCreate(f proto.Frame, dir bool) {
 	c.replyEnc(f.ReqID, proto.TCreateRep, func(e *proto.Enc) { e.Attr(attr) })
 }
 
-func (c *serverConn) handleRemove(f proto.Frame) {
+func (c *serverConn) handleRemove(f proto.Frame, tc tracing.Context) {
 	dec := proto.NewDec(f.Payload)
 	path := dec.Str()
 	if dec.Err != nil {
@@ -541,7 +580,7 @@ func (c *serverConn) handleRemove(f proto.Frame) {
 		{Kind: kind, Node: attr.ID},
 		{Kind: vfs.DirBinding, Node: parentAttr.ID},
 	}
-	err = s.acquireClearance(c.client, data, func() error {
+	err = s.acquireClearance(c.client, data, tc, func() error {
 		_, rerr := s.store.Remove(path)
 		return rerr
 	})
@@ -552,7 +591,7 @@ func (c *serverConn) handleRemove(f proto.Frame) {
 	c.reply(f.ReqID, proto.TOK, nil)
 }
 
-func (c *serverConn) handleRename(f proto.Frame) {
+func (c *serverConn) handleRename(f proto.Frame, tc tracing.Context) {
 	dec := proto.NewDec(f.Payload)
 	oldPath := dec.Str()
 	newPath := dec.Str()
@@ -575,7 +614,7 @@ func (c *serverConn) handleRename(f proto.Frame) {
 	if newParent.ID != oldParent.ID {
 		data = append(data, vfs.Datum{Kind: vfs.DirBinding, Node: newParent.ID})
 	}
-	err = s.acquireClearance(c.client, data, func() error {
+	err = s.acquireClearance(c.client, data, tc, func() error {
 		_, rerr := s.store.Rename(oldPath, newPath)
 		return rerr
 	})
@@ -589,7 +628,7 @@ func (c *serverConn) handleRename(f proto.Frame) {
 // handleSetPerm changes ownership/permissions — per §2, attribute
 // changes are writes to the parent's binding datum, so they defer on
 // conflicting binding leases like a rename would.
-func (c *serverConn) handleSetPerm(f proto.Frame) {
+func (c *serverConn) handleSetPerm(f proto.Frame, tc tracing.Context) {
 	dec := proto.NewDec(f.Payload)
 	node := vfs.NodeID(dec.U64())
 	owner := dec.Str()
@@ -619,7 +658,7 @@ func (c *serverConn) handleSetPerm(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	err = s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.DirBinding, Node: parentAttr.ID}}, func() error {
+	err = s.acquireClearance(c.client, []vfs.Datum{{Kind: vfs.DirBinding, Node: parentAttr.ID}}, tc, func() error {
 		_, perr := s.store.SetPerm(node, owner, perm)
 		return perr
 	})
@@ -634,6 +673,9 @@ func (c *serverConn) handleApprove(f proto.Frame) {
 	a := proto.NewDec(f.Payload).DecodeApproval()
 	s := c.srv
 	ready := s.lm.Approve(c.client, a.WriteID, s.clk.Now())
+	if s.tracer.Enabled() {
+		s.endApprovalSpan(a.WriteID, c.client, "approve")
+	}
 	if s.obs.Enabled() {
 		shard := s.lm.ShardForWrite(a.WriteID)
 		s.obs.Record(obs.Event{

@@ -2,8 +2,10 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
+	"leases/internal/obs/tracing"
 	"leases/internal/vfs"
 )
 
@@ -35,8 +37,11 @@ type Replica interface {
 	// MasterExpiry is when this replica's master lease lapses on its
 	// own clock (zero when not master).
 	MasterExpiry() time.Time
-	// ReplicateWrite pushes one committed file write to a quorum.
-	ReplicateWrite(path string, seq uint64, data []byte) error
+	// ReplicateWrite pushes one committed file write to a quorum. tc
+	// is the causing request's trace context: a sampled write's
+	// per-peer ships record child spans under it (the zero context —
+	// untraced — costs nothing).
+	ReplicateWrite(tc tracing.Context, path string, seq uint64, data []byte) error
 	// ReplicateMaxTerm pushes a new maximum granted term to a quorum.
 	ReplicateMaxTerm(d time.Duration) error
 }
@@ -71,7 +76,7 @@ func (f *maxTermFile) floor() time.Duration {
 // holds, so a master crash immediately after the read can never roll
 // the write back under a failover — the new master's catch-up sync
 // intersects every write quorum and recovers it.
-func (s *Server) replicateFile(node vfs.NodeID, data []byte) error {
+func (s *Server) replicateFile(node vfs.NodeID, data []byte, tc tracing.Context) error {
 	r := s.cfg.Replica
 	if r == nil {
 		return nil
@@ -87,7 +92,16 @@ func (s *Server) replicateFile(node vfs.NodeID, data []byte) error {
 	seq := s.replSeq[path] + 1
 	s.replSeq[path] = seq
 	s.replMu.Unlock()
-	return r.ReplicateWrite(path, seq, data)
+	if o := s.obs; o.Enabled() {
+		// The quorum wait is the replication tax every write pays
+		// before it may apply — the /metrics histogram an operator
+		// reads next to the per-peer ship latencies (internal/replica).
+		start := s.clk.Now()
+		err = r.ReplicateWrite(tc, path, seq, data)
+		o.ObserveOp("repl-quorum-wait", s.clk.Now().Sub(start))
+		return err
+	}
+	return r.ReplicateWrite(tc, path, seq, data)
 }
 
 // replicateTermRaise mirrors maxTermFile.update at the replication
@@ -108,7 +122,14 @@ func (s *Server) replicateTermRaise(term time.Duration) error {
 	if term <= known {
 		return nil
 	}
-	if err := r.ReplicateMaxTerm(term); err != nil {
+	if o := s.obs; o.Enabled() {
+		start := s.clk.Now()
+		err := r.ReplicateMaxTerm(term)
+		o.ObserveOp("repl-term-quorum-wait", s.clk.Now().Sub(start))
+		if err != nil {
+			return err
+		}
+	} else if err := r.ReplicateMaxTerm(term); err != nil {
 		return err
 	}
 	s.replMu.Lock()
@@ -213,7 +234,12 @@ func (s *Server) PersistMaxTerm(d time.Duration) error {
 // section that arms the window, so no session or write can slip in
 // between the election win and the merged state (hellos and clearance
 // both check serving()).
-func (s *Server) Promote(files []ReplFile, termFloor time.Duration) {
+// tc is the failover's trace context (the election trace from
+// internal/replica); when sampled, the promotion records a span and
+// the armed recovery window gets its own span ending when the window
+// elapses, so a failover trace shows exactly how long §2 held writes.
+func (s *Server) Promote(tc tracing.Context, files []ReplFile, termFloor time.Duration) {
+	sp := s.tracer.StartChild(tc, "failover.promote")
 	for _, f := range files {
 		s.ApplyReplicated(f.Path, f.Seq, f.Data)
 	}
@@ -228,6 +254,24 @@ func (s *Server) Promote(files []ReplFile, termFloor time.Duration) {
 	s.recoverUntil = s.clk.Now().Add(window)
 	s.serveOK = true
 	s.replMu.Unlock()
+	if sp.Recording() {
+		sp.EndNote(fmt.Sprintf("files=%d window=%s", len(files), window))
+		if window > 0 {
+			winSp := s.tracer.StartChild(tc, "recovery.window")
+			fire, stopTimer := s.clk.After(window)
+			go func() {
+				select {
+				case <-fire:
+					winSp.End()
+				case <-s.stopped:
+					stopTimer()
+					winSp.EndNote("shutdown")
+				}
+			}()
+		}
+	} else {
+		sp.End()
+	}
 }
 
 // ReplTermFloor is the largest lease term this replica knows

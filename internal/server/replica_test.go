@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"leases/internal/client"
+	"leases/internal/obs/tracing"
 	"leases/internal/server"
 )
 
@@ -14,12 +15,12 @@ import (
 // IsMaster says.
 type gateReplica struct{}
 
-func (gateReplica) IsMaster() bool                              { return true }
-func (gateReplica) MasterIndex() int                            { return 0 }
-func (gateReplica) MasterExpiry() time.Time                     { return time.Time{} }
-func (gateReplica) Role() string                                { return "master" }
-func (gateReplica) ReplicateWrite(string, uint64, []byte) error { return nil }
-func (gateReplica) ReplicateMaxTerm(time.Duration) error        { return nil }
+func (gateReplica) IsMaster() bool                                               { return true }
+func (gateReplica) MasterIndex() int                                             { return 0 }
+func (gateReplica) MasterExpiry() time.Time                                      { return time.Time{} }
+func (gateReplica) Role() string                                                 { return "master" }
+func (gateReplica) ReplicateWrite(tracing.Context, string, uint64, []byte) error { return nil }
+func (gateReplica) ReplicateMaxTerm(time.Duration) error                         { return nil }
 
 // TestServingGateOpensAtPromote: a replicated server refuses hellos
 // between the election win (IsMaster true) and the completed promotion
@@ -37,7 +38,7 @@ func TestServingGateOpensAtPromote(t *testing.T) {
 		t.Fatal("server accepted a session before Promote")
 	}
 
-	srv.Promote(nil, 0)
+	srv.Promote(tracing.Context{}, nil, 0)
 	c, err := client.Dial(addr, cfg)
 	if err != nil {
 		t.Fatalf("dial after Promote: %v", err)

@@ -33,6 +33,7 @@ import (
 	"leases/internal/clock"
 	"leases/internal/core"
 	"leases/internal/obs"
+	"leases/internal/obs/tracing"
 	"leases/internal/proto"
 	"leases/internal/vfs"
 )
@@ -73,6 +74,12 @@ type Config struct {
 	// latency observations. Nil disables instrumentation; the request
 	// path then costs one branch per hook and no allocations.
 	Obs *obs.Observer
+	// Tracer, when non-nil, records causal spans for sampled requests:
+	// dispatch, the approval fan-out per holder, write apply, and the
+	// per-peer replication ships. Trace contexts arrive in the wire
+	// frames of clients that negotiated proto.FeatTrace. Nil disables
+	// tracing at the same cost as Obs: one branch, no allocations.
+	Tracer *tracing.Tracer
 	// Replica, when non-nil, runs this server as one replica of a
 	// replicated lease service: hellos are refused (with a redirect
 	// hint) unless this replica holds the master lease, committed
@@ -84,11 +91,20 @@ type Config struct {
 
 // Server is a running lease file server.
 type Server struct {
-	cfg   Config
-	clk   clock.Clock
-	store *vfs.Store
-	lm    *core.ShardedManager
-	obs   *obs.Observer // nil = instrumentation disabled
+	cfg    Config
+	clk    clock.Clock
+	store  *vfs.Store
+	lm     *core.ShardedManager
+	obs    *obs.Observer   // nil = instrumentation disabled
+	tracer *tracing.Tracer // nil = tracing disabled
+
+	// spanMu guards writeSpans: the open approval-push spans of traced
+	// deferred writes, keyed by write then holder, so the approve path
+	// (conn.go), the expiry release and the timeout path can each end
+	// the spans of the holders they unblocked. Populated only for
+	// sampled writes — untraced writes never touch the map.
+	spanMu     sync.Mutex
+	writeSpans map[core.WriteID]map[core.ClientID]tracing.Span
 
 	connMu sync.RWMutex // conns, raw, ln
 	conns  map[core.ClientID]*serverConn
@@ -165,17 +181,19 @@ func New(cfg Config) *Server {
 		}
 	}
 	s := &Server{
-		cfg:     cfg,
-		clk:     cfg.Clock,
-		obs:     cfg.Obs,
-		store:   vfs.New(cfg.Clock, cfg.Owner),
-		lm:      core.NewShardedManager(cfg.Shards, policy, opts...),
-		conns:   make(map[core.ClientID]*serverConn),
-		raw:     make(map[net.Conn]struct{}),
-		waiters: make(map[core.WriteID]chan struct{}),
-		stopped: make(chan struct{}),
-		kicks:   make([]chan struct{}, cfg.Shards),
-		replSeq: make(map[string]uint64),
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		obs:        cfg.Obs,
+		tracer:     cfg.Tracer,
+		store:      vfs.New(cfg.Clock, cfg.Owner),
+		lm:         core.NewShardedManager(cfg.Shards, policy, opts...),
+		conns:      make(map[core.ClientID]*serverConn),
+		raw:        make(map[net.Conn]struct{}),
+		waiters:    make(map[core.WriteID]chan struct{}),
+		writeSpans: make(map[core.WriteID]map[core.ClientID]tracing.Span),
+		stopped:    make(chan struct{}),
+		kicks:      make([]chan struct{}, cfg.Shards),
+		replSeq:    make(map[string]uint64),
 
 		boot:     uint64(time.Now().UnixNano()),
 		maxTermF: maxTermF,
@@ -384,11 +402,58 @@ func (s *Server) failAllWaiters() {
 // errShutdown reports a write aborted by server shutdown or timeout.
 var errShutdown = errors.New("server: shutting down")
 
+// registerApprovalSpan files an open approval-push span under its
+// write and holder so whichever path unblocks the holder can end it.
+func (s *Server) registerApprovalSpan(id core.WriteID, holder core.ClientID, sp tracing.Span) {
+	s.spanMu.Lock()
+	m := s.writeSpans[id]
+	if m == nil {
+		m = make(map[core.ClientID]tracing.Span)
+		s.writeSpans[id] = m
+	}
+	m[holder] = sp
+	s.spanMu.Unlock()
+}
+
+// endApprovalSpan ends one holder's approval-push span (the approve
+// path); a miss is fine — the write was untraced or already resolved.
+func (s *Server) endApprovalSpan(id core.WriteID, holder core.ClientID, note string) {
+	s.spanMu.Lock()
+	m := s.writeSpans[id]
+	sp, ok := m[holder]
+	if ok {
+		delete(m, holder)
+		if len(m) == 0 {
+			delete(s.writeSpans, id)
+		}
+	}
+	s.spanMu.Unlock()
+	if ok {
+		sp.EndNote(note)
+	}
+}
+
+// endApprovalSpans ends every span still open for a write: holders
+// that never approved, unblocked by lease expiry ("expire"), the write
+// timeout ("timeout"), or shutdown ("cancel").
+func (s *Server) endApprovalSpans(id core.WriteID, note string) {
+	s.spanMu.Lock()
+	m := s.writeSpans[id]
+	delete(s.writeSpans, id)
+	s.spanMu.Unlock()
+	for _, sp := range m {
+		sp.EndNote(note)
+	}
+}
+
 // acquireClearance defers until writer may write every datum in data,
 // then runs apply while still holding clearance and finally releases the
 // per-datum write queue entries. Data are acquired in sorted order to
-// prevent deadlock between concurrent multi-datum writes.
-func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply func() error) error {
+// prevent deadlock between concurrent multi-datum writes. tc is the
+// request's trace context: when it names a sampled trace, the fan-out
+// of approval pushes records one child span per holder (ended with the
+// reason the holder stopped blocking) and the apply gets its own span.
+func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, tc tracing.Context, apply func() error) error {
 	// A replicated master fresh from a failover first waits out the §2
 	// recovery window (and a replica that lost mastership refuses).
 	if err := s.awaitRecoverWindow(); err != nil {
@@ -440,11 +505,22 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 		s.waitMu.Lock()
 		s.waiters[disp.WriteID] = ch
 		s.waitMu.Unlock()
-		// Push approval requests to the connected holders.
+		// Push approval requests to the connected holders. For a traced
+		// write, each push opens a child span ended by the approve,
+		// expire, or timeout path; deferSpan carries the fan-out width
+		// the span-tree lens checks against the recorded pushes.
+		deferSpan := s.tracer.StartChild(tc, "write.defer")
+		pushed := 0
 		s.connMu.RLock()
 		for _, holder := range disp.NeedApproval {
 			if hc, ok := s.conns[holder]; ok {
+				if deferSpan.Recording() {
+					sp := s.tracer.StartChild(deferSpan.Context(), "approve.push")
+					sp.Annotate("holder=" + string(holder))
+					s.registerApprovalSpan(disp.WriteID, holder, sp)
+				}
 				hc.pushApproval(proto.ApprovalWire{WriteID: disp.WriteID, Datum: d})
+				pushed++
 				if s.obs.Enabled() {
 					s.obs.Record(obs.Event{
 						Type: obs.EvApproveRequest, Client: string(holder), Datum: d,
@@ -454,6 +530,7 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 			}
 		}
 		s.connMu.RUnlock()
+		deferSpan.SetFanout(pushed)
 		// Re-check after registering the waiter: approvals or expiries
 		// that landed between SubmitWriteHeld and registration left the
 		// write ready (readiness is sticky), and this call claims it.
@@ -473,10 +550,16 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 			select {
 			case <-s.stopped:
 				// Shutdown closes waiter channels without clearance.
+				s.endApprovalSpans(disp.WriteID, "cancel")
+				deferSpan.EndNote("cancel")
 				releaseHeld(false)
 				return errShutdown
 			default:
 			}
+			// Any push span still open belongs to a holder that never
+			// approved: the release came from its lease expiring (§2).
+			s.endApprovalSpans(disp.WriteID, "expire")
+			deferSpan.EndNote("cleared")
 			held = append(held, disp.WriteID)
 		case <-timeout:
 			s.waitMu.Lock()
@@ -494,12 +577,16 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 						Shard: shard, WriteID: uint64(disp.WriteID), Wait: now.Sub(clearStart),
 					})
 				}
+				s.endApprovalSpans(disp.WriteID, "timeout")
+				deferSpan.EndNote("timeout")
 				s.releaseReady(shard)
 				s.wake(shard)
 				releaseHeld(false)
 				return fmt.Errorf("server: write timed out awaiting lease clearance on %v", d)
 			}
 			// Cleared concurrently with the timeout: proceed.
+			s.endApprovalSpans(disp.WriteID, "expire")
+			deferSpan.EndNote("cleared")
 			held = append(held, disp.WriteID)
 		}
 	}
@@ -514,7 +601,13 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, apply 
 			Wait: s.clk.Now().Sub(clearStart),
 		})
 	}
+	applySpan := s.tracer.StartChild(tc, "write.apply")
 	err := apply()
+	if err != nil {
+		applySpan.EndNote("error")
+	} else {
+		applySpan.End()
+	}
 	releaseHeld(true)
 	return err
 }

@@ -503,8 +503,11 @@ func TestStatWireOperation(t *testing.T) {
 	if f.Type != proto.TError {
 		t.Fatalf("missing node reply type = %d, want TError", f.Type)
 	}
-	// Unknown message types error rather than hang.
-	proto.WriteFrame(raw, proto.Frame{Type: 250, ReqID: 4})
+	// Unknown message types error rather than hang. (The type byte's
+	// high bit is the trace-header flag, so stay below proto.TraceFlag —
+	// a flagged-but-truncated frame is a framing error, not a dispatch
+	// error, and kills the connection instead.)
+	proto.WriteFrame(raw, proto.Frame{Type: 120, ReqID: 4})
 	f, _ = proto.ReadFrame(raw)
 	if f.Type != proto.TError {
 		t.Fatalf("unknown type reply = %d, want TError", f.Type)
