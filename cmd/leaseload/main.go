@@ -9,6 +9,26 @@
 //	leasesrv -addr 127.0.0.1:7025 -term 10s -empty &
 //	leaseload -addr 127.0.0.1:7025 -gen v -dur 10m -speedup 60
 //	leaseload -addr 127.0.0.1:7025 -in v.trace -speedup 120
+//
+// With -mode it instead runs the portfolio renewal workload: -clients
+// clients each take leases on the same -files files under /pf and keep
+// them renewed for -dur of wall time, and the tool reports the
+// extension traffic per message type — the §4.3 economy measured off
+// the wire. The three modes renew the same portfolio three ways:
+//
+//	perfile   one ExtendData request per file per -renew-every
+//	          (O(files × clients) extension messages)
+//	batched   one ExtendAll request per client per -renew-every
+//	          (§3.1 batch renewal: O(clients) frames, O(files) payload)
+//	installed the server's periodic broadcast covers the whole class
+//	          (O(clients) frames total; run leasesrv with
+//	          -installed-dirs /pf and a -quiet-after-write under 1s,
+//	          so the seeding writes don't hold the files out of the
+//	          class for the whole run)
+//
+//	leasesrv -addr 127.0.0.1:7025 -term 10s -installed-dirs /pf \
+//	         -quiet-after-write 500ms -empty &
+//	leaseload -addr 127.0.0.1:7025 -mode installed -clients 8 -files 64 -dur 10s
 package main
 
 import (
@@ -16,11 +36,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"leases/internal/client"
 	"leases/internal/obs/tracing"
+	"leases/internal/proto"
 	"leases/internal/replay"
 	"leases/internal/trace"
+	"leases/internal/vfs"
 )
 
 func main() {
@@ -39,7 +64,14 @@ func main() {
 	depth := flag.Int("depth", 1, "per-client pipeline depth (ops in flight; 1 = blocking)")
 	open := flag.Bool("open", false, "open-loop: issue as fast as the pipeline window allows, ignoring trace timing")
 	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability for client-rooted traces (0 disables); sampled contexts ride the wire, so the server's /traces correlates")
+	mode := flag.String("mode", "", "portfolio renewal workload instead of trace replay: perfile|batched|installed (see the command doc)")
+	renewEvery := flag.Duration("renew-every", time.Second, "portfolio renewal period (perfile/batched request cadence; installed arms the client loop at this period and lets broadcasts do the work)")
 	flag.Parse()
+
+	if *mode != "" {
+		runPortfolio(*addr, *mode, *clients, *files, *dur, *renewEvery)
+		return
+	}
 
 	var tr *trace.Trace
 	switch *gen {
@@ -147,6 +179,160 @@ func printClass(name string, s replay.LatencySummary) {
 		s.P50.Truncate(time.Microsecond), s.P95.Truncate(time.Microsecond),
 		s.P99.Truncate(time.Microsecond), s.Mean.Truncate(time.Microsecond),
 		s.Max.Truncate(time.Microsecond))
+}
+
+// pfPath maps a portfolio file index to its server path. The files
+// live under one directory so installed mode needs a single
+// -installed-dirs /pf prefix on the server.
+func pfPath(i int) string { return fmt.Sprintf("/pf/%d", i) }
+
+// runPortfolio is the -mode workload: every client holds the same
+// portfolio of leases and keeps it renewed for dur of wall time; the
+// extension traffic each strategy costs is read off the clients'
+// per-message-type wire counters.
+func runPortfolio(addr, mode string, nclients, nfiles int, dur, renew time.Duration) {
+	switch mode {
+	case "perfile", "batched", "installed":
+	default:
+		log.Fatalf("leaseload: unknown -mode %q (want perfile, batched or installed)", mode)
+	}
+
+	prep, err := client.Dial(addr, client.Config{ID: "pf-prepare"})
+	if err != nil {
+		log.Fatalf("leaseload: %v", err)
+	}
+	// Mkdir/Create tolerate an already-prepared tree from a previous run;
+	// the seeding write must succeed either way.
+	prep.Mkdir("/pf", vfs.DefaultPerm|vfs.WorldWrite)
+	for i := 0; i < nfiles; i++ {
+		prep.Create(pfPath(i), vfs.DefaultPerm|vfs.WorldWrite)
+		if err := prep.Write(pfPath(i), []byte("portfolio seed")); err != nil {
+			log.Fatalf("leaseload: seeding %s: %v", pfPath(i), err)
+		}
+	}
+	prep.Close()
+
+	// The seeding writes stamp every file's last-write time, and the
+	// server refuses class promotion until its -quiet-after-write
+	// holdoff has passed. Wait it out before the reads that install the
+	// files; the server must be running with a holdoff below this.
+	if mode == "installed" {
+		time.Sleep(time.Second)
+	}
+
+	// In installed mode the client's own renewal loop runs (it fetches
+	// the class snapshot and extends whatever the broadcasts leave due —
+	// with the class covering everything, nothing); the other modes
+	// drive renewal explicitly, so the loop stays off.
+	auto := time.Duration(0)
+	if mode == "installed" {
+		auto = renew
+	}
+	caches := make([]*client.Cache, nclients)
+	for i := range caches {
+		c, err := client.Dial(addr, client.Config{
+			ID: fmt.Sprintf("pf-%d", i), AutoExtend: auto, Seed: int64(i) + 1,
+		})
+		if err != nil {
+			log.Fatalf("leaseload: client %d: %v", i, err)
+		}
+		defer c.Close()
+		for f := 0; f < nfiles; f++ {
+			if _, err := c.Read(pfPath(f)); err != nil {
+				log.Fatalf("leaseload: client %d reading %s: %v", i, pfPath(f), err)
+			}
+		}
+		caches[i] = c
+	}
+	// Let setup traffic (initial grants, the installed-snapshot fetch)
+	// drain before the measurement window opens.
+	time.Sleep(300 * time.Millisecond)
+
+	type probe struct {
+		label string
+		t     proto.MsgType
+		dir   string // the client-side direction
+	}
+	probes := []probe{
+		{"extend req", proto.TExtend, "out"},
+		{"extend rep", proto.TExtendRep, "in"},
+		{"snapshot req", proto.TInstalled, "out"},
+		{"snapshot rep", proto.TInstalledRep, "in"},
+		{"broadcast push", proto.TBroadcastExt, "in"},
+		{"piggyback push", proto.TPiggyExt, "in"},
+	}
+	base := make([][]uint64, len(caches))
+	for i, c := range caches {
+		base[i] = make([]uint64, len(probes))
+		for j, p := range probes {
+			base[i][j] = c.WireStats().Frames(p.t, p.dir)
+		}
+	}
+
+	fmt.Printf("portfolio mode=%s: %d clients × %d files for %v (renew %v) against %s...\n",
+		mode, nclients, nfiles, dur, renew, addr)
+	var renewErrs atomic.Int64
+	start := time.Now()
+	if mode == "installed" {
+		time.Sleep(dur)
+	} else {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, c := range caches {
+			wg.Add(1)
+			go func(c *client.Cache) {
+				defer wg.Done()
+				t := time.NewTicker(renew)
+				defer t.Stop()
+				for {
+					select {
+					case <-done:
+						return
+					case <-t.C:
+					}
+					switch mode {
+					case "perfile":
+						for _, d := range c.HeldData() {
+							if err := c.ExtendData([]vfs.Datum{d}); err != nil {
+								renewErrs.Add(1)
+							}
+						}
+					case "batched":
+						if err := c.ExtendAll(); err != nil {
+							renewErrs.Add(1)
+						}
+					}
+				}
+			}(c)
+		}
+		time.Sleep(dur)
+		close(done)
+		wg.Wait()
+	}
+	window := time.Since(start).Seconds()
+
+	totals := make([]uint64, len(probes))
+	var total uint64
+	for i, c := range caches {
+		for j, p := range probes {
+			n := c.WireStats().Frames(p.t, p.dir) - base[i][j]
+			totals[j] += n
+			total += n
+		}
+	}
+	for j, p := range probes {
+		if totals[j] > 0 {
+			fmt.Printf("  %-14s %7d frames  (%.2f/s)\n", p.label, totals[j], float64(totals[j])/window)
+		}
+	}
+	fmt.Printf("  extension messages: %d total, %.2f/s, %.3f/client/s, %.4f/file/s\n",
+		total, float64(total)/window,
+		float64(total)/window/float64(nclients),
+		float64(total)/window/float64(nclients*nfiles))
+	if n := renewErrs.Load(); n > 0 {
+		fmt.Printf("  renewal errors: %d\n", n)
+		os.Exit(1)
+	}
 }
 
 func minInt(a, b int) int {

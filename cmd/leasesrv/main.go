@@ -6,6 +6,8 @@
 //	leasesrv -addr :7025 -term 10s -maxterm-file /var/lib/leases/maxterm
 //	leasesrv -addr :7025 -term 10s -recovery 10s   # manual crash recovery
 //	leasesrv -addr :7025 -metrics-addr :9100       # HTTP admin/metrics plane
+//	leasesrv -addr :7025 -term 10s -installed-dirs /bin,/lib -piggyback-lead 3s
+//	leasesrv -addr :7025 -term 60s -adaptive       # per-file adaptive terms
 //
 // Crash safety: with -maxterm-file the server persists the maximum
 // granted lease term (atomic temp+rename, fsync'd, updated only when
@@ -73,6 +75,15 @@ func main() {
 	electionTerm := flag.Duration("election-term", 0, "master-lease term for the PaxosLease election (0 = the lease term)")
 	allowance := flag.Duration("allowance", 0, "clock-uncertainty margin ε for the master lease (0 = term/10)")
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling probability for locally rooted traces (elections/failovers); client-sampled requests are always recorded; negative disables the tracing subsystem entirely")
+	installedDirs := flag.String("installed-dirs", "", "comma-separated directory prefixes whose files join the installed-files lease class on first read (§4.3); empty disables the class")
+	autoInstall := flag.Bool("auto-install", false, "also promote files read by several distinct clients with no recent write into the installed class")
+	installedTerm := flag.Duration("installed-term", 0, "term each class broadcast extension grants (0 = 30s)")
+	broadcastEvery := flag.Duration("broadcast-every", 0, "class broadcast-extension period (0 = installed-term/4)")
+	quietAfterWrite := flag.Duration("quiet-after-write", 0, "post-write holdoff before a file is eligible for class (re-)promotion (0 = installed-term)")
+	piggybackLead := flag.Duration("piggyback-lead", 0, "piggyback anticipatory extension grants on replies for leases expiring within this lead (§4; 0 disables)")
+	adaptive := flag.Bool("adaptive", false, "per-file adaptive lease terms from observed access rates (§3.1's α = 2R/SW break-even); -term becomes the maximum term, -adaptive-min the minimum")
+	adaptiveMin := flag.Duration("adaptive-min", time.Second, "minimum adaptive term (with -adaptive)")
+	adaptiveWindow := flag.Duration("adaptive-window", time.Minute, "sliding window for the adaptive access-rate estimator (with -adaptive)")
 	flag.Parse()
 
 	ocfg := obs.Config{RingSize: *traceRing, SlowWrite: *slowWrite}
@@ -188,6 +199,23 @@ func main() {
 		MaxTermPath:    *maxTermFile,
 		Obs:            o,
 		Tracer:         tr,
+		Class: server.ClassConfig{
+			InstalledDirs:   splitDirs(*installedDirs),
+			AutoInstall:     *autoInstall,
+			InstalledTerm:   *installedTerm,
+			BroadcastEvery:  *broadcastEvery,
+			QuietAfterWrite: *quietAfterWrite,
+			PiggybackLead:   *piggybackLead,
+		},
+	}
+	if *adaptive {
+		// Per-file adaptive terms (§3.1): the server feeds every served
+		// read and write into the estimator and the policy grants each
+		// datum a term from its observed rates — long for read-mostly
+		// data, zero where write sharing makes caching counterproductive.
+		stats := core.NewAccessStats(*adaptiveWindow)
+		scfg.Access = stats
+		scfg.Policy = &core.AdaptiveTerm{Stats: stats, Min: *adaptiveMin, Max: *term}
 	}
 	if nd != nil {
 		scfg.Replica = nodeReplica{nd}
@@ -241,6 +269,18 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("leasesrv: %v", err)
 	}
+}
+
+// splitDirs parses the -installed-dirs list, trimming whitespace; an
+// empty flag yields nil (class disabled).
+func splitDirs(s string) []string {
+	var out []string
+	for _, d := range strings.Split(s, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // splitPeers parses the -peers list, trimming whitespace.

@@ -183,7 +183,11 @@ type scenarioSpec struct {
 	// replicated scripts run against a 3-replica deployment with an
 	// elected master instead of the standalone server.
 	replicated bool
-	run        func(*harness)
+	// installed scripts run the server with the §4 lease-class subsystem
+	// on (installed-files class plus anticipatory piggybacking); see
+	// harness.classConfig.
+	installed bool
+	run       func(*harness)
 }
 
 // Scenarios lists the scenario names in run order.
@@ -377,13 +381,17 @@ func (h *harness) server() *server.Server {
 // path is the same across incarnations — that file is what makes the
 // restart observe the §2 recovery window.
 func (h *harness) startServer(addr string) error {
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Term:         h.o.Term,
 		WriteTimeout: h.o.WriteTimeout,
 		MaxTermPath:  h.maxTermPath,
 		Obs:          h.obs,
 		Tracer:       h.tracer,
-	})
+	}
+	if h.spec.installed {
+		cfg.Class = h.classConfig()
+	}
+	srv := server.New(cfg)
 	if err := seedFiles(srv.Store(), h.ck.seedContents()); err != nil {
 		return err
 	}
@@ -421,6 +429,23 @@ func (h *harness) restartServer() {
 		time.Sleep(40 * time.Millisecond)
 	}
 	h.ck.violate("harness", "server restart failed: %v", err)
+}
+
+// classConfig sizes the lease-class subsystem for a chaos run, scaled
+// to the per-file term: the whole tree is installed, the class term is
+// two file terms (broadcast every half term), the post-write quiet
+// window is short enough that the hot files churn back into the class
+// whenever the workload pauses — the §4.3 demote/re-promote cycle under
+// faults — and piggybacking's lead exceeds the file term so every reply
+// to a FeatClass client anticipatorily re-grants its aging per-file
+// leases.
+func (h *harness) classConfig() server.ClassConfig {
+	return server.ClassConfig{
+		InstalledDirs:   []string{"/"},
+		InstalledTerm:   2 * h.o.Term,
+		QuietAfterWrite: h.o.Term / 4,
+		PiggybackLead:   2 * h.o.Term,
+	}
 }
 
 func (h *harness) clientCfg(id string, n int64) client.Config {
@@ -558,6 +583,12 @@ func (h *harness) report() *Report {
 	// may evict early events under heavy traffic, which can only
 	// understate MaxApplyWait — never fabricate a violation.
 	rep.ApplyBound = 2*h.o.Term + 2*time.Second
+	if h.spec.installed {
+		// A write demoting installed data first waits out the recorded
+		// class-coverage horizon — at most one class term past the send
+		// of the last broadcast.
+		rep.ApplyBound += h.classConfig().InstalledTerm
+	}
 	for _, ev := range h.obs.Events(0) {
 		if ev.Type == obs.EvWriteApply && ev.Wait > rep.MaxApplyWait {
 			rep.MaxApplyWait = ev.Wait

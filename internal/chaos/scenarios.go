@@ -54,6 +54,13 @@ var scenarioTable = []scenarioSpec{
 		run:      runPipeline,
 	},
 	{
+		name:      "installed-class",
+		summary:   "installed-files class under loss and a mid-run sever: broadcasts, drop-on-write demotions, re-promotions and piggybacked extensions, consistency intact",
+		duration:  4 * time.Second,
+		installed: true,
+		run:       runInstalledClass,
+	},
+	{
 		name:       "master-crash",
 		summary:    "crash the elected master of a 3-replica set mid-workload; clients fail over behind the §2 recovery window",
 		duration:   6 * time.Second,
@@ -285,6 +292,46 @@ func runAsymPartition(h *harness) {
 	}
 	if n := electedCount(h.obs); n < 2 {
 		h.ck.violate("election", "the partitioned master was never succeeded (elected events: %d)", n)
+	}
+}
+
+// runInstalledClass drives the §4 lease-class wire paths under faults.
+// Every workload file is statically installed, so the run exercises the
+// whole class life cycle: initial promotion on first read, periodic
+// broadcast extensions keeping the readers' copies hot, drop-on-write
+// demotion (with its coverage-horizon wait) every time the writer
+// touches a hot file, re-promotion once the short quiet window passes,
+// and anticipatory piggybacked re-grants of the demoted files' per-file
+// leases. Packet loss stresses broadcast and snapshot delivery (a lost
+// broadcast just widens the gap to the next; a lost snapshot refetches
+// on the next generation mismatch); the mid-run sever forces every
+// session through reconnect, which drops the class snapshot and must
+// refetch it before trusting another broadcast. The standard acked-floor
+// checker holds throughout, and a class-activity lens asserts each wire
+// path actually fired — a scenario that silently stopped exercising the
+// class would otherwise keep passing on the consistency lens alone.
+func runInstalledClass(h *harness) {
+	d := h.o.Duration
+	faultnet.NewSchedule(h.obs).
+		At(0, "loss-on", func() {
+			h.proxy.SetBoth(faultnet.LinkConfig{
+				DropProb: 0.005, Latency: time.Millisecond, Jitter: 2 * time.Millisecond,
+			})
+		}).
+		At(d/2, "sever-all", h.proxy.SeverAll).
+		At(3*d/4, "heal", func() { h.proxy.SetBoth(faultnet.LinkConfig{}) }).
+		At(d, "end", func() {}).
+		Run(clock.Real{}, h.stop)
+	h.settle()
+
+	counts := map[string]int64{}
+	for _, ec := range h.obs.EventCounts() {
+		counts[ec.Type] = ec.N
+	}
+	for _, ev := range []string{"class-promote", "class-demote", "broadcast-ext", "piggy-ext"} {
+		if counts[ev] == 0 {
+			h.ck.violate("class-activity", "no %s event in an installed-class run — that wire path never fired", ev)
+		}
 	}
 }
 

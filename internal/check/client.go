@@ -93,6 +93,14 @@ type mclient struct {
 	nextReq     uint64
 	incarnation uint64
 	down        bool
+	// Installed-class snapshot (Installed worlds): the last fetched
+	// generation and membership — the model analogue of the client
+	// portfolio. pfFetch is the reqID of the outstanding snapshot fetch
+	// (0 when none); a reply that does not match is from an older fetch
+	// round or a pre-crash incarnation and is dropped.
+	pfGen     uint64
+	pfMembers []vfs.Datum
+	pfFetch   uint64
 	// belief is the replica index this client currently addresses: the
 	// last replica that answered it, steered by NOT_MASTER hints and
 	// rotated on timeouts. Always 0 in single-server worlds.
@@ -119,6 +127,9 @@ func (c *mclient) reset() {
 	c.invalidatedAt = make(map[vfs.Datum]time.Time)
 	c.inflight = make(map[uint64]*mop)
 	c.nextReq = 0
+	c.pfGen = 0
+	c.pfMembers = nil
+	c.pfFetch = 0
 }
 
 // localNow reads this client's drifting, skewed clock.
@@ -242,9 +253,42 @@ func (c *mclient) handle(m netsim.Message) {
 		c.handleApprovalPush(m, p)
 	case notMasterRep:
 		c.handleNotMaster(m, p)
+	case classBcast:
+		c.handleBroadcast(m, p)
+	case classSnap:
+		c.handleClassSnap(p)
 	default:
 		panic(fmt.Sprintf("check: client got %T", m.Payload))
 	}
+}
+
+// handleBroadcast is the §4.3 broadcast extension. A matching
+// generation extends every held member lease, anchored at the server's
+// send stamp minus the allowance (the real Holder rule) — so a delayed
+// broadcast can never extend belief past the horizon the server
+// recorded before sending. A mismatch means the membership changed (or
+// was never fetched): fetch the snapshot from whoever broadcast, which
+// is always the serving master.
+func (c *mclient) handleBroadcast(m netsim.Message, bc classBcast) {
+	if bc.Gen == c.pfGen && c.pfGen != 0 {
+		c.holder.ApplyInstalledExtension(c.pfMembers, bc.Term, bc.SentAt, c.localNow())
+		return
+	}
+	c.pfFetch = c.allocReq()
+	c.w.fabric.Unicast(c.node, m.From, kindClassFetch, classFetch{ReqID: c.pfFetch, From: c.id})
+}
+
+// handleClassSnap installs a fetched membership snapshot and applies
+// its coverage. Lost fetches or replies need no retry timer: the next
+// mismatching broadcast re-triggers the fetch.
+func (c *mclient) handleClassSnap(sn classSnap) {
+	if sn.ReqID == 0 || sn.ReqID != c.pfFetch {
+		return
+	}
+	c.pfFetch = 0
+	c.pfGen = sn.Gen
+	c.pfMembers = sn.Data
+	c.holder.ApplyInstalledExtension(c.pfMembers, sn.Term, sn.SentAt, c.localNow())
 }
 
 // handleNotMaster is the failover path: steer belief toward the

@@ -132,6 +132,13 @@ const (
 	// the usurper applies writes inside leases the deposed master
 	// granted and never told it about.
 	BreakQuiet = "quiet"
+	// BreakClassHorizon (installed worlds only) demotes a written file
+	// from the installed class but applies the write immediately instead
+	// of waiting out the broadcast coverage horizon — the §4.3
+	// drop-on-write discipline's enforcement point. Clients whose class
+	// coverage is still live then read the old value from cache after
+	// the write was acknowledged.
+	BreakClassHorizon = "class-horizon"
 )
 
 // Scenario fully determines one model-checked execution.
@@ -168,6 +175,20 @@ type Scenario struct {
 	// single-server scenarios.
 	ServerRates []float64       `json:"server_rates,omitempty"`
 	ServerSkews []time.Duration `json:"server_skews,omitempty"`
+
+	// Installed enables the §4.3 installed-files class in the model:
+	// every file starts installed, the serving server multicasts
+	// periodic broadcast extensions (generation + class term, stamped
+	// with its local clock — the TBroadcastExt frame), clients fetch
+	// the membership snapshot on a generation mismatch (TInstalled /
+	// TInstalledRep), and the first write to an installed file demotes
+	// it and waits out the broadcast coverage horizon before applying.
+	Installed bool `json:"installed,omitempty"`
+	// InstalledTerm is the class term broadcast extensions carry;
+	// defaults to 2·Term. BroadcastEvery is the broadcast cadence;
+	// defaults to Term/4.
+	InstalledTerm  time.Duration `json:"installed_term,omitempty"`
+	BroadcastEvery time.Duration `json:"broadcast_every,omitempty"`
 
 	Ops    []Op    `json:"ops"`
 	Faults []Fault `json:"faults,omitempty"`
@@ -228,6 +249,14 @@ func (sc Scenario) withDefaults() Scenario {
 			sc.ClientRate[i] = 1
 		}
 	}
+	if sc.Installed {
+		if sc.InstalledTerm == 0 {
+			sc.InstalledTerm = 2 * sc.Term
+		}
+		if sc.BroadcastEvery == 0 {
+			sc.BroadcastEvery = sc.Term / 4
+		}
+	}
 	return sc
 }
 
@@ -246,6 +275,12 @@ func (sc Scenario) Validate() error {
 		if op.At < 0 {
 			return fmt.Errorf("check: op %d scheduled before start", i)
 		}
+	}
+	if sc.Break == BreakClassHorizon && !sc.Installed {
+		return fmt.Errorf("check: break %q needs an installed-class scenario", sc.Break)
+	}
+	if sc.InstalledTerm < 0 || sc.BroadcastEvery < 0 {
+		return fmt.Errorf("check: negative installed-class timing")
 	}
 	servers := sc.Servers
 	if servers == 0 {
@@ -313,7 +348,11 @@ type GenConfig struct {
 	// Servers > 1 generates replicated scenarios: failover faults
 	// (master crash, asymmetric master partition, follower crashes) and
 	// independent per-replica clock drift at the ε budget.
-	Servers   int
+	Servers int
+	// Installed generates installed-class scenarios: broadcast
+	// extensions, snapshot fetches, and drop-on-write demotion run
+	// alongside the ordinary op trace and fault schedule.
+	Installed bool
 	Ops       int
 	Horizon   time.Duration
 	Term      time.Duration
@@ -379,6 +418,7 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		Servers:   cfg.Servers,
 		Term:      cfg.Term,
 		Allowance: cfg.Allowance,
+		Installed: cfg.Installed,
 	}
 	sc = sc.withDefaults()
 
@@ -486,10 +526,17 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		}
 		if rng.Float64() < 0.7 {
 			rt := 2*sc.Prop + 4*sc.Proc
+			kinds := delayableKinds
+			if cfg.Installed {
+				// Delayed broadcasts and snapshot replies probe the
+				// send-stamp anchoring: a frame held in the fabric must
+				// not extend client belief past the recorded horizon.
+				kinds = append(append([]string(nil), delayableKinds...), kindBroadcast, kindClassSnap)
+			}
 			sc.Faults = append(sc.Faults, Fault{
 				Kind:     FaultDelay,
 				Client:   rng.Intn(cfg.Clients),
-				MsgKind:  delayableKinds[rng.Intn(len(delayableKinds))],
+				MsgKind:  kinds[rng.Intn(len(kinds))],
 				ToServer: rng.Intn(2) == 0,
 				At:       randDur(rng, 0, cfg.Horizon*7/10),
 				Dur:      randDur(rng, rt, cfg.Term),

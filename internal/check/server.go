@@ -141,6 +141,32 @@ type installMsg struct {
 	Files  []fileRepl
 }
 
+// classBcast is the periodic §4.3 broadcast extension (TBroadcastExt):
+// generation plus class term, stamped with the sender's local clock.
+// Clients anchor their coverage at SentAt + Term − ε, so a delayed
+// delivery can never extend belief past the horizon the server
+// recorded before sending.
+type classBcast struct {
+	Gen    uint64
+	Term   time.Duration
+	SentAt time.Time
+}
+
+// classFetch asks for the installed-membership snapshot (TInstalled);
+// classSnap is the reply (TInstalledRep).
+type classFetch struct {
+	ReqID uint64
+	From  core.ClientID
+}
+
+type classSnap struct {
+	ReqID  uint64
+	Gen    uint64
+	Term   time.Duration
+	SentAt time.Time
+	Data   []vfs.Datum
+}
+
 // mwriter is the server's record of one deferred write.
 type mwriter struct {
 	client   core.ClientID
@@ -199,6 +225,21 @@ type mserver struct {
 	// persistedMaxTerm survives crashes, like the durable max-term
 	// file in internal/server (§5 recovery rule).
 	persistedMaxTerm time.Duration
+
+	// Installed-class state (sc.Installed only). Volatile: a crash or
+	// promotion reinstalls it under a fresh generation base, and the §5
+	// recovery window (stretched to the class term) covers whatever
+	// broadcast coverage the previous incarnation left outstanding.
+	classGen     uint64
+	classMembers []bool // by file; true = installed
+	// classCover is the broadcast coverage horizon (server-local):
+	// raised to SentAt + InstalledTerm before any broadcast or snapshot
+	// leaves, so it bounds every client belief those frames can create.
+	classCover time.Time
+	// classDemoted records, per demoted file, the coverage horizon
+	// captured at demotion; writes to the file wait it out.
+	classDemoted []time.Time
+	classEv      *sim.Event
 
 	// Replication state (Servers > 1 only).
 	mach       *replica.Machine
@@ -266,7 +307,9 @@ func newMserver(w *world, idx int) *mserver {
 		srv.mach = srv.newMach(w.start.Add(-w.sc.Term))
 		srv.armMach()
 	}
+	srv.resetClass()
 	w.fabric.Register(srv.node, srv.handle)
+	srv.armClass()
 	return srv
 }
 
@@ -388,6 +431,14 @@ func (srv *mserver) machChanged() {
 // after the promotion sync completes.
 func (srv *mserver) onPromote() {
 	srv.w.obs.Record(obs.Event{Type: obs.EvElected, Replica: srv.idx})
+	// A fresh reign reinstalls the class under a new generation base
+	// (the model's rebind-on-promote), and honours the class term in
+	// its recovery window: the deployment replicates the raised term
+	// before any broadcast creates coverage from it, so a promotable
+	// replica always knows it — the model's replicas know it from
+	// configuration.
+	srv.resetClass()
+	srv.classDurable()
 	if srv.w.sc.Break == BreakQuiet {
 		// Sabotage: trust PaxosLease mastership alone and serve
 		// immediately. The predecessor's grants are still live, so a
@@ -819,6 +870,159 @@ func (srv *mserver) applyRepl(f int, seq uint64, val string) {
 	}
 }
 
+// ---- installed class (§4.3) ----
+
+// classOn reports whether this world runs the installed-files class.
+func (srv *mserver) classOn() bool { return srv.w.sc.Installed }
+
+// resetClass (re)installs the class: every file installed, under a
+// generation base no previous reign ever used (world-unique), so a
+// client's snapshot from an earlier incarnation can never satisfy the
+// generation fence against this one. The deployment gets the same
+// property from connection-scoped snapshots — a reconnecting client
+// drops and refetches — and from replicated generation rebinding at
+// promotion.
+func (srv *mserver) resetClass() {
+	if !srv.classOn() {
+		return
+	}
+	srv.w.classReigns++
+	srv.classGen = srv.w.classReigns << 32
+	srv.classMembers = make([]bool, srv.w.sc.Files)
+	for f := range srv.classMembers {
+		srv.classMembers[f] = true
+	}
+	srv.classCover = time.Time{}
+	srv.classDemoted = make([]time.Time, srv.w.sc.Files)
+}
+
+func (srv *mserver) classMemberData() []vfs.Datum {
+	var out []vfs.Datum
+	for f, in := range srv.classMembers {
+		if in {
+			out = append(out, datumForFile(f))
+		}
+	}
+	return out
+}
+
+// classDurable persists the class term before any coverage is created
+// from it — the model analogue of the durable max-term raise (and its
+// replication) preceding every broadcast in internal/server. The §5
+// recovery window after a crash or promotion then covers whatever
+// broadcast coverage a predecessor left outstanding.
+func (srv *mserver) classDurable() {
+	if srv.w.sc.InstalledTerm > srv.persistedMaxTerm {
+		srv.persistedMaxTerm = srv.w.sc.InstalledTerm
+	}
+}
+
+// armClass keeps the periodic broadcast timer running until the
+// world's quiesce bound (shared with the election machines) so the
+// engine drains.
+func (srv *mserver) armClass() {
+	if !srv.classOn() || srv.down {
+		return
+	}
+	if srv.classEv != nil {
+		srv.w.engine.Cancel(srv.classEv)
+		srv.classEv = nil
+	}
+	at := srv.w.engine.Now().Add(srv.w.sc.BroadcastEvery)
+	if at.After(srv.w.machStop) {
+		return
+	}
+	srv.classEv = srv.w.engine.At(at, srv.onClassTick)
+}
+
+func (srv *mserver) onClassTick() {
+	srv.classEv = nil
+	if srv.down {
+		return
+	}
+	srv.broadcastClass()
+	srv.armClass()
+}
+
+// broadcastClass multicasts one §4.3 broadcast extension. The coverage
+// horizon is recorded before the frames leave (record-then-send), so
+// classCover bounds every client belief the broadcast can create even
+// if deliveries are delayed arbitrarily.
+func (srv *mserver) broadcastClass() {
+	if !srv.servingMaster() {
+		return
+	}
+	members := 0
+	for _, in := range srv.classMembers {
+		if in {
+			members++
+		}
+	}
+	if members == 0 {
+		return
+	}
+	srv.classDurable()
+	now := srv.localNow()
+	if horizon := now.Add(srv.w.sc.InstalledTerm); horizon.After(srv.classCover) {
+		srv.classCover = horizon
+	}
+	bc := classBcast{Gen: srv.classGen, Term: srv.w.sc.InstalledTerm, SentAt: now}
+	targets := make([]netsim.NodeID, 0, len(srv.w.clients))
+	for _, c := range srv.w.clients {
+		targets = append(targets, c.node)
+	}
+	srv.w.fabric.Multicast(srv.node, targets, kindBroadcast, bc)
+	srv.w.obs.Record(obs.Event{Type: obs.EvBroadcastExt, Depth: members})
+}
+
+// handleClassFetch serves the membership snapshot. A non-serving
+// replica stays silent: broadcasts only ever come from the live
+// master, so the client's next mismatching broadcast re-aims the
+// fetch there.
+func (srv *mserver) handleClassFetch(from netsim.NodeID, p classFetch) {
+	if !srv.classOn() || !srv.servingMaster() {
+		return
+	}
+	srv.classDurable()
+	now := srv.localNow()
+	// Record-then-send, like the broadcast: the snapshot reply also
+	// anchors client coverage at SentAt + Term.
+	if horizon := now.Add(srv.w.sc.InstalledTerm); horizon.After(srv.classCover) {
+		srv.classCover = horizon
+	}
+	srv.w.fabric.Unicast(srv.node, from, kindClassSnap, classSnap{
+		ReqID:  p.ReqID,
+		Gen:    srv.classGen,
+		Term:   srv.w.sc.InstalledTerm,
+		SentAt: now,
+		Data:   srv.classMemberData(),
+	})
+}
+
+// classParkWrite demotes an installed file on its first write (§4.3
+// drop-on-write) and reports the true-time instant the write may
+// proceed, when the broadcast coverage horizon captured at demotion is
+// still in the future. BreakClassHorizon demotes but skips the wait —
+// the sabotage the oracle must catch.
+func (srv *mserver) classParkWrite(d vfs.Datum) (time.Time, bool) {
+	if !srv.classOn() {
+		return time.Time{}, false
+	}
+	f := fileForDatum(d)
+	now := srv.localNow()
+	if srv.classMembers[f] {
+		srv.classMembers[f] = false
+		srv.classGen++
+		srv.classDemoted[f] = srv.classCover
+		srv.w.obs.Record(obs.Event{Type: obs.EvClassDemote, Datum: d})
+	}
+	horizon := srv.classDemoted[f]
+	if srv.w.sc.Break == BreakClassHorizon || !horizon.After(now) {
+		return time.Time{}, false
+	}
+	return trueAt(srv.w.start, horizon.Add(time.Microsecond), srv.rate(), srv.skew()), true
+}
+
 // ---- client-facing handlers ----
 
 func (srv *mserver) handle(m netsim.Message) {
@@ -857,6 +1061,8 @@ func (srv *mserver) handle(m netsim.Message) {
 		srv.handleSyncRep(p)
 	case installMsg:
 		srv.handleInstall(p)
+	case classFetch:
+		srv.handleClassFetch(m.From, p)
 	default:
 		panic(fmt.Sprintf("check: server got %T", m.Payload))
 	}
@@ -942,6 +1148,19 @@ func (srv *mserver) handleExtend(from netsim.NodeID, req extendReq) {
 }
 
 func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
+	if at, park := srv.classParkWrite(req.Datum); park {
+		// The file just left the installed class: hold the write until
+		// every broadcast-covered copy has expired, then run the normal
+		// per-file deferral. Retransmits parked alongside are deduped
+		// when they land.
+		srv.w.engine.At(at, func() {
+			if srv.down || !srv.servingMaster() {
+				return // the client's retry finds the live master
+			}
+			srv.handleWrite(from, req)
+		})
+		return
+	}
 	now := srv.localNow()
 	if seen, ok := srv.seen[req.From]; ok {
 		if version, dup := seen[req.ReqID]; dup {
@@ -1155,6 +1374,10 @@ func (srv *mserver) crash() {
 	srv.writers = make(map[core.WriteID]mwriter)
 	srv.wspans = make(map[core.WriteID]*writeSpans)
 	srv.seen = make(map[core.ClientID]map[uint64]uint64)
+	if srv.classEv != nil {
+		srv.w.engine.Cancel(srv.classEv)
+		srv.classEv = nil
+	}
 	srv.w.tracer.AbandonNode(string(srv.node), "crash")
 	if srv.mach != nil {
 		if srv.machEv != nil {
@@ -1186,6 +1409,12 @@ func (srv *mserver) restart() {
 	}
 	srv.down = false
 	srv.w.fabric.SetDown(srv.node, false)
+	// The class state was volatile: reinstall it under a fresh
+	// generation base. Outstanding pre-crash broadcast coverage is
+	// inside the recovery window, because the class term was persisted
+	// before any broadcast raised coverage toward it.
+	srv.resetClass()
+	srv.armClass()
 	if srv.mach == nil {
 		var until time.Time
 		if srv.persistedMaxTerm > 0 && srv.persistedMaxTerm < core.Infinite {

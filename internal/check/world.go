@@ -34,6 +34,12 @@ const (
 	kindSyncRep   = "repl.sync-rep"
 	kindInstall   = "repl.install"
 	kindNotMaster = "lease.notmaster"
+	// Installed-class kinds (§4.3): the periodic broadcast extension,
+	// the client's membership-snapshot fetch, and its reply — the model
+	// analogues of TBroadcastExt, TInstalled, and TInstalledRep.
+	kindBroadcast  = "class.broadcast-ext"
+	kindClassFetch = "class.fetch"
+	kindClassSnap  = "class.snapshot"
 )
 
 const serverNode = netsim.NodeID("srv")
@@ -152,6 +158,13 @@ type world struct {
 	// just past the window's end — a one-way partition whose backlog
 	// flushes on heal.
 	asymTarget map[int]int
+	// classReigns counts installed-class state installations across all
+	// servers. Each (re)initialization — boot, crash restart, promotion
+	// — bases its generation at reign<<32, so generations from different
+	// reigns never collide: the model analogue of the deployment's
+	// connection-scoped snapshots (a TCP client re-fetches after any
+	// reconnect) and replicated generation rebinding on failover.
+	classReigns uint64
 }
 
 // mix derives independent deterministic seeds for the engine
@@ -256,9 +269,16 @@ func RunScenario(sc Scenario, opt Options) (*Outcome, error) {
 
 	// Post-run lens: under the honest protocol a write may be deferred
 	// at most one lease term (§2) plus the crash-recovery window;
-	// 2·term + slack bounds both with margin.
+	// 2·term + slack bounds both with margin. Installed worlds add the
+	// class term: a write to an installed file additionally waits out
+	// the broadcast coverage horizon (§4.3 drop-on-write), and crash
+	// recovery windows stretch to the durable class term.
 	if sc.Break == "" {
-		if bound := 2*sc.Term + time.Second; w.out.MaxWriteWait > bound {
+		bound := 2*sc.Term + time.Second
+		if sc.Installed {
+			bound += 2 * sc.InstalledTerm
+		}
+		if w.out.MaxWriteWait > bound {
 			w.orc.violate(vSlowWrite, fmt.Sprintf("a write was deferred %v, past the %v bound", w.out.MaxWriteWait, bound))
 		}
 	}

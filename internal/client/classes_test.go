@@ -1,0 +1,310 @@
+package client_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"leases/internal/client"
+	"leases/internal/proto"
+	"leases/internal/server"
+)
+
+// TestInstalledBroadcastKeepsCacheHot is the §4.3 economy end to end:
+// with every path statically installed, the periodic broadcast keeps
+// the client's whole portfolio covered, so the cache stays hot far past
+// the per-file term without the client sending a single extension
+// request.
+func TestInstalledBroadcastKeepsCacheHot(t *testing.T) {
+	srv, addr := startServer(t, server.Config{
+		Term: time.Second,
+		Class: server.ClassConfig{
+			InstalledDirs:  []string{"/"},
+			InstalledTerm:  3 * time.Second,
+			BroadcastEvery: 50 * time.Millisecond,
+		},
+	})
+	seedFile(t, srv, "/f", "v1")
+	c, err := client.Dial(addr, client.Config{ID: "c1", AutoExtend: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The read promoted /f (and the bindings walked to reach it); the
+	// renewal loop hears about the membership change from the next
+	// broadcast's generation stamp and refetches the snapshot.
+	waitFor(t, func() bool {
+		gen, members, stale := c.InstalledClass()
+		return gen > 0 && members > 0 && !stale
+	})
+	if info, ok := srv.ClassSnapshot(); !ok || len(info.Members) == 0 {
+		t.Fatalf("server class snapshot = %+v, %v", info, ok)
+	}
+
+	// Sit out more than the per-file term. Broadcast extensions are the
+	// only thing keeping the leases alive.
+	time.Sleep(1300 * time.Millisecond)
+	before := c.Metrics()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if hits := c.Metrics().ReadHits - before.ReadHits; hits != 1 {
+		t.Fatalf("read after term was not a cache hit (hits delta %d)", hits)
+	}
+	ws := c.WireStats()
+	if n := ws.Frames(proto.TExtend, "out"); n != 0 {
+		t.Fatalf("client sent %d extend frames; installed coverage should need none", n)
+	}
+	if n := ws.Frames(proto.TBroadcastExt, "in"); n == 0 {
+		t.Fatal("client never received a broadcast extension")
+	}
+}
+
+// TestDropOnWriteDemotion is §4.3's write path: the first write to an
+// installed file drops it from the class, waits out the broadcast
+// coverage horizon, and then applies under the normal per-file
+// protocol — so a reader holding the class snapshot can never read
+// stale bytes.
+func TestDropOnWriteDemotion(t *testing.T) {
+	srv, addr := startServer(t, server.Config{
+		Term:         200 * time.Millisecond,
+		WriteTimeout: 5 * time.Second,
+		Class: server.ClassConfig{
+			InstalledDirs:  []string{"/lib"},
+			InstalledTerm:  400 * time.Millisecond,
+			BroadcastEvery: 50 * time.Millisecond,
+		},
+	})
+	if _, err := srv.Store().Mkdir("/lib", "root", 0o7); err != nil {
+		t.Fatal(err)
+	}
+	seedFile(t, srv, "/lib/f", "v1")
+
+	r, err := client.Dial(addr, client.Config{ID: "reader", AutoExtend: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Read("/lib/f"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		_, members, stale := r.InstalledClass()
+		return members > 0 && !stale
+	})
+	genBefore, _, _ := r.InstalledClass()
+
+	w, err := client.Dial(addr, client.Config{ID: "writer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Write("/lib/f", []byte("v2")); err != nil {
+		t.Fatalf("write to installed file: %v", err)
+	}
+
+	// The file left the class at the server...
+	info, ok := srv.ClassSnapshot()
+	if !ok {
+		t.Fatal("class disabled")
+	}
+	for _, m := range info.Members {
+		if m.Path == "/lib/f" {
+			t.Fatal("written file still in the installed class")
+		}
+	}
+	// ...and the reader sees the new contents, never the old.
+	data, err := r.Read("/lib/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2" {
+		t.Fatalf("read after demotion = %q, want v2", data)
+	}
+	// The generation bump reaches the reader, whose refetched snapshot no
+	// longer claims the file.
+	waitFor(t, func() bool {
+		gen, _, stale := r.InstalledClass()
+		return gen > genBefore && !stale
+	})
+}
+
+// TestPiggybackExtendsNearExpiryLeases is §4's anticipatory extension
+// riding replies: a client doing unrelated RPCs never has to extend the
+// leases it holds — the server re-grants them in TPiggyExt frames
+// appended to each reply's flush — so the cache stays hot past the term
+// with zero extension requests.
+func TestPiggybackExtendsNearExpiryLeases(t *testing.T) {
+	srv, addr := startServer(t, server.Config{
+		Term:         400 * time.Millisecond,
+		WriteTimeout: 5 * time.Second,
+		Class:        server.ClassConfig{PiggybackLead: 500 * time.Millisecond},
+	})
+	seedFile(t, srv, "/f", "v1")
+	seedFile(t, srv, "/g", "x")
+	c, err := client.Dial(addr, client.Config{ID: "c1"}) // no renewal loop
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unrelated traffic for 2× the term; each reply piggybacks an
+	// extension of the /f lease.
+	for i := 0; i < 8; i++ {
+		time.Sleep(100 * time.Millisecond)
+		if err := c.Write("/g", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := c.Metrics()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if hits := c.Metrics().ReadHits - before.ReadHits; hits != 1 {
+		t.Fatalf("read after term was not a cache hit (hits delta %d)", hits)
+	}
+	ws := c.WireStats()
+	if n := ws.Frames(proto.TPiggyExt, "in"); n == 0 {
+		t.Fatal("no piggybacked extension ever arrived")
+	}
+	if n := ws.Frames(proto.TExtend, "out"); n != 0 {
+		t.Fatalf("client sent %d extend frames; piggyback should need none", n)
+	}
+}
+
+// TestPlainServerNoClassTraffic pins interop with a server that has no
+// class features configured: it advertises exactly the pre-class
+// feature set, and the client never sends a class frame at it.
+func TestPlainServerNoClassTraffic(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 300 * time.Millisecond})
+	seedFile(t, srv, "/f", "v1")
+
+	// Raw handshake: the ack's feature mask must be exactly FeatTrace —
+	// byte-identical to a server built before the class subsystem.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e proto.Enc
+	e.Str("raw").U64(proto.FeatTrace | proto.FeatClass)
+	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	fr := proto.GetReader(nc)
+	f, err := fr.Next()
+	if err != nil || f.Type != proto.THelloAck {
+		t.Fatalf("helloAck: %v %v", f.Type, err)
+	}
+	d := proto.NewDec(f.Payload)
+	_ = d.U64() // boot
+	if feats := d.U64(); feats != proto.FeatTrace {
+		t.Fatalf("plain server advertises %#x, want exactly FeatTrace", feats)
+	}
+	f.Recycle()
+	proto.PutReader(fr)
+	nc.Close()
+
+	c, err := client.Dial(addr, client.Config{ID: "c1", AutoExtend: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Let the renewal loop run several rounds; it must fall back to plain
+	// batched extension and never emit a class frame.
+	waitFor(t, func() bool { return c.WireStats().Frames(proto.TExtend, "out") >= 2 })
+	ws := c.WireStats()
+	if n := ws.Frames(proto.TInstalled, "out"); n != 0 {
+		t.Fatalf("client sent %d TInstalled frames to a class-less server", n)
+	}
+	if n := ws.Frames(proto.TBroadcastExt, "in") + ws.Frames(proto.TPiggyExt, "in"); n != 0 {
+		t.Fatalf("class-less server pushed %d class frames", n)
+	}
+	// Leases still renew the old way: the cache stays hot past the term.
+	time.Sleep(500 * time.Millisecond)
+	before := c.Metrics()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if hits := c.Metrics().ReadHits - before.ReadHits; hits != 1 {
+		t.Fatalf("renewal loop failed against plain server (hits delta %d)", hits)
+	}
+}
+
+// TestOldClientSeesNoClassFrames pins the other interop direction: a
+// legacy client that never advertised FeatClass gets no unsolicited
+// class frames, even while broadcasts fire for modern clients on the
+// same server.
+func TestOldClientSeesNoClassFrames(t *testing.T) {
+	srv, addr := startServer(t, server.Config{
+		Term: time.Second,
+		Class: server.ClassConfig{
+			InstalledDirs:  []string{"/"},
+			InstalledTerm:  time.Second,
+			BroadcastEvery: 25 * time.Millisecond,
+		},
+	})
+	seedFile(t, srv, "/f", "v1")
+
+	// A modern client populates the class so broadcasts actually fire.
+	c, err := client.Dial(addr, client.Config{ID: "new", AutoExtend: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return c.WireStats().Frames(proto.TBroadcastExt, "in") > 0 })
+
+	// The legacy client: hello advertising only FeatTrace.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	var e proto.Enc
+	e.Str("old").U64(proto.FeatTrace)
+	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	fr := proto.GetReader(nc)
+	defer proto.PutReader(fr)
+	f, err := fr.Next()
+	if err != nil || f.Type != proto.THelloAck {
+		t.Fatalf("helloAck: %v %v", f.Type, err)
+	}
+	f.Recycle()
+	// One lookup so the connection holds a lease and would be a
+	// piggyback/broadcast target if the gate were broken.
+	e = proto.Enc{}
+	e.Str("/f")
+	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.TLookup, ReqID: 2, Payload: e.Bytes()}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ReqID != 2 {
+		t.Fatalf("unsolicited frame type %d before the lookup reply", f.Type)
+	}
+	f.Recycle()
+	// Broadcasts keep firing for the modern client; the legacy connection
+	// must stay silent.
+	nc.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if f, err := fr.Next(); err == nil {
+		t.Fatalf("legacy connection received unsolicited frame type %d", f.Type)
+	}
+	_ = srv
+}

@@ -21,6 +21,7 @@ import (
 	"leases/internal/core"
 	"leases/internal/obs"
 	"leases/internal/obs/tracing"
+	"leases/internal/portfolio"
 	"leases/internal/proto"
 	"leases/internal/stats"
 	"leases/internal/vfs"
@@ -43,10 +44,20 @@ type Config struct {
 	// Allowance is ε, the clock-uncertainty margin deducted from every
 	// lease term.
 	Allowance time.Duration
-	// AutoExtend, when positive, runs a background loop that renews all
-	// held leases at that period (anticipatory extension, §4). Zero
-	// disables it; leases are then extended on demand by use.
+	// AutoExtend, when positive, arms the background renewal loop
+	// (anticipatory extension, §4): leases are extended ahead of expiry,
+	// in batches, when they come within half this period of expiring;
+	// the loop wakes when the next lease approaches expiry, at most
+	// once per AutoExtend and at least once per AutoExtend when
+	// something is due sooner. Zero disables it; leases are then
+	// extended on demand by use.
 	AutoExtend time.Duration
+	// OnExtendFailure runs (on the renewal loop goroutine) when a
+	// background extension round fails, with the error and the count of
+	// consecutive failures so far — the signal a driver watches to act
+	// before its leases lapse. A successful round resets the count. Nil
+	// ignores failures (they are still counted in trace events).
+	OnExtendFailure func(err error, consecutive int)
 	// Obs, when non-nil, receives client-side trace events (cache
 	// evictions forced by server approval pushes, session reconnects).
 	// Nil disables them.
@@ -125,14 +136,26 @@ type Cache struct {
 	// so connLost closes it and finishReconnect installs a fresh one.
 	co *proto.Coalescer
 
+	// wire counts frames and bytes per message type across connection
+	// incarnations; every incarnation's reader and coalescer feed it.
+	wire *proto.WireStats
+
 	mu     sync.Mutex
 	holder *core.Holder
+	// pf tracks the server's installed-files class (§4.3): the member
+	// snapshot, its generation, and whether it must be refetched. Like
+	// the holder it is guarded by mu.
+	pf     *portfolio.Portfolio
 	data   map[vfs.Datum][]byte            // file contents by datum
 	dattr  map[vfs.Datum]vfs.Attr          // attributes by datum
 	dirs   map[vfs.NodeID]map[string]entry // binding caches by directory
 	calls  map[uint64]chan proto.Frame
 	nextID uint64
 	err    error // terminal connection error
+	// extendKick wakes the renewal loop out of its planned sleep — a
+	// stale class snapshot or a fresh reconnect should be acted on now,
+	// not at the next planned expiry.
+	extendKick chan struct{}
 	// Session state (Config.Reconnect). down marks the window between
 	// losing the connection and completing the re-hello; ready is
 	// closed while connected and replaced with an open channel while
@@ -223,7 +246,7 @@ func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, uint64, err
 	nc.SetDeadline(time.Now().Add(dialTimeout(cfg)))
 	defer nc.SetDeadline(time.Time{})
 	var e proto.Enc
-	e.Str(cfg.ID).U64(proto.FeatTrace)
+	e.Str(cfg.ID).U64(proto.FeatTrace | proto.FeatClass)
 	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
 		return nil, 0, 0, err
 	}
@@ -268,6 +291,7 @@ func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, uint64, err
 // flush batch sizes and backpressure stalls land in the observer.
 func (c *Cache) newCoalescer(nc net.Conn) *proto.Coalescer {
 	co := proto.NewCoalescer(nc)
+	co.Stats = c.wire
 	co.OnError = func(error) { nc.Close() }
 	if c.cfg.Obs.Enabled() {
 		co.OnFlush = c.cfg.Obs.ObserveFlush
@@ -303,18 +327,27 @@ func NewFromConn(nc net.Conn, cfg Config) (*Cache, error) {
 		clk:        cfg.Clock,
 		nc:         nc,
 		fr:         fr,
+		wire:       &proto.WireStats{},
 		holder:     core.NewHolder(core.HolderConfig{Allowance: cfg.Allowance}),
+		pf:         portfolio.New(),
 		data:       make(map[vfs.Datum][]byte),
 		dattr:      make(map[vfs.Datum]vfs.Attr),
 		dirs:       make(map[vfs.NodeID]map[string]entry),
 		calls:      make(map[uint64]chan proto.Frame),
+		extendKick: make(chan struct{}, 1),
 		stopping:   make(chan struct{}),
 		opLat:      make(map[proto.MsgType]*stats.Histogram),
 		ready:      ready,
 		serverBoot: boot,
 		features:   feats,
 	}
+	if feats&proto.FeatClass != 0 {
+		// Fetch the installed snapshot on the first renewal round rather
+		// than waiting to learn of it from a broadcast.
+		c.pf.MarkStale()
+	}
 	c.nextID = 1
+	fr.Stats = c.wire
 	c.co = c.newCoalescer(nc)
 	c.wg.Add(1)
 	go c.readLoop(nc, fr, c.co)
@@ -390,6 +423,14 @@ func (c *Cache) HeldLeases() int {
 	return c.holder.Len()
 }
 
+// HeldData lists the data the cache holds lease records for — the
+// input for renewal policies that pick their own ExtendData batches.
+func (c *Cache) HeldData() []vfs.Datum {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.holder.Held()
+}
+
 // ServerBoot reports the server incarnation ID received in the latest
 // hello ack (zero when talking to a server predating boot IDs). A
 // change across a reconnect means the server restarted and is running
@@ -440,8 +481,15 @@ func (c *Cache) readLoop(nc net.Conn, fr *proto.FrameReader, co *proto.Coalescer
 			c.connLost(nc, err)
 			return
 		}
-		if f.Type == proto.TApprovalReq {
+		switch f.Type {
+		case proto.TApprovalReq:
 			c.handleApprovalPush(f, approvals)
+			continue
+		case proto.TBroadcastExt:
+			c.handleBroadcastExt(f)
+			continue
+		case proto.TPiggyExt:
+			c.handlePiggyExt(f)
 			continue
 		}
 		c.mu.Lock()
@@ -453,6 +501,53 @@ func (c *Cache) readLoop(nc net.Conn, fr *proto.FrameReader, co *proto.Coalescer
 		if ok {
 			ch <- f
 		}
+	}
+}
+
+// handleBroadcastExt applies one periodic installed-class renewal
+// (§4.3): when the stamped generation matches the held snapshot, every
+// installed datum this cache holds a lease on is extended to the
+// server's sentAt + term − ε in one O(1) frame. A generation mismatch
+// means membership changed at the server — extending under the old
+// member list could cover a datum a write just demoted — so nothing is
+// extended and the renewal loop is kicked to refetch the snapshot.
+func (c *Cache) handleBroadcastExt(f proto.Frame) {
+	w := proto.NewDec(f.Payload).DecodeBroadcastExt()
+	f.Recycle()
+	c.mu.Lock()
+	current := c.pf.ObserveBroadcast(w.Generation, w.Term)
+	if current {
+		c.holder.ApplyInstalledExtension(c.pf.Members(), w.Term, w.SentAt, c.clk.Now())
+	}
+	c.mu.Unlock()
+	if !current {
+		c.kickExtend()
+	}
+}
+
+// handlePiggyExt applies anticipatory extension grants the server
+// piggybacked on another reply (§4). Each grant is unsolicited and
+// server-stamped; the holder extends only leases it already holds at
+// the same version, so a grant racing an invalidation or a concurrent
+// refetch can never resurrect coverage of a stale copy.
+func (c *Cache) handlePiggyExt(f proto.Frame) {
+	w := proto.NewDec(f.Payload).DecodePiggyExt()
+	f.Recycle()
+	c.mu.Lock()
+	for _, g := range w.Grants {
+		if g.Leased {
+			c.holder.ApplyStampedGrant(g.Datum, g.Version, g.Term, w.SentAt)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// kickExtend wakes the renewal loop immediately; a no-op when the loop
+// is disabled or a kick is already pending.
+func (c *Cache) kickExtend() {
+	select {
+	case c.extendKick <- struct{}{}:
+	default:
 	}
 }
 
@@ -946,16 +1041,135 @@ func (c *Cache) ExtendAll() error {
 	return c.StartExtendAll().Wait()
 }
 
+// ExtendData renews leases over exactly the given data in one batched
+// request — the building block for renewal policies that pick their own
+// batches (the background loop extends only leases near expiry; drivers
+// comparing policies extend one file at a time). The reply is applied
+// under the same version fences as ExtendAll.
+func (c *Cache) ExtendData(data []vfs.Datum) error {
+	return c.startExtend(data).Wait()
+}
+
+// WireStats returns this cache's per-message-type traffic counters,
+// accumulated across connection incarnations.
+func (c *Cache) WireStats() *proto.WireStats { return c.wire }
+
+// InstalledClass reports the held installed-class snapshot (§4.3): its
+// generation (zero = none), its member count, and whether it is stale
+// (a refetch is pending).
+func (c *Cache) InstalledClass() (gen uint64, members int, stale bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pf.Generation(), c.pf.Len(), c.pf.Stale()
+}
+
+// extendLoop is the anticipatory-renewal loop (§4): each round it
+// refetches the installed-class snapshot if stale, extends the leases
+// that have come within half an AutoExtend period of expiring, and
+// sleeps until the next lease approaches expiry — never longer than one
+// period, so newly granted short leases are still picked up in time.
+// Failed rounds are surfaced (satellite of §5's fault model: a client
+// that cannot renew is about to lose its working set and should hear
+// about it): each failure is counted, traced, and reported to
+// Config.OnExtendFailure with the consecutive-failure count.
 func (c *Cache) extendLoop() {
 	defer c.wg.Done()
+	base := c.cfg.AutoExtend
+	consecutive := 0
 	for {
-		ch, stop := c.clk.After(c.cfg.AutoExtend)
+		plan := c.planRenewal(base)
+		if len(plan.Due) > 0 || c.staleClass() {
+			if err := c.extendRound(plan.Due); err != nil {
+				consecutive++
+				if c.cfg.Obs.Enabled() {
+					c.cfg.Obs.Record(obs.Event{
+						Type: obs.EvExtendFailure, Client: c.cfg.ID, Depth: consecutive,
+					})
+				}
+				if c.cfg.OnExtendFailure != nil {
+					c.cfg.OnExtendFailure(err, consecutive)
+				}
+			} else {
+				consecutive = 0
+			}
+			// Replan: a successful round pushed expiries out (sleep to the
+			// next horizon), a failed one left them due (retry at the
+			// clamped floor instead of spinning).
+			plan = c.planRenewal(base)
+		}
+		ch, stop := c.clk.After(plan.Wake)
 		select {
 		case <-c.stopping:
 			stop()
 			return
+		case <-c.extendKick:
+			stop()
 		case <-ch:
-			c.ExtendAll()
 		}
 	}
+}
+
+// planRenewal snapshots the held leases and plans one renewal round.
+func (c *Cache) planRenewal(base time.Duration) portfolio.RenewPlan {
+	now := c.clk.Now()
+	c.mu.Lock()
+	held := c.holder.Held()
+	leases := make([]portfolio.Lease, 0, len(held))
+	for _, d := range held {
+		_, expiry, _ := c.holder.Peek(d)
+		leases = append(leases, portfolio.Lease{Datum: d, Expiry: expiry})
+	}
+	c.mu.Unlock()
+	return portfolio.PlanRenewal(now, base, leases)
+}
+
+// staleClass reports whether the installed snapshot needs a refetch on
+// a connection that negotiated the class feature.
+func (c *Cache) staleClass() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.features&proto.FeatClass != 0 && c.pf.Stale()
+}
+
+// extendRound performs one renewal round: refetch the installed
+// snapshot if stale, then extend the due leases in one batch. The
+// extension error wins — it is the one that costs coverage.
+func (c *Cache) extendRound(due []vfs.Datum) error {
+	var refreshErr error
+	if c.staleClass() {
+		refreshErr = c.refreshInstalled()
+	}
+	if len(due) > 0 {
+		if err := c.startExtend(due).Wait(); err != nil {
+			return err
+		}
+	}
+	return refreshErr
+}
+
+// refreshInstalled fetches the installed-class snapshot (TInstalled)
+// and applies it: membership replaces the held snapshot, and every
+// member this cache holds a lease on is covered to the server-stamped
+// SentAt + Term − ε. One attempt per round; the next round retries.
+func (c *Cache) refreshInstalled() error {
+	c.mu.Lock()
+	gen := c.pf.Generation()
+	c.mu.Unlock()
+	var e proto.Enc
+	e.U64(gen)
+	f, err := c.callOnce(proto.TInstalled, e.Bytes())
+	if err != nil {
+		return err
+	}
+	defer f.Recycle()
+	d := proto.NewDec(f.Payload)
+	w := d.DecodeInstalled()
+	if d.Err != nil {
+		return d.Err
+	}
+	c.mu.Lock()
+	c.pf.ApplySnapshot(w.Generation, w.Term, w.Data)
+	c.holder.ApplyInstalledExtension(w.Data, w.Term, w.SentAt, c.clk.Now())
+	c.mu.Unlock()
+	return nil
 }

@@ -205,3 +205,103 @@ func TestFailoverReconnectStorm(t *testing.T) {
 		}
 	}
 }
+
+// TestExtendAcrossFailoverRevalidates races a batched renewal against a
+// master failover: the renewal retries against the new master, which
+// happily re-grants (its lease table is per-client, not per-connection)
+// — but the client's re-hello dropped everything, and the invalidation
+// fence must keep those grants from resurrecting the purged cache.
+func TestExtendAcrossFailoverRevalidates(t *testing.T) {
+	srvs, addrs, master := startReplicaPair(t)
+
+	cfg := failoverCfg("c1")
+	cfg.Replicas = addrs
+	c, err := client.DialReplicas(cfg)
+	if err != nil {
+		t.Fatalf("DialReplicas: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.HeldLeases() == 0 {
+		t.Fatal("no leases held before failover")
+	}
+
+	ext := c.StartExtendAll()
+	master.Store(1)
+	srvs[0].Demote()
+	if err := ext.Wait(); err != nil {
+		t.Fatalf("extend across failover: %v", err)
+	}
+	waitFor(t, func() bool { return c.Metrics().Reconnects >= 1 })
+	if held := c.HeldLeases(); held != 0 {
+		t.Fatalf("%d leases survived failover despite in-flight extension; want 0", held)
+	}
+	// The next read must revalidate against the new master.
+	before := c.Metrics()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().ReadHits != before.ReadHits {
+		t.Fatal("read after failover hit the purged cache")
+	}
+}
+
+// TestInstalledPortfolioAcrossFailover moves a client with an installed
+// portfolio across a failover: the class snapshot is dropped with the
+// session, refetched against the new master, and broadcast renewal
+// resumes there — traffic continuity, with safety carried by the
+// revalidate-on-resume default.
+func TestInstalledPortfolioAcrossFailover(t *testing.T) {
+	master := new(atomic.Int64)
+	var srvs [2]*server.Server
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, addr := startServer(t, server.Config{
+			Term:    time.Minute,
+			Replica: stubReplica{idx: i, master: master},
+			Class: server.ClassConfig{
+				InstalledDirs:  []string{"/"},
+				InstalledTerm:  2 * time.Second,
+				BroadcastEvery: 50 * time.Millisecond,
+			},
+		})
+		seedFile(t, srv, "/f", "v1")
+		srv.Promote(tracing.Context{}, nil, 0)
+		srvs[i] = srv
+		addrs = append(addrs, addr)
+	}
+
+	cfg := failoverCfg("c1")
+	cfg.Replicas = addrs
+	cfg.AutoExtend = 100 * time.Millisecond
+	c, err := client.DialReplicas(cfg)
+	if err != nil {
+		t.Fatalf("DialReplicas: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		_, members, stale := c.InstalledClass()
+		return members > 0 && !stale
+	})
+
+	master.Store(1)
+	srvs[0].Demote()
+	waitFor(t, func() bool { return c.Metrics().Reconnects >= 1 })
+	if _, members, _ := c.InstalledClass(); members != 0 {
+		t.Fatalf("portfolio kept %d members across failover; want 0 until refetched", members)
+	}
+	// A read against the new master promotes there; the portfolio must
+	// settle against the new incarnation and broadcasts resume.
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		gen, members, stale := c.InstalledClass()
+		return gen > 0 && members > 0 && !stale
+	})
+}

@@ -361,19 +361,25 @@ type ExtendCall struct {
 // StartExtendAll begins renewing every held lease in one batched
 // request (§3.1). With nothing held it completes immediately.
 func (c *Cache) StartExtendAll() *ExtendCall {
-	x := &ExtendCall{c: c}
 	c.mu.Lock()
 	held := c.holder.Held()
 	c.mu.Unlock()
-	if len(held) == 0 {
+	return c.startExtend(held)
+}
+
+// startExtend begins renewing exactly the given data in one batched
+// request. With no data it completes immediately.
+func (c *Cache) startExtend(data []vfs.Datum) *ExtendCall {
+	x := &ExtendCall{c: c}
+	if len(data) == 0 {
 		x.done = true
 		return x
 	}
 	x.requestedAt = c.clk.Now()
 	x.epoch = c.fetchEpoch()
 	var e proto.Enc
-	e.U32(uint32(len(held)))
-	for _, d := range held {
+	e.U32(uint32(len(data)))
+	for _, d := range data {
 		e.Datum(d)
 	}
 	x.call = c.startCall(proto.TExtend, e.Bytes())

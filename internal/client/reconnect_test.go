@@ -280,3 +280,102 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestExtendFailureSurfaced is the renewal loop's failure contract: a
+// background extension round that cannot reach the server is counted,
+// traced, and reported to OnExtendFailure with the consecutive-failure
+// count — the signal a driver acts on before its leases lapse.
+func TestExtendFailureSurfaced(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: 300 * time.Millisecond})
+	seedFile(t, srv, "/f", "v1")
+
+	o := obs.New(obs.Config{})
+	var mu sync.Mutex
+	var counts []int
+	var lastErr error
+	c, err := client.Dial(addr, client.Config{
+		ID:         "c1",
+		AutoExtend: 50 * time.Millisecond,
+		Obs:        o,
+		OnExtendFailure: func(err error, consecutive int) {
+			mu.Lock()
+			counts = append(counts, consecutive)
+			lastErr = err
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(counts) >= 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("consecutive counts = %v, want 1,2,...", counts[:2])
+	}
+	if lastErr == nil {
+		t.Fatal("hook fired with nil error")
+	}
+	found := false
+	for _, ec := range o.EventCounts() {
+		if ec.Type == "extend-failure" && ec.N >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no extend-failure events recorded: %+v", o.EventCounts())
+	}
+}
+
+// TestExtendAllAcrossReconnectRevalidates races a batched renewal
+// against a connection loss: the re-hello drops every lease, and the
+// extension — retried on the new session — must not resurrect them.
+// The server may re-grant (its records are keyed by client ID), but the
+// client's invalidation fence keeps the purged cache purged until real
+// revalidating reads refill it.
+func TestExtendAllAcrossReconnectRevalidates(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Term: time.Minute})
+	seedFile(t, srv, "/f", "v1")
+	proxy := startProxy(t, addr, nil)
+
+	c, err := client.Dial(proxy.Addr(), reconnectCfg("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.HeldLeases() == 0 {
+		t.Fatal("no leases held before sever")
+	}
+
+	ext := c.StartExtendAll()
+	proxy.SeverAll()
+	// The future either completed before the sever or retries across the
+	// reconnect; a server-side error would be a real failure.
+	if err := ext.Wait(); err != nil && !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("extend across sever: %v", err)
+	}
+	waitFor(t, func() bool { return c.Metrics().Reconnects >= 1 })
+	if held := c.HeldLeases(); held != 0 {
+		t.Fatalf("%d leases survived reconnect despite in-flight extension; want 0", held)
+	}
+	// The next read must revalidate against the server, not the cache.
+	before := c.Metrics()
+	if _, err := c.Read("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics().ReadHits != before.ReadHits {
+		t.Fatal("read after reconnect hit the purged cache")
+	}
+}

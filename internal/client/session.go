@@ -134,10 +134,11 @@ func (c *Cache) failCallsLocked() {
 	}
 }
 
-// dropAllLocked discards every cached lease, datum and binding — the
-// revalidate-on-resume default. Callers hold c.mu.
+// dropAllLocked discards every cached lease, datum, binding and class
+// snapshot — the revalidate-on-resume default. Callers hold c.mu.
 func (c *Cache) dropAllLocked() {
 	c.invalSeq++
+	c.pf.Clear()
 	for _, d := range c.holder.Held() {
 		c.holder.Drop(d)
 	}
@@ -223,6 +224,7 @@ func (c *Cache) resume(nc net.Conn) (*resumeState, error) {
 // incarnation — and wakes every operation parked on the session.
 func (c *Cache) finishReconnect(nc net.Conn, st *resumeState, attempts int, downSince time.Time) {
 	co := c.newCoalescer(nc)
+	st.fr.Stats = c.wire
 	c.mu.Lock()
 	c.nc = nc
 	c.fr = st.fr
@@ -231,6 +233,11 @@ func (c *Cache) finishReconnect(nc net.Conn, st *resumeState, attempts int, down
 	// Re-negotiated per connection: a failover can land the session on
 	// a server with different feature support.
 	c.features = st.feats
+	if st.feats&proto.FeatClass != 0 {
+		// The previous incarnation's class snapshot was dropped with
+		// everything else; refetch it promptly on the new one.
+		c.pf.MarkStale()
+	}
 	c.down = false
 	c.metrics.Reconnects++
 	ready := c.ready
@@ -239,6 +246,7 @@ func (c *Cache) finishReconnect(nc net.Conn, st *resumeState, attempts int, down
 	c.wg.Add(1)
 	go c.readLoop(nc, st.fr, co)
 	close(ready)
+	c.kickExtend()
 	if c.cfg.Obs.Enabled() {
 		c.cfg.Obs.Record(obs.Event{
 			Type: obs.EvReconnect, Client: c.cfg.ID,

@@ -114,12 +114,18 @@ func (h *Holder) ApplyGrant(d vfs.Datum, version uint64, term time.Duration, req
 
 // ApplyInstalledExtension processes a periodic multicast extension (§4)
 // covering the given installed data for term, stamped with the server's
-// send time. Only data this cache already holds are extended — the
-// extension is unsolicited, so there is no fetched copy to cover
-// otherwise. The expiry is anchored at the server's timestamp minus the
-// clock allowance: sentAt + term − ε, valid whenever mutual clock error
-// is within ε. It returns how many held leases were extended.
-func (h *Holder) ApplyInstalledExtension(data []vfs.Datum, term time.Duration, sentAt time.Time) int {
+// send time. Only data this cache already holds a *currently valid*
+// lease on (judged at now) are extended — the extension is unsolicited,
+// so there is no fetched copy to cover otherwise, and an expired entry's
+// value may have been rewritten any number of times since the lease
+// lapsed: coverage prolongs live belief, it never resurrects a dead
+// copy. (A datum can leave the class on a write and be re-installed
+// later; a client that held it across that gap would otherwise have its
+// stale copy revived by the first broadcast under the new membership.)
+// The expiry is anchored at the server's timestamp minus the clock
+// allowance: sentAt + term − ε, valid whenever mutual clock error is
+// within ε. It returns how many held leases were extended.
+func (h *Holder) ApplyInstalledExtension(data []vfs.Datum, term time.Duration, sentAt, now time.Time) int {
 	if term <= 0 {
 		return 0
 	}
@@ -130,7 +136,7 @@ func (h *Holder) ApplyInstalledExtension(data []vfs.Datum, term time.Duration, s
 	n := 0
 	for _, d := range data {
 		l, ok := h.leases[d]
-		if !ok {
+		if !ok || Expired(l.expiry, now) {
 			continue
 		}
 		l.expiry = maxExpiry(l.expiry, expiry)
@@ -140,6 +146,33 @@ func (h *Holder) ApplyInstalledExtension(data []vfs.Datum, term time.Duration, s
 		h.metrics.Grants++
 	}
 	return n
+}
+
+// ApplyStampedGrant processes one unsolicited, server-stamped extension
+// grant — the anticipatory extension a server piggybacks on another
+// reply (§4). Like an installed extension it can only extend a lease
+// this cache already holds (there is no fetched copy for it to cover
+// otherwise) and is anchored at the server's send time minus the clock
+// allowance: sentAt + term − ε. A version disagreeing with the held
+// copy means the copy is stale — the grant is ignored and the normal
+// invalidation path deals with it. Reports whether a lease was
+// extended.
+func (h *Holder) ApplyStampedGrant(d vfs.Datum, version uint64, term time.Duration, sentAt time.Time) bool {
+	if term <= 0 {
+		return false
+	}
+	l, ok := h.leases[d]
+	if !ok || version != l.version {
+		return false
+	}
+	expiry := ExpiryAt(sentAt, term)
+	if !expiry.IsZero() {
+		expiry = expiry.Add(-h.cfg.Allowance)
+	}
+	l.expiry = maxExpiry(l.expiry, expiry)
+	l.term = term
+	h.metrics.Grants++
+	return true
 }
 
 // Valid reports whether the holder may use its cached copy of d at now:

@@ -197,7 +197,7 @@ func TestApplyInstalledExtension(t *testing.T) {
 	// Hold datumA (fetched earlier); datumB unknown to this cache.
 	h.ApplyGrant(datumA, 1, 5*time.Second, now, now.Add(time.Millisecond))
 	sentAt := now.Add(4 * time.Second)
-	n := h.ApplyInstalledExtension([]vfs.Datum{datumA, datumB}, 30*time.Second, sentAt)
+	n := h.ApplyInstalledExtension([]vfs.Datum{datumA, datumB}, 30*time.Second, sentAt, sentAt)
 	if n != 1 {
 		t.Fatalf("extended %d leases, want 1 (only held data)", n)
 	}
@@ -217,7 +217,7 @@ func TestApplyInstalledExtensionNeverShortens(t *testing.T) {
 	now := clock.Epoch
 	h.ApplyGrant(datumA, 1, time.Hour, now, now.Add(time.Millisecond))
 	_, before, _ := h.Peek(datumA)
-	h.ApplyInstalledExtension([]vfs.Datum{datumA}, time.Second, now)
+	h.ApplyInstalledExtension([]vfs.Datum{datumA}, time.Second, now, now)
 	_, after, _ := h.Peek(datumA)
 	if !after.Equal(before) {
 		t.Fatalf("short multicast extension shortened lease: %v → %v", before, after)
@@ -227,8 +227,28 @@ func TestApplyInstalledExtensionNeverShortens(t *testing.T) {
 func TestApplyInstalledExtensionZeroTermNoop(t *testing.T) {
 	h := lanHolder()
 	h.ApplyGrant(datumA, 1, time.Second, clock.Epoch, clock.Epoch.Add(time.Millisecond))
-	if n := h.ApplyInstalledExtension([]vfs.Datum{datumA}, 0, clock.Epoch); n != 0 {
+	if n := h.ApplyInstalledExtension([]vfs.Datum{datumA}, 0, clock.Epoch, clock.Epoch); n != 0 {
 		t.Fatalf("zero-term extension extended %d", n)
+	}
+}
+
+// A broadcast extension must never revive an expired copy: the datum
+// may have left the class on a write (invalidating every covered copy
+// by expiry) and been re-installed later — a client that held it across
+// that gap has an arbitrarily stale value. Coverage prolongs live
+// belief only.
+func TestApplyInstalledExtensionSkipsExpired(t *testing.T) {
+	h := lanHolder()
+	now := clock.Epoch
+	h.ApplyGrant(datumA, 1, time.Second, now, now.Add(time.Millisecond))
+	// Well past expiry: the copy is dead, the file may have been
+	// rewritten and re-installed since.
+	late := now.Add(time.Minute)
+	if n := h.ApplyInstalledExtension([]vfs.Datum{datumA}, 30*time.Second, late, late); n != 0 {
+		t.Fatalf("extension resurrected %d expired leases, want 0", n)
+	}
+	if h.Valid(datumA, late) {
+		t.Fatal("expired copy became valid again after a broadcast extension")
 	}
 }
 

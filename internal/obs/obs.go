@@ -94,14 +94,31 @@ const (
 	// EvDemoted: this replica's master lease lapsed or was lost;
 	// Replica carries the replica index.
 	EvDemoted
+	// EvExtendFailure: a client's background batch extension failed;
+	// Depth is the consecutive-failure count.
+	EvExtendFailure
+	// EvBroadcastExt: the server sent one broadcast-extension round
+	// covering the installed class (§4.3); Depth is how many
+	// connections it reached. At the client: one broadcast was applied.
+	EvBroadcastExt
+	// EvPiggyExt: anticipatory extension grants were piggybacked on a
+	// reply flush (§4); Depth is the number of grants.
+	EvPiggyExt
+	// EvClassPromote: a datum entered the installed-files class.
+	EvClassPromote
+	// EvClassDemote: drop-on-write — a write demoted a datum out of the
+	// installed class (§4.3).
+	EvClassDemote
 
-	numEventTypes = int(EvDemoted) + 1
+	numEventTypes = int(EvClassDemote) + 1
 )
 
 var eventTypeNames = [numEventTypes]string{
 	"grant", "extend", "approve-request", "approve", "expire",
 	"write-defer", "write-apply", "write-timeout", "eviction",
 	"reconnect", "fault-inject", "queue-full", "elected", "demoted",
+	"extend-failure", "broadcast-ext", "piggy-ext", "class-promote",
+	"class-demote",
 }
 
 // String names the event type ("grant", "write-defer", …).

@@ -32,6 +32,20 @@ type MetricsSnapshot struct {
 	// believed master's replica index (-1 unknown).
 	ReplicaRole   string
 	ReplicaMaster int
+	// Wire is the per-message-type traffic breakdown (frames and bytes,
+	// by direction), already in its exposition order. Empty suppresses
+	// the section.
+	Wire []WireTraffic
+}
+
+// WireTraffic is one message type's traffic in one direction, as
+// counted by proto.WireStats and converted by the endpoint that owns
+// the counters.
+type WireTraffic struct {
+	Type   string // message type name ("extend", "broadcast-ext", ...)
+	Dir    string // "in" or "out"
+	Frames uint64
+	Bytes  uint64
 }
 
 // managerCounters fixes the exposition order and naming of the
@@ -104,6 +118,19 @@ func WriteProm(w io.Writer, s *MetricsSnapshot) {
 		fmt.Fprintf(w, "# TYPE leases_events_total counter\n")
 		for _, ec := range s.Events {
 			fmt.Fprintf(w, "leases_events_total{type=%q} %d\n", ec.Type, ec.N)
+		}
+	}
+
+	if len(s.Wire) > 0 {
+		fmt.Fprintf(w, "# HELP leases_wire_frames_total Wire frames by message type and direction.\n")
+		fmt.Fprintf(w, "# TYPE leases_wire_frames_total counter\n")
+		for _, t := range s.Wire {
+			fmt.Fprintf(w, "leases_wire_frames_total{type=%q,dir=%q} %d\n", t.Type, t.Dir, t.Frames)
+		}
+		fmt.Fprintf(w, "# HELP leases_wire_bytes_total Wire bytes (headers included) by message type and direction.\n")
+		fmt.Fprintf(w, "# TYPE leases_wire_bytes_total counter\n")
+		for _, t := range s.Wire {
+			fmt.Fprintf(w, "leases_wire_bytes_total{type=%q,dir=%q} %d\n", t.Type, t.Dir, t.Bytes)
 		}
 	}
 

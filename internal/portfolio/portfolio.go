@@ -1,0 +1,162 @@
+// Package portfolio is the client's sans-IO view of its lease
+// portfolio under the §4 options: which data the server has placed in
+// the installed-files class (covered by one directory-granularity lease
+// renewed by broadcast, §4.3), and when the remaining per-file leases
+// should be renewed ahead of expiry (anticipatory extension, §4).
+//
+// Like core.Holder it is transport-free and not safe for concurrent
+// use; the client serializes access under its cache mutex. The package
+// holds no clocks and issues no frames — it answers two questions:
+// "is this datum installed?" and "what should the renewal loop extend
+// now, and when should it wake next?" — so both answers are unit
+// testable without a server.
+package portfolio
+
+import (
+	"time"
+
+	"leases/internal/vfs"
+)
+
+// Portfolio tracks the client's snapshot of the server's installed
+// class. The snapshot is identified by its generation: the server bumps
+// the generation on every membership change (promotion or drop-on-write
+// demotion), and stamps every broadcast extension with the generation
+// it covers. A broadcast matching the held generation renews the whole
+// snapshot in O(1) wire bytes; a mismatch means the snapshot is stale —
+// the client stops treating it as current and refetches.
+type Portfolio struct {
+	gen     uint64
+	term    time.Duration
+	members map[vfs.Datum]struct{}
+	order   []vfs.Datum // members in wire order, reused by extensions
+	stale   bool
+}
+
+// New returns an empty portfolio. It starts non-stale: with no snapshot
+// there is nothing to refetch until the server advertises a class (the
+// first broadcast, carrying a nonzero generation, marks it stale).
+func New() *Portfolio {
+	return &Portfolio{members: make(map[vfs.Datum]struct{})}
+}
+
+// ApplySnapshot replaces the held snapshot with a freshly fetched one
+// and clears staleness. The data slice is retained.
+func (p *Portfolio) ApplySnapshot(gen uint64, term time.Duration, data []vfs.Datum) {
+	p.gen = gen
+	p.term = term
+	p.order = data
+	p.members = make(map[vfs.Datum]struct{}, len(data))
+	for _, d := range data {
+		p.members[d] = struct{}{}
+	}
+	p.stale = false
+}
+
+// ObserveBroadcast processes the stamp of one broadcast extension and
+// reports whether the held snapshot covers it — in which case the
+// caller extends every member it holds for the broadcast term. On a
+// generation mismatch the snapshot is marked stale and nothing may be
+// extended: membership changed at the server, and extending under the
+// old member list could cover a datum that was just demoted by a write.
+func (p *Portfolio) ObserveBroadcast(gen uint64, term time.Duration) bool {
+	if gen != p.gen || gen == 0 {
+		p.stale = true
+		return false
+	}
+	p.term = term
+	return true
+}
+
+// Installed reports whether d is in the held snapshot.
+func (p *Portfolio) Installed(d vfs.Datum) bool {
+	_, ok := p.members[d]
+	return ok
+}
+
+// Members returns the snapshot's member list in wire order. The slice
+// is shared, not copied; callers must not mutate it.
+func (p *Portfolio) Members() []vfs.Datum { return p.order }
+
+// Generation returns the held snapshot's generation (zero = none).
+func (p *Portfolio) Generation() uint64 { return p.gen }
+
+// Term returns the class term of the latest snapshot or broadcast.
+func (p *Portfolio) Term() time.Duration { return p.term }
+
+// Len reports how many data the snapshot covers.
+func (p *Portfolio) Len() int { return len(p.members) }
+
+// Stale reports whether the snapshot must be refetched before the
+// next broadcast can be applied.
+func (p *Portfolio) Stale() bool { return p.stale }
+
+// MarkStale forces a refetch — used after a reconnect, when the
+// snapshot may describe a different server incarnation entirely.
+func (p *Portfolio) MarkStale() { p.stale = true }
+
+// Clear discards the snapshot — the reconnect path's
+// drop-everything-and-revalidate, applied to class state.
+func (p *Portfolio) Clear() {
+	p.gen = 0
+	p.term = 0
+	p.order = nil
+	p.members = make(map[vfs.Datum]struct{})
+	p.stale = false
+}
+
+// Lease is one held lease as the renewal planner sees it: its datum and
+// its local effective expiry (zero = infinite, never renewed).
+type Lease struct {
+	Datum  vfs.Datum
+	Expiry time.Time
+}
+
+// RenewPlan is one renewal round's decision.
+type RenewPlan struct {
+	// Due lists the leases to extend in this round's batch, in input
+	// order: those expired or expiring within the anticipation lead.
+	Due []vfs.Datum
+	// Wake is how long to sleep before planning again: until the
+	// earliest remaining expiry enters the lead window, clamped to
+	// [base/8, base] so a far-off portfolio still gets a periodic
+	// liveness check and a busy one cannot spin.
+	Wake time.Duration
+}
+
+// PlanRenewal computes one anticipatory-extension round (§4) over the
+// held leases. base is the configured renewal period; the lead — how
+// far ahead of expiry a lease is renewed — is base/2, so one missed
+// round still leaves half a period of margin before anything expires.
+//
+// Installed members need no per-file renewal (the broadcast covers
+// them), but they are planned by the same expiry rule rather than
+// excluded: while broadcasts arrive their expiries sit a full class
+// term out and they never come due; if broadcasts stop — a partitioned
+// or wedged server — their expiries drift into the lead window and the
+// planner falls back to explicit extension automatically.
+func PlanRenewal(now time.Time, base time.Duration, leases []Lease) RenewPlan {
+	lead := base / 2
+	deadline := now.Add(lead)
+	plan := RenewPlan{Wake: base}
+	floor := base / 8
+	if floor <= 0 {
+		floor = time.Millisecond
+	}
+	for _, l := range leases {
+		if l.Expiry.IsZero() {
+			continue
+		}
+		if !l.Expiry.After(deadline) {
+			plan.Due = append(plan.Due, l.Datum)
+			continue
+		}
+		if until := l.Expiry.Sub(deadline); until < plan.Wake {
+			plan.Wake = until
+		}
+	}
+	if plan.Wake < floor {
+		plan.Wake = floor
+	}
+	return plan
+}

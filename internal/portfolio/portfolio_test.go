@@ -1,0 +1,115 @@
+package portfolio
+
+import (
+	"testing"
+	"time"
+
+	"leases/internal/vfs"
+)
+
+func datum(n uint64) vfs.Datum {
+	return vfs.Datum{Kind: vfs.FileData, Node: vfs.NodeID(n)}
+}
+
+func TestSnapshotAndBroadcast(t *testing.T) {
+	p := New()
+	if p.Stale() {
+		t.Fatal("fresh portfolio reports stale")
+	}
+	if p.ObserveBroadcast(3, time.Second) {
+		t.Fatal("broadcast for unknown generation applied")
+	}
+	if !p.Stale() {
+		t.Fatal("generation mismatch did not mark stale")
+	}
+
+	data := []vfs.Datum{datum(1), datum(2)}
+	p.ApplySnapshot(3, 30*time.Second, data)
+	if p.Stale() {
+		t.Fatal("ApplySnapshot left portfolio stale")
+	}
+	if p.Generation() != 3 || p.Len() != 2 || p.Term() != 30*time.Second {
+		t.Fatalf("snapshot state = gen %d len %d term %v", p.Generation(), p.Len(), p.Term())
+	}
+	if !p.Installed(datum(1)) || p.Installed(datum(9)) {
+		t.Fatal("Installed membership wrong")
+	}
+
+	if !p.ObserveBroadcast(3, 40*time.Second) {
+		t.Fatal("matching broadcast refused")
+	}
+	if p.Term() != 40*time.Second {
+		t.Fatalf("broadcast did not update term: %v", p.Term())
+	}
+	// Membership changed at the server: the next broadcast carries a new
+	// generation and must not extend under the old member list.
+	if p.ObserveBroadcast(4, 40*time.Second) {
+		t.Fatal("stale-generation broadcast applied")
+	}
+	if !p.Stale() {
+		t.Fatal("newer generation did not mark stale")
+	}
+}
+
+func TestZeroGenerationNeverMatches(t *testing.T) {
+	p := New()
+	if p.ObserveBroadcast(0, time.Second) {
+		t.Fatal("generation-zero broadcast applied to empty portfolio")
+	}
+}
+
+func TestClear(t *testing.T) {
+	p := New()
+	p.ApplySnapshot(7, time.Second, []vfs.Datum{datum(1)})
+	p.MarkStale()
+	p.Clear()
+	if p.Generation() != 0 || p.Len() != 0 || p.Stale() || p.Term() != 0 {
+		t.Fatal("Clear left state behind")
+	}
+	if len(p.Members()) != 0 {
+		t.Fatal("Clear left members")
+	}
+}
+
+func TestPlanRenewal(t *testing.T) {
+	now := time.Unix(1000, 0)
+	base := 8 * time.Second // lead 4s, floor 1s
+	leases := []Lease{
+		{Datum: datum(1), Expiry: now.Add(2 * time.Second)}, // inside lead: due
+		{Datum: datum(2), Expiry: now.Add(-time.Second)},    // expired: due
+		{Datum: datum(3)}, // infinite: never due
+		{Datum: datum(4), Expiry: now.Add(6 * time.Second)},  // 2s past lead
+		{Datum: datum(5), Expiry: now.Add(60 * time.Second)}, // far out
+	}
+	plan := PlanRenewal(now, base, leases)
+	if len(plan.Due) != 2 || plan.Due[0] != datum(1) || plan.Due[1] != datum(2) {
+		t.Fatalf("Due = %v", plan.Due)
+	}
+	// Next finite expiry (datum 4) enters the lead window in 2s.
+	if plan.Wake != 2*time.Second {
+		t.Fatalf("Wake = %v, want 2s", plan.Wake)
+	}
+}
+
+func TestPlanRenewalBounds(t *testing.T) {
+	now := time.Unix(1000, 0)
+	base := 8 * time.Second
+
+	// Nothing held: sleep a full period.
+	if p := PlanRenewal(now, base, nil); len(p.Due) != 0 || p.Wake != base {
+		t.Fatalf("empty plan = %+v", p)
+	}
+
+	// An expiry just past the lead window clamps to the floor rather
+	// than spinning.
+	leases := []Lease{{Datum: datum(1), Expiry: now.Add(4*time.Second + time.Millisecond)}}
+	if p := PlanRenewal(now, base, leases); p.Wake != time.Second {
+		t.Fatalf("Wake = %v, want floor 1s", p.Wake)
+	}
+
+	// Far-future expiries never extend the sleep past one period.
+	leases = []Lease{{Datum: datum(1), Expiry: now.Add(time.Hour)}}
+	if p := PlanRenewal(now, base, leases); p.Wake != base {
+		t.Fatalf("Wake = %v, want base", p.Wake)
+	}
+}

@@ -1,0 +1,104 @@
+package proto
+
+import (
+	"time"
+
+	"leases/internal/vfs"
+)
+
+// InstalledWire is the payload of TInstalledRep: one snapshot of the
+// installed-files class (§4.3). Generation changes whenever membership
+// changes (promotion or drop-on-write demotion), so a client holding a
+// stale snapshot can tell from a TBroadcastExt stamp alone that it must
+// refetch. SentAt is the server's clock at encode time; the client
+// anchors the covering lease at SentAt + Term − ε, exactly as it does
+// for broadcast extensions.
+type InstalledWire struct {
+	Generation uint64
+	Term       time.Duration
+	SentAt     time.Time
+	Data       []vfs.Datum
+}
+
+// installedDatumLen is the encoded size of one member datum.
+const installedDatumLen = 1 + 8
+
+// EncodeInstalled appends an installed-class snapshot.
+func (e *Enc) EncodeInstalled(w InstalledWire) *Enc {
+	e.U64(w.Generation).Dur(w.Term).Time(w.SentAt).U32(uint32(len(w.Data)))
+	for _, d := range w.Data {
+		e.Datum(d)
+	}
+	return e
+}
+
+// DecodeInstalled reads an installed-class snapshot.
+func (d *Dec) DecodeInstalled() InstalledWire {
+	w := InstalledWire{
+		Generation: d.U64(),
+		Term:       d.Dur(),
+		SentAt:     d.Time(),
+	}
+	n := d.U32()
+	if d.Err != nil || uint64(n)*installedDatumLen > uint64(len(d.b)) {
+		if n != 0 {
+			d.Err = ErrTruncated
+		}
+		return w
+	}
+	w.Data = make([]vfs.Datum, 0, n)
+	for i := uint32(0); i < n; i++ {
+		w.Data = append(w.Data, d.Datum())
+	}
+	return w
+}
+
+// BroadcastExtWire is the payload of TBroadcastExt: the periodic O(1)
+// renewal of the installed class. A client whose snapshot generation
+// matches extends every installed datum it holds; on mismatch it
+// refetches the class with TInstalled and, until the fresh snapshot
+// arrives, simply stops treating the stale members as covered — safe,
+// never stale.
+type BroadcastExtWire struct {
+	Generation uint64
+	Term       time.Duration
+	SentAt     time.Time
+}
+
+// EncodeBroadcastExt appends a broadcast-extension payload.
+func (e *Enc) EncodeBroadcastExt(w BroadcastExtWire) *Enc {
+	return e.U64(w.Generation).Dur(w.Term).Time(w.SentAt)
+}
+
+// DecodeBroadcastExt reads a broadcast-extension payload.
+func (d *Dec) DecodeBroadcastExt() BroadcastExtWire {
+	return BroadcastExtWire{
+		Generation: d.U64(),
+		Term:       d.Dur(),
+		SentAt:     d.Time(),
+	}
+}
+
+// PiggyExtWire is the payload of TPiggyExt: anticipatory extension
+// grants appended to the same flush as another reply (§4). The grants
+// are unsolicited, so each carries the server's send time as its
+// anchor; the client extends only leases it already holds, never
+// shortens them, and ignores grants whose version disagrees with its
+// copy.
+type PiggyExtWire struct {
+	SentAt time.Time
+	Grants []GrantWire
+}
+
+// EncodePiggyExt appends a piggybacked-extension payload.
+func (e *Enc) EncodePiggyExt(w PiggyExtWire) *Enc {
+	return e.Time(w.SentAt).EncodeGrants(w.Grants)
+}
+
+// DecodePiggyExt reads a piggybacked-extension payload.
+func (d *Dec) DecodePiggyExt() PiggyExtWire {
+	return PiggyExtWire{
+		SentAt: d.Time(),
+		Grants: d.DecodeGrants(),
+	}
+}

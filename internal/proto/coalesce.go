@@ -44,6 +44,9 @@ type Coalescer struct {
 	// first Append. Hooks run under the leader's flush and must not call
 	// Close, which waits for that flush to finish.
 	OnError func(error)
+	// Stats, when non-nil, counts every appended frame by type and wire
+	// size. Set before the first Append.
+	Stats *WireStats
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -111,6 +114,7 @@ func (c *Coalescer) AppendCtx(t MsgType, reqID uint64, tc tracing.Context, fill 
 		c.mu.Unlock()
 		return false
 	}
+	c.Stats.CountOut(t, len(c.pending)-start)
 	c.frames++
 	if !c.flushing {
 		c.flushing = true

@@ -22,6 +22,9 @@ type FrameReader struct {
 	buf []byte
 	ro  int // start of unconsumed bytes
 	wo  int // end of unconsumed bytes
+	// Stats, when non-nil, counts every decoded frame by type and wire
+	// size. Cleared by Reset; rebind it after GetReader.
+	Stats *WireStats
 }
 
 // Read buffer sizing: connections start at readBufInit; the buffer
@@ -42,6 +45,7 @@ func NewFrameReader(r io.Reader) *FrameReader {
 func (fr *FrameReader) Reset(r io.Reader) {
 	fr.r = r
 	fr.ro, fr.wo = 0, 0
+	fr.Stats = nil
 	if cap(fr.buf) > readBufMax {
 		fr.buf = make([]byte, readBufInit)
 	}
@@ -129,6 +133,7 @@ func (fr *FrameReader) Next() (Frame, error) {
 		return Frame{}, err
 	}
 	f.pooled = bp
+	fr.Stats.CountIn(f.Type, 4+int(n))
 	return f, nil
 }
 

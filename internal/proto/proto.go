@@ -117,6 +117,25 @@ const (
 	TReplSync
 	TReplSyncRep
 	TReplMaxTerm
+	// TInstalled asks the server for the installed-files class (§4.3):
+	// the set of data covered by the client's single directory-granularity
+	// lease. Payload: the generation the client already knows (0 for
+	// none). Answered by TInstalledRep: generation, term, server send
+	// time, and the member datum list. Sent only after both sides
+	// advertised FeatClass.
+	TInstalled
+	TInstalledRep
+	// TBroadcastExt is the periodic server push (reqID 0) renewing the
+	// installed class for every connected holder: generation, term and
+	// the server's send time. O(1) payload regardless of class size — the
+	// client extends every installed datum it holds, anchored at the
+	// stamp. A generation mismatch means the class changed (drop-on-write
+	// demotion or promotion); the client refetches with TInstalled.
+	TBroadcastExt
+	// TPiggyExt is a server push (reqID 0) carrying anticipatory
+	// extension grants piggybacked on another reply's flush (§4): send
+	// time plus a grant list for leases the server saw nearing expiry.
+	TPiggyExt
 )
 
 // TraceFlag marks a frame's type byte as carrying a trace header.
@@ -139,45 +158,54 @@ const traceFlagSampled = 0x01
 const (
 	// FeatTrace: the peer understands TraceFlag'd frames.
 	FeatTrace uint64 = 1 << 0
+	// FeatClass: the peer understands the lease-class frames (TInstalled,
+	// TInstalledRep, TBroadcastExt, TPiggyExt). When either side lacks
+	// the bit the server sends none of them and the byte stream is
+	// identical to a pre-class peer's.
+	FeatClass uint64 = 1 << 1
 )
 
 // msgTypeNames maps request and push types to stable operation names
 // for metrics and tracing. Reply types are derived from their request.
 var msgTypeNames = map[MsgType]string{
-	THello:       "hello",
-	THelloAck:    "hello",
-	TLookup:      "lookup",
-	TLookupRep:   "lookup",
-	TRead:        "read",
-	TReadRep:     "read",
-	TWrite:       "write",
-	TWriteRep:    "write",
-	TExtend:      "extend",
-	TExtendRep:   "extend",
-	TRelease:     "release",
-	TReadDir:     "readdir",
-	TReadDirRep:  "readdir",
-	TCreate:      "create",
-	TCreateRep:   "create",
-	TMkdir:       "mkdir",
-	TRemove:      "remove",
-	TRename:      "rename",
-	TStat:        "stat",
-	TStatRep:     "stat",
-	TSetPerm:     "setperm",
-	TApprovalReq: "approval-req",
-	TApprove:     "approve",
-	TOK:          "ok",
-	TError:       "error",
-	TNotMaster:   "not-master",
-	TPrepare:     "prepare",
-	TPromise:     "promise",
-	TPropose:     "propose",
-	TAccept:      "accept",
-	TReplApply:   "repl-apply",
-	TReplSync:    "repl-sync",
-	TReplSyncRep: "repl-sync",
-	TReplMaxTerm: "repl-maxterm",
+	THello:        "hello",
+	THelloAck:     "hello",
+	TLookup:       "lookup",
+	TLookupRep:    "lookup",
+	TRead:         "read",
+	TReadRep:      "read",
+	TWrite:        "write",
+	TWriteRep:     "write",
+	TExtend:       "extend",
+	TExtendRep:    "extend",
+	TRelease:      "release",
+	TReadDir:      "readdir",
+	TReadDirRep:   "readdir",
+	TCreate:       "create",
+	TCreateRep:    "create",
+	TMkdir:        "mkdir",
+	TRemove:       "remove",
+	TRename:       "rename",
+	TStat:         "stat",
+	TStatRep:      "stat",
+	TSetPerm:      "setperm",
+	TApprovalReq:  "approval-req",
+	TApprove:      "approve",
+	TOK:           "ok",
+	TError:        "error",
+	TNotMaster:    "not-master",
+	TPrepare:      "prepare",
+	TPromise:      "promise",
+	TPropose:      "propose",
+	TAccept:       "accept",
+	TReplApply:    "repl-apply",
+	TReplSync:     "repl-sync",
+	TReplSyncRep:  "repl-sync",
+	TReplMaxTerm:  "repl-maxterm",
+	TInstalled:    "installed",
+	TInstalledRep: "installed",
+	TBroadcastExt: "broadcast-ext",
+	TPiggyExt:     "piggy-ext",
 }
 
 // String names the message's operation: request and reply share a name

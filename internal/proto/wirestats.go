@@ -1,0 +1,81 @@
+package proto
+
+import "sync/atomic"
+
+// WireStats counts frames and bytes per message type and direction, so
+// a traffic claim ("installed mode cuts extension frames to O(clients)")
+// is read off a counter instead of inferred. One instance is shared by
+// everything on one endpoint: the server wires it into every
+// connection's FrameReader (inbound) and Coalescer (outbound), the
+// client into its own. Counters are atomic; Snapshot is wait-free and
+// sums nothing, so reading under load is cheap.
+//
+// Bytes are wire bytes — the length prefix, header, optional trace
+// header and payload — so the totals match what tcpdump would see.
+type WireStats struct {
+	in  [TraceFlag]wireCounter
+	out [TraceFlag]wireCounter
+}
+
+type wireCounter struct {
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// CountIn records one received frame of wire size n.
+func (s *WireStats) CountIn(t MsgType, n int) {
+	if s == nil || t >= TraceFlag {
+		return
+	}
+	s.in[t].frames.Add(1)
+	s.in[t].bytes.Add(uint64(n))
+}
+
+// CountOut records one sent frame of wire size n.
+func (s *WireStats) CountOut(t MsgType, n int) {
+	if s == nil || t >= TraceFlag {
+		return
+	}
+	s.out[t].frames.Add(1)
+	s.out[t].bytes.Add(uint64(n))
+}
+
+// WireCount is one row of a WireStats snapshot.
+type WireCount struct {
+	Type   MsgType
+	Dir    string // "in" or "out"
+	Frames uint64
+	Bytes  uint64
+}
+
+// Snapshot returns the nonzero counters, "in" rows first, each in
+// ascending type order — a deterministic layout for /metrics.
+func (s *WireStats) Snapshot() []WireCount {
+	if s == nil {
+		return nil
+	}
+	var out []WireCount
+	for t := range s.in {
+		if f := s.in[t].frames.Load(); f > 0 {
+			out = append(out, WireCount{Type: MsgType(t), Dir: "in", Frames: f, Bytes: s.in[t].bytes.Load()})
+		}
+	}
+	for t := range s.out {
+		if f := s.out[t].frames.Load(); f > 0 {
+			out = append(out, WireCount{Type: MsgType(t), Dir: "out", Frames: f, Bytes: s.out[t].bytes.Load()})
+		}
+	}
+	return out
+}
+
+// Frames returns the frame count for one type and direction — the
+// benchmark's probe.
+func (s *WireStats) Frames(t MsgType, dir string) uint64 {
+	if s == nil || t >= TraceFlag {
+		return 0
+	}
+	if dir == "in" {
+		return s.in[t].frames.Load()
+	}
+	return s.out[t].frames.Load()
+}

@@ -11,6 +11,7 @@ import (
 	"leases/internal/core"
 	"leases/internal/obs"
 	"leases/internal/obs/tracing"
+	"leases/internal/proto"
 )
 
 // Tracer returns the server's tracer (nil when tracing is disabled).
@@ -42,7 +43,32 @@ func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
 		snap.ReplicaRole = role
 		snap.ReplicaMaster = master
 	}
+	snap.Wire = WireTraffic(s.wire)
 	return snap
+}
+
+// WireTraffic converts a proto.WireStats snapshot into the obs
+// exposition rows, merging types that share a name (request and reply
+// pairs print under one label; a row's direction keeps them distinct
+// in the common case).
+func WireTraffic(ws *proto.WireStats) []obs.WireTraffic {
+	rows := ws.Snapshot()
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]obs.WireTraffic, 0, len(rows))
+	index := make(map[[2]string]int, len(rows))
+	for _, r := range rows {
+		key := [2]string{r.Type.String(), r.Dir}
+		if i, ok := index[key]; ok {
+			out[i].Frames += r.Frames
+			out[i].Bytes += r.Bytes
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, obs.WireTraffic{Type: key[0], Dir: r.Dir, Frames: r.Frames, Bytes: r.Bytes})
+	}
+	return out
 }
 
 // leaseRecord is one /leases entry.
@@ -146,6 +172,14 @@ func (s *Server) AdminHandler() http.Handler {
 			}
 			out.Exemplars = s.tracer.Exemplars()
 		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/classes", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := s.ClassSnapshot()
+		out := struct {
+			Enabled bool `json:"enabled"`
+			ClassInfo
+		}{Enabled: ok, ClassInfo: info}
 		writeJSON(w, out)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"leases/internal/core"
 	"leases/internal/obs"
@@ -45,14 +46,37 @@ type serverConn struct {
 	co     *proto.Coalescer
 	client core.ClientID
 	closed sync.Once
-	// pushes feeds the connection's approval sender: one long-lived
-	// goroutine appends pushes to the coalescer in arrival order, so a
-	// coalescer stalled on backpressure blocks that one goroutine
-	// instead of accumulating one per push. serveConn closes the
-	// channel after deregistering the conn (pushApproval is only
-	// reached through s.conns under connMu, which serializes against
-	// the deregistration), so a send never races the close.
-	pushes chan proto.ApprovalWire
+	// feats is the feature mask in force on this connection: the bits
+	// both the client's hello and this server advertised. Class frames
+	// are only ever sent when FeatClass is set here, so a pre-class
+	// client's byte stream is untouched.
+	feats uint64
+	// pushes feeds the connection's push sender: one long-lived
+	// goroutine appends pushes (approval requests, broadcast
+	// extensions, piggybacked grants) to the coalescer in arrival
+	// order, so a coalescer stalled on backpressure blocks that one
+	// goroutine instead of accumulating one per push. serveConn closes
+	// the channel after deregistering the conn (pushApproval/pushFrame
+	// are only reached through s.conns under connMu, which serializes
+	// against the deregistration), so a send never races the close.
+	pushes chan connPush
+
+	// piggy tracks this client's per-file lease expiries for
+	// anticipatory extension: nil unless PiggybackLead is configured
+	// and the client negotiated FeatClass. piggyNext caches the
+	// earliest expiry so the common reply pays one time comparison.
+	piggyMu   sync.Mutex
+	piggy     map[vfs.Datum]time.Time
+	piggyNext time.Time
+}
+
+// connPush is one queued unsolicited frame: an approval request, or a
+// pre-encoded payload (broadcast extension) shared read-only across
+// connections.
+type connPush struct {
+	t        proto.MsgType
+	approval proto.ApprovalWire
+	payload  []byte
 }
 
 // pushQueue bounds the per-connection approval push queue; see
@@ -68,6 +92,7 @@ func (s *Server) serveConn(nc net.Conn) {
 	}()
 	c := &serverConn{srv: s, nc: nc}
 	c.co = proto.NewCoalescer(nc)
+	c.co.Stats = s.wire
 	if s.obs.Enabled() {
 		c.co.OnFlush = s.obs.ObserveFlush
 		c.co.OnStall = func(depth int) {
@@ -84,16 +109,19 @@ func (s *Server) serveConn(nc net.Conn) {
 	// conn is still open, then the conn closes.
 	defer c.close()
 	defer c.co.Close()
-	c.pushes = make(chan proto.ApprovalWire, pushQueue)
+	c.pushes = make(chan connPush, pushQueue)
 	var pushWG sync.WaitGroup
 	pushWG.Add(1)
 	go func() {
 		defer pushWG.Done()
-		for a := range c.pushes {
-			a := a
-			if !c.co.Append(proto.TApprovalReq, 0, func(e *proto.Enc) { e.EncodeApproval(a) }) {
-				// Coalescer dead: keep draining so close never races a
-				// blocked sender.
+		for p := range c.pushes {
+			// A false Append means the coalescer is dead: keep draining
+			// so close never races a blocked sender.
+			if p.t == proto.TApprovalReq {
+				a := p.approval
+				c.co.Append(proto.TApprovalReq, 0, func(e *proto.Enc) { e.EncodeApproval(a) })
+			} else {
+				c.co.AppendPayload(p.t, 0, p.payload)
 			}
 		}
 	}()
@@ -107,6 +135,7 @@ func (s *Server) serveConn(nc net.Conn) {
 	// pipelined client's burst decodes from one fill — and its grown
 	// buffer is recycled across connections.
 	fr := proto.GetReader(nc)
+	fr.Stats = s.wire
 	defer proto.PutReader(fr)
 
 	// The first frame must be THello, identifying the client for lease
@@ -122,12 +151,13 @@ func (s *Server) serveConn(nc net.Conn) {
 		return
 	}
 	// Optional trailing feature bits (absent from pre-feature clients:
-	// an empty remainder decodes as "no features").
+	// an empty remainder decodes as "no features"). A capability is in
+	// force only when both sides advertise it.
 	var clientFeats uint64
 	if d.Remaining() >= 8 {
 		clientFeats = d.U64()
 	}
-	_ = clientFeats // the server sends no traced frames to clients yet
+	c.feats = clientFeats & s.features
 	// A replica that does not hold the master lease — or holds it but
 	// has not finished promoting (catch-up sync + recovery window; see
 	// Server.serving) — refuses the session outright, carrying its
@@ -156,8 +186,11 @@ func (s *Server) serveConn(nc net.Conn) {
 	// advertising FeatTrace invites the client to stamp sampled
 	// requests with trace headers (pre-feature clients ignore the
 	// trailing bytes).
-	c.replyEnc(f.ReqID, proto.THelloAck, func(e *proto.Enc) { e.U64(s.boot).U64(proto.FeatTrace) })
+	c.replyEnc(f.ReqID, proto.THelloAck, func(e *proto.Enc) { e.U64(s.boot).U64(s.features) })
 	f.Recycle()
+	if s.cfg.Class.PiggybackLead > 0 && c.feats&proto.FeatClass != 0 {
+		c.piggy = make(map[vfs.Datum]time.Time)
+	}
 
 	defer func() {
 		s.connMu.Lock()
@@ -219,8 +252,19 @@ func (c *serverConn) replyEnc(reqID uint64, t proto.MsgType, fill func(*proto.En
 // term, the protocol's fault path (§2) — rather than holding a server
 // lock across the stall or spawning an unbounded goroutine per push.
 func (c *serverConn) pushApproval(a proto.ApprovalWire) {
+	c.push(connPush{t: proto.TApprovalReq, approval: a})
+}
+
+// pushFrame enqueues a pre-encoded unsolicited frame (a broadcast
+// extension); payload is shared read-only across connections and
+// copied into the coalescer by the sender.
+func (c *serverConn) pushFrame(t proto.MsgType, payload []byte) {
+	c.push(connPush{t: t, payload: payload})
+}
+
+func (c *serverConn) push(p connPush) {
 	select {
-	case c.pushes <- a:
+	case c.pushes <- p:
 	default:
 		if s := c.srv; s.obs.Enabled() {
 			s.obs.Record(obs.Event{
@@ -255,6 +299,10 @@ func (c *serverConn) dispatchTimed(f proto.Frame) {
 	} else {
 		c.dispatch(f, sp.Context())
 	}
+	// Anticipatory extension rides the reply's flush (§4): free while
+	// the coalescer's write is in flight, and the client's extension
+	// request never happens.
+	c.maybePiggyback()
 	sp.End()
 }
 
@@ -284,6 +332,8 @@ func (c *serverConn) dispatch(f proto.Frame, tc tracing.Context) {
 		c.handleRename(f, tc)
 	case proto.TSetPerm:
 		c.handleSetPerm(f, tc)
+	case proto.TInstalled:
+		c.handleInstalled(f)
 	default:
 		c.fail(f.ReqID, fmt.Errorf("server: unknown message type %d", f.Type))
 	}
@@ -330,7 +380,108 @@ func (c *serverConn) grant(d vfs.Datum, et obs.EventType) proto.GrantWire {
 	if err != nil {
 		version = 0
 	}
+	if g.Leased && c.piggy != nil && g.Term < core.Infinite {
+		c.notePiggyLease(d, s.clk.Now().Add(g.Term))
+	}
 	return proto.GrantWire{Datum: d, Term: g.Term, Version: version, Leased: g.Leased}
+}
+
+// notePiggyLease records (or refreshes) a granted lease's expiry for
+// the anticipatory-extension scan.
+func (c *serverConn) notePiggyLease(d vfs.Datum, expiry time.Time) {
+	c.piggyMu.Lock()
+	c.piggy[d] = expiry
+	if c.piggyNext.IsZero() || expiry.Before(c.piggyNext) {
+		c.piggyNext = expiry
+	}
+	c.piggyMu.Unlock()
+}
+
+// dropPiggy forgets a lease the client released or approved away. The
+// cached earliest-expiry hint may go stale-early; the next scan
+// recomputes it.
+func (c *serverConn) dropPiggy(d vfs.Datum) {
+	if c.piggy == nil {
+		return
+	}
+	c.piggyMu.Lock()
+	delete(c.piggy, d)
+	c.piggyMu.Unlock()
+}
+
+// piggyBatchMax caps one piggybacked frame's grant list; anything left
+// over goes out with the next reply.
+const piggyBatchMax = 128
+
+// maybePiggyback appends a TPiggyExt frame re-granting this client's
+// soon-expiring leases to the flush the current reply rides (§4's
+// anticipatory extension). Installed-class members are skipped — the
+// broadcast renews them — and a refused re-grant drops the lease from
+// the scan (the client's copy just expires). Runs on the request
+// goroutine after the reply is appended, so the grants share its
+// flush.
+func (c *serverConn) maybePiggyback() {
+	if c.piggy == nil {
+		return
+	}
+	s := c.srv
+	now := s.clk.Now()
+	horizon := now.Add(s.cfg.Class.PiggybackLead)
+	c.piggyMu.Lock()
+	if c.piggyNext.IsZero() || c.piggyNext.After(horizon) {
+		c.piggyMu.Unlock()
+		return
+	}
+	var due []vfs.Datum
+	next := time.Time{}
+	for d, exp := range c.piggy {
+		if !exp.After(horizon) {
+			due = append(due, d)
+		} else if next.IsZero() || exp.Before(next) {
+			next = exp
+		}
+	}
+	if len(due) > piggyBatchMax {
+		due = due[:piggyBatchMax]
+		next = now // leftovers go with the next reply
+	}
+	c.piggyNext = next
+	c.piggyMu.Unlock()
+	if len(due) == 0 {
+		return
+	}
+	sortDatums(due)
+	grants := make([]proto.GrantWire, 0, len(due))
+	for _, d := range due {
+		if s.classes.contains(d) {
+			c.dropPiggy(d)
+			continue
+		}
+		g := c.grant(d, obs.EvExtend)
+		if !g.Leased {
+			c.dropPiggy(d)
+			continue
+		}
+		grants = append(grants, g)
+	}
+	if len(grants) == 0 {
+		return
+	}
+	w := proto.PiggyExtWire{SentAt: now, Grants: grants}
+	c.co.Append(proto.TPiggyExt, 0, func(e *proto.Enc) { e.EncodePiggyExt(w) })
+	if s.obs.Enabled() {
+		s.obs.Record(obs.Event{Type: obs.EvPiggyExt, Client: string(c.client), Depth: len(grants)})
+	}
+}
+
+// handleInstalled answers a TInstalled class-snapshot fetch. A server
+// with the installed class disabled (piggyback-only FeatClass) answers
+// the empty snapshot.
+func (c *serverConn) handleInstalled(f proto.Frame) {
+	d := proto.NewDec(f.Payload)
+	_ = d.U64() // the client's current generation; reserved
+	w := c.srv.installedSnapshot()
+	c.replyEnc(f.ReqID, proto.TInstalledRep, func(e *proto.Enc) { e.EncodeInstalled(w) })
 }
 
 func (c *serverConn) handleLookup(f proto.Frame) {
@@ -355,7 +506,10 @@ func (c *serverConn) handleLookup(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	grants := []proto.GrantWire{c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID}, obs.EvGrant)}
+	parentDatum := vfs.Datum{Kind: vfs.DirBinding, Node: parentAttr.ID}
+	grants := []proto.GrantWire{c.grant(parentDatum, obs.EvGrant)}
+	s.observeRead(c.client, parentDatum)
+	s.classObserveRead(c.client, parentDatum)
 
 	c.replyEnc(f.ReqID, proto.TLookupRep, func(e *proto.Enc) {
 		e.Attr(attr).U64(uint64(parentAttr.ID)).EncodeGrants(grants)
@@ -379,7 +533,10 @@ func (c *serverConn) handleRead(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	grant := c.grant(vfs.Datum{Kind: vfs.FileData, Node: node}, obs.EvGrant)
+	readDatum := vfs.Datum{Kind: vfs.FileData, Node: node}
+	grant := c.grant(readDatum, obs.EvGrant)
+	s.observeRead(c.client, readDatum)
+	s.classObserveRead(c.client, readDatum)
 	// Re-read under the granted version if a write slipped between the
 	// read and the grant, so data and version always agree.
 	if grant.Version != attr.Version {
@@ -466,6 +623,9 @@ func (c *serverConn) handleRelease(f proto.Frame) {
 	}
 	s := c.srv
 	s.lm.Release(c.client, data, s.clk.Now())
+	for _, d := range data {
+		c.dropPiggy(d)
+	}
 	// A released lease may have been the last blocker on a deferred
 	// write; re-check each touched shard.
 	touched := make(map[int]struct{}, len(data))
@@ -492,7 +652,10 @@ func (c *serverConn) handleReadDir(f proto.Frame) {
 		c.fail(f.ReqID, err)
 		return
 	}
-	grant := c.grant(vfs.Datum{Kind: vfs.DirBinding, Node: node}, obs.EvGrant)
+	dirDatum := vfs.Datum{Kind: vfs.DirBinding, Node: node}
+	grant := c.grant(dirDatum, obs.EvGrant)
+	s.observeRead(c.client, dirDatum)
+	s.classObserveRead(c.client, dirDatum)
 	c.replyEnc(f.ReqID, proto.TReadDirRep, func(e *proto.Enc) {
 		e.Attr(attr).EncodeGrants([]proto.GrantWire{grant}).U32(uint32(len(entries)))
 		for _, ent := range entries {
@@ -673,6 +836,9 @@ func (c *serverConn) handleApprove(f proto.Frame) {
 	a := proto.NewDec(f.Payload).DecodeApproval()
 	s := c.srv
 	ready := s.lm.Approve(c.client, a.WriteID, s.clk.Now())
+	// An approval means the holder invalidated its copy; stop
+	// anticipatorily extending it.
+	c.dropPiggy(a.Datum)
 	if s.tracer.Enabled() {
 		s.endApprovalSpan(a.WriteID, c.client, "approve")
 	}

@@ -159,6 +159,13 @@ func (s *Server) ApplyReplicated(path string, seq uint64, data []byte) (applied 
 		return false, nil
 	}
 	s.replSeq[path] = seq
+	if path == classStatePath {
+		// Class membership replicates under a reserved key that never
+		// touches the store; a promotion rebinds it to local node IDs.
+		s.classRepl = append([]byte(nil), data...)
+		s.replMu.Unlock()
+		return true, nil
+	}
 	s.replMu.Unlock()
 	attr, err := s.store.Lookup(path)
 	if err != nil {
@@ -186,7 +193,7 @@ func (s *Server) ReplState() []ReplFile {
 	}
 	var out []ReplFile
 	s.store.Walk(root.ID, func(path string, a vfs.Attr) error {
-		if a.IsDir {
+		if a.IsDir || path == classStatePath {
 			return nil
 		}
 		data, _, rerr := s.store.ReadFile(a.ID)
@@ -199,6 +206,14 @@ func (s *Server) ReplState() []ReplFile {
 		out = append(out, ReplFile{Path: path, Seq: seq, Data: data})
 		return nil
 	})
+	// The class-membership image rides the same sync under its reserved
+	// key, so a new master inherits the installed set (traffic
+	// continuity; safety never depends on it).
+	s.replMu.Lock()
+	if len(s.classRepl) > 0 {
+		out = append(out, ReplFile{Path: classStatePath, Seq: s.replSeq[classStatePath], Data: s.classRepl})
+	}
+	s.replMu.Unlock()
 	return out
 }
 
@@ -243,6 +258,9 @@ func (s *Server) Promote(tc tracing.Context, files []ReplFile, termFloor time.Du
 	for _, f := range files {
 		s.ApplyReplicated(f.Path, f.Seq, f.Data)
 	}
+	// Rebind the inherited installed class to this replica's node IDs
+	// and bump its generation so every client refetches.
+	s.rebindClassState()
 	window := termFloor
 	if p := s.maxTermF.floor(); p > window {
 		window = p

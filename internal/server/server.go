@@ -87,6 +87,17 @@ type Config struct {
 	// max-term raises replicate before the grant is sent. See
 	// internal/server/replica.go for the contract.
 	Replica Replica
+	// Class configures the §4 lease-class subsystem (installed-files
+	// leases with broadcast extension and drop-on-write, anticipatory
+	// piggybacked extension). The zero value disables it and keeps the
+	// wire byte-identical to a pre-class server. See classes.go.
+	Class ClassConfig
+	// Access, when non-nil, receives a read/write observation for every
+	// request the server serves. Pair it with a core.AdaptiveTerm policy
+	// over the same estimator and grant terms adapt per file: wide for
+	// read-mostly data, narrow-to-zero for write-contended data. The
+	// server serializes the estimator against the policy's own calls.
+	Access *core.AccessStats
 }
 
 // Server is a running lease file server.
@@ -97,6 +108,17 @@ type Server struct {
 	lm     *core.ShardedManager
 	obs    *obs.Observer   // nil = instrumentation disabled
 	tracer *tracing.Tracer // nil = tracing disabled
+
+	// classes is the installed-files class table; nil unless
+	// Config.Class enables the installed class. access feeds the
+	// adaptive-term estimator; nil unless Config.Access is set.
+	// features is the feature mask this server advertises in hello
+	// acks; wire counts frames per type and direction across every
+	// connection.
+	classes  *classTable
+	access   *accessPolicy
+	features uint64
+	wire     *proto.WireStats
 
 	// spanMu guards writeSpans: the open approval-push spans of traced
 	// deferred writes, keyed by write then holder, so the approve path
@@ -144,6 +166,10 @@ type Server struct {
 	replTerm     time.Duration
 	recoverUntil time.Time
 	serveOK      bool
+	// classRepl is the latest replicated class-membership image
+	// (classStatePath), kept raw so even a replica with the class
+	// disabled relays it through catch-up syncs.
+	classRepl []byte
 }
 
 // New creates a server with an empty store.
@@ -160,6 +186,25 @@ func New(cfg Config) *Server {
 	policy := cfg.Policy
 	if policy == nil {
 		policy = core.FixedTerm(cfg.Term)
+	}
+	var access *accessPolicy
+	if cfg.Access != nil {
+		access = &accessPolicy{stats: cfg.Access, inner: policy}
+		policy = access
+	}
+	if cfg.Class.enabled() {
+		if cfg.Class.InstalledTerm <= 0 {
+			cfg.Class.InstalledTerm = 30 * time.Second
+		}
+		if cfg.Class.BroadcastEvery <= 0 {
+			cfg.Class.BroadcastEvery = cfg.Class.InstalledTerm / 4
+		}
+		if cfg.Class.PromoteReaders <= 0 {
+			cfg.Class.PromoteReaders = 3
+		}
+		if cfg.Class.QuietAfterWrite <= 0 {
+			cfg.Class.QuietAfterWrite = cfg.Class.InstalledTerm
+		}
 	}
 	var opts []core.ManagerOption
 	var maxTermF *maxTermFile
@@ -198,12 +243,29 @@ func New(cfg Config) *Server {
 		boot:     uint64(time.Now().UnixNano()),
 		maxTermF: maxTermF,
 		initErr:  initErr,
+
+		access:   access,
+		features: proto.FeatTrace,
+		wire:     &proto.WireStats{},
+	}
+	if cfg.Class.installedEnabled() {
+		s.classes = newClassTable(cfg.Class)
+	}
+	if cfg.Class.enabled() {
+		// Advertised only when some class feature is on, so a plain
+		// server's hello ack — like the rest of its byte stream — is
+		// unchanged.
+		s.features |= proto.FeatClass
 	}
 	for i := range s.kicks {
 		s.kicks[i] = make(chan struct{}, 1)
 	}
 	return s
 }
+
+// WireStats exposes the per-message-type traffic counters aggregated
+// across every connection this server served.
+func (s *Server) WireStats() *proto.WireStats { return s.wire }
 
 // Store exposes the underlying file store (e.g. to seed test fixtures
 // before serving).
@@ -250,6 +312,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	for shard := range s.kicks {
 		s.wg.Add(1)
 		go s.deadlineLoop(shard)
+	}
+	if s.classes != nil {
+		s.wg.Add(1)
+		go s.broadcastLoop()
 	}
 	for {
 		c, err := ln.Accept()
@@ -458,6 +524,15 @@ func (s *Server) acquireClearance(writer core.ClientID, data []vfs.Datum, tc tra
 	// recovery window (and a replica that lost mastership refuses).
 	if err := s.awaitRecoverWindow(); err != nil {
 		return err
+	}
+	// Drop-on-write (§4.3): data in the installed class leave it now,
+	// and the write waits out the broadcast coverage horizon before the
+	// per-file clearance below can begin.
+	if err := s.classAwaitWrite(data); err != nil {
+		return err
+	}
+	for _, d := range data {
+		s.observeWrite(d)
 	}
 	sorted := make([]vfs.Datum, len(data))
 	copy(sorted, data)

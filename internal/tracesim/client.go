@@ -269,7 +269,7 @@ func (c *simClient) handle(m netsim.Message) {
 			From:    c.id,
 		})
 	case installedExt:
-		c.holder.ApplyInstalledExtension(p.Data, p.Term, p.SentAt)
+		c.holder.ApplyInstalledExtension(p.Data, p.Term, p.SentAt, c.localNow())
 	default:
 		panic("tracesim: client received unknown payload")
 	}
