@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,7 @@ import (
 	"leases/internal/obs/tracing"
 	"leases/internal/proto"
 	"leases/internal/replay"
+	"leases/internal/shard"
 	"leases/internal/trace"
 	"leases/internal/vfs"
 )
@@ -66,7 +68,13 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability for client-rooted traces (0 disables); sampled contexts ride the wire, so the server's /traces correlates")
 	mode := flag.String("mode", "", "portfolio renewal workload instead of trace replay: perfile|batched|installed (see the command doc)")
 	renewEvery := flag.Duration("renew-every", time.Second, "portfolio renewal period (perfile/batched request cadence; installed arms the client loop at this period and lets broadcasts do the work)")
+	ringSpec := flag.String("ring", "", "route a sharded workload over this ring spec instead of -addr: per-client Routers issue reads, writes and renames (cross-shard included) for -dur, honoring -clients/-files/-seed")
 	flag.Parse()
+
+	if *ringSpec != "" {
+		runRing(*ringSpec, *clients, *files, *dur, *seed)
+		return
+	}
 
 	if *mode != "" {
 		runPortfolio(*addr, *mode, *clients, *files, *dur, *renewEvery)
@@ -331,6 +339,110 @@ func runPortfolio(addr, mode string, nclients, nfiles int, dur, renew time.Durat
 		float64(total)/window/float64(nclients*nfiles))
 	if n := renewErrs.Load(); n > 0 {
 		fmt.Printf("  renewal errors: %d\n", n)
+		os.Exit(1)
+	}
+}
+
+// rgPath maps a sharded-workload file index to its server path; the
+// indices hash across every group in the ring.
+func rgPath(i int) string { return fmt.Sprintf("/rg/f%d", i) }
+
+// runRing is the -ring workload: per-client Routers drive a mixed
+// read/write/rename load across a sharded deployment. Renames toggle a
+// per-client pair of paths back and forth, so with enough clients some
+// pairs straddle groups and exercise the two-phase cross-shard
+// protocol; the NOT_OWNER redirect counter is reported so rollout
+// tests can assert convergence.
+func runRing(spec string, nclients, nfiles int, dur time.Duration, seed int64) {
+	ring, err := shard.Parse(spec)
+	if err != nil {
+		log.Fatalf("leaseload: -ring: %v", err)
+	}
+
+	prep, err := client.NewRouter(ring, client.Config{ID: "rg-prepare"})
+	if err != nil {
+		log.Fatalf("leaseload: %v", err)
+	}
+	// The directory skeleton and files tolerate an already-prepared tree
+	// from a previous run; the seeding writes must succeed either way.
+	prep.Mkdir("/rg", vfs.DefaultPerm|vfs.WorldWrite)
+	for i := 0; i < nfiles; i++ {
+		prep.Create(rgPath(i), vfs.DefaultPerm|vfs.WorldWrite)
+		if err := prep.Write(rgPath(i), []byte(fmt.Sprintf("rg seed %d", i))); err != nil {
+			log.Fatalf("leaseload: seeding %s: %v", rgPath(i), err)
+		}
+	}
+	// Per-client rename pairs: created here so the rename loop below
+	// starts from a known side of each pair.
+	for i := 0; i < nclients; i++ {
+		a := fmt.Sprintf("/rg/mv%d-a", i)
+		prep.Create(a, vfs.DefaultPerm|vfs.WorldWrite)
+		if err := prep.Write(a, []byte("mover")); err != nil {
+			log.Fatalf("leaseload: seeding %s: %v", a, err)
+		}
+	}
+	prep.Close()
+
+	crossPairs := 0
+	for i := 0; i < nclients; i++ {
+		if ring.Lookup(fmt.Sprintf("/rg/mv%d-a", i)) != ring.Lookup(fmt.Sprintf("/rg/mv%d-b", i)) {
+			crossPairs++
+		}
+	}
+	fmt.Printf("ring workload: %d clients × %d files for %v over %d groups (epoch %d, %d cross-shard rename pairs)...\n",
+		nclients, nfiles, dur, len(ring.GroupIDs()), ring.Epoch, crossPairs)
+
+	var reads, writes, renames, errs, redirects atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(dur)
+	for ci := 0; ci < nclients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			r, err := client.NewRouter(ring, client.Config{ID: fmt.Sprintf("rg-%d", ci), Seed: seed + int64(ci)})
+			if err != nil {
+				log.Printf("leaseload: client %d: %v", ci, err)
+				errs.Add(1)
+				return
+			}
+			defer func() {
+				redirects.Add(r.Redirects())
+				r.Close()
+			}()
+			rng := rand.New(rand.NewSource(seed + int64(ci)*7919))
+			from := fmt.Sprintf("/rg/mv%d-a", ci)
+			to := fmt.Sprintf("/rg/mv%d-b", ci)
+			for step := 0; time.Now().Before(deadline); step++ {
+				f := rgPath(rng.Intn(nfiles))
+				switch d := rng.Intn(10); {
+				case d < 7:
+					if _, err := r.Read(f); err != nil {
+						log.Printf("leaseload: client %d read %s: %v", ci, f, err)
+						errs.Add(1)
+					}
+					reads.Add(1)
+				case d < 9:
+					if err := r.Write(f, []byte(fmt.Sprintf("c%d step %d", ci, step))); err != nil {
+						log.Printf("leaseload: client %d write %s: %v", ci, f, err)
+						errs.Add(1)
+					}
+					writes.Add(1)
+				default:
+					if err := r.Rename(from, to); err != nil {
+						log.Printf("leaseload: client %d rename %s -> %s: %v", ci, from, to, err)
+						errs.Add(1)
+					}
+					renames.Add(1)
+					from, to = to, from
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	total := reads.Load() + writes.Load() + renames.Load()
+	fmt.Printf("  ops: %d (%d reads, %d writes, %d renames), errors: %d, redirects: %d\n",
+		total, reads.Load(), writes.Load(), renames.Load(), errs.Load(), redirects.Load())
+	if errs.Load() > 0 {
 		os.Exit(1)
 	}
 }

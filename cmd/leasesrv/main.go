@@ -53,6 +53,7 @@ import (
 	"leases/internal/obs/tracing"
 	"leases/internal/replica"
 	"leases/internal/server"
+	"leases/internal/shard"
 	"leases/internal/vfs"
 )
 
@@ -84,6 +85,8 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "per-file adaptive lease terms from observed access rates (§3.1's α = 2R/SW break-even); -term becomes the maximum term, -adaptive-min the minimum")
 	adaptiveMin := flag.Duration("adaptive-min", time.Second, "minimum adaptive term (with -adaptive)")
 	adaptiveWindow := flag.Duration("adaptive-window", time.Minute, "sliding window for the adaptive access-rate estimator (with -adaptive)")
+	ringSpec := flag.String("ring", "", "sharded deployment ring spec \"[epoch@]id[*weight]=addr[,addr...];...\" — identical on every server and -ring client; empty disables sharding")
+	groupID := flag.Int("group-id", -1, "this server's replica-group ID in the -ring spec (required with -ring)")
 	flag.Parse()
 
 	ocfg := obs.Config{RingSize: *traceRing, SlowWrite: *slowWrite}
@@ -219,6 +222,19 @@ func main() {
 	}
 	if nd != nil {
 		scfg.Replica = nodeReplica{nd}
+	}
+	if *ringSpec != "" {
+		ring, err := shard.Parse(*ringSpec)
+		if err != nil {
+			log.Fatalf("leasesrv: -ring: %v", err)
+		}
+		if _, ok := ring.Group(*groupID); !ok {
+			log.Fatalf("leasesrv: -group-id %d not in -ring spec", *groupID)
+		}
+		scfg.Shard = server.ShardConfig{GroupID: *groupID, Ring: ring}
+		log.Printf("leasesrv: sharded: group %d of %d, ring epoch %d", *groupID, len(ring.GroupIDs()), ring.Epoch)
+	} else if *groupID >= 0 {
+		log.Fatal("leasesrv: -group-id requires -ring")
 	}
 	srv = server.New(scfg)
 	if !*empty {

@@ -183,6 +183,11 @@ type scenarioSpec struct {
 	// replicated scripts run against a 3-replica deployment with an
 	// elected master instead of the standalone server.
 	replicated bool
+	// sharded scripts run against two replica groups behind a
+	// consistent-hash ring, drive their own Router-based workload (the
+	// standard writer/reader loops speak single sessions), and replace
+	// the checker's file set with ring-placed names (see sharded.go).
+	sharded bool
 	// installed scripts run the server with the §4 lease-class subsystem
 	// on (installed-files class plus anticipatory piggybacking); see
 	// harness.classConfig.
@@ -279,7 +284,14 @@ func Run(opts Options) (*Report, error) {
 	dial := func(id string, n int64) (*client.Cache, error) {
 		return client.Dial(h.proxy.Addr(), h.clientCfg(id, n))
 	}
-	if spec.replicated {
+	if spec.sharded {
+		ss, err := newShardedSet(h, dir)
+		if err != nil {
+			return nil, err
+		}
+		h.shard = ss
+		defer ss.close()
+	} else if spec.replicated {
 		rs, err := newReplSet(h, dir)
 		if err != nil {
 			return nil, err
@@ -307,28 +319,33 @@ func Run(opts Options) (*Report, error) {
 		defer proxy.Close()
 	}
 
-	writer, err := dial("writer", 1)
-	if err != nil {
-		return nil, err
-	}
-	h.clients = append(h.clients, writer)
-	for i := 0; i < opts.Readers; i++ {
-		r, err := dial(fmt.Sprintf("reader-%d", i), int64(2+i))
-		if err != nil {
-			closeAll(h.clients)
-			return nil, err
-		}
-		h.clients = append(h.clients, r)
-	}
-	defer closeAll(h.clients)
-
 	h.logf("chaos: scenario %s: seed=%d term=%v duration=%v readers=%d",
 		spec.name, opts.Seed, opts.Term, opts.Duration, opts.Readers)
-	h.wg.Add(1)
-	go h.writerLoop(writer)
-	for i := 1; i < len(h.clients); i++ {
+	// Sharded scenarios drive their own Router-based workload from the
+	// script; every other scenario gets the standard single-session
+	// writer and readers.
+	if !spec.sharded {
+		writer, err := dial("writer", 1)
+		if err != nil {
+			return nil, err
+		}
+		h.clients = append(h.clients, writer)
+		for i := 0; i < opts.Readers; i++ {
+			r, err := dial(fmt.Sprintf("reader-%d", i), int64(2+i))
+			if err != nil {
+				closeAll(h.clients)
+				return nil, err
+			}
+			h.clients = append(h.clients, r)
+		}
+		defer closeAll(h.clients)
+
 		h.wg.Add(1)
-		go h.readerLoop(h.clients[i], i)
+		go h.writerLoop(writer)
+		for i := 1; i < len(h.clients); i++ {
+			h.wg.Add(1)
+			go h.readerLoop(h.clients[i], i)
+		}
 	}
 
 	spec.run(h)
@@ -352,7 +369,8 @@ type harness struct {
 	maxTermPath string
 	ck          *checker
 	proxy       *faultnet.Proxy
-	repl        *replSet // non-nil for replicated scenarios
+	repl        *replSet    // non-nil for replicated scenarios
+	shard       *shardedSet // non-nil for sharded scenarios
 	clients     []*client.Cache
 
 	srvMu   sync.Mutex
@@ -564,6 +582,9 @@ func (h *harness) report() *Report {
 	for _, c := range h.clients {
 		rep.Reconnects += c.Metrics().Reconnects
 	}
+	if h.shard != nil {
+		rep.Reconnects += h.shard.reconnects.Load()
+	}
 	for _, ec := range h.obs.EventCounts() {
 		switch ec.Type {
 		case "fault-inject":
@@ -618,8 +639,9 @@ func (h *harness) report() *Report {
 	// recorded a complete failover trace: the candidate round, the
 	// catch-up sync, and the promotion, all under one TraceID. A missing
 	// span means a failover path ran untraced, which is exactly the
-	// regression this lens exists to catch.
-	if h.spec.replicated {
+	// regression this lens exists to catch. Sharded deployments elect
+	// per group, so the same lens applies to them.
+	if h.spec.replicated || h.spec.sharded {
 		for _, tr := range h.tracer.Recent(0) {
 			if tr.Op != "election" {
 				continue

@@ -11,12 +11,33 @@ import (
 	"leases/internal/obs/tracing"
 	"leases/internal/replica"
 	"leases/internal/server"
+	"leases/internal/shard"
 )
 
 // replicas is the replica-set size for replicated scenarios. Three is
 // the smallest set with a meaningful quorum and the deployment the
 // README documents.
 const replicas = 3
+
+// replSetConfig places a replica set in a larger deployment. The zero
+// value is the classic single-group replicated scenario.
+type replSetConfig struct {
+	// group is this set's replica-group ID on the ring (sharded runs).
+	group int
+	// ring, when non-nil, makes every replica a sharded server: it
+	// gates path ownership and answers ring fetches.
+	ring *shard.Ring
+	// cliAddrs pre-reserves the client listen addresses so the ring can
+	// name them before any replica boots; empty means ephemeral.
+	cliAddrs []string
+	// cliLns are the open listeners backing cliAddrs, held from
+	// reservation to boot so no other process can claim the ports in
+	// between; each is consumed (nilled) by the replica that takes it.
+	cliLns []net.Listener
+	// seedBase offsets every seed drawn for this set, so two groups in
+	// one deployment roll different fault and jitter dice.
+	seedBase int64
+}
 
 // replSet is a 3-replica lease deployment wired like cmd/leasesrv: per
 // replica a PaxosLease node, a lease server that only grants while its
@@ -26,6 +47,7 @@ const replicas = 3
 // still hears its peers — which per-listener proxies cannot express.
 type replSet struct {
 	h     *harness
+	cfg   replSetConfig // group identity and ring for sharded runs
 	dir   string        // scratch dir for per-replica max-term files
 	term  time.Duration // election (master-lease) term
 	allow time.Duration // clock allowance ε
@@ -38,8 +60,12 @@ type replSet struct {
 	nodes     []*replica.Node
 	srvs      []*server.Server
 	peerAddrs []string // real peer-mesh listen addresses, by replica ID
-	cliAddrs  []string // client listen addresses, by replica ID
-	down      []bool
+	// peerLns hold the peer addresses open from reservation until each
+	// node binds, so a parallel scenario's ephemeral port cannot claim
+	// them in between; startReplica closes each just before Start.
+	peerLns  []net.Listener
+	cliAddrs []string // client listen addresses, by replica ID
+	down     []bool
 }
 
 // replicaAdapter exposes a replica.Node through the plain-typed
@@ -57,11 +83,18 @@ func (r replicaAdapter) ReplicateWrite(tc tracing.Context, path string, seq uint
 	return r.n.ReplicateWrite(tc, replica.FileState{Path: path, Seq: seq, Data: data})
 }
 
-// newReplSet boots the full replicated deployment: addresses reserved,
-// the directed-link proxy mesh, then every replica.
+// newReplSet boots the classic single-group replicated deployment:
+// addresses reserved, the directed-link proxy mesh, then every replica.
 func newReplSet(h *harness, dir string) (*replSet, error) {
+	return bootReplSet(h, dir, replSetConfig{})
+}
+
+// bootReplSet boots one replica set under cfg — a whole deployment for
+// the replicated scenarios, one group of several for the sharded ones.
+func bootReplSet(h *harness, dir string, cfg replSetConfig) (*replSet, error) {
 	rs := &replSet{
 		h:   h,
+		cfg: cfg,
 		dir: dir,
 		// Elections run on a shorter term than file leases so a failover
 		// completes well inside the workload's retry budget; the §2
@@ -76,12 +109,16 @@ func newReplSet(h *harness, dir string) (*replSet, error) {
 		down:      make([]bool, replicas),
 		links:     make([][]*faultnet.Proxy, replicas),
 	}
+	copy(rs.cliAddrs, cfg.cliAddrs)
+	rs.peerLns = make([]net.Listener, replicas)
 	for i := 0; i < replicas; i++ {
-		addr, err := reserveAddr()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			rs.close()
 			return nil, err
 		}
-		rs.peerAddrs[i] = addr
+		rs.peerLns[i] = ln
+		rs.peerAddrs[i] = ln.Addr().String()
 	}
 	for i := 0; i < replicas; i++ {
 		rs.links[i] = make([]*faultnet.Proxy, replicas)
@@ -91,7 +128,7 @@ func newReplSet(h *harness, dir string) (*replSet, error) {
 			}
 			p, err := faultnet.NewProxy(faultnet.ProxyConfig{
 				Target: rs.peerAddrs[j],
-				Seed:   h.o.Seed*100 + int64(i*replicas+j),
+				Seed:   h.o.Seed*100 + cfg.seedBase + int64(i*replicas+j),
 				Obs:    h.obs,
 			})
 			if err != nil {
@@ -108,18 +145,6 @@ func newReplSet(h *harness, dir string) (*replSet, error) {
 		}
 	}
 	return rs, nil
-}
-
-// reserveAddr grabs a distinct loopback address by binding and
-// releasing an ephemeral port.
-func reserveAddr() (string, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", err
-	}
-	addr := ln.Addr().String()
-	ln.Close()
-	return addr, nil
 }
 
 // startReplica boots replica i: its election node (peer list routed
@@ -142,7 +167,7 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 	var srv *server.Server
 	nd, err := replica.NewNode(replica.NodeConfig{
 		ID: i, Peers: peers, Term: rs.term, Allowance: rs.allow,
-		Seed: h.o.Seed*31 + int64(i) + 1, Obs: h.obs, Tracer: h.tracer,
+		Seed: h.o.Seed*31 + rs.cfg.seedBase + int64(i) + 1, Obs: h.obs, Tracer: h.tracer,
 		OnReplApply: func(f replica.FileState) (bool, error) {
 			return srv.ApplyReplicated(f.Path, f.Seq, f.Data)
 		},
@@ -188,24 +213,48 @@ func (rs *replSet) startReplica(i int, dir string, restart bool) error {
 	if err != nil {
 		return err
 	}
-	srv = server.New(server.Config{
+	maxTermName := fmt.Sprintf("maxterm-%d", i)
+	if rs.cfg.ring != nil {
+		maxTermName = fmt.Sprintf("maxterm-g%d-%d", rs.cfg.group, i)
+	}
+	scfg := server.Config{
 		Term:         h.o.Term,
 		WriteTimeout: h.o.WriteTimeout,
-		MaxTermPath:  filepath.Join(dir, fmt.Sprintf("maxterm-%d", i)),
+		MaxTermPath:  filepath.Join(dir, maxTermName),
 		Obs:          h.obs,
 		Tracer:       h.tracer,
 		Replica:      replicaAdapter{nd},
-	})
+	}
+	if rs.cfg.ring != nil {
+		scfg.Shard = server.ShardConfig{GroupID: rs.cfg.group, Ring: rs.cfg.ring}
+	}
+	srv = server.New(scfg)
 	if err := seedFiles(srv.Store(), h.ck.seedContents()); err != nil {
 		return err
 	}
-	cliAddr := "127.0.0.1:0"
-	if restart {
-		cliAddr = rs.cliAddrs[i]
+	// A first boot takes the pre-reserved listener when one was held
+	// (sharded runs, where the ring already names the address); a
+	// restart rebinds the crashed incarnation's address.
+	var ln net.Listener
+	if !restart && rs.cfg.cliLns != nil && rs.cfg.cliLns[i] != nil {
+		ln = rs.cfg.cliLns[i]
+		rs.cfg.cliLns[i] = nil
+	} else {
+		cliAddr := "127.0.0.1:0"
+		if restart {
+			cliAddr = rs.cliAddrs[i]
+		}
+		var lerr error
+		ln, lerr = listenRetry(cliAddr)
+		if lerr != nil {
+			return lerr
+		}
 	}
-	ln, err := listenRetry(cliAddr)
-	if err != nil {
-		return err
+	// Release the held peer reservation at the last instant; the bind
+	// retry inside startNodeRetry covers the microscopic gap.
+	if rs.peerLns != nil && rs.peerLns[i] != nil {
+		rs.peerLns[i].Close()
+		rs.peerLns[i] = nil
 	}
 	if err := startNodeRetry(nd); err != nil {
 		ln.Close()
@@ -366,6 +415,11 @@ func (rs *replSet) close() {
 			if p != nil {
 				p.Close()
 			}
+		}
+	}
+	for _, ln := range rs.peerLns {
+		if ln != nil {
+			ln.Close()
 		}
 	}
 }

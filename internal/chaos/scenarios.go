@@ -74,6 +74,13 @@ var scenarioTable = []scenarioSpec{
 		replicated: true,
 		run:        runAsymPartition,
 	},
+	{
+		name:     "shard-split",
+		summary:  "two replica groups behind one ring: cross-shard renames, a stale routing table converging via NOT_OWNER, and a source-group master crash mid-rename",
+		duration: 6 * time.Second,
+		sharded:  true,
+		run:      runShardSplit,
+	},
 }
 
 func runSmoke(h *harness) {

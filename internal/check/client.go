@@ -31,6 +31,7 @@ const (
 	opReadFetch mopKind = iota
 	opRenew
 	opWriteOp
+	opRenameOp
 )
 
 // mop is one in-flight client request.
@@ -45,6 +46,9 @@ type mop struct {
 	// began: the file's acked floor and this client's newest observed
 	// position.
 	floor, seenFloor uint64
+	// group is the replica group this op is addressed to — the client's
+	// home belief for the file at send time. Always 0 unsharded.
+	group int
 	// startedLocal anchors the holder's conservative expiry rule: the
 	// grant cannot predate the first transmission, so anchoring there
 	// is safe even when a retry's reply comes back (§3.1).
@@ -66,6 +70,8 @@ func (k mopKind) rootName() string {
 		return "client.read"
 	case opWriteOp:
 		return "client.write"
+	case opRenameOp:
+		return "client.rename"
 	default:
 		return "client.extend"
 	}
@@ -101,15 +107,24 @@ type mclient struct {
 	pfGen     uint64
 	pfMembers []vfs.Datum
 	pfFetch   uint64
-	// belief is the replica index this client currently addresses: the
-	// last replica that answered it, steered by NOT_MASTER hints and
-	// rotated on timeouts. Always 0 in single-server worlds.
-	belief int
+	// belief[g] is the within-group replica index this client currently
+	// addresses in group g: the last replica that answered it, steered
+	// by NOT_MASTER hints and rotated on timeouts. route[f] is the
+	// client's belief about file f's home group, steered by NOT_OWNER
+	// redirects and rename acks. Both survive client crashes, like the
+	// deployment's Router state outliving a session reconnect.
+	belief []int
+	route  []int
 }
 
 func newMclient(w *world, index int) *mclient {
 	c := &mclient{w: w, index: index, node: clientNode(index)}
 	c.id = core.ClientID(c.node)
+	c.belief = make([]int, w.groups())
+	c.route = make([]int, w.sc.Files)
+	for f := range c.route {
+		c.route[f] = f % w.groups()
+	}
 	c.reset()
 	w.fabric.Register(c.node, c.handle)
 	return c
@@ -151,6 +166,8 @@ func (c *mclient) doOp(op Op) {
 		c.read(op.File)
 	case OpWrite:
 		c.write(op.File)
+	case OpRename:
+		c.rename(op.File)
 	case OpExtend:
 		c.renew()
 	}
@@ -167,14 +184,21 @@ func (c *mclient) read(file int) {
 			return
 		}
 	}
-	op := &mop{kind: opReadFetch, data: []vfs.Datum{d}, datum: d, floor: floor, seenFloor: seen}
+	op := &mop{kind: opReadFetch, data: []vfs.Datum{d}, datum: d, floor: floor, seenFloor: seen, group: c.route[file]}
+	c.send(op)
+}
+
+// rename asks the file's owning group to move it to the other group —
+// the model analogue of the Router's cross-shard rename.
+func (c *mclient) rename(file int) {
+	op := &mop{kind: opRenameOp, datum: datumForFile(file), group: c.route[file]}
 	c.send(op)
 }
 
 func (c *mclient) write(file int) {
 	d := datumForFile(file)
 	c.w.out.Writes++
-	op := &mop{kind: opWriteOp, datum: d}
+	op := &mop{kind: opWriteOp, datum: d, group: c.route[file]}
 	// Values are globally unique (client · incarnation · request), so
 	// the oracle can identify every value's apply positions.
 	c.send(op)
@@ -188,9 +212,25 @@ func (c *mclient) renew() {
 		return
 	}
 	c.w.out.Extends++
-	op := &mop{kind: opRenew, data: held}
-	c.send(op)
-	c.transmit(op)
+	if c.w.groups() == 1 {
+		op := &mop{kind: opRenew, data: held}
+		c.send(op)
+		c.transmit(op)
+		return
+	}
+	// Sharded worlds renew per believed home group, like the Router's
+	// per-group sessions: a batch never spans groups.
+	byGroup := make([][]vfs.Datum, c.w.groups())
+	for _, d := range held {
+		g := c.route[fileForDatum(d)]
+		byGroup[g] = append(byGroup[g], d)
+	}
+	for g, data := range byGroup {
+		if len(data) == 0 {
+			continue
+		}
+		c.send(&mop{kind: opRenew, data: data, group: g})
+	}
 }
 
 // send registers the op; reads and renews transmit immediately, writes
@@ -207,12 +247,14 @@ func (c *mclient) send(op *mop) {
 }
 
 func (c *mclient) transmit(op *mop) {
-	target := c.w.serverNodeID(c.belief)
+	target := c.w.serverNodeID(c.w.globalIdx(op.group, c.belief[op.group]))
 	switch op.kind {
 	case opReadFetch, opRenew:
 		c.w.fabric.Unicast(c.node, target, kindExtend, extendReq{ReqID: op.reqID, From: c.id, Data: op.data, TC: op.span.Context()})
 	case opWriteOp:
 		c.w.fabric.Unicast(c.node, target, kindWrite, writeReq{ReqID: op.reqID, From: c.id, Datum: op.datum, Value: op.value, TC: op.span.Context()})
+	case opRenameOp:
+		c.w.fabric.Unicast(c.node, target, kindRename, renameReq{ReqID: op.reqID, From: c.id, File: fileForDatum(op.datum), TC: op.span.Context()})
 	}
 	backoff := c.retryBase() << op.retries
 	op.retryEv = c.w.engine.After(backoff, func() { c.retry(op) })
@@ -235,7 +277,7 @@ func (c *mclient) retry(op *mop) {
 	if n := c.w.sc.Servers; n > 1 {
 		// Silence may mean the believed replica is down, partitioned,
 		// or mid-promotion: try the next one.
-		c.belief = (c.belief + 1) % n
+		c.belief[op.group] = (c.belief[op.group] + 1) % n
 	}
 	c.transmit(op)
 }
@@ -253,6 +295,10 @@ func (c *mclient) handle(m netsim.Message) {
 		c.handleApprovalPush(m, p)
 	case notMasterRep:
 		c.handleNotMaster(m, p)
+	case notOwnerRep:
+		c.handleNotOwner(p)
+	case renameAck:
+		c.handleRenameAck(m, p)
 	case classBcast:
 		c.handleBroadcast(m, p)
 	case classSnap:
@@ -301,10 +347,11 @@ func (c *mclient) handleNotMaster(m netsim.Message, rep notMasterRep) {
 		return
 	}
 	n := c.w.sc.Servers
-	if rep.Hint >= 0 && rep.Hint < n && c.w.serverNodeID(rep.Hint) != m.From {
-		c.belief = rep.Hint
-	} else if sender := c.w.serverIndex(m.From); sender == c.belief && n > 1 {
-		c.belief = (c.belief + 1) % n
+	if rep.Hint >= 0 && rep.Hint < n && c.w.serverNodeID(c.w.globalIdx(op.group, rep.Hint)) != m.From {
+		c.belief[op.group] = rep.Hint
+	} else if sender := c.w.serverIndex(m.From); sender >= 0 && c.w.groupOf(sender) == op.group &&
+		c.w.replicaOf(sender) == c.belief[op.group] && n > 1 {
+		c.belief[op.group] = (c.belief[op.group] + 1) % n
 	}
 	if op.redirects >= maxRedirects {
 		return // the paced retry timer takes it from here
@@ -315,6 +362,53 @@ func (c *mclient) handleNotMaster(m netsim.Message, rep notMasterRep) {
 		op.retryEv = nil
 	}
 	c.transmit(op)
+}
+
+// handleNotOwner is the sharded routing path, the model analogue of the
+// Router's NOT_OWNER steering: the refusing group names the file's
+// owner, the client repairs its home belief and retransmits
+// immediately, bounded by the shared redirect budget.
+func (c *mclient) handleNotOwner(rep notOwnerRep) {
+	op, ok := c.inflight[rep.ReqID]
+	if !ok || op.incarnation != c.incarnation {
+		return
+	}
+	if rep.File >= 0 && rep.File < len(c.route) && rep.Owner >= 0 && rep.Owner < c.w.groups() {
+		c.route[rep.File] = rep.Owner
+		op.group = rep.Owner
+	}
+	if op.redirects >= maxRedirects {
+		return // the paced retry timer takes it from here
+	}
+	op.redirects++
+	c.w.out.Redirected++
+	if op.retryEv != nil {
+		c.w.engine.Cancel(op.retryEv)
+		op.retryEv = nil
+	}
+	c.transmit(op)
+}
+
+// handleRenameAck completes a rename: the file's home is now the group
+// the ack names.
+func (c *mclient) handleRenameAck(m netsim.Message, ack renameAck) {
+	op, ok := c.inflight[ack.ReqID]
+	if !ok || op.kind != opRenameOp || op.incarnation != c.incarnation {
+		return
+	}
+	delete(c.inflight, ack.ReqID)
+	if op.retryEv != nil {
+		c.w.engine.Cancel(op.retryEv)
+		op.retryEv = nil
+	}
+	op.span.End()
+	c.w.out.RenamesAcked++
+	if f := fileForDatum(op.datum); ack.Owner >= 0 && ack.Owner < c.w.groups() {
+		c.route[f] = ack.Owner
+	}
+	if idx := c.w.serverIndex(m.From); idx >= 0 && c.w.groupOf(idx) == op.group {
+		c.belief[op.group] = c.w.replicaOf(idx)
+	}
 }
 
 func (c *mclient) handleGrants(m netsim.Message, rep extendRep) {
@@ -328,8 +422,8 @@ func (c *mclient) handleGrants(m netsim.Message, rep extendRep) {
 		op.retryEv = nil
 	}
 	op.span.End()
-	if idx := c.w.serverIndex(m.From); idx >= 0 {
-		c.belief = idx // pin the session to the replica that answered
+	if idx := c.w.serverIndex(m.From); idx >= 0 && c.w.groupOf(idx) == op.group {
+		c.belief[op.group] = c.w.replicaOf(idx) // pin to the replica that answered
 	}
 	now := c.localNow()
 	for _, g := range rep.Grants {
@@ -380,8 +474,8 @@ func (c *mclient) handleAck(m netsim.Message, ack writeAck) {
 		op.retryEv = nil
 	}
 	op.span.End()
-	if idx := c.w.serverIndex(m.From); idx >= 0 {
-		c.belief = idx
+	if idx := c.w.serverIndex(m.From); idx >= 0 && c.w.groupOf(idx) == op.group {
+		c.belief[op.group] = c.w.replicaOf(idx)
 	}
 	c.w.out.WritesAcked++
 	c.w.orc.acked(c.id, fileForDatum(op.datum), op.value)

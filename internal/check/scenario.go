@@ -32,6 +32,11 @@ const (
 	OpRead   OpKind = "read"
 	OpWrite  OpKind = "write"
 	OpExtend OpKind = "extend"
+	// OpRename (sharded worlds only) asks the file's owning group to
+	// move it to the other group — the model's cross-shard rename. The
+	// source master must obtain §2 clearance on the file (conflicting
+	// leaseholders approve or expire) before ownership transfers.
+	OpRename OpKind = "rename"
 )
 
 // Op is one step of the operation trace.
@@ -94,6 +99,10 @@ type Fault struct {
 	// (ignored when Servers <= 1; master-crash and asym-partition
 	// resolve their target dynamically instead).
 	Server int `json:"server,omitempty"`
+	// Group selects the replica group whose master a master-crash or
+	// asym-partition fault targets in sharded worlds (Groups > 1);
+	// ignored otherwise.
+	Group int `json:"group,omitempty"`
 	// MsgKind, when non-empty, restricts drop/delay to one message
 	// class (e.g. "lease.grant"); empty matches every kind.
 	MsgKind string `json:"msg_kind,omitempty"`
@@ -139,6 +148,14 @@ const (
 	// coverage is still live then read the old value from cache after
 	// the write was acknowledged.
 	BreakClassHorizon = "class-horizon"
+	// BreakRenameOrder (sharded worlds only) commits a cross-shard
+	// rename the moment the destination group acknowledges the prepare,
+	// skipping the source's §2 clearance barrier. Read leases the source
+	// granted stay live across the ownership transfer, so a holder's
+	// cache hit can return the pre-move value after a post-move write
+	// was acknowledged on the destination — the stale read the
+	// prepare/clear/commit ordering exists to prevent.
+	BreakRenameOrder = "rename-order"
 )
 
 // Scenario fully determines one model-checked execution.
@@ -146,11 +163,19 @@ type Scenario struct {
 	Seed    int64 `json:"seed"`
 	Clients int   `json:"clients"`
 	Files   int   `json:"files"`
-	// Servers is the replica-set size; 1 (the default) runs the
-	// original single-server world, >1 runs a PaxosLease replica set:
-	// one election Machine per server, master-only lease granting,
+	// Servers is the replica-set size PER GROUP; 1 (the default) runs
+	// the original single-server world, >1 runs a PaxosLease replica
+	// set: one election Machine per server, master-only lease granting,
 	// replicate-before-apply writes, and promotion state sync.
 	Servers int `json:"servers,omitempty"`
+	// Groups is the number of replica groups the namespace is sharded
+	// across; 0/1 (the default) runs the unsharded world. With Groups >
+	// 1 every group runs its own Servers-replica set (its own elections,
+	// its own replication pipeline), file f starts homed at group
+	// f%Groups, clients route by a per-file home belief steered by
+	// NOT_OWNER redirects, and OpRename moves files between groups via
+	// the two-phase prepare/clear/commit protocol.
+	Groups int `json:"groups,omitempty"`
 
 	// Term is the fixed lease term t_s; Allowance is the clock bound ε
 	// clients subtract.
@@ -201,6 +226,14 @@ type Scenario struct {
 // Steps counts the schedule entries the shrinker minimizes over.
 func (sc Scenario) Steps() int { return len(sc.Ops) + len(sc.Faults) }
 
+// groups normalizes the group count (0 means unsharded).
+func (sc Scenario) groups() int {
+	if sc.Groups > 1 {
+		return sc.Groups
+	}
+	return 1
+}
+
 // withDefaults fills zero fields with the standard model parameters.
 func (sc Scenario) withDefaults() Scenario {
 	if sc.Clients == 0 {
@@ -227,10 +260,10 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.ServerRate == 0 {
 		sc.ServerRate = 1
 	}
-	for len(sc.ServerRates) < sc.Servers {
+	for len(sc.ServerRates) < sc.Servers*sc.groups() {
 		sc.ServerRates = append(sc.ServerRates, sc.ServerRate)
 	}
-	for len(sc.ServerSkews) < sc.Servers {
+	for len(sc.ServerSkews) < sc.Servers*sc.groups() {
 		sc.ServerSkews = append(sc.ServerSkews, sc.ServerSkew)
 	}
 	for i, r := range sc.ServerRates {
@@ -272,9 +305,20 @@ func (sc Scenario) Validate() error {
 		if op.Kind != OpExtend && (op.File < 0 || op.File >= sc.Files) {
 			return fmt.Errorf("check: op %d targets file %d of %d", i, op.File, sc.Files)
 		}
+		if op.Kind == OpRename && sc.groups() < 2 {
+			return fmt.Errorf("check: op %d (%s) needs a sharded world (Groups >= 2)", i, op.Kind)
+		}
 		if op.At < 0 {
 			return fmt.Errorf("check: op %d scheduled before start", i)
 		}
+	}
+	if sc.Break == BreakRenameOrder && sc.groups() < 2 {
+		return fmt.Errorf("check: break %q needs a sharded world (Groups >= 2)", sc.Break)
+	}
+	if sc.Installed && sc.groups() > 1 {
+		// The §4.3 class broadcast has no group identity; combining it
+		// with sharding is out of the checked matrix.
+		return fmt.Errorf("check: installed-class scenarios do not support sharding (Groups > 1)")
 	}
 	if sc.Break == BreakClassHorizon && !sc.Installed {
 		return fmt.Errorf("check: break %q needs an installed-class scenario", sc.Break)
@@ -286,6 +330,7 @@ func (sc Scenario) Validate() error {
 	if servers == 0 {
 		servers = 1
 	}
+	total := servers * sc.groups()
 	for i, ft := range sc.Faults {
 		if ft.At < 0 || ft.Dur < 0 {
 			return fmt.Errorf("check: fault %d has negative timing", i)
@@ -303,8 +348,11 @@ func (sc Scenario) Validate() error {
 		default:
 			return fmt.Errorf("check: fault %d has unknown kind %q", i, ft.Kind)
 		}
-		if ft.Server < 0 || ft.Server >= servers {
-			return fmt.Errorf("check: fault %d targets server %d of %d", i, ft.Server, servers)
+		if ft.Group < 0 || ft.Group >= sc.groups() {
+			return fmt.Errorf("check: fault %d targets group %d of %d", i, ft.Group, sc.groups())
+		}
+		if ft.Server < 0 || ft.Server >= total {
+			return fmt.Errorf("check: fault %d targets server %d of %d", i, ft.Server, total)
 		}
 	}
 	return nil
@@ -349,6 +397,11 @@ type GenConfig struct {
 	// (master crash, asymmetric master partition, follower crashes) and
 	// independent per-replica clock drift at the ε budget.
 	Servers int
+	// Groups > 1 generates sharded scenarios: cross-shard renames in
+	// the op mix (so other clients' routing beliefs go stale and must
+	// converge via NOT_OWNER redirects), and failover faults that name
+	// a target group.
+	Groups int
 	// Installed generates installed-class scenarios: broadcast
 	// extensions, snapshot fetches, and drop-on-write demotion run
 	// alongside the ordinary op trace and fault schedule.
@@ -369,6 +422,9 @@ func (cfg GenConfig) withDefaults() GenConfig {
 	}
 	if cfg.Servers == 0 {
 		cfg.Servers = 1
+	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
 	}
 	if cfg.Ops == 0 {
 		cfg.Ops = 24
@@ -420,6 +476,9 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		Allowance: cfg.Allowance,
 		Installed: cfg.Installed,
 	}
+	if cfg.Groups > 1 {
+		sc.Groups = cfg.Groups
+	}
 	sc = sc.withDefaults()
 
 	// Operation trace: uniform times over the first 80% of the horizon
@@ -464,6 +523,11 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 			case r < 0.85:
 				op.Kind = OpWrite
 				op.File = rng.Intn(cfg.Files)
+			case cfg.Groups > 1 && r < 0.93:
+				// Cross-shard rename: moves the file's home and leaves
+				// every other client's routing belief for it stale.
+				op.Kind = OpRename
+				op.File = rng.Intn(cfg.Files)
 			default:
 				op.Kind = OpExtend
 			}
@@ -504,17 +568,21 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 			sc.Faults = append(sc.Faults, Fault{
 				Kind:   FaultPartition,
 				Client: rng.Intn(cfg.Clients),
-				Server: rng.Intn(cfg.Servers),
+				Server: rng.Intn(cfg.Servers * cfg.Groups),
 				At:     randDur(rng, 0, cfg.Horizon*7/10),
 				Dur:    randDur(rng, cfg.Term/2, cfg.Term*3/2),
 			})
 		}
 		if cfg.Servers > 1 && rng.Float64() < 0.5 {
-			sc.Faults = append(sc.Faults, Fault{
+			ft := Fault{
 				Kind: FaultAsymPartition,
 				At:   randDur(rng, cfg.Term, cfg.Horizon*7/10),
 				Dur:  randDur(rng, cfg.Term/2, cfg.Term*3/2),
-			})
+			}
+			if cfg.Groups > 1 {
+				ft.Group = rng.Intn(cfg.Groups)
+			}
+			sc.Faults = append(sc.Faults, ft)
 		}
 		if rng.Float64() < 0.7 {
 			sc.Faults = append(sc.Faults, Fault{
@@ -556,17 +624,23 @@ func Generate(seed int64, cfg GenConfig) Scenario {
 		if rng.Float64() < 0.6 {
 			sc.Faults = append(sc.Faults, Fault{
 				Kind:   FaultServerCrash,
-				Server: rng.Intn(cfg.Servers),
+				Server: rng.Intn(cfg.Servers * cfg.Groups),
 				At:     randDur(rng, 0, cfg.Horizon*7/10),
 				Dur:    randDur(rng, cfg.Term/4, cfg.Term),
 			})
 		}
 		if cfg.Servers > 1 && rng.Float64() < 0.6 {
-			sc.Faults = append(sc.Faults, Fault{
+			ft := Fault{
 				Kind: FaultMasterCrash,
 				At:   randDur(rng, cfg.Term, cfg.Horizon*7/10),
 				Dur:  randDur(rng, cfg.Term/2, cfg.Term*2),
-			})
+			}
+			if cfg.Groups > 1 {
+				// Kill one group's master mid-run — often mid-rename,
+				// the window the two-phase protocol must survive.
+				ft.Group = rng.Intn(cfg.Groups)
+			}
+			sc.Faults = append(sc.Faults, ft)
 		}
 	}
 	sort.SliceStable(sc.Faults, func(i, j int) bool { return sc.Faults[i].At < sc.Faults[j].At })

@@ -84,10 +84,49 @@ type approveMsg struct {
 }
 
 // notMasterRep refuses a client op at a non-master replica, carrying
-// the replier's belief about who the master is (-1 when unknown).
+// the replier's belief about who the master is (-1 when unknown). The
+// hint is a within-group replica index.
 type notMasterRep struct {
 	ReqID uint64
 	Hint  int
+}
+
+// notOwnerRep refuses a path operation at a group that does not own the
+// file, naming the owning group — the model analogue of TNotOwner.
+type notOwnerRep struct {
+	ReqID uint64
+	File  int
+	Owner int
+}
+
+// renameReq asks the file's owning group to move it to the other group
+// — the model's cross-shard rename.
+type renameReq struct {
+	ReqID uint64
+	From  core.ClientID
+	File  int
+	TC    tracing.Context
+}
+
+// renameAck acknowledges a committed move, naming the file's new group.
+type renameAck struct {
+	ReqID uint64
+	Owner int
+}
+
+// xferPrepare/xferPrepared are the inter-group prepare exchange of the
+// two-phase cross-shard rename. The prepare reserves nothing (the value
+// travels at the commit point), but its ack proves a synced master is
+// serving on the far side before the source starts tearing down leases
+// — a move must not strand a file at a group that cannot serve it.
+type xferPrepare struct {
+	XferID uint64
+	File   int
+}
+
+type xferPrepared struct {
+	XferID uint64
+	File   int
 }
 
 // electMsg carries one PaxosLease election message between replicas.
@@ -200,6 +239,29 @@ type writeSpans struct {
 	pushes  map[core.ClientID]tracing.Span
 }
 
+// xferState is the source master's record of one in-flight outbound
+// cross-shard transfer: prepare retries until the destination's master
+// acks, then the §2 clearance barrier runs, then the commit point.
+type xferState struct {
+	id       uint64
+	file     int
+	dest     int // destination group
+	reqID    uint64
+	from     core.ClientID
+	prepared bool
+	// draining marks a transfer whose clearance finished while writes
+	// for the file were still in the replication pipeline; the commit
+	// fires when the staged queue drains, so the move carries them.
+	draining bool
+	// barrier is the clearance write's ID once SubmitWrite deferred it;
+	// hasBarrier distinguishes "no barrier yet" from WriteID zero.
+	hasBarrier bool
+	barrier    core.WriteID
+	retries    int
+	retryEv    *sim.Event
+	sp         tracing.Span // server.rename root, ended at commit/abort
+}
+
 // mserver is the model file server: the real vfs store and the real
 // sharded lease manager under the model's message loop, mirroring the
 // TCP deployment's write-deferral and crash-recovery semantics. In
@@ -207,9 +269,14 @@ type writeSpans struct {
 // PaxosLease Machine and the replicate-before-apply pipeline; mach is
 // nil in single-server worlds, which behave exactly as before.
 type mserver struct {
-	w       *world
-	idx     int
-	node    netsim.NodeID
+	w    *world
+	idx  int // global server index
+	node netsim.NodeID
+	// group/rep split idx for sharded worlds: elections, replication
+	// frames, and promotion sync all stay within the group, addressed by
+	// within-group replica index rep.
+	group   int
+	rep     int
 	store   *vfs.Store
 	mgr     *core.ShardedManager
 	writers map[core.WriteID]mwriter
@@ -260,18 +327,28 @@ type mserver struct {
 	syncGot []*syncRep
 	syncTry int
 	syncEv  *sim.Event
+
+	// Sharding state (Groups > 1 only). peerBelief[g] is the replica
+	// this server currently believes is group g's master, rotated when
+	// prepare retries go unanswered; xfers tracks in-flight outbound
+	// transfers by file, xferByBarrier by clearance-barrier WriteID.
+	peerBelief    []int
+	xfers         map[int]*xferState
+	xferByBarrier map[core.WriteID]*xferState
 }
 
 func newMserver(w *world, idx int) *mserver {
 	srv := &mserver{
 		w:          w,
 		idx:        idx,
-		node:       w.serverNodeID(idx),
+		group:      w.groupOf(idx),
+		rep:        w.replicaOf(idx),
 		writers:    make(map[core.WriteID]mwriter),
 		wspans:     make(map[core.WriteID]*writeSpans),
 		seen:       make(map[core.ClientID]map[uint64]uint64),
 		lastBelief: -1,
 	}
+	srv.node = w.serverNodeID(idx)
 	srv.store = vfs.New(engineClock{w.engine}, string(srv.node))
 	for f := 0; f < w.sc.Files; f++ {
 		path := "/f" + strconv.Itoa(f)
@@ -287,11 +364,12 @@ func newMserver(w *world, idx int) *mserver {
 		}
 	}
 	srv.resetManager(time.Time{})
-	if w.sc.Servers > 1 {
+	if w.sc.Servers > 1 || w.groups() > 1 {
+		// Sequence-based versions: replicated worlds need them because
+		// store versions diverge across replicas; sharded worlds because
+		// they must stay comparable across a file's moves between groups.
 		srv.applied = make([]uint64, w.sc.Files)
 		srv.nextSeq = make([]uint64, w.sc.Files)
-		srv.staged = make([][]*stagedWrite, w.sc.Files)
-		srv.parked = make([]map[uint64]replFrame, w.sc.Files)
 		for f := 0; f < w.sc.Files; f++ {
 			v, err := srv.store.Version(datumForFile(f))
 			if err != nil {
@@ -299,6 +377,12 @@ func newMserver(w *world, idx int) *mserver {
 			}
 			srv.applied[f] = v
 			srv.nextSeq[f] = v
+		}
+	}
+	if w.sc.Servers > 1 {
+		srv.staged = make([][]*stagedWrite, w.sc.Files)
+		srv.parked = make([]map[uint64]replFrame, w.sc.Files)
+		for f := 0; f < w.sc.Files; f++ {
 			srv.parked[f] = make(map[uint64]replFrame)
 		}
 		// Genesis machines skip the quiet period: a fresh cluster has no
@@ -306,6 +390,11 @@ func newMserver(w *world, idx int) *mserver {
 		// at t0. Restarts go through the honest quiet period.
 		srv.mach = srv.newMach(w.start.Add(-w.sc.Term))
 		srv.armMach()
+	}
+	if w.groups() > 1 {
+		srv.peerBelief = make([]int, w.groups())
+		srv.xfers = make(map[int]*xferState)
+		srv.xferByBarrier = make(map[core.WriteID]*xferState)
 	}
 	srv.resetClass()
 	w.fabric.Register(srv.node, srv.handle)
@@ -315,7 +404,7 @@ func newMserver(w *world, idx int) *mserver {
 
 func (srv *mserver) newMach(start time.Time) *replica.Machine {
 	return replica.NewMachine(replica.Config{
-		ID:        srv.idx,
+		ID:        srv.rep,
 		N:         srv.w.sc.Servers,
 		Term:      srv.w.sc.Term,
 		Allowance: srv.w.sc.Allowance,
@@ -389,10 +478,10 @@ func (srv *mserver) onMachWake() {
 
 func (srv *mserver) sendElect(msgs []replica.Msg) {
 	for _, m := range msgs {
-		if m.To == srv.idx {
+		if m.To == srv.rep {
 			continue
 		}
-		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(m.To), kindElect, electMsg{M: m})
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(srv.w.globalIdx(srv.group, m.To)), kindElect, electMsg{M: m})
 	}
 }
 
@@ -462,6 +551,9 @@ func (srv *mserver) onDemote() {
 	srv.w.obs.Record(obs.Event{Type: obs.EvDemoted, Replica: srv.idx})
 	if t := srv.mgr.MaxTermGranted(); t > srv.persistedMaxTerm {
 		srv.persistedMaxTerm = t
+	}
+	if srv.xfers != nil {
+		srv.dropXfers("demoted")
 	}
 	srv.dropAllStaged()
 	srv.clearServing()
@@ -555,12 +647,12 @@ func (srv *mserver) beginSync() {
 }
 
 func (srv *mserver) sendSync() {
-	req := syncReq{From: srv.idx, ReqID: srv.syncID}
-	for i := range srv.w.servers {
-		if i == srv.idx || srv.syncGot[i] != nil {
+	req := syncReq{From: srv.rep, ReqID: srv.syncID}
+	for r := 0; r < srv.w.sc.Servers; r++ {
+		if r == srv.rep || srv.syncGot[r] != nil {
 			continue
 		}
-		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(i), kindSyncReq, req)
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(srv.w.globalIdx(srv.group, r)), kindSyncReq, req)
 	}
 	backoff := srv.w.retryBase() << uint(min(srv.syncTry, 6))
 	srv.syncEv = srv.w.engine.After(backoff, srv.onSyncRetry)
@@ -579,8 +671,8 @@ func (srv *mserver) onSyncRetry() {
 }
 
 func (srv *mserver) handleSyncReq(p syncReq) {
-	srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(p.From), kindSyncRep,
-		syncRep{From: srv.idx, ReqID: p.ReqID, Files: srv.fileSnapshot()})
+	srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(srv.w.globalIdx(srv.group, p.From)), kindSyncRep,
+		syncRep{From: srv.rep, ReqID: p.ReqID, Files: srv.fileSnapshot()})
 }
 
 func (srv *mserver) fileSnapshot() []fileRepl {
@@ -637,10 +729,18 @@ func (srv *mserver) finishSync() {
 	}
 	srv.synced = true
 	srv.syncGot = nil
-	inst := installMsg{From: srv.idx, Ballot: srv.mach.MasterBallot(srv.localNow()), Files: srv.fileSnapshot()}
-	for i := range srv.w.servers {
-		if i != srv.idx {
-			srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(i), kindInstall, inst)
+	// A file moved into this group while the group had no serving
+	// master leaves its value only in the group-durable moved record;
+	// fold it in before the snapshot is pushed, so peers heal too.
+	for f := 0; f < srv.w.sc.Files; f++ {
+		if srv.owns(f) {
+			srv.absorbMoved(f)
+		}
+	}
+	inst := installMsg{From: srv.rep, Ballot: srv.mach.MasterBallot(srv.localNow()), Files: srv.fileSnapshot()}
+	for r := 0; r < srv.w.sc.Servers; r++ {
+		if r != srv.rep {
+			srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(srv.w.globalIdx(srv.group, r)), kindInstall, inst)
 		}
 	}
 }
@@ -678,7 +778,7 @@ func (srv *mserver) stageWrite(wtr mwriter) {
 	srv.nextSeq[f]++
 	e := &stagedWrite{wtr: wtr, seq: srv.nextSeq[f], acks: make([]bool, srv.w.sc.Servers), ships: make([]tracing.Span, srv.w.sc.Servers)}
 	for i := range e.ships {
-		if i != srv.idx {
+		if i != srv.rep {
 			e.ships[i] = srv.w.tracer.StartChildNode(string(srv.node), wtr.tc, "repl.ship")
 		}
 	}
@@ -692,12 +792,12 @@ func (srv *mserver) sendFrames(e *stagedWrite) {
 	// Stamp the current ballot on every (re)transmit: a frame staged
 	// just before this master renewed its own lease would otherwise be
 	// rejected by peers that already accepted the renewal's ballot.
-	fr := replFrame{From: srv.idx, Ballot: srv.mach.MasterBallot(srv.localNow()), File: f, Seq: e.seq, Value: e.wtr.value}
-	for i := range srv.w.servers {
-		if i == srv.idx || e.acks[i] {
+	fr := replFrame{From: srv.rep, Ballot: srv.mach.MasterBallot(srv.localNow()), File: f, Seq: e.seq, Value: e.wtr.value}
+	for r := 0; r < srv.w.sc.Servers; r++ {
+		if r == srv.rep || e.acks[r] {
 			continue
 		}
-		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(i), kindReplWrite, fr)
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(srv.w.globalIdx(srv.group, r)), kindReplWrite, fr)
 	}
 	backoff := srv.w.retryBase() << uint(min(e.retries, 6))
 	e.retryEv = srv.w.engine.After(backoff, func() { srv.retryStaged(e) })
@@ -745,6 +845,9 @@ func (srv *mserver) dropStagedFrom(f int, e *stagedWrite) {
 			d.endShips("dropped")
 		}
 		srv.staged[f] = q[:i]
+		if i == 0 {
+			srv.xferDrained(f)
+		}
 		return
 	}
 }
@@ -782,6 +885,15 @@ func (srv *mserver) drainStaged(f int) {
 		srv.staged[f] = srv.staged[f][1:]
 		srv.commitStaged(e)
 	}
+	srv.xferDrained(f)
+}
+
+// xferDrained fires a transfer commit that was waiting for the file's
+// replication pipeline to empty.
+func (srv *mserver) xferDrained(f int) {
+	if x := srv.xfers[f]; x != nil && x.draining {
+		srv.commitXfer(x)
+	}
 }
 
 func (srv *mserver) commitStaged(e *stagedWrite) {
@@ -793,7 +905,7 @@ func (srv *mserver) commitStaged(e *stagedWrite) {
 	// for again — their ship spans end as stragglers, like the real
 	// master's rpc returning after the quorum count moved on.
 	for i, sp := range e.ships {
-		if sp.Recording() && !e.acks[i] && i != srv.idx {
+		if sp.Recording() && !e.acks[i] && i != srv.rep {
 			sp.EndNote(fmt.Sprintf("peer=%d straggler", i))
 		}
 	}
@@ -831,6 +943,9 @@ func (srv *mserver) handleReplFrame(p replFrame) {
 		return
 	}
 	f := p.File
+	// A moved-in file's sequence numbering continues from the moved
+	// record: absorb it first or the frame looks like a gap forever.
+	srv.absorbMoved(f)
 	switch {
 	case p.Seq <= srv.applied[f]:
 		// Duplicate of an applied frame: re-ack so a lost ack cannot
@@ -844,7 +959,7 @@ func (srv *mserver) handleReplFrame(p replFrame) {
 		srv.parked[f][p.Seq] = p
 		return
 	}
-	srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(p.From), kindReplAck, replAck{From: srv.idx, File: f, Seq: p.Seq})
+	srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(srv.w.globalIdx(srv.group, p.From)), kindReplAck, replAck{From: srv.rep, File: f, Seq: p.Seq})
 	srv.drainParked(f)
 }
 
@@ -856,7 +971,7 @@ func (srv *mserver) drainParked(f int) {
 		}
 		delete(srv.parked[f], fr.Seq)
 		srv.applyRepl(f, fr.Seq, fr.Value)
-		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(fr.From), kindReplAck, replAck{From: srv.idx, File: f, Seq: fr.Seq})
+		srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(srv.w.globalIdx(srv.group, fr.From)), kindReplAck, replAck{From: srv.rep, File: f, Seq: fr.Seq})
 	}
 }
 
@@ -868,6 +983,283 @@ func (srv *mserver) applyRepl(f int, seq uint64, val string) {
 	if srv.nextSeq[f] < seq {
 		srv.nextSeq[f] = seq
 	}
+}
+
+// ---- cross-shard transfers (sharded worlds) ----
+
+// owns reports whether this server's group owns file f. Always true in
+// unsharded worlds.
+func (srv *mserver) owns(f int) bool {
+	if srv.w.groups() <= 1 {
+		return true
+	}
+	return srv.w.shards[srv.group].owned[f]
+}
+
+// ownerOf names the group that owns f. Ownership flips atomically at
+// the commit point, so exactly one group owns every file at all times.
+func (srv *mserver) ownerOf(f int) int {
+	for g, sh := range srv.w.shards {
+		if sh.owned[f] {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("check: file %d has no owning group", f))
+}
+
+func (srv *mserver) notOwner(to netsim.NodeID, reqID uint64, f int) {
+	srv.w.fabric.Unicast(srv.node, to, kindNotOwner, notOwnerRep{ReqID: reqID, File: f, Owner: srv.ownerOf(f)})
+}
+
+// absorbMoved folds the last committed inbound move of f into this
+// replica's local copy, if newer. Called before every serving or
+// replication path touches a file, so the moved-in value (and its
+// sequence, which client-facing versions continue from) is in place
+// before anything depends on it. A sequence tie means the values are
+// already identical: any post-move write strictly exceeds the moved
+// sequence, because absorbing raises nextSeq first.
+func (srv *mserver) absorbMoved(f int) {
+	if srv.w.groups() <= 1 {
+		return
+	}
+	mv := srv.w.shards[srv.group].moved[f]
+	if mv.Seq == 0 || mv.Seq <= srv.applied[f] {
+		return
+	}
+	if _, _, err := srv.store.WriteFile(datumForFile(f).Node, []byte(mv.Value)); err != nil {
+		panic(fmt.Sprintf("check: absorb moved file %d: %v", f, err))
+	}
+	srv.applied[f] = mv.Seq
+	if srv.nextSeq[f] < mv.Seq {
+		srv.nextSeq[f] = mv.Seq
+	}
+}
+
+// handleRename runs at the source group's serving master: dedupe,
+// ownership check, then the two-phase move — prepare at the destination
+// group, §2 clearance of this group's own leases on the file, commit.
+func (srv *mserver) handleRename(from netsim.NodeID, req renameReq) {
+	if seen, ok := srv.seen[req.From]; ok {
+		if marker, dup := seen[req.ReqID]; dup {
+			if marker > 0 {
+				// Retransmit of a completed rename: re-ack with the
+				// file's current owner.
+				srv.w.fabric.Unicast(srv.node, from, kindRenameAck, renameAck{ReqID: req.ReqID, Owner: srv.ownerOf(req.File)})
+			}
+			return // in flight: the commit acks it
+		}
+	}
+	f := req.File
+	if !srv.owns(f) {
+		srv.notOwner(from, req.ReqID, f)
+		return
+	}
+	if srv.xfers[f] != nil {
+		// A move of this file is already in flight (another client's
+		// rename); stay silent, the retry ladder re-asks after it lands.
+		return
+	}
+	srv.absorbMoved(f)
+	if srv.seen[req.From] == nil {
+		srv.seen[req.From] = make(map[uint64]uint64)
+	}
+	srv.seen[req.From][req.ReqID] = 0 // pending marker, set by commitXfer
+	srv.w.nextXfer++
+	x := &xferState{
+		id:    srv.w.nextXfer,
+		file:  f,
+		dest:  (srv.group + 1) % srv.w.groups(),
+		reqID: req.ReqID,
+		from:  req.From,
+		sp:    srv.w.tracer.StartChildNode(string(srv.node), req.TC, "server.rename"),
+	}
+	srv.xfers[f] = x
+	srv.sendPrepare(x)
+}
+
+func (srv *mserver) sendPrepare(x *xferState) {
+	target := srv.w.globalIdx(x.dest, srv.peerBelief[x.dest])
+	srv.w.fabric.Unicast(srv.node, srv.w.serverNodeID(target), kindXferPrepare,
+		xferPrepare{XferID: x.id, File: x.file})
+	backoff := srv.w.retryBase() << uint(min(x.retries, 6))
+	x.retryEv = srv.w.engine.After(backoff, func() { srv.retryPrepare(x) })
+}
+
+func (srv *mserver) retryPrepare(x *xferState) {
+	x.retryEv = nil
+	if srv.down || srv.xfers[x.file] != x || x.prepared {
+		return
+	}
+	if x.retries >= maxRetries {
+		srv.abortXfer(x, "prepare given-up")
+		return
+	}
+	x.retries++
+	if srv.w.sc.Servers > 1 {
+		// Silence may mean the believed destination master is down or
+		// mid-promotion: rotate to the next replica.
+		srv.peerBelief[x.dest] = (srv.peerBelief[x.dest] + 1) % srv.w.sc.Servers
+	}
+	srv.sendPrepare(x)
+}
+
+// abortXfer abandons an outbound transfer before its commit point:
+// ownership never moved, so the file simply stays home. The pending
+// dedupe marker is released so the client's retransmit can restart the
+// move at whichever master then serves the group.
+func (srv *mserver) abortXfer(x *xferState, note string) {
+	if x.retryEv != nil {
+		srv.w.engine.Cancel(x.retryEv)
+		x.retryEv = nil
+	}
+	delete(srv.xfers, x.file)
+	if x.hasBarrier {
+		delete(srv.xferByBarrier, x.barrier)
+		srv.mgr.CancelWrite(x.barrier, srv.localNow())
+		srv.endWriteSpans(x.barrier, "dropped", "dropped")
+	}
+	if m := srv.seen[x.from]; m != nil && m[x.reqID] == 0 {
+		delete(m, x.reqID)
+	}
+	x.sp.EndNote(note)
+}
+
+// dropXfers aborts every in-flight outbound transfer — demotion or
+// shutdown teardown. None has committed, so ownership is intact.
+func (srv *mserver) dropXfers(note string) {
+	files := make([]int, 0, len(srv.xfers))
+	for f := range srv.xfers {
+		files = append(files, f)
+	}
+	sort.Ints(files)
+	for _, f := range files {
+		srv.abortXfer(srv.xfers[f], note)
+	}
+}
+
+// handleXferPrepare runs at the destination group: only a serving
+// master acks, proving the far side can serve the file the moment
+// ownership flips. The prepare reserves nothing, so no teardown is
+// needed if the source aborts.
+func (srv *mserver) handleXferPrepare(m netsim.Message, p xferPrepare) {
+	if srv.mach != nil && !srv.servingMaster() {
+		return // silence; the source's retry ladder rotates replicas
+	}
+	srv.w.fabric.Unicast(srv.node, m.From, kindXferPrepared, xferPrepared{XferID: p.XferID, File: p.File})
+}
+
+// handleXferPrepared starts the source-side clearance: the move behaves
+// like a §2 write on the file — every conflicting leaseholder approves
+// or expires before ownership transfers — except under BreakRenameOrder,
+// which commits on the prepare ack alone.
+func (srv *mserver) handleXferPrepared(p xferPrepared) {
+	x := srv.xfers[p.File]
+	if x == nil || x.id != p.XferID || x.prepared {
+		return
+	}
+	x.prepared = true
+	if x.retryEv != nil {
+		srv.w.engine.Cancel(x.retryEv)
+		x.retryEv = nil
+	}
+	if srv.w.sc.Break == BreakRenameOrder {
+		// Sabotage: skip the clearance. Read leases this group granted
+		// stay live across the transfer, so a destination write can
+		// land while a stale copy is still covered — the ordering bug
+		// the pinned counterexample exhibits.
+		srv.maybeCommitXfer(x)
+		return
+	}
+	now := srv.localNow()
+	d := datumForFile(x.file)
+	disp := srv.mgr.SubmitWrite(core.ClientID(fmt.Sprintf("xfer-%d", x.id)), d, now)
+	if disp.Ready {
+		srv.maybeCommitXfer(x)
+		return
+	}
+	x.hasBarrier = true
+	x.barrier = disp.WriteID
+	srv.xferByBarrier[disp.WriteID] = x
+	deferSp := srv.w.tracer.StartChildNode(string(srv.node), x.sp.Context(), "write.defer")
+	deferSp.SetFanout(len(disp.NeedApproval))
+	ws := &writeSpans{deferSp: deferSp, pushes: make(map[core.ClientID]tracing.Span, len(disp.NeedApproval))}
+	srv.wspans[disp.WriteID] = ws
+	targets := make([]netsim.NodeID, 0, len(disp.NeedApproval))
+	for _, holder := range disp.NeedApproval {
+		targets = append(targets, netsim.NodeID(holder))
+		ws.pushes[holder] = srv.w.tracer.StartChildNode(string(srv.node), deferSp.Context(), "approve.push")
+		srv.w.obs.Record(obs.Event{
+			Type:    obs.EvApproveRequest,
+			Client:  string(holder),
+			Datum:   d,
+			Shard:   srv.mgr.ShardFor(d),
+			WriteID: uint64(disp.WriteID),
+		})
+	}
+	srv.w.fabric.Multicast(srv.node, targets, kindApprovalReq, approvalReq{WriteID: disp.WriteID, Datum: d})
+	srv.armDeadline()
+}
+
+// maybeCommitXfer gates the commit point on the replication pipeline:
+// a write past its lease deferral but not yet at quorum would commit
+// and ack at the source AFTER the move took the old value — a lost
+// update at the destination. The commit waits until the file's staged
+// queue drains (drainStaged and dropStagedFrom re-check); no new lease
+// can appear meanwhile, because extends refuse leases while a staged
+// write is outstanding.
+func (srv *mserver) maybeCommitXfer(x *xferState) {
+	if srv.mach != nil && len(srv.staged[x.file]) > 0 {
+		x.draining = true
+		return
+	}
+	srv.commitXfer(x)
+}
+
+// commitXfer is the commit point: conflicting leases are cleared (or
+// deliberately not, under the sabotage), so ownership and the current
+// value transfer to the destination group in one group-durable step.
+// Writes still queued behind the barrier arrived for a home the file is
+// leaving; they are cancelled and their retransmits bounce with
+// NOT_OWNER so the clients re-route.
+func (srv *mserver) commitXfer(x *xferState) {
+	delete(srv.xfers, x.file)
+	if x.hasBarrier {
+		delete(srv.xferByBarrier, x.barrier)
+	}
+	d := datumForFile(x.file)
+	ids := make([]core.WriteID, 0, len(srv.writers))
+	for id, wtr := range srv.writers {
+		if wtr.datum == d {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	now := srv.localNow()
+	for _, id := range ids {
+		wtr := srv.writers[id]
+		delete(srv.writers, id)
+		srv.mgr.CancelWrite(id, now)
+		srv.endWriteSpans(id, "dropped", "moved away")
+		if m := srv.seen[wtr.client]; m != nil && m[wtr.reqID] == 0 {
+			delete(m, wtr.reqID)
+		}
+	}
+	srv.absorbMoved(x.file)
+	data, _, err := srv.store.ReadFile(d.Node)
+	if err != nil {
+		panic(fmt.Sprintf("check: read moving file %d: %v", x.file, err))
+	}
+	src, dst := srv.w.shards[srv.group], srv.w.shards[x.dest]
+	src.owned[x.file] = false
+	dst.owned[x.file] = true
+	dst.moved[x.file] = fileRepl{File: x.file, Seq: srv.applied[x.file], Value: string(data)}
+	if srv.seen[x.from] == nil {
+		srv.seen[x.from] = make(map[uint64]uint64)
+	}
+	srv.seen[x.from][x.reqID] = 1 // done marker, for at-least-once re-acks
+	x.sp.EndNote(fmt.Sprintf("moved to group %d", x.dest))
+	srv.w.out.Renames++
+	srv.w.fabric.Unicast(srv.node, netsim.NodeID(x.from), kindRenameAck, renameAck{ReqID: x.reqID, Owner: x.dest})
 }
 
 // ---- installed class (§4.3) ----
@@ -1040,6 +1432,15 @@ func (srv *mserver) handle(m netsim.Message) {
 			return
 		}
 		srv.handleWrite(m.From, p)
+	case renameReq:
+		if !srv.gateClient(m.From, p.ReqID) {
+			return
+		}
+		srv.handleRename(m.From, p)
+	case xferPrepare:
+		srv.handleXferPrepare(m, p)
+	case xferPrepared:
+		srv.handleXferPrepared(p)
 	case approveMsg:
 		if srv.mach != nil && !srv.servingMaster() {
 			return // approvals for a reign this replica no longer runs
@@ -1089,17 +1490,18 @@ func (srv *mserver) gateClient(from netsim.NodeID, reqID uint64) bool {
 func (srv *mserver) refuse(to netsim.NodeID, reqID uint64) {
 	owner, live := srv.mach.Master(srv.localNow())
 	hint := -1
-	if live && owner != srv.idx {
+	if live && owner != srv.rep {
 		hint = owner
 	}
 	srv.w.fabric.Unicast(srv.node, to, kindNotMaster, notMasterRep{ReqID: reqID, Hint: hint})
 }
 
 // fileVersion is the client-facing version: the store's in
-// single-server worlds, the replication sequence in replicated ones
-// (store versions diverge across replicas; sequences do not).
+// single-server worlds, the applied sequence in replicated or sharded
+// ones (store versions diverge across replicas and do not survive a
+// file's move between groups; sequences do).
 func (srv *mserver) fileVersion(d vfs.Datum) uint64 {
-	if srv.mach == nil {
+	if srv.applied == nil {
 		v, err := srv.store.Version(d)
 		if err != nil {
 			panic(fmt.Sprintf("check: version of %v: %v", d, err))
@@ -1115,12 +1517,25 @@ func (srv *mserver) handleExtend(from netsim.NodeID, req extendReq) {
 	defer sp.End()
 	rep := extendRep{ReqID: req.ReqID}
 	for _, d := range req.Data {
+		f := fileForDatum(d)
+		if srv.w.groups() > 1 && !srv.owns(f) {
+			if len(req.Data) == 1 {
+				// A single-datum fetch is a routed read: redirect it to
+				// the owning group.
+				srv.notOwner(from, req.ReqID, f)
+				return
+			}
+			// Batched renewals silently drop files that moved away; the
+			// client's lease lapses and its next read re-routes.
+			continue
+		}
+		srv.absorbMoved(f)
 		data, _, err := srv.store.ReadFile(d.Node)
 		if err != nil {
 			panic(fmt.Sprintf("check: read %v: %v", d, err))
 		}
 		version := srv.fileVersion(d)
-		if srv.mach != nil && len(srv.staged[fileForDatum(d)]) > 0 {
+		if srv.mach != nil && len(srv.staged[f]) > 0 {
 			// A write is between staging and quorum commit: a lease
 			// granted now would cover a value about to be superseded
 			// without the holder's approval. Serve the committed value
@@ -1172,6 +1587,15 @@ func (srv *mserver) handleWrite(from netsim.NodeID, req writeReq) {
 			}
 			return
 		}
+	}
+	if f := fileForDatum(req.Datum); srv.w.groups() > 1 {
+		// Ownership is checked after dedupe: a write applied here just
+		// before the file moved away must still re-ack its retransmits.
+		if !srv.owns(f) {
+			srv.notOwner(from, req.ReqID, f)
+			return
+		}
+		srv.absorbMoved(f)
 	}
 	sp := srv.w.tracer.StartChildNode(string(srv.node), req.TC, "server.write")
 	disp := srv.mgr.SubmitWrite(req.From, req.Datum, now)
@@ -1253,6 +1677,16 @@ func (srv *mserver) applyReady(now time.Time) {
 			return
 		}
 		for _, id := range ids {
+			if x, ok := srv.xferByBarrier[id]; ok {
+				// A cross-shard clearance barrier came due: every
+				// conflicting lease approved or expired, so the move may
+				// commit. The commit point cancels writers queued behind
+				// the barrier, so the id snapshot is stale after it.
+				srv.endWriteSpans(id, "expire", "")
+				srv.mgr.WriteApplied(id, now)
+				srv.maybeCommitXfer(x)
+				break
+			}
 			wtr, ok := srv.writers[id]
 			if !ok {
 				panic(fmt.Sprintf("check: ready write %d has no writer record", id))
@@ -1289,10 +1723,19 @@ func (srv *mserver) applyWrite(wtr mwriter, wait time.Duration, now time.Time) {
 	}
 	applySp.End()
 	srv.w.orc.applied(fileForDatum(wtr.datum), wtr.value)
+	version := attr.Version
+	if srv.applied != nil {
+		// Sharded single-replica groups use the applied sequence as the
+		// client-facing version so it survives the file's moves.
+		f := fileForDatum(wtr.datum)
+		srv.nextSeq[f]++
+		srv.applied[f] = srv.nextSeq[f]
+		version = srv.applied[f]
+	}
 	if srv.seen[wtr.client] == nil {
 		srv.seen[wtr.client] = make(map[uint64]uint64)
 	}
-	srv.seen[wtr.client][wtr.reqID] = attr.Version
+	srv.seen[wtr.client][wtr.reqID] = version
 	if wait > srv.w.out.MaxWriteWait {
 		srv.w.out.MaxWriteWait = wait
 	}
@@ -1303,7 +1746,7 @@ func (srv *mserver) applyWrite(wtr mwriter, wait time.Duration, now time.Time) {
 		Shard:  srv.mgr.ShardFor(wtr.datum),
 		Wait:   wait,
 	})
-	srv.w.fabric.Unicast(srv.node, netsim.NodeID(wtr.client), kindAck, writeAck{ReqID: wtr.reqID, Version: attr.Version})
+	srv.w.fabric.Unicast(srv.node, netsim.NodeID(wtr.client), kindAck, writeAck{ReqID: wtr.reqID, Version: version})
 }
 
 // armDeadline keeps exactly one engine timer at the manager's earliest
@@ -1374,6 +1817,18 @@ func (srv *mserver) crash() {
 	srv.writers = make(map[core.WriteID]mwriter)
 	srv.wspans = make(map[core.WriteID]*writeSpans)
 	srv.seen = make(map[core.ClientID]map[uint64]uint64)
+	if srv.xfers != nil {
+		// In-flight transfers die with the process; none committed, so
+		// ownership is intact. Spans are swept by AbandonNode below.
+		for _, x := range srv.xfers {
+			if x.retryEv != nil {
+				srv.w.engine.Cancel(x.retryEv)
+				x.retryEv = nil
+			}
+		}
+		srv.xfers = make(map[int]*xferState)
+		srv.xferByBarrier = make(map[core.WriteID]*xferState)
+	}
 	if srv.classEv != nil {
 		srv.w.engine.Cancel(srv.classEv)
 		srv.classEv = nil

@@ -40,6 +40,14 @@ const (
 	kindBroadcast  = "class.broadcast-ext"
 	kindClassFetch = "class.fetch"
 	kindClassSnap  = "class.snapshot"
+	// Sharded-world kinds: the cross-shard rename request/ack, the
+	// NOT_OWNER redirect (model analogue of TNotOwner), and the
+	// inter-group prepare exchange of the two-phase rename protocol.
+	kindRename       = "ns.rename"
+	kindRenameAck    = "ns.rename-ack"
+	kindNotOwner     = "lease.notowner"
+	kindXferPrepare  = "shard.prepare"
+	kindXferPrepared = "shard.prepared"
 )
 
 const serverNode = netsim.NodeID("srv")
@@ -50,13 +58,22 @@ func clientNode(i int) netsim.NodeID {
 
 // serverNodeID names replica i on the fabric. Single-server worlds keep
 // the historical "srv" so existing pinned artifacts replay unchanged;
-// replicated worlds use s0..sN-1.
+// multi-server worlds (replicated, sharded, or both) use s0..sN-1.
 func (w *world) serverNodeID(i int) netsim.NodeID {
-	if w.sc.Servers <= 1 {
+	if w.nservers() <= 1 {
 		return serverNode
 	}
 	return netsim.NodeID("s" + strconv.Itoa(i))
 }
+
+// groups is the replica-group count; nservers the total server count.
+// Group g's replicas occupy global indices [g·Servers, (g+1)·Servers).
+func (w *world) groups() int   { return w.sc.groups() }
+func (w *world) nservers() int { return w.sc.Servers * w.groups() }
+
+func (w *world) groupOf(idx int) int          { return idx / w.sc.Servers }
+func (w *world) replicaOf(idx int) int        { return idx % w.sc.Servers }
+func (w *world) globalIdx(group, rep int) int { return group*w.sc.Servers + rep }
 
 // serverIndex inverts serverNodeID (-1 for client nodes).
 func (w *world) serverIndex(id netsim.NodeID) int {
@@ -68,16 +85,18 @@ func (w *world) serverIndex(id netsim.NodeID) int {
 	return -1
 }
 
-// currentMaster reports the lowest-indexed live replica whose machine
-// holds the master lease on its own clock, or -1. Deterministic: the
-// scan order and every clock involved are fixed by the scenario.
-func (w *world) currentMaster() int {
-	for i, srv := range w.servers {
+// currentMasterOf reports the lowest-indexed live replica of group g
+// whose machine holds the master lease on its own clock, or -1.
+// Deterministic: the scan order and every clock involved are fixed by
+// the scenario.
+func (w *world) currentMasterOf(g int) int {
+	for r := 0; r < w.sc.Servers; r++ {
+		srv := w.servers[w.globalIdx(g, r)]
 		if srv.down || srv.mach == nil {
 			continue
 		}
 		if srv.mach.IsMaster(srv.localNow()) {
-			return i
+			return srv.idx
 		}
 	}
 	return -1
@@ -120,6 +139,15 @@ type Outcome struct {
 	Writes      int
 	WritesAcked int
 	Extends     int
+	// Renames counts cross-shard moves committed at source masters;
+	// RenamesAcked counts rename acks clients observed (sharded worlds
+	// only; Renames can exceed RenamesAcked when an ack is lost and the
+	// retransmit's re-ack arrives post-crash).
+	Renames      int
+	RenamesAcked int
+	// Redirected counts NOT_OWNER redirects clients followed — zero in
+	// unsharded worlds, positive whenever a routing belief went stale.
+	Redirected int
 	// GivenUp counts operations abandoned after exhausting retries
 	// (expected under partitions; never a violation by itself).
 	GivenUp int
@@ -148,6 +176,16 @@ type world struct {
 	clients []*mclient
 	out     *Outcome
 	lossRNG *rand.Rand
+	// shards is the group-durable shard state of sharded worlds, one
+	// entry per group (nil when Groups <= 1): file ownership plus the
+	// last committed inbound move per file. Sharing it among a group's
+	// replicas abstracts the deployment's quorum-replicated commit push
+	// and ring store — the checker probes the ORDERING of clearance,
+	// ownership transfer, and client routing, not the durability
+	// machinery, which the replicated write pipeline covers separately.
+	shards []*groupShard
+	// nextXfer numbers cross-shard transfers world-uniquely.
+	nextXfer uint64
 	// machStop bounds election-machine timer rearming (true time) so
 	// replicated runs quiesce: past it, masters lapse and stragglers
 	// exhaust their retries instead of electing forever.
@@ -165,6 +203,17 @@ type world struct {
 	// connection-scoped snapshots (a TCP client re-fetches after any
 	// reconnect) and replicated generation rebinding on failover.
 	classReigns uint64
+}
+
+// groupShard is one group's durable shard state: which files it owns,
+// and per file the last committed inbound move (Seq 0 = none). A
+// cross-shard rename's commit point updates both groups' entries in one
+// step; replicas absorb an inbound move's value lazily (absorbMoved)
+// before serving the file, so a group never serves a file older than
+// the value that moved in with it.
+type groupShard struct {
+	owned []bool
+	moved []fileRepl
 }
 
 // mix derives independent deterministic seeds for the engine
@@ -257,7 +306,16 @@ func RunScenario(sc Scenario, opt Options) (*Outcome, error) {
 		}
 	}
 	w.machStop = w.start.Add(last + 2*sc.Term + w.retryBase()<<(maxRetries+1))
-	for i := 0; i < sc.Servers; i++ {
+	if w.groups() > 1 {
+		for g := 0; g < w.groups(); g++ {
+			sh := &groupShard{owned: make([]bool, sc.Files), moved: make([]fileRepl, sc.Files)}
+			for f := 0; f < sc.Files; f++ {
+				sh.owned[f] = f%w.groups() == g
+			}
+			w.shards = append(w.shards, sh)
+		}
+	}
+	for i := 0; i < w.nservers(); i++ {
 		w.servers = append(w.servers, newMserver(w, i))
 	}
 	for i := 0; i < sc.Clients; i++ {
@@ -328,11 +386,12 @@ func (w *world) scheduleFaults() {
 			})
 			w.engine.At(w.start.Add(ft.At+ft.Dur), func() { srv.restart() })
 		case FaultMasterCrash:
-			// The target is whoever holds the master lease when the
-			// fault fires; remember it so the restart half matches.
+			// The target is whoever holds the fault's group's master
+			// lease when the fault fires; remember it so the restart
+			// half matches.
 			target := -1
 			w.engine.At(w.start.Add(ft.At), func() {
-				target = w.currentMaster()
+				target = w.currentMasterOf(ft.Group)
 				if target < 0 {
 					return // mid-election: nobody to crash
 				}
@@ -347,7 +406,7 @@ func (w *world) scheduleFaults() {
 		case FaultAsymPartition:
 			idx := i
 			w.engine.At(w.start.Add(ft.At), func() {
-				target := w.currentMaster()
+				target := w.currentMasterOf(ft.Group)
 				if target < 0 {
 					return
 				}

@@ -119,6 +119,9 @@ type Config struct {
 	// cursor steers session redials across the replica set; set by
 	// DialReplicas, nil for single-server clients.
 	cursor *replicaCursor
+	// featShard makes the hello advertise proto.FeatShard; set by the
+	// Router for its per-group sessions, never for plain dials.
+	featShard bool
 }
 
 // Cache is a connected caching client.
@@ -245,8 +248,15 @@ func dialTimeout(cfg Config) time.Duration {
 func handshake(nc net.Conn, cfg Config) (*proto.FrameReader, uint64, uint64, error) {
 	nc.SetDeadline(time.Now().Add(dialTimeout(cfg)))
 	defer nc.SetDeadline(time.Time{})
+	ours := proto.FeatTrace | proto.FeatClass
+	if cfg.featShard {
+		// Only ring-routed sessions (Router) speak the sharding frames;
+		// a plain Dial's hello — like the rest of its byte stream — is
+		// identical to a pre-shard client's.
+		ours |= proto.FeatShard
+	}
 	var e proto.Enc
-	e.Str(cfg.ID).U64(proto.FeatTrace | proto.FeatClass)
+	e.Str(cfg.ID).U64(ours)
 	if err := proto.WriteFrame(nc, proto.Frame{Type: proto.THello, ReqID: 1, Payload: e.Bytes()}); err != nil {
 		return nil, 0, 0, err
 	}

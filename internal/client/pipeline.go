@@ -184,6 +184,18 @@ func (cl *Call) finish(f proto.Frame) (proto.Frame, error) {
 		cl.span.EndNote("remote-error")
 		return proto.Frame{}, cl.err
 	}
+	if f.Type == proto.TNotOwner {
+		// A sharded server refusing a path it does not own; the Router
+		// steers the retry. Surfaced as a typed error so it is never
+		// mistaken for a transport failure (not retried here) and never
+		// cached.
+		d := proto.NewDec(f.Payload)
+		no := NotOwnerError{Group: int(d.U32()), Epoch: d.U64()}
+		f.Recycle()
+		cl.err = no
+		cl.span.EndNote("not-owner")
+		return proto.Frame{}, cl.err
+	}
 	cl.span.End()
 	if f.Type == proto.TOK {
 		// Empty success: callers that discard the frame would otherwise

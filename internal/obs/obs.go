@@ -109,8 +109,21 @@ const (
 	// EvClassDemote: drop-on-write — a write demoted a datum out of the
 	// installed class (§4.3).
 	EvClassDemote
+	// EvNotOwner: a sharded server refused a path operation it does not
+	// own and redirected the client to the owning group (Depth is the
+	// owner's group ID).
+	EvNotOwner
+	// EvShardPrepare: this group staged an incoming cross-shard rename
+	// (destination side of the two-phase protocol).
+	EvShardPrepare
+	// EvShardCommit: a staged cross-shard rename became visible on the
+	// destination, or (at the source) the source committed its removal.
+	EvShardCommit
+	// EvShardAbort: a cross-shard rename was abandoned and its staged
+	// destination entry discarded.
+	EvShardAbort
 
-	numEventTypes = int(EvClassDemote) + 1
+	numEventTypes = int(EvShardAbort) + 1
 )
 
 var eventTypeNames = [numEventTypes]string{
@@ -118,7 +131,8 @@ var eventTypeNames = [numEventTypes]string{
 	"write-defer", "write-apply", "write-timeout", "eviction",
 	"reconnect", "fault-inject", "queue-full", "elected", "demoted",
 	"extend-failure", "broadcast-ext", "piggy-ext", "class-promote",
-	"class-demote",
+	"class-demote", "not-owner", "shard-prepare", "shard-commit",
+	"shard-abort",
 }
 
 // String names the event type ("grant", "write-defer", …).

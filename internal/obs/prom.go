@@ -32,6 +32,12 @@ type MetricsSnapshot struct {
 	// believed master's replica index (-1 unknown).
 	ReplicaRole   string
 	ReplicaMaster int
+	// ShardRingEpoch/ShardGroup describe this server's place in a
+	// sharded deployment: the ring epoch it serves and its group ID.
+	// A zero epoch means unsharded and suppresses the lease_shard_*
+	// gauges (ring epochs start at 1).
+	ShardRingEpoch uint64
+	ShardGroup     int
 	// Wire is the per-message-type traffic breakdown (frames and bytes,
 	// by direction), already in its exposition order. Empty suppresses
 	// the section.
@@ -98,6 +104,15 @@ func WriteProm(w io.Writer, s *MetricsSnapshot) {
 		fmt.Fprintf(w, "# HELP lease_replica_master_index Replica index this server believes is master (-1 unknown).\n")
 		fmt.Fprintf(w, "# TYPE lease_replica_master_index gauge\n")
 		fmt.Fprintf(w, "lease_replica_master_index %d\n", s.ReplicaMaster)
+	}
+
+	if s.ShardRingEpoch != 0 {
+		fmt.Fprintf(w, "# HELP lease_shard_ring_epoch Ring epoch this server is serving.\n")
+		fmt.Fprintf(w, "# TYPE lease_shard_ring_epoch gauge\n")
+		fmt.Fprintf(w, "lease_shard_ring_epoch %d\n", s.ShardRingEpoch)
+		fmt.Fprintf(w, "# HELP lease_shard_group_id Replica group this server belongs to.\n")
+		fmt.Fprintf(w, "# TYPE lease_shard_group_id gauge\n")
+		fmt.Fprintf(w, "lease_shard_group_id %d\n", s.ShardGroup)
 	}
 
 	if len(s.Shards) > 0 {

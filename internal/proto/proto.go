@@ -136,6 +136,30 @@ const (
 	// extension grants piggybacked on another reply's flush (§4): send
 	// time plus a grant list for leases the server saw nearing expiry.
 	TPiggyExt
+	// TRing asks a sharded server for its current ring snapshot (empty
+	// payload). Answered by TRingRep with the shard.Ring wire form
+	// (epoch, groups, replica addresses). Sent only after both sides
+	// advertised FeatShard.
+	TRing
+	TRingRep
+	// TNotOwner is the reply a sharded server gives to a path operation
+	// it does not own: payload is the owning group's ID and the server's
+	// ring epoch. The client refreshes its routing table (if its epoch is
+	// older) and retries against the owner — the sharded analogue of
+	// TNotMaster steering.
+	TNotOwner
+	// TShardPrepare / TShardCommit / TShardAbort carry the two-phase
+	// cross-shard rename between group masters. Prepare (payload: ring
+	// epoch, destination path, file node, contents, owner, perm) asks the
+	// destination group to clear the destination binding per §2 and stage
+	// the file invisibly; it is answered by TShardPrepareRep. Commit
+	// (payload: ring epoch, destination path) makes the staged file
+	// visible after the source committed its removal; abort discards the
+	// staged entry. Both are answered by TOK / TError.
+	TShardPrepare
+	TShardPrepareRep
+	TShardCommit
+	TShardAbort
 )
 
 // TraceFlag marks a frame's type byte as carrying a trace header.
@@ -163,49 +187,62 @@ const (
 	// the bit the server sends none of them and the byte stream is
 	// identical to a pre-class peer's.
 	FeatClass uint64 = 1 << 1
+	// FeatShard: the peer understands the sharding frames (TRing,
+	// TRingRep, TNotOwner and the TShard* rename handshake). Clients
+	// advertise it only when routing via a ring; servers only when
+	// configured with one, so a single-group deployment's byte stream is
+	// identical to a pre-shard peer's.
+	FeatShard uint64 = 1 << 2
 )
 
 // msgTypeNames maps request and push types to stable operation names
 // for metrics and tracing. Reply types are derived from their request.
 var msgTypeNames = map[MsgType]string{
-	THello:        "hello",
-	THelloAck:     "hello",
-	TLookup:       "lookup",
-	TLookupRep:    "lookup",
-	TRead:         "read",
-	TReadRep:      "read",
-	TWrite:        "write",
-	TWriteRep:     "write",
-	TExtend:       "extend",
-	TExtendRep:    "extend",
-	TRelease:      "release",
-	TReadDir:      "readdir",
-	TReadDirRep:   "readdir",
-	TCreate:       "create",
-	TCreateRep:    "create",
-	TMkdir:        "mkdir",
-	TRemove:       "remove",
-	TRename:       "rename",
-	TStat:         "stat",
-	TStatRep:      "stat",
-	TSetPerm:      "setperm",
-	TApprovalReq:  "approval-req",
-	TApprove:      "approve",
-	TOK:           "ok",
-	TError:        "error",
-	TNotMaster:    "not-master",
-	TPrepare:      "prepare",
-	TPromise:      "promise",
-	TPropose:      "propose",
-	TAccept:       "accept",
-	TReplApply:    "repl-apply",
-	TReplSync:     "repl-sync",
-	TReplSyncRep:  "repl-sync",
-	TReplMaxTerm:  "repl-maxterm",
-	TInstalled:    "installed",
-	TInstalledRep: "installed",
-	TBroadcastExt: "broadcast-ext",
-	TPiggyExt:     "piggy-ext",
+	THello:           "hello",
+	THelloAck:        "hello",
+	TLookup:          "lookup",
+	TLookupRep:       "lookup",
+	TRead:            "read",
+	TReadRep:         "read",
+	TWrite:           "write",
+	TWriteRep:        "write",
+	TExtend:          "extend",
+	TExtendRep:       "extend",
+	TRelease:         "release",
+	TReadDir:         "readdir",
+	TReadDirRep:      "readdir",
+	TCreate:          "create",
+	TCreateRep:       "create",
+	TMkdir:           "mkdir",
+	TRemove:          "remove",
+	TRename:          "rename",
+	TStat:            "stat",
+	TStatRep:         "stat",
+	TSetPerm:         "setperm",
+	TApprovalReq:     "approval-req",
+	TApprove:         "approve",
+	TOK:              "ok",
+	TError:           "error",
+	TNotMaster:       "not-master",
+	TPrepare:         "prepare",
+	TPromise:         "promise",
+	TPropose:         "propose",
+	TAccept:          "accept",
+	TReplApply:       "repl-apply",
+	TReplSync:        "repl-sync",
+	TReplSyncRep:     "repl-sync",
+	TReplMaxTerm:     "repl-maxterm",
+	TInstalled:       "installed",
+	TInstalledRep:    "installed",
+	TBroadcastExt:    "broadcast-ext",
+	TPiggyExt:        "piggy-ext",
+	TRing:            "ring",
+	TRingRep:         "ring",
+	TNotOwner:        "not-owner",
+	TShardPrepare:    "shard-prepare",
+	TShardPrepareRep: "shard-prepare",
+	TShardCommit:     "shard-commit",
+	TShardAbort:      "shard-abort",
 }
 
 // String names the message's operation: request and reply share a name

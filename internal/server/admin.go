@@ -43,6 +43,10 @@ func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
 		snap.ReplicaRole = role
 		snap.ReplicaMaster = master
 	}
+	if ring := s.cfg.Shard.Ring; ring != nil {
+		snap.ShardRingEpoch = ring.Epoch
+		snap.ShardGroup = s.cfg.Shard.GroupID
+	}
 	snap.Wire = WireTraffic(s.wire)
 	return snap
 }
@@ -99,15 +103,21 @@ func (s *Server) AdminHandler() http.Handler {
 		// Replicated servers report their role so probes can tell the
 		// master apart; a bare "ok" means standalone, preserving the old
 		// contract for existing probes.
+		// A sharded server appends its ring epoch and group so probes can
+		// watch an epoch rollout converge across the fleet.
+		shardSuffix := ""
+		if ring := s.cfg.Shard.Ring; ring != nil {
+			shardSuffix = fmt.Sprintf(" ring_epoch=%d group=%d", ring.Epoch, s.cfg.Shard.GroupID)
+		}
 		if role, master, expiry, ok := s.ReplicaInfo(); ok {
 			fmt.Fprintf(w, "ok role=%s master=%d", role, master)
 			if !expiry.IsZero() {
 				fmt.Fprintf(w, " master_lease_expiry=%s", expiry.Format(time.RFC3339Nano))
 			}
-			fmt.Fprintln(w)
+			fmt.Fprintf(w, "%s\n", shardSuffix)
 			return
 		}
-		w.Write([]byte("ok\n"))
+		fmt.Fprintf(w, "ok%s\n", shardSuffix)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.MetricsSnapshot()

@@ -334,6 +334,14 @@ func (c *serverConn) dispatch(f proto.Frame, tc tracing.Context) {
 		c.handleSetPerm(f, tc)
 	case proto.TInstalled:
 		c.handleInstalled(f)
+	case proto.TRing:
+		c.handleRing(f)
+	case proto.TShardPrepare:
+		c.handleShardPrepare(f, tc)
+	case proto.TShardCommit:
+		c.handleShardCommit(f, tc)
+	case proto.TShardAbort:
+		c.handleShardAbort(f)
 	default:
 		c.fail(f.ReqID, fmt.Errorf("server: unknown message type %d", f.Type))
 	}
@@ -489,6 +497,9 @@ func (c *serverConn) handleLookup(f proto.Frame) {
 	path := d.Str()
 	if d.Err != nil {
 		c.fail(f.ReqID, d.Err)
+		return
+	}
+	if !c.checkOwner(f.ReqID, path) {
 		return
 	}
 	s := c.srv
@@ -694,6 +705,13 @@ func (c *serverConn) handleCreate(f proto.Frame, dir bool, tc tracing.Context) {
 		c.fail(f.ReqID, dec.Err)
 		return
 	}
+	// Directories are the namespace skeleton, not sharded data: files
+	// under one directory hash across every group, so the directory must
+	// exist on all of them (the Router mkdirs group-wide) and only file
+	// creation is ownership-gated.
+	if !dir && !c.checkOwner(f.ReqID, path) {
+		return
+	}
 	s := c.srv
 	parentAttr, err := s.store.Lookup(parentOf(path))
 	if err != nil {
@@ -722,6 +740,9 @@ func (c *serverConn) handleRemove(f proto.Frame, tc tracing.Context) {
 	path := dec.Str()
 	if dec.Err != nil {
 		c.fail(f.ReqID, dec.Err)
+		return
+	}
+	if !c.checkOwner(f.ReqID, path) {
 		return
 	}
 	s := c.srv
@@ -762,7 +783,18 @@ func (c *serverConn) handleRename(f proto.Frame, tc tracing.Context) {
 		c.fail(f.ReqID, dec.Err)
 		return
 	}
+	// The rename is homed at the source shard; a destination that hashes
+	// to another group runs the two-phase cross-shard protocol.
+	if !c.checkOwner(f.ReqID, oldPath) {
+		return
+	}
 	s := c.srv
+	if ring := s.cfg.Shard.Ring; ring != nil {
+		if dest := ring.Lookup(newPath); dest != s.cfg.Shard.GroupID {
+			c.crossShardRename(f, tc, oldPath, newPath, dest)
+			return
+		}
+	}
 	oldParent, err := s.store.Lookup(parentOf(oldPath))
 	if err != nil {
 		c.fail(f.ReqID, err)

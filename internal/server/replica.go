@@ -77,16 +77,27 @@ func (f *maxTermFile) floor() time.Duration {
 // the write back under a failover — the new master's catch-up sync
 // intersects every write quorum and recovers it.
 func (s *Server) replicateFile(node vfs.NodeID, data []byte, tc tracing.Context) error {
+	if s.cfg.Replica == nil {
+		return nil
+	}
+	path, err := s.store.Path(node)
+	if err != nil {
+		return err
+	}
+	return s.replicatePath(path, data, tc)
+}
+
+// replicatePath is replicateFile keyed by path instead of node: the
+// destination half of a cross-shard rename replicates the incoming
+// bytes BEFORE the path exists locally, so the quorum holds them before
+// any reader at this master can observe the new name at all.
+func (s *Server) replicatePath(path string, data []byte, tc tracing.Context) error {
 	r := s.cfg.Replica
 	if r == nil {
 		return nil
 	}
 	if !r.IsMaster() || !s.serving() {
 		return errNotMaster
-	}
-	path, err := s.store.Path(node)
-	if err != nil {
-		return err
 	}
 	s.replMu.Lock()
 	seq := s.replSeq[path] + 1
@@ -97,7 +108,7 @@ func (s *Server) replicateFile(node vfs.NodeID, data []byte, tc tracing.Context)
 		// before it may apply — the /metrics histogram an operator
 		// reads next to the per-peer ship latencies (internal/replica).
 		start := s.clk.Now()
-		err = r.ReplicateWrite(tc, path, seq, data)
+		err := r.ReplicateWrite(tc, path, seq, data)
 		o.ObserveOp("repl-quorum-wait", s.clk.Now().Sub(start))
 		return err
 	}

@@ -98,6 +98,10 @@ type Config struct {
 	// read-mostly data, narrow-to-zero for write-contended data. The
 	// server serializes the estimator against the policy's own calls.
 	Access *core.AccessStats
+	// Shard places this server in a sharded deployment (see shard.go).
+	// The zero value is unsharded: no ownership checks, no FeatShard
+	// advertisement, wire bytes identical to a pre-shard server.
+	Shard ShardConfig
 }
 
 // Server is a running lease file server.
@@ -170,6 +174,11 @@ type Server struct {
 	// (classStatePath), kept raw so even a replica with the class
 	// disabled relays it through catch-up syncs.
 	classRepl []byte
+
+	// staged holds cross-shard renames prepared on this (destination)
+	// group, invisible until their commit arrives (shard.go).
+	stagedMu sync.Mutex
+	staged   map[string]*stagedXfer
 }
 
 // New creates a server with an empty store.
@@ -239,6 +248,7 @@ func New(cfg Config) *Server {
 		stopped:    make(chan struct{}),
 		kicks:      make([]chan struct{}, cfg.Shards),
 		replSeq:    make(map[string]uint64),
+		staged:     make(map[string]*stagedXfer),
 
 		boot:     uint64(time.Now().UnixNano()),
 		maxTermF: maxTermF,
@@ -256,6 +266,11 @@ func New(cfg Config) *Server {
 		// server's hello ack — like the rest of its byte stream — is
 		// unchanged.
 		s.features |= proto.FeatClass
+	}
+	if cfg.Shard.enabled() {
+		// Same discipline: only a ring-configured server speaks the
+		// sharding frames.
+		s.features |= proto.FeatShard
 	}
 	for i := range s.kicks {
 		s.kicks[i] = make(chan struct{}, 1)

@@ -1,0 +1,35 @@
+package shard
+
+import "testing"
+
+// FuzzRingLookup drives Lookup with arbitrary paths and asserts the
+// determinism contract: the owning group depends only on the path and
+// the membership, never on the epoch stamp, and repeated lookups agree.
+func FuzzRingLookup(f *testing.F) {
+	f.Add("/f0")
+	f.Add("/home/u3/mail/inbox")
+	f.Add("")
+	f.Add("/\x00\xff")
+	f.Add("/usr/share/pkg7/data.bin")
+	groups := testGroups(3)
+	r1, err := New(1, groups, DefaultVnodes)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r2, err := New(1<<40, groups, DefaultVnodes)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		g := r1.Lookup(path)
+		if _, ok := r1.Group(g); !ok {
+			t.Fatalf("Lookup(%q) = %d, not a member group", path, g)
+		}
+		if again := r1.Lookup(path); again != g {
+			t.Fatalf("Lookup(%q) unstable: %d then %d", path, g, again)
+		}
+		if other := r2.Lookup(path); other != g {
+			t.Fatalf("Lookup(%q) depends on epoch: %d vs %d", path, g, other)
+		}
+	})
+}

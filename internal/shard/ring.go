@@ -1,0 +1,237 @@
+// Package shard maps file paths to replica groups with a consistent-
+// hash ring, the horizontal half of the availability-and-scale story:
+// capacity grows with group count while each group keeps the PaxosLease
+// replication of internal/replica. The ring is pure data — weighted
+// virtual nodes placed by a deterministic hash — so every party
+// (servers, clients, the model checker) derives identical ownership
+// from an identical snapshot, and membership changes move only the
+// minimal share of the keyspace.
+//
+// A ring snapshot is stamped with an epoch. Servers refuse cross-shard
+// prepares from a different epoch, and NOT_OWNER redirects carry the
+// server's epoch so a stale client knows to refetch before retrying —
+// the sharded analogue of the replicated deployment's NOT_MASTER
+// steering.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVnodes is the virtual-node count per unit of group weight.
+// 256 keeps the max/mean load ratio across groups within 1.25 (see the
+// balance property test) while the ring stays a few tens of KB.
+const DefaultVnodes = 256
+
+// Group is one replica group on the ring.
+type Group struct {
+	// ID identifies the group; NOT_OWNER redirects and prepare fencing
+	// speak group IDs, never addresses.
+	ID int
+	// Weight scales the group's share of the keyspace (default 1).
+	Weight int
+	// Replicas are the group's lease-server addresses in replica-ID
+	// order, the same contract as client.Config.Replicas.
+	Replicas []string
+}
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// group.
+type point struct {
+	hash  uint64
+	group int // index into Ring.Groups
+}
+
+// Ring is an immutable, epoch-stamped ownership snapshot.
+type Ring struct {
+	// Epoch orders snapshots; a larger epoch supersedes a smaller one.
+	Epoch  uint64
+	Groups []Group
+
+	points []point
+	vnodes int
+	byID   map[int]int // group ID → Groups index
+}
+
+// New builds a ring from groups with vnodes virtual nodes per unit of
+// weight (0 means DefaultVnodes). Construction is deterministic: equal
+// (epoch, groups, vnodes) build byte-identical rings on every node,
+// with no seed material beyond the group IDs themselves.
+func New(epoch uint64, groups []Group, vnodes int) (*Ring, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one group")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{Epoch: epoch, vnodes: vnodes, byID: make(map[int]int, len(groups))}
+	for _, g := range groups {
+		if g.ID < 0 {
+			return nil, fmt.Errorf("shard: negative group ID %d", g.ID)
+		}
+		if g.Weight == 0 {
+			g.Weight = 1
+		}
+		if g.Weight < 0 {
+			return nil, fmt.Errorf("shard: group %d has negative weight", g.ID)
+		}
+		if _, dup := r.byID[g.ID]; dup {
+			return nil, fmt.Errorf("shard: duplicate group ID %d", g.ID)
+		}
+		r.byID[g.ID] = len(r.Groups)
+		r.Groups = append(r.Groups, g)
+	}
+	for gi, g := range r.Groups {
+		n := g.Weight * vnodes
+		for v := 0; v < n; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(g.ID, v), group: gi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break on group ID so the sort —
+		// and therefore every lookup — is total and deterministic.
+		return r.Groups[a.group].ID < r.Groups[b.group].ID
+	})
+	return r, nil
+}
+
+// Vnodes reports the per-weight-unit virtual node count the ring was
+// built with.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Lookup maps a file path to the ID of the group that owns it: the
+// first virtual node at or clockwise of the path's hash.
+func (r *Ring) Lookup(path string) int {
+	h := keyHash(path)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.Groups[r.points[i].group].ID
+}
+
+// Group returns the group with the given ID.
+func (r *Ring) Group(id int) (Group, bool) {
+	i, ok := r.byID[id]
+	if !ok {
+		return Group{}, false
+	}
+	return r.Groups[i], true
+}
+
+// GroupIDs lists the member group IDs in ascending order.
+func (r *Ring) GroupIDs() []int {
+	out := make([]int, 0, len(r.Groups))
+	for _, g := range r.Groups {
+		out = append(out, g.ID)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// vnodeHash places virtual node v of group id on the ring. The layout
+// depends only on (id, v): adding or removing a group leaves every
+// other group's points exactly where they were, which is what makes
+// membership changes minimally disruptive.
+func vnodeHash(id, v int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "g%d#%d", id, v)
+	return mix64(h.Sum64())
+}
+
+// keyHash hashes a file path onto the ring.
+func keyHash(path string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer, scattering FNV's output so
+// structured inputs (sequential vnode indexes, common path prefixes)
+// spread uniformly over the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Format renders the ring as the flag/spec syntax Parse accepts:
+//
+//	epoch@id[*weight]=addr,addr;id[*weight]=addr,addr
+func (r *Ring) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d@", r.Epoch)
+	for i, g := range r.Groups {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d", g.ID)
+		if g.Weight > 1 {
+			fmt.Fprintf(&b, "*%d", g.Weight)
+		}
+		b.WriteByte('=')
+		b.WriteString(strings.Join(g.Replicas, ","))
+	}
+	return b.String()
+}
+
+// Parse builds a ring from the spec syntax used by the -ring flags:
+//
+//	[epoch@]id[*weight]=addr[,addr...][;...]
+//
+// The epoch defaults to 1 and weights default to 1.
+func Parse(spec string) (*Ring, error) {
+	epoch := uint64(1)
+	if at := strings.IndexByte(spec, '@'); at >= 0 {
+		e, err := strconv.ParseUint(spec[:at], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("shard: bad ring epoch %q: %v", spec[:at], err)
+		}
+		epoch = e
+		spec = spec[at+1:]
+	}
+	var groups []Group
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("shard: ring group %q has no '='", part)
+		}
+		head, tail := part[:eq], part[eq+1:]
+		weight := 1
+		if star := strings.IndexByte(head, '*'); star >= 0 {
+			w, err := strconv.Atoi(head[star+1:])
+			if err != nil {
+				return nil, fmt.Errorf("shard: bad weight in %q: %v", part, err)
+			}
+			weight = w
+			head = head[:star]
+		}
+		id, err := strconv.Atoi(head)
+		if err != nil {
+			return nil, fmt.Errorf("shard: bad group ID in %q: %v", part, err)
+		}
+		var addrs []string
+		for _, a := range strings.Split(tail, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		groups = append(groups, Group{ID: id, Weight: weight, Replicas: addrs})
+	}
+	return New(epoch, groups, 0)
+}

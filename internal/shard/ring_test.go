@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"leases/internal/proto"
+)
+
+func testGroups(n int) []Group {
+	gs := make([]Group, 0, n)
+	for i := 0; i < n; i++ {
+		gs = append(gs, Group{ID: i, Replicas: []string{fmt.Sprintf("127.0.0.1:%d", 7000+i)}})
+	}
+	return gs
+}
+
+func synthPaths(n int) []string {
+	// Mix of flat files, nested directories and shared prefixes — the
+	// shapes a real namespace throws at the ring.
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			out = append(out, fmt.Sprintf("/f%d", i))
+		case 1:
+			out = append(out, fmt.Sprintf("/home/u%d/mail/inbox%d", i%17, i))
+		default:
+			out = append(out, fmt.Sprintf("/usr/share/pkg%d/data.bin", i))
+		}
+	}
+	return out
+}
+
+// TestRingBalance is the ISSUE's balance bound: across 1k synthetic
+// paths and ≥64 vnodes, the most loaded group carries at most 1.25× the
+// mean.
+func TestRingBalance(t *testing.T) {
+	for _, ngroups := range []int{2, 3, 5, 8} {
+		r, err := New(1, testGroups(ngroups), DefaultVnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths := synthPaths(1000)
+		load := map[int]int{}
+		for _, p := range paths {
+			load[r.Lookup(p)]++
+		}
+		mean := float64(len(paths)) / float64(ngroups)
+		for id, n := range load {
+			if ratio := float64(n) / mean; ratio > 1.25 {
+				t.Errorf("groups=%d: group %d holds %d/%d keys (%.2f× mean, want ≤1.25)",
+					ngroups, id, n, len(paths), ratio)
+			}
+		}
+		if len(load) != ngroups {
+			t.Errorf("groups=%d: only %d groups received keys", ngroups, len(load))
+		}
+	}
+}
+
+// TestRingMinimalDisruption checks the consistent-hashing contract:
+// adding or removing one group moves at most 2·K/G + ε keys, where K is
+// the key count and G the larger group count.
+func TestRingMinimalDisruption(t *testing.T) {
+	paths := synthPaths(1000)
+	for _, base := range []int{2, 3, 5} {
+		small, err := New(1, testGroups(base), DefaultVnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := New(2, testGroups(base+1), DefaultVnodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, p := range paths {
+			if small.Lookup(p) != big.Lookup(p) {
+				moved++
+			}
+		}
+		bound := 2*len(paths)/(base+1) + 50
+		if moved > bound {
+			t.Errorf("base=%d: %d keys moved on add-group, want ≤ %d", base, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("base=%d: no keys moved on add-group; new group owns nothing", base)
+		}
+		// Every moved key must land on the new group — keys never shuffle
+		// between surviving groups.
+		for _, p := range paths {
+			if g := big.Lookup(p); g != small.Lookup(p) && g != base {
+				t.Fatalf("base=%d: key %q moved to surviving group %d", base, p, g)
+			}
+		}
+	}
+}
+
+// TestRingDeterminism: identical inputs build identical rings, and the
+// epoch stamp has no influence on placement.
+func TestRingDeterminism(t *testing.T) {
+	a, err := New(1, testGroups(3), DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(99, testGroups(3), DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range synthPaths(500) {
+		if a.Lookup(p) != b.Lookup(p) {
+			t.Fatalf("lookup of %q differs across epochs: %d vs %d", p, a.Lookup(p), b.Lookup(p))
+		}
+	}
+}
+
+func TestRingWeight(t *testing.T) {
+	groups := testGroups(2)
+	groups[1].Weight = 3
+	r, err := New(1, groups, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[int]int{}
+	for _, p := range synthPaths(2000) {
+		load[r.Lookup(p)]++
+	}
+	// Group 1 has 3× the weight, so expect roughly 3× the keys; accept a
+	// generous band.
+	if load[1] < 2*load[0] {
+		t.Errorf("weighted group underloaded: load=%v", load)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := New(1, nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := New(1, []Group{{ID: -1}}, 0); err == nil {
+		t.Error("negative group ID accepted")
+	}
+	if _, err := New(1, []Group{{ID: 0}, {ID: 0}}, 0); err == nil {
+		t.Error("duplicate group ID accepted")
+	}
+	if _, err := New(1, []Group{{ID: 0, Weight: -2}}, 0); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestRingParseFormat(t *testing.T) {
+	spec := "7@0=127.0.0.1:7000,127.0.0.1:7001;1*2=127.0.0.1:7100"
+	r, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch != 7 {
+		t.Errorf("epoch = %d, want 7", r.Epoch)
+	}
+	g0, ok := r.Group(0)
+	if !ok || len(g0.Replicas) != 2 {
+		t.Errorf("group 0 = %+v, ok=%v", g0, ok)
+	}
+	g1, ok := r.Group(1)
+	if !ok || g1.Weight != 2 || len(g1.Replicas) != 1 {
+		t.Errorf("group 1 = %+v, ok=%v", g1, ok)
+	}
+	if got := r.Format(); got != spec {
+		t.Errorf("Format() = %q, want %q", got, spec)
+	}
+	// Epoch defaults to 1 when omitted.
+	r2, err := Parse("0=a;1=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Epoch != 1 {
+		t.Errorf("default epoch = %d, want 1", r2.Epoch)
+	}
+	for _, bad := range []string{"", "x=a", "0", "e@0=a", "0*w=a"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRingWireRoundTrip(t *testing.T) {
+	groups := testGroups(3)
+	groups[2].Weight = 2
+	r, err := New(42, groups, DefaultVnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e proto.Enc
+	Encode(&e, r)
+	got, err := Decode(proto.NewDec(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != r.Epoch || got.Vnodes() != r.Vnodes() || len(got.Groups) != len(r.Groups) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+	for i := range r.Groups {
+		a, b := r.Groups[i], got.Groups[i]
+		if a.ID != b.ID || a.Weight != b.Weight || fmt.Sprint(a.Replicas) != fmt.Sprint(b.Replicas) {
+			t.Errorf("group %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	for _, p := range synthPaths(200) {
+		if r.Lookup(p) != got.Lookup(p) {
+			t.Fatalf("lookup of %q differs after wire round trip", p)
+		}
+	}
+	// Truncated payloads must error, not panic.
+	b := e.Bytes()
+	for cut := 0; cut < len(b); cut += 3 {
+		if _, err := Decode(proto.NewDec(b[:cut])); err == nil {
+			t.Fatalf("truncated decode at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"fmt"
+
+	"leases/internal/proto"
+)
+
+// Encode appends the ring snapshot to a frame payload: epoch, group
+// count, then per group ID, weight and the replica address list. This
+// is the TRingRep payload.
+func Encode(e *proto.Enc, r *Ring) {
+	e.U64(r.Epoch).U32(uint32(len(r.Groups))).U32(uint32(r.vnodes))
+	for _, g := range r.Groups {
+		e.U32(uint32(g.ID)).U32(uint32(g.Weight)).U32(uint32(len(g.Replicas)))
+		for _, a := range g.Replicas {
+			e.Str(a)
+		}
+	}
+}
+
+// Decode parses an Encode'd ring snapshot and rebuilds the ring.
+func Decode(d *proto.Dec) (*Ring, error) {
+	epoch := d.U64()
+	ngroups := int(d.U32())
+	vnodes := int(d.U32())
+	if d.Err != nil || ngroups <= 0 || ngroups > 1<<16 {
+		return nil, fmt.Errorf("shard: bad ring header (groups=%d err=%v)", ngroups, d.Err)
+	}
+	groups := make([]Group, 0, ngroups)
+	for i := 0; i < ngroups; i++ {
+		g := Group{ID: int(d.U32()), Weight: int(d.U32())}
+		naddrs := int(d.U32())
+		if d.Err != nil || naddrs < 0 || naddrs > 1<<12 {
+			return nil, fmt.Errorf("shard: bad ring group %d", i)
+		}
+		for a := 0; a < naddrs; a++ {
+			g.Replicas = append(g.Replicas, d.Str())
+		}
+		groups = append(groups, g)
+	}
+	if err := d.Err; err != nil {
+		return nil, fmt.Errorf("shard: decoding ring: %w", err)
+	}
+	return New(epoch, groups, vnodes)
+}

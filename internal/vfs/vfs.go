@@ -289,6 +289,38 @@ func (s *Store) Create(p, owner string, perm Perm) (Attr, error) {
 	return n.attr(), nil
 }
 
+// CreateWith makes a file at path p with its initial contents, in one
+// step under the store lock: the name and the bytes become visible
+// together, so no reader — and no lease grant — can ever observe the
+// file empty. The commit of a cross-shard rename depends on this
+// atomicity; a Create-then-WriteFile pair would expose an empty file
+// a concurrent read could lease and cache.
+func (s *Store) CreateWith(p, owner string, perm Perm, data []byte) (Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir, base, err := s.lookupParent(p)
+	if err != nil {
+		return Attr{}, err
+	}
+	if _, exists := dir.entries[base]; exists {
+		return Attr{}, fmt.Errorf("%w: %q", ErrExist, p)
+	}
+	n := &node{
+		id:      s.alloc(),
+		name:    base,
+		parent:  dir,
+		owner:   owner,
+		perm:    perm,
+		modTime: s.clk.Now(),
+		data:    append([]byte(nil), data...),
+		version: 1,
+	}
+	s.nodes[n.id] = n
+	dir.entries[base] = n
+	s.touchBinding(dir)
+	return n.attr(), nil
+}
+
 // Mkdir makes a directory at path p owned by owner.
 func (s *Store) Mkdir(p, owner string, perm Perm) (Attr, error) {
 	s.mu.Lock()
